@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # baselines
+//!
+//! Comparator implementations for the paper's evaluation:
+//!
+//! * [`quadratic`] — textbook Smith-Waterman with full traceback matrix
+//!   (quadratic space). This is what GPU proposals like \[6\]/\[12\] in the
+//!   paper's Table I do, and why they cannot align megabase sequences.
+//! * [`mm_local`] — a sequential *linear-space* local aligner: forward
+//!   scan for the end point, reverse scan for the start point, classic
+//!   Myers-Miller for the alignment. The single-core CPU reference.
+//! * [`fastlsa`] — FastLSA (Driga et al.): divide-and-conquer with `k`
+//!   cached grid rows, trading memory for ~`1 + 1/k` recomputation
+//!   instead of Myers-Miller's ~2x (Section III-A of the paper).
+//! * [`mod@zalign`] — a Z-align-style multi-core CPU aligner (Boukerche et
+//!   al., reference \[19\] of the paper), reproduced as a row-band *pipelined wavefront* over `p`
+//!   workers with linear memory per worker. The paper's Table VI
+//!   comparator: its runtime scales with core count, so the CUDAlign
+//!   speedup shape (hundreds of times vs 1 core, ~15-20x vs a cluster)
+//!   can be regenerated.
+
+pub mod fastlsa;
+pub mod mm_local;
+pub mod quadratic;
+pub mod zalign;
+
+pub use fastlsa::{fastlsa_global, fastlsa_local, FastLsaResult};
+pub use mm_local::mm_local_align;
+pub use quadratic::quadratic_align;
+pub use zalign::{zalign, ZalignResult};

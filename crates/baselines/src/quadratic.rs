@@ -1,0 +1,60 @@
+//! The quadratic-space baseline: full Smith-Waterman with a traceback
+//! matrix. Fast for small inputs, but its memory grows with `m * n` —
+//! the very limitation CUDAlign 2.0 removes.
+
+use sw_core::full::{sw_local_aligned, LocalAlignment};
+use sw_core::scoring::Scoring;
+
+/// Result of the quadratic baseline, with its memory footprint.
+#[derive(Debug, Clone)]
+pub struct QuadraticResult {
+    /// The alignment (None when no positive-scoring alignment exists).
+    pub alignment: Option<LocalAlignment>,
+    /// Bytes of traceback storage used (`(m+1)(n+1)` direction bytes).
+    pub traceback_bytes: u64,
+    /// DP cells processed.
+    pub cells: u64,
+}
+
+/// Align with the quadratic-space reference.
+///
+/// # Panics
+/// Panics when the traceback matrix would exceed `max_bytes` — the
+/// honest failure mode of quadratic-space tools on huge sequences.
+pub fn quadratic_align(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    max_bytes: u64,
+) -> QuadraticResult {
+    let traceback_bytes = (a.len() as u64 + 1) * (b.len() as u64 + 1);
+    assert!(
+        traceback_bytes <= max_bytes,
+        "quadratic baseline needs {traceback_bytes} bytes of traceback, limit is {max_bytes}"
+    );
+    let alignment = sw_local_aligned(a, b, scoring);
+    QuadraticResult { alignment, traceback_bytes, cells: (a.len() * b.len()) as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_and_accounts_memory() {
+        let a = b"ACGTACGTAC";
+        let b = b"ACGTCCGTAC";
+        let r = quadratic_align(a, b, &Scoring::paper(), 1 << 20);
+        let al = r.alignment.unwrap();
+        assert!(al.score > 0);
+        assert_eq!(r.traceback_bytes, 11 * 11);
+        assert_eq!(r.cells, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "quadratic baseline needs")]
+    fn refuses_oversized_problems() {
+        let a = vec![b'A'; 2000];
+        quadratic_align(&a, &a, &Scoring::paper(), 1 << 20);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: every baseline agrees with the quadratic reference on
+//! arbitrary inputs.
+
+use baselines::fastlsa::{fastlsa_global, fastlsa_local, FastLsaStats};
+use baselines::{mm_local_align, zalign};
+use proptest::prelude::*;
+use sw_core::full::{nw_global_typed, sw_local_score};
+use sw_core::transcript::EdgeState;
+use sw_core::Scoring;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+}
+
+fn related_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (dna(250), any::<u64>()).prop_map(|(a, seed)| {
+        let mut b = a.clone();
+        let mut x = seed | 1;
+        for _ in 0..5 {
+            if b.len() < 4 {
+                break;
+            }
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pos = (x as usize >> 8) % b.len();
+            match x % 3 {
+                0 => b[pos] = b"ACGT"[(x as usize >> 40) & 3],
+                1 => {
+                    let del = (1 + (x >> 16) as usize % 15).min(b.len() - pos);
+                    b.drain(pos..pos + del);
+                }
+                _ => {
+                    for k in 0..(1 + (x >> 16) as usize % 9) {
+                        b.insert(pos, b"ACGT"[(x as usize >> (2 * k)) & 3]);
+                    }
+                }
+            }
+        }
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fastlsa_global_equals_nw((a, b) in related_pair(), buffer in 64u64..50_000) {
+        let sc = Scoring::paper();
+        let (expected, _) = nw_global_typed(&a, &b, &sc, EdgeState::Diagonal, EdgeState::Diagonal);
+        let mut stats = FastLsaStats::default();
+        let t = fastlsa_global(&a, &b, &sc, buffer, EdgeState::Diagonal, &mut stats);
+        t.validate(&a, &b).unwrap();
+        prop_assert_eq!(t.score(&a, &b, &sc), expected);
+    }
+
+    #[test]
+    fn fastlsa_local_equals_reference((a, b) in related_pair(), buffer in 64u64..20_000) {
+        let sc = Scoring::paper();
+        let (ref_score, ref_end) = sw_local_score(&a, &b, &sc);
+        let r = fastlsa_local(&a, &b, &sc, buffer);
+        prop_assert_eq!(r.score, ref_score);
+        if ref_score > 0 {
+            prop_assert_eq!(r.end, ref_end);
+            let sub_a = &a[r.start.0..r.end.0];
+            let sub_b = &b[r.start.1..r.end.1];
+            r.transcript.validate(sub_a, sub_b).unwrap();
+            prop_assert_eq!(r.transcript.score(sub_a, sub_b, &sc), ref_score);
+        }
+    }
+
+    #[test]
+    fn zalign_equals_reference((a, b) in related_pair(), workers in 1usize..6) {
+        let sc = Scoring::paper();
+        let (ref_score, ref_end) = sw_local_score(&a, &b, &sc);
+        let r = zalign(&a, &b, &sc, workers);
+        prop_assert_eq!(r.score, ref_score);
+        if ref_score > 0 {
+            prop_assert_eq!(r.end, ref_end);
+        }
+    }
+
+    #[test]
+    fn mm_local_equals_reference((a, b) in related_pair()) {
+        let sc = Scoring::paper();
+        let (ref_score, _) = sw_local_score(&a, &b, &sc);
+        let r = mm_local_align(&a, &b, &sc);
+        prop_assert_eq!(r.score, ref_score);
+        if ref_score > 0 {
+            let sub_a = &a[r.start.0..r.end.0];
+            let sub_b = &b[r.start.1..r.end.1];
+            prop_assert_eq!(r.transcript.score(sub_a, sub_b, &sc), ref_score);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Pipeline vs the comparator aligners (the Table VI shape).
+
+use baselines::{fastlsa_local, mm_local_align, quadratic_align, zalign};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cudalign::{Pipeline, PipelineConfig};
+use seqio::generate::{homologous_pair, HomologyParams};
+use sw_core::Scoring;
+
+fn pair(len: usize) -> (Vec<u8>, Vec<u8>) {
+    let (a, b) = homologous_pair(13, len, &HomologyParams::chromosome());
+    (a.into_bases(), b.into_bases())
+}
+
+fn bench_aligners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aligners");
+    g.sample_size(10);
+    let len = 3000usize;
+    let (a, b) = pair(len);
+    let sc = Scoring::paper();
+    g.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+
+    g.bench_function(BenchmarkId::new("quadratic", len), |bench| {
+        bench.iter(|| quadratic_align(&a, &b, &sc, 1 << 30).alignment.as_ref().map(|x| x.score))
+    });
+    g.bench_function(BenchmarkId::new("mm_local_1core", len), |bench| {
+        bench.iter(|| mm_local_align(&a, &b, &sc).score)
+    });
+    for workers in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("zalign", workers), &workers, |bench, &w| {
+            bench.iter(|| zalign(&a, &b, &sc, w).score)
+        });
+    }
+    g.bench_function(BenchmarkId::new("fastlsa", len), |bench| {
+        bench.iter(|| fastlsa_local(&a, &b, &sc, 1 << 18).score)
+    });
+    g.bench_function(BenchmarkId::new("cudalign_pipeline", len), |bench| {
+        let cfg = PipelineConfig::default_cpu();
+        bench.iter(|| Pipeline::new(cfg.clone()).align(&a, &b).unwrap().best_score)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aligners);
+criterion_main!(benches);

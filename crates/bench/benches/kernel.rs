@@ -1,0 +1,122 @@
+//! Microbenchmarks of the DP kernels: cell-update throughput (the MCUPS
+//! that all paper-scale projections build on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::kernel::{compute_tile, global_borders, GlobalOrigin};
+use gpu_sim::wavefront::{run_plain, RegionJob};
+use gpu_sim::{GridSpec, Mode};
+use sw_core::linear::RowDp;
+use sw_core::scoring::Scoring;
+use sw_core::transcript::EdgeState;
+
+fn dna(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b"ACGT"[(x >> 33) as usize & 3]
+        })
+        .collect()
+}
+
+fn bench_rowdp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rowdp");
+    let n = 4096usize;
+    let a = dna(1, 1024);
+    let b = dna(2, n);
+    g.throughput(Throughput::Elements((a.len() * n) as u64));
+    g.bench_function("forward_1024x4096", |bench| {
+        bench.iter(|| {
+            let mut dp = RowDp::new(n, Scoring::paper(), EdgeState::Diagonal);
+            for &ch in &a {
+                dp.step(ch, &b);
+            }
+            dp.h()[n]
+        })
+    });
+    g.finish();
+}
+
+fn bench_tile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tile");
+    for &(h, w) in &[(256usize, 256usize), (256, 4096)] {
+        let a = dna(3, h);
+        let b = dna(4, w);
+        g.throughput(Throughput::Elements((h * w) as u64));
+        g.bench_with_input(BenchmarkId::new("global", format!("{h}x{w}")), &(h, w), |bench, _| {
+            bench.iter(|| {
+                let (mut top, mut left, corner) =
+                    global_borders(h, w, &Scoring::paper(), GlobalOrigin::forward(EdgeState::Diagonal));
+                compute_tile(&a, &b, 1, 1, &Scoring::paper(), false, None, corner, &mut top, &mut left)
+                    .corner_out
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("local", format!("{h}x{w}")), &(h, w), |bench, _| {
+            bench.iter(|| {
+                let (mut top, mut left, corner) = gpu_sim::kernel::local_borders(h, w);
+                compute_tile(&a, &b, 1, 1, &Scoring::paper(), true, None, corner, &mut top, &mut left)
+                    .best
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_wavefront(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wavefront");
+    g.sample_size(10);
+    let a = dna(5, 4096);
+    let b = dna(6, 4096);
+    g.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("local_4096x4096", workers), &workers, |bench, &w| {
+            let job = RegionJob {
+                a: &a,
+                b: &b,
+                scoring: Scoring::paper(),
+                mode: Mode::Local,
+                grid: GridSpec { blocks: 16, threads: 16, alpha: 4 },
+                workers: w,
+                watch: None,
+            };
+            bench.iter(|| run_plain(&job).best)
+        });
+    }
+    g.finish();
+}
+
+/// The paper's phase division keeps the hot kernel free of bookkeeping;
+/// this measures the monomorphized variants' relative cost.
+fn bench_kernel_phases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_phases");
+    let (h, w) = (512usize, 1024usize);
+    let a = dna(21, h);
+    let b = dna(22, w);
+    g.throughput(Throughput::Elements((h * w) as u64));
+    let sc = Scoring::paper();
+    g.bench_function("global_plain", |bench| {
+        bench.iter(|| {
+            let (mut top, mut left, corner) =
+                global_borders(h, w, &sc, GlobalOrigin::forward(EdgeState::Diagonal));
+            compute_tile(&a, &b, 1, 1, &sc, false, None, corner, &mut top, &mut left).corner_out
+        })
+    });
+    g.bench_function("global_watching", |bench| {
+        bench.iter(|| {
+            let (mut top, mut left, corner) =
+                global_borders(h, w, &sc, GlobalOrigin::forward(EdgeState::Diagonal));
+            compute_tile(&a, &b, 1, 1, &sc, false, Some(i32::MAX / 8), corner, &mut top, &mut left)
+                .corner_out
+        })
+    });
+    g.bench_function("local_tracking", |bench| {
+        bench.iter(|| {
+            let (mut top, mut left, corner) = gpu_sim::kernel::local_borders(h, w);
+            compute_tile(&a, &b, 1, 1, &sc, true, None, corner, &mut top, &mut left).best
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rowdp, bench_tile, bench_wavefront, bench_kernel_phases);
+criterion_main!(benches);

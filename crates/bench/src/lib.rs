@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # cudalign-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of
+//! the paper's evaluation (Section V). Each experiment lives in
+//! [`tables`] and is runnable through the `repro` binary:
+//!
+//! ```text
+//! cargo run -p cudalign-bench --release --bin repro -- table5
+//! cargo run -p cudalign-bench --release --bin repro -- all
+//! ```
+//!
+//! Scale: the paper's sequences (162 KBP - 47 MBP) are reproduced
+//! synthetically at `1/REPRO_SCALE` of their real lengths (default
+//! 1000). Measured numbers come from the CPU wavefront engine; paper-scale
+//! projections use the calibrated GTX 285 device model
+//! (`gpu_sim::DeviceModel`) driven by the measured cell/byte counts.
+
+pub mod paper_data;
+pub mod report;
+pub mod runs;
+pub mod tables;
+
+/// The linear scale divisor (env `REPRO_SCALE`, default 1000).
+pub fn repro_scale() -> usize {
+    std::env::var("REPRO_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1000)
+}
+
+/// Workload seed (env `REPRO_SEED`, default 42).
+pub fn repro_seed() -> u64 {
+    std::env::var("REPRO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}

@@ -1,0 +1,201 @@
+//! Plain-text table rendering for the `repro` binary.
+
+/// A printable table with a title and optional footnote.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Footnote printed below.
+    pub note: String,
+}
+
+impl Report {
+    /// New report with a title and headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    /// Append a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        if !self.note.is_empty() {
+            out.push_str(&format!("note: {}\n", self.note));
+        }
+        out
+    }
+
+    /// Print to stdout; also appends JSON to `REPRO_JSON` when that env
+    /// var names a file (one JSON object per report, newline-delimited).
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if let Ok(path) = std::env::var("REPRO_JSON") {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(f, "{}", self.to_json());
+            }
+        }
+    }
+
+    /// Serialize as a JSON object (hand-rolled: the workspace's dependency
+    /// policy excludes serde_json).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        let header: Vec<String> = self.header.iter().map(|h| esc(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| esc(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"title\":{},\"header\":[{}],\"rows\":[{}],\"note\":{}}}",
+            esc(&self.title),
+            header.join(","),
+            rows.join(","),
+            esc(&self.note)
+        )
+    }
+}
+
+/// Seconds with sensible precision.
+pub fn secs(s: f64) -> String {
+    if s < 0.0005 {
+        "<0.001".to_string()
+    } else if s < 10.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Big integers with thousands separators.
+pub fn big(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Scientific notation like the paper's `1.54e+15`.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    format!("{v:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut r = Report::new("T", &["a", "bbbb"]);
+        r.row(&["1".into(), "2".into()]);
+        r.row(&["333".into(), "4".into()]);
+        let s = r.render();
+        assert!(s.contains("== T =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // lines: "", "== T ==", header, separator, rows...
+        assert!(lines[2].contains('a'));
+        assert!(lines[4].trim_start().starts_with('1'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(0.0001), "<0.001");
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(secs(123.456), "123.5");
+        assert_eq!(big(1234567), "1,234,567");
+        assert_eq!(big(12), "12");
+        assert_eq!(sci(0.0), "0");
+        assert!(sci(1.54e15).starts_with("1.54e15") || sci(1.54e15).contains("e15"));
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut r = Report::new("T \"x\"", &["a", "b"]);
+        r.row(&["1".into(), "two\nlines".into()]);
+        r.note = "n".into();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"title\":\"T \\\"x\\\"\""), "{j}");
+        assert!(j.contains("\"rows\":[[\"1\",\"two\\nlines\"]]"), "{j}");
+        // Paranoid structural check without a JSON parser: balanced quotes.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_empty_report() {
+        let r = Report::new("empty", &[]);
+        let j = r.to_json();
+        assert!(j.contains("\"rows\":[]"));
+        assert!(j.contains("\"note\":\"\""));
+    }
+}

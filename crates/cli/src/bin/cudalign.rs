@@ -1,0 +1,18 @@
+//! The `cudalign` command-line tool. All logic lives in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cudalign_cli::parse(&args) {
+        Ok(cmd) => match cudalign_cli::run(cmd) {
+            Ok(output) => print!("{output}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cudalign_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

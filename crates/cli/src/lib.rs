@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # cudalign-cli
+//!
+//! The command-line face of the pipeline:
+//!
+//! ```text
+//! cudalign align a.fasta b.fasta -o out.cal2 --stats
+//! cudalign view  out.cal2 a.fasta b.fasta --width 80 --pgm plot.pgm
+//! cudalign info  out.cal2
+//! cudalign generate strain --len 20000 --seed 7 --out pair
+//! cudalign dataset 5227Kx5229K --scale 1000 --out anthracis
+//! ```
+//!
+//! All command logic lives in [`commands`] as testable functions; the
+//! binary in `src/bin/cudalign.rs` only dispatches.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Run a parsed command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Align(a) => commands::align(&a),
+        Command::View(v) => commands::view(&v),
+        Command::Info { path } => commands::info(&path),
+        Command::Generate(g) => commands::generate(&g),
+        Command::Dataset(d) => commands::dataset(&d),
+        Command::Help => Ok(args::USAGE.to_string()),
+    }
+}

@@ -1,0 +1,451 @@
+//! Compact binary representation of an alignment (Section IV-F).
+//!
+//! Stage 5 does not store the aligned characters: it records the start and
+//! end positions, the score and two lists of gap runs (`GAP_1` for gaps in
+//! `S0`, `GAP_2` for gaps in `S1`). Everything between consecutive gap
+//! runs is implicitly a diagonal run; Stage 6 reconstructs the textual
+//! alignment from this representation plus the sequences. The paper
+//! reports the binary file 279x smaller than the text rendering.
+
+use sw_core::scoring::Score;
+use sw_core::transcript::{EditOp, Transcript};
+
+/// A run of consecutive gaps.
+///
+/// `(i, j)` is the DP node where the run starts (prefix lengths already
+/// consumed) and `len` the number of gap columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapRun {
+    /// `S0` prefix consumed when the run opens.
+    pub i: usize,
+    /// `S1` prefix consumed when the run opens.
+    pub j: usize,
+    /// Number of consecutive gaps.
+    pub len: usize,
+}
+
+/// Errors decoding a binary alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Truncated input.
+    Truncated,
+    /// The gap lists do not describe a valid monotone path from `start`
+    /// to `end` (corrupt or crafted file).
+    Inconsistent,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a CUDAlign binary alignment (bad magic)"),
+            DecodeError::Truncated => write!(f, "truncated binary alignment"),
+            DecodeError::Inconsistent => {
+                write!(f, "binary alignment is internally inconsistent (corrupt file?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"CAL2";
+
+/// The compact alignment produced by Stage 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryAlignment {
+    /// Start node `(i_0, j_0)`.
+    pub start: (usize, usize),
+    /// End node `(i_1, j_1)`.
+    pub end: (usize, usize),
+    /// Optimal score.
+    pub score: Score,
+    /// Gap runs in `S0` (type 1: columns consuming `S1` only).
+    pub gaps_s0: Vec<GapRun>,
+    /// Gap runs in `S1` (type 2: columns consuming `S0` only).
+    pub gaps_s1: Vec<GapRun>,
+}
+
+impl BinaryAlignment {
+    /// Build from a transcript anchored at `start`.
+    pub fn from_transcript(
+        start: (usize, usize),
+        score: Score,
+        transcript: &Transcript,
+    ) -> Self {
+        let (mut i, mut j) = start;
+        let mut gaps_s0 = Vec::new();
+        let mut gaps_s1 = Vec::new();
+        let mut run: Option<(EditOp, GapRun)> = None;
+        for &op in transcript.ops() {
+            match op {
+                EditOp::Match | EditOp::Mismatch => {
+                    if let Some((kind, r)) = run.take() {
+                        if kind == EditOp::GapS0 {
+                            gaps_s0.push(r);
+                        } else {
+                            gaps_s1.push(r);
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                EditOp::GapS0 | EditOp::GapS1 => {
+                    match &mut run {
+                        Some((kind, r)) if *kind == op => r.len += 1,
+                        _ => {
+                            if let Some((kind, r)) = run.take() {
+                                if kind == EditOp::GapS0 {
+                                    gaps_s0.push(r);
+                                } else {
+                                    gaps_s1.push(r);
+                                }
+                            }
+                            run = Some((op, GapRun { i, j, len: 1 }));
+                        }
+                    }
+                    if op == EditOp::GapS0 {
+                        j += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if let Some((kind, r)) = run.take() {
+            if kind == EditOp::GapS0 {
+                gaps_s0.push(r);
+            } else {
+                gaps_s1.push(r);
+            }
+        }
+        BinaryAlignment { start, end: (i, j), score, gaps_s0, gaps_s1 }
+    }
+
+    /// Reconstruct the transcript (Stage 6). Diagonal columns are
+    /// classified as match/mismatch from the sequences.
+    pub fn to_transcript(&self, s0: &[u8], s1: &[u8]) -> Transcript {
+        let (mut i, mut j) = self.start;
+        let mut ops = Vec::new();
+        let mut g0 = self.gaps_s0.iter().peekable();
+        let mut g1 = self.gaps_s1.iter().peekable();
+        loop {
+            // The next gap run is whichever list opens first along the path.
+            let next = match (g0.peek(), g1.peek()) {
+                (Some(a), Some(b)) => {
+                    if (a.i, a.j) <= (b.i, b.j) {
+                        Some((EditOp::GapS0, **a))
+                    } else {
+                        Some((EditOp::GapS1, **b))
+                    }
+                }
+                (Some(a), None) => Some((EditOp::GapS0, **a)),
+                (None, Some(b)) => Some((EditOp::GapS1, **b)),
+                (None, None) => None,
+            };
+            let (diag_until_i, diag_until_j) = match &next {
+                Some((_, r)) => (r.i, r.j),
+                None => self.end,
+            };
+            debug_assert_eq!(diag_until_i - i, diag_until_j - j, "gap runs inconsistent");
+            while i < diag_until_i {
+                ops.push(if s0[i] == s1[j] { EditOp::Match } else { EditOp::Mismatch });
+                i += 1;
+                j += 1;
+            }
+            match next {
+                None => break,
+                Some((op, r)) => {
+                    for _ in 0..r.len {
+                        ops.push(op);
+                    }
+                    if op == EditOp::GapS0 {
+                        j += r.len;
+                        g0.next();
+                    } else {
+                        i += r.len;
+                        g1.next();
+                    }
+                }
+            }
+        }
+        debug_assert_eq!((i, j), self.end);
+        Transcript::from_ops(ops)
+    }
+
+    /// Total gap columns.
+    pub fn gap_columns(&self) -> usize {
+        self.gaps_s0.iter().chain(&self.gaps_s1).map(|r| r.len).sum()
+    }
+
+    /// Alignment length in columns.
+    pub fn columns(&self) -> usize {
+        // diagonal columns + gap columns; diagonals = consumed S0 minus
+        // S1-gaps... simplest via both axes:
+        let s0_consumed = self.end.0 - self.start.0;
+        let s1_gaps: usize = self.gaps_s1.iter().map(|r| r.len).sum();
+        let diag = s0_consumed - s1_gaps;
+        diag + self.gap_columns()
+    }
+
+    /// Serialize (little-endian, fixed width).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            4 + 8 * 4 + 4 + 8 * 2 + (self.gaps_s0.len() + self.gaps_s1.len()) * 24,
+        );
+        out.extend_from_slice(MAGIC);
+        for v in [self.start.0, self.start.1, self.end.0, self.end.1] {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&self.score.to_le_bytes());
+        out.extend_from_slice(&(self.gaps_s0.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.gaps_s1.len() as u64).to_le_bytes());
+        for r in self.gaps_s0.iter().chain(&self.gaps_s1) {
+            out.extend_from_slice(&(r.i as u64).to_le_bytes());
+            out.extend_from_slice(&(r.j as u64).to_le_bytes());
+            out.extend_from_slice(&(r.len as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+            if *pos + n > bytes.len() {
+                return Err(DecodeError::Truncated);
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let u64_at = |pos: &mut usize| -> Result<u64, DecodeError> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+        };
+        let s0 = u64_at(&mut pos)? as usize;
+        let s1 = u64_at(&mut pos)? as usize;
+        let e0 = u64_at(&mut pos)? as usize;
+        let e1 = u64_at(&mut pos)? as usize;
+        let score = Score::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let n0 = u64_at(&mut pos)? as usize;
+        let n1 = u64_at(&mut pos)? as usize;
+        // Validate counts against the remaining payload before allocating:
+        // corrupt headers must fail cleanly, not abort on allocation.
+        let remaining_runs = (bytes.len() - pos) / 24;
+        if n0.checked_add(n1).is_none_or(|total| total > remaining_runs) {
+            return Err(DecodeError::Truncated);
+        }
+        let read_runs = |pos: &mut usize, n: usize| -> Result<Vec<GapRun>, DecodeError> {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
+                let j = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
+                let len = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
+                v.push(GapRun { i, j, len });
+            }
+            Ok(v)
+        };
+        let gaps_s0 = read_runs(&mut pos, n0)?;
+        let gaps_s1 = read_runs(&mut pos, n1)?;
+        let decoded = BinaryAlignment { start: (s0, s1), end: (e0, e1), score, gaps_s0, gaps_s1 };
+        decoded.check_consistent()?;
+        Ok(decoded)
+    }
+
+    /// Verify the gap lists describe a single monotone path from `start`
+    /// to `end`: runs appear in path order, stay inside the span, and the
+    /// implied diagonal segments have matching extents on both axes.
+    /// `to_transcript` and `columns` rely on these invariants.
+    pub fn check_consistent(&self) -> Result<(), DecodeError> {
+        if self.end.0 < self.start.0 || self.end.1 < self.start.1 {
+            return Err(DecodeError::Inconsistent);
+        }
+        // Walk the path exactly as to_transcript does, with checked math.
+        let (mut i, mut j) = self.start;
+        let mut g0 = self.gaps_s0.iter().peekable();
+        let mut g1 = self.gaps_s1.iter().peekable();
+        loop {
+            let next = match (g0.peek(), g1.peek()) {
+                (Some(a), Some(b)) => {
+                    if (a.i, a.j) <= (b.i, b.j) {
+                        Some((true, **a))
+                    } else {
+                        Some((false, **b))
+                    }
+                }
+                (Some(a), None) => Some((true, **a)),
+                (None, Some(b)) => Some((false, **b)),
+                (None, None) => None,
+            };
+            let (ti, tj) = match &next {
+                Some((_, r)) => (r.i, r.j),
+                None => self.end,
+            };
+            // The diagonal segment to the next run must advance both axes
+            // equally and never move backwards.
+            let (Some(di), Some(dj)) = (ti.checked_sub(i), tj.checked_sub(j)) else {
+                return Err(DecodeError::Inconsistent);
+            };
+            if di != dj {
+                return Err(DecodeError::Inconsistent);
+            }
+            match next {
+                None => break,
+                Some((is_s0, r)) => {
+                    if r.len == 0 {
+                        return Err(DecodeError::Inconsistent);
+                    }
+                    if is_s0 {
+                        j = ti
+                            .checked_add(0)
+                            .and_then(|_| tj.checked_add(r.len))
+                            .ok_or(DecodeError::Inconsistent)?;
+                        i = ti;
+                        g0.next();
+                    } else {
+                        i = ti.checked_add(r.len).ok_or(DecodeError::Inconsistent)?;
+                        j = tj;
+                        g1.next();
+                    }
+                    if i > self.end.0 || j > self.end.1 {
+                        return Err(DecodeError::Inconsistent);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_core::transcript::EditOp::*;
+
+    #[test]
+    fn from_transcript_collects_runs() {
+        let t = Transcript::from_ops(vec![Match, Match, GapS1, GapS1, Mismatch, GapS0, Match]);
+        let b = BinaryAlignment::from_transcript((10, 20), 5, &t);
+        assert_eq!(b.start, (10, 20));
+        // consumes 6 chars of S0 (2 M + 2 D + X + M) and 5 of S1.
+        assert_eq!(b.end, (16, 25));
+        assert_eq!(b.gaps_s1, vec![GapRun { i: 12, j: 22, len: 2 }]);
+        assert_eq!(b.gaps_s0, vec![GapRun { i: 15, j: 23, len: 1 }]);
+        assert_eq!(b.gap_columns(), 3);
+        assert_eq!(b.columns(), t.len());
+    }
+
+    #[test]
+    fn transcript_roundtrip() {
+        let s0 = b"ACGTACGTAAGG";
+        let s1 = b"ACGTCGTAAGGA";
+        let t = Transcript::from_ops(vec![
+            Match, Match, Match, Match, GapS1, Match, Match, Match, Match, Match, Match, Match,
+            GapS0,
+        ]);
+        // consumes s0: 4 + 1 + 7 = 12; s1: 4 + 7 + 1 = 12
+        t.validate(s0, s1).unwrap();
+        let b = BinaryAlignment::from_transcript((0, 0), 7, &t);
+        let t2 = b.to_transcript(s0, s1);
+        assert_eq!(t2.ops(), t.ops());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        // A consistent path: diag 2, I x3, diag 95, D x1, diag 100, D x7, diag...
+        let b = BinaryAlignment {
+            start: (3, 9),
+            end: (1000, 1001),
+            score: -42,
+            gaps_s0: vec![GapRun { i: 5, j: 11, len: 3 }],
+            gaps_s1: vec![GapRun { i: 100, j: 109, len: 1 }, GapRun { i: 300, j: 308, len: 7 }],
+        };
+        b.check_consistent().unwrap();
+        let bytes = b.encode();
+        let back = BinaryAlignment::decode(&bytes).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(BinaryAlignment::decode(b"nope"), Err(DecodeError::BadMagic));
+        let b = BinaryAlignment {
+            start: (0, 0),
+            end: (1, 1),
+            score: 1,
+            gaps_s0: vec![],
+            gaps_s1: vec![],
+        };
+        let mut bytes = b.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(BinaryAlignment::decode(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn empty_transcript() {
+        let t = Transcript::new();
+        let b = BinaryAlignment::from_transcript((5, 5), 0, &t);
+        assert_eq!(b.start, b.end);
+        assert_eq!(b.columns(), 0);
+        let t2 = b.to_transcript(b"AAAAA", b"AAAAA");
+        assert!(t2.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod consistency_tests {
+    use super::*;
+
+    #[test]
+    fn decode_rejects_inconsistent_gap_lists() {
+        // Gap run longer than the span.
+        let bad = BinaryAlignment {
+            start: (0, 0),
+            end: (10, 10),
+            score: 1,
+            gaps_s0: vec![],
+            gaps_s1: vec![GapRun { i: 2, j: 2, len: 50 }],
+        };
+        assert_eq!(BinaryAlignment::decode(&bad.encode()), Err(DecodeError::Inconsistent));
+        // Diagonal extents disagree (run placed off the path).
+        let bad2 = BinaryAlignment {
+            start: (0, 0),
+            end: (10, 10),
+            score: 1,
+            gaps_s0: vec![GapRun { i: 3, j: 5, len: 1 }],
+            gaps_s1: vec![],
+        };
+        assert_eq!(BinaryAlignment::decode(&bad2.encode()), Err(DecodeError::Inconsistent));
+        // end before start.
+        let bad3 = BinaryAlignment {
+            start: (5, 5),
+            end: (1, 1),
+            score: 0,
+            gaps_s0: vec![],
+            gaps_s1: vec![],
+        };
+        assert_eq!(BinaryAlignment::decode(&bad3.encode()), Err(DecodeError::Inconsistent));
+        // Zero-length run.
+        let bad4 = BinaryAlignment {
+            start: (0, 0),
+            end: (4, 4),
+            score: 0,
+            gaps_s0: vec![GapRun { i: 2, j: 2, len: 0 }],
+            gaps_s1: vec![],
+        };
+        assert_eq!(BinaryAlignment::decode(&bad4.encode()), Err(DecodeError::Inconsistent));
+        // A consistent one still parses.
+        let good = BinaryAlignment {
+            start: (0, 0),
+            end: (5, 4),
+            score: 2,
+            gaps_s0: vec![],
+            gaps_s1: vec![GapRun { i: 2, j: 2, len: 1 }],
+        };
+        assert!(BinaryAlignment::decode(&good.encode()).is_ok());
+    }
+}

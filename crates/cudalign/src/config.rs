@@ -1,0 +1,162 @@
+//! Pipeline configuration.
+
+use gpu_sim::GridSpec;
+use std::path::PathBuf;
+use sw_core::Scoring;
+
+/// Stage-1 checkpointing policy (crash recovery for long runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Directory holding `stage1.ckpt` (created on demand). With a
+    /// [`SraBackend::Disk`] backend pointing at the same directory,
+    /// completed special rows also survive the crash; with the memory
+    /// backend a resumed run simply has fewer special rows, which the
+    /// pipeline tolerates.
+    pub dir: PathBuf,
+    /// Snapshot every this many external diagonals.
+    pub every_diagonals: usize,
+}
+
+/// Storage backend for the special rows/columns areas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SraBackend {
+    /// Keep special rows/columns in RAM (tests, small runs).
+    Memory,
+    /// Persist them under the given directory, 8 bytes per cell, exactly
+    /// like the paper's disk area. The directory is created on demand;
+    /// files are removed when the area is dropped.
+    Disk(PathBuf),
+}
+
+/// Configuration of a [`crate::Pipeline`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Scoring scheme (defaults to the paper's parameters).
+    pub scoring: Scoring,
+    /// Stage-1 execution configuration (`B_1`, `T_1`, `alpha`).
+    pub grid1: GridSpec,
+    /// Stage-2/3 execution configuration (`B_2 = B_3`, `T_2 = T_3`).
+    pub grid23: GridSpec,
+    /// Budget of the special rows area in bytes (`|SRA|`). Each special
+    /// row costs `8 * (n + 1)` bytes.
+    pub sra_bytes: u64,
+    /// Budget for the special *columns* saved by Stage 2, in bytes.
+    pub sca_bytes: u64,
+    /// Storage backend for both areas.
+    pub backend: SraBackend,
+    /// Stage-4 stops splitting when both dimensions of every partition are
+    /// at most this (the paper uses 16 for the chromosome comparison).
+    pub max_partition_size: usize,
+    /// Worker threads for the wavefront engine and the partition pools
+    /// (`0` = all available cores).
+    pub workers: usize,
+    /// Enable orthogonal execution in Stage 4 (Table IX's `Time_2` vs
+    /// `Time_1`). Stages 2-3 are inherently orthogonal.
+    pub orthogonal_stage4: bool,
+    /// Enable balanced splitting in Stage 4 (split the larger dimension
+    /// instead of always the middle row — Figure 10).
+    pub balanced_split: bool,
+    /// Process Stage-3 partitions in parallel, one single-block engine
+    /// launch per partition (the paper's future work, Section VI: "If
+    /// only one thread block processes each partition, the minimum size
+    /// requirement would not exist"). Off by default — the paper's
+    /// evaluated configuration parallelizes inside each partition.
+    pub parallel_partitions: bool,
+    /// When set, Stage 1 writes engine snapshots to
+    /// `<dir>/stage1.ckpt` and [`crate::Pipeline::align`] resumes from an
+    /// existing, matching snapshot automatically. The file is removed
+    /// when Stage 1 completes.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl PipelineConfig {
+    /// Paper-like defaults scaled to CPU execution: paper scoring, the
+    /// GTX 285 grid shapes, 256 MiB SRA, 64 MiB SCA, memory backend,
+    /// maximum partition size 16.
+    pub fn default_cpu() -> Self {
+        PipelineConfig {
+            scoring: Scoring::paper(),
+            grid1: GridSpec::stage1_gtx285(),
+            grid23: GridSpec::stage23_gtx285(),
+            sra_bytes: 256 << 20,
+            sca_bytes: 64 << 20,
+            backend: SraBackend::Memory,
+            max_partition_size: 16,
+            workers: 0,
+            orthogonal_stage4: true,
+            balanced_split: true,
+            parallel_partitions: false,
+            checkpoint: None,
+        }
+    }
+
+    /// A small configuration for unit tests: tiny blocks so even short
+    /// sequences exercise multi-block wavefronts and several special rows.
+    pub fn for_tests() -> Self {
+        PipelineConfig {
+            scoring: Scoring::paper(),
+            grid1: GridSpec { blocks: 4, threads: 4, alpha: 2 },
+            grid23: GridSpec { blocks: 2, threads: 4, alpha: 2 },
+            sra_bytes: 64 << 10,
+            sca_bytes: 64 << 10,
+            backend: SraBackend::Memory,
+            max_partition_size: 16,
+            workers: 2,
+            orthogonal_stage4: true,
+            balanced_split: true,
+            parallel_partitions: false,
+            checkpoint: None,
+        }
+    }
+
+    /// Set the SRA budget (builder style).
+    pub fn with_sra_bytes(mut self, bytes: u64) -> Self {
+        self.sra_bytes = bytes;
+        self
+    }
+
+    /// Set the worker count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the maximum partition size (builder style).
+    pub fn with_max_partition_size(mut self, size: usize) -> Self {
+        self.max_partition_size = size.max(1);
+        self
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::default_cpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_use_paper_scoring_and_grids() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.scoring, Scoring::paper());
+        assert_eq!(c.grid1.blocks, 240);
+        assert_eq!(c.grid23.blocks, 60);
+        assert_eq!(c.max_partition_size, 16);
+        assert!(c.orthogonal_stage4);
+        assert!(c.balanced_split);
+    }
+
+    #[test]
+    fn builders() {
+        let c = PipelineConfig::for_tests()
+            .with_sra_bytes(1234)
+            .with_workers(3)
+            .with_max_partition_size(0);
+        assert_eq!(c.sra_bytes, 1234);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.max_partition_size, 1, "floored at 1");
+    }
+}

@@ -1,0 +1,248 @@
+//! Crosspoints and partitions (Section IV-A of the paper).
+//!
+//! A *crosspoint* is a coordinate of the optimal alignment where it
+//! crosses a special row or column, annotated with the DP state there
+//! (the paper's `type`) and the absolute forward score at that point.
+//! Successive crosspoints delimit *partitions* — independent alignment
+//! subproblems whose scores telescope to the total.
+
+use sw_core::scoring::Score;
+use sw_core::transcript::EdgeState;
+
+/// One crosspoint `(i, j, score, type)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crosspoint {
+    /// Row coordinate (prefix length of `S0`).
+    pub i: usize,
+    /// Column coordinate (prefix length of `S1`).
+    pub j: usize,
+    /// Forward score of the optimal alignment at this point (`H` value, or
+    /// the `E`/`F` value when the edge is inside a gap run).
+    pub score: Score,
+    /// DP state at this point (the paper's type 0/1/2).
+    pub edge: EdgeState,
+}
+
+impl Crosspoint {
+    /// The alignment's start point: score 0, type 0.
+    pub fn start(i: usize, j: usize) -> Self {
+        Crosspoint { i, j, score: 0, edge: EdgeState::Diagonal }
+    }
+
+    /// An end point with the optimal score, type 0.
+    pub fn end(i: usize, j: usize, score: Score) -> Self {
+        Crosspoint { i, j, score, edge: EdgeState::Diagonal }
+    }
+}
+
+/// A partition: the subproblem between two successive crosspoints.
+///
+/// The partition aligns `S0[start.i .. end.i]` against
+/// `S1[start.j .. end.j]` with edge-typed boundaries; its optimal score is
+/// `end.score - start.score`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Start crosspoint (exclusive coordinate: the partition's subsequences
+    /// begin one past it).
+    pub start: Crosspoint,
+    /// End crosspoint (inclusive coordinate).
+    pub end: Crosspoint,
+}
+
+impl Partition {
+    /// Rows spanned (`end.i - start.i`).
+    pub fn height(&self) -> usize {
+        self.end.i - self.start.i
+    }
+
+    /// Columns spanned (`end.j - start.j`).
+    pub fn width(&self) -> usize {
+        self.end.j - self.start.j
+    }
+
+    /// DP cells of the partition.
+    pub fn cells(&self) -> u64 {
+        self.height() as u64 * self.width() as u64
+    }
+
+    /// The partition's optimal score (`end.score - start.score`).
+    pub fn score(&self) -> Score {
+        self.end.score - self.start.score
+    }
+
+    /// The subsequences this partition aligns.
+    pub fn slices<'a>(&self, s0: &'a [u8], s1: &'a [u8]) -> (&'a [u8], &'a [u8]) {
+        (&s0[self.start.i..self.end.i], &s1[self.start.j..self.end.j])
+    }
+
+    /// True when both dimensions fit within `max` (Stage-4 stop rule).
+    pub fn fits(&self, max: usize) -> bool {
+        self.height() <= max && self.width() <= max
+    }
+}
+
+/// An ordered chain of crosspoints from the alignment's start point to its
+/// end point (the paper's `L_k` lists).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CrosspointChain {
+    points: Vec<Crosspoint>,
+}
+
+impl CrosspointChain {
+    /// Build from an ordered vector.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the chain violates the structural
+    /// invariants checked by [`CrosspointChain::validate`].
+    pub fn new(points: Vec<Crosspoint>) -> Self {
+        let chain = CrosspointChain { points };
+        debug_assert_eq!(chain.validate(), Ok(()), "invalid crosspoint chain");
+        chain
+    }
+
+    /// The crosspoints, start to end.
+    pub fn points(&self) -> &[Crosspoint] {
+        &self.points
+    }
+
+    /// Number of crosspoints (`|L_k|`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The partitions delimited by successive crosspoints.
+    pub fn partitions(&self) -> impl Iterator<Item = Partition> + '_ {
+        self.points.windows(2).map(|w| Partition { start: w[0], end: w[1] })
+    }
+
+    /// Largest partition height (`H_max` of Table VIII); 0 when fewer than
+    /// two crosspoints.
+    pub fn h_max(&self) -> usize {
+        self.partitions().map(|p| p.height()).max().unwrap_or(0)
+    }
+
+    /// Largest partition width (`W_max`).
+    pub fn w_max(&self) -> usize {
+        self.partitions().map(|p| p.width()).max().unwrap_or(0)
+    }
+
+    /// Insert additional crosspoints, keeping the chain ordered. Points
+    /// are merged by `(i, j)` coordinate order; the relative order of the
+    /// inputs must already be consistent with the chain.
+    pub fn insert_between(&mut self, index: usize, points: Vec<Crosspoint>) {
+        // `index` is the partition index: new points go between
+        // self.points[index] and self.points[index + 1].
+        let at = index + 1;
+        self.points.splice(at..at, points);
+        debug_assert_eq!(self.validate(), Ok(()));
+    }
+
+    /// Structural validation:
+    ///
+    /// * coordinates non-decreasing in both axes, strictly increasing in
+    ///   at least one per step,
+    /// * partition scores telescope (`score` strictly consistent),
+    /// * the first point has score 0 and type 0,
+    /// * gap-typed crosspoints are interior (not the chain's ends).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Ok(());
+        }
+        let first = self.points[0];
+        if first.score != 0 || first.edge != EdgeState::Diagonal {
+            return Err(format!("start point must be (score 0, type 0), got {first:?}"));
+        }
+        if let Some(last) = self.points.last() {
+            if last.edge != EdgeState::Diagonal {
+                return Err(format!("end point must have type 0, got {last:?}"));
+            }
+        }
+        for (k, w) in self.points.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            if b.i < a.i || b.j < a.j {
+                return Err(format!("crosspoint {k} -> {} goes backwards: {a:?} -> {b:?}", k + 1));
+            }
+            if b.i == a.i && b.j == a.j {
+                return Err(format!("duplicate crosspoint at index {k}: {a:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(i: usize, j: usize, score: Score) -> Crosspoint {
+        Crosspoint { i, j, score, edge: EdgeState::Diagonal }
+    }
+
+    #[test]
+    fn partition_geometry() {
+        let p = Partition { start: cp(10, 20, 5), end: cp(30, 25, 17) };
+        assert_eq!(p.height(), 20);
+        assert_eq!(p.width(), 5);
+        assert_eq!(p.cells(), 100);
+        assert_eq!(p.score(), 12);
+        assert!(p.fits(20));
+        assert!(!p.fits(19));
+    }
+
+    #[test]
+    fn partition_slices() {
+        let s0 = b"AAACCCGGGTTT";
+        let s1 = b"ACGTACGTACGT";
+        let p = Partition { start: cp(3, 4, 0), end: cp(6, 8, 3) };
+        let (a, b) = p.slices(s0, s1);
+        assert_eq!(a, b"CCC");
+        assert_eq!(b, b"ACGT");
+    }
+
+    #[test]
+    fn chain_partitions_and_extremes() {
+        let chain = CrosspointChain::new(vec![cp(0, 0, 0), cp(10, 4, 6), cp(12, 30, 9)]);
+        let parts: Vec<Partition> = chain.partitions().collect();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(chain.h_max(), 10);
+        assert_eq!(chain.w_max(), 26);
+        let total: Score = parts.iter().map(|p| p.score()).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn chain_validation_rejects_bad_chains() {
+        let bad_start = CrosspointChain { points: vec![cp(0, 0, 1), cp(1, 1, 2)] };
+        assert!(bad_start.validate().is_err());
+        let backwards = CrosspointChain { points: vec![cp(0, 5, 0), cp(1, 3, 2)] };
+        assert!(backwards.validate().is_err());
+        let dup = CrosspointChain { points: vec![cp(0, 0, 0), cp(0, 0, 2)] };
+        assert!(dup.validate().is_err());
+        let gap_end = CrosspointChain {
+            points: vec![cp(0, 0, 0), Crosspoint { i: 3, j: 3, score: 1, edge: EdgeState::GapS1 }],
+        };
+        assert!(gap_end.validate().is_err());
+    }
+
+    #[test]
+    fn insert_between_keeps_order() {
+        let mut chain = CrosspointChain::new(vec![cp(0, 0, 0), cp(20, 20, 10)]);
+        chain.insert_between(0, vec![cp(5, 5, 3), cp(10, 12, 7)]);
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.points()[1], cp(5, 5, 3));
+        assert_eq!(chain.points()[2], cp(10, 12, 7));
+    }
+
+    #[test]
+    fn empty_chain_is_valid() {
+        let chain = CrosspointChain::default();
+        assert!(chain.validate().is_ok());
+        assert_eq!(chain.h_max(), 0);
+        assert!(chain.is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! The six-stage pipeline orchestrator.
+
+use crate::binary::BinaryAlignment;
+use crate::config::PipelineConfig;
+use crate::crosspoint::CrosspointChain;
+use crate::sra::LineStore;
+use crate::stage4::IterationStats;
+use crate::{stage1, stage2, stage3, stage4, stage5};
+use std::time::Instant;
+use sw_core::scoring::Score;
+use sw_core::transcript::Transcript;
+
+/// Pipeline failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// An internal invariant failed (a bug or corrupted store).
+    Internal(String),
+    /// Storage backend failure.
+    Io(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Internal(s) => write!(f, "pipeline error: {s}"),
+            PipelineError::Io(s) => write!(f, "pipeline I/O error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Everything the paper's Tables V, VII and VIII report about one run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Wall-clock seconds per stage (index 0 = Stage 1, ... 4 = Stage 5).
+    pub stage_seconds: [f64; 5],
+    /// DP cells processed by Stages 1-4 (`Cells_k`).
+    pub stage_cells: [u64; 4],
+    /// Stage-5 cells (bounded by partition size x chain length).
+    pub stage5_cells: u64,
+    /// Crosspoints after Stages 1-4 (`|L_k|`).
+    pub crosspoints: [usize; 4],
+    /// Completed special rows.
+    pub special_rows: usize,
+    /// Stage-1 flush interval in block rows.
+    pub flush_interval_blocks: usize,
+    /// Bytes written to the SRA by Stage 1.
+    pub sra_bytes_used: u64,
+    /// Special columns kept for Stage 3.
+    pub special_columns: usize,
+    /// Bytes of special columns kept.
+    pub sca_bytes_used: u64,
+    /// Largest partition height after Stage 3 (`H_max`).
+    pub h_max: usize,
+    /// Largest partition width after Stage 3 (`W_max`).
+    pub w_max: usize,
+    /// Stage-2 strip launches.
+    pub stage2_strips: usize,
+    /// Per-iteration Stage-4 statistics (Table IX).
+    pub stage4_iterations: Vec<IterationStats>,
+    /// Estimated bus memory per GPU stage (`VRAM_k`, Stages 1-3).
+    pub vram_bytes: [u64; 3],
+    /// Effective block counts per GPU stage (`B_k` after the minimum-size
+    /// requirement; Stage 1 for the full width, Stages 2-3 the minimum
+    /// across strips/bands).
+    pub effective_blocks: [usize; 3],
+    /// Size of the binary alignment representation.
+    pub binary_bytes: usize,
+    /// External diagonal Stage 1 resumed from (0 = fresh run).
+    pub resumed_from_diagonal: usize,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+}
+
+impl PipelineStats {
+    /// Total cells across all stages.
+    pub fn total_cells(&self) -> u64 {
+        self.stage_cells.iter().sum::<u64>() + self.stage5_cells
+    }
+}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The optimal local score (0 = no positive-scoring alignment; all
+    /// other fields are then empty/zero).
+    pub best_score: Score,
+    /// Alignment start node.
+    pub start: (usize, usize),
+    /// Alignment end node.
+    pub end: (usize, usize),
+    /// The full optimal alignment.
+    pub transcript: Transcript,
+    /// Compact binary form (Stage 5 output).
+    pub binary: BinaryAlignment,
+    /// The final crosspoint chain.
+    pub chain: CrosspointChain,
+    /// Run statistics.
+    pub stats: PipelineStats,
+}
+
+/// The CUDAlign 2.0 pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Pipeline { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Align `s0` against `s1`, returning the full optimal local
+    /// alignment in linear memory.
+    pub fn align(&self, s0: &[u8], s1: &[u8]) -> Result<PipelineResult, PipelineError> {
+        let cfg = &self.cfg;
+        let t_total = Instant::now();
+        let mut stats = PipelineStats::default();
+
+        // With a checkpoint policy, a matching snapshot from a previous
+        // (crashed) run resumes Stage 1 mid-matrix; completed special rows
+        // are reopened when the backend is disk-based and in-flight row
+        // segments are restored from the combined snapshot.
+        let resume = cfg.checkpoint.as_ref().and_then(|ck| {
+            let bytes = std::fs::read(ck.dir.join("stage1.ckpt")).ok()?;
+            stage1::decode_checkpoint(&bytes)
+        });
+        let resuming = resume.is_some();
+        let (resume_state, resume_partials) = match resume {
+            Some((st, p)) => (Some(st), Some(p)),
+            None => (None, None),
+        };
+
+        let mut rows: LineStore<gpu_sim::CellHF> = if resuming {
+            LineStore::reopen(&cfg.backend, cfg.sra_bytes, "special-row")
+                .map_err(|e| PipelineError::Io(e.to_string()))?
+        } else {
+            LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row")
+                .map_err(|e| PipelineError::Io(e.to_string()))?
+        };
+        if let Some(p) = resume_partials {
+            if !rows.restore_partials(&p) {
+                return Err(PipelineError::Io("corrupt stage-1 checkpoint partials".into()));
+            }
+        }
+        let mut cols: LineStore<gpu_sim::CellHE> =
+            LineStore::new(&cfg.backend, cfg.sca_bytes, "special-col")
+                .map_err(|e| PipelineError::Io(e.to_string()))?;
+
+        // Stage 1: best score, end point, special rows.
+        let t = Instant::now();
+        let s1r = match &cfg.checkpoint {
+            None => stage1::run(s0, s1, cfg, &mut rows),
+            Some(ck) => {
+                std::fs::create_dir_all(&ck.dir).map_err(|e| PipelineError::Io(e.to_string()))?;
+                let r = stage1::run_resumable(
+                    s0,
+                    s1,
+                    cfg,
+                    &mut rows,
+                    resume_state,
+                    Some((ck.dir.as_path(), ck.every_diagonals)),
+                );
+                let _ = std::fs::remove_file(ck.dir.join("stage1.ckpt"));
+                r
+            }
+        };
+        stats.stage_seconds[0] = t.elapsed().as_secs_f64();
+        stats.stage_cells[0] = s1r.cells;
+        stats.resumed_from_diagonal = s1r.resumed_from_diagonal;
+        stats.crosspoints[0] = 1;
+        stats.special_rows = s1r.special_rows.len();
+        stats.flush_interval_blocks = s1r.flush_interval_blocks;
+        stats.sra_bytes_used = s1r.flushed_bytes;
+        stats.vram_bytes[0] = s1r.vram_bytes;
+        stats.effective_blocks[0] = cfg.grid1.effective_blocks(s1.len());
+
+        if s1r.best_score <= 0 {
+            stats.total_seconds = t_total.elapsed().as_secs_f64();
+            return Ok(PipelineResult {
+                best_score: 0,
+                start: (0, 0),
+                end: (0, 0),
+                transcript: Transcript::new(),
+                binary: BinaryAlignment {
+                    start: (0, 0),
+                    end: (0, 0),
+                    score: 0,
+                    gaps_s0: Vec::new(),
+                    gaps_s1: Vec::new(),
+                },
+                chain: CrosspointChain::default(),
+                stats,
+            });
+        }
+
+        // Stage 2: partial traceback over special rows.
+        let t = Instant::now();
+        let s2r = stage2::run(s0, s1, cfg, s1r.best_score, s1r.end, &rows, &mut cols)
+            .map_err(PipelineError::Internal)?;
+        stats.stage_seconds[1] = t.elapsed().as_secs_f64();
+        stats.stage_cells[1] = s2r.cells;
+        stats.crosspoints[1] = s2r.chain.len();
+        stats.special_columns = s2r.special_columns.len();
+        stats.sca_bytes_used = s2r.col_flushed_bytes;
+        stats.stage2_strips = s2r.strips;
+        stats.vram_bytes[1] = s2r.vram_bytes;
+        stats.effective_blocks[1] = s2r.min_blocks;
+
+        // Stage 3: split partitions on special columns.
+        let t = Instant::now();
+        let s3r = stage3::run(s0, s1, cfg, &s2r.chain, &cols).map_err(PipelineError::Internal)?;
+        stats.stage_seconds[2] = t.elapsed().as_secs_f64();
+        stats.stage_cells[2] = s3r.cells;
+        stats.crosspoints[2] = s3r.chain.len();
+        stats.h_max = s3r.chain.h_max();
+        stats.w_max = s3r.chain.w_max();
+        stats.vram_bytes[2] = s3r.vram_bytes;
+        stats.effective_blocks[2] = s3r.min_blocks;
+
+        // Stage 4: Myers-Miller until partitions fit.
+        let t = Instant::now();
+        let s4r = stage4::run(s0, s1, cfg, &s3r.chain).map_err(PipelineError::Internal)?;
+        stats.stage_seconds[3] = t.elapsed().as_secs_f64();
+        stats.stage_cells[3] = s4r.cells;
+        stats.crosspoints[3] = s4r.chain.len();
+        stats.stage4_iterations = s4r.iterations.clone();
+
+        // Stage 5: solve and concatenate.
+        let t = Instant::now();
+        let s5r = stage5::run(s0, s1, cfg, &s4r.chain).map_err(PipelineError::Internal)?;
+        stats.stage_seconds[4] = t.elapsed().as_secs_f64();
+        stats.stage5_cells = s5r.cells;
+        stats.binary_bytes = s5r.binary.encode().len();
+        stats.total_seconds = t_total.elapsed().as_secs_f64();
+
+        let start = s5r.binary.start;
+        let end = s5r.binary.end;
+        debug_assert_eq!(end, s1r.end, "stage 5 must end at the stage-1 endpoint");
+
+        Ok(PipelineResult {
+            best_score: s1r.best_score,
+            start,
+            end,
+            transcript: s5r.transcript,
+            binary: s5r.binary,
+            chain: s4r.chain,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SraBackend;
+    use sw_core::full::sw_local_score;
+    use sw_core::Scoring;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    fn related(seed: u64, len: usize) -> (Vec<u8>, Vec<u8>) {
+        let a = lcg(seed, len);
+        let mut b = a.clone();
+        for i in (5..b.len()).step_by(29) {
+            b[i] = b"ACGT"[(i / 29) % 4];
+        }
+        b.drain(len / 3..len / 3 + 6);
+        let at = b.len() / 2;
+        for (off, ch) in [b'T', b'T', b'G', b'G'].iter().enumerate() {
+            b.insert(at + off, *ch);
+        }
+        (a, b)
+    }
+
+    fn check_full_run(a: &[u8], b: &[u8], cfg: PipelineConfig) -> PipelineResult {
+        let res = Pipeline::new(cfg).align(a, b).unwrap();
+        let (ref_score, ref_end) = sw_local_score(a, b, &Scoring::paper());
+        assert_eq!(res.best_score, ref_score, "score mismatch");
+        if ref_score > 0 {
+            assert_eq!(res.end, ref_end, "endpoint mismatch");
+            let sub_a = &a[res.start.0..res.end.0];
+            let sub_b = &b[res.start.1..res.end.1];
+            res.transcript.validate(sub_a, sub_b).unwrap();
+            assert_eq!(
+                res.transcript.score(sub_a, sub_b, &Scoring::paper()),
+                ref_score,
+                "transcript must rescore to the optimum"
+            );
+        }
+        res
+    }
+
+    #[test]
+    fn end_to_end_related_pair() {
+        let (a, b) = related(1, 500);
+        let res = check_full_run(&a, &b, PipelineConfig::for_tests());
+        assert!(res.stats.special_rows > 0);
+        assert!(res.stats.crosspoints[1] >= 2);
+        assert!(res.stats.crosspoints[3] >= res.stats.crosspoints[2]);
+        assert!(res.stats.total_cells() > 0);
+    }
+
+    #[test]
+    fn end_to_end_identical() {
+        let a = lcg(2, 300);
+        let res = check_full_run(&a, &a, PipelineConfig::for_tests());
+        assert_eq!(res.best_score, 300);
+        assert_eq!(res.transcript.cigar(), "300=");
+    }
+
+    #[test]
+    fn end_to_end_unrelated_small_alignment() {
+        let a = lcg(3, 250);
+        let b = lcg(77, 250);
+        check_full_run(&a, &b, PipelineConfig::for_tests());
+    }
+
+    #[test]
+    fn end_to_end_empty_and_degenerate() {
+        let res = Pipeline::new(PipelineConfig::for_tests()).align(b"", b"").unwrap();
+        assert_eq!(res.best_score, 0);
+        assert!(res.transcript.is_empty());
+        let res2 = Pipeline::new(PipelineConfig::for_tests()).align(b"ACGT", b"").unwrap();
+        assert_eq!(res2.best_score, 0);
+    }
+
+    #[test]
+    fn end_to_end_disk_backend() {
+        let (a, b) = related(4, 300);
+        let dir = std::env::temp_dir().join(format!("cudalign-e2e-{}", std::process::id()));
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.backend = SraBackend::Disk(dir.clone());
+        check_full_run(&a, &b, cfg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sra_budget_tradeoff_smaller_budget_more_stage2_cells() {
+        let (a, b) = related(5, 600);
+        let mut cfg_big = PipelineConfig::for_tests();
+        cfg_big.sra_bytes = 1 << 20;
+        let big = check_full_run(&a, &b, cfg_big);
+        let mut cfg_small = PipelineConfig::for_tests();
+        cfg_small.sra_bytes = 8 * (b.len() as u64 + 1); // exactly one row
+        let small = check_full_run(&a, &b, cfg_small);
+        assert!(big.stats.special_rows > small.stats.special_rows);
+        assert!(
+            small.stats.stage_cells[1] >= big.stats.stage_cells[1],
+            "fewer special rows must not shrink the stage-2 area (small {} vs big {})",
+            small.stats.stage_cells[1],
+            big.stats.stage_cells[1]
+        );
+    }
+
+    #[test]
+    fn long_gap_sequences() {
+        // A large deletion creates a long vertical gap run crossing
+        // several special rows.
+        let a = lcg(6, 400);
+        let mut b = a.clone();
+        b.drain(120..280);
+        check_full_run(&a, &b, PipelineConfig::for_tests());
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::config::{CheckpointPolicy, SraBackend};
+    use sw_core::full::sw_local_score;
+    use sw_core::Scoring;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    /// A planted snapshot from a "crashed" run must be picked up
+    /// automatically and removed after Stage 1 completes; the resumed run
+    /// still produces the full optimal alignment.
+    #[test]
+    fn pipeline_resumes_from_planted_checkpoint() {
+        let a = lcg(51, 400);
+        let mut b = a.clone();
+        for i in (5..b.len()).step_by(17) {
+            b[i] = b"ACGT"[(i / 17) % 4];
+        }
+        let dir = std::env::temp_dir().join(format!("cudalign-pipe-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.backend = SraBackend::Disk(dir.clone());
+        cfg.checkpoint =
+            Some(CheckpointPolicy { dir: dir.clone(), every_diagonals: 9 });
+
+        // "Crashed" run: the observer writes combined snapshots itself;
+        // the last one survives as stage1.ckpt alongside the row files.
+        {
+            let mut rows =
+                LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row").unwrap();
+            let _ = stage1::run_resumable(
+                &a,
+                &b,
+                &cfg,
+                &mut rows,
+                None,
+                Some((dir.as_path(), 9)),
+            );
+            assert!(dir.join("stage1.ckpt").exists(), "snapshot persisted during the run");
+            std::mem::forget(rows); // simulate the crash: files stay behind
+        }
+
+        let res = Pipeline::new(cfg).align(&a, &b).unwrap();
+        let (ref_score, ref_end) = sw_local_score(&a, &b, &Scoring::paper());
+        assert_eq!(res.best_score, ref_score);
+        assert_eq!(res.end, ref_end);
+        res.transcript
+            .validate(&a[res.start.0..res.end.0], &b[res.start.1..res.end.1])
+            .unwrap();
+        assert!(
+            !dir.join("stage1.ckpt").exists(),
+            "snapshot must be cleared after a completed stage 1"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Without a planted snapshot the checkpoint policy is transparent.
+    #[test]
+    fn checkpointing_does_not_change_results() {
+        let a = lcg(52, 300);
+        let b = lcg(53, 300);
+        let plain = Pipeline::new(PipelineConfig::for_tests()).align(&a, &b).unwrap();
+        let dir = std::env::temp_dir().join(format!("cudalign-ckpt2-{}", std::process::id()));
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.checkpoint = Some(CheckpointPolicy { dir: dir.clone(), every_diagonals: 5 });
+        let ck = Pipeline::new(cfg).align(&a, &b).unwrap();
+        assert_eq!(plain.best_score, ck.best_score);
+        assert_eq!(plain.transcript.ops(), ck.transcript.ops());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

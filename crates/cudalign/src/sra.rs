@@ -1,0 +1,564 @@
+//! The Special Rows Area (SRA) and its column twin.
+//!
+//! Stage 1 flushes selected DP rows (`H`/`F` per cell, 8 bytes) to a
+//! budgeted storage area; Stage 2 reads them back for its matching
+//! procedure and writes special *columns* (`H`/`E`) the same way for
+//! Stage 3. [`LineStore`] implements both, with a RAM backend for tests
+//! and a disk backend that mirrors the paper's on-disk area.
+//!
+//! Lines are written in *segments* as the wavefront's blocks complete
+//! (the "shifted bus" of Figure 5: a special row is scattered across the
+//! blocks of an external diagonal and becomes whole only after several
+//! diagonals); a line becomes readable once every cell has arrived.
+
+use crate::config::SraBackend;
+use gpu_sim::{CellHE, CellHF};
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use sw_core::scoring::Score;
+
+/// Bytes per stored cell (two 4-byte values — the paper's layout).
+pub const CELL_BYTES: u64 = 8;
+
+/// A bus cell that can be stored in a [`LineStore`].
+pub trait BusCell: Copy + Send + 'static {
+    /// Encode into 8 little-endian bytes.
+    fn encode(self) -> [u8; 8];
+    /// Decode from 8 little-endian bytes.
+    fn decode(bytes: [u8; 8]) -> Self;
+}
+
+impl BusCell for CellHF {
+    fn encode(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.h.to_le_bytes());
+        out[4..].copy_from_slice(&self.f.to_le_bytes());
+        out
+    }
+    fn decode(b: [u8; 8]) -> Self {
+        CellHF {
+            h: Score::from_le_bytes(b[..4].try_into().unwrap()),
+            f: Score::from_le_bytes(b[4..].try_into().unwrap()),
+        }
+    }
+}
+
+impl BusCell for CellHE {
+    fn encode(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.h.to_le_bytes());
+        out[4..].copy_from_slice(&self.e.to_le_bytes());
+        out
+    }
+    fn decode(b: [u8; 8]) -> Self {
+        CellHE {
+            h: Score::from_le_bytes(b[..4].try_into().unwrap()),
+            e: Score::from_le_bytes(b[4..].try_into().unwrap()),
+        }
+    }
+}
+
+/// The paper's flush interval: the number of block rows between special
+/// rows must be at least `ceil(8 m n / (alpha T |SRA|))` so the area never
+/// overflows (Section IV-B). Returns `max(1, ...)`.
+pub fn flush_interval(m: usize, n: usize, block_height: usize, sra_bytes: u64) -> usize {
+    if sra_bytes == 0 {
+        return usize::MAX;
+    }
+    let numer = (CELL_BYTES as u128) * (m as u128) * (n as u128);
+    let denom = (block_height as u128) * (sra_bytes as u128);
+    let interval = numer.div_ceil(denom.max(1));
+    (interval.min(usize::MAX as u128) as usize).max(1)
+}
+
+enum Stored<T> {
+    Memory(Vec<T>),
+    Disk(PathBuf),
+}
+
+struct Line<T> {
+    origin: usize,
+    len: usize,
+    data: Stored<T>,
+}
+
+struct Partial<T> {
+    origin: usize,
+    filled: usize,
+    cells: Vec<Option<T>>,
+}
+
+/// A budgeted store of special lines (rows or columns).
+pub struct LineStore<T: BusCell> {
+    budget: u64,
+    used: u64,
+    dir: Option<PathBuf>,
+    prefix: &'static str,
+    lines: BTreeMap<usize, Line<T>>,
+    partial: HashMap<usize, Partial<T>>,
+}
+
+impl<T: BusCell> LineStore<T> {
+    /// Create a store with the given budget. `prefix` names disk files
+    /// (`<prefix>-<index>.bin`).
+    pub fn new(backend: &SraBackend, budget: u64, prefix: &'static str) -> std::io::Result<Self> {
+        let dir = match backend {
+            SraBackend::Memory => None,
+            SraBackend::Disk(d) => {
+                fs::create_dir_all(d)?;
+                Some(d.clone())
+            }
+        };
+        Ok(LineStore { budget, used: 0, dir, prefix, lines: BTreeMap::new(), partial: HashMap::new() })
+    }
+
+    /// Begin accepting segments for line `index`, covering coordinates
+    /// `origin .. origin + len`. Returns `false` (and tracks nothing) when
+    /// the line would exceed the budget.
+    pub fn try_begin_line(&mut self, index: usize, origin: usize, len: usize) -> bool {
+        let bytes = CELL_BYTES * len as u64;
+        if self.used + bytes > self.budget {
+            return false;
+        }
+        if self.lines.contains_key(&index) || self.partial.contains_key(&index) {
+            return false;
+        }
+        self.used += bytes;
+        self.partial.insert(index, Partial { origin, filled: 0, cells: vec![None; len] });
+        true
+    }
+
+    /// Store a segment of line `index` starting at absolute coordinate
+    /// `at`. Segments for untracked lines are ignored (returns `false`).
+    /// Returns `true` when this segment completed the line.
+    pub fn put_segment(&mut self, index: usize, at: usize, cells: impl Iterator<Item = T>) -> bool {
+        let Some(p) = self.partial.get_mut(&index) else {
+            return false;
+        };
+        // Out-of-range segments (possible via a corrupted restored
+        // checkpoint) are rejected rather than panicking mid-resume.
+        let Some(base) = at.checked_sub(p.origin) else {
+            return false;
+        };
+        for (k, cell) in cells.enumerate() {
+            let Some(slot) = p.cells.get_mut(base + k) else {
+                return false;
+            };
+            if slot.is_none() {
+                p.filled += 1;
+            }
+            *slot = Some(cell);
+        }
+        if p.filled == p.cells.len() {
+            let p = self.partial.remove(&index).expect("just present");
+            let origin = p.origin;
+            let len = p.cells.len();
+            let data: Vec<T> = p.cells.into_iter().map(|c| c.expect("filled")).collect();
+            let stored = match &self.dir {
+                None => Stored::Memory(data),
+                Some(dir) => {
+                    let path = dir.join(format!("{}-{index}-{origin}.bin", self.prefix));
+                    let mut buf = Vec::with_capacity(data.len() * CELL_BYTES as usize);
+                    for c in &data {
+                        buf.extend_from_slice(&c.encode());
+                    }
+                    let mut f = fs::File::create(&path).expect("create special line file");
+                    f.write_all(&buf).expect("write special line");
+                    Stored::Disk(path)
+                }
+            };
+            self.lines.insert(index, Line { origin, len, data: stored });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completed line indices, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        self.lines.keys().copied().collect()
+    }
+
+    /// The greatest completed line strictly below `index`.
+    pub fn previous_line(&self, index: usize) -> Option<usize> {
+        self.lines.range(..index).next_back().map(|(k, _)| *k)
+    }
+
+    /// Completed line indices within `(lo, hi)` exclusive.
+    pub fn lines_between(&self, lo: usize, hi: usize) -> Vec<usize> {
+        if hi <= lo + 1 {
+            return Vec::new();
+        }
+        self.lines.range(lo + 1..hi).map(|(k, _)| *k).collect()
+    }
+
+    /// Read a completed line: `(origin, cells)`.
+    pub fn get(&self, index: usize) -> Option<(usize, Vec<T>)> {
+        let line = self.lines.get(&index)?;
+        let cells = match &line.data {
+            Stored::Memory(v) => v.clone(),
+            Stored::Disk(path) => {
+                let mut buf = Vec::new();
+                fs::File::open(path)
+                    .and_then(|mut f| f.read_to_end(&mut buf))
+                    .expect("read special line");
+                assert_eq!(buf.len(), line.len * CELL_BYTES as usize, "truncated line file");
+                buf.chunks_exact(8).map(|c| T::decode(c.try_into().unwrap())).collect()
+            }
+        };
+        Some((line.origin, cells))
+    }
+
+    /// Serialize the in-flight (incomplete) lines — the state a Stage-1
+    /// checkpoint must carry so a crash does not lose the special rows
+    /// whose segments were mid-assembly (with `B` block columns, a row's
+    /// segments span `B` external diagonals — the paper's Figure 5).
+    ///
+    /// Segment application is idempotent, so a partial snapshot taken at
+    /// any diagonal composes correctly with an engine snapshot taken at a
+    /// nearby one.
+    pub fn encode_partials(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SRAP");
+        out.extend_from_slice(&(self.partial.len() as u64).to_le_bytes());
+        let mut keys: Vec<&usize> = self.partial.keys().collect();
+        keys.sort();
+        for &index in keys {
+            let p = &self.partial[&index];
+            out.extend_from_slice(&(index as u64).to_le_bytes());
+            out.extend_from_slice(&(p.origin as u64).to_le_bytes());
+            out.extend_from_slice(&(p.cells.len() as u64).to_le_bytes());
+            for cell in &p.cells {
+                match cell {
+                    None => out.push(0),
+                    Some(c) => {
+                        out.push(1);
+                        out.extend_from_slice(&c.encode());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Restore in-flight lines from [`LineStore::encode_partials`] output.
+    /// Lines already completed (or tracked) in this store are skipped;
+    /// budget accounting is preserved. Returns `false` on malformed input.
+    #[must_use]
+    pub fn restore_partials(&mut self, bytes: &[u8]) -> bool {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, k: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + k)?;
+            *pos += k;
+            Some(s)
+        };
+        let Some(magic) = take(&mut pos, 4) else { return false };
+        if magic != b"SRAP" {
+            return false;
+        }
+        let Some(nb) = take(&mut pos, 8) else { return false };
+        let n = u64::from_le_bytes(nb.try_into().unwrap()) as usize;
+        for _ in 0..n {
+            let (Some(ib), Some(ob), Some(lb)) = (take(&mut pos, 8), take(&mut pos, 8), take(&mut pos, 8)) else {
+                return false;
+            };
+            let index = u64::from_le_bytes(ib.try_into().unwrap()) as usize;
+            let origin = u64::from_le_bytes(ob.try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(lb.try_into().unwrap()) as usize;
+            if bytes.len().saturating_sub(pos) < len {
+                return false; // at least 1 byte per cell must remain
+            }
+            let mut cells: Vec<Option<T>> = Vec::with_capacity(len);
+            let mut filled = 0usize;
+            for _ in 0..len {
+                let Some(tag) = take(&mut pos, 1) else { return false };
+                if tag[0] == 0 {
+                    cells.push(None);
+                } else {
+                    let Some(cb) = take(&mut pos, 8) else { return false };
+                    cells.push(Some(T::decode(cb.try_into().unwrap())));
+                    filled += 1;
+                }
+            }
+            if self.lines.contains_key(&index) || self.partial.contains_key(&index) {
+                continue;
+            }
+            let cost = CELL_BYTES * len as u64;
+            if self.used + cost > self.budget {
+                continue;
+            }
+            self.used += cost;
+            self.partial.insert(index, Partial { origin, filled, cells });
+        }
+        true
+    }
+
+    /// Abandon all incomplete lines, refunding their budget. Stage 2 calls
+    /// this after each strip aborts early (goal found): partially filled
+    /// columns past the abort point will never complete.
+    pub fn abort_partials(&mut self) {
+        for (_, p) in self.partial.drain() {
+            self.used -= CELL_BYTES * p.cells.len() as u64;
+        }
+    }
+
+    /// Drop a completed line, freeing its budget.
+    pub fn remove(&mut self, index: usize) {
+        if let Some(line) = self.lines.remove(&index) {
+            self.used -= CELL_BYTES * line.len as u64;
+            if let Stored::Disk(path) = line.data {
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+
+    /// Rebuild a disk-backed store's index from the files a previous run
+    /// left behind (crash-recovery for Stage 1's special rows). Files are
+    /// named `<prefix>-<index>-<origin>.bin`; unparsable names are
+    /// ignored. Completed lines beyond the budget are dropped (and their
+    /// files deleted), smallest index first.
+    pub fn reopen(backend: &SraBackend, budget: u64, prefix: &'static str) -> std::io::Result<Self> {
+        let mut store = Self::new(backend, budget, prefix)?;
+        let Some(dir) = store.dir.clone() else {
+            return Ok(store);
+        };
+        let mut found: Vec<(usize, usize, PathBuf, u64)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&format!("{prefix}-")) else { continue };
+            let Some(rest) = rest.strip_suffix(".bin") else { continue };
+            let Some((idx, origin)) = rest.split_once('-') else { continue };
+            let (Ok(idx), Ok(origin)) = (idx.parse::<usize>(), origin.parse::<usize>()) else {
+                continue;
+            };
+            let len_bytes = entry.metadata()?.len();
+            if len_bytes % CELL_BYTES != 0 {
+                continue; // truncated write: discard
+            }
+            found.push((idx, origin, entry.path(), len_bytes));
+        }
+        found.sort();
+        for (idx, origin, path, len_bytes) in found {
+            if store.used + len_bytes > budget {
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            store.used += len_bytes;
+            store.lines.insert(
+                idx,
+                Line { origin, len: (len_bytes / CELL_BYTES) as usize, data: Stored::Disk(path) },
+            );
+        }
+        Ok(store)
+    }
+
+    /// Bytes currently accounted against the budget.
+    pub fn bytes_used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Number of completed lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when no line has been completed.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+impl<T: BusCell> Drop for LineStore<T> {
+    fn drop(&mut self) {
+        if self.dir.is_some() {
+            let indices: Vec<usize> = self.lines.keys().copied().collect();
+            for i in indices {
+                self.remove(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_core::scoring::NEG_INF;
+
+    fn hf(h: Score) -> CellHF {
+        CellHF { h, f: h - 7 }
+    }
+
+    #[test]
+    fn flush_interval_matches_paper_formula() {
+        // 8 m n / (alpha T |SRA|), rounded up.
+        assert_eq!(flush_interval(1000, 1000, 100, 8_000_000), 1);
+        assert_eq!(flush_interval(1000, 1000, 100, 80_000), 1);
+        assert_eq!(flush_interval(10_000, 10_000, 256, 1 << 20), 3);
+        assert_eq!(flush_interval(100, 100, 10, 0), usize::MAX);
+    }
+
+    #[test]
+    fn segments_assemble_into_lines() {
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "row").unwrap();
+        assert!(store.try_begin_line(8, 0, 5));
+        assert!(!store.put_segment(8, 0, [hf(1), hf(2)].into_iter()));
+        assert!(!store.put_segment(8, 3, [hf(4), hf(5)].into_iter()));
+        assert!(store.put_segment(8, 2, [hf(3)].into_iter()));
+        let (origin, cells) = store.get(8).unwrap();
+        assert_eq!(origin, 0);
+        assert_eq!(cells.iter().map(|c| c.h).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes_used(), 40);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 100, "row").unwrap();
+        assert!(store.try_begin_line(1, 0, 10)); // 80 bytes
+        assert!(!store.try_begin_line(2, 0, 10), "would exceed 100 bytes");
+        assert!(store.try_begin_line(3, 0, 2)); // 16 more = 96
+        store.put_segment(1, 0, (0..10).map(hf));
+        store.remove(1);
+        assert_eq!(store.bytes_used(), 16);
+        assert!(store.try_begin_line(4, 0, 10), "freed budget is reusable");
+    }
+
+    #[test]
+    fn segments_for_untracked_lines_are_ignored() {
+        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 64, "row").unwrap();
+        assert!(!store.put_segment(3, 0, [hf(1)].into_iter()));
+        assert!(store.get(3).is_none());
+    }
+
+    #[test]
+    fn duplicate_begin_rejected() {
+        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        assert!(store.try_begin_line(5, 0, 4));
+        assert!(!store.try_begin_line(5, 0, 4));
+    }
+
+    #[test]
+    fn navigation_helpers() {
+        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        for idx in [4usize, 8, 12] {
+            store.try_begin_line(idx, 0, 1);
+            store.put_segment(idx, 0, [hf(idx as Score)].into_iter());
+        }
+        assert_eq!(store.indices(), vec![4, 8, 12]);
+        assert_eq!(store.previous_line(12), Some(8));
+        assert_eq!(store.previous_line(4), None);
+        assert_eq!(store.previous_line(5), Some(4));
+        assert_eq!(store.lines_between(4, 12), vec![8]);
+        assert_eq!(store.lines_between(0, 100), vec![4, 8, 12]);
+        assert_eq!(store.lines_between(8, 9), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn disk_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sra-test-{}", std::process::id()));
+        {
+            let mut store: LineStore<CellHE> =
+                LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "col").unwrap();
+            store.try_begin_line(7, 3, 4);
+            store.put_segment(
+                7,
+                3,
+                [CellHE { h: 1, e: NEG_INF }, CellHE { h: -2, e: 5 }, CellHE { h: 3, e: 4 }, CellHE { h: 9, e: 9 }]
+                    .into_iter(),
+            );
+            let (origin, cells) = store.get(7).unwrap();
+            assert_eq!(origin, 3);
+            assert_eq!(cells[0], CellHE { h: 1, e: NEG_INF });
+            assert_eq!(cells[3], CellHE { h: 9, e: 9 });
+            // File exists on disk with the right size.
+            let path = dir.join("col-7-3.bin");
+            assert_eq!(fs::metadata(&path).unwrap().len(), 32);
+        }
+        // Dropped store cleans its files.
+        assert!(fs::read_dir(&dir).map(|d| d.count() == 0).unwrap_or(true));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_codecs_roundtrip() {
+        let a = CellHF { h: -123456, f: NEG_INF };
+        assert_eq!(CellHF::decode(a.encode()), a);
+        let b = CellHE { h: i32::MAX / 8, e: -1 };
+        assert_eq!(CellHE::decode(b.encode()), b);
+    }
+}
+
+#[cfg(test)]
+mod partial_snapshot_tests {
+    use super::*;
+    use sw_core::scoring::Score;
+
+    fn hf(h: Score) -> CellHF {
+        CellHF { h, f: h - 1 }
+    }
+
+    #[test]
+    fn partials_roundtrip() {
+        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        store.try_begin_line(8, 0, 5);
+        store.put_segment(8, 1, [hf(10), hf(11)].into_iter());
+        store.try_begin_line(16, 2, 3);
+        store.put_segment(16, 3, [hf(20)].into_iter());
+        let bytes = store.encode_partials();
+
+        let mut fresh: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        assert!(fresh.restore_partials(&bytes));
+        // Completing the restored partials yields identical lines.
+        fresh.put_segment(8, 0, [hf(9)].into_iter());
+        fresh.put_segment(8, 3, [hf(12), hf(13)].into_iter());
+        let (origin, cells) = fresh.get(8).unwrap();
+        assert_eq!(origin, 0);
+        assert_eq!(cells.iter().map(|c| c.h).collect::<Vec<_>>(), vec![9, 10, 11, 12, 13]);
+        // Idempotence: re-putting a segment present in the snapshot is fine.
+        fresh.put_segment(16, 3, [hf(20)].into_iter());
+        fresh.put_segment(16, 2, [hf(19)].into_iter());
+        assert!(fresh.get(16).is_none(), "still missing index 4");
+        fresh.put_segment(16, 4, [hf(21)].into_iter());
+        assert!(fresh.get(16).is_some());
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_respects_budget() {
+        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        assert!(!store.restore_partials(b"nope"));
+        assert!(!store.restore_partials(b"SRAP\x01\x00\x00\x00\x00\x00\x00\x00"));
+        // Oversized partial vs budget: skipped, not an error.
+        let mut big: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        big.try_begin_line(1, 0, 100);
+        let bytes = big.encode_partials();
+        let mut tiny: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 64, "r").unwrap();
+        assert!(tiny.restore_partials(&bytes));
+        assert_eq!(tiny.bytes_used(), 0, "over-budget partial skipped");
+    }
+
+    #[test]
+    fn restore_skips_already_tracked_lines() {
+        let mut a: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        a.try_begin_line(4, 0, 2);
+        a.put_segment(4, 0, [hf(1)].into_iter());
+        let bytes = a.encode_partials();
+        // The target already completed line 4.
+        let mut b: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        b.try_begin_line(4, 0, 2);
+        b.put_segment(4, 0, [hf(7), hf(8)].into_iter());
+        let used = b.bytes_used();
+        assert!(b.restore_partials(&bytes));
+        assert_eq!(b.bytes_used(), used, "no double accounting");
+        assert_eq!(b.get(4).unwrap().1[0].h, 7, "completed line untouched");
+    }
+}

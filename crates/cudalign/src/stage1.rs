@@ -1,0 +1,436 @@
+//! Stage 1 — obtain the best score (Section IV-B).
+//!
+//! Runs the forward Smith-Waterman wavefront over the full DP matrix,
+//! exactly as CUDAlign 1.0, with one modification: the horizontal bus of
+//! selected block rows is flushed to the Special Rows Area as the blocks
+//! complete (the "shifted bus" of Figure 5 — a special row is scattered
+//! across an external diagonal and becomes whole only after the last
+//! block of its row finishes).
+
+use crate::config::PipelineConfig;
+use crate::sra::{self, LineStore};
+use gpu_sim::wavefront::{self, RegionJob};
+use gpu_sim::{BlockCoords, CellHE, CellHF, Mode, TileOutcome};
+use std::ops::ControlFlow;
+use sw_core::scoring::{Score, NEG_INF};
+
+/// Outcome of Stage 1.
+#[derive(Debug, Clone)]
+pub struct Stage1Result {
+    /// The optimal local score (0 when no positive alignment exists).
+    pub best_score: Score,
+    /// End point of the optimal alignment (valid when `best_score > 0`).
+    pub end: (usize, usize),
+    /// DP cells processed (`Cells_1` of Table VIII).
+    pub cells: u64,
+    /// Bytes written to the SRA.
+    pub flushed_bytes: u64,
+    /// Indices of the completed special rows.
+    pub special_rows: Vec<usize>,
+    /// The flush interval used, in block rows.
+    pub flush_interval_blocks: usize,
+    /// Estimated bus memory (the paper's `VRAM_1`).
+    pub vram_bytes: u64,
+    /// External diagonal this run actually resumed from (0 = fresh run or
+    /// a stale snapshot that was ignored).
+    pub resumed_from_diagonal: usize,
+}
+
+struct Stage1Observer<'s> {
+    rows: &'s mut LineStore<CellHF>,
+    flush_every: usize,
+    block_height: usize,
+    m: usize,
+    n: usize,
+    /// Directory receiving combined checkpoints (engine state + in-flight
+    /// special-row segments).
+    ckpt_dir: Option<std::path::PathBuf>,
+}
+
+impl Stage1Observer<'_> {
+    fn is_special_block_row(&self, block: &BlockCoords) -> bool {
+        let row = block.rows.1;
+        // Candidates are full multiples of the block height (the paper:
+        // only rows that are multiples of alpha*T can be special) strictly
+        // inside the matrix, at the configured cadence.
+        row > 0
+            && row < self.m
+            && row == (block.r + 1) * self.block_height
+            && (block.r + 1).is_multiple_of(self.flush_every)
+    }
+}
+
+impl gpu_sim::WavefrontObserver for Stage1Observer<'_> {
+    fn on_block(
+        &mut self,
+        block: &BlockCoords,
+        _outcome: &TileOutcome,
+        bottom: &[CellHF],
+        _right: &[CellHE],
+    ) -> ControlFlow<()> {
+        if !self.is_special_block_row(block) {
+            return ControlFlow::Continue(());
+        }
+        let row = block.rows.1;
+        if block.c == 0 {
+            // First segment of this row: allocate (may fail on budget, in
+            // which case the row is silently skipped) and write the
+            // border column 0 cell.
+            if self.rows.try_begin_line(row, 0, self.n + 1) {
+                self.rows.put_segment(row, 0, std::iter::once(CellHF { h: 0, f: NEG_INF }));
+            }
+        }
+        self.rows.put_segment(row, block.cols.0, bottom.iter().copied());
+        ControlFlow::Continue(())
+    }
+
+    fn on_checkpoint(&mut self, state: &gpu_sim::wavefront::EngineState) {
+        let Some(dir) = &self.ckpt_dir else { return };
+        let bytes = encode_checkpoint(state, self.rows);
+        // Atomic replace so a crash mid-write never corrupts the previous
+        // snapshot.
+        let tmp = dir.join("stage1.ckpt.tmp");
+        let path = dir.join("stage1.ckpt");
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// Serialize a combined Stage-1 checkpoint: the engine snapshot plus the
+/// special rows still being assembled (their segments span `B` external
+/// diagonals — the paper's Figure 5 — so a crash would otherwise lose
+/// them).
+pub fn encode_checkpoint(
+    state: &gpu_sim::wavefront::EngineState,
+    rows: &LineStore<CellHF>,
+) -> Vec<u8> {
+    let engine = state.encode();
+    let partials = rows.encode_partials();
+    let mut out = Vec::with_capacity(12 + engine.len() + partials.len());
+    out.extend_from_slice(b"CKS1");
+    out.extend_from_slice(&(engine.len() as u64).to_le_bytes());
+    out.extend_from_slice(&engine);
+    out.extend_from_slice(&partials);
+    out
+}
+
+/// Parse a combined checkpoint back into `(engine state, partial bytes)`.
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<(gpu_sim::wavefront::EngineState, Vec<u8>)> {
+    let rest = bytes.strip_prefix(b"CKS1")?;
+    let (len_bytes, rest) = rest.split_at_checked(8)?;
+    let engine_len = u64::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+    let (engine, partials) = rest.split_at_checked(engine_len)?;
+    let state = gpu_sim::wavefront::EngineState::decode(engine)?;
+    Some((state, partials.to_vec()))
+}
+
+/// Run Stage 1.
+pub fn run(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    rows: &mut LineStore<CellHF>,
+) -> Stage1Result {
+    run_resumable(s0, s1, cfg, rows, None, None)
+}
+
+/// Run Stage 1 with checkpoint/resume support (the crash-resilience an
+/// 18-hour forward pass needs).
+///
+/// * `resume` — an [`gpu_sim::wavefront::EngineState`] captured by a previous run; the
+///   wavefront continues from its diagonal. Special rows completed before
+///   the checkpoint survive when `rows` was reopened from a disk backend
+///   ([`LineStore::reopen`]); rows that were mid-flight at the checkpoint
+///   are lost and simply not stored (the pipeline tolerates any subset of
+///   special rows by design — fewer rows only mean more Stage-2 work).
+/// * `checkpoint` — `(directory, cadence in external diagonals)`;
+///   combined snapshots (engine state + in-flight rows) land in
+///   `<dir>/stage1.ckpt` atomically.
+pub fn run_resumable(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    rows: &mut LineStore<CellHF>,
+    resume: Option<gpu_sim::wavefront::EngineState>,
+    checkpoint: Option<(&std::path::Path, usize)>,
+) -> Stage1Result {
+    let (m, n) = (s0.len(), s1.len());
+    let block_height = cfg.grid1.block_height();
+    let flush_every = sra::flush_interval(m, n, block_height, cfg.sra_bytes);
+
+    let checkpoint_every = checkpoint.map(|(_, every)| every.max(1));
+    let mut observer = Stage1Observer {
+        rows,
+        flush_every,
+        block_height,
+        m,
+        n,
+        ckpt_dir: checkpoint.map(|(dir, _)| dir.to_path_buf()),
+    };
+    let before = observer.rows.bytes_used();
+    // A snapshot from a different job (other sequences, scoring, mode or
+    // grid — e.g. the user re-ran with different flags after a crash) is
+    // ignored: starting fresh is always correct.
+    let mut resume = resume;
+    let job = RegionJob {
+        a: s0,
+        b: s1,
+        scoring: cfg.scoring,
+        mode: Mode::Local,
+        grid: cfg.grid1,
+        workers: cfg.workers,
+        watch: None,
+    };
+    if let Some(st) = &resume {
+        if !st.matches(&job) {
+            resume = None;
+        }
+    }
+    let resumed_from_diagonal = resume.as_ref().map_or(0, |st| st.next_diagonal);
+    let res = wavefront::run_resumable(&job, &mut observer, resume, checkpoint_every);
+
+    let (best_score, end) = match res.best {
+        Some((s, i, j)) => (s, (i, j)),
+        None => (0, (0, 0)),
+    };
+    Stage1Result {
+        best_score,
+        end,
+        cells: res.cells,
+        flushed_bytes: rows.bytes_used() - before,
+        special_rows: rows.indices(),
+        flush_interval_blocks: flush_every,
+        vram_bytes: gpu_sim::DeviceModel::bus_bytes(m, n),
+        resumed_from_diagonal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SraBackend;
+    use sw_core::full::sw_local_score;
+    use sw_core::linear::RowDp;
+    use sw_core::transcript::EdgeState;
+    use sw_core::Scoring;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    fn related(seed: u64, len: usize) -> (Vec<u8>, Vec<u8>) {
+        let a = lcg(seed, len);
+        let mut b = a.clone();
+        for i in (7..len).step_by(13) {
+            b[i] = b"ACGT"[(i / 13) % 4];
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn finds_reference_best_and_flushes_rows() {
+        let (a, b) = related(1, 200);
+        let cfg = PipelineConfig::for_tests();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let res = run(&a, &b, &cfg, &mut rows);
+        let (score, end) = sw_local_score(&a, &b, &cfg.scoring);
+        assert_eq!(res.best_score, score);
+        assert_eq!(res.end, end);
+        assert_eq!(res.cells, (a.len() * b.len()) as u64);
+        assert!(!res.special_rows.is_empty(), "expected special rows for a 200x200 problem");
+        // All special rows are multiples of the block height, inside the matrix.
+        for &r in &res.special_rows {
+            assert_eq!(r % cfg.grid1.block_height(), 0);
+            assert!(r > 0 && r < a.len());
+        }
+        assert_eq!(res.flushed_bytes, rows.bytes_used());
+    }
+
+    /// Stored special rows must equal the reference forward DP rows
+    /// (H and F, LOCAL recurrence) including the border cell.
+    #[test]
+    fn special_rows_match_reference_dp() {
+        let (a, b) = related(2, 96);
+        let cfg = PipelineConfig::for_tests();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        run(&a, &b, &cfg, &mut rows);
+
+        // Local-mode reference via a clamped row DP.
+        let sc = Scoring::paper();
+        let mut h_prev = vec![0 as Score; b.len() + 1];
+        let mut h_cur = vec![0 as Score; b.len() + 1];
+        let mut f = vec![NEG_INF; b.len() + 1];
+        for i in 1..=a.len() {
+            let mut e = NEG_INF;
+            h_cur[0] = 0;
+            for j in 1..=b.len() {
+                e = (e - sc.gap_ext).max(h_cur[j - 1] - sc.gap_first);
+                f[j] = (f[j] - sc.gap_ext).max(h_prev[j] - sc.gap_first);
+                let h = (h_prev[j - 1] + sc.subst(a[i - 1], b[j - 1])).max(e).max(f[j]).max(0);
+                h_cur[j] = h;
+            }
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            if let Some((origin, cells)) = rows.get(i) {
+                assert_eq!(origin, 0);
+                for j in 0..=b.len() {
+                    assert_eq!(cells[j].h, h_prev[j], "row {i} col {j} H");
+                    if j > 0 {
+                        assert_eq!(cells[j].f, f[j], "row {i} col {j} F");
+                    }
+                }
+            }
+        }
+        // silence unused warning for EdgeState/RowDp imports used elsewhere
+        let _ = RowDp::new(0, sc, EdgeState::Diagonal);
+    }
+
+    #[test]
+    fn zero_budget_stores_nothing() {
+        let (a, b) = related(3, 120);
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.sra_bytes = 0;
+        let mut rows = LineStore::new(&SraBackend::Memory, 0, "row").unwrap();
+        let res = run(&a, &b, &cfg, &mut rows);
+        assert!(res.special_rows.is_empty());
+        assert_eq!(res.flushed_bytes, 0);
+        // Best score is unaffected.
+        let (score, _) = sw_local_score(&a, &b, &cfg.scoring);
+        assert_eq!(res.best_score, score);
+    }
+
+    #[test]
+    fn unrelated_sequences_small_score() {
+        let a = lcg(10, 150);
+        let b = lcg(99, 150);
+        let cfg = PipelineConfig::for_tests();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let res = run(&a, &b, &cfg, &mut rows);
+        let (score, _) = sw_local_score(&a, &b, &cfg.scoring);
+        assert_eq!(res.best_score, score);
+        assert!(res.best_score < 30, "random sequences should align weakly");
+    }
+}
+
+#[cfg(test)]
+mod resume_tests {
+    use super::*;
+    use crate::config::SraBackend;
+    use gpu_sim::wavefront::EngineState;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    /// Simulated crash: run stage 1 capturing checkpoints, "crash",
+    /// reopen the disk-backed SRA, resume from the snapshot, and end up
+    /// with the same score/endpoint and a usable special-rows area — the
+    /// full pipeline must then still produce the optimal alignment.
+    #[test]
+    fn stage1_crash_resume_end_to_end() {
+        let a = lcg(41, 400);
+        let mut b = a.clone();
+        for i in (5..b.len()).step_by(31) {
+            b[i] = b"ACGT"[(i / 31) % 4];
+        }
+        let dir = std::env::temp_dir().join(format!("cudalign-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.backend = SraBackend::Disk(dir.clone());
+
+        // Uninterrupted reference.
+        let mut rows_ref = LineStore::new(&cfg.backend, cfg.sra_bytes, "ref-row").unwrap();
+        let full = run(&a, &b, &cfg, &mut rows_ref);
+
+        // First run: let the observer write combined checkpoints to disk,
+        // pretend to die after it finishes (discard the in-memory store).
+        {
+            let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "row").unwrap();
+            let _ = run_resumable(&a, &b, &cfg, &mut rows, None, Some((dir.as_path(), 7)));
+            // `rows` dropped here would delete its files — simulate a hard
+            // crash instead by forgetting it.
+            std::mem::forget(rows);
+        }
+        let bytes = std::fs::read(dir.join("stage1.ckpt")).expect("checkpoint written");
+        let (snap, partials) = decode_checkpoint(&bytes).expect("combined checkpoint parses");
+        assert!(snap.next_diagonal > 0);
+
+        // Resume: reopen the surviving rows, restore in-flight segments,
+        // continue from the snapshot.
+        let mut rows = LineStore::<CellHF>::reopen(&cfg.backend, cfg.sra_bytes, "row").unwrap();
+        assert!(rows.restore_partials(&partials), "partials restore");
+        let survived_before = rows.len();
+        let resumed = run_resumable(&a, &b, &cfg, &mut rows, Some(snap), None);
+        assert_eq!(resumed.best_score, full.best_score);
+        assert_eq!(resumed.end, full.end);
+        assert!(rows.len() >= survived_before, "resume must not lose reopened rows");
+        // Restored partials mean the resumed store completes MORE rows
+        // than the post-checkpoint tail alone could.
+        assert!(rows.len() > 2, "in-flight rows must survive the crash: {}", rows.len());
+
+        // The resumed SRA still drives the rest of the pipeline: rows that
+        // were mid-flight at the snapshot are missing, which is allowed.
+        let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col").unwrap();
+        let s2r = crate::stage2::run(&a, &b, &cfg, resumed.best_score, resumed.end, &rows, &mut cols)
+            .unwrap();
+        assert_eq!(s2r.chain.points().last().unwrap().score, full.best_score);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod stale_checkpoint_tests {
+    use super::*;
+    use crate::config::SraBackend;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    /// A snapshot from a different scoring scheme must be ignored, not
+    /// resumed (stale buses would corrupt the result) and not panic.
+    #[test]
+    fn stale_checkpoint_is_ignored() {
+        let a = lcg(91, 200);
+        let b = lcg(92, 200);
+        let dir = std::env::temp_dir().join(format!("cudalign-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cfg = PipelineConfig::for_tests();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let _ = run_resumable(&a, &b, &cfg, &mut rows, None, Some((dir.as_path(), 5)));
+        let bytes = std::fs::read(dir.join("stage1.ckpt")).unwrap();
+        let (snap, _) = decode_checkpoint(&bytes).unwrap();
+
+        // Same lengths and grid, different scoring: must run fresh.
+        let mut cfg2 = PipelineConfig::for_tests();
+        cfg2.scoring = sw_core::Scoring::new(2, -1, 4, 1);
+        let mut rows2 = LineStore::new(&SraBackend::Memory, cfg2.sra_bytes, "row").unwrap();
+        let res = run_resumable(&a, &b, &cfg2, &mut rows2, Some(snap), None);
+        assert_eq!(res.resumed_from_diagonal, 0, "stale snapshot must be ignored");
+        let (ref_score, ref_end) = sw_core::full::sw_local_score(&a, &b, &cfg2.scoring);
+        assert_eq!(res.best_score, ref_score);
+        assert_eq!(res.end, ref_end);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,379 @@
+//! Stage 3 — splitting partitions (Section IV-D).
+//!
+//! Each partition produced by Stage 2 is refined with the special columns
+//! its strip saved: a forward wavefront runs from the partition's start
+//! crosspoint, column-band by column-band; whenever the band's last block
+//! column (the special column) completes, the goal-based matching
+//! procedure compares the forward `H`/`E` values against the stored
+//! *reverse* values and yields a crosspoint, from which the next band
+//! restarts. Once the partition's last special column is intercepted, no
+//! further computation is needed — the next crosspoint is the partition's
+//! own end point.
+//!
+//! As in the paper, parallelism is exploited *inside* each band (the
+//! wavefront engine); partitions are visited in order.
+
+use crate::config::PipelineConfig;
+use crate::crosspoint::{Crosspoint, CrosspointChain, Partition};
+use crate::sra::LineStore;
+use crate::stage2::gap_run_from;
+use gpu_sim::wavefront::{self, RegionJob};
+use gpu_sim::{BlockCoords, CellHE, CellHF, GlobalOrigin, Mode, TileOutcome};
+use std::ops::ControlFlow;
+use sw_core::scoring::Score;
+use sw_core::transcript::EdgeState;
+
+/// Outcome of Stage 3.
+#[derive(Debug, Clone)]
+pub struct Stage3Result {
+    /// The refined chain (the paper's `L_3`).
+    pub chain: CrosspointChain,
+    /// DP cells processed (`Cells_3`).
+    pub cells: u64,
+    /// Peak bus memory across bands (`VRAM_3`).
+    pub vram_bytes: u64,
+    /// Smallest effective block count across bands (the paper's `B_3`
+    /// after the minimum-size-requirement reduction).
+    pub min_blocks: usize,
+}
+
+struct BandObserver<'a> {
+    /// Stored reverse column (origin row, cells) bounding the band.
+    rev_col: &'a [CellHE],
+    rev_origin: usize,
+    col: usize,
+    goal_rel: Score,
+    gopen: Score,
+    cur: Crosspoint,
+    found: Option<Crosspoint>,
+}
+
+impl gpu_sim::WavefrontObserver for BandObserver<'_> {
+    fn on_block(
+        &mut self,
+        block: &BlockCoords,
+        _outcome: &TileOutcome,
+        _bottom: &[CellHF],
+        right: &[CellHE],
+    ) -> ControlFlow<()> {
+        if !block.last_block_col {
+            return ControlFlow::Continue(());
+        }
+        // The band's right bus holds forward (H, E) on the special column.
+        for (k, cell) in right.iter().enumerate() {
+            let i = self.cur.i + block.rows.0 + k;
+            let rev = self.rev_col[i - self.rev_origin];
+            let h_total = cell.h + rev.h;
+            if h_total == self.goal_rel {
+                self.found = Some(Crosspoint {
+                    i,
+                    j: self.col,
+                    score: self.cur.score + cell.h,
+                    edge: EdgeState::Diagonal,
+                });
+                return ControlFlow::Break(());
+            }
+            let g_total = cell.e + rev.e + self.gopen;
+            if g_total == self.goal_rel {
+                self.found = Some(Crosspoint {
+                    i,
+                    j: self.col,
+                    score: self.cur.score + cell.e,
+                    edge: EdgeState::GapS0,
+                });
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Refine one partition with its stored special columns; returns the new
+/// interior crosspoints and the cells processed.
+fn refine_partition(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    p: &Partition,
+    cols: &LineStore<CellHE>,
+    vram: &mut u64,
+    min_blocks: &mut usize,
+) -> Result<(Vec<Crosspoint>, u64), String> {
+    let sc = cfg.scoring;
+    let gopen = sc.gap_open();
+    let inside = cols.lines_between(p.start.j, p.end.j);
+    let mut new_points = Vec::with_capacity(inside.len());
+    let mut cur = p.start;
+    let mut cells = 0u64;
+
+    for c in inside {
+        debug_assert!(cur.j < c && c < p.end.j);
+        let (rev_origin, rev_cells) = cols.get(c).expect("stored column disappeared");
+        let goal_rel = p.end.score - cur.score;
+        let origin = GlobalOrigin::forward(cur.edge);
+
+        // Upfront border check: the path may cross column `c` at row
+        // `cur.i` via a pure horizontal run (the band's row-0 border).
+        let run = gap_run_from(origin.e0, origin.h0, c - cur.j, &sc);
+        let rev = rev_cells[cur.i - rev_origin];
+        let border_cross = if run + rev.h == goal_rel {
+            Some(Crosspoint { i: cur.i, j: c, score: cur.score + run, edge: EdgeState::Diagonal })
+        } else if run + rev.e + gopen == goal_rel {
+            Some(Crosspoint { i: cur.i, j: c, score: cur.score + run, edge: EdgeState::GapS0 })
+        } else {
+            None
+        };
+        if let Some(cp) = border_cross {
+            new_points.push(cp);
+            cur = cp;
+            continue;
+        }
+
+        let a_band = &s0[cur.i..p.end.i];
+        let b_band = &s1[cur.j..c];
+        let mut obs = BandObserver {
+            rev_col: &rev_cells,
+            rev_origin,
+            col: c,
+            goal_rel,
+            gopen,
+            cur,
+            found: None,
+        };
+        let job = RegionJob {
+            a: a_band,
+            b: b_band,
+            scoring: sc,
+            mode: Mode::Global { origin },
+            grid: cfg.grid23,
+            workers: cfg.workers,
+            watch: None,
+        };
+        let res = wavefront::run(&job, &mut obs);
+        cells += res.cells;
+        *vram = (*vram).max(gpu_sim::DeviceModel::bus_bytes(a_band.len(), b_band.len()));
+        *min_blocks = (*min_blocks).min(res.layout.block_cols);
+
+        match obs.found {
+            Some(cp) => {
+                new_points.push(cp);
+                cur = cp;
+            }
+            None => {
+                return Err(format!(
+                    "stage 3: goal {goal_rel} not found on column {c} of partition {:?}",
+                    (p.start, p.end)
+                ));
+            }
+        }
+    }
+    Ok((new_points, cells))
+}
+
+/// Run Stage 3 over every partition of the Stage-2 chain.
+///
+/// By default, partitions are visited in order and parallelism is
+/// exploited *inside* each band, as in the paper's evaluated
+/// configuration. With [`PipelineConfig::parallel_partitions`] the
+/// partitions themselves run concurrently, each on a **single-block**
+/// grid — the paper's future-work variant, for which the minimum size
+/// requirement vanishes (one block cannot race itself on the buses).
+pub fn run(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    chain: &CrosspointChain,
+    cols: &LineStore<CellHE>,
+) -> Result<Stage3Result, String> {
+    let parts: Vec<Partition> = chain.partitions().collect();
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+
+    // Per-partition outputs, merged in order afterwards.
+    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize), String>;
+    let mut outputs: Vec<Option<PartOut>> = vec![None; parts.len()];
+
+    let solve = |p: &Partition, cfg: &PipelineConfig| -> PartOut {
+        let mut vram = 0u64;
+        let mut min_blocks = cfg.grid23.blocks;
+        let (pts, cells) = refine_partition(s0, s1, cfg, p, cols, &mut vram, &mut min_blocks)?;
+        Ok((pts, cells, vram, min_blocks))
+    };
+
+    if cfg.parallel_partitions && parts.len() > 1 && workers > 1 {
+        // One block per partition; the engine itself runs sequentially so
+        // the partition pool owns all the parallelism.
+        let mut part_cfg = cfg.clone();
+        part_cfg.grid23.blocks = 1;
+        part_cfg.workers = 1;
+        let chunk = parts.len().div_ceil(workers.min(parts.len()));
+        crossbeam::thread::scope(|s| {
+            for (ps, out) in parts.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
+                let part_cfg = &part_cfg;
+                s.spawn(move |_| {
+                    for (k, p) in ps.iter().enumerate() {
+                        out[k] = Some(solve(p, part_cfg));
+                    }
+                });
+            }
+        })
+        .expect("stage 3 partition worker panicked");
+    } else {
+        for (k, p) in parts.iter().enumerate() {
+            outputs[k] = Some(solve(p, cfg));
+        }
+    }
+
+    let mut points: Vec<Crosspoint> = Vec::new();
+    let mut cells = 0u64;
+    let mut vram = 0u64;
+    let mut min_blocks = cfg.grid23.blocks;
+    if !chain.is_empty() {
+        points.push(chain.points()[0]);
+    }
+    for (p, out) in parts.iter().zip(outputs) {
+        let (new_points, c, v, b) = out.expect("computed")?;
+        cells += c;
+        vram = vram.max(v);
+        min_blocks = min_blocks.min(b);
+        points.extend(new_points);
+        points.push(p.end);
+    }
+
+    let chain = CrosspointChain::new(points);
+    chain.validate()?;
+    Ok(Stage3Result { chain, cells, vram_bytes: vram, min_blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SraBackend;
+    use crate::{stage1, stage2};
+    use sw_core::full::nw_global_typed;
+    use sw_core::Scoring;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    fn related(seed: u64, len: usize) -> (Vec<u8>, Vec<u8>) {
+        let a = lcg(seed, len);
+        let mut b = a.clone();
+        for i in (5..b.len()).step_by(17) {
+            b[i] = b"ACGT"[(i / 17) % 4];
+        }
+        b.drain(len / 3..len / 3 + 5);
+        let at = 2 * len / 3;
+        for (off, ch) in [b'A', b'C', b'G', b'T', b'A', b'C'].iter().enumerate() {
+            b.insert(at + off, *ch);
+        }
+        (a, b)
+    }
+
+    fn run_stages(a: &[u8], b: &[u8]) -> (CrosspointChain, Stage3Result) {
+        let cfg = PipelineConfig::for_tests();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let s1r = stage1::run(a, b, &cfg, &mut rows);
+        assert!(s1r.best_score > 0);
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
+        let s2r = stage2::run(a, b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s3r = run(a, b, &cfg, &s2r.chain, &cols).unwrap();
+        (s2r.chain, s3r)
+    }
+
+    #[test]
+    fn stage3_adds_crosspoints_and_keeps_ends() {
+        let (a, b) = related(1, 400);
+        let (l2, s3r) = run_stages(&a, &b);
+        assert!(s3r.chain.len() >= l2.len(), "stage 3 must not lose crosspoints");
+        assert_eq!(s3r.chain.points()[0], l2.points()[0]);
+        assert_eq!(s3r.chain.points().last(), l2.points().last());
+        s3r.chain.validate().unwrap();
+    }
+
+    #[test]
+    fn every_partition_score_is_its_global_alignment_score() {
+        let (a, b) = related(2, 350);
+        let (_, s3r) = run_stages(&a, &b);
+        for p in s3r.chain.partitions() {
+            let (sub_a, sub_b) = p.slices(&a, &b);
+            let (g, _) = nw_global_typed(sub_a, sub_b, &Scoring::paper(), p.start.edge, p.end.edge);
+            assert_eq!(g, p.score(), "partition {:?}", (p.start, p.end));
+        }
+    }
+
+    #[test]
+    fn stage3_reduces_partition_width() {
+        let (a, b) = related(3, 500);
+        let (l2, s3r) = run_stages(&a, &b);
+        if s3r.chain.len() > l2.len() {
+            assert!(s3r.chain.w_max() <= l2.w_max());
+        }
+    }
+
+    #[test]
+    fn no_columns_means_chain_unchanged() {
+        let (a, b) = related(4, 120);
+        let cfg = PipelineConfig::for_tests();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let s1r = stage1::run(&a, &b, &cfg, &mut rows);
+        let mut cols = LineStore::new(&SraBackend::Memory, 0, "col").unwrap();
+        let s2r = stage2::run(&a, &b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s3r = run(&a, &b, &cfg, &s2r.chain, &cols).unwrap();
+        assert_eq!(s3r.chain.points(), s2r.chain.points());
+        assert_eq!(s3r.cells, 0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::config::SraBackend;
+    use crate::{stage1, stage2};
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    /// The parallel-partitions future-work mode produces the same chain
+    /// as the paper's sequential configuration.
+    #[test]
+    fn parallel_partitions_match_sequential() {
+        let a = lcg(31, 600);
+        let mut b = a.clone();
+        for i in (5..b.len()).step_by(13) {
+            b[i] = b"ACGT"[(i / 13) % 4];
+        }
+        let cfg = PipelineConfig::for_tests();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let s1r = stage1::run(&a, &b, &cfg, &mut rows);
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
+        let s2r = stage2::run(&a, &b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+
+        let seq = run(&a, &b, &cfg, &s2r.chain, &cols).unwrap();
+        let mut par_cfg = cfg.clone();
+        par_cfg.parallel_partitions = true;
+        par_cfg.workers = 4;
+        let par = run(&a, &b, &par_cfg, &s2r.chain, &cols).unwrap();
+        assert_eq!(par.chain.points(), seq.chain.points());
+        // Cell counts may differ: a single-block band aborts at a coarser
+        // granularity than a multi-block one. Same order of magnitude.
+        assert!(par.cells <= 2 * seq.cells + 1000 && seq.cells <= 2 * par.cells + 1000);
+    }
+}

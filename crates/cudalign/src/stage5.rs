@@ -1,0 +1,175 @@
+//! Stage 5 — obtaining the full alignment (Section IV-F).
+//!
+//! Every partition left by Stage 4 is at most `max_partition_size` in
+//! both dimensions (or has a zero dimension), so each is aligned exactly
+//! with the quadratic-space solver in constant memory, in parallel, and
+//! the transcripts are concatenated into the full optimal alignment.
+//! The result is also packed into the compact binary representation.
+
+use crate::binary::BinaryAlignment;
+use crate::config::PipelineConfig;
+use crate::crosspoint::{CrosspointChain, Partition};
+use sw_core::full::nw_global_aligned;
+use sw_core::transcript::Transcript;
+
+/// Outcome of Stage 5.
+#[derive(Debug, Clone)]
+pub struct Stage5Result {
+    /// The full optimal alignment.
+    pub transcript: Transcript,
+    /// Its compact binary form.
+    pub binary: BinaryAlignment,
+    /// DP cells processed.
+    pub cells: u64,
+}
+
+/// Run Stage 5.
+pub fn run(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    chain: &CrosspointChain,
+) -> Result<Stage5Result, String> {
+    assert!(chain.len() >= 2, "stage 5 requires a chain with start and end");
+    let sc = cfg.scoring;
+    let parts: Vec<Partition> = chain.partitions().collect();
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+
+    let mut results: Vec<Option<Result<(Transcript, u64), String>>> = vec![None; parts.len()];
+    let solve = |p: &Partition| -> Result<(Transcript, u64), String> {
+        let (sub_a, sub_b) = p.slices(s0, s1);
+        let (score, t) = nw_global_aligned(sub_a, sub_b, &sc, p.start.edge, p.end.edge);
+        if score != p.score() {
+            return Err(format!(
+                "partition {:?} solved to {score}, expected {}",
+                (p.start, p.end),
+                p.score()
+            ));
+        }
+        let cells = (sub_a.len() as u64 + 1) * (sub_b.len() as u64 + 1);
+        Ok((t, cells))
+    };
+
+    if workers > 1 && parts.len() > 1 {
+        let chunk = parts.len().div_ceil(workers.min(parts.len()));
+        crossbeam::thread::scope(|s| {
+            for (ps, out) in parts.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (t, p) in ps.iter().enumerate() {
+                        out[t] = Some(solve(p));
+                    }
+                });
+            }
+        })
+        .expect("stage 5 worker panicked");
+    } else {
+        for (t, p) in parts.iter().enumerate() {
+            results[t] = Some(solve(p));
+        }
+    }
+
+    let mut transcript = Transcript::new();
+    let mut cells = 0u64;
+    for (idx, r) in results.into_iter().enumerate() {
+        let (t, c) = r.expect("computed").map_err(|e| format!("stage 5 partition {idx}: {e}"))?;
+        transcript.extend_from(&t);
+        cells += c;
+    }
+
+    let start_cp = chain.points()[0];
+    let end_cp = *chain.points().last().unwrap();
+    let binary = BinaryAlignment::from_transcript((start_cp.i, start_cp.j), end_cp.score, &transcript);
+    debug_assert_eq!(binary.end, (end_cp.i, end_cp.j), "transcript must span the chain");
+
+    Ok(Stage5Result { transcript, binary, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crosspoint::Crosspoint;
+    use crate::stage4;
+    use sw_core::full::nw_global_typed;
+    use sw_core::transcript::EdgeState;
+    use sw_core::Scoring;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    fn related(seed: u64, len: usize) -> (Vec<u8>, Vec<u8>) {
+        let a = lcg(seed, len);
+        let mut b = a.clone();
+        for i in (3..b.len()).step_by(23) {
+            b[i] = b"ACGT"[(i / 23) % 4];
+        }
+        b.drain(len / 2..len / 2 + 4);
+        (a, b)
+    }
+
+    fn chain_for(a: &[u8], b: &[u8]) -> CrosspointChain {
+        let (score, _) =
+            nw_global_typed(a, b, &Scoring::paper(), EdgeState::Diagonal, EdgeState::Diagonal);
+        CrosspointChain::new(vec![
+            Crosspoint::start(0, 0),
+            Crosspoint::end(a.len(), b.len(), score),
+        ])
+    }
+
+    #[test]
+    fn concatenated_transcript_is_the_optimal_alignment() {
+        let (a, b) = related(1, 450);
+        let cfg = PipelineConfig::for_tests();
+        let chain = chain_for(&a, &b);
+        let l4 = stage4::run(&a, &b, &cfg, &chain).unwrap();
+        let res = run(&a, &b, &cfg, &l4.chain).unwrap();
+        res.transcript.validate(&a, &b).unwrap();
+        let expected = chain.points().last().unwrap().score;
+        assert_eq!(res.transcript.score(&a, &b, &Scoring::paper()), expected);
+        assert_eq!(res.binary.score, expected);
+        assert_eq!(res.binary.start, (0, 0));
+        assert_eq!(res.binary.end, (a.len(), b.len()));
+    }
+
+    #[test]
+    fn binary_roundtrips_through_encoding() {
+        let (a, b) = related(2, 300);
+        let cfg = PipelineConfig::for_tests();
+        let chain = chain_for(&a, &b);
+        let l4 = stage4::run(&a, &b, &cfg, &chain).unwrap();
+        let res = run(&a, &b, &cfg, &l4.chain).unwrap();
+        let bytes = res.binary.encode();
+        let back = BinaryAlignment::decode(&bytes).unwrap();
+        assert_eq!(back, res.binary);
+        let t2 = back.to_transcript(&a, &b);
+        assert_eq!(t2.ops(), res.transcript.ops());
+    }
+
+    #[test]
+    fn stage5_memory_is_bounded_by_partition_size() {
+        // With max partition size 16, each sub-DP is at most 17x17 cells.
+        let (a, b) = related(3, 600);
+        let cfg = PipelineConfig::for_tests();
+        let chain = chain_for(&a, &b);
+        let l4 = stage4::run(&a, &b, &cfg, &chain).unwrap();
+        for p in l4.chain.partitions() {
+            assert!(
+                (p.height() <= 16 && p.width() <= 16) || p.height() == 0 || p.width() == 0,
+                "oversized partition"
+            );
+        }
+        let res = run(&a, &b, &cfg, &l4.chain).unwrap();
+        // Total stage-5 work is linear in the alignment length.
+        assert!(res.cells <= 17 * 17 * l4.chain.len() as u64);
+    }
+}

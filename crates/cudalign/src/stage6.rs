@@ -1,0 +1,231 @@
+//! Stage 6 — visualization (Section IV-G).
+//!
+//! Optional reconstruction of human-readable renderings from the binary
+//! representation: the classic three-row textual alignment (with
+//! coordinates) and an ASCII dot plot of the alignment path (the paper's
+//! Figure 12).
+
+use crate::binary::BinaryAlignment;
+use sw_core::transcript::{EditOp, Transcript};
+
+/// Render the textual alignment in blocks of `width` columns.
+///
+/// `s0`/`s1` are the *full* sequences; coordinates in the margin are
+/// absolute (1-based) positions, as standard alignment viewers print them.
+pub fn render_text(s0: &[u8], s1: &[u8], binary: &BinaryAlignment, width: usize) -> String {
+    let t = binary.to_transcript(s0, s1);
+    let sub0 = &s0[binary.start.0..binary.end.0];
+    let sub1 = &s1[binary.start.1..binary.end.1];
+    let (top, mid, bot) = t.render(sub0, sub1);
+    let width = width.max(10);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Alignment: S0[{}..{}] x S1[{}..{}], score {}\n\n",
+        binary.start.0, binary.end.0, binary.start.1, binary.end.1, binary.score
+    ));
+    // Track consumed characters for the margin coordinates.
+    let top_bytes = top.as_bytes();
+    let bot_bytes = bot.as_bytes();
+    let (mut i, mut j) = (binary.start.0, binary.start.1);
+    let mut col = 0usize;
+    while col < top.len() {
+        let stop = (col + width).min(top.len());
+        let seg0 = &top[col..stop];
+        let segm = &mid[col..stop];
+        let seg1 = &bot[col..stop];
+        out.push_str(&format!("S0 {:>10} {seg0}\n", i + 1));
+        out.push_str(&format!("   {:>10} {segm}\n", ""));
+        out.push_str(&format!("S1 {:>10} {seg1}\n\n", j + 1));
+        i += top_bytes[col..stop].iter().filter(|&&c| c != b'-').count();
+        j += bot_bytes[col..stop].iter().filter(|&&c| c != b'-').count();
+        col = stop;
+    }
+    out
+}
+
+/// An ASCII dot plot of the alignment path over the full DP matrix
+/// (rows = `S0`, columns = `S1`), like the paper's Figure 12. Cells the
+/// optimal path passes through are marked `*`; the canvas is
+/// `rows x cols` characters.
+pub fn dot_plot(
+    m: usize,
+    n: usize,
+    binary: &BinaryAlignment,
+    transcript: &Transcript,
+    rows: usize,
+    cols: usize,
+) -> String {
+    let rows = rows.max(2);
+    let cols = cols.max(2);
+    let mut grid = vec![vec![b'.'; cols]; rows];
+    let scale_i = |i: usize| ((i.min(m.saturating_sub(1))) * rows / m.max(1)).min(rows - 1);
+    let scale_j = |j: usize| ((j.min(n.saturating_sub(1))) * cols / n.max(1)).min(cols - 1);
+
+    let (mut i, mut j) = binary.start;
+    grid[scale_i(i)][scale_j(j)] = b'*';
+    for &op in transcript.ops() {
+        match op {
+            EditOp::Match | EditOp::Mismatch => {
+                i += 1;
+                j += 1;
+            }
+            EditOp::GapS0 => j += 1,
+            EditOp::GapS1 => i += 1,
+        }
+        grid[scale_i(i.saturating_sub(1))][scale_j(j.saturating_sub(1))] = b'*';
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1) + 64);
+    out.push_str(&format!("S1 (0..{n}) ->\n"));
+    for row in grid {
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// A binary PGM (P5) image of the alignment path over the DP matrix —
+/// the graphical form of the paper's Figure 12. Background is white,
+/// the path black; pixel intensity accumulates when many path cells map
+/// to one pixel, so dense diagonals render darker.
+pub fn dot_plot_pgm(
+    m: usize,
+    n: usize,
+    binary: &BinaryAlignment,
+    transcript: &Transcript,
+    width: usize,
+    height: usize,
+) -> Vec<u8> {
+    let width = width.max(2);
+    let height = height.max(2);
+    let mut hits = vec![0u32; width * height];
+    let px = |i: usize, j: usize| -> usize {
+        let y = (i.min(m.saturating_sub(1)) * height / m.max(1)).min(height - 1);
+        let x = (j.min(n.saturating_sub(1)) * width / n.max(1)).min(width - 1);
+        y * width + x
+    };
+    let (mut i, mut j) = binary.start;
+    hits[px(i, j)] += 1;
+    for &op in transcript.ops() {
+        match op {
+            EditOp::Match | EditOp::Mismatch => {
+                i += 1;
+                j += 1;
+            }
+            EditOp::GapS0 => j += 1,
+            EditOp::GapS1 => i += 1,
+        }
+        hits[px(i.saturating_sub(1), j.saturating_sub(1))] += 1;
+    }
+    let max_hits = hits.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend(hits.iter().map(|&h| {
+        if h == 0 {
+            255u8
+        } else {
+            // Darker with more hits; floor at 0.
+            let shade = 200u32.saturating_sub(200 * h / max_hits);
+            shade as u8
+        }
+    }));
+    out
+}
+
+/// Summary line for reports: positions, length, gap statistics.
+pub fn summary(binary: &BinaryAlignment, transcript: &Transcript) -> String {
+    let stats = transcript.stats();
+    format!(
+        "score {} | start ({}, {}) | end ({}, {}) | length {} | matches {} | mismatches {} | gap runs {} | gap columns {}",
+        binary.score,
+        binary.start.0,
+        binary.start.1,
+        binary.end.0,
+        binary.end.1,
+        transcript.len(),
+        stats.matches,
+        stats.mismatches,
+        binary.gaps_s0.len() + binary.gaps_s1.len(),
+        binary.gap_columns(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_core::transcript::EditOp::*;
+
+    fn setup() -> (Vec<u8>, Vec<u8>, BinaryAlignment, Transcript) {
+        let s0 = b"TTACGTACGTTT".to_vec();
+        let s1 = b"GGACGACGTGG".to_vec();
+        // local alignment of ACGTACGT vs ACG-ACGT starting at (2,2)
+        let t = Transcript::from_ops(vec![Match, Match, Match, GapS1, Match, Match, Match, Match]);
+        let b = BinaryAlignment::from_transcript((2, 2), 7 - 5 + 5, &t);
+        (s0, s1, b, t)
+    }
+
+    #[test]
+    fn render_text_shows_alignment_rows() {
+        let (s0, s1, b, _) = setup();
+        let text = render_text(&s0, &s1, &b, 60);
+        assert!(text.contains("score 7"));
+        assert!(text.contains("ACGTACGT"));
+        assert!(text.contains("ACG-ACGT"));
+        assert!(text.contains("|||"));
+    }
+
+    #[test]
+    fn render_text_wraps_and_counts_coordinates() {
+        let s0 = vec![b'A'; 15];
+        let s1 = vec![b'A'; 15];
+        let t = Transcript::from_ops(vec![Match; 15]);
+        let b = BinaryAlignment::from_transcript((0, 0), 15, &t);
+        let text = render_text(&s0, &s1, &b, 10);
+        // Two blocks: coordinates advance in the second block header.
+        let headers: Vec<&str> = text.lines().filter(|l| l.starts_with("S0")).collect();
+        assert_eq!(headers.len(), 2);
+        assert!(headers[0].trim_start_matches("S0").trim_start().starts_with('1'));
+        assert!(
+            headers[1].trim_start_matches("S0").trim_start().starts_with("11"),
+            "second block starts at position 11: {}",
+            headers[1]
+        );
+    }
+
+    #[test]
+    fn dot_plot_marks_path() {
+        let (s0, s1, b, t) = setup();
+        let plot = dot_plot(s0.len(), s1.len(), &b, &t, 6, 6);
+        let stars = plot.matches('*').count();
+        assert!(stars >= 3, "path should be visible: {plot}");
+        // Path is roughly diagonal: the first grid row with a star comes
+        // before the last one.
+        let lines: Vec<&str> = plot.lines().skip(1).collect();
+        let first = lines.iter().position(|l| l.contains('*')).unwrap();
+        let last = lines.iter().rposition(|l| l.contains('*')).unwrap();
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn pgm_has_header_and_path_pixels() {
+        let (s0, s1, b, t) = setup();
+        let img = dot_plot_pgm(s0.len(), s1.len(), &b, &t, 16, 12);
+        let header = b"P5\n16 12\n255\n";
+        assert!(img.starts_with(header));
+        let pixels = &img[header.len()..];
+        assert_eq!(pixels.len(), 16 * 12);
+        let dark = pixels.iter().filter(|&&p| p < 255).count();
+        assert!(dark >= 4, "path must darken pixels (got {dark})");
+        assert!(dark < pixels.len() / 2, "most of the canvas stays white");
+    }
+
+    #[test]
+    fn summary_reports_stats() {
+        let (_, _, b, t) = setup();
+        let s = summary(&b, &t);
+        assert!(s.contains("score 7"));
+        assert!(s.contains("length 8"));
+        assert!(s.contains("matches 7"));
+        assert!(s.contains("gap runs 1"));
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end property tests: the six-stage pipeline must reproduce the
+//! quadratic-space reference on arbitrary inputs, for arbitrary grid
+//! shapes and SRA budgets.
+
+use cudalign::{Pipeline, PipelineConfig};
+use gpu_sim::GridSpec;
+use proptest::prelude::*;
+use sw_core::full::sw_local_score;
+use sw_core::Scoring;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+}
+
+/// Pairs with planted structure so alignments are non-trivial.
+fn related_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (dna(400), any::<u64>()).prop_map(|(a, seed)| {
+        let mut b = a.clone();
+        let mut x = seed | 1;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..6 {
+            if b.len() < 4 {
+                break;
+            }
+            let r = step();
+            let pos = (r as usize >> 8) % b.len();
+            match r % 3 {
+                0 => b[pos] = b"ACGT"[(r as usize >> 40) & 3],
+                1 => {
+                    let del = (1 + (r >> 16) as usize % 20).min(b.len() - pos);
+                    b.drain(pos..pos + del);
+                }
+                _ => {
+                    for k in 0..(1 + (r >> 16) as usize % 12) {
+                        b.insert(pos, b"ACGT"[(r as usize >> (2 * k)) & 3]);
+                    }
+                }
+            }
+        }
+        (a, b)
+    })
+}
+
+fn small_grids() -> impl Strategy<Value = GridSpec> {
+    (1usize..6, 1usize..6, 1usize..4)
+        .prop_map(|(blocks, threads, alpha)| GridSpec { blocks, threads, alpha })
+}
+
+fn check(a: &[u8], b: &[u8], cfg: PipelineConfig) -> Result<(), TestCaseError> {
+    let res = Pipeline::new(cfg).align(a, b).unwrap();
+    let (ref_score, ref_end) = sw_local_score(a, b, &Scoring::paper());
+    prop_assert_eq!(res.best_score, ref_score);
+    if ref_score > 0 {
+        prop_assert_eq!(res.end, ref_end);
+        let sub_a = &a[res.start.0..res.end.0];
+        let sub_b = &b[res.start.1..res.end.1];
+        res.transcript.validate(sub_a, sub_b).unwrap();
+        prop_assert_eq!(res.transcript.score(sub_a, sub_b, &Scoring::paper()), ref_score);
+        // The binary form reconstructs the same transcript.
+        let t2 = res.binary.to_transcript(a, b);
+        prop_assert_eq!(t2.ops(), res.transcript.ops());
+        // The final chain telescopes.
+        res.chain.validate().unwrap();
+        let total: i32 = res.chain.partitions().map(|p| p.score()).sum();
+        prop_assert_eq!(total, ref_score);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pipeline_equals_reference((a, b) in related_pair()) {
+        check(&a, &b, PipelineConfig::for_tests())?;
+    }
+
+    #[test]
+    fn pipeline_invariant_to_grid_shape((a, b) in related_pair(), g1 in small_grids(), g23 in small_grids()) {
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.grid1 = g1;
+        cfg.grid23 = g23;
+        check(&a, &b, cfg)?;
+    }
+
+    #[test]
+    fn pipeline_invariant_to_sra_budget((a, b) in related_pair(), rows_budget in 0u64..64, cols_budget in 0u64..64) {
+        let mut cfg = PipelineConfig::for_tests();
+        // Budgets in units of "rows": 0 means no special rows at all.
+        cfg.sra_bytes = rows_budget * 8 * (b.len() as u64 + 1);
+        cfg.sca_bytes = cols_budget * 8 * 64;
+        check(&a, &b, cfg)?;
+    }
+
+    #[test]
+    fn pipeline_invariant_to_stage4_flags((a, b) in related_pair(), orth in any::<bool>(), bal in any::<bool>(), max_part in 4usize..64) {
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.orthogonal_stage4 = orth;
+        cfg.balanced_split = bal;
+        cfg.max_partition_size = max_part;
+        check(&a, &b, cfg)?;
+    }
+
+    #[test]
+    fn pipeline_on_unrelated_random(a in dna(300), b in dna(300)) {
+        check(&a, &b, PipelineConfig::for_tests())?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Decoding arbitrary bytes must never panic — it either parses or
+    /// reports a structured error (failure injection for Stage 6).
+    #[test]
+    fn binary_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = cudalign::BinaryAlignment::decode(&bytes);
+    }
+
+    /// Corrupting an encoded alignment must not panic the decoder; when
+    /// it still parses, re-encoding is stable.
+    #[test]
+    fn binary_decode_survives_corruption((a, b) in related_pair(), flip in any::<(usize, u8)>()) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let res = Pipeline::new(PipelineConfig::for_tests()).align(&a, &b).unwrap();
+        prop_assume!(res.best_score > 0);
+        let mut bytes = res.binary.encode();
+        let (pos, val) = flip;
+        let k = pos % bytes.len();
+        bytes[k] ^= val | 1;
+        if let Ok(decoded) = cudalign::BinaryAlignment::decode(&bytes) {
+            let re = decoded.encode();
+            let back = cudalign::BinaryAlignment::decode(&re).unwrap();
+            prop_assert_eq!(back, decoded);
+        }
+    }
+}

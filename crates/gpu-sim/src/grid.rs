@@ -1,0 +1,210 @@
+//! Grid geometry: how a DP region is carved into blocks.
+//!
+//! The paper's execution configuration is `(B, T, alpha)`: `B` CUDA blocks
+//! per external diagonal, `T` threads per block, `alpha` rows per thread.
+//! A block is therefore `alpha * T` rows tall, and the region's columns
+//! are divided evenly into `B` block-columns. The *minimum size
+//! requirement* demands `n >= 2 B T` so blocks of one external diagonal
+//! can access the shared buses without hazards; when a region is too
+//! narrow, `B` is reduced at runtime exactly as the paper describes
+//! (Section V: "The number of blocks may be reduced during runtime").
+
+/// Execution configuration of one engine launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Requested number of blocks per external diagonal (`B_k`).
+    pub blocks: usize,
+    /// Threads per block (`T_k`).
+    pub threads: usize,
+    /// Rows per thread (`alpha`).
+    pub alpha: usize,
+}
+
+impl GridSpec {
+    /// The paper's Stage-1 configuration for the GTX 285:
+    /// `alpha = 4`, `B_1 = 240`, `T_1 = 64`.
+    pub fn stage1_gtx285() -> Self {
+        GridSpec { blocks: 240, threads: 64, alpha: 4 }
+    }
+
+    /// The paper's Stage-2/3 configuration: `B = 60`, `T = 128`.
+    pub fn stage23_gtx285() -> Self {
+        GridSpec { blocks: 60, threads: 128, alpha: 4 }
+    }
+
+    /// A small configuration suited to tests (few, small blocks).
+    pub fn small() -> Self {
+        GridSpec { blocks: 4, threads: 8, alpha: 2 }
+    }
+
+    /// Block height in rows (`alpha * T`).
+    pub fn block_height(&self) -> usize {
+        self.alpha * self.threads
+    }
+
+    /// The number of blocks actually usable for a region `n` columns wide:
+    /// the largest `B' <= B` with `n >= 2 B' T` (at least 1).
+    pub fn effective_blocks(&self, n: usize) -> usize {
+        let max_b = n / (2 * self.threads);
+        self.blocks.min(max_b).max(1)
+    }
+
+    /// True when the full `B` satisfies the minimum size requirement.
+    pub fn meets_min_size(&self, n: usize) -> bool {
+        n >= 2 * self.blocks * self.threads
+    }
+
+    /// Concrete geometry for an `m x n` region.
+    pub fn layout(&self, m: usize, n: usize) -> GridLayout {
+        let bh = self.block_height().max(1);
+        let rows = m.div_ceil(bh).max(1);
+        let cols = self.effective_blocks(n);
+        GridLayout { m, n, block_rows: rows, block_cols: cols, block_height: bh }
+    }
+}
+
+/// Concrete block layout for one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridLayout {
+    /// Region height (rows of the DP matrix, excluding the border row).
+    pub m: usize,
+    /// Region width (columns, excluding the border column).
+    pub n: usize,
+    /// Number of block rows.
+    pub block_rows: usize,
+    /// Number of block columns (the effective `B`).
+    pub block_cols: usize,
+    /// Rows per block (last block row may be shorter).
+    pub block_height: usize,
+}
+
+impl GridLayout {
+    /// Row range `(start, end)` of block row `r` — 1-based DP rows,
+    /// `start..=end`.
+    pub fn row_range(&self, r: usize) -> (usize, usize) {
+        debug_assert!(r < self.block_rows);
+        let start = r * self.block_height + 1;
+        let end = ((r + 1) * self.block_height).min(self.m);
+        (start, end)
+    }
+
+    /// Column range `(start, end)` of block column `c` — 1-based DP
+    /// columns, `start..=end`. Columns are split as evenly as possible.
+    pub fn col_range(&self, c: usize) -> (usize, usize) {
+        debug_assert!(c < self.block_cols);
+        let base = self.n / self.block_cols;
+        let extra = self.n % self.block_cols;
+        // the first `extra` block columns get one extra column
+        let start = c * base + c.min(extra) + 1;
+        let width = base + usize::from(c < extra);
+        (start, start + width - 1)
+    }
+
+    /// Total number of external diagonals.
+    pub fn diagonals(&self) -> usize {
+        self.block_rows + self.block_cols - 1
+    }
+
+    /// Blocks `(r, c)` on external diagonal `d`, ordered by ascending `c`.
+    pub fn diagonal_blocks(&self, d: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let rows = self.block_rows;
+        let cols = self.block_cols;
+        (0..cols).filter_map(move |c| {
+            let r = d.checked_sub(c)?;
+            (r < rows).then_some((r, c))
+        })
+    }
+
+    /// Total cells in the region.
+    pub fn cells(&self) -> u64 {
+        self.m as u64 * self.n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let g1 = GridSpec::stage1_gtx285();
+        assert_eq!(g1.block_height(), 256);
+        assert!(g1.meets_min_size(2 * 240 * 64));
+        assert!(!g1.meets_min_size(2 * 240 * 64 - 1));
+        let g2 = GridSpec::stage23_gtx285();
+        assert_eq!(g2.block_height(), 512);
+    }
+
+    #[test]
+    fn effective_blocks_reduction() {
+        let g = GridSpec { blocks: 240, threads: 64, alpha: 4 };
+        assert_eq!(g.effective_blocks(1_000_000), 240);
+        // n = 10_000 allows at most 10_000 / 128 = 78 blocks
+        assert_eq!(g.effective_blocks(10_000), 78);
+        assert_eq!(g.effective_blocks(100), 1);
+        assert_eq!(g.effective_blocks(0), 1);
+    }
+
+    #[test]
+    fn layout_covers_region_exactly() {
+        let g = GridSpec { blocks: 3, threads: 4, alpha: 2 };
+        let l = g.layout(21, 50);
+        assert_eq!(l.block_height, 8);
+        assert_eq!(l.block_rows, 3);
+        assert_eq!(l.block_cols, 3);
+        // Rows: 1..=8, 9..=16, 17..=21
+        assert_eq!(l.row_range(0), (1, 8));
+        assert_eq!(l.row_range(2), (17, 21));
+        // Columns partition 1..=50 contiguously.
+        let mut next = 1;
+        for c in 0..l.block_cols {
+            let (s, e) = l.col_range(c);
+            assert_eq!(s, next);
+            assert!(e >= s);
+            next = e + 1;
+        }
+        assert_eq!(next, 51);
+    }
+
+    #[test]
+    fn uneven_columns_differ_by_at_most_one() {
+        let g = GridSpec { blocks: 7, threads: 1, alpha: 1 };
+        let l = g.layout(5, 24);
+        let widths: Vec<usize> = (0..l.block_cols)
+            .map(|c| {
+                let (s, e) = l.col_range(c);
+                e - s + 1
+            })
+            .collect();
+        let min = *widths.iter().min().unwrap();
+        let max = *widths.iter().max().unwrap();
+        assert!(max - min <= 1, "{widths:?}");
+        assert_eq!(widths.iter().sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn diagonal_enumeration() {
+        let g = GridSpec { blocks: 2, threads: 1, alpha: 1 };
+        let l = g.layout(3, 4); // 3 block rows x 2 block cols
+        assert_eq!(l.diagonals(), 4);
+        let d0: Vec<_> = l.diagonal_blocks(0).collect();
+        assert_eq!(d0, vec![(0, 0)]);
+        let d1: Vec<_> = l.diagonal_blocks(1).collect();
+        assert_eq!(d1, vec![(1, 0), (0, 1)]);
+        let d3: Vec<_> = l.diagonal_blocks(3).collect();
+        assert_eq!(d3, vec![(2, 1)]);
+        // Every block appears exactly once across all diagonals.
+        let total: usize = (0..l.diagonals()).map(|d| l.diagonal_blocks(d).count()).sum();
+        assert_eq!(total, l.block_rows * l.block_cols);
+    }
+
+    #[test]
+    fn degenerate_regions() {
+        let g = GridSpec::small();
+        let l = g.layout(1, 1);
+        assert_eq!(l.block_rows, 1);
+        assert_eq!(l.block_cols, 1);
+        assert_eq!(l.row_range(0), (1, 1));
+        assert_eq!(l.col_range(0), (1, 1));
+    }
+}

@@ -1,0 +1,406 @@
+//! The per-block tile kernel.
+//!
+//! A block computes a `height x width` tile of the Gotoh DP given its
+//! borders: the *horizontal bus* segment above it (`H`/`F` of the previous
+//! row), the *vertical bus* segment to its left (`H`/`E` of the previous
+//! column) and the diagonal corner value. It overwrites both segments with
+//! its own last row / last column — exactly the bus hand-off of the paper
+//! (Section III-C).
+
+use sw_core::full::better_endpoint;
+use sw_core::scoring::{Score, Scoring, NEG_INF};
+use sw_core::transcript::EdgeState;
+
+/// Horizontal-bus cell: `H` and `F` of one column at the frontier row.
+/// (`F` is the vertical-gap state — the value a block below needs; this is
+/// also the pair stored to disk for special rows.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellHF {
+    /// `H` value.
+    pub h: Score,
+    /// `F` value (vertical gap state).
+    pub f: Score,
+}
+
+impl CellHF {
+    /// An unreachable cell.
+    pub const UNREACHABLE: CellHF = CellHF { h: NEG_INF, f: NEG_INF };
+}
+
+/// Vertical-bus cell: `H` and `E` of one row at the frontier column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellHE {
+    /// `H` value.
+    pub h: Score,
+    /// `E` value (horizontal gap state).
+    pub e: Score,
+}
+
+impl CellHE {
+    /// An unreachable cell.
+    pub const UNREACHABLE: CellHE = CellHE { h: NEG_INF, e: NEG_INF };
+}
+
+/// DP state seeded at the top-left corner of a global-mode region.
+///
+/// The pipeline launches the engine in two flavours: *forward* regions
+/// (Stage 3) start from a crosspoint going down-right, *reverse* regions
+/// (Stage 2) are reversed problems whose origin is the crosspoint the path
+/// must end in. The two differ in gap-open accounting — see
+/// `sw_core::linear::RowDp::{new, new_reverse}` for the rules these
+/// constructors mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalOrigin {
+    /// `H` at the origin.
+    pub h0: Score,
+    /// `E` at the origin (horizontal-gap state).
+    pub e0: Score,
+    /// `F` at the origin (vertical-gap state).
+    pub f0: Score,
+}
+
+impl GlobalOrigin {
+    /// Forward-region origin for a partition starting in `start`:
+    /// `H = 0`, and the matching gap state is seeded to `0` so extending
+    /// the incoming run charges no second opening.
+    pub fn forward(start: EdgeState) -> Self {
+        GlobalOrigin {
+            h0: 0,
+            e0: if start == EdgeState::GapS0 { 0 } else { NEG_INF },
+            f0: if start == EdgeState::GapS1 { 0 } else { NEG_INF },
+        }
+    }
+
+    /// Reverse-region origin for a problem whose *original* orientation
+    /// must end in `end`: gap ends seed `-G_open` (the opening is charged
+    /// inside the region under forward accounting) and forbid `H`.
+    pub fn reverse(end: EdgeState, scoring: &Scoring) -> Self {
+        match end {
+            EdgeState::Diagonal => GlobalOrigin { h0: 0, e0: NEG_INF, f0: NEG_INF },
+            EdgeState::GapS0 => GlobalOrigin { h0: NEG_INF, e0: -scoring.gap_open(), f0: NEG_INF },
+            EdgeState::GapS1 => GlobalOrigin { h0: NEG_INF, e0: NEG_INF, f0: -scoring.gap_open() },
+        }
+    }
+}
+
+/// Recurrence flavour of an engine launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Smith-Waterman local: `H` clamped at 0, zero borders, the engine
+    /// tracks the maximum and its position (Stage 1).
+    Local,
+    /// Global recurrence from the region's top-left corner (Stages 2-3).
+    Global {
+        /// Origin seeding.
+        origin: GlobalOrigin,
+    },
+}
+
+impl Mode {
+    /// Global mode with a plain forward origin.
+    pub fn global(start: EdgeState) -> Self {
+        Mode::Global { origin: GlobalOrigin::forward(start) }
+    }
+
+    /// Global mode for a reversed problem ending in `end`.
+    pub fn global_reverse(end: EdgeState, scoring: &Scoring) -> Self {
+        Mode::Global { origin: GlobalOrigin::reverse(end, scoring) }
+    }
+
+    /// True for [`Mode::Local`].
+    pub fn is_local(&self) -> bool {
+        matches!(self, Mode::Local)
+    }
+}
+
+/// Result of one tile computation.
+#[derive(Debug, Clone, Copy)]
+pub struct TileOutcome {
+    /// `H` at the tile's bottom-right cell (the corner for the block at
+    /// `(r + 1, c + 1)`).
+    pub corner_out: Score,
+    /// Best cell in the tile (local mode only): `(score, abs_row, abs_col)`.
+    pub best: Option<(Score, usize, usize)>,
+    /// First cell (scan order) whose `H` equals the watched score, if a
+    /// watch was set: `(abs_row, abs_col)`. Stage 2 uses this to detect
+    /// the alignment's start point (`H_reverse == goal`).
+    pub watch_hit: Option<(usize, usize)>,
+    /// Cells updated.
+    pub cells: u64,
+}
+
+/// Compute one tile.
+///
+/// * `a_tile`/`b_tile` — the characters of this block's rows/columns,
+/// * `row_offset`/`col_offset` — absolute (1-based) DP coordinates of the
+///   tile's first row/column, used only for max tracking,
+/// * `corner` — `H` at `(row_offset - 1, col_offset - 1)`,
+/// * `top` — horizontal-bus segment (`b_tile.len()` entries) holding row
+///   `row_offset - 1`; overwritten with the tile's last row,
+/// * `left` — vertical-bus segment (`a_tile.len()` entries) holding column
+///   `col_offset - 1`; overwritten with the tile's last column.
+#[allow(clippy::too_many_arguments)] // a tile kernel: sequences, borders and tracking knobs
+pub fn compute_tile(
+    a_tile: &[u8],
+    b_tile: &[u8],
+    row_offset: usize,
+    col_offset: usize,
+    scoring: &Scoring,
+    local: bool,
+    watch: Option<Score>,
+    corner: Score,
+    top: &mut [CellHF],
+    left: &mut [CellHE],
+) -> TileOutcome {
+    // Dispatch to monomorphized inner loops — the CPU analogue of the
+    // paper's phase division, where the common case runs "an optimized
+    // kernel" without bookkeeping branches. Watching is rare (Stage 2
+    // only) and max-tracking applies only to local mode, so the global
+    // no-watch kernel — the bulk of Stages 2-3 — carries neither check.
+    match (local, watch.is_some()) {
+        (false, false) => compute_tile_impl::<false, false>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+        (false, true) => compute_tile_impl::<false, true>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+        (true, false) => compute_tile_impl::<true, false>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+        (true, true) => compute_tile_impl::<true, true>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute_tile_impl<const LOCAL: bool, const WATCH: bool>(
+    a_tile: &[u8],
+    b_tile: &[u8],
+    row_offset: usize,
+    col_offset: usize,
+    scoring: &Scoring,
+    watch: Option<Score>,
+    corner: Score,
+    top: &mut [CellHF],
+    left: &mut [CellHE],
+) -> TileOutcome {
+    debug_assert_eq!(top.len(), b_tile.len());
+    debug_assert_eq!(left.len(), a_tile.len());
+
+    let mut best: Option<(Score, usize, usize)> = None;
+    let mut watch_hit: Option<(usize, usize)> = None;
+    let watch_score = watch.unwrap_or(Score::MIN);
+    let mut prev_left_h = corner;
+
+    for (i, &ai) in a_tile.iter().enumerate() {
+        let left_cell = left[i];
+        let mut diag = prev_left_h;
+        let mut h_left = left_cell.h;
+        let mut e = left_cell.e;
+
+        for (j, &bj) in b_tile.iter().enumerate() {
+            e = (e - scoring.gap_ext).max(h_left - scoring.gap_first);
+            let t = top[j];
+            let f = (t.f - scoring.gap_ext).max(t.h - scoring.gap_first);
+            let mut h = (diag + scoring.subst(ai, bj)).max(e).max(f);
+            if LOCAL {
+                if h < 0 {
+                    h = 0;
+                }
+                if h > 0 {
+                    let cand = (h, row_offset + i, col_offset + j);
+                    if best.is_none_or(|b| better_endpoint(cand, b)) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if WATCH && h == watch_score && watch_hit.is_none() {
+                watch_hit = Some((row_offset + i, col_offset + j));
+            }
+            diag = t.h;
+            top[j] = CellHF { h, f };
+            h_left = h;
+        }
+        prev_left_h = left_cell.h;
+        left[i] = CellHE { h: h_left, e };
+    }
+
+    let corner_out = if b_tile.is_empty() {
+        // Zero-width tile: the "last column" is the left border itself
+        // (`prev_left_h` equals `corner` when the tile is also zero-height).
+        prev_left_h
+    } else if a_tile.is_empty() {
+        // Zero-height tile: the "last row" is the untouched top border.
+        top[b_tile.len() - 1].h
+    } else {
+        top[b_tile.len() - 1].h
+    };
+
+    TileOutcome { corner_out, best, watch_hit, cells: (a_tile.len() * b_tile.len()) as u64 }
+}
+
+/// Border values for a global-mode region: the init row (`H`/`F` per
+/// column) and init column (`H`/`E` per row) implied by the origin
+/// seeding, matching `sw_core::linear::RowDp`.
+pub fn global_borders(
+    m: usize,
+    n: usize,
+    scoring: &Scoring,
+    origin: GlobalOrigin,
+) -> (Vec<CellHF>, Vec<CellHE>, Score) {
+    let mut top = vec![CellHF::UNREACHABLE; n];
+    let mut left = vec![CellHE::UNREACHABLE; m];
+    // Row 0: E-run from the origin; F is unreachable along row 0.
+    let mut e = origin.e0;
+    let mut h_prev = origin.h0;
+    for cell in top.iter_mut() {
+        e = (e - scoring.gap_ext).max(h_prev - scoring.gap_first);
+        h_prev = e;
+        *cell = CellHF { h: e, f: NEG_INF };
+    }
+    // Column 0: F-run from the origin; E is unreachable along column 0.
+    let mut f = origin.f0;
+    let mut h_prev = origin.h0;
+    for cell in left.iter_mut() {
+        f = (f - scoring.gap_ext).max(h_prev - scoring.gap_first);
+        h_prev = f;
+        *cell = CellHE { h: f, e: NEG_INF };
+    }
+    (top, left, origin.h0)
+}
+
+/// Border values for a local-mode region: all zeros.
+pub fn local_borders(m: usize, n: usize) -> (Vec<CellHF>, Vec<CellHE>, Score) {
+    (
+        vec![CellHF { h: 0, f: NEG_INF }; n],
+        vec![CellHE { h: 0, e: NEG_INF }; m],
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_core::full::{sw_local_score, nw_global_typed};
+    use sw_core::linear::forward_vectors;
+    use sw_core::transcript::EdgeState as ES;
+
+    const SC: Scoring = Scoring::paper();
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    /// One tile spanning the whole matrix must reproduce the linear DP.
+    #[test]
+    fn single_tile_global_equals_rowdp() {
+        let a = lcg(1, 37);
+        let b = lcg(2, 23);
+        for start in [ES::Diagonal, ES::GapS0, ES::GapS1] {
+            let (mut top, mut left, corner) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(start));
+            compute_tile(&a, &b, 1, 1, &SC, false, None, corner, &mut top, &mut left);
+            let (h, f) = forward_vectors(&a, &b, &SC, start);
+            for j in 0..b.len() {
+                assert_eq!(top[j].h, h[j + 1], "H mismatch at {j}");
+                assert_eq!(top[j].f, f[j + 1], "F mismatch at {j}");
+            }
+        }
+    }
+
+    /// One local tile must find the same best score/endpoint as the
+    /// reference scan.
+    #[test]
+    fn single_tile_local_equals_reference() {
+        let a = lcg(3, 64);
+        let mut b = a.clone();
+        b[10] = b'A';
+        b[11] = b'C';
+        let (mut top, mut left, corner) = local_borders(a.len(), b.len());
+        let out = compute_tile(&a, &b, 1, 1, &SC, true, None, corner, &mut top, &mut left);
+        let (score, end) = sw_local_score(&a, &b, &SC);
+        let (s, i, j) = out.best.unwrap();
+        assert_eq!(s, score);
+        assert_eq!((i, j), end);
+    }
+
+    /// 2x2 tiles stitched through buses must agree with the single tile.
+    #[test]
+    fn stitched_tiles_equal_single_tile() {
+        let a = lcg(5, 30);
+        let b = lcg(6, 26);
+        let (mi, nj) = (a.len() / 2, b.len() / 2);
+
+        // Reference: single tile.
+        let (mut top_ref, mut left_ref, corner) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        compute_tile(&a, &b, 1, 1, &SC, false, None, corner, &mut top_ref, &mut left_ref);
+
+        // Stitched: four tiles with explicit corner bookkeeping.
+        let (mut top, mut left, _) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        let (t0, t1) = top.split_at_mut(nj);
+        let (l0, l1) = left.split_at_mut(mi);
+        // corners[r][c] = H at the bottom-right of block (r, c); virtual
+        // row/col -1 handled explicitly.
+        let c00_in = 0; // H(0,0)
+        let o00 = compute_tile(&a[..mi], &b[..nj], 1, 1, &SC, false, None, c00_in, t0, l0);
+        // block (0,1): corner = H(0, nj) = value the init row had there.
+        let (init_top, _, _) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        let c01_in = init_top[nj - 1].h;
+        let o01 = compute_tile(&a[..mi], &b[nj..], 1, nj + 1, &SC, false, None, c01_in, t1, l0);
+        let _ = o01;
+        // block (1,0): corner = H(mi, 0) = init column value at row mi.
+        let (_, init_left, _) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        let c10_in = init_left[mi - 1].h;
+        compute_tile(&a[mi..], &b[..nj], mi + 1, 1, &SC, false, None, c10_in, t0, l1);
+        // block (1,1): corner = bottom-right H of block (0,0).
+        compute_tile(&a[mi..], &b[nj..], mi + 1, nj + 1, &SC, false, None, o00.corner_out, t1, l1);
+
+        for j in 0..b.len() {
+            assert_eq!(top[j], top_ref[j], "bus mismatch at column {j}");
+        }
+        for i in mi..a.len() {
+            assert_eq!(left[i], left_ref[i], "vbus mismatch at row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_tiles_pass_through() {
+        let (mut top, mut left, corner) = global_borders(0, 5, &SC, GlobalOrigin::forward(ES::Diagonal));
+        let out = compute_tile(b"", b"ACGTA", 1, 1, &SC, false, None, corner, &mut top, &mut left);
+        assert_eq!(out.cells, 0);
+        // Zero-height: corner walks along the untouched top border.
+        assert_eq!(out.corner_out, top[4].h);
+        let _ = corner;
+        let (mut top2, mut left2, corner2) = global_borders(4, 0, &SC, GlobalOrigin::forward(ES::Diagonal));
+        let out2 = compute_tile(b"ACGT", b"", 1, 1, &SC, false, None, corner2, &mut top2, &mut left2);
+        assert_eq!(out2.cells, 0);
+        // corner_out walks down the left border to the last row.
+        assert_eq!(out2.corner_out, left2[3].h);
+        let _ = top2;
+    }
+
+    #[test]
+    fn global_borders_match_nw_init() {
+        let (top, left, _) = global_borders(3, 3, &SC, GlobalOrigin::forward(ES::Diagonal));
+        // H(0, j) = -(5 + (j-1)*2)
+        assert_eq!(top[0].h, -5);
+        assert_eq!(top[1].h, -7);
+        assert_eq!(top[2].h, -9);
+        assert_eq!(left[0].h, -5);
+        assert_eq!(left[2].h, -9);
+        // Seeded gap state halves the first step cost.
+        let (top_e, _, _) = global_borders(3, 3, &SC, GlobalOrigin::forward(ES::GapS0));
+        assert_eq!(top_e[0].h, -2);
+        let (_, left_f, _) = global_borders(3, 3, &SC, GlobalOrigin::forward(ES::GapS1));
+        assert_eq!(left_f[0].h, -2);
+        // Cross-check against the quadratic DP.
+        let (s, _) = nw_global_typed(b"", b"AC", &SC, ES::GapS0, ES::Diagonal);
+        assert_eq!(s, top_e[1].h);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # gpu-sim
+//!
+//! A CUDA-like block/thread wavefront execution engine in safe Rust — the
+//! substrate that stands in for the paper's NVIDIA GTX 285.
+//!
+//! CUDAlign divides the DP matrix into a grid of blocks (`B` block-columns,
+//! each block `alpha * T` rows tall, where `T` is the CUDA block's thread
+//! count and each thread owns `alpha` rows). Blocks on the same *external
+//! diagonal* are independent and run concurrently; values cross block
+//! boundaries through a *horizontal bus* (last row of each block: `H`/`F`
+//! pairs) and a *vertical bus* (last column: `H`/`E` pairs). This crate
+//! reproduces that execution model with OS threads:
+//!
+//! * [`grid`] — grid geometry and the paper's *minimum size requirement*
+//!   (`n >= 2 B T`), including the runtime reduction of `B`,
+//! * [`kernel`] — the per-block tile kernel (Gotoh recurrences over a
+//!   `block_height x block_width` tile fed by bus segments),
+//! * [`wavefront`] — the external-diagonal scheduler (crossbeam scoped
+//!   threads, one barrier per diagonal) with observer hooks used by the
+//!   pipeline to flush special rows and run matching procedures,
+//! * [`device`] — the calibrated GTX 285 time model used to project
+//!   paper-scale runtimes from cell counts,
+//! * [`multi`] — column-split execution across several simulated cards
+//!   with counted border exchange (the paper's dual-GPU future work).
+//!
+//! What is *not* simulated: warp-level mechanics (internal diagonals, the
+//! short/long phase kernel split and the `alpha`-row memory access design)
+//! — these affect GPU throughput, not results; their cost shows up in the
+//! [`device`] model instead. The data-flow the algorithm depends on —
+//! bus hand-offs, block boundaries, diagonal-synchronous progress and the
+//! minimum size requirement — is executed faithfully.
+
+pub mod device;
+pub mod grid;
+pub mod kernel;
+pub mod multi;
+pub mod wavefront;
+
+pub use device::DeviceModel;
+pub use grid::GridSpec;
+pub use kernel::{CellHE, CellHF, GlobalOrigin, Mode, TileOutcome};
+pub use wavefront::{BlockCoords, NoObserver, RegionJob, RegionResult, WavefrontObserver};

@@ -1,0 +1,857 @@
+//! The external-diagonal wavefront scheduler.
+//!
+//! Blocks of one external diagonal are mutually independent: each reads
+//! the horizontal-bus segment written by the block above it (previous
+//! diagonal) and the vertical-bus segment written by the block to its left
+//! (also previous diagonal). The scheduler walks diagonals in order,
+//! executes each diagonal's blocks concurrently on scoped threads, then
+//! — still synchronously with respect to the next diagonal — reports every
+//! completed block to the caller's [`WavefrontObserver`], which is how the
+//! pipeline flushes special rows (Stage 1) and runs goal-based matching
+//! with early abort (Stages 2-3).
+
+use crate::grid::{GridLayout, GridSpec};
+use crate::kernel::{self, CellHE, CellHF, Mode, TileOutcome};
+use std::ops::ControlFlow;
+use sw_core::full::better_endpoint;
+use sw_core::scoring::{Score, Scoring};
+
+/// Identity and geometry of one block, as seen by observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCoords {
+    /// Block row index.
+    pub r: usize,
+    /// Block column index.
+    pub c: usize,
+    /// External diagonal (`r + c`).
+    pub diagonal: usize,
+    /// Inclusive 1-based DP row range `(start, end)` of the block.
+    pub rows: (usize, usize),
+    /// Inclusive 1-based DP column range `(start, end)` of the block.
+    pub cols: (usize, usize),
+    /// True when this block is in the last block row.
+    pub last_block_row: bool,
+    /// True when this block is in the last block column.
+    pub last_block_col: bool,
+}
+
+/// Observer invoked after each completed block (sequentially, in ascending
+/// block-column order within a diagonal).
+pub trait WavefrontObserver {
+    /// `bottom` is the block's last row (`H`/`F` per column — the
+    /// horizontal-bus segment it just wrote, i.e. the special-row
+    /// candidate); `right` is its last column (`H`/`E` per row — the
+    /// *rectified vertical bus*); `outcome` carries the block's watch hit
+    /// and cell count. Return `Break` to abort the launch.
+    fn on_block(
+        &mut self,
+        block: &BlockCoords,
+        outcome: &TileOutcome,
+        bottom: &[CellHF],
+        right: &[CellHE],
+    ) -> ControlFlow<()>;
+
+    /// Called between external diagonals at the cadence configured via
+    /// [`run_resumable`]'s `checkpoint_every`, with a snapshot the
+    /// observer may persist. Default: ignore.
+    fn on_checkpoint(&mut self, _state: &EngineState) {}
+}
+
+/// A no-op observer.
+pub struct NoObserver;
+
+impl WavefrontObserver for NoObserver {
+    fn on_block(
+        &mut self,
+        _: &BlockCoords,
+        _: &TileOutcome,
+        _: &[CellHF],
+        _: &[CellHE],
+    ) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
+
+/// One engine launch over a DP region.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionJob<'a> {
+    /// Row sequence (`S0` side of the region).
+    pub a: &'a [u8],
+    /// Column sequence (`S1` side of the region).
+    pub b: &'a [u8],
+    /// Scoring scheme.
+    pub scoring: Scoring,
+    /// Local or global recurrence.
+    pub mode: Mode,
+    /// Execution configuration.
+    pub grid: GridSpec,
+    /// Maximum worker threads (`0` = all available cores).
+    pub workers: usize,
+    /// When set, every block reports the first cell whose `H` equals this
+    /// score (Stage 2's start-point detection).
+    pub watch: Option<Score>,
+}
+
+/// Outcome of an engine launch.
+#[derive(Debug, Clone)]
+pub struct RegionResult {
+    /// Best cell and its position (local mode; `None` when every cell is 0).
+    pub best: Option<(Score, usize, usize)>,
+    /// Cells updated (excluding borders).
+    pub cells: u64,
+    /// External diagonals executed.
+    pub diagonals_run: usize,
+    /// True when an observer aborted the launch.
+    pub aborted: bool,
+    /// Number of block executions (busy block-slots summed over
+    /// diagonals). See [`RegionResult::utilization`].
+    pub busy_slots: u64,
+    /// Final horizontal bus: frontier `H`/`F` per column (row `m` for every
+    /// column when the launch ran to completion).
+    pub hbus: Vec<CellHF>,
+    /// Final vertical bus: frontier `H`/`E` per row.
+    pub vbus: Vec<CellHE>,
+    /// The layout that was executed.
+    pub layout: GridLayout,
+}
+
+impl RegionResult {
+    /// Fraction of block slots kept busy across the executed diagonals:
+    /// `busy_slots / (diagonals_run * block_cols)`.
+    ///
+    /// This is the quantity CUDAlign 1.0's *cells delegation* maximizes.
+    /// With the tall grids the pipeline uses (`block_rows >>
+    /// block_cols`), the rectangular wavefront already achieves the
+    /// paper's "full parallelism except in the very beginning and very
+    /// close to the end": utilization tends to
+    /// `block_rows / (block_rows + block_cols - 1)`.
+    pub fn utilization(&self) -> f64 {
+        let slots = self.diagonals_run as u64 * self.layout.block_cols as u64;
+        if slots == 0 {
+            return 0.0;
+        }
+        self.busy_slots as f64 / slots as f64
+    }
+}
+
+struct Task<'buf, 'seq> {
+    coords: BlockCoords,
+    a_tile: &'seq [u8],
+    b_tile: &'seq [u8],
+    corner: Score,
+    hseg: &'buf mut [CellHF],
+    vseg: &'buf mut [CellHE],
+    outcome: Option<TileOutcome>,
+}
+
+/// Serializable execution state between two external diagonals — the
+/// checkpoint/resume support an 18-hour Stage 1 needs (the real CUDAlign
+/// gained incremental execution in its follow-on versions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Fingerprint of the job this state belongs to: `(m, n, B, T, alpha)`.
+    pub fingerprint: (u64, u64, u64, u64, u64),
+    /// Next external diagonal to execute.
+    pub next_diagonal: usize,
+    /// Horizontal bus contents.
+    pub hbus: Vec<CellHF>,
+    /// Vertical bus contents.
+    pub vbus: Vec<CellHE>,
+    /// Corner matrix contents.
+    pub corners: Vec<Score>,
+    /// Best cell so far (local mode).
+    pub best: Option<(Score, usize, usize)>,
+    /// Cells processed so far.
+    pub cells: u64,
+    /// Busy block-slots so far.
+    pub busy_slots: u64,
+}
+
+impl EngineState {
+    /// Does this snapshot belong to `job`? Callers should check before
+    /// resuming; [`run_resumable`] panics on a mismatch.
+    pub fn matches(&self, job: &RegionJob<'_>) -> bool {
+        self.fingerprint == Self::fingerprint_of(job)
+    }
+
+    fn fingerprint_of(job: &RegionJob<'_>) -> (u64, u64, u64, u64, u64) {
+        // FNV-1a over everything that determines the DP values: sequence
+        // content, scoring, mode and grid. Resuming under any other job
+        // must be rejected — buses computed with different parameters
+        // would silently corrupt the result.
+        fn fnv(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        let mut content = 0xcbf29ce484222325u64;
+        fnv(&mut content, job.a);
+        fnv(&mut content, job.b);
+        let mut params = 0xcbf29ce484222325u64;
+        for v in [
+            job.scoring.match_score,
+            job.scoring.mismatch_score,
+            job.scoring.gap_first,
+            job.scoring.gap_ext,
+        ] {
+            fnv(&mut params, &v.to_le_bytes());
+        }
+        match job.mode {
+            Mode::Local => fnv(&mut params, b"local"),
+            Mode::Global { origin } => {
+                fnv(&mut params, b"global");
+                fnv(&mut params, &origin.h0.to_le_bytes());
+                fnv(&mut params, &origin.e0.to_le_bytes());
+                fnv(&mut params, &origin.f0.to_le_bytes());
+            }
+        }
+        (
+            job.a.len() as u64,
+            job.b.len() as u64,
+            (job.grid.blocks as u64) << 32 | (job.grid.threads as u64) << 8 | job.grid.alpha as u64,
+            content,
+            params,
+        )
+    }
+
+    /// Serialize (little-endian, self-describing lengths).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + 8 * (self.hbus.len() + self.vbus.len()) + 4 * self.corners.len(),
+        );
+        out.extend_from_slice(b"CKPT");
+        for v in [
+            self.fingerprint.0,
+            self.fingerprint.1,
+            self.fingerprint.2,
+            self.fingerprint.3,
+            self.fingerprint.4,
+            self.next_diagonal as u64,
+            self.cells,
+            self.busy_slots,
+            self.hbus.len() as u64,
+            self.vbus.len() as u64,
+            self.corners.len() as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        match self.best {
+            None => out.push(0),
+            Some((s, i, j)) => {
+                out.push(1);
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&(i as u64).to_le_bytes());
+                out.extend_from_slice(&(j as u64).to_le_bytes());
+            }
+        }
+        for c in &self.hbus {
+            out.extend_from_slice(&c.h.to_le_bytes());
+            out.extend_from_slice(&c.f.to_le_bytes());
+        }
+        for c in &self.vbus {
+            out.extend_from_slice(&c.h.to_le_bytes());
+            out.extend_from_slice(&c.e.to_le_bytes());
+        }
+        for &c in &self.corners {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize; `None` on any structural mismatch.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, k: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + k)?;
+            *pos += k;
+            Some(s)
+        };
+        if take(&mut pos, 4)? != b"CKPT" {
+            return None;
+        }
+        let u = |pos: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let fp = (u(&mut pos)?, u(&mut pos)?, u(&mut pos)?, u(&mut pos)?, u(&mut pos)?);
+        let next_diagonal = u(&mut pos)? as usize;
+        let cells = u(&mut pos)?;
+        let busy_slots = u(&mut pos)?;
+        let nh = u(&mut pos)? as usize;
+        let nv = u(&mut pos)? as usize;
+        let nc = u(&mut pos)? as usize;
+        // Reject sizes the payload cannot hold (corruption guard).
+        let need = 1 + 8 * nh + 8 * nv + 4 * nc;
+        if bytes.len().checked_sub(pos)? < need {
+            return None;
+        }
+        let best = match take(&mut pos, 1)?[0] {
+            0 => None,
+            _ => {
+                let s = Score::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+                let i = u(&mut pos)? as usize;
+                let j = u(&mut pos)? as usize;
+                Some((s, i, j))
+            }
+        };
+        let mut hbus = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            let h = Score::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            let f = Score::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            hbus.push(CellHF { h, f });
+        }
+        let mut vbus = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            let h = Score::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            let e = Score::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            vbus.push(CellHE { h, e });
+        }
+        let mut corners = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            corners.push(Score::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?));
+        }
+        Some(EngineState {
+            fingerprint: fp,
+            next_diagonal,
+            hbus,
+            vbus,
+            corners,
+            best,
+            cells,
+            busy_slots,
+        })
+    }
+}
+
+/// Run a region to completion (or until an observer aborts).
+pub fn run(job: &RegionJob<'_>, observer: &mut dyn WavefrontObserver) -> RegionResult {
+    run_resumable(job, observer, None, None)
+}
+
+/// Like [`run`], but optionally resuming from a previous [`EngineState`]
+/// and/or delivering snapshots to the observer's
+/// [`WavefrontObserver::on_checkpoint`] every `checkpoint_every`
+/// external diagonals.
+///
+/// # Panics
+/// Panics when `resume` carries a fingerprint for a different job.
+pub fn run_resumable(
+    job: &RegionJob<'_>,
+    observer: &mut dyn WavefrontObserver,
+    resume: Option<EngineState>,
+    checkpoint_every: Option<usize>,
+) -> RegionResult {
+    let (m, n) = (job.a.len(), job.b.len());
+    let layout = job.grid.layout(m, n);
+    let local = job.mode.is_local();
+
+    let (mut hbus, mut vbus, origin_h) = match job.mode {
+        Mode::Local => kernel::local_borders(m, n),
+        Mode::Global { origin } => kernel::global_borders(m, n, &job.scoring, origin),
+    };
+
+    // corners[r][c] = H at (row_end(r-1), col_end(c-1)); row/col 0 hold the
+    // border values so block (r, c) always reads corners[r][c]. The origin
+    // corner is the origin's H seed — NEG_INF for reverse regions whose
+    // path must *begin* inside a gap run.
+    let (br, bc) = (layout.block_rows, layout.block_cols);
+    let mut corners = vec![0 as Score; (br + 1) * (bc + 1)];
+    corners[0] = origin_h;
+    for c in 0..bc {
+        let (_, ce) = layout.col_range(c);
+        corners[c + 1] = if ce == 0 { 0 } else { hbus[ce - 1].h };
+    }
+    for r in 0..br {
+        let (_, re) = layout.row_range(r);
+        corners[(r + 1) * (bc + 1)] = if re == 0 { 0 } else { vbus[re - 1].h };
+    }
+
+    let workers = if job.workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        job.workers
+    };
+
+    let mut best: Option<(Score, usize, usize)> = None;
+    let mut cells = 0u64;
+    let mut aborted = false;
+    let mut diagonals_run = 0usize;
+    let mut busy_slots = 0u64;
+    let mut first_diagonal = 0usize;
+
+    if let Some(state) = resume {
+        assert_eq!(
+            state.fingerprint,
+            EngineState::fingerprint_of(job),
+            "checkpoint belongs to a different job"
+        );
+        hbus = state.hbus;
+        vbus = state.vbus;
+        corners = state.corners;
+        best = state.best;
+        cells = state.cells;
+        busy_slots = state.busy_slots;
+        first_diagonal = state.next_diagonal;
+    }
+
+    'diagonals: for d in first_diagonal..layout.diagonals() {
+        if let Some(every) = checkpoint_every {
+            if d > first_diagonal && (d - first_diagonal).is_multiple_of(every.max(1)) {
+                observer.on_checkpoint(&EngineState {
+                    fingerprint: EngineState::fingerprint_of(job),
+                    next_diagonal: d,
+                    hbus: hbus.clone(),
+                    vbus: vbus.clone(),
+                    corners: corners.clone(),
+                    best,
+                    cells,
+                    busy_slots,
+                });
+            }
+        }
+        let blocks: Vec<(usize, usize)> = layout.diagonal_blocks(d).collect();
+
+        // Hand out disjoint bus segments. Blocks arrive in ascending `c`
+        // (descending `r`), so the horizontal bus is split left-to-right
+        // and the vertical bus back-to-front.
+        let mut tasks: Vec<Task<'_, '_>> = Vec::with_capacity(blocks.len());
+        {
+            let mut h_rest: &mut [CellHF] = &mut hbus;
+            let mut h_off = 0usize;
+            let mut v_rest: &mut [CellHE] = &mut vbus;
+
+            for &(r, c) in &blocks {
+                let (rs, re) = layout.row_range(r);
+                let (cs, ce) = layout.col_range(c);
+                // Ranges are inclusive; degenerate regions yield re < rs.
+                let width = (ce + 1).saturating_sub(cs);
+                let height = (re + 1).saturating_sub(rs);
+
+                // Horizontal segment [cs-1, cs-1+width) in absolute indices;
+                // block columns ascend along the diagonal, so split forward.
+                let skip = (cs - 1) - h_off;
+                let (_, rest) = h_rest.split_at_mut(skip);
+                let (hseg, rest) = rest.split_at_mut(width);
+                h_rest = rest;
+                h_off = cs - 1 + width;
+
+                // Vertical segment [rs-1, rs-1+height): block rows descend
+                // contiguously along the diagonal, so split from the back.
+                let (rest, _tail) = v_rest.split_at_mut(rs - 1 + height);
+                let (rest, vseg) = rest.split_at_mut(rs - 1);
+                v_rest = rest;
+
+                let coords = BlockCoords {
+                    r,
+                    c,
+                    diagonal: d,
+                    rows: (rs, re),
+                    cols: (cs, ce),
+                    last_block_row: r + 1 == br,
+                    last_block_col: c + 1 == bc,
+                };
+                tasks.push(Task {
+                    coords,
+                    a_tile: &job.a[rs - 1..re],
+                    b_tile: &job.b[cs - 1..ce],
+                    corner: corners[r * (bc + 1) + c],
+                    hseg,
+                    vseg,
+                    outcome: None,
+                });
+            }
+        }
+
+        // Execute the diagonal.
+        let run_task = |t: &mut Task<'_, '_>| {
+            let out = kernel::compute_tile(
+                t.a_tile,
+                t.b_tile,
+                t.coords.rows.0,
+                t.coords.cols.0,
+                &job.scoring,
+                local,
+                job.watch,
+                t.corner,
+                t.hseg,
+                t.vseg,
+            );
+            t.outcome = Some(out);
+        };
+        let parallel = workers > 1 && tasks.len() > 1;
+        if parallel {
+            let chunk = tasks.len().div_ceil(workers.min(tasks.len()));
+            crossbeam::thread::scope(|s| {
+                for group in tasks.chunks_mut(chunk) {
+                    s.spawn(move |_| {
+                        for t in group.iter_mut() {
+                            run_task(t);
+                        }
+                    });
+                }
+            })
+            .expect("wavefront worker panicked");
+        } else {
+            for t in tasks.iter_mut() {
+                run_task(t);
+            }
+        }
+
+        diagonals_run += 1;
+        busy_slots += tasks.len() as u64;
+
+        // Commit results and notify the observer, in block order.
+        for t in tasks.iter_mut() {
+            let out = t.outcome.expect("task executed");
+            cells += out.cells;
+            if let Some(cand) = out.best {
+                if best.is_none_or(|b| better_endpoint(cand, b)) {
+                    best = Some(cand);
+                }
+            }
+            let (r, c) = (t.coords.r, t.coords.c);
+            corners[(r + 1) * (bc + 1) + (c + 1)] = out.corner_out;
+            if observer.on_block(&t.coords, &out, t.hseg, t.vseg).is_break() {
+                aborted = true;
+                break;
+            }
+        }
+        if aborted {
+            break 'diagonals;
+        }
+    }
+
+    RegionResult { best, cells, diagonals_run, aborted, busy_slots, hbus, vbus, layout }
+}
+
+/// Convenience: run without an observer.
+pub fn run_plain(job: &RegionJob<'_>) -> RegionResult {
+    run(job, &mut NoObserver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_core::full::sw_local_score;
+    use sw_core::linear::forward_vectors;
+    use sw_core::transcript::EdgeState as ES;
+
+    const SC: Scoring = Scoring::paper();
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    fn job<'a>(a: &'a [u8], b: &'a [u8], mode: Mode, grid: GridSpec, workers: usize) -> RegionJob<'a> {
+        RegionJob { a, b, scoring: SC, mode, grid, workers, watch: None }
+    }
+
+    #[test]
+    fn global_final_row_matches_rowdp() {
+        let a = lcg(1, 113);
+        let b = lcg(2, 97);
+        for start in [ES::Diagonal, ES::GapS0, ES::GapS1] {
+            let res = run_plain(&job(&a, &b, Mode::global(start), GridSpec::small(), 2));
+            assert!(!res.aborted);
+            assert_eq!(res.cells, (a.len() * b.len()) as u64);
+            let (h, f) = forward_vectors(&a, &b, &SC, start);
+            for j in 0..b.len() {
+                assert_eq!(res.hbus[j].h, h[j + 1], "H mismatch at {j} start={start:?}");
+                assert_eq!(res.hbus[j].f, f[j + 1], "F mismatch at {j} start={start:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_best_matches_reference() {
+        let a = lcg(3, 200);
+        let mut b = lcg(3, 200); // same seed: identical, then perturb
+        for i in (0..200).step_by(17) {
+            b[i] = b"ACGT"[(i / 17) % 4];
+        }
+        let res = run_plain(&job(&a, &b, Mode::Local, GridSpec::small(), 3));
+        let (score, end) = sw_local_score(&a, &b, &SC);
+        let (s, i, j) = res.best.expect("positive score expected");
+        assert_eq!(s, score);
+        assert_eq!((i, j), end);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let a = lcg(5, 301);
+        let b = lcg(6, 257);
+        let r1 = run_plain(&job(&a, &b, Mode::Local, GridSpec { blocks: 5, threads: 4, alpha: 3 }, 1));
+        let r4 = run_plain(&job(&a, &b, Mode::Local, GridSpec { blocks: 5, threads: 4, alpha: 3 }, 4));
+        assert_eq!(r1.best, r4.best);
+        assert_eq!(r1.cells, r4.cells);
+        for j in 0..b.len() {
+            assert_eq!(r1.hbus[j], r4.hbus[j]);
+        }
+    }
+
+    #[test]
+    fn grid_shape_does_not_change_results() {
+        let a = lcg(7, 150);
+        let b = lcg(8, 190);
+        let grids = [
+            GridSpec { blocks: 1, threads: 1, alpha: 1 },
+            GridSpec { blocks: 2, threads: 8, alpha: 1 },
+            GridSpec { blocks: 7, threads: 2, alpha: 5 },
+            GridSpec { blocks: 240, threads: 64, alpha: 4 }, // reduced at runtime
+        ];
+        let reference = run_plain(&job(&a, &b, Mode::global(ES::Diagonal), grids[0], 2));
+        for g in &grids[1..] {
+            let r = run_plain(&job(&a, &b, Mode::global(ES::Diagonal), *g, 2));
+            assert_eq!(r.hbus, reference.hbus, "grid {g:?}");
+        }
+    }
+
+    /// Observer sees every block exactly once, in diagonal order, and
+    /// bottom/right segments have block-shaped lengths.
+    #[test]
+    fn observer_sees_all_blocks_in_order() {
+        struct Collect {
+            seen: Vec<BlockCoords>,
+        }
+        impl WavefrontObserver for Collect {
+            fn on_block(&mut self, b: &BlockCoords, _out: &TileOutcome, bottom: &[CellHF], right: &[CellHE]) -> ControlFlow<()> {
+                assert_eq!(bottom.len(), b.cols.1 + 1 - b.cols.0);
+                assert_eq!(right.len(), b.rows.1 + 1 - b.rows.0);
+                self.seen.push(*b);
+                ControlFlow::Continue(())
+            }
+        }
+        let a = lcg(9, 64);
+        let b = lcg(10, 48);
+        let grid = GridSpec { blocks: 3, threads: 2, alpha: 4 };
+        let mut obs = Collect { seen: Vec::new() };
+        let res = run(&job(&a, &b, Mode::Local, grid, 2), &mut obs);
+        assert_eq!(obs.seen.len(), res.layout.block_rows * res.layout.block_cols);
+        // Diagonals are non-decreasing.
+        for w in obs.seen.windows(2) {
+            assert!(w[0].diagonal <= w[1].diagonal);
+        }
+    }
+
+    #[test]
+    fn observer_abort_stops_early() {
+        struct StopAfter {
+            n: usize,
+        }
+        impl WavefrontObserver for StopAfter {
+            fn on_block(&mut self, _: &BlockCoords, _: &TileOutcome, _: &[CellHF], _: &[CellHE]) -> ControlFlow<()> {
+                self.n -= 1;
+                if self.n == 0 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            }
+        }
+        let a = lcg(11, 128);
+        let b = lcg(12, 128);
+        let grid = GridSpec { blocks: 4, threads: 2, alpha: 2 };
+        let mut obs = StopAfter { n: 3 };
+        let res = run(&job(&a, &b, Mode::Local, grid, 2), &mut obs);
+        assert!(res.aborted);
+        assert!(res.cells < (a.len() * b.len()) as u64);
+    }
+
+    #[test]
+    fn degenerate_empty_region() {
+        let res = run_plain(&job(b"", b"ACG", Mode::global(ES::Diagonal), GridSpec::small(), 2));
+        assert_eq!(res.cells, 0);
+        assert!(!res.aborted);
+        // hbus keeps the init row.
+        assert_eq!(res.hbus[0].h, -5);
+        let res2 = run_plain(&job(b"ACG", b"", Mode::Local, GridSpec::small(), 2));
+        assert_eq!(res2.cells, 0);
+        assert!(res2.best.is_none());
+    }
+
+    #[test]
+    fn single_cell_region() {
+        let res = run_plain(&job(b"A", b"A", Mode::Local, GridSpec::small(), 2));
+        assert_eq!(res.best, Some((1, 1, 1)));
+        assert_eq!(res.cells, 1);
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use sw_core::transcript::EdgeState as ES;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    /// Tall grids (many block rows, few block columns) keep nearly every
+    /// slot busy — the property cells delegation provides on the GPU.
+    #[test]
+    fn tall_grid_has_high_utilization() {
+        let a = lcg(1, 4000);
+        let b = lcg(2, 200);
+        let grid = GridSpec { blocks: 2, threads: 5, alpha: 2 }; // 400 block rows x 2 cols
+        let job = RegionJob {
+            a: &a,
+            b: &b,
+            scoring: Scoring::paper(),
+            mode: Mode::global(ES::Diagonal),
+            grid,
+            workers: 1,
+            watch: None,
+        };
+        let res = run_plain(&job);
+        assert!(res.utilization() > 0.99, "utilization {}", res.utilization());
+        assert_eq!(res.busy_slots, res.layout.block_rows as u64 * res.layout.block_cols as u64);
+    }
+
+    /// Square grids drain at the corners: utilization ~ R/(R+C-1).
+    #[test]
+    fn square_grid_utilization_matches_formula() {
+        let a = lcg(3, 160);
+        let b = lcg(4, 160);
+        let grid = GridSpec { blocks: 8, threads: 10, alpha: 2 }; // 8x8 blocks
+        let job = RegionJob {
+            a: &a,
+            b: &b,
+            scoring: Scoring::paper(),
+            mode: Mode::Local,
+            grid,
+            workers: 1,
+            watch: None,
+        };
+        let res = run_plain(&job);
+        let (r, c) = (res.layout.block_rows as f64, res.layout.block_cols as f64);
+        let expected = (r * c) / ((r + c - 1.0) * c);
+        assert!((res.utilization() - expected).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod resume_tests {
+    use super::*;
+    use sw_core::transcript::EdgeState as ES;
+
+    fn lcg(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    }
+
+    fn job<'a>(a: &'a [u8], b: &'a [u8]) -> RegionJob<'a> {
+        RegionJob {
+            a,
+            b,
+            scoring: Scoring::paper(),
+            mode: Mode::Local,
+            grid: GridSpec { blocks: 3, threads: 2, alpha: 2 },
+            workers: 2,
+            watch: None,
+        }
+    }
+
+    /// Observer that records every checkpoint snapshot.
+    struct Snapshots(Vec<EngineState>);
+    impl WavefrontObserver for Snapshots {
+        fn on_block(&mut self, _: &BlockCoords, _: &TileOutcome, _: &[CellHF], _: &[CellHE]) -> ControlFlow<()> {
+            ControlFlow::Continue(())
+        }
+        fn on_checkpoint(&mut self, state: &EngineState) {
+            self.0.push(state.clone());
+        }
+    }
+
+    /// Interrupt + resume must reproduce the uninterrupted run exactly.
+    #[test]
+    fn resume_reproduces_uninterrupted_run() {
+        let a = lcg(1, 300);
+        let mut b = lcg(1, 300);
+        for i in (0..300).step_by(23) {
+            b[i] = b"ACGT"[i % 4];
+        }
+        let j = job(&a, &b);
+        let full = run_plain(&j);
+
+        // Capture checkpoints every 5 diagonals.
+        let mut obs = Snapshots(Vec::new());
+        let _ = run_resumable(&j, &mut obs, None, Some(5));
+        let snapshots = obs.0;
+        assert!(snapshots.len() >= 2, "expected several checkpoints");
+        let mid = snapshots[snapshots.len() / 2].clone();
+
+        // Round-trip the snapshot through bytes (what a file would hold).
+        let bytes = mid.encode();
+        let restored = EngineState::decode(&bytes).expect("decode");
+        assert_eq!(restored, mid);
+
+        let resumed = run_resumable(&j, &mut NoObserver, Some(restored), None);
+        assert_eq!(resumed.best, full.best);
+        assert_eq!(resumed.hbus, full.hbus);
+        assert_eq!(resumed.vbus, full.vbus);
+        assert_eq!(resumed.cells, full.cells, "cells counter continues across resume");
+        assert_eq!(resumed.busy_slots, full.busy_slots);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        let a = lcg(2, 100);
+        let b = lcg(3, 100);
+        let j = job(&a, &b);
+        let mut obs = Snapshots(Vec::new());
+        let _ = run_resumable(&j, &mut obs, None, Some(3));
+        let mut snaps = obs.0;
+        let other_a = lcg(4, 120);
+        let j2 = job(&other_a, &b);
+        let snap = snaps.pop().expect("have a snapshot");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_resumable(&j2, &mut NoObserver, Some(snap), None)
+        }));
+        assert!(result.is_err(), "foreign checkpoint must be rejected");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(EngineState::decode(b"nope").is_none());
+        assert!(EngineState::decode(b"").is_none());
+        // Truncated real snapshot.
+        let a = lcg(5, 60);
+        let j = RegionJob {
+            a: &a,
+            b: &a,
+            scoring: Scoring::paper(),
+            mode: Mode::global(ES::Diagonal),
+            grid: GridSpec::small(),
+            workers: 1,
+            watch: None,
+        };
+        let mut obs = Snapshots(Vec::new());
+        let _ = run_resumable(&j, &mut obs, None, Some(1));
+        let snaps = obs.0;
+        let bytes = snaps[0].encode();
+        assert!(EngineState::decode(&bytes[..bytes.len() - 3]).is_none());
+        // Corrupted length field must not cause huge allocations.
+        let mut corrupt = bytes.clone();
+        corrupt[68] = 0xFF;
+        corrupt[69] = 0xFF;
+        corrupt[70] = 0xFF;
+        let _ = EngineState::decode(&corrupt); // must return, not abort
+    }
+}

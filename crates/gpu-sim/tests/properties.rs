@@ -1,0 +1,135 @@
+//! Property tests: the wavefront engine is equivalent to the sequential
+//! reference DP for every grid shape and worker count.
+
+use gpu_sim::wavefront::{run_plain, RegionJob};
+use gpu_sim::{GridSpec, Mode};
+use proptest::prelude::*;
+use sw_core::full::sw_local_score;
+use sw_core::linear::forward_vectors;
+use sw_core::scoring::Scoring;
+use sw_core::transcript::EdgeState;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+}
+
+fn grids() -> impl Strategy<Value = GridSpec> {
+    (1usize..8, 1usize..8, 1usize..5)
+        .prop_map(|(blocks, threads, alpha)| GridSpec { blocks, threads, alpha })
+}
+
+fn edge() -> impl Strategy<Value = EdgeState> {
+    proptest::sample::select(vec![EdgeState::Diagonal, EdgeState::GapS0, EdgeState::GapS1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn global_mode_equals_rowdp(a in dna(120), b in dna(120), grid in grids(), start in edge(), workers in 1usize..5) {
+        let job = RegionJob { a: &a, b: &b, scoring: Scoring::paper(), mode: Mode::global(start), grid, workers, watch: None };
+        let res = run_plain(&job);
+        prop_assert_eq!(res.cells, (a.len() * b.len()) as u64);
+        let (h, f) = forward_vectors(&a, &b, &Scoring::paper(), start);
+        for j in 0..b.len() {
+            prop_assert_eq!(res.hbus[j].h, h[j + 1]);
+            prop_assert_eq!(res.hbus[j].f, f[j + 1]);
+        }
+    }
+
+    /// Reverse-origin regions (Stage 2's strips) must also be bit-equal to
+    /// the sequential reference — including the NEG_INF origin corner that
+    /// forbids paths starting fresh at the crosspoint.
+    #[test]
+    fn global_reverse_mode_equals_rowdp(a in dna(120), b in dna(120), grid in grids(), end in edge(), workers in 1usize..5) {
+        use sw_core::linear::RowDp;
+        let sc = Scoring::paper();
+        let job = RegionJob { a: &a, b: &b, scoring: sc, mode: Mode::global_reverse(end, &sc), grid, workers, watch: None };
+        let res = run_plain(&job);
+        let mut dp = RowDp::new_reverse(b.len(), sc, end);
+        for &ch in &a {
+            dp.step(ch, &b);
+        }
+        for j in 0..b.len() {
+            prop_assert_eq!(res.hbus[j].h, dp.h()[j + 1], "H at {}", j);
+            prop_assert_eq!(res.hbus[j].f, dp.f()[j + 1], "F at {}", j);
+        }
+    }
+
+    #[test]
+    fn local_mode_equals_reference(a in dna(150), b in dna(150), grid in grids(), workers in 1usize..5) {
+        let job = RegionJob { a: &a, b: &b, scoring: Scoring::paper(), mode: Mode::Local, grid, workers, watch: None };
+        let res = run_plain(&job);
+        let (score, end) = sw_local_score(&a, &b, &Scoring::paper());
+        match res.best {
+            Some((s, i, j)) => {
+                prop_assert_eq!(s, score);
+                prop_assert_eq!((i, j), end);
+            }
+            None => prop_assert_eq!(score, 0),
+        }
+    }
+
+    /// The vertical bus after a full run holds the last column of the
+    /// matrix (H/E per row) — the rectified-vertical-bus invariant the
+    /// Stage 2 matching procedure relies on.
+    #[test]
+    fn final_vbus_is_last_column(a in dna(80), b in dna(80), grid in grids()) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let sc = Scoring::paper();
+        let job = RegionJob { a: &a, b: &b, scoring: sc, mode: Mode::global(EdgeState::Diagonal), grid, workers: 2, watch: None };
+        let res = run_plain(&job);
+        // Transposed run: the final hbus of (b x a) is the last row of the
+        // transposed matrix = last column of the original, with E <-> F.
+        let job_t = RegionJob { a: &b, b: &a, scoring: sc, mode: Mode::global(EdgeState::Diagonal), grid, workers: 2, watch: None };
+        let res_t = run_plain(&job_t);
+        for i in 0..a.len() {
+            prop_assert_eq!(res.vbus[i].h, res_t.hbus[i].h);
+            prop_assert_eq!(res.vbus[i].e, res_t.hbus[i].f);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Resuming from any checkpoint reproduces the uninterrupted run.
+    #[test]
+    fn resume_at_any_snapshot_is_lossless(
+        a in dna(150), b in dna(150), grid in grids(), every in 1usize..8, pick in any::<u32>()
+    ) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        use gpu_sim::wavefront::{run_resumable, EngineState, NoObserver};
+        use gpu_sim::{BlockCoords, CellHE, CellHF, TileOutcome};
+        use std::ops::ControlFlow;
+        struct Snapshots(Vec<EngineState>);
+        impl gpu_sim::WavefrontObserver for Snapshots {
+            fn on_block(&mut self, _: &BlockCoords, _: &TileOutcome, _: &[CellHF], _: &[CellHE]) -> ControlFlow<()> {
+                ControlFlow::Continue(())
+            }
+            fn on_checkpoint(&mut self, state: &EngineState) {
+                self.0.push(state.clone());
+            }
+        }
+        let job = RegionJob {
+            a: &a,
+            b: &b,
+            scoring: Scoring::paper(),
+            mode: Mode::Local,
+            grid,
+            workers: 2,
+            watch: None,
+        };
+        let full = run_plain(&job);
+        let mut obs = Snapshots(Vec::new());
+        let _ = run_resumable(&job, &mut obs, None, Some(every));
+        let snaps = obs.0;
+        prop_assume!(!snaps.is_empty());
+        let snap = snaps[pick as usize % snaps.len()].clone();
+        let restored = EngineState::decode(&snap.encode()).expect("roundtrip");
+        let resumed = run_resumable(&job, &mut NoObserver, Some(restored), None);
+        prop_assert_eq!(resumed.best, full.best);
+        prop_assert_eq!(resumed.hbus, full.hbus);
+        prop_assert_eq!(resumed.cells, full.cells);
+    }
+}

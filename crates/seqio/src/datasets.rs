@@ -1,0 +1,258 @@
+//! The paper's Table II as a dataset registry.
+//!
+//! Each of the eight comparisons is reproduced as a synthetic pair whose
+//! lengths are the paper's real lengths divided by a configurable *scale*
+//! and whose similarity class reproduces the paper's Table III regime
+//! (tiny coincidental alignment / homologous island / whole-sequence
+//! homology / homology plus an unrelated flank).
+
+use crate::generate::{self, HomologyParams};
+use sw_core::Sequence;
+
+/// Similarity class of a pair (inferred from the paper's Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Relation {
+    /// No planted homology: the optimal local alignment is a short random
+    /// coincidence (herpes-virus and *Agrobacterium*/*Rhizobium* pairs).
+    Unrelated,
+    /// A shared island covering `island_frac` of the smaller sequence
+    /// (Chlamydia: ~0.45 of the genome; Corynebacterium/Drosophila: tiny).
+    Island {
+        /// Island length as a fraction of the smaller sequence.
+        island_frac: f64,
+        /// Divergence applied to the island copy.
+        params: HomologyParams,
+    },
+    /// `S1` is a mutated copy of `S0` (the *B. anthracis* strains).
+    Homologous {
+        /// Divergence of the copy.
+        params: HomologyParams,
+    },
+    /// `S1` is a mutated copy of `S0` embedded between unrelated flanks
+    /// (human chr21 vs chimpanzee chr22: the human chromosome is ~14 MBP
+    /// longer and the optimal alignment starts ~13.8 MBP into it).
+    HomologousWithFlanks {
+        /// Left flank length as a fraction of the core.
+        flank_left_frac: f64,
+        /// Right flank length as a fraction of the core.
+        flank_right_frac: f64,
+        /// Divergence of the core copy.
+        params: HomologyParams,
+    },
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct PairSpec {
+    /// Registry key, e.g. `"162Kx172K"`.
+    pub key: &'static str,
+    /// Real sizes in base pairs, `(|S0|, |S1|)`.
+    pub real_sizes: (usize, usize),
+    /// NCBI accession numbers of the original sequences.
+    pub accessions: (&'static str, &'static str),
+    /// Organism names.
+    pub organisms: (&'static str, &'static str),
+    /// Similarity class.
+    pub relation: Relation,
+}
+
+impl PairSpec {
+    /// Scaled sizes: real sizes divided by `scale`, floored at 64 bp.
+    pub fn scaled_sizes(&self, scale: usize) -> (usize, usize) {
+        let s = scale.max(1);
+        ((self.real_sizes.0 / s).max(64), (self.real_sizes.1 / s).max(64))
+    }
+
+    /// Generate the pair at the given scale. Deterministic in
+    /// `(key, scale, seed)`.
+    pub fn materialize(&self, scale: usize, seed: u64) -> (Sequence, Sequence) {
+        let (len0, len1) = self.scaled_sizes(scale);
+        let seed = seed ^ fxhash(self.key.as_bytes());
+        let (mut s0, mut s1) = match self.relation {
+            Relation::Unrelated => generate::unrelated_pair(seed, len0, len1),
+            Relation::Island { island_frac, params } => {
+                let island_len = ((len0.min(len1) as f64) * island_frac).round().max(16.0) as usize;
+                let island_len = island_len.min(len0.min(len1));
+                generate::island_pair(seed, len0, len1, island_len, &params)
+            }
+            Relation::Homologous { params } => {
+                let (a, b) = generate::homologous_pair(seed, len0, &params);
+                (a, b)
+            }
+            Relation::HomologousWithFlanks { flank_left_frac, flank_right_frac, params } => {
+                let core = len0;
+                let fl = ((core as f64) * flank_left_frac).round() as usize;
+                let fr = ((core as f64) * flank_right_frac).round() as usize;
+                generate::homologous_with_flanks(seed, core, fl, fr, &params)
+            }
+        };
+        s0 = Sequence::new_unchecked(format!("{} {}", self.accessions.0, self.organisms.0), s0.into_bases());
+        s1 = Sequence::new_unchecked(format!("{} {}", self.accessions.1, self.organisms.1), s1.into_bases());
+        (s0, s1)
+    }
+}
+
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The full Table II registry.
+#[derive(Debug, Clone)]
+pub struct DatasetRegistry {
+    pairs: Vec<PairSpec>,
+}
+
+impl DatasetRegistry {
+    /// The paper's eight comparisons.
+    pub fn paper() -> Self {
+        let pairs = vec![
+            PairSpec {
+                key: "162Kx172K",
+                real_sizes: (162_114, 171_823),
+                accessions: ("NC_000898.1", "NC_007605.1"),
+                organisms: ("Human herpesvirus 6B", "Human herpesvirus 4"),
+                relation: Relation::Unrelated,
+            },
+            PairSpec {
+                key: "543Kx536K",
+                real_sizes: (542_868, 536_165),
+                accessions: ("NC_003064.2", "NC_000914.1"),
+                organisms: ("Agrobacterium tumefaciens", "Rhizobium sp."),
+                relation: Relation::Unrelated,
+            },
+            PairSpec {
+                key: "1044Kx1073K",
+                real_sizes: (1_044_459, 1_072_950),
+                accessions: ("CP000051.1", "AE002160.2"),
+                organisms: ("Chlamydia trachomatis", "Chlamydia muridarum"),
+                relation: Relation::Island { island_frac: 0.45, params: HomologyParams::diverged() },
+            },
+            PairSpec {
+                key: "3147Kx3283K",
+                real_sizes: (3_147_090, 3_282_708),
+                accessions: ("BA000035.2", "BX927147.1"),
+                organisms: ("Corynebacterium efficiens", "Corynebacterium glutamicum"),
+                relation: Relation::Island { island_frac: 0.005, params: HomologyParams::diverged() },
+            },
+            PairSpec {
+                key: "5227Kx5229K",
+                real_sizes: (5_227_293, 5_228_663),
+                accessions: ("AE016879.1", "AE017225.1"),
+                organisms: ("Bacillus anthracis str. Ames", "Bacillus anthracis str. Sterne"),
+                relation: Relation::Homologous { params: HomologyParams::strain() },
+            },
+            PairSpec {
+                key: "7146Kx5227K",
+                real_sizes: (7_145_576, 5_227_293),
+                accessions: ("NC_005027.1", "NC_003997.3"),
+                organisms: ("Rhodopirellula baltica SH 1", "Bacillus anthracis str. Ames"),
+                relation: Relation::Island { island_frac: 0.0002, params: HomologyParams::strain() },
+            },
+            PairSpec {
+                key: "23012Kx24544K",
+                real_sizes: (23_011_544, 24_543_557),
+                accessions: ("NT_033779.4", "NT_037436.3"),
+                organisms: ("Drosophila melanog. chromosome 2L", "Drosophila melanog. chromosome 3L"),
+                relation: Relation::Island { island_frac: 0.0004, params: HomologyParams::strain() },
+            },
+            PairSpec {
+                key: "32799Kx46944K",
+                real_sizes: (32_799_110, 46_944_323),
+                accessions: ("BA000046.3", "NC_000021.7"),
+                organisms: ("Pan troglodytes DNA, chromosome 22", "Homo sapiens chromosome 21"),
+                relation: Relation::HomologousWithFlanks {
+                    // 13,841,680 / 32,799,110 and the remainder on the right.
+                    flank_left_frac: 0.422,
+                    flank_right_frac: 0.009,
+                    params: HomologyParams::chromosome(),
+                },
+            },
+        ];
+        DatasetRegistry { pairs }
+    }
+
+    /// All pairs, smallest first (the paper's table order).
+    pub fn pairs(&self) -> &[PairSpec] {
+        &self.pairs
+    }
+
+    /// Look up by key (e.g. `"5227Kx5229K"`).
+    pub fn get(&self, key: &str) -> Option<&PairSpec> {
+        self.pairs.iter().find(|p| p.key == key)
+    }
+
+    /// The chromosome comparison used by the paper's detailed analysis
+    /// (Tables VII-X and Figure 12).
+    pub fn chromosome_pair(&self) -> &PairSpec {
+        self.get("32799Kx46944K").expect("registry always contains the chromosome pair")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eight_pairs_in_paper_order() {
+        let reg = DatasetRegistry::paper();
+        assert_eq!(reg.pairs().len(), 8);
+        assert_eq!(reg.pairs()[0].key, "162Kx172K");
+        assert_eq!(reg.pairs()[7].key, "32799Kx46944K");
+    }
+
+    #[test]
+    fn scaled_sizes_floor() {
+        let reg = DatasetRegistry::paper();
+        let p = reg.get("162Kx172K").unwrap();
+        assert_eq!(p.scaled_sizes(1000), (162, 171));
+        assert_eq!(p.scaled_sizes(10_000_000), (64, 64));
+        assert_eq!(p.scaled_sizes(1), (162_114, 171_823));
+    }
+
+    #[test]
+    fn materialize_is_deterministic_and_sized() {
+        let reg = DatasetRegistry::paper();
+        for pair in reg.pairs() {
+            let (a1, b1) = pair.materialize(10_000, 1);
+            let (a2, b2) = pair.materialize(10_000, 1);
+            assert_eq!(a1.bases(), a2.bases(), "{} not deterministic", pair.key);
+            assert_eq!(b1.bases(), b2.bases());
+            let (l0, l1) = pair.scaled_sizes(10_000);
+            assert_eq!(a1.len(), l0, "{}", pair.key);
+            // Homologous pairs drift in length by design.
+            match pair.relation {
+                Relation::Unrelated | Relation::Island { .. } => assert_eq!(b1.len(), l1),
+                _ => {
+                    assert!(!b1.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chromosome_pair_has_flanks() {
+        let reg = DatasetRegistry::paper();
+        let p = reg.chromosome_pair();
+        let (s0, s1) = p.materialize(100_000, 7);
+        assert!(s1.len() > s0.len(), "human side must carry the flank");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let reg = DatasetRegistry::paper();
+        let p = reg.get("5227Kx5229K").unwrap();
+        let (a1, _) = p.materialize(10_000, 1);
+        let (a2, _) = p.materialize(10_000, 2);
+        assert_ne!(a1.bases(), a2.bases());
+    }
+
+    #[test]
+    fn get_unknown_key() {
+        assert!(DatasetRegistry::paper().get("nope").is_none());
+    }
+}

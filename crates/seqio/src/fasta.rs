@@ -1,0 +1,188 @@
+//! Minimal FASTA reader/writer.
+//!
+//! Supports multi-record files, arbitrary line wrapping, lower-case
+//! (soft-masked) bases and `N` runs — enough to load real chromosome
+//! downloads should the user have them, while the test-suite uses the
+//! synthetic generator.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use sw_core::Sequence;
+
+/// Line width used when writing.
+pub const LINE_WIDTH: usize = 70;
+
+/// Errors raised while parsing FASTA input.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data before the first `>` header.
+    MissingHeader,
+    /// A base outside `{A,C,G,T,N}` (after upper-casing).
+    InvalidBase {
+        /// Record the base occurred in.
+        record: String,
+        /// 1-based line number.
+        line: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::MissingHeader => write!(f, "sequence data before the first '>' header"),
+            FastaError::InvalidBase { record, line, byte } => write!(
+                f,
+                "invalid base {:?} in record {:?} at line {}",
+                *byte as char, record, line
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parse every record from a reader.
+pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Sequence>, FastaError> {
+    let buf = BufReader::new(reader);
+    let mut records: Vec<Sequence> = Vec::new();
+    let mut name: Option<String> = None;
+    let mut data: Vec<u8> = Vec::new();
+
+    let flush = |name: &mut Option<String>, data: &mut Vec<u8>, out: &mut Vec<Sequence>| {
+        if let Some(n) = name.take() {
+            out.push(Sequence::new_unchecked(n, std::mem::take(data)));
+        }
+    };
+
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            flush(&mut name, &mut data, &mut records);
+            name = Some(header.trim().to_string());
+        } else {
+            if name.is_none() {
+                return Err(FastaError::MissingHeader);
+            }
+            for &b in line.as_bytes() {
+                if b.is_ascii_whitespace() {
+                    continue;
+                }
+                let up = b.to_ascii_uppercase();
+                if !sw_core::sequence::ALPHABET.contains(&up) {
+                    return Err(FastaError::InvalidBase {
+                        record: name.clone().unwrap_or_default(),
+                        line: lineno + 1,
+                        byte: b,
+                    });
+                }
+                data.push(up);
+            }
+        }
+    }
+    flush(&mut name, &mut data, &mut records);
+    Ok(records)
+}
+
+/// Parse every record from a file.
+pub fn read_fasta_file(path: impl AsRef<Path>) -> Result<Vec<Sequence>, FastaError> {
+    read_fasta(File::open(path)?)
+}
+
+/// Write records with [`LINE_WIDTH`]-column wrapping.
+pub fn write_fasta<'a, W: Write>(
+    writer: W,
+    records: impl IntoIterator<Item = &'a Sequence>,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for rec in records {
+        writeln!(w, ">{}", rec.name())?;
+        for chunk in rec.bases().chunks(LINE_WIDTH) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    w.flush()
+}
+
+/// Write records to a file.
+pub fn write_fasta_file<'a>(
+    path: impl AsRef<Path>,
+    records: impl IntoIterator<Item = &'a Sequence>,
+) -> io::Result<()> {
+    write_fasta(File::create(path)?, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_record() {
+        let input = ">chr1 test\nACGT\nacgt\n";
+        let recs = read_fasta(input.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name(), "chr1 test");
+        assert_eq!(recs[0].bases(), b"ACGTACGT");
+    }
+
+    #[test]
+    fn parses_multiple_records_and_blank_lines() {
+        let input = ">a\nAC\n\n>b\nGT\nNN\n";
+        let recs = read_fasta(input.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].bases(), b"AC");
+        assert_eq!(recs[1].bases(), b"GTNN");
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        assert!(matches!(read_fasta("ACGT\n".as_bytes()), Err(FastaError::MissingHeader)));
+    }
+
+    #[test]
+    fn rejects_invalid_base_with_location() {
+        let err = read_fasta(">a\nACGT\nACXT\n".as_bytes()).unwrap_err();
+        match err {
+            FastaError::InvalidBase { record, line, byte } => {
+                assert_eq!(record, "a");
+                assert_eq!(line, 3);
+                assert_eq!(byte, b'X');
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let seq = Sequence::new("wrap", vec![b'A'; 2 * LINE_WIDTH + 7]).unwrap();
+        let mut out = Vec::new();
+        write_fasta(&mut out, [&seq]).unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.lines().count() == 4); // header + 3 data lines
+        let back = read_fasta(&out[..]).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].bases(), seq.bases());
+        assert_eq!(back[0].name(), "wrap");
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(read_fasta("".as_bytes()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # seqio
+//!
+//! Sequence I/O and workload generation for the CUDAlign 2.0 reproduction:
+//!
+//! * [`fasta`] — minimal, dependency-free FASTA reader/writer,
+//! * [`generate`] — random DNA and *synthetic homologous pairs*: a seed
+//!   sequence mutated with SNPs, indels and block rearrangements. These
+//!   substitute for the NCBI chromosomes of the paper's Table II (the
+//!   evaluation only depends on sequence length and the similarity regime,
+//!   both of which the generator controls),
+//! * [`datasets`] — the Table II registry: the paper's eight comparisons
+//!   reproduced at a configurable scale, each with the similarity class
+//!   inferred from the paper's Table III results.
+
+pub mod datasets;
+pub mod fasta;
+pub mod generate;
+
+pub use datasets::{DatasetRegistry, PairSpec, Relation};
+pub use generate::HomologyParams;

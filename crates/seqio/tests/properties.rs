@@ -1,0 +1,72 @@
+//! Property tests for sequence I/O and generation.
+
+use proptest::prelude::*;
+use seqio::fasta;
+use seqio::generate::{apply_block_ops, mutate, reverse_complement, BlockOp, HomologyParams};
+use sw_core::sequence::ALPHABET;
+use sw_core::Sequence;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGTN".to_vec()), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FASTA write -> read is the identity on records.
+    #[test]
+    fn fasta_roundtrip(seqs in proptest::collection::vec(dna(300), 1..4)) {
+        let records: Vec<Sequence> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Sequence::new(format!("rec{i}"), s.clone()).unwrap())
+            .collect();
+        let mut bytes = Vec::new();
+        fasta::write_fasta(&mut bytes, &records).unwrap();
+        let back = fasta::read_fasta(&bytes[..]).unwrap();
+        prop_assert_eq!(back.len(), records.len());
+        for (orig, parsed) in records.iter().zip(&back) {
+            prop_assert_eq!(orig.bases(), parsed.bases());
+            prop_assert_eq!(orig.name(), parsed.name());
+        }
+    }
+
+    /// Mutation output stays within the alphabet and near the input size.
+    #[test]
+    fn mutate_stays_valid(seed in any::<u64>(), base in dna(500), snp in 0.0f64..0.5, indel in 0.0f64..0.05) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = HomologyParams { snp_rate: snp, indel_rate: indel, indel_mean_len: 5.0, insert_prob: 0.5 };
+        let out = mutate(&mut rng, &base, &p);
+        prop_assert!(out.iter().all(|b| ALPHABET.contains(b)));
+        prop_assert!(out.len() <= 2 * base.len() + 200);
+    }
+
+    /// Reverse complement is an involution that preserves length.
+    #[test]
+    fn revcomp_involution(s in dna(400)) {
+        let rc = reverse_complement(&s);
+        prop_assert_eq!(rc.len(), s.len());
+        prop_assert_eq!(reverse_complement(&rc), s);
+    }
+
+    /// Block operations never produce out-of-alphabet bases and respect
+    /// simple length accounting.
+    #[test]
+    fn block_ops_preserve_alphabet(s in dna(300), start in 0usize..400, len in 0usize..200, to in 0usize..400) {
+        for op in [
+            BlockOp::Duplicate { start, len },
+            BlockOp::Delete { start, len },
+            BlockOp::Translocate { start, len, to },
+            BlockOp::Invert { start, len },
+        ] {
+            let out = apply_block_ops(&s, &[op]);
+            prop_assert!(out.iter().all(|b| ALPHABET.contains(b)));
+            match op {
+                BlockOp::Duplicate { .. } => prop_assert!(out.len() >= s.len()),
+                BlockOp::Delete { .. } => prop_assert!(out.len() <= s.len()),
+                _ => prop_assert_eq!(out.len(), s.len()),
+            }
+        }
+    }
+}

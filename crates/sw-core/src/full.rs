@@ -1,0 +1,577 @@
+//! Quadratic-space dynamic programming with traceback.
+//!
+//! Two entry points:
+//!
+//! * [`sw_local`] — Smith-Waterman + Gotoh local alignment (Phase 1 and
+//!   Phase 2 of Section II-A), used as ground truth in tests and as the
+//!   quadratic-space baseline,
+//! * [`nw_global_typed`] — global (Needleman-Wunsch + Gotoh) alignment of a
+//!   *partition*, honouring the paper's crosspoint edge types so that a gap
+//!   run crossing a partition boundary is charged exactly one opening
+//!   (Section IV-A). This is the Stage-5 base-case solver.
+//!
+//! Both keep the three DP matrices in rolling rows and store only one
+//! direction byte per cell, so an `m x n` problem needs `(m+1)(n+1)` bytes
+//! plus `O(n)` words.
+
+use crate::scoring::{Score, Scoring, NEG_INF};
+use crate::transcript::{EdgeState, EditOp, Transcript};
+
+/// Result of a local alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// The optimal score (max over the `H` matrix).
+    pub score: Score,
+    /// DP node where the alignment starts: `(i, j)` prefix lengths, i.e.
+    /// the alignment consumes `a[start.0..end.0]` and `b[start.1..end.1]`.
+    pub start: (usize, usize),
+    /// DP node where the alignment ends.
+    pub end: (usize, usize),
+    /// The alignment itself.
+    pub transcript: Transcript,
+}
+
+/// Deterministic endpoint preference shared by every implementation in the
+/// workspace (full-matrix, linear-space and the wavefront engine must all
+/// report the same endpoint): higher score wins; ties prefer the earlier
+/// anti-diagonal `i + j`, then the smaller row `i`.
+#[inline]
+pub fn better_endpoint(
+    cand: (Score, usize, usize),
+    best: (Score, usize, usize),
+) -> bool {
+    let (cs, ci, cj) = cand;
+    let (bs, bi, bj) = best;
+    if cs != bs {
+        return cs > bs;
+    }
+    let (cd, bd) = (ci + cj, bi + bj);
+    if cd != bd {
+        return cd < bd;
+    }
+    ci < bi
+}
+
+// Direction byte layout.
+const H_SRC_MASK: u8 = 0b0011; // 0 = stop (zero cell / origin), 1 = diag, 2 = E, 3 = F
+const H_DIAG: u8 = 1;
+const H_FROM_E: u8 = 2;
+const H_FROM_F: u8 = 3;
+const E_EXTEND: u8 = 0b0100; // set when E came from E (gap extension)
+const F_EXTEND: u8 = 0b1000; // set when F came from F (gap extension)
+
+/// Smith-Waterman local alignment with full traceback.
+///
+/// Returns `None` when the optimal score is zero (no positive-scoring local
+/// alignment exists, e.g. one of the sequences is empty).
+pub fn sw_local(a: &[u8], b: &[u8], scoring: &Scoring) -> Option<LocalAlignment> {
+    let (m, n) = (a.len(), b.len());
+    let mut dirs = vec![0u8; (m + 1) * (n + 1)];
+    let row = n + 1;
+
+    let mut h_prev = vec![0 as Score; n + 1];
+    let mut h_cur = vec![0 as Score; n + 1];
+    let mut f = vec![NEG_INF; n + 1];
+
+    let mut best = (0 as Score, 0usize, 0usize);
+
+    for i in 1..=m {
+        let ai = a[i - 1];
+        let mut e = NEG_INF;
+        h_cur[0] = 0;
+        let dir_row = &mut dirs[i * row..(i + 1) * row];
+        for j in 1..=n {
+            let mut d = 0u8;
+
+            let e_ext = e - scoring.gap_ext;
+            let e_open = h_cur[j - 1] - scoring.gap_first;
+            e = if e_ext >= e_open {
+                d |= E_EXTEND;
+                e_ext
+            } else {
+                e_open
+            };
+
+            let f_ext = f[j] - scoring.gap_ext;
+            let f_open = h_prev[j] - scoring.gap_first;
+            f[j] = if f_ext >= f_open {
+                d |= F_EXTEND;
+                f_ext
+            } else {
+                f_open
+            };
+
+            let diag = h_prev[j - 1] + scoring.subst(ai, b[j - 1]);
+
+            // H = max(0, diag, E, F); ties prefer diag, then E, then F so
+            // tracebacks favour substitutions over gaps.
+            let mut h = 0;
+            let mut src = 0u8;
+            if diag >= h {
+                h = diag;
+                src = H_DIAG;
+            }
+            if e > h {
+                h = e;
+                src = H_FROM_E;
+            }
+            if f[j] > h {
+                h = f[j];
+                src = H_FROM_F;
+            }
+            // A diagonal source that yields a non-positive score is a stop:
+            // the local alignment would never pass through it.
+            if h == 0 {
+                src = 0;
+            }
+            d |= src;
+            dir_row[j] = d;
+            h_cur[j] = h;
+
+            if better_endpoint((h, i, j), best) {
+                best = (h, i, j);
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+
+    let (score, ei, ej) = best;
+    if score <= 0 {
+        return None;
+    }
+    let (transcript, start) = traceback(&dirs, row, (ei, ej), TracebackState::H, |d, i, j| {
+        (d & H_SRC_MASK) == 0 || (i == 0 && j == 0)
+    });
+    Some(LocalAlignment { score, start, end: (ei, ej), transcript })
+}
+
+/// Score-only Smith-Waterman in linear memory: returns the best score and
+/// its end position using [`better_endpoint`] for ties, plus nothing else.
+/// This is the reference for Stage 1.
+pub fn sw_local_score(a: &[u8], b: &[u8], scoring: &Scoring) -> (Score, (usize, usize)) {
+    let (m, n) = (a.len(), b.len());
+    let mut h_prev = vec![0 as Score; n + 1];
+    let mut h_cur = vec![0 as Score; n + 1];
+    let mut f = vec![NEG_INF; n + 1];
+    let mut best = (0 as Score, 0usize, 0usize);
+    for i in 1..=m {
+        let ai = a[i - 1];
+        let mut e = NEG_INF;
+        h_cur[0] = 0;
+        for j in 1..=n {
+            e = (e - scoring.gap_ext).max(h_cur[j - 1] - scoring.gap_first);
+            f[j] = (f[j] - scoring.gap_ext).max(h_prev[j] - scoring.gap_first);
+            let diag = h_prev[j - 1] + scoring.subst(ai, b[j - 1]);
+            let h = diag.max(e).max(f[j]).max(0);
+            h_cur[j] = h;
+            if better_endpoint((h, i, j), best) {
+                best = (h, i, j);
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    (best.0, (best.1, best.2))
+}
+
+/// Global (Needleman-Wunsch + Gotoh) alignment of a partition whose edges
+/// carry crosspoint types.
+///
+/// * `start` — DP state at the top-left corner. `GapS0`/`GapS1` mean the
+///   incoming path is inside a horizontal/vertical gap run, so extending
+///   that run does **not** pay a second opening.
+/// * `end` — required DP state at the bottom-right corner; the score is
+///   read from `H`, `E` or `F` accordingly.
+///
+/// Returns the partition score and transcript. The score composes with
+/// neighbouring partitions by plain addition (the telescoping property the
+/// crosspoint chain relies on).
+pub fn nw_global_typed(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    start: EdgeState,
+    end: EdgeState,
+) -> (Score, Transcript) {
+    let (m, n) = (a.len(), b.len());
+    let row = n + 1;
+    let mut dirs = vec![0u8; (m + 1) * row];
+
+    let mut h_prev = vec![NEG_INF; n + 1];
+    let mut h_cur = vec![NEG_INF; n + 1];
+    let mut e_row = vec![NEG_INF; n + 1]; // E values of the *current* row (for end-state reads)
+    let mut f = vec![NEG_INF; n + 1];
+
+    // Origin: H = 0 always (a gap run may close exactly at the crosspoint
+    // for free); E/F seeded to 0 when the edge is inside the matching run.
+    h_prev[0] = 0;
+    let e0 = if start == EdgeState::GapS0 { 0 } else { NEG_INF };
+    let f0 = if start == EdgeState::GapS1 { 0 } else { NEG_INF };
+
+    // Row 0: only horizontal moves.
+    {
+        let mut e = e0;
+        for j in 1..=n {
+            let mut d = 0u8;
+            let e_ext = e - scoring.gap_ext;
+            let e_open = h_prev[j - 1] - scoring.gap_first;
+            e = if e_ext >= e_open {
+                d |= E_EXTEND;
+                e_ext
+            } else {
+                e_open
+            };
+            h_prev[j] = e;
+            e_row[j] = e;
+            d |= H_FROM_E;
+            dirs[j] = d;
+        }
+    }
+    let mut f_col0 = f0; // F value in column 0 of the previous row
+    let mut last_e = e_row.clone();
+
+    for i in 1..=m {
+        let ai = a[i - 1];
+        // Column 0: only vertical moves.
+        let f_ext = f_col0 - scoring.gap_ext;
+        let f_open = h_prev[0] - scoring.gap_first;
+        let (f0_cur, mut d0) = if f_ext >= f_open { (f_ext, F_EXTEND) } else { (f_open, 0) };
+        f_col0 = f0_cur;
+        h_cur[0] = f0_cur;
+        d0 |= H_FROM_F;
+        dirs[i * row] = d0;
+
+        let mut e = NEG_INF;
+        let dir_row = &mut dirs[i * row..(i + 1) * row];
+        for j in 1..=n {
+            let mut d = 0u8;
+            let e_ext = e - scoring.gap_ext;
+            let e_open = h_cur[j - 1] - scoring.gap_first;
+            e = if e_ext >= e_open {
+                d |= E_EXTEND;
+                e_ext
+            } else {
+                e_open
+            };
+            let f_ext = f[j] - scoring.gap_ext;
+            let f_open = h_prev[j] - scoring.gap_first;
+            f[j] = if f_ext >= f_open {
+                d |= F_EXTEND;
+                f_ext
+            } else {
+                f_open
+            };
+            let diag = h_prev[j - 1] + scoring.subst(ai, b[j - 1]);
+
+            let mut h = diag;
+            let mut src = H_DIAG;
+            if e > h {
+                h = e;
+                src = H_FROM_E;
+            }
+            if f[j] > h {
+                h = f[j];
+                src = H_FROM_F;
+            }
+            d |= src;
+            dir_row[j] = d;
+            h_cur[j] = h;
+            if i == m {
+                last_e[j] = e;
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    if m == 0 {
+        last_e = e_row;
+    }
+
+    let score = match end {
+        EdgeState::Diagonal => h_prev[n],
+        EdgeState::GapS0 => {
+            if m == 0 && n == 0 {
+                e0
+            } else {
+                last_e[n]
+            }
+        }
+        EdgeState::GapS1 => {
+            if n == 0 {
+                f_col0
+            } else {
+                f[n]
+            }
+        }
+    };
+
+    // An unreachable end state (e.g. requiring a trailing horizontal gap
+    // when `n == 0`) has no path to trace.
+    if score <= NEG_INF / 2 {
+        return (NEG_INF, Transcript::new());
+    }
+
+    let init_state = match end {
+        EdgeState::Diagonal => TracebackState::H,
+        EdgeState::GapS0 => TracebackState::E,
+        EdgeState::GapS1 => TracebackState::F,
+    };
+    let (transcript, origin) = traceback(&dirs, row, (m, n), init_state, |_d, i, j| i == 0 && j == 0);
+    debug_assert_eq!(origin, (0, 0), "global traceback must reach the origin");
+    (score, transcript)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TracebackState {
+    H,
+    E,
+    F,
+}
+
+/// Shared traceback walker. `stop(dir, i, j)` decides when an `H` state
+/// terminates the walk (zero cell for local, origin for global).
+fn traceback(
+    dirs: &[u8],
+    row: usize,
+    end: (usize, usize),
+    init: TracebackState,
+    stop: impl Fn(u8, usize, usize) -> bool,
+) -> (Transcript, (usize, usize)) {
+    let (mut i, mut j) = end;
+    let mut state = init;
+    let mut ops = Vec::new();
+    loop {
+        let d = dirs[i * row + j];
+        match state {
+            TracebackState::H => {
+                if stop(d, i, j) {
+                    break;
+                }
+                match d & H_SRC_MASK {
+                    H_DIAG => {
+                        // Caller distinguishes match/mismatch via validate();
+                        // we record Mismatch only when chars differ, which the
+                        // walker cannot see — so the op kind is patched below.
+                        ops.push(EditOp::Match);
+                        i -= 1;
+                        j -= 1;
+                    }
+                    H_FROM_E => state = TracebackState::E,
+                    H_FROM_F => state = TracebackState::F,
+                    _ => break, // stop marker inside the matrix (local zero cell)
+                }
+            }
+            TracebackState::E => {
+                if i == 0 && j == 0 {
+                    // Seeded origin: the gap run continues into the
+                    // upstream partition; nothing more to emit.
+                    break;
+                }
+                ops.push(EditOp::GapS0);
+                let extend = d & E_EXTEND != 0;
+                j -= 1;
+                state = if extend { TracebackState::E } else { TracebackState::H };
+            }
+            TracebackState::F => {
+                if i == 0 && j == 0 {
+                    break;
+                }
+                ops.push(EditOp::GapS1);
+                let extend = d & F_EXTEND != 0;
+                i -= 1;
+                state = if extend { TracebackState::F } else { TracebackState::H };
+            }
+        }
+    }
+    ops.reverse();
+    (Transcript::from_ops(ops), (i, j))
+}
+
+/// Patch diagonal ops into `Match`/`Mismatch` according to the actual
+/// characters. The traceback walker cannot see the sequences, so callers
+/// run this once after it.
+fn classify_diagonals(t: &mut Transcript, a: &[u8], b: &[u8]) {
+    let mut ops = t.ops().to_vec();
+    let (mut i, mut j) = (0usize, 0usize);
+    for op in &mut ops {
+        match op {
+            EditOp::Match | EditOp::Mismatch => {
+                *op = if a[i] == b[j] { EditOp::Match } else { EditOp::Mismatch };
+                i += 1;
+                j += 1;
+            }
+            EditOp::GapS0 => j += 1,
+            EditOp::GapS1 => i += 1,
+        }
+    }
+    *t = Transcript::from_ops(ops);
+}
+
+/// Convenience wrapper: [`sw_local`] with properly classified diagonal ops.
+pub fn sw_local_aligned(a: &[u8], b: &[u8], scoring: &Scoring) -> Option<LocalAlignment> {
+    let mut r = sw_local(a, b, scoring)?;
+    let sub_a = &a[r.start.0..r.end.0];
+    let sub_b = &b[r.start.1..r.end.1];
+    classify_diagonals(&mut r.transcript, sub_a, sub_b);
+    Some(r)
+}
+
+/// Convenience wrapper: [`nw_global_typed`] with classified diagonal ops.
+pub fn nw_global_aligned(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    start: EdgeState,
+    end: EdgeState,
+) -> (Score, Transcript) {
+    let (score, mut t) = nw_global_typed(a, b, scoring, start, end);
+    classify_diagonals(&mut t, a, b);
+    (score, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transcript::EdgeState as ES;
+
+    const SC: Scoring = Scoring::paper();
+
+    #[test]
+    fn identical_sequences_align_fully() {
+        let a = b"ACGTACGT";
+        let r = sw_local_aligned(a, a, &SC).unwrap();
+        assert_eq!(r.score, 8);
+        assert_eq!(r.start, (0, 0));
+        assert_eq!(r.end, (8, 8));
+        assert_eq!(r.transcript.cigar(), "8=");
+        r.transcript.validate(a, a).unwrap();
+    }
+
+    #[test]
+    fn local_ignores_poor_flanks() {
+        //            ....MMMMMM....
+        let a = b"TTTTACGTGACCTTTT";
+        let b = b"GGGGACGTGACCGGGG";
+        let r = sw_local_aligned(a, b, &SC).unwrap();
+        assert_eq!(r.score, 8);
+        assert_eq!(r.start, (4, 4));
+        assert_eq!(r.end, (12, 12));
+    }
+
+    #[test]
+    fn local_none_for_disjoint_alphabet_or_empty() {
+        assert!(sw_local(b"AAAA", b"", &SC).is_none());
+        assert!(sw_local(b"", b"CCCC", &SC).is_none());
+        // single mismatch only -> no positive score
+        assert!(sw_local(b"A", b"C", &SC).is_none());
+    }
+
+    #[test]
+    fn local_gap_in_middle() {
+        // b = a with 2 bases deleted -> expect a type-2 (GapS1) run.
+        let a = b"ACGTACGTACGTACGT";
+        let b = b"ACGTACGTCGTACGT"; // removed one 'A' at pos 8
+        let r = sw_local_aligned(a, b, &SC).unwrap();
+        r.transcript.validate(&a[r.start.0..r.end.0], &b[r.start.1..r.end.1]).unwrap();
+        let check = r.transcript.score(&a[r.start.0..r.end.0], &b[r.start.1..r.end.1], &SC);
+        assert_eq!(check, r.score);
+        assert_eq!(r.score, 15 - 5); // 15 matches, one 1-gap run
+    }
+
+    #[test]
+    fn score_only_agrees_with_full() {
+        let a = b"GATTACAGATTACAGGG";
+        let b = b"GATCACAGTTTACAGGA";
+        let full = sw_local(a, b, &SC).unwrap();
+        let (s, end) = sw_local_score(a, b, &SC);
+        assert_eq!(s, full.score);
+        assert_eq!(end, full.end);
+    }
+
+    #[test]
+    fn global_identical() {
+        let a = b"ACGT";
+        let (s, t) = nw_global_aligned(a, a, &SC, ES::Diagonal, ES::Diagonal);
+        assert_eq!(s, 4);
+        assert_eq!(t.cigar(), "4=");
+    }
+
+    #[test]
+    fn global_empty_vs_nonempty_is_one_gap_run() {
+        let (s, t) = nw_global_aligned(b"", b"ACG", &SC, ES::Diagonal, ES::Diagonal);
+        assert_eq!(s, -(5 + 2 + 2));
+        assert_eq!(t.cigar(), "3I");
+        let (s2, t2) = nw_global_aligned(b"ACG", b"", &SC, ES::Diagonal, ES::Diagonal);
+        assert_eq!(s2, -(5 + 2 + 2));
+        assert_eq!(t2.cigar(), "3D");
+    }
+
+    #[test]
+    fn global_both_empty() {
+        let (s, t) = nw_global_aligned(b"", b"", &SC, ES::Diagonal, ES::Diagonal);
+        assert_eq!(s, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn global_start_in_gap_skips_opening() {
+        // Partition starts inside a vertical gap run: aligning "GG" vs ""
+        // should cost two extensions, not open+ext.
+        let (s, t) = nw_global_typed(b"GG", b"", &SC, ES::GapS1, ES::Diagonal);
+        assert_eq!(s, -4);
+        assert_eq!(t.cigar(), "2D");
+        // Standalone it would cost -7.
+        let (s2, _) = nw_global_typed(b"GG", b"", &SC, ES::Diagonal, ES::Diagonal);
+        assert_eq!(s2, -7);
+    }
+
+    #[test]
+    fn global_end_in_gap_reads_f_state() {
+        // Path must END inside a vertical gap: align "AG" vs "A" ending in F.
+        // Expected: match A, then gap-open for G: -5 + 1 = -4.
+        let (s, t) = nw_global_typed(b"AG", b"A", &SC, ES::Diagonal, ES::GapS1);
+        assert_eq!(s, 1 - 5);
+        assert_eq!(t.cigar(), "1=1D");
+    }
+
+    #[test]
+    fn global_gap_run_spanning_both_edges() {
+        // Entire partition inside one vertical run: start F, end F.
+        let (s, t) = nw_global_typed(b"GGG", b"", &SC, ES::GapS1, ES::GapS1);
+        assert_eq!(s, -6); // three extensions
+        assert_eq!(t.cigar(), "3D");
+    }
+
+    #[test]
+    fn global_score_matches_transcript_score() {
+        let a = b"ACCGTTAGCAGT";
+        let b = b"ACGTTAGGCAGT";
+        let (s, t) = nw_global_aligned(a, b, &SC, ES::Diagonal, ES::Diagonal);
+        t.validate(a, b).unwrap();
+        assert_eq!(t.score(a, b, &SC), s);
+    }
+
+    #[test]
+    fn endpoint_tiebreak_prefers_earlier_diagonal() {
+        assert!(better_endpoint((5, 1, 1), (5, 1, 2)));
+        assert!(!better_endpoint((5, 1, 2), (5, 1, 1)));
+        assert!(better_endpoint((6, 9, 9), (5, 1, 1)));
+        assert!(better_endpoint((5, 1, 3), (5, 2, 2)));
+    }
+
+    #[test]
+    fn typed_edges_telescope() {
+        // Split a known alignment with a long gap across two partitions and
+        // check the typed scores add up to the untyped whole.
+        let a = b"ACGTAAAACGT"; // 4 A's inserted in the middle
+        let b = b"ACGTCGT";
+        let (whole, t) = nw_global_aligned(a, b, &SC, ES::Diagonal, ES::Diagonal);
+        t.validate(a, b).unwrap();
+        // The optimal alignment is 4=4D3=: gap run on rows 4..8.
+        assert_eq!(t.cigar(), "4=4D3=");
+        // Split inside the run at row 6 (2 gaps in the first part).
+        let (s1, t1) = nw_global_typed(&a[..6], &b[..4], &SC, ES::Diagonal, ES::GapS1);
+        let (s2, t2) = nw_global_typed(&a[6..], &b[4..], &SC, ES::GapS1, ES::Diagonal);
+        assert_eq!(s1 + s2, whole);
+        assert_eq!(t1.cigar(), "4=2D");
+        assert_eq!(t2.cigar(), "2D3=");
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # sw-core
+//!
+//! Sequence-alignment fundamentals shared by every other crate in the
+//! CUDAlign 2.0 reproduction:
+//!
+//! * [`scoring`] — match/mismatch/affine-gap parameters (Gotoh model),
+//! * [`sequence`] — validated DNA sequences and views,
+//! * [`transcript`] — edit transcripts (alignments), their statistics and
+//!   validity checks,
+//! * [`full`] — quadratic-space Smith-Waterman / Needleman-Wunsch with
+//!   traceback, including the *edge-typed* global variant used to solve
+//!   partitions whose boundaries fall inside a gap run,
+//! * [`linear`] — linear-space forward (`CC`/`DD`) and reverse (`RR`/`SS`)
+//!   vector computations,
+//! * [`semiglobal`] — overlap (semi-global) alignment, the third flavour
+//!   of Section II's taxonomy,
+//! * [`matching`] — the Myers-Miller matching procedure (Formula 4 of the
+//!   paper) in both the classic *argmax* form and the *goal-based* form
+//!   introduced by CUDAlign 2.0,
+//! * [`mm`] — Myers-Miller divide-and-conquer global alignment in linear
+//!   space (classic recursive form).
+//!
+//! Everything in this crate is sequential; the parallel execution engines
+//! live in `gpu-sim` and `cudalign`.
+
+pub mod full;
+pub mod linear;
+pub mod matching;
+pub mod mm;
+pub mod scoring;
+pub mod semiglobal;
+pub mod sequence;
+pub mod transcript;
+
+pub use scoring::{Score, Scoring, NEG_INF};
+pub use sequence::Sequence;
+pub use transcript::{AlignmentStats, EditOp, Transcript};

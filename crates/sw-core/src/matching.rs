@@ -1,0 +1,275 @@
+//! The Myers-Miller *matching procedure* (Formula 4 of the paper) and
+//! CUDAlign 2.0's *goal-based* variant (Section IV-C1).
+//!
+//! Given forward vectors `CC`/`DD` along a split row and reverse vectors
+//! `RR`/`SS` along the same row, the midpoint `j*` maximizes
+//!
+//! ```text
+//! max { CC(j) + RR(j),  DD(j) + SS(j) + G_open }
+//! ```
+//!
+//! (indexing here is by the ordinary forward column index; the `+ G_open`
+//! term refunds the gap-open penalty charged twice when one vertical gap
+//! run crosses the split row).
+//!
+//! The goal-based variant exploits that CUDAlign already *knows* the score
+//! the maximum must reach (the goal score from the previous crosspoint), so
+//! scanning can stop at the first column that attains it — the basis of the
+//! orthogonal-execution saving.
+
+use crate::scoring::{Score, Scoring};
+use crate::transcript::EdgeState;
+
+/// A matched crosspoint on a split row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchPoint {
+    /// Column index (forward convention, `0..=n`).
+    pub j: usize,
+    /// Total score through this point (`CC+RR` or `DD+SS+G_open`).
+    pub total: Score,
+    /// Score of the *forward* part up to the split row (CC(j) or DD(j));
+    /// this becomes the crosspoint's `score` field in the pipeline.
+    pub forward_score: Score,
+    /// `Diagonal` when the path crosses the row in the `H` state,
+    /// `GapS1` when it crosses inside a vertical gap run.
+    pub state: EdgeState,
+}
+
+/// Classic Myers-Miller matching: scan every column and return the maximum.
+///
+/// Tie-breaking is deterministic: the `H`-state match is preferred over the
+/// gap-state match at the same column, and smaller `j` wins between
+/// columns. All four slices must have equal length `n + 1`.
+pub fn match_argmax(
+    cc: &[Score],
+    dd: &[Score],
+    rr: &[Score],
+    ss: &[Score],
+    scoring: &Scoring,
+) -> MatchPoint {
+    assert_eq!(cc.len(), rr.len());
+    assert_eq!(dd.len(), ss.len());
+    assert_eq!(cc.len(), dd.len());
+    assert!(!cc.is_empty());
+    let gopen = scoring.gap_open();
+    let mut best: Option<MatchPoint> = None;
+    for j in 0..cc.len() {
+        let h_total = cc[j] + rr[j];
+        let g_total = dd[j] + ss[j] + gopen;
+        let cand = if h_total >= g_total {
+            MatchPoint { j, total: h_total, forward_score: cc[j], state: EdgeState::Diagonal }
+        } else {
+            MatchPoint { j, total: g_total, forward_score: dd[j], state: EdgeState::GapS1 }
+        };
+        if best.is_none_or(|b| cand.total > b.total) {
+            best = Some(cand);
+        }
+    }
+    best.expect("non-empty vectors")
+}
+
+/// Goal-based matching: return the first column (scanning from `from_j`
+/// in the direction given by `rightward`) whose combined score reaches
+/// `goal`, or `None` when no column attains it.
+///
+/// Reaching the goal is guaranteed when `goal` is the optimal score of the
+/// partition (the maximum over columns equals the optimal score and the
+/// combined score can never exceed it); `None` therefore indicates the
+/// optimal path does not cross this row segment.
+#[allow(clippy::too_many_arguments)] // a DP matching kernel: slices + scan parameters
+pub fn match_goal(
+    cc: &[Score],
+    dd: &[Score],
+    rr: &[Score],
+    ss: &[Score],
+    scoring: &Scoring,
+    goal: Score,
+    from_j: usize,
+    rightward: bool,
+) -> Option<MatchPoint> {
+    assert_eq!(cc.len(), rr.len());
+    assert_eq!(dd.len(), ss.len());
+    assert_eq!(cc.len(), dd.len());
+    let gopen = scoring.gap_open();
+    let n1 = cc.len();
+    let idx: Box<dyn Iterator<Item = usize>> = if rightward {
+        Box::new(from_j..n1)
+    } else {
+        Box::new((0..=from_j.min(n1 - 1)).rev())
+    };
+    for j in idx {
+        let h_total = cc[j] + rr[j];
+        if h_total == goal {
+            return Some(MatchPoint {
+                j,
+                total: h_total,
+                forward_score: cc[j],
+                state: EdgeState::Diagonal,
+            });
+        }
+        let g_total = dd[j] + ss[j] + gopen;
+        if g_total == goal {
+            return Some(MatchPoint { j, total: g_total, forward_score: dd[j], state: EdgeState::GapS1 });
+        }
+        debug_assert!(
+            h_total <= goal && g_total <= goal,
+            "combined score {h_total}/{g_total} exceeds goal {goal}: goal is not the optimum"
+        );
+    }
+    None
+}
+
+/// Incremental goal matcher for orthogonal execution: columns of the
+/// reverse half become available one at a time (right-to-left in Stage 4,
+/// block-by-block in Stages 2-3), and the scan stops at the first hit.
+#[derive(Debug)]
+pub struct GoalMatcher<'a> {
+    cc: &'a [Score],
+    dd: &'a [Score],
+    gopen: Score,
+    goal: Score,
+    /// Columns already examined without a hit.
+    pub examined: usize,
+}
+
+impl<'a> GoalMatcher<'a> {
+    /// New matcher over forward vectors `cc`/`dd` with the known `goal`.
+    pub fn new(cc: &'a [Score], dd: &'a [Score], scoring: &Scoring, goal: Score) -> Self {
+        assert_eq!(cc.len(), dd.len());
+        GoalMatcher { cc, dd, gopen: scoring.gap_open(), goal, examined: 0 }
+    }
+
+    /// Offer the reverse values `(rr_j, ss_j)` for column `j`; returns the
+    /// matched crosspoint if the goal is attained there.
+    pub fn offer(&mut self, j: usize, rr_j: Score, ss_j: Score) -> Option<MatchPoint> {
+        self.examined += 1;
+        let h_total = self.cc[j] + rr_j;
+        if h_total == self.goal {
+            return Some(MatchPoint {
+                j,
+                total: h_total,
+                forward_score: self.cc[j],
+                state: EdgeState::Diagonal,
+            });
+        }
+        let g_total = self.dd[j] + ss_j + self.gopen;
+        if g_total == self.goal {
+            return Some(MatchPoint {
+                j,
+                total: g_total,
+                forward_score: self.dd[j],
+                state: EdgeState::GapS1,
+            });
+        }
+        debug_assert!(
+            h_total <= self.goal && g_total <= self.goal,
+            "combined score exceeds goal: goal is not the optimum"
+        );
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{forward_vectors, reverse_vectors};
+    use crate::scoring::NEG_INF;
+    use crate::transcript::EdgeState as ES;
+    use crate::full::nw_global_typed;
+
+    const SC: Scoring = Scoring::paper();
+
+    /// Full MM matching of a concrete partition; checks the matched total
+    /// equals the true global score.
+    fn check_matching(a: &[u8], b: &[u8]) -> MatchPoint {
+        let i_star = a.len() / 2;
+        let (cc, dd) = forward_vectors(&a[..i_star], b, &SC, ES::Diagonal);
+        let (rr, ss) = reverse_vectors(&a[i_star..], b, &SC, ES::Diagonal);
+        let mp = match_argmax(&cc, &dd, &rr, &ss, &SC);
+        let (truth, _) = nw_global_typed(a, b, &SC, ES::Diagonal, ES::Diagonal);
+        assert_eq!(mp.total, truth, "matched total != optimal global score");
+        mp
+    }
+
+    #[test]
+    fn argmax_equals_global_score_identical() {
+        let mp = check_matching(b"ACGTACGT", b"ACGTACGT");
+        assert_eq!(mp.state, ES::Diagonal);
+        assert_eq!(mp.j, 4);
+    }
+
+    #[test]
+    fn argmax_equals_global_score_with_indels() {
+        check_matching(b"ACGTAAGGTTACGT", b"ACGTGGTTACGT");
+        check_matching(b"ACGT", b"ACGTAAGGTTAC");
+        check_matching(b"TTTTTTTT", b"ACGT");
+    }
+
+    #[test]
+    fn gap_crossing_detected() {
+        // A long vertical run must cross the middle row of a tall matrix.
+        let a = b"AACCCCCCCCAA"; // 8 C's inserted relative to b
+        let b = b"AAAA";
+        let mp = check_matching(a, b);
+        assert_eq!(mp.state, ES::GapS1, "split row falls inside the gap run");
+    }
+
+    #[test]
+    fn goal_based_finds_same_total_as_argmax() {
+        let a = b"GGATCCGATTACAGGATC";
+        let b = b"GGATCGATTTACAGGTC";
+        let i_star = a.len() / 2;
+        let (cc, dd) = forward_vectors(&a[..i_star], b, &SC, ES::Diagonal);
+        let (rr, ss) = reverse_vectors(&a[i_star..], b, &SC, ES::Diagonal);
+        let mp = match_argmax(&cc, &dd, &rr, &ss, &SC);
+        let goal = mp.total;
+        let right = match_goal(&cc, &dd, &rr, &ss, &SC, goal, b.len(), false).unwrap();
+        assert_eq!(right.total, goal);
+        let left = match_goal(&cc, &dd, &rr, &ss, &SC, goal, 0, true).unwrap();
+        assert_eq!(left.total, goal);
+    }
+
+    #[test]
+    fn goal_not_reached_returns_none() {
+        let cc = vec![0, 1];
+        let dd = vec![NEG_INF, NEG_INF];
+        let rr = vec![0, 0];
+        let ss = vec![NEG_INF, NEG_INF];
+        // goal larger than any attainable total
+        assert!(match_goal(&cc, &dd, &rr, &ss, &SC, 10, 0, true).is_none());
+    }
+
+    #[test]
+    fn incremental_matcher_stops_early() {
+        let a = b"ACGTACGTACGTACGT";
+        let b = b"ACGTACGTACGTACGT";
+        let i_star = a.len() / 2;
+        let (cc, dd) = forward_vectors(&a[..i_star], b, &SC, ES::Diagonal);
+        let (rr, ss) = reverse_vectors(&a[i_star..], b, &SC, ES::Diagonal);
+        let goal = match_argmax(&cc, &dd, &rr, &ss, &SC).total;
+        let mut m = GoalMatcher::new(&cc, &dd, &SC, goal);
+        let mut hit = None;
+        for j in (0..=b.len()).rev() {
+            if let Some(mp) = m.offer(j, rr[j], ss[j]) {
+                hit = Some(mp);
+                break;
+            }
+        }
+        let hit = hit.unwrap();
+        assert_eq!(hit.total, goal);
+        // The perfect-diagonal match lies in the middle: scanning from the
+        // right must stop before examining every column.
+        assert!(m.examined <= b.len() / 2 + 2, "examined {} columns", m.examined);
+    }
+
+    #[test]
+    fn tie_prefers_diagonal_state() {
+        let cc = vec![5];
+        let rr = vec![5];
+        let dd = vec![7 - SC.gap_open()];
+        let ss = vec![3];
+        // h_total = 10, g_total = 7 - 3 + 3 + 3 = 10 -> tie, Diagonal wins.
+        let mp = match_argmax(&cc, &dd, &rr, &ss, &SC);
+        assert_eq!(mp.state, ES::Diagonal);
+    }
+}

@@ -1,0 +1,175 @@
+//! Myers-Miller divide-and-conquer global alignment in linear space
+//! (Section II-B of the paper) — the classic recursive form with
+//! middle-*row* splitting.
+//!
+//! This is the reference/baseline implementation; CUDAlign's Stage 4
+//! (crate `cudalign`) re-implements the idea iteratively with *balanced
+//! splitting* and *orthogonal execution*.
+
+use crate::full::nw_global_aligned;
+use crate::linear::{forward_vectors, reverse_vectors};
+use crate::matching::match_argmax;
+use crate::scoring::{Score, Scoring};
+use crate::transcript::{EdgeState, Transcript};
+
+/// Problems at most this many cells are solved by the quadratic-space
+/// base case. 4096 cells ≈ 4 KiB of traceback bytes.
+pub const BASE_CASE_CELLS: usize = 4096;
+
+/// Statistics of one Myers-Miller run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmStats {
+    /// DP cell updates performed by the linear-space passes.
+    pub linear_cells: u64,
+    /// DP cell updates performed by base-case solvers.
+    pub base_cells: u64,
+    /// Number of split (matching-procedure) invocations.
+    pub splits: u64,
+}
+
+impl MmStats {
+    /// Total cell updates.
+    pub fn total_cells(&self) -> u64 {
+        self.linear_cells + self.base_cells
+    }
+}
+
+/// Global alignment of `a` × `b` with edge-typed boundaries in `O(m + n)`
+/// space, returning `(score, transcript)`.
+pub fn mm_align(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    start: EdgeState,
+    end: EdgeState,
+) -> (Score, Transcript) {
+    let mut stats = MmStats::default();
+    
+    mm_align_with_stats(a, b, scoring, start, end, &mut stats)
+}
+
+/// Like [`mm_align`] but accumulating [`MmStats`].
+pub fn mm_align_with_stats(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    start: EdgeState,
+    end: EdgeState,
+    stats: &mut MmStats,
+) -> (Score, Transcript) {
+    let (m, n) = (a.len(), b.len());
+    // Base cases: thin problems or small areas go to the quadratic solver
+    // (constant memory because the area is bounded).
+    if m <= 1 || n == 0 || m.saturating_mul(n) <= BASE_CASE_CELLS {
+        stats.base_cells += (m as u64 + 1) * (n as u64 + 1);
+        return nw_global_aligned(a, b, scoring, start, end);
+    }
+
+    let i_star = m / 2;
+    let (cc, dd) = forward_vectors(&a[..i_star], b, scoring, start);
+    let (rr, ss) = reverse_vectors(&a[i_star..], b, scoring, end);
+    stats.linear_cells += (m as u64) * (n as u64);
+    stats.splits += 1;
+
+    let mp = match_argmax(&cc, &dd, &rr, &ss, scoring);
+    let j_star = mp.j;
+
+    // The crosspoint state becomes the end state of the upper problem and
+    // the start state of the lower one; a GapS1 crossing charges its
+    // opening in the upper half and is extended for free below.
+    let (s_top, mut t_top) =
+        mm_align_with_stats(&a[..i_star], &b[..j_star], scoring, start, mp.state, stats);
+    let (s_bot, t_bot) =
+        mm_align_with_stats(&a[i_star..], &b[j_star..], scoring, mp.state, end, stats);
+
+    debug_assert_eq!(
+        s_top + s_bot,
+        mp.total,
+        "subproblem scores must telescope to the matched total"
+    );
+    t_top.extend_from(&t_bot);
+    (s_top + s_bot, t_top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::nw_global_aligned;
+    use crate::transcript::EdgeState as ES;
+
+    const SC: Scoring = Scoring::paper();
+
+    fn check(a: &[u8], b: &[u8]) {
+        let (s_mm, t_mm) = mm_align(a, b, &SC, ES::Diagonal, ES::Diagonal);
+        let (s_nw, _) = nw_global_aligned(a, b, &SC, ES::Diagonal, ES::Diagonal);
+        assert_eq!(s_mm, s_nw, "MM score != NW score");
+        t_mm.validate(a, b).unwrap();
+        assert_eq!(t_mm.score(a, b, &SC), s_mm, "transcript score mismatch");
+    }
+
+    #[test]
+    fn small_problems_hit_base_case() {
+        check(b"ACGT", b"ACGT");
+        check(b"A", b"ACGT");
+        check(b"ACGT", b"");
+        check(b"", b"");
+    }
+
+    // Force recursion by building sequences larger than the base case.
+    fn big(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                b"ACGT"[(x as usize >> 5) & 3]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recursive_split_matches_nw_random() {
+        let a = big(1, 300);
+        let b = big(2, 280);
+        check(&a, &b);
+    }
+
+    #[test]
+    fn recursive_split_matches_nw_related() {
+        // b = a with a block deleted and some substitutions -> long gap runs
+        // crossing several split rows.
+        let a = big(7, 400);
+        let mut b = a.clone();
+        b.drain(100..160);
+        b[200] = if b[200] == b'A' { b'C' } else { b'A' };
+        check(&a, &b);
+    }
+
+    #[test]
+    fn typed_edges_recursive() {
+        let a = big(3, 200);
+        let b = big(4, 190);
+        for start in [ES::Diagonal, ES::GapS0, ES::GapS1] {
+            for end in [ES::Diagonal, ES::GapS1] {
+                let (s_mm, t) = mm_align(&a, &b, &SC, start, end);
+                let (s_nw, _) = nw_global_aligned(&a, &b, &SC, start, end);
+                assert_eq!(s_mm, s_nw, "start={start:?} end={end:?}");
+                t.validate(&a, &b).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_linear_and_base_cells() {
+        let a = big(5, 512);
+        let b = big(6, 512);
+        let mut stats = MmStats::default();
+        let _ = mm_align_with_stats(&a, &b, &SC, ES::Diagonal, ES::Diagonal, &mut stats);
+        assert!(stats.splits >= 1);
+        assert!(stats.linear_cells >= (a.len() * b.len()) as u64);
+        // Classic MM processes < 2x the matrix area in linear passes.
+        assert!(stats.linear_cells <= 2 * (a.len() * b.len()) as u64 + 1000);
+        assert!(stats.base_cells > 0);
+    }
+}

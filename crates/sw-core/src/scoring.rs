@@ -1,0 +1,144 @@
+//! Scoring parameters for the affine-gap (Gotoh) model.
+//!
+//! Scores are *maximized*; penalties enter the recurrences as negative
+//! contributions. The paper's defaults are match `+1`, mismatch `-3`,
+//! first gap `-5` and gap extension `-2`, giving a gap-open penalty
+//! `G_open = G_first - G_ext = 3`.
+
+/// Score type used throughout the workspace.
+///
+/// `i32` comfortably holds the paper's largest score (27,206,434 for the
+/// human×chimpanzee chromosome alignment); [`NEG_INF`] is kept far from
+/// `i32::MIN` so that sums of two scores never overflow.
+pub type Score = i32;
+
+/// Sentinel for "unreachable" DP states. `NEG_INF + NEG_INF` still fits in
+/// `i32`, so adding two sentinel-bearing values is safe.
+pub const NEG_INF: Score = i32::MIN / 4;
+
+/// Affine-gap scoring scheme.
+///
+/// A gap run of length `L` costs `g_first + (L - 1) * g_ext`, i.e. the
+/// first gap of a run is charged `g_first` and every further gap `g_ext`.
+/// Both are stored as **positive penalties** and subtracted by the
+/// recurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scoring {
+    /// Score added when the two characters are identical (positive).
+    pub match_score: Score,
+    /// Score added when the two characters differ (usually negative).
+    pub mismatch_score: Score,
+    /// Penalty for the first gap of a run (`G_first`, positive).
+    pub gap_first: Score,
+    /// Penalty for each gap extending a run (`G_ext`, positive).
+    pub gap_ext: Score,
+}
+
+impl Scoring {
+    /// The parameters used in the paper's evaluation (Section V):
+    /// match `+1`, mismatch `-3`, first gap `-5`, extension gap `-2`.
+    pub const fn paper() -> Self {
+        Scoring { match_score: 1, mismatch_score: -3, gap_first: 5, gap_ext: 2 }
+    }
+
+    /// A new scheme. `gap_first >= gap_ext >= 0` is required (affine model).
+    ///
+    /// # Panics
+    /// Panics if `gap_first < gap_ext`, `gap_ext < 0`, or
+    /// `match_score <= 0` (a non-positive match score makes every local
+    /// alignment empty).
+    pub fn new(match_score: Score, mismatch_score: Score, gap_first: Score, gap_ext: Score) -> Self {
+        assert!(match_score > 0, "match score must be positive");
+        assert!(gap_ext >= 0, "gap extension penalty must be non-negative");
+        assert!(gap_first >= gap_ext, "affine model requires gap_first >= gap_ext");
+        Scoring { match_score, mismatch_score, gap_first, gap_ext }
+    }
+
+    /// The gap *opening* penalty `G_open = G_first - G_ext`.
+    ///
+    /// This is the amount refunded when two gap runs charged independently
+    /// on either side of a split are joined into a single run (the
+    /// Myers-Miller matching procedure and the paper's crosspoint rules).
+    #[inline]
+    pub fn gap_open(&self) -> Score {
+        self.gap_first - self.gap_ext
+    }
+
+    /// Substitution score `p(a, b)`: match or mismatch.
+    #[inline(always)]
+    pub fn subst(&self, a: u8, b: u8) -> Score {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch_score
+        }
+    }
+
+    /// Cost of a gap run of length `len` (returned as a negative score
+    /// contribution; zero for an empty run).
+    #[inline]
+    pub fn gap_run(&self, len: usize) -> Score {
+        if len == 0 {
+            0
+        } else {
+            -(self.gap_first + (len as Score - 1) * self.gap_ext)
+        }
+    }
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let s = Scoring::paper();
+        assert_eq!(s.match_score, 1);
+        assert_eq!(s.mismatch_score, -3);
+        assert_eq!(s.gap_first, 5);
+        assert_eq!(s.gap_ext, 2);
+        assert_eq!(s.gap_open(), 3);
+    }
+
+    #[test]
+    fn subst_match_and_mismatch() {
+        let s = Scoring::paper();
+        assert_eq!(s.subst(b'A', b'A'), 1);
+        assert_eq!(s.subst(b'A', b'C'), -3);
+    }
+
+    #[test]
+    fn gap_run_costs() {
+        let s = Scoring::paper();
+        assert_eq!(s.gap_run(0), 0);
+        assert_eq!(s.gap_run(1), -5);
+        assert_eq!(s.gap_run(2), -7);
+        assert_eq!(s.gap_run(10), -23);
+    }
+
+    #[test]
+    fn neg_inf_is_sum_safe() {
+        // Two unreachable states added together must not wrap.
+        let x = NEG_INF + NEG_INF;
+        assert!(x < NEG_INF);
+        assert!(x > i32::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap_first >= gap_ext")]
+    fn rejects_non_affine() {
+        Scoring::new(1, -3, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "match score")]
+    fn rejects_non_positive_match() {
+        Scoring::new(0, -3, 5, 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! DNA sequences.
+//!
+//! A [`Sequence`] is an owned, validated byte string over the alphabet
+//! `{A, C, G, T, N}` with a display name. DP code operates on `&[u8]`
+//! slices so any subsequence can be aligned without copying.
+
+use std::fmt;
+
+/// The accepted alphabet. `N` (unknown base) is allowed because real
+/// chromosome FASTA files contain large runs of it.
+pub const ALPHABET: &[u8] = b"ACGTN";
+
+/// Error returned when constructing a sequence from invalid data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidBase {
+    /// Offset of the first offending byte.
+    pub position: usize,
+    /// The offending byte.
+    pub byte: u8,
+}
+
+impl fmt::Display for InvalidBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid base {:?} (0x{:02x}) at position {}",
+            self.byte as char, self.byte, self.position
+        )
+    }
+}
+
+impl std::error::Error for InvalidBase {}
+
+/// An owned, validated DNA sequence.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Sequence {
+    name: String,
+    data: Vec<u8>,
+}
+
+impl Sequence {
+    /// Build a sequence from raw bytes, validating and upper-casing them.
+    ///
+    /// Lower-case bases (soft-masked repeats in real FASTA files) are
+    /// accepted and normalized to upper case.
+    pub fn new(name: impl Into<String>, data: impl Into<Vec<u8>>) -> Result<Self, InvalidBase> {
+        let mut data = data.into();
+        for (position, b) in data.iter_mut().enumerate() {
+            let up = b.to_ascii_uppercase();
+            if !ALPHABET.contains(&up) {
+                return Err(InvalidBase { position, byte: *b });
+            }
+            *b = up;
+        }
+        Ok(Sequence { name: name.into(), data })
+    }
+
+    /// Build a sequence without validation.
+    ///
+    /// Intended for generators that only produce valid bases; debug builds
+    /// still assert validity.
+    pub fn new_unchecked(name: impl Into<String>, data: Vec<u8>) -> Self {
+        debug_assert!(
+            data.iter().all(|b| ALPHABET.contains(b)),
+            "new_unchecked called with invalid bases"
+        );
+        Sequence { name: name.into(), data }
+    }
+
+    /// The sequence's display name (FASTA header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bases as a byte slice.
+    #[inline]
+    pub fn bases(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Number of base pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The reverse of this sequence (not the reverse complement — the
+    /// reverse DP passes of CUDAlign align *reversed* sequences).
+    pub fn reversed(&self) -> Sequence {
+        let mut data = self.data.clone();
+        data.reverse();
+        Sequence { name: format!("{} (reversed)", self.name), data }
+    }
+
+    /// Consume into the raw base vector.
+    pub fn into_bases(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl fmt::Debug for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 24;
+        let preview: String = self.data.iter().take(PREVIEW).map(|&b| b as char).collect();
+        let ellipsis = if self.data.len() > PREVIEW { "..." } else { "" };
+        write!(f, "Sequence({:?}, {} bp, {}{})", self.name, self.data.len(), preview, ellipsis)
+    }
+}
+
+impl AsRef<[u8]> for Sequence {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_dna() {
+        let s = Sequence::new("x", b"ACGTN".to_vec()).unwrap();
+        assert_eq!(s.bases(), b"ACGTN");
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn normalizes_lower_case() {
+        let s = Sequence::new("x", b"acgtn".to_vec()).unwrap();
+        assert_eq!(s.bases(), b"ACGTN");
+    }
+
+    #[test]
+    fn rejects_invalid_base() {
+        let err = Sequence::new("x", b"ACGZ".to_vec()).unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.byte, b'Z');
+        assert!(err.to_string().contains("position 3"));
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let s = Sequence::new("x", b"ACGT".to_vec()).unwrap();
+        assert_eq!(s.reversed().bases(), b"TGCA");
+        assert!(s.reversed().name().contains("reversed"));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Sequence::new("e", Vec::new()).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,525 @@
+//! Edit transcripts: the representation of an alignment as a sequence of
+//! column operations, plus statistics (Table X of the paper) and validity
+//! checks used extensively by the test suite.
+
+use crate::scoring::{Score, Scoring};
+use std::fmt;
+
+/// One column of an alignment.
+///
+/// The DP matrix has `S0` on rows (index `i`) and `S1` on columns
+/// (index `j`); see the crate-level conventions in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EditOp {
+    /// `S0[i]` aligned to `S1[j]`, identical characters (diagonal move).
+    Match,
+    /// `S0[i]` aligned to `S1[j]`, different characters (diagonal move).
+    Mismatch,
+    /// A gap in `S0` aligned to `S1[j]` (horizontal move, `E` matrix,
+    /// the paper's crosspoint *type 1*).
+    GapS0,
+    /// `S0[i]` aligned to a gap in `S1` (vertical move, `F` matrix,
+    /// the paper's crosspoint *type 2*).
+    GapS1,
+}
+
+/// DP state at a partition edge; mirrors the paper's crosspoint `type`.
+///
+/// `Diagonal` (type 0) means the path is in the `H` state at the edge;
+/// `GapS0`/`GapS1` mean the edge falls *inside* a horizontal/vertical gap
+/// run (`E`/`F` state), so the adjoining partition must not charge the
+/// gap-open penalty a second time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EdgeState {
+    /// Type 0: match/mismatch (the `H` matrix).
+    #[default]
+    Diagonal,
+    /// Type 1: inside a gap in `S0` (the `E` matrix).
+    GapS0,
+    /// Type 2: inside a gap in `S1` (the `F` matrix).
+    GapS1,
+}
+
+impl EdgeState {
+    /// The paper's numeric type code (0, 1 or 2).
+    pub fn code(self) -> u8 {
+        match self {
+            EdgeState::Diagonal => 0,
+            EdgeState::GapS0 => 1,
+            EdgeState::GapS1 => 2,
+        }
+    }
+
+    /// Inverse of [`EdgeState::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(EdgeState::Diagonal),
+            1 => Some(EdgeState::GapS0),
+            2 => Some(EdgeState::GapS1),
+            _ => None,
+        }
+    }
+
+    /// The edge state seen from the transposed matrix (S0 and S1 swapped):
+    /// gap types 1 and 2 exchange roles.
+    pub fn transposed(self) -> Self {
+        match self {
+            EdgeState::Diagonal => EdgeState::Diagonal,
+            EdgeState::GapS0 => EdgeState::GapS1,
+            EdgeState::GapS1 => EdgeState::GapS0,
+        }
+    }
+}
+
+/// Alignment composition counts — the rows of Table X.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlignmentStats {
+    /// Columns where both characters are identical.
+    pub matches: usize,
+    /// Columns where the characters differ.
+    pub mismatches: usize,
+    /// Gap runs (each charged the full `G_first` penalty).
+    pub gap_openings: usize,
+    /// Gaps beyond the first of each run (charged `G_ext`).
+    pub gap_extensions: usize,
+}
+
+impl AlignmentStats {
+    /// Total number of alignment columns.
+    pub fn total_columns(&self) -> usize {
+        self.matches + self.mismatches + self.gap_openings + self.gap_extensions
+    }
+
+    /// Score contribution of each category and the total, in Table X order.
+    pub fn score_breakdown(&self, scoring: &Scoring) -> [(String, usize, Score); 5] {
+        let m = self.matches as Score * scoring.match_score;
+        let x = self.mismatches as Score * scoring.mismatch_score;
+        let o = -(self.gap_openings as Score) * scoring.gap_first;
+        let e = -(self.gap_extensions as Score) * scoring.gap_ext;
+        [
+            ("Matches".into(), self.matches, m),
+            ("Mismatches".into(), self.mismatches, x),
+            ("Gap Openings".into(), self.gap_openings, o),
+            ("Gap Extensions".into(), self.gap_extensions, e),
+            ("Total".into(), self.total_columns(), m + x + o + e),
+        ]
+    }
+}
+
+/// An alignment as an ordered list of [`EditOp`]s.
+///
+/// Transcripts are *relative*: they describe the alignment of two specific
+/// subsequences and carry no coordinates themselves. CUDAlign's pipeline
+/// attaches start/end coordinates separately (the `cudalign` crate).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Transcript {
+    ops: Vec<EditOp>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Transcript { ops: Vec::new() }
+    }
+
+    /// Build from a vector of operations.
+    pub fn from_ops(ops: Vec<EditOp>) -> Self {
+        Transcript { ops }
+    }
+
+    /// The operations, in alignment order.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append a single operation.
+    pub fn push(&mut self, op: EditOp) {
+        self.ops.push(op);
+    }
+
+    /// Append all operations of `other`.
+    pub fn extend_from(&mut self, other: &Transcript) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// Concatenate a list of transcripts (Stage 5 of the pipeline).
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Transcript>) -> Transcript {
+        let mut out = Transcript::new();
+        for p in parts {
+            out.extend_from(p);
+        }
+        out
+    }
+
+    /// Reverse the transcript in place (used when a reverse DP pass
+    /// produced the operations back-to-front).
+    pub fn reverse(&mut self) {
+        self.ops.reverse();
+    }
+
+    /// Number of `S0` characters consumed (diagonal + vertical moves).
+    pub fn consumed_s0(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, EditOp::Match | EditOp::Mismatch | EditOp::GapS1))
+            .count()
+    }
+
+    /// Number of `S1` characters consumed (diagonal + horizontal moves).
+    pub fn consumed_s1(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, EditOp::Match | EditOp::Mismatch | EditOp::GapS0))
+            .count()
+    }
+
+    /// Composition statistics, treating the transcript as a standalone
+    /// alignment (every gap run charges one opening).
+    pub fn stats(&self) -> AlignmentStats {
+        self.stats_as_continuation(EdgeState::Diagonal)
+    }
+
+    /// Composition statistics for a transcript that *continues* from the
+    /// given edge state: when the first operation extends the same gap run
+    /// the partition entered in, that first gap is an extension, not an
+    /// opening (paper Section IV-A).
+    pub fn stats_as_continuation(&self, start: EdgeState) -> AlignmentStats {
+        let mut st = AlignmentStats::default();
+        let mut prev = start;
+        for &op in &self.ops {
+            match op {
+                EditOp::Match => {
+                    st.matches += 1;
+                    prev = EdgeState::Diagonal;
+                }
+                EditOp::Mismatch => {
+                    st.mismatches += 1;
+                    prev = EdgeState::Diagonal;
+                }
+                EditOp::GapS0 => {
+                    if prev == EdgeState::GapS0 {
+                        st.gap_extensions += 1;
+                    } else {
+                        st.gap_openings += 1;
+                    }
+                    prev = EdgeState::GapS0;
+                }
+                EditOp::GapS1 => {
+                    if prev == EdgeState::GapS1 {
+                        st.gap_extensions += 1;
+                    } else {
+                        st.gap_openings += 1;
+                    }
+                    prev = EdgeState::GapS1;
+                }
+            }
+        }
+        st
+    }
+
+    /// Score of the transcript against the two consumed subsequences.
+    ///
+    /// `a` and `b` must be exactly the characters consumed from `S0` and
+    /// `S1` respectively.
+    ///
+    /// # Panics
+    /// Panics if the transcript does not consume exactly `a` and `b`.
+    pub fn score(&self, a: &[u8], b: &[u8], scoring: &Scoring) -> Score {
+        self.score_as_continuation(a, b, scoring, EdgeState::Diagonal)
+    }
+
+    /// Like [`Transcript::score`] but charging the leading gap run as a
+    /// continuation of `start` (no second gap-open).
+    pub fn score_as_continuation(
+        &self,
+        a: &[u8],
+        b: &[u8],
+        scoring: &Scoring,
+        start: EdgeState,
+    ) -> Score {
+        assert_eq!(self.consumed_s0(), a.len(), "transcript/S0 length mismatch");
+        assert_eq!(self.consumed_s1(), b.len(), "transcript/S1 length mismatch");
+        let mut score = 0;
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut prev = start;
+        for &op in &self.ops {
+            match op {
+                EditOp::Match | EditOp::Mismatch => {
+                    score += scoring.subst(a[i], b[j]);
+                    i += 1;
+                    j += 1;
+                    prev = EdgeState::Diagonal;
+                }
+                EditOp::GapS0 => {
+                    score -= if prev == EdgeState::GapS0 { scoring.gap_ext } else { scoring.gap_first };
+                    j += 1;
+                    prev = EdgeState::GapS0;
+                }
+                EditOp::GapS1 => {
+                    score -= if prev == EdgeState::GapS1 { scoring.gap_ext } else { scoring.gap_first };
+                    i += 1;
+                    prev = EdgeState::GapS1;
+                }
+            }
+        }
+        score
+    }
+
+    /// Check structural validity against the consumed subsequences: every
+    /// `Match`/`Mismatch` column must agree with the actual characters.
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self, a: &[u8], b: &[u8]) -> Result<(), String> {
+        if self.consumed_s0() != a.len() {
+            return Err(format!(
+                "transcript consumes {} S0 chars but subsequence has {}",
+                self.consumed_s0(),
+                a.len()
+            ));
+        }
+        if self.consumed_s1() != b.len() {
+            return Err(format!(
+                "transcript consumes {} S1 chars but subsequence has {}",
+                self.consumed_s1(),
+                b.len()
+            ));
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        for (col, &op) in self.ops.iter().enumerate() {
+            match op {
+                EditOp::Match => {
+                    if a[i] != b[j] {
+                        return Err(format!(
+                            "column {col}: Match but S0[{i}]={} != S1[{j}]={}",
+                            a[i] as char, b[j] as char
+                        ));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                EditOp::Mismatch => {
+                    if a[i] == b[j] {
+                        return Err(format!(
+                            "column {col}: Mismatch but S0[{i}]==S1[{j}]=={}",
+                            a[i] as char
+                        ));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                EditOp::GapS0 => j += 1,
+                EditOp::GapS1 => i += 1,
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the classic three-row textual alignment (Stage 6 output).
+    ///
+    /// Returns `(top, middle, bottom)` rows: `S0` with gaps, the match
+    /// line (`|` match, `x` mismatch, space for gaps) and `S1` with gaps.
+    pub fn render(&self, a: &[u8], b: &[u8]) -> (String, String, String) {
+        let mut top = String::with_capacity(self.len());
+        let mut mid = String::with_capacity(self.len());
+        let mut bot = String::with_capacity(self.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        for &op in &self.ops {
+            match op {
+                EditOp::Match => {
+                    top.push(a[i] as char);
+                    mid.push('|');
+                    bot.push(b[j] as char);
+                    i += 1;
+                    j += 1;
+                }
+                EditOp::Mismatch => {
+                    top.push(a[i] as char);
+                    mid.push('x');
+                    bot.push(b[j] as char);
+                    i += 1;
+                    j += 1;
+                }
+                EditOp::GapS0 => {
+                    top.push('-');
+                    mid.push(' ');
+                    bot.push(b[j] as char);
+                    j += 1;
+                }
+                EditOp::GapS1 => {
+                    top.push(a[i] as char);
+                    mid.push(' ');
+                    bot.push('-');
+                    i += 1;
+                }
+            }
+        }
+        (top, mid, bot)
+    }
+
+    /// Compact CIGAR-like run-length encoding (`=` match, `X` mismatch,
+    /// `I` gap in S0, `D` gap in S1), e.g. `12=1X3D7=`.
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut run: Option<(EditOp, usize)> = None;
+        let sym = |op: EditOp| match op {
+            EditOp::Match => '=',
+            EditOp::Mismatch => 'X',
+            EditOp::GapS0 => 'I',
+            EditOp::GapS1 => 'D',
+        };
+        for &op in &self.ops {
+            match run {
+                Some((r, n)) if r == op => run = Some((r, n + 1)),
+                Some((r, n)) => {
+                    out.push_str(&format!("{n}{}", sym(r)));
+                    run = Some((op, 1));
+                    let _ = n;
+                }
+                None => run = Some((op, 1)),
+            }
+        }
+        if let Some((r, n)) = run {
+            out.push_str(&format!("{n}{}", sym(r)));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Transcript({} cols, {})", self.len(), self.cigar())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EditOp::*;
+
+    fn t(ops: &[EditOp]) -> Transcript {
+        Transcript::from_ops(ops.to_vec())
+    }
+
+    #[test]
+    fn consumed_counts() {
+        let tr = t(&[Match, GapS0, GapS1, Mismatch]);
+        assert_eq!(tr.consumed_s0(), 3);
+        assert_eq!(tr.consumed_s1(), 3);
+        assert_eq!(tr.len(), 4);
+    }
+
+    #[test]
+    fn stats_count_runs() {
+        // M G0 G0 M G1 G0 -> two G0 runs (one of len 2), one G1 run.
+        let tr = t(&[Match, GapS0, GapS0, Match, GapS1, GapS0]);
+        let st = tr.stats();
+        assert_eq!(st.matches, 2);
+        assert_eq!(st.mismatches, 0);
+        assert_eq!(st.gap_openings, 3);
+        assert_eq!(st.gap_extensions, 1);
+        assert_eq!(st.total_columns(), 6);
+    }
+
+    #[test]
+    fn stats_as_continuation_skips_first_open() {
+        let tr = t(&[GapS0, GapS0, Match]);
+        let standalone = tr.stats();
+        assert_eq!(standalone.gap_openings, 1);
+        assert_eq!(standalone.gap_extensions, 1);
+        let cont = tr.stats_as_continuation(EdgeState::GapS0);
+        assert_eq!(cont.gap_openings, 0);
+        assert_eq!(cont.gap_extensions, 2);
+        // Continuation of the *other* gap type does not merge runs.
+        let other = tr.stats_as_continuation(EdgeState::GapS1);
+        assert_eq!(other.gap_openings, 1);
+    }
+
+    #[test]
+    fn score_matches_paper_figure1_shape() {
+        // Paper Fig. 1 uses unit penalties; here check with paper scoring:
+        // 2 matches, 1 mismatch, gap run of 2.
+        let tr = t(&[Match, Mismatch, GapS1, GapS1, Match]);
+        let a = b"ACGGA"; // consumed by M, X, D, D, M
+        let b_ = b"ATA"; // consumed by M, X, M
+        let sc = Scoring::paper();
+        assert_eq!(tr.score(a, b_, &sc), 1 - 3 - 5 - 2 + 1);
+    }
+
+    #[test]
+    fn score_as_continuation_refunds_open() {
+        let tr = t(&[GapS1, Match]);
+        let sc = Scoring::paper();
+        let a = b"GA";
+        let b_ = b"A";
+        assert_eq!(tr.score(a, b_, &sc), -5 + 1);
+        assert_eq!(tr.score_as_continuation(a, b_, &sc, EdgeState::GapS1), -2 + 1);
+    }
+
+    #[test]
+    fn validate_catches_wrong_ops() {
+        let tr = t(&[Match]);
+        assert!(tr.validate(b"A", b"A").is_ok());
+        assert!(tr.validate(b"A", b"C").unwrap_err().contains("Match but"));
+        let tr2 = t(&[Mismatch]);
+        assert!(tr2.validate(b"A", b"A").unwrap_err().contains("Mismatch but"));
+        assert!(tr.validate(b"AA", b"A").unwrap_err().contains("consumes"));
+    }
+
+    #[test]
+    fn render_rows() {
+        let tr = t(&[Match, GapS0, Mismatch]);
+        let (top, mid, bot) = tr.render(b"AC", b"AGT");
+        assert_eq!(top, "A-C");
+        assert_eq!(mid, "| x");
+        assert_eq!(bot, "AGT");
+    }
+
+    #[test]
+    fn cigar_run_length() {
+        let tr = t(&[Match, Match, Mismatch, GapS1, GapS1, GapS1, Match]);
+        assert_eq!(tr.cigar(), "2=1X3D1=");
+        assert_eq!(Transcript::new().cigar(), "");
+    }
+
+    #[test]
+    fn concat_and_reverse() {
+        let a = t(&[Match, GapS0]);
+        let b_ = t(&[Mismatch]);
+        let c = Transcript::concat([&a, &b_]);
+        assert_eq!(c.ops(), &[Match, GapS0, Mismatch]);
+        let mut r = c.clone();
+        r.reverse();
+        assert_eq!(r.ops(), &[Mismatch, GapS0, Match]);
+    }
+
+    #[test]
+    fn edge_state_codes_roundtrip() {
+        for s in [EdgeState::Diagonal, EdgeState::GapS0, EdgeState::GapS1] {
+            assert_eq!(EdgeState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(EdgeState::from_code(3), None);
+        assert_eq!(EdgeState::GapS0.transposed(), EdgeState::GapS1);
+        assert_eq!(EdgeState::Diagonal.transposed(), EdgeState::Diagonal);
+    }
+
+    #[test]
+    fn table_x_breakdown() {
+        let st = AlignmentStats { matches: 10, mismatches: 2, gap_openings: 1, gap_extensions: 3 };
+        let rows = st.score_breakdown(&Scoring::paper());
+        assert_eq!(rows[0].2, 10);
+        assert_eq!(rows[1].2, -6);
+        assert_eq!(rows[2].2, -5);
+        assert_eq!(rows[3].2, -6);
+        assert_eq!(rows[4].1, 16);
+        assert_eq!(rows[4].2, -7);
+    }
+}

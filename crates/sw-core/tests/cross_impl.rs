@@ -1,0 +1,57 @@
+//! Cross-implementation determinism: the tie-breaking rule for the best
+//! endpoint is shared by the quadratic scan, the linear scan and (via
+//! gpu-sim/cudalign tests) the wavefront engine. These tests pin its
+//! semantics so a change breaks loudly.
+
+use proptest::prelude::*;
+use sw_core::full::{better_endpoint, sw_local_aligned, sw_local_score};
+use sw_core::Scoring;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// better_endpoint is a strict total order on distinct candidates.
+    #[test]
+    fn endpoint_order_is_total_and_antisymmetric(
+        s1 in -50i32..50, i1 in 0usize..40, j1 in 0usize..40,
+        s2 in -50i32..50, i2 in 0usize..40, j2 in 0usize..40,
+    ) {
+        let a = (s1, i1, j1);
+        let b = (s2, i2, j2);
+        if a == b {
+            prop_assert!(!better_endpoint(a, b));
+        } else {
+            prop_assert_ne!(better_endpoint(a, b), better_endpoint(b, a),
+                "exactly one of two distinct candidates wins");
+        }
+    }
+
+    /// Transitivity over random triples.
+    #[test]
+    fn endpoint_order_is_transitive(
+        v in proptest::collection::vec((-20i32..20, 0usize..10, 0usize..10), 3)
+    ) {
+        let (a, b, c) = (v[0], v[1], v[2]);
+        if better_endpoint(a, b) && better_endpoint(b, c) {
+            prop_assert!(better_endpoint(a, c) || a == c);
+        }
+    }
+
+    /// Both full-matrix and linear scans pick the same endpoint.
+    #[test]
+    fn scans_agree_on_endpoint(a in dna(120), b in dna(120)) {
+        let sc = Scoring::paper();
+        let (score, end) = sw_local_score(&a, &b, &sc);
+        match sw_local_aligned(&a, &b, &sc) {
+            Some(r) => {
+                prop_assert_eq!(r.score, score);
+                prop_assert_eq!(r.end, end);
+            }
+            None => prop_assert_eq!(score, 0),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the alignment fundamentals.
+
+use proptest::prelude::*;
+use sw_core::full::{nw_global_aligned, nw_global_typed, sw_local_aligned, sw_local_score};
+use sw_core::linear::{forward_vectors, global_score, reverse_vectors};
+use sw_core::matching::match_argmax;
+use sw_core::mm::mm_align;
+use sw_core::scoring::Scoring;
+use sw_core::transcript::EdgeState;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+}
+
+fn dna_nonempty(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..max_len)
+}
+
+fn edge() -> impl Strategy<Value = EdgeState> {
+    proptest::sample::select(vec![EdgeState::Diagonal, EdgeState::GapS0, EdgeState::GapS1])
+}
+
+fn schemes() -> impl Strategy<Value = Scoring> {
+    (1i32..4, -4i32..0, 0i32..6, 0i32..4)
+        .prop_map(|(ma, mi, open, ext)| Scoring::new(ma, mi, open + ext, ext))
+}
+
+/// Related pair: `b` derived from `a` by point edits, so alignments have
+/// interesting structure (long matches and gap runs).
+fn related_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (dna_nonempty(200), any::<u64>()).prop_map(|(a, seed)| {
+        let mut b = a.clone();
+        let mut x = seed | 1;
+        let mut rngstep = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        // a handful of random edits
+        for _ in 0..4 {
+            if b.is_empty() {
+                break;
+            }
+            let r = rngstep();
+            let pos = (r as usize >> 8) % b.len();
+            match r % 3 {
+                0 => b[pos] = b"ACGT"[(r as usize >> 40) & 3],
+                1 => {
+                    let del = (1 + (r >> 16) as usize % 8).min(b.len() - pos);
+                    b.drain(pos..pos + del);
+                }
+                _ => {
+                    let ins = 1 + ((r >> 16) as usize % 8);
+                    for k in 0..ins {
+                        b.insert(pos, b"ACGT"[(r as usize >> (2 * k)) & 3]);
+                    }
+                }
+            }
+        }
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Myers-Miller agrees with the quadratic DP on score, and its
+    /// transcript is valid and rescores to the same value.
+    #[test]
+    fn mm_equals_nw(( a, b) in related_pair(), start in edge(), sc in schemes()) {
+        let (s_nw, _) = nw_global_typed(&a, &b, &sc, start, EdgeState::Diagonal);
+        let (s_mm, t) = mm_align(&a, &b, &sc, start, EdgeState::Diagonal);
+        prop_assert_eq!(s_mm, s_nw);
+        t.validate(&a, &b).unwrap();
+        prop_assert_eq!(t.score_as_continuation(&a, &b, &sc, start), s_mm);
+    }
+
+    /// Typed end states also agree between MM and NW.
+    #[test]
+    fn mm_equals_nw_typed_end(a in dna_nonempty(120), b in dna_nonempty(120), end in edge()) {
+        let sc = Scoring::paper();
+        let (s_nw, _) = nw_global_typed(&a, &b, &sc, EdgeState::Diagonal, end);
+        let (s_mm, t) = mm_align(&a, &b, &sc, EdgeState::Diagonal, end);
+        prop_assert_eq!(s_mm, s_nw);
+        t.validate(&a, &b).unwrap();
+    }
+
+    /// The linear-space global score equals the quadratic one for every
+    /// combination of edge states.
+    #[test]
+    fn linear_equals_quadratic(a in dna(80), b in dna(80), start in edge(), end in edge(), sc in schemes()) {
+        let (s_full, _) = nw_global_typed(&a, &b, &sc, start, end);
+        let s_lin = global_score(&a, &b, &sc, start, end);
+        prop_assert_eq!(s_lin, s_full);
+    }
+
+    /// Local alignment: full-matrix result is internally consistent and
+    /// agrees with the linear score-only scan.
+    #[test]
+    fn local_consistency((a, b) in related_pair()) {
+        let sc = Scoring::paper();
+        let (score, end) = sw_local_score(&a, &b, &sc);
+        if let Some(r) = sw_local_aligned(&a, &b, &sc) {
+            prop_assert_eq!(r.score, score);
+            prop_assert_eq!(r.end, end);
+            let sub_a = &a[r.start.0..r.end.0];
+            let sub_b = &b[r.start.1..r.end.1];
+            r.transcript.validate(sub_a, sub_b).unwrap();
+            prop_assert_eq!(r.transcript.score(sub_a, sub_b, &sc), r.score);
+            prop_assert!(r.score > 0);
+        } else {
+            prop_assert_eq!(score, 0);
+        }
+    }
+
+    /// A local alignment never scores below the best exact k-mer match,
+    /// and never above the global alignment of its own substrings.
+    #[test]
+    fn local_dominates_global_of_substrings((a, b) in related_pair()) {
+        let sc = Scoring::paper();
+        if let Some(r) = sw_local_aligned(&a, &b, &sc) {
+            let sub_a = &a[r.start.0..r.end.0];
+            let sub_b = &b[r.start.1..r.end.1];
+            let (g, _) = nw_global_aligned(sub_a, sub_b, &sc, EdgeState::Diagonal, EdgeState::Diagonal);
+            prop_assert_eq!(g, r.score, "local transcript must be the optimal global alignment of its substrings");
+        }
+    }
+
+    /// The matching procedure's maximum equals the true global score for
+    /// every split row.
+    #[test]
+    fn matching_total_is_global_optimum(a in dna_nonempty(60), b in dna(60), split_frac in 0.0f64..1.0) {
+        let sc = Scoring::paper();
+        let i_star = ((a.len() as f64) * split_frac) as usize;
+        let (cc, dd) = forward_vectors(&a[..i_star], &b, &sc, EdgeState::Diagonal);
+        let (rr, ss) = reverse_vectors(&a[i_star..], &b, &sc, EdgeState::Diagonal);
+        let mp = match_argmax(&cc, &dd, &rr, &ss, &sc);
+        let (truth, _) = nw_global_typed(&a, &b, &sc, EdgeState::Diagonal, EdgeState::Diagonal);
+        prop_assert_eq!(mp.total, truth);
+        // And the split telescopes.
+        let (s_top, _) = nw_global_typed(&a[..i_star], &b[..mp.j], &sc, EdgeState::Diagonal, mp.state);
+        let (s_bot, _) = nw_global_typed(&a[i_star..], &b[mp.j..], &sc, mp.state, EdgeState::Diagonal);
+        prop_assert_eq!(s_top + s_bot, truth);
+    }
+
+    /// Reversing both sequences leaves the global score unchanged
+    /// (affine gap costs are reversal-invariant).
+    #[test]
+    fn global_score_reversal_invariant(a in dna(100), b in dna(100)) {
+        let sc = Scoring::paper();
+        let (s, _) = nw_global_typed(&a, &b, &sc, EdgeState::Diagonal, EdgeState::Diagonal);
+        let ar: Vec<u8> = a.iter().rev().copied().collect();
+        let br: Vec<u8> = b.iter().rev().copied().collect();
+        let (s_rev, _) = nw_global_typed(&ar, &br, &sc, EdgeState::Diagonal, EdgeState::Diagonal);
+        prop_assert_eq!(s, s_rev);
+    }
+
+    /// Transposing the problem (swapping sequences) preserves the global
+    /// score when edge states are transposed accordingly.
+    #[test]
+    fn global_score_transpose_invariant(a in dna(100), b in dna(100), start in edge(), end in edge()) {
+        let sc = Scoring::paper();
+        let (s, _) = nw_global_typed(&a, &b, &sc, start, end);
+        let (s_t, _) = nw_global_typed(&b, &a, &sc, start.transposed(), end.transposed());
+        prop_assert_eq!(s, s_t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Semi-global dominates global (free ends can only help) and its
+    /// transcript rescoring is exact.
+    #[test]
+    fn semiglobal_dominates_global(a in dna(100), b in dna(100)) {
+        use sw_core::semiglobal::semiglobal_align;
+        prop_assume!(!a.is_empty() || !b.is_empty());
+        let sc = Scoring::paper();
+        let r = semiglobal_align(&a, &b, &sc).unwrap();
+        let (g, _) = nw_global_typed(&a, &b, &sc, EdgeState::Diagonal, EdgeState::Diagonal);
+        prop_assert!(r.score >= g, "semiglobal {} < global {g}", r.score);
+        prop_assert!(r.score >= 0, "the empty overlap scores 0");
+        let sub_a = &a[r.start.0..r.end.0];
+        let sub_b = &b[r.start.1..r.end.1];
+        r.transcript.validate(sub_a, sub_b).unwrap();
+        prop_assert_eq!(r.transcript.score(sub_a, sub_b, &sc), r.score);
+        // Endpoints touch the free borders.
+        prop_assert!(r.start.0 == 0 || r.start.1 == 0);
+        prop_assert!(r.end.0 == a.len() || r.end.1 == b.len());
+    }
+
+    /// Local dominates semi-global (it may clip both ends *and* interior
+    /// borders are free everywhere).
+    #[test]
+    fn local_dominates_semiglobal(a in dna(100), b in dna(100)) {
+        use sw_core::semiglobal::semiglobal_align;
+        prop_assume!(!a.is_empty() || !b.is_empty());
+        let sc = Scoring::paper();
+        let r = semiglobal_align(&a, &b, &sc).unwrap();
+        let (local, _) = sw_core::full::sw_local_score(&a, &b, &sc);
+        prop_assert!(local >= r.score, "local {local} < semiglobal {}", r.score);
+    }
+}

@@ -1,0 +1,58 @@
+//! Compare the pipeline against every baseline on the Table II registry
+//! (scaled), verifying they all agree — a miniature of the paper's
+//! evaluation loop.
+//!
+//! ```text
+//! cargo run -p cudalign --release --example batch_compare [scale]
+//! ```
+
+use baselines::{mm_local_align, zalign};
+use cudalign::{Pipeline, PipelineConfig};
+use seqio::DatasetRegistry;
+use std::time::Instant;
+use sw_core::Scoring;
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let reg = DatasetRegistry::paper();
+    println!(
+        "{:>16} {:>10} {:>9} {:>12} {:>12} {:>12}",
+        "pair", "score", "length", "pipeline(s)", "zalign1(s)", format!("zalign{cores}(s)")
+    );
+    for spec in reg.pairs() {
+        let (s0, s1) = spec.materialize(scale, 42);
+        let sc = Scoring::paper();
+
+        let t = Instant::now();
+        let res = Pipeline::new(PipelineConfig::default_cpu())
+            .align(s0.bases(), s1.bases())
+            .expect("pipeline failed");
+        let t_pipe = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let z1 = zalign(s0.bases(), s1.bases(), &sc, 1);
+        let t_z1 = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let zp = zalign(s0.bases(), s1.bases(), &sc, cores);
+        let t_zp = t.elapsed().as_secs_f64();
+
+        let mm = mm_local_align(s0.bases(), s1.bases(), &sc);
+
+        assert_eq!(res.best_score, z1.score, "{}: pipeline vs zalign", spec.key);
+        assert_eq!(res.best_score, zp.score);
+        assert_eq!(res.best_score, mm.score);
+
+        println!(
+            "{:>16} {:>10} {:>9} {:>12.3} {:>12.3} {:>12.3}",
+            spec.key,
+            res.best_score,
+            res.transcript.len(),
+            t_pipe,
+            t_z1,
+            t_zp
+        );
+    }
+    println!("\nall aligners agree on every optimal score.");
+}

@@ -1,0 +1,37 @@
+//! Quickstart: align two short DNA sequences and print everything the
+//! pipeline produces.
+//!
+//! ```text
+//! cargo run -p cudalign --release --example quickstart
+//! ```
+
+use cudalign::{stage6, Pipeline, PipelineConfig};
+
+fn main() {
+    // Two toy sequences: a shared core with a deletion and a few SNPs,
+    // surrounded by unrelated flanks (so the LOCAL alignment is a proper
+    // substring alignment).
+    let s0 = b"TTTTTTTTTTACGTACGTACGTGGAACCAGTTGACCAGTTTTTTTTTTTT".to_vec();
+    let s1 = b"GGGGGGGGGGACGTACGTACGTGGACCAGTTTACCAGGGGGGGGGGGGGG".to_vec();
+
+    let cfg = PipelineConfig::for_tests();
+    let result = Pipeline::new(cfg).align(&s0, &s1).expect("pipeline failed");
+
+    println!("best score : {}", result.best_score);
+    println!("start      : {:?}", result.start);
+    println!("end        : {:?}", result.end);
+    println!("cigar      : {}", result.transcript.cigar());
+    println!();
+    println!("{}", stage6::render_text(&s0, &s1, &result.binary, 60));
+    println!("{}", stage6::summary(&result.binary, &result.transcript));
+
+    // The compact binary representation (what Stage 5 writes to disk).
+    let bytes = result.binary.encode();
+    println!("\nbinary representation: {} bytes (text above is much larger)", bytes.len());
+
+    // Per-stage statistics.
+    let st = &result.stats;
+    println!("\nstage seconds: {:?}", st.stage_seconds);
+    println!("crosspoints |L1..L4|: {:?}", st.crosspoints);
+    println!("special rows: {}, special columns: {}", st.special_rows, st.special_columns);
+}

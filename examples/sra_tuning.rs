@@ -1,0 +1,41 @@
+//! The Special-Rows-Area tradeoff (the paper's Table VII): sweep the SRA
+//! budget and watch Stage 1 pay a little while Stages 2 and 4 gain a lot.
+//!
+//! ```text
+//! cargo run -p cudalign --release --example sra_tuning [length]
+//! ```
+
+use cudalign::{Pipeline, PipelineConfig};
+use seqio::generate::{homologous_pair, HomologyParams};
+use sw_core::Sequence;
+
+fn main() {
+    let len: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let (s0, s1): (Sequence, Sequence) = homologous_pair(7, len, &HomologyParams::chromosome());
+    println!("homologous pair: {} bp x {} bp", s0.len(), s1.len());
+    println!(
+        "{:>12} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "SRA", "rows", "stage1(s)", "stage2(s)", "stage3(s)", "stage4(s)", "total(s)", "cells2"
+    );
+
+    let row_bytes = 8 * (s1.len() as u64 + 1);
+    for rows in [0u64, 2, 4, 8, 16, 32, 64] {
+        let mut cfg = PipelineConfig::default_cpu();
+        cfg.sra_bytes = rows * row_bytes;
+        cfg.sca_bytes = cfg.sra_bytes / 2;
+        let res = Pipeline::new(cfg).align(s0.bases(), s1.bases()).expect("pipeline failed");
+        let st = &res.stats;
+        println!(
+            "{:>12} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9}",
+            format!("{} rows", rows),
+            st.special_rows,
+            st.stage_seconds[0],
+            st.stage_seconds[1],
+            st.stage_seconds[2],
+            st.stage_seconds[3],
+            st.total_seconds,
+            st.stage_cells[1],
+        );
+    }
+    println!("\nmore special rows -> smaller stage-2 strips and smaller partitions for stage 4.");
+}

@@ -1,0 +1,61 @@
+//! Stage 6 as a standalone tool: align two FASTA files (or a generated
+//! pair), write the binary alignment, then reconstruct and render it.
+//!
+//! ```text
+//! cargo run -p cudalign --release --example visualize [a.fasta b.fasta]
+//! ```
+//!
+//! Without arguments a demo pair is generated. With two FASTA paths the
+//! first record of each file is aligned.
+
+use cudalign::{stage6, BinaryAlignment, Pipeline, PipelineConfig};
+use seqio::fasta;
+use seqio::generate::{homologous_pair, HomologyParams};
+use sw_core::Sequence;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (s0, s1): (Sequence, Sequence) = if args.len() == 2 {
+        let mut r0 = fasta::read_fasta_file(&args[0]).expect("read first FASTA");
+        let mut r1 = fasta::read_fasta_file(&args[1]).expect("read second FASTA");
+        assert!(!r0.is_empty() && !r1.is_empty(), "FASTA files must contain records");
+        (r0.remove(0), r1.remove(0))
+    } else {
+        homologous_pair(3, 600, &HomologyParams::chromosome())
+    };
+    println!("aligning {:?} x {:?}", s0.name(), s1.name());
+
+    let result = Pipeline::new(PipelineConfig::default_cpu())
+        .align(s0.bases(), s1.bases())
+        .expect("pipeline failed");
+    if result.best_score == 0 {
+        println!("no positive-scoring local alignment");
+        return;
+    }
+
+    // Write the binary representation to a temp file and read it back —
+    // the paper's stages 5 and 6 are decoupled exactly like this.
+    let path = std::env::temp_dir().join("alignment.cal2");
+    std::fs::write(&path, result.binary.encode()).expect("write binary alignment");
+    let bytes = std::fs::read(&path).expect("read back");
+    let binary = BinaryAlignment::decode(&bytes).expect("decode");
+    println!(
+        "binary alignment: {} bytes at {}",
+        bytes.len(),
+        path.display()
+    );
+
+    let text = stage6::render_text(s0.bases(), s1.bases(), &binary, 80);
+    println!(
+        "text rendering: {} bytes ({}x larger)\n",
+        text.len(),
+        text.len() / bytes.len().max(1)
+    );
+    // Print only the head of long alignments.
+    for line in text.lines().take(30) {
+        println!("{line}");
+    }
+    let transcript = binary.to_transcript(s0.bases(), s1.bases());
+    println!("{}", stage6::summary(&binary, &transcript));
+    let _ = std::fs::remove_file(&path);
+}

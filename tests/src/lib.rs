@@ -1,0 +1,54 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! small utilities they share.
+
+/// Deterministic pseudo-random DNA (no external RNG so failures are
+/// trivially reproducible from the seed).
+pub fn lcg_dna(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b"ACGT"[(x >> 33) as usize & 3]
+        })
+        .collect()
+}
+
+/// A pair derived by point edits: SNPs every `snp_every` bases, one
+/// deletion and one insertion block.
+pub fn edited_pair(seed: u64, len: usize, snp_every: usize) -> (Vec<u8>, Vec<u8>) {
+    let a = lcg_dna(seed, len);
+    let mut b = a.clone();
+    for i in (snp_every / 2..b.len()).step_by(snp_every.max(2)) {
+        b[i] = match b[i] {
+            b'A' => b'C',
+            b'C' => b'G',
+            b'G' => b'T',
+            _ => b'A',
+        };
+    }
+    if len >= 60 {
+        b.drain(len / 3..len / 3 + 11);
+        let at = b.len() / 2;
+        for (k, ch) in lcg_dna(seed ^ 0xDEAD, 7).into_iter().enumerate() {
+            b.insert(at + k, ch);
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(lcg_dna(7, 64), lcg_dna(7, 64));
+        let (a1, b1) = edited_pair(3, 200, 13);
+        let (a2, b2) = edited_pair(3, 200, 13);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_ne!(a1, b1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Determinism: the pipeline's output must not depend on worker count,
+//! grid shape or repetition — only on the inputs and the scoring scheme.
+
+use cudalign::{Pipeline, PipelineConfig};
+use gpu_sim::GridSpec;
+use integration_tests::edited_pair;
+
+#[test]
+fn repeated_runs_are_identical() {
+    let (a, b) = edited_pair(21, 800, 13);
+    let cfg = PipelineConfig::for_tests();
+    let r1 = Pipeline::new(cfg.clone()).align(&a, &b).unwrap();
+    let r2 = Pipeline::new(cfg).align(&a, &b).unwrap();
+    assert_eq!(r1.best_score, r2.best_score);
+    assert_eq!(r1.start, r2.start);
+    assert_eq!(r1.end, r2.end);
+    assert_eq!(r1.transcript.ops(), r2.transcript.ops());
+    assert_eq!(r1.binary, r2.binary);
+}
+
+#[test]
+fn worker_count_does_not_change_output() {
+    let (a, b) = edited_pair(22, 700, 11);
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.workers = workers;
+        results.push(Pipeline::new(cfg).align(&a, &b).unwrap());
+    }
+    for r in &results[1..] {
+        assert_eq!(r.best_score, results[0].best_score);
+        assert_eq!(r.start, results[0].start);
+        assert_eq!(r.end, results[0].end);
+        assert_eq!(r.transcript.ops(), results[0].transcript.ops());
+    }
+}
+
+#[test]
+fn score_is_grid_invariant() {
+    // The *score*, endpoint and start are grid-invariant. (The exact
+    // crosspoint chain may differ because special rows fall elsewhere.)
+    let (a, b) = edited_pair(23, 600, 9);
+    let mut scores = Vec::new();
+    for (g1, g23) in [
+        (GridSpec { blocks: 2, threads: 2, alpha: 1 }, GridSpec { blocks: 1, threads: 2, alpha: 1 }),
+        (GridSpec { blocks: 4, threads: 4, alpha: 2 }, GridSpec { blocks: 2, threads: 4, alpha: 2 }),
+        (GridSpec { blocks: 8, threads: 8, alpha: 4 }, GridSpec { blocks: 4, threads: 8, alpha: 4 }),
+    ] {
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.grid1 = g1;
+        cfg.grid23 = g23;
+        let r = Pipeline::new(cfg).align(&a, &b).unwrap();
+        scores.push((r.best_score, r.start, r.end));
+    }
+    for s in &scores[1..] {
+        assert_eq!(s, &scores[0]);
+    }
+}
+
+#[test]
+fn disk_and_memory_backends_agree() {
+    let (a, b) = edited_pair(24, 500, 15);
+    let mem = Pipeline::new(PipelineConfig::for_tests()).align(&a, &b).unwrap();
+    let dir = std::env::temp_dir().join(format!("cudalign-det-{}", std::process::id()));
+    let mut cfg = PipelineConfig::for_tests();
+    cfg.backend = cudalign::config::SraBackend::Disk(dir.clone());
+    let disk = Pipeline::new(cfg).align(&a, &b).unwrap();
+    assert_eq!(mem.best_score, disk.best_score);
+    assert_eq!(mem.transcript.ops(), disk.transcript.ops());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,89 @@
+//! Qualitative claims of the paper's evaluation, checked end-to-end on
+//! the synthetic Table II workloads.
+
+use cudalign::{Pipeline, PipelineConfig};
+use seqio::generate::HomologyParams;
+use seqio::{DatasetRegistry, Relation};
+
+fn align_pair(key: &str, scale: usize) -> (cudalign::PipelineResult, usize, usize) {
+    let reg = DatasetRegistry::paper();
+    let spec = reg.get(key).unwrap();
+    let (s0, s1) = spec.materialize(scale, 42);
+    let res = Pipeline::new(PipelineConfig::default_cpu()).align(s0.bases(), s1.bases()).unwrap();
+    (res, s0.len(), s1.len())
+}
+
+/// Unrelated pairs (herpes viruses): the optimal alignment is a short
+/// random coincidence — the paper found score 18 over 162K x 172K.
+#[test]
+fn unrelated_pairs_align_weakly() {
+    let (res, m, _) = align_pair("162Kx172K", 20_000);
+    assert!(res.best_score < 40, "score {}", res.best_score);
+    assert!(res.transcript.len() < m / 2);
+}
+
+/// Strain pairs (B. anthracis): the alignment spans essentially the whole
+/// genome — the paper's score 5,220,960 over 5,227 KBP with few gaps.
+#[test]
+fn strain_pairs_align_end_to_end() {
+    let (res, m, _) = align_pair("5227Kx5229K", 20_000);
+    let span = res.end.0 - res.start.0;
+    assert!(span * 10 >= m * 9, "alignment spans {span} of {m} bp");
+    let stats = res.transcript.stats();
+    let total = stats.total_columns().max(1);
+    assert!(stats.matches * 100 / total > 95, "match fraction too low");
+}
+
+/// The chromosome pair: the human side carries a large unrelated left
+/// flank, so the alignment starts deep into S1 (the paper's start
+/// position (0, 13,841,680)) and matches ~94% of columns.
+#[test]
+fn chromosome_pair_skips_the_flank() {
+    let (res, m, n) = align_pair("32799Kx46944K", 10_000);
+    assert!(
+        res.start.1 > n / 4,
+        "alignment should start after the flank: start {:?} of {n}",
+        res.start
+    );
+    assert!(res.start.0 < m / 10, "chimp side aligns from near its beginning");
+    let stats = res.transcript.stats();
+    let total = stats.total_columns().max(1);
+    let match_pct = 100.0 * stats.matches as f64 / total as f64;
+    assert!(
+        (88.0..99.5).contains(&match_pct),
+        "match fraction {match_pct:.1}% out of the chromosome regime"
+    );
+}
+
+/// Island pairs (Corynebacterium/Drosophila): one bounded homologous
+/// segment inside megabase unrelated sequence.
+#[test]
+fn island_pairs_find_the_island() {
+    let reg = DatasetRegistry::paper();
+    let spec = reg.get("3147Kx3283K").unwrap();
+    let island_frac = match spec.relation {
+        Relation::Island { island_frac, .. } => island_frac,
+        _ => panic!("expected island relation"),
+    };
+    let (s0, s1) = spec.materialize(10_000, 42);
+    let res = Pipeline::new(PipelineConfig::default_cpu()).align(s0.bases(), s1.bases()).unwrap();
+    let expected_island = (s0.len().min(s1.len()) as f64 * island_frac) as usize;
+    // The alignment covers at least half the planted island (divergence
+    // may trim its ends) and does not balloon past ~3x of it.
+    assert!(
+        res.transcript.len() >= expected_island / 2,
+        "alignment {} shorter than half the island {expected_island}",
+        res.transcript.len()
+    );
+    assert!(res.transcript.len() <= expected_island * 3 + 64);
+}
+
+/// The divergence presets produce the intended mutation regimes.
+#[test]
+fn divergence_presets_are_ordered() {
+    let strain = HomologyParams::strain();
+    let chromo = HomologyParams::chromosome();
+    let diverged = HomologyParams::diverged();
+    assert!(strain.snp_rate < chromo.snp_rate);
+    assert!(chromo.snp_rate < diverged.snp_rate);
+}

@@ -1,0 +1,78 @@
+//! Scale invariance of the workload regimes: the synthetic Table II
+//! pairs must keep their qualitative character across reproduction
+//! scales, otherwise the scaled evaluation would not speak for the
+//! paper-scale one.
+
+use cudalign::{Pipeline, PipelineConfig};
+use seqio::DatasetRegistry;
+
+struct Regime {
+    match_pct: f64,
+    span_frac_s0: f64,
+    start_frac_s1: f64,
+}
+
+fn chromosome_regime(scale: usize) -> Regime {
+    let reg = DatasetRegistry::paper();
+    let spec = reg.chromosome_pair();
+    let (s0, s1) = spec.materialize(scale, 42);
+    let res = Pipeline::new(PipelineConfig::default_cpu()).align(s0.bases(), s1.bases()).unwrap();
+    let stats = res.transcript.stats();
+    let total = stats.total_columns().max(1);
+    Regime {
+        match_pct: 100.0 * stats.matches as f64 / total as f64,
+        span_frac_s0: (res.end.0 - res.start.0) as f64 / s0.len() as f64,
+        start_frac_s1: res.start.1 as f64 / s1.len() as f64,
+    }
+}
+
+#[test]
+fn chromosome_regime_is_scale_invariant() {
+    for scale in [20_000usize, 8_000] {
+        let r = chromosome_regime(scale);
+        // The paper's regime: ~94-97% matches, alignment spans the whole
+        // chimpanzee side, starts ~42% into the human side.
+        assert!(
+            (88.0..99.0).contains(&r.match_pct),
+            "scale {scale}: match% {:.1}",
+            r.match_pct
+        );
+        assert!(r.span_frac_s0 > 0.95, "scale {scale}: span {:.2}", r.span_frac_s0);
+        assert!(
+            (0.25..0.55).contains(&r.start_frac_s1),
+            "scale {scale}: start fraction {:.2}",
+            r.start_frac_s1
+        );
+    }
+}
+
+#[test]
+fn unrelated_regime_is_scale_invariant() {
+    let reg = DatasetRegistry::paper();
+    let spec = reg.get("543Kx536K").unwrap();
+    for scale in [20_000usize, 5_000] {
+        let (s0, s1) = spec.materialize(scale, 42);
+        let res =
+            Pipeline::new(PipelineConfig::default_cpu()).align(s0.bases(), s1.bases()).unwrap();
+        // Random coincidences only: score grows ~logarithmically, so any
+        // small bound holds across scales.
+        assert!(res.best_score < 40, "scale {scale}: score {}", res.best_score);
+        assert!(res.transcript.len() < s0.len() / 3);
+    }
+}
+
+#[test]
+fn strain_regime_is_scale_invariant() {
+    let reg = DatasetRegistry::paper();
+    let spec = reg.get("5227Kx5229K").unwrap();
+    for scale in [20_000usize, 8_000] {
+        let (s0, s1) = spec.materialize(scale, 42);
+        let res =
+            Pipeline::new(PipelineConfig::default_cpu()).align(s0.bases(), s1.bases()).unwrap();
+        let span = res.end.0 - res.start.0;
+        assert!(span * 10 >= s0.len() * 9, "scale {scale}: span {span} of {}", s0.len());
+        let stats = res.transcript.stats();
+        let total = stats.total_columns().max(1);
+        assert!(stats.matches * 100 / total >= 95, "scale {scale}");
+    }
+}
