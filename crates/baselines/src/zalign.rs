@@ -73,13 +73,13 @@ fn band_scan(a: &[u8], b: &[u8], scoring: &Scoring, workers: usize) -> (Score, (
     }
     senders.push(None); // last band sends nowhere
 
-    let results = crossbeam::thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let rx = receivers[w].take();
             let tx = senders[w].take();
             let rows = (w * band).min(m)..((w + 1) * band).min(m);
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let a_band = &a[rows.clone()];
                 let row_offset = rows.start + 1;
                 let mut left = vec![CellHE { h: 0, e: NEG_INF }; a_band.len()];
@@ -121,8 +121,7 @@ fn band_scan(a: &[u8], b: &[u8], scoring: &Scoring, workers: usize) -> (Score, (
             }));
         }
         handles.into_iter().map(|h| h.join().expect("zalign worker panicked")).collect::<Vec<_>>()
-    })
-    .expect("zalign scope failed");
+    });
 
     let mut best: Option<(Score, usize, usize)> = None;
     let mut cells = 0u64;

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::kernel::{compute_tile, global_borders, GlobalOrigin};
-use gpu_sim::wavefront::{run_plain, RegionJob};
-use gpu_sim::{GridSpec, Mode};
+use gpu_sim::wavefront::{run_plain, run_pooled, NoObserver, RegionJob};
+use gpu_sim::{GridSpec, Mode, WorkerPool};
 use sw_core::linear::RowDp;
 use sw_core::scoring::Scoring;
 use sw_core::transcript::EdgeState;
@@ -118,5 +118,101 @@ fn bench_kernel_phases(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rowdp, bench_tile, bench_wavefront, bench_kernel_phases);
+/// Scheduler overhead: many tiny diagonals are the executor's worst case
+/// (one barrier per diagonal, almost no DP work per job).
+///
+/// The `launch/*` rows run a real wavefront over a 512x512 matrix cut
+/// into 64x64 blocks of 8x8 cells (127 external diagonals), either on a
+/// persistent [`WorkerPool`] (`pooled`) or standing a fresh pool up per
+/// launch (`fresh_pool`).
+///
+/// The `handoff/*` rows isolate what the executor replaced: the
+/// pre-executor engine stood worker threads up once *per diagonal*, so
+/// `per_diagonal_spawn` creates a fresh pool for each of 127 barrier
+/// scopes while `pooled` hands the same scopes to long-lived workers.
+/// Pooled must not be slower than the spawning variant.
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    let a = dna(7, 512);
+    let b = dna(8, 512);
+    let grid = GridSpec { blocks: 64, threads: 8, alpha: 1 };
+    let diagonals = 2 * 64 - 1;
+    g.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    for workers in [2usize, 4] {
+        let job = RegionJob {
+            a: &a,
+            b: &b,
+            scoring: Scoring::paper(),
+            mode: Mode::Local,
+            grid,
+            workers,
+            watch: None,
+        };
+        g.bench_with_input(BenchmarkId::new("launch/pooled", workers), &workers, |bench, &w| {
+            let pool = WorkerPool::new(w);
+            bench.iter(|| run_pooled(&pool, &job, &mut NoObserver).unwrap().best)
+        });
+        g.bench_with_input(
+            BenchmarkId::new("launch/fresh_pool", workers),
+            &workers,
+            |bench, &w| {
+                bench.iter(|| {
+                    let pool = WorkerPool::new(w);
+                    run_pooled(&pool, &job, &mut NoObserver).unwrap().best
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("handoff/pooled", workers), &workers, |bench, &w| {
+            let pool = WorkerPool::new(w);
+            bench.iter(|| {
+                let mut acc = 0u64;
+                for d in 0..diagonals {
+                    let shards: Vec<u64> = (0..w as u64).map(|k| d + k).collect();
+                    let mut outs = vec![0u64; shards.len()];
+                    pool.scope(|s| {
+                        for (shard, out) in shards.iter().zip(outs.iter_mut()) {
+                            s.spawn(move || *out = shard.wrapping_mul(0x9E3779B97F4A7C15));
+                        }
+                    })
+                    .unwrap();
+                    acc = acc.wrapping_add(outs.iter().sum::<u64>());
+                }
+                acc
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("handoff/per_diagonal_spawn", workers),
+            &workers,
+            |bench, &w| {
+                bench.iter(|| {
+                    let mut acc = 0u64;
+                    for d in 0..diagonals {
+                        let pool = WorkerPool::new(w);
+                        let shards: Vec<u64> = (0..w as u64).map(|k| d + k).collect();
+                        let mut outs = vec![0u64; shards.len()];
+                        pool.scope(|s| {
+                            for (shard, out) in shards.iter().zip(outs.iter_mut()) {
+                                s.spawn(move || *out = shard.wrapping_mul(0x9E3779B97F4A7C15));
+                            }
+                        })
+                        .unwrap();
+                        acc = acc.wrapping_add(outs.iter().sum::<u64>());
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rowdp,
+    bench_tile,
+    bench_wavefront,
+    bench_kernel_phases,
+    bench_scheduler_overhead
+);
 criterion_main!(benches);

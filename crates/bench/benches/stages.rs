@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cudalign::sra::LineStore;
-use cudalign::{stage1, stage4, Crosspoint, CrosspointChain, Pipeline, PipelineConfig};
+use cudalign::{stage1, stage4, Crosspoint, CrosspointChain, Pipeline, PipelineConfig, WorkerPool};
 use seqio::generate::{homologous_pair, HomologyParams};
 use sw_core::full::nw_global_typed;
 use sw_core::transcript::EdgeState;
@@ -23,9 +23,10 @@ fn bench_stage1_flush(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(name, a.len()), &sra, |bench, &sra| {
             let mut cfg = PipelineConfig::default_cpu();
             cfg.sra_bytes = sra;
+            let pool = WorkerPool::new(cfg.workers);
             bench.iter(|| {
                 let mut rows = LineStore::new(&cfg.backend, sra, "row").unwrap();
-                stage1::run(&a, &b, &cfg, &mut rows).best_score
+                stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap().best_score
             })
         });
     }
@@ -46,7 +47,8 @@ fn bench_stage4_modes(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(name, a.len()), &orth, |bench, &orth| {
             let mut cfg = PipelineConfig::default_cpu();
             cfg.orthogonal_stage4 = orth;
-            bench.iter(|| stage4::run(&a, &b, &cfg, &chain).unwrap().cells)
+            let pool = WorkerPool::new(cfg.workers);
+            bench.iter(|| stage4::run(&a, &b, &cfg, &pool, &chain).unwrap().cells)
         });
     }
     g.finish();

@@ -8,7 +8,7 @@ use crate::runs::{paper_sra_bytes, project_seconds, repro_config, run_pipeline, 
 use crate::{repro_scale, repro_seed};
 use cudalign::sra::LineStore;
 use cudalign::{stage1, stage2, stage3, stage4, stage5, stage6};
-use cudalign::PipelineConfig;
+use cudalign::{PipelineConfig, WorkerPool};
 use gpu_sim::DeviceModel;
 use seqio::DatasetRegistry;
 use std::time::Instant;
@@ -164,11 +164,13 @@ pub fn table4() {
     for w in workloads() {
         let mut cfg = repro_config(&w);
 
+        let pool = WorkerPool::new(cfg.workers);
+
         // Without flushing.
         cfg.sra_bytes = 0;
         let mut rows0 = LineStore::new(&cfg.backend, 0, "row").unwrap();
         let t = Instant::now();
-        let res0 = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &mut rows0);
+        let res0 = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &mut rows0).unwrap();
         let t0 = t.elapsed().as_secs_f64();
 
         // With flushing at the paper's (scaled) SRA size.
@@ -176,7 +178,7 @@ pub fn table4() {
         cfg.sra_bytes = sra;
         let mut rows1 = LineStore::new(&cfg.backend, sra, "row").unwrap();
         let t = Instant::now();
-        let res1 = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &mut rows1);
+        let res1 = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &mut rows1).unwrap();
         let t1 = t.elapsed().as_secs_f64();
 
         let projected = project_seconds(&device, res1.cells, res1.flushed_bytes, scale);
@@ -341,9 +343,10 @@ pub fn table7() {
     {
         let mut cfg = repro_config(&w);
         cfg.sra_bytes = 0;
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&cfg.backend, 0, "row").unwrap();
         let t = Instant::now();
-        let _ = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &mut rows);
+        let _ = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &mut rows);
         r.row(&[
             "0".into(),
             secs(t.elapsed().as_secs_f64()),
@@ -427,14 +430,23 @@ fn stages_123(
     w: &Workload,
     cfg: &PipelineConfig,
 ) -> (cudalign::CrosspointChain, LineStore<gpu_sim::CellHF>) {
+    let pool = WorkerPool::new(cfg.workers);
     let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "row").unwrap();
-    let s1r = stage1::run(w.s0.bases(), w.s1.bases(), cfg, &mut rows);
+    let s1r = stage1::run(w.s0.bases(), w.s1.bases(), cfg, &pool, &mut rows).unwrap();
     assert!(s1r.best_score > 0, "chromosome pair must align");
     let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col").unwrap();
-    let s2r =
-        stage2::run(w.s0.bases(), w.s1.bases(), cfg, s1r.best_score, s1r.end, &rows, &mut cols)
-            .unwrap();
-    let s3r = stage3::run(w.s0.bases(), w.s1.bases(), cfg, &s2r.chain, &cols).unwrap();
+    let s2r = stage2::run(
+        w.s0.bases(),
+        w.s1.bases(),
+        cfg,
+        &pool,
+        s1r.best_score,
+        s1r.end,
+        &rows,
+        &mut cols,
+    )
+    .unwrap();
+    let s3r = stage3::run(w.s0.bases(), w.s1.bases(), cfg, &pool, &s2r.chain, &cols).unwrap();
     (s3r.chain, rows)
 }
 
@@ -445,10 +457,11 @@ pub fn table9() {
     cfg.max_partition_size = 16;
     let (l3, _rows) = stages_123(&w, &cfg);
 
+    let pool = WorkerPool::new(cfg.workers);
     cfg.orthogonal_stage4 = false;
-    let classic = stage4::run(w.s0.bases(), w.s1.bases(), &cfg, &l3).unwrap();
+    let classic = stage4::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &l3).unwrap();
     cfg.orthogonal_stage4 = true;
-    let orth = stage4::run(w.s0.bases(), w.s1.bases(), &cfg, &l3).unwrap();
+    let orth = stage4::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &l3).unwrap();
 
     let mut r = Report::new(
         format!("Table IX: stage 4 iterations, MM (Time1) vs orthogonal (Time2), scale 1/{}", w.scale),
@@ -558,10 +571,11 @@ pub fn ablation_split() {
         format!("Ablation: balanced vs middle-row splitting (scale 1/{})", w.scale),
         &["Mode", "iterations", "cells", "final crosspoints", "time (s)"],
     );
+    let pool = WorkerPool::new(cfg.workers);
     for (label, balanced) in [("balanced", true), ("middle-row", false)] {
         cfg.balanced_split = balanced;
         let t = Instant::now();
-        let res = stage4::run(w.s0.bases(), w.s1.bases(), &cfg, &l3).unwrap();
+        let res = stage4::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &l3).unwrap();
         r.row(&[
             label.to_string(),
             res.iterations.len().to_string(),

@@ -97,6 +97,15 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
         )
         .unwrap();
         writeln!(out, "  stage-4 iterations: {}", st.stage4_iterations.len()).unwrap();
+        writeln!(
+            out,
+            "  worker pool: {} lanes, {} handoffs, {} tasks, {:.1}% busy",
+            st.pool_lanes,
+            st.pool_handoffs,
+            st.pool_tasks,
+            st.pool_busy_ratio * 100.0
+        )
+        .unwrap();
         writeln!(out, "  total: {:.3}s", st.total_seconds).unwrap();
     }
     Ok(out)

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the dependencies it needs as minimal in-repo
+//! crates. This one implements the subset of criterion's API that the
+//! bench targets use — [`Criterion::benchmark_group`], group
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — so every
+//! `benches/*.rs` file compiles and runs unchanged.
+//!
+//! It is a measurement harness, not a statistics engine: each benchmark is
+//! warmed up once, then timed over `sample_size` samples (batched so one
+//! sample is at least ~1 ms), and the per-iteration minimum, median, and
+//! mean are printed. No plots, no saved baselines, no outlier analysis.
+//! Unknown command-line arguments (e.g. `--bench`, passed by cargo) are
+//! ignored, as the real crate does.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one iteration performs, for derived rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements (here: DP cells).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendered via
+/// `Display`, printed as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark body. Mirrors `criterion::Bencher`.
+pub struct Bencher {
+    samples: usize,
+    /// (total wall time, total iterations) accumulated by [`Bencher::iter`].
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `body` repeatedly. The return value is passed through
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm-up + calibration: how many iterations make one ~1 ms sample?
+        let start = Instant::now();
+        black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut times = Vec::with_capacity(self.samples);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(body());
+            }
+            let dt = t0.elapsed();
+            times.push(dt / per_sample as u32);
+            total += dt;
+            iters += per_sample;
+            // Keep slow benchmarks bounded: past ~3 s, the samples we have
+            // are representative enough.
+            if total > Duration::from_secs(3) {
+                break;
+            }
+        }
+        times.sort_unstable();
+        self.measured = Some((total, iters));
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let mean = total / iters.max(1) as u32;
+        print!(
+            "    min {:>12?}   median {:>12?}   mean {:>12?}   ({} iters)",
+            min, median, mean, iters
+        );
+    }
+}
+
+/// A named group of related benchmarks. Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        print!("{}/{} ... ", self.name, id.id);
+        let mut b = Bencher { samples: self.sample_size, measured: None };
+        body(&mut b);
+        self.report(&b);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        print!("{}/{} ... ", self.name, id.id);
+        let mut b = Bencher { samples: self.sample_size, measured: None };
+        body(&mut b, input);
+        self.report(&b);
+        self
+    }
+
+    fn report(&self, b: &Bencher) {
+        match (b.measured, self.throughput) {
+            (Some((total, iters)), Some(tp)) if iters > 0 && !total.is_zero() => {
+                let per_iter = total.as_secs_f64() / iters as f64;
+                let (units, label) = match tp {
+                    Throughput::Elements(n) => (n, "elem/s"),
+                    Throughput::Bytes(n) => (n, "B/s"),
+                };
+                println!("   {:>10.3} M{}", units as f64 / per_iter / 1e6, label);
+            }
+            (Some(_), None) => println!(),
+            _ => println!("no measurement (Bencher::iter never called)"),
+        }
+    }
+
+    /// End the group. (The real crate finalizes reports here; nothing to do.)
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver. Mirrors `criterion::Criterion`.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Swallow harness CLI args (`--bench`, filters) like the real crate.
+        let _ = std::env::args();
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name} ==");
+        BenchmarkGroup { name, sample_size: 20, throughput: None, _criterion: self }
+    }
+}
+
+/// Bundle benchmark functions into a group runner. Mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = <$crate::Criterion as ::std::default::Default>::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench target. Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 42).id, "f/42");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

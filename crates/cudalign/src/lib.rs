@@ -27,6 +27,14 @@
 //! usage. Memory is `O(m + n)` plus the configured disk budget — the DP
 //! matrix (up to `10^15` cells at paper scale) is never materialized.
 //!
+//! Every stage executes on one persistent [`WorkerPool`]
+//! (`gpu_sim::exec`), created by [`Pipeline::new`] from
+//! [`PipelineConfig::workers`] and shared across stages and runs: no OS
+//! threads are spawned per diagonal or per partition batch, worker panics
+//! surface as [`PipelineError::Worker`] instead of aborting the process,
+//! and [`PipelineStats`] reports the pool's per-run utilization
+//! (`pool_handoffs`, `pool_busy_ratio`).
+//!
 //! ```
 //! use cudalign::{Pipeline, PipelineConfig};
 //!
@@ -56,4 +64,5 @@ pub mod stage6;
 pub use binary::BinaryAlignment;
 pub use config::PipelineConfig;
 pub use crosspoint::{Crosspoint, CrosspointChain, Partition};
-pub use pipeline::{Pipeline, PipelineError, PipelineResult, PipelineStats};
+pub use gpu_sim::{ExecError, PoolStats, WorkerPool};
+pub use pipeline::{Pipeline, PipelineError, PipelineResult, PipelineStats, StageError};

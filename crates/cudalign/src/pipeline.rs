@@ -6,9 +6,52 @@ use crate::crosspoint::CrosspointChain;
 use crate::sra::LineStore;
 use crate::stage4::IterationStats;
 use crate::{stage1, stage2, stage3, stage4, stage5};
+use gpu_sim::{ExecError, PoolStats, WorkerPool};
+use std::sync::Arc;
 use std::time::Instant;
 use sw_core::scoring::Score;
 use sw_core::transcript::Transcript;
+
+/// Failure of one pipeline stage.
+///
+/// Every stage entry point returns this; the pipeline maps it onto
+/// [`PipelineError`]. The split matters because the two variants demand
+/// different reactions: a [`StageError::Logic`] means the stage's own
+/// invariants failed (goal not found, chain validation), while a
+/// [`StageError::Worker`] means a job panicked on the shared
+/// [`WorkerPool`] — the pool itself survives and the run can be retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageError {
+    /// A stage invariant failed (a bug or corrupted store).
+    Logic(String),
+    /// A worker-pool job panicked; the payload is the panic message.
+    Worker(String),
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Logic(s) => write!(f, "{s}"),
+            StageError::Worker(s) => write!(f, "worker panicked: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+impl From<String> for StageError {
+    fn from(s: String) -> Self {
+        StageError::Logic(s)
+    }
+}
+
+impl From<ExecError> for StageError {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::WorkerPanic(msg) => StageError::Worker(msg),
+        }
+    }
+}
 
 /// Pipeline failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +60,9 @@ pub enum PipelineError {
     Internal(String),
     /// Storage backend failure.
     Io(String),
+    /// A worker-pool job panicked. The pool is not poisoned: the same
+    /// [`Pipeline`] may be retried.
+    Worker(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -24,11 +70,21 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Internal(s) => write!(f, "pipeline error: {s}"),
             PipelineError::Io(s) => write!(f, "pipeline I/O error: {s}"),
+            PipelineError::Worker(s) => write!(f, "pipeline worker panicked: {s}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<StageError> for PipelineError {
+    fn from(e: StageError) -> Self {
+        match e {
+            StageError::Logic(s) => PipelineError::Internal(s),
+            StageError::Worker(s) => PipelineError::Worker(s),
+        }
+    }
+}
 
 /// Everything the paper's Tables V, VII and VIII report about one run.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +125,15 @@ pub struct PipelineStats {
     pub binary_bytes: usize,
     /// External diagonal Stage 1 resumed from (0 = fresh run).
     pub resumed_from_diagonal: usize,
+    /// Worker-pool lanes available to this run (including the caller).
+    pub pool_lanes: usize,
+    /// Queue/condvar handoffs this run performed (one per wavefront
+    /// diagonal or partition batch handed to the pool).
+    pub pool_handoffs: u64,
+    /// Jobs this run spawned on the pool.
+    pub pool_tasks: u64,
+    /// Mean occupied-lane fraction per handoff, in `[0, 1]`.
+    pub pool_busy_ratio: f64,
     /// Total wall-clock seconds.
     pub total_seconds: f64,
 }
@@ -101,15 +166,33 @@ pub struct PipelineResult {
 }
 
 /// The CUDAlign 2.0 pipeline.
+///
+/// Owns the persistent [`WorkerPool`] every stage executes on: the pool is
+/// created once from [`PipelineConfig::workers`] and its threads live as
+/// long as the pipeline, so repeated [`Pipeline::align`] calls (and all
+/// six stages within one call) share the same lanes instead of respawning
+/// OS threads per diagonal. Cloning a pipeline shares the pool.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     cfg: PipelineConfig,
+    pool: Arc<WorkerPool>,
 }
 
 impl Pipeline {
-    /// Create a pipeline with the given configuration.
+    /// Create a pipeline with the given configuration. Spawns the worker
+    /// pool (`cfg.workers` lanes; `0` = one per available CPU).
     pub fn new(cfg: PipelineConfig) -> Self {
-        Pipeline { cfg }
+        let pool = Arc::new(WorkerPool::new(cfg.workers));
+        Pipeline { cfg, pool }
+    }
+
+    /// Create a pipeline executing on an existing shared pool.
+    ///
+    /// `cfg.workers` still caps the parallelism each stage *uses* (the
+    /// effective width is `min(pool lanes, cfg.workers)`), but no new
+    /// threads are spawned.
+    pub fn with_pool(cfg: PipelineConfig, pool: Arc<WorkerPool>) -> Self {
+        Pipeline { cfg, pool }
     }
 
     /// The configuration.
@@ -117,10 +200,17 @@ impl Pipeline {
         &self.cfg
     }
 
+    /// The worker pool stages execute on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
     /// Align `s0` against `s1`, returning the full optimal local
     /// alignment in linear memory.
     pub fn align(&self, s0: &[u8], s1: &[u8]) -> Result<PipelineResult, PipelineError> {
         let cfg = &self.cfg;
+        let pool = &*self.pool;
+        let pool_before = pool.stats();
         let t_total = Instant::now();
         let mut stats = PipelineStats::default();
 
@@ -157,17 +247,18 @@ impl Pipeline {
         // Stage 1: best score, end point, special rows.
         let t = Instant::now();
         let s1r = match &cfg.checkpoint {
-            None => stage1::run(s0, s1, cfg, &mut rows),
+            None => stage1::run(s0, s1, cfg, pool, &mut rows)?,
             Some(ck) => {
                 std::fs::create_dir_all(&ck.dir).map_err(|e| PipelineError::Io(e.to_string()))?;
                 let r = stage1::run_resumable(
                     s0,
                     s1,
                     cfg,
+                    pool,
                     &mut rows,
                     resume_state,
                     Some((ck.dir.as_path(), ck.every_diagonals)),
-                );
+                )?;
                 let _ = std::fs::remove_file(ck.dir.join("stage1.ckpt"));
                 r
             }
@@ -183,6 +274,7 @@ impl Pipeline {
         stats.effective_blocks[0] = cfg.grid1.effective_blocks(s1.len());
 
         if s1r.best_score <= 0 {
+            record_pool_delta(&mut stats, &pool_before, &pool.stats());
             stats.total_seconds = t_total.elapsed().as_secs_f64();
             return Ok(PipelineResult {
                 best_score: 0,
@@ -203,8 +295,7 @@ impl Pipeline {
 
         // Stage 2: partial traceback over special rows.
         let t = Instant::now();
-        let s2r = stage2::run(s0, s1, cfg, s1r.best_score, s1r.end, &rows, &mut cols)
-            .map_err(PipelineError::Internal)?;
+        let s2r = stage2::run(s0, s1, cfg, pool, s1r.best_score, s1r.end, &rows, &mut cols)?;
         stats.stage_seconds[1] = t.elapsed().as_secs_f64();
         stats.stage_cells[1] = s2r.cells;
         stats.crosspoints[1] = s2r.chain.len();
@@ -216,7 +307,7 @@ impl Pipeline {
 
         // Stage 3: split partitions on special columns.
         let t = Instant::now();
-        let s3r = stage3::run(s0, s1, cfg, &s2r.chain, &cols).map_err(PipelineError::Internal)?;
+        let s3r = stage3::run(s0, s1, cfg, pool, &s2r.chain, &cols)?;
         stats.stage_seconds[2] = t.elapsed().as_secs_f64();
         stats.stage_cells[2] = s3r.cells;
         stats.crosspoints[2] = s3r.chain.len();
@@ -227,7 +318,7 @@ impl Pipeline {
 
         // Stage 4: Myers-Miller until partitions fit.
         let t = Instant::now();
-        let s4r = stage4::run(s0, s1, cfg, &s3r.chain).map_err(PipelineError::Internal)?;
+        let s4r = stage4::run(s0, s1, cfg, pool, &s3r.chain)?;
         stats.stage_seconds[3] = t.elapsed().as_secs_f64();
         stats.stage_cells[3] = s4r.cells;
         stats.crosspoints[3] = s4r.chain.len();
@@ -235,10 +326,11 @@ impl Pipeline {
 
         // Stage 5: solve and concatenate.
         let t = Instant::now();
-        let s5r = stage5::run(s0, s1, cfg, &s4r.chain).map_err(PipelineError::Internal)?;
+        let s5r = stage5::run(s0, s1, cfg, pool, &s4r.chain)?;
         stats.stage_seconds[4] = t.elapsed().as_secs_f64();
         stats.stage5_cells = s5r.cells;
         stats.binary_bytes = s5r.binary.encode().len();
+        record_pool_delta(&mut stats, &pool_before, &pool.stats());
         stats.total_seconds = t_total.elapsed().as_secs_f64();
 
         let start = s5r.binary.start;
@@ -255,6 +347,25 @@ impl Pipeline {
             stats,
         })
     }
+}
+
+/// Fold the difference between two pool snapshots into per-run stats.
+///
+/// The pool is shared across runs (and possibly across cloned pipelines),
+/// so its counters are cumulative; a run's utilization is the delta. The
+/// busy ratio is a per-scope mean, so the delta is recovered from the
+/// weighted sums.
+fn record_pool_delta(stats: &mut PipelineStats, before: &PoolStats, after: &PoolStats) {
+    stats.pool_lanes = after.lanes;
+    stats.pool_handoffs = after.scopes.saturating_sub(before.scopes);
+    stats.pool_tasks = after.tasks.saturating_sub(before.tasks);
+    stats.pool_busy_ratio = if stats.pool_handoffs == 0 {
+        0.0
+    } else {
+        let busy_after = after.busy_ratio * after.scopes as f64;
+        let busy_before = before.busy_ratio * before.scopes as f64;
+        (busy_after - busy_before) / stats.pool_handoffs as f64
+    };
 }
 
 #[cfg(test)]
@@ -420,10 +531,12 @@ mod checkpoint_tests {
         {
             let mut rows =
                 LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row").unwrap();
+            let pool = WorkerPool::new(cfg.workers);
             let _ = stage1::run_resumable(
                 &a,
                 &b,
                 &cfg,
+                &pool,
                 &mut rows,
                 None,
                 Some((dir.as_path(), 9)),

@@ -8,9 +8,10 @@
 //! block of its row finishes).
 
 use crate::config::PipelineConfig;
+use crate::pipeline::StageError;
 use crate::sra::{self, LineStore};
 use gpu_sim::wavefront::{self, RegionJob};
-use gpu_sim::{BlockCoords, CellHE, CellHF, Mode, TileOutcome};
+use gpu_sim::{BlockCoords, CellHE, CellHF, Mode, TileOutcome, WorkerPool};
 use std::ops::ControlFlow;
 use sw_core::scoring::{Score, NEG_INF};
 
@@ -125,14 +126,15 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Option<(gpu_sim::wavefront::EngineStat
     Some((state, partials.to_vec()))
 }
 
-/// Run Stage 1.
+/// Run Stage 1 on the shared worker pool.
 pub fn run(
     s0: &[u8],
     s1: &[u8],
     cfg: &PipelineConfig,
+    pool: &WorkerPool,
     rows: &mut LineStore<CellHF>,
-) -> Stage1Result {
-    run_resumable(s0, s1, cfg, rows, None, None)
+) -> Result<Stage1Result, StageError> {
+    run_resumable(s0, s1, cfg, pool, rows, None, None)
 }
 
 /// Run Stage 1 with checkpoint/resume support (the crash-resilience an
@@ -151,10 +153,11 @@ pub fn run_resumable(
     s0: &[u8],
     s1: &[u8],
     cfg: &PipelineConfig,
+    pool: &WorkerPool,
     rows: &mut LineStore<CellHF>,
     resume: Option<gpu_sim::wavefront::EngineState>,
     checkpoint: Option<(&std::path::Path, usize)>,
-) -> Stage1Result {
+) -> Result<Stage1Result, StageError> {
     let (m, n) = (s0.len(), s1.len());
     let block_height = cfg.grid1.block_height();
     let flush_every = sra::flush_interval(m, n, block_height, cfg.sra_bytes);
@@ -188,13 +191,13 @@ pub fn run_resumable(
         }
     }
     let resumed_from_diagonal = resume.as_ref().map_or(0, |st| st.next_diagonal);
-    let res = wavefront::run_resumable(&job, &mut observer, resume, checkpoint_every);
+    let res = wavefront::run_resumable_pooled(pool, &job, &mut observer, resume, checkpoint_every)?;
 
     let (best_score, end) = match res.best {
         Some((s, i, j)) => (s, (i, j)),
         None => (0, (0, 0)),
     };
-    Stage1Result {
+    Ok(Stage1Result {
         best_score,
         end,
         cells: res.cells,
@@ -203,7 +206,7 @@ pub fn run_resumable(
         flush_interval_blocks: flush_every,
         vram_bytes: gpu_sim::DeviceModel::bus_bytes(m, n),
         resumed_from_diagonal,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -238,8 +241,9 @@ mod tests {
     fn finds_reference_best_and_flushes_rows() {
         let (a, b) = related(1, 200);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let res = run(&a, &b, &cfg, &mut rows);
+        let res = run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let (score, end) = sw_local_score(&a, &b, &cfg.scoring);
         assert_eq!(res.best_score, score);
         assert_eq!(res.end, end);
@@ -259,8 +263,9 @@ mod tests {
     fn special_rows_match_reference_dp() {
         let (a, b) = related(2, 96);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        run(&a, &b, &cfg, &mut rows);
+        run(&a, &b, &cfg, &pool, &mut rows).unwrap();
 
         // Local-mode reference via a clamped row DP.
         let sc = Scoring::paper();
@@ -296,8 +301,9 @@ mod tests {
         let (a, b) = related(3, 120);
         let mut cfg = PipelineConfig::for_tests();
         cfg.sra_bytes = 0;
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, 0, "row").unwrap();
-        let res = run(&a, &b, &cfg, &mut rows);
+        let res = run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         assert!(res.special_rows.is_empty());
         assert_eq!(res.flushed_bytes, 0);
         // Best score is unaffected.
@@ -310,8 +316,9 @@ mod tests {
         let a = lcg(10, 150);
         let b = lcg(99, 150);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let res = run(&a, &b, &cfg, &mut rows);
+        let res = run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let (score, _) = sw_local_score(&a, &b, &cfg.scoring);
         assert_eq!(res.best_score, score);
         assert!(res.best_score < 30, "random sequences should align weakly");
@@ -322,7 +329,6 @@ mod tests {
 mod resume_tests {
     use super::*;
     use crate::config::SraBackend;
-    use gpu_sim::wavefront::EngineState;
 
     fn lcg(seed: u64, len: usize) -> Vec<u8> {
         let mut x = seed | 1;
@@ -351,14 +357,15 @@ mod resume_tests {
         cfg.backend = SraBackend::Disk(dir.clone());
 
         // Uninterrupted reference.
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows_ref = LineStore::new(&cfg.backend, cfg.sra_bytes, "ref-row").unwrap();
-        let full = run(&a, &b, &cfg, &mut rows_ref);
+        let full = run(&a, &b, &cfg, &pool, &mut rows_ref).unwrap();
 
         // First run: let the observer write combined checkpoints to disk,
         // pretend to die after it finishes (discard the in-memory store).
         {
             let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "row").unwrap();
-            let _ = run_resumable(&a, &b, &cfg, &mut rows, None, Some((dir.as_path(), 7)));
+            let _ = run_resumable(&a, &b, &cfg, &pool, &mut rows, None, Some((dir.as_path(), 7)));
             // `rows` dropped here would delete its files — simulate a hard
             // crash instead by forgetting it.
             std::mem::forget(rows);
@@ -372,7 +379,7 @@ mod resume_tests {
         let mut rows = LineStore::<CellHF>::reopen(&cfg.backend, cfg.sra_bytes, "row").unwrap();
         assert!(rows.restore_partials(&partials), "partials restore");
         let survived_before = rows.len();
-        let resumed = run_resumable(&a, &b, &cfg, &mut rows, Some(snap), None);
+        let resumed = run_resumable(&a, &b, &cfg, &pool, &mut rows, Some(snap), None).unwrap();
         assert_eq!(resumed.best_score, full.best_score);
         assert_eq!(resumed.end, full.end);
         assert!(rows.len() >= survived_before, "resume must not lose reopened rows");
@@ -383,8 +390,9 @@ mod resume_tests {
         // The resumed SRA still drives the rest of the pipeline: rows that
         // were mid-flight at the snapshot are missing, which is allowed.
         let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col").unwrap();
-        let s2r = crate::stage2::run(&a, &b, &cfg, resumed.best_score, resumed.end, &rows, &mut cols)
-            .unwrap();
+        let s2r =
+            crate::stage2::run(&a, &b, &cfg, &pool, resumed.best_score, resumed.end, &rows, &mut cols)
+                .unwrap();
         assert_eq!(s2r.chain.points().last().unwrap().score, full.best_score);
 
         let _ = std::fs::remove_dir_all(&dir);
@@ -417,8 +425,9 @@ mod stale_checkpoint_tests {
         std::fs::create_dir_all(&dir).unwrap();
 
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let _ = run_resumable(&a, &b, &cfg, &mut rows, None, Some((dir.as_path(), 5)));
+        let _ = run_resumable(&a, &b, &cfg, &pool, &mut rows, None, Some((dir.as_path(), 5)));
         let bytes = std::fs::read(dir.join("stage1.ckpt")).unwrap();
         let (snap, _) = decode_checkpoint(&bytes).unwrap();
 
@@ -426,7 +435,7 @@ mod stale_checkpoint_tests {
         let mut cfg2 = PipelineConfig::for_tests();
         cfg2.scoring = sw_core::Scoring::new(2, -1, 4, 1);
         let mut rows2 = LineStore::new(&SraBackend::Memory, cfg2.sra_bytes, "row").unwrap();
-        let res = run_resumable(&a, &b, &cfg2, &mut rows2, Some(snap), None);
+        let res = run_resumable(&a, &b, &cfg2, &pool, &mut rows2, Some(snap), None).unwrap();
         assert_eq!(res.resumed_from_diagonal, 0, "stale snapshot must be ignored");
         let (ref_score, ref_end) = sw_core::full::sw_local_score(&a, &b, &cfg2.scoring);
         assert_eq!(res.best_score, ref_score);

@@ -22,9 +22,10 @@
 
 use crate::config::PipelineConfig;
 use crate::crosspoint::{Crosspoint, CrosspointChain};
+use crate::pipeline::StageError;
 use crate::sra::{self, LineStore};
 use gpu_sim::wavefront::{self, RegionJob};
-use gpu_sim::{BlockCoords, CellHE, CellHF, GlobalOrigin, Mode, TileOutcome};
+use gpu_sim::{BlockCoords, CellHE, CellHF, GlobalOrigin, Mode, TileOutcome, WorkerPool};
 use std::ops::ControlFlow;
 use sw_core::scoring::{Score, Scoring};
 use sw_core::transcript::EdgeState;
@@ -172,15 +173,17 @@ impl gpu_sim::WavefrontObserver for StripObserver<'_> {
 ///
 /// `best_score`/`end` come from Stage 1; `rows` is the populated SRA;
 /// `cols` receives the special columns for Stage 3.
+#[allow(clippy::too_many_arguments)]
 pub fn run(
     s0: &[u8],
     s1: &[u8],
     cfg: &PipelineConfig,
+    pool: &WorkerPool,
     best_score: Score,
     end: (usize, usize),
     rows: &LineStore<CellHF>,
     cols: &mut LineStore<CellHE>,
-) -> Result<Stage2Result, String> {
+) -> Result<Stage2Result, StageError> {
     assert!(best_score > 0, "stage 2 requires a positive best score");
     let sc = cfg.scoring;
     let gopen = sc.gap_open();
@@ -198,10 +201,10 @@ pub fn run(
 
     while cur.score > 0 {
         if strips > guard {
-            return Err(format!(
+            return Err(StageError::Logic(format!(
                 "stage 2 did not converge after {strips} strips (goal {})",
                 cur.score
-            ));
+            )));
         }
         strips += 1;
 
@@ -273,7 +276,7 @@ pub fn run(
             workers: cfg.workers,
             watch: Some(cur.score),
         };
-        let res = wavefront::run(&job, &mut obs);
+        let res = wavefront::run_pooled(pool, &job, &mut obs)?;
         total_cells += res.cells;
         vram = vram.max(gpu_sim::DeviceModel::bus_bytes(a_view.len(), b_view.len()));
         min_blocks = min_blocks.min(res.layout.block_cols);
@@ -308,10 +311,10 @@ pub fn run(
                 cur = cp;
             }
             None => {
-                return Err(format!(
+                return Err(StageError::Logic(format!(
                     "stage 2: goal {} not found in strip rows {}..{} cols 0..{}",
                     cur.score, r, cur.i, cur.j
-                ));
+                )));
             }
         }
     }
@@ -362,11 +365,12 @@ mod tests {
 
     fn run_stage12(a: &[u8], b: &[u8]) -> (Stage2Result, Score) {
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let s1r = stage1::run(a, b, &cfg, &mut rows);
+        let s1r = stage1::run(a, b, &cfg, &pool, &mut rows).unwrap();
         assert!(s1r.best_score > 0);
         let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(a, b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s2r = run(a, b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
         (s2r, s1r.best_score)
     }
 
@@ -442,13 +446,14 @@ mod tests {
         let a = lcg(21, 180);
         let b = lcg(99, 180);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let s1r = stage1::run(&a, &b, &cfg, &mut rows);
+        let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         if s1r.best_score == 0 {
             return; // nothing to trace
         }
         let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(&a, &b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
         let start = s2r.chain.points()[0];
         let end = *s2r.chain.points().last().unwrap();
         assert!(end.i - start.i <= 64, "short alignment expected");
@@ -461,10 +466,11 @@ mod tests {
         let (a, b) = related(5, 150);
         let mut cfg = PipelineConfig::for_tests();
         cfg.sra_bytes = 0;
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, 0, "row").unwrap();
-        let s1r = stage1::run(&a, &b, &cfg, &mut rows);
+        let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(&a, &b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
         assert_eq!(s2r.chain.len(), 2, "only start and end points");
         assert_eq!(s2r.strips, 1);
     }
@@ -497,10 +503,11 @@ mod orthogonal_tests {
             b[i] = b"ACGT"[(i / 41) % 4];
         }
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let s1r = stage1::run(&a, &b, &cfg, &mut rows);
+        let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(&a, &b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
         let matrix = (a.len() * b.len()) as u64;
         assert!(
             s2r.cells * 3 < matrix,
@@ -511,11 +518,19 @@ mod orthogonal_tests {
         let mut cfg_small = PipelineConfig::for_tests();
         cfg_small.sra_bytes = 8 * (b.len() as u64 + 1) * 2; // two rows only
         let mut rows_small = LineStore::new(&SraBackend::Memory, cfg_small.sra_bytes, "row").unwrap();
-        let s1_small = stage1::run(&a, &b, &cfg_small, &mut rows_small);
+        let s1_small = stage1::run(&a, &b, &cfg_small, &pool, &mut rows_small).unwrap();
         let mut cols_small = LineStore::new(&SraBackend::Memory, cfg_small.sca_bytes, "col").unwrap();
-        let s2_small =
-            run(&a, &b, &cfg_small, s1_small.best_score, s1_small.end, &rows_small, &mut cols_small)
-                .unwrap();
+        let s2_small = run(
+            &a,
+            &b,
+            &cfg_small,
+            &pool,
+            s1_small.best_score,
+            s1_small.end,
+            &rows_small,
+            &mut cols_small,
+        )
+        .unwrap();
         assert!(
             s2_small.cells >= s2r.cells,
             "fewer special rows must not shrink the processed area ({} vs {})",

@@ -15,10 +15,11 @@
 
 use crate::config::PipelineConfig;
 use crate::crosspoint::{Crosspoint, CrosspointChain, Partition};
+use crate::pipeline::StageError;
 use crate::sra::LineStore;
 use crate::stage2::gap_run_from;
 use gpu_sim::wavefront::{self, RegionJob};
-use gpu_sim::{BlockCoords, CellHE, CellHF, GlobalOrigin, Mode, TileOutcome};
+use gpu_sim::{BlockCoords, CellHE, CellHF, GlobalOrigin, Mode, TileOutcome, WorkerPool};
 use std::ops::ControlFlow;
 use sw_core::scoring::Score;
 use sw_core::transcript::EdgeState;
@@ -90,15 +91,17 @@ impl gpu_sim::WavefrontObserver for BandObserver<'_> {
 
 /// Refine one partition with its stored special columns; returns the new
 /// interior crosspoints and the cells processed.
+#[allow(clippy::too_many_arguments)]
 fn refine_partition(
     s0: &[u8],
     s1: &[u8],
     cfg: &PipelineConfig,
+    pool: &WorkerPool,
     p: &Partition,
     cols: &LineStore<CellHE>,
     vram: &mut u64,
     min_blocks: &mut usize,
-) -> Result<(Vec<Crosspoint>, u64), String> {
+) -> Result<(Vec<Crosspoint>, u64), StageError> {
     let sc = cfg.scoring;
     let gopen = sc.gap_open();
     let inside = cols.lines_between(p.start.j, p.end.j);
@@ -149,7 +152,7 @@ fn refine_partition(
             workers: cfg.workers,
             watch: None,
         };
-        let res = wavefront::run(&job, &mut obs);
+        let res = wavefront::run_pooled(pool, &job, &mut obs)?;
         cells += res.cells;
         *vram = (*vram).max(gpu_sim::DeviceModel::bus_bytes(a_band.len(), b_band.len()));
         *min_blocks = (*min_blocks).min(res.layout.block_cols);
@@ -160,10 +163,10 @@ fn refine_partition(
                 cur = cp;
             }
             None => {
-                return Err(format!(
+                return Err(StageError::Logic(format!(
                     "stage 3: goal {goal_rel} not found on column {c} of partition {:?}",
                     (p.start, p.end)
-                ));
+                )));
             }
         }
     }
@@ -182,45 +185,50 @@ pub fn run(
     s0: &[u8],
     s1: &[u8],
     cfg: &PipelineConfig,
+    pool: &WorkerPool,
     chain: &CrosspointChain,
     cols: &LineStore<CellHE>,
-) -> Result<Stage3Result, String> {
+) -> Result<Stage3Result, StageError> {
     let parts: Vec<Partition> = chain.partitions().collect();
-    let workers = if cfg.workers == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        cfg.workers
+    let workers = match cfg.workers {
+        0 => pool.lanes(),
+        w => w.min(pool.lanes()),
     };
 
     // Per-partition outputs, merged in order afterwards.
-    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize), String>;
+    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize), StageError>;
     let mut outputs: Vec<Option<PartOut>> = vec![None; parts.len()];
 
     let solve = |p: &Partition, cfg: &PipelineConfig| -> PartOut {
         let mut vram = 0u64;
         let mut min_blocks = cfg.grid23.blocks;
-        let (pts, cells) = refine_partition(s0, s1, cfg, p, cols, &mut vram, &mut min_blocks)?;
+        let (pts, cells) =
+            refine_partition(s0, s1, cfg, pool, p, cols, &mut vram, &mut min_blocks)?;
         Ok((pts, cells, vram, min_blocks))
     };
 
     if cfg.parallel_partitions && parts.len() > 1 && workers > 1 {
-        // One block per partition; the engine itself runs sequentially so
-        // the partition pool owns all the parallelism.
+        // One block per partition; the engine itself runs sequentially
+        // (`workers = 1` bands spawn a single pool job each) so the
+        // partition fan-out owns all the parallelism. The partition jobs
+        // and the band jobs they spawn share the same pool: the nested
+        // scopes participate in draining the queue, so a pool narrower
+        // than the partition count cannot deadlock.
         let mut part_cfg = cfg.clone();
         part_cfg.grid23.blocks = 1;
         part_cfg.workers = 1;
         let chunk = parts.len().div_ceil(workers.min(parts.len()));
-        crossbeam::thread::scope(|s| {
+        let solve = &solve;
+        let part_cfg = &part_cfg;
+        pool.scope(|s| {
             for (ps, out) in parts.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
-                let part_cfg = &part_cfg;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (k, p) in ps.iter().enumerate() {
                         out[k] = Some(solve(p, part_cfg));
                     }
                 });
             }
-        })
-        .expect("stage 3 partition worker panicked");
+        })?;
     } else {
         for (k, p) in parts.iter().enumerate() {
             outputs[k] = Some(solve(p, cfg));
@@ -282,12 +290,13 @@ mod tests {
 
     fn run_stages(a: &[u8], b: &[u8]) -> (CrosspointChain, Stage3Result) {
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let s1r = stage1::run(a, b, &cfg, &mut rows);
+        let s1r = stage1::run(a, b, &cfg, &pool, &mut rows).unwrap();
         assert!(s1r.best_score > 0);
         let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = stage2::run(a, b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
-        let s3r = run(a, b, &cfg, &s2r.chain, &cols).unwrap();
+        let s2r = stage2::run(a, b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s3r = run(a, b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         (s2r.chain, s3r)
     }
 
@@ -325,11 +334,13 @@ mod tests {
     fn no_columns_means_chain_unchanged() {
         let (a, b) = related(4, 120);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let s1r = stage1::run(&a, &b, &cfg, &mut rows);
+        let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let mut cols = LineStore::new(&SraBackend::Memory, 0, "col").unwrap();
-        let s2r = stage2::run(&a, &b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
-        let s3r = run(&a, &b, &cfg, &s2r.chain, &cols).unwrap();
+        let s2r =
+            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s3r = run(&a, &b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         assert_eq!(s3r.chain.points(), s2r.chain.points());
         assert_eq!(s3r.cells, 0);
     }
@@ -361,16 +372,18 @@ mod parallel_tests {
             b[i] = b"ACGT"[(i / 13) % 4];
         }
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(4);
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
-        let s1r = stage1::run(&a, &b, &cfg, &mut rows);
+        let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = stage2::run(&a, &b, &cfg, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let s2r =
+            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
 
-        let seq = run(&a, &b, &cfg, &s2r.chain, &cols).unwrap();
+        let seq = run(&a, &b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         let mut par_cfg = cfg.clone();
         par_cfg.parallel_partitions = true;
         par_cfg.workers = 4;
-        let par = run(&a, &b, &par_cfg, &s2r.chain, &cols).unwrap();
+        let par = run(&a, &b, &par_cfg, &pool, &s2r.chain, &cols).unwrap();
         assert_eq!(par.chain.points(), seq.chain.points());
         // Cell counts may differ: a single-block band aborts at a coarser
         // granularity than a multi-block one. Same order of magnitude.

@@ -19,6 +19,8 @@
 
 use crate::config::PipelineConfig;
 use crate::crosspoint::{Crosspoint, CrosspointChain, Partition};
+use crate::pipeline::StageError;
+use gpu_sim::WorkerPool;
 use std::time::Instant;
 use sw_core::linear::{forward_vectors, reverse_vectors, RowDp};
 use sw_core::matching::{match_argmax, GoalMatcher};
@@ -169,18 +171,23 @@ fn split_partition(
 }
 
 /// Run Stage 4 until every partition fits `cfg.max_partition_size`.
+///
+/// Oversized partitions of one iteration are independent, so each
+/// iteration fans them out on the shared `pool` (one scope per iteration;
+/// results land in pre-chunked slots and are merged in partition order, so
+/// the outcome is independent of the pool width).
 pub fn run(
     s0: &[u8],
     s1: &[u8],
     cfg: &PipelineConfig,
+    pool: &WorkerPool,
     chain: &CrosspointChain,
-) -> Result<Stage4Result, String> {
+) -> Result<Stage4Result, StageError> {
     let sc = cfg.scoring;
     let max = cfg.max_partition_size;
-    let workers = if cfg.workers == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        cfg.workers
+    let workers = match cfg.workers {
+        0 => pool.lanes(),
+        w => w.min(pool.lanes()),
     };
 
     let mut points: Vec<Crosspoint> = chain.points().to_vec();
@@ -212,10 +219,10 @@ pub fn run(
             vec![None; oversized.len()];
         let chunk = oversized.len().div_ceil(workers.min(oversized.len()).max(1));
         if workers > 1 && oversized.len() > 1 {
-            crossbeam::thread::scope(|s| {
+            pool.scope(|s| {
                 for (idxs, out) in oversized.chunks(chunk).zip(results.chunks_mut(chunk)) {
                     let parts = &parts;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for (t, &pi) in idxs.iter().enumerate() {
                             out[t] = Some(split_partition(
                                 s0,
@@ -228,8 +235,7 @@ pub fn run(
                         }
                     });
                 }
-            })
-            .expect("stage 4 worker panicked");
+            })?;
         } else {
             for (t, &pi) in oversized.iter().enumerate() {
                 results[t] = Some(split_partition(
@@ -328,8 +334,9 @@ mod tests {
     fn splits_until_all_partitions_fit() {
         let (a, b) = related(1, 500);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let chain = whole_chain(&a, &b);
-        let res = run(&a, &b, &cfg, &chain).unwrap();
+        let res = run(&a, &b, &cfg, &pool, &chain).unwrap();
         check_final_chain(&a, &b, &cfg, &res);
         assert!(res.iterations.len() >= 4, "500bp / 16 needs >= 5 halvings");
         // Crosspoint counts grow monotonically.
@@ -343,10 +350,11 @@ mod tests {
         let (a, b) = related(2, 300);
         let chain = whole_chain(&a, &b);
         let mut cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         cfg.orthogonal_stage4 = true;
-        let res_o = run(&a, &b, &cfg, &chain).unwrap();
+        let res_o = run(&a, &b, &cfg, &pool, &chain).unwrap();
         cfg.orthogonal_stage4 = false;
-        let res_c = run(&a, &b, &cfg, &chain).unwrap();
+        let res_c = run(&a, &b, &cfg, &pool, &chain).unwrap();
         check_final_chain(&a, &b, &cfg, &res_o);
         check_final_chain(&a, &b, &cfg, &res_c);
         // The orthogonal sweep processes fewer cells.
@@ -363,10 +371,11 @@ mod tests {
         wide_b.extend(lcg(4, 900)); // long random tail widens the matrix
         let chain = whole_chain(&a, &wide_b);
         let mut cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         cfg.balanced_split = true;
-        let res_b = run(&a, &wide_b, &cfg, &chain).unwrap();
+        let res_b = run(&a, &wide_b, &cfg, &pool, &chain).unwrap();
         cfg.balanced_split = false;
-        let res_u = run(&a, &wide_b, &cfg, &chain).unwrap();
+        let res_u = run(&a, &wide_b, &cfg, &pool, &chain).unwrap();
         check_final_chain(&a, &wide_b, &cfg, &res_u);
         assert!(
             res_b.iterations.len() <= res_u.iterations.len(),
@@ -381,7 +390,8 @@ mod tests {
         let a = lcg(5, 10);
         let chain = whole_chain(&a, &a);
         let cfg = PipelineConfig::for_tests();
-        let res = run(&a, &a, &cfg, &chain).unwrap();
+        let pool = WorkerPool::new(cfg.workers);
+        let res = run(&a, &a, &cfg, &pool, &chain).unwrap();
         assert_eq!(res.chain.points(), chain.points());
         assert_eq!(res.cells, 0);
         assert_eq!(res.iterations.len(), 1);
@@ -396,7 +406,8 @@ mod tests {
         b.drain(100..260);
         let chain = whole_chain(&a, &b);
         let cfg = PipelineConfig::for_tests();
-        let res = run(&a, &b, &cfg, &chain).unwrap();
+        let pool = WorkerPool::new(cfg.workers);
+        let res = run(&a, &b, &cfg, &pool, &chain).unwrap();
         check_final_chain(&a, &b, &cfg, &res);
         let has_gap_point = res
             .chain
@@ -411,10 +422,11 @@ mod tests {
         let (a, b) = related(7, 400);
         let chain = whole_chain(&a, &b);
         let mut cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(4);
         cfg.workers = 1;
-        let r1 = run(&a, &b, &cfg, &chain).unwrap();
+        let r1 = run(&a, &b, &cfg, &pool, &chain).unwrap();
         cfg.workers = 4;
-        let r4 = run(&a, &b, &cfg, &chain).unwrap();
+        let r4 = run(&a, &b, &cfg, &pool, &chain).unwrap();
         assert_eq!(r1.chain.points(), r4.chain.points());
     }
 }

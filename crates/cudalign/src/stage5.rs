@@ -9,6 +9,8 @@
 use crate::binary::BinaryAlignment;
 use crate::config::PipelineConfig;
 use crate::crosspoint::{CrosspointChain, Partition};
+use crate::pipeline::StageError;
+use gpu_sim::WorkerPool;
 use sw_core::full::nw_global_aligned;
 use sw_core::transcript::Transcript;
 
@@ -23,20 +25,21 @@ pub struct Stage5Result {
     pub cells: u64,
 }
 
-/// Run Stage 5.
+/// Run Stage 5. Partitions are solved concurrently on the shared `pool`
+/// and the transcripts concatenated in partition order.
 pub fn run(
     s0: &[u8],
     s1: &[u8],
     cfg: &PipelineConfig,
+    pool: &WorkerPool,
     chain: &CrosspointChain,
-) -> Result<Stage5Result, String> {
+) -> Result<Stage5Result, StageError> {
     assert!(chain.len() >= 2, "stage 5 requires a chain with start and end");
     let sc = cfg.scoring;
     let parts: Vec<Partition> = chain.partitions().collect();
-    let workers = if cfg.workers == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        cfg.workers
+    let workers = match cfg.workers {
+        0 => pool.lanes(),
+        w => w.min(pool.lanes()),
     };
 
     let mut results: Vec<Option<Result<(Transcript, u64), String>>> = vec![None; parts.len()];
@@ -56,16 +59,16 @@ pub fn run(
 
     if workers > 1 && parts.len() > 1 {
         let chunk = parts.len().div_ceil(workers.min(parts.len()));
-        crossbeam::thread::scope(|s| {
+        let solve = &solve;
+        pool.scope(|s| {
             for (ps, out) in parts.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (t, p) in ps.iter().enumerate() {
                         out[t] = Some(solve(p));
                     }
                 });
             }
-        })
-        .expect("stage 5 worker panicked");
+        })?;
     } else {
         for (t, p) in parts.iter().enumerate() {
             results[t] = Some(solve(p));
@@ -130,9 +133,10 @@ mod tests {
     fn concatenated_transcript_is_the_optimal_alignment() {
         let (a, b) = related(1, 450);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let chain = chain_for(&a, &b);
-        let l4 = stage4::run(&a, &b, &cfg, &chain).unwrap();
-        let res = run(&a, &b, &cfg, &l4.chain).unwrap();
+        let l4 = stage4::run(&a, &b, &cfg, &pool, &chain).unwrap();
+        let res = run(&a, &b, &cfg, &pool, &l4.chain).unwrap();
         res.transcript.validate(&a, &b).unwrap();
         let expected = chain.points().last().unwrap().score;
         assert_eq!(res.transcript.score(&a, &b, &Scoring::paper()), expected);
@@ -145,9 +149,10 @@ mod tests {
     fn binary_roundtrips_through_encoding() {
         let (a, b) = related(2, 300);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let chain = chain_for(&a, &b);
-        let l4 = stage4::run(&a, &b, &cfg, &chain).unwrap();
-        let res = run(&a, &b, &cfg, &l4.chain).unwrap();
+        let l4 = stage4::run(&a, &b, &cfg, &pool, &chain).unwrap();
+        let res = run(&a, &b, &cfg, &pool, &l4.chain).unwrap();
         let bytes = res.binary.encode();
         let back = BinaryAlignment::decode(&bytes).unwrap();
         assert_eq!(back, res.binary);
@@ -160,15 +165,16 @@ mod tests {
         // With max partition size 16, each sub-DP is at most 17x17 cells.
         let (a, b) = related(3, 600);
         let cfg = PipelineConfig::for_tests();
+        let pool = WorkerPool::new(cfg.workers);
         let chain = chain_for(&a, &b);
-        let l4 = stage4::run(&a, &b, &cfg, &chain).unwrap();
+        let l4 = stage4::run(&a, &b, &cfg, &pool, &chain).unwrap();
         for p in l4.chain.partitions() {
             assert!(
                 (p.height() <= 16 && p.width() <= 16) || p.height() == 0 || p.width() == 0,
                 "oversized partition"
             );
         }
-        let res = run(&a, &b, &cfg, &l4.chain).unwrap();
+        let res = run(&a, &b, &cfg, &pool, &l4.chain).unwrap();
         // Total stage-5 work is linear in the alignment length.
         assert!(res.cells <= 17 * 17 * l4.chain.len() as u64);
     }

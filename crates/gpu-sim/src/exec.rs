@@ -1,0 +1,535 @@
+//! Persistent worker-pool executor.
+//!
+//! The engine used to spawn OS threads on *every* external diagonal (and
+//! stages 3–5 did the same on every partition batch). That is exactly the
+//! workload-balance overhead a persistent-kernel GPU design avoids: the
+//! paper's performance rests on keeping every SM busy across millions of
+//! diagonals with nothing but a cheap in-device barrier between them. This
+//! module is the CPU analogue — a [`WorkerPool`] created once per pipeline
+//! run, whose threads live for the whole run and receive per-diagonal work
+//! through a queue/condvar handoff instead of `thread::spawn`.
+//!
+//! # Scoped execution
+//!
+//! Wavefront tasks borrow non-`'static` data (disjoint `&mut` segments of
+//! the horizontal/vertical buses), so the pool exposes a crossbeam-style
+//! scoped API: [`WorkerPool::scope`] hands the closure a [`Scope`] whose
+//! [`Scope::spawn`] accepts `FnOnce() + Send + 'env` jobs. `scope` does
+//! not return until every spawned job has either run to completion or been
+//! dropped, which is the invariant that makes the internal lifetime
+//! erasure sound (see the `SAFETY` note in [`Scope::spawn`]).
+//!
+//! The calling thread is itself one lane of the pool: while waiting for a
+//! scope to drain it pops queued jobs and runs them inline. A pool with
+//! one lane therefore executes everything on the caller, in spawn order —
+//! pooled execution with `workers = 1` is *observationally identical* to
+//! the old serial path, which is what the equivalence test suite pins.
+//!
+//! # Panics
+//!
+//! A panicking job no longer aborts the process (the old behaviour was
+//! `.expect("wavefront worker panicked")` around a crossbeam scope).
+//! Panics are caught in the worker, the first panic's message is recorded,
+//! the scope's remaining jobs are cancelled (dropped unrun), and
+//! [`WorkerPool::scope`] returns [`ExecError::WorkerPanic`]. The pool
+//! itself is not poisoned: worker threads survive and the next scope runs
+//! normally, so a pipeline can report a clean `PipelineError` and be
+//! retried on the same pool.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Failure surfaced by [`WorkerPool::scope`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A job panicked; the payload is the panic message of the first
+    /// panicking job (later jobs in the same scope were cancelled).
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Counters accumulated over a pool's lifetime.
+///
+/// `busy_ratio` is the mean, over all scopes (handoffs), of
+/// `occupied lanes / total lanes` — the CPU analogue of the engine's
+/// block-level SM occupancy, aggregated at the scheduler instead of the
+/// grid layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolStats {
+    /// Concurrent execution slots, including the calling thread.
+    pub lanes: usize,
+    /// Number of `scope` calls — one per diagonal/batch handoff.
+    pub scopes: u64,
+    /// Jobs spawned across all scopes.
+    pub tasks: u64,
+    /// Jobs the calling thread ran inline while waiting for a scope.
+    pub inline_tasks: u64,
+    /// Mean occupied-lane fraction per scope, in `[0, 1]`.
+    pub busy_ratio: f64,
+}
+
+/// A lifetime-erased job plus the scope it belongs to.
+struct QueuedJob {
+    scope: Arc<ScopeState>,
+    job: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Book-keeping for one `scope` call.
+struct ScopeState {
+    /// Jobs spawned but not yet finished (or cancelled).
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// First panic message; later panics in the same scope are dropped.
+    panic: Mutex<Option<String>>,
+    /// Fast-path flag: once set, queued jobs of this scope are cancelled.
+    panicked: AtomicBool,
+    /// Jobs spawned into this scope (for the busy-lane statistic).
+    spawned: AtomicU64,
+}
+
+impl ScopeState {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+            spawned: AtomicU64::new(0),
+        })
+    }
+
+    /// Mark one job finished (run, cancelled, or panicked).
+    fn finish_one(&self) {
+        let mut pending = self.pending.lock().expect("scope state lock");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    /// Signalled when the queue gains work or the pool shuts down.
+    available: Condvar,
+    shutdown: AtomicBool,
+    scopes: AtomicU64,
+    tasks: AtomicU64,
+    inline_tasks: AtomicU64,
+    /// Sum over scopes of `1000 * occupied_lanes / lanes`.
+    busy_millis: AtomicU64,
+}
+
+impl PoolShared {
+    /// Pop the oldest queued job, without blocking.
+    fn try_pop(&self) -> Option<QueuedJob> {
+        self.queue.lock().expect("pool queue lock").pop_front()
+    }
+
+    /// Execute (or cancel) one job and settle its scope accounting.
+    fn run_item(&self, item: QueuedJob, inline: bool) {
+        let QueuedJob { scope, job } = item;
+        if scope.panicked.load(Ordering::Acquire) {
+            // A sibling already failed: cancel by dropping the closure
+            // (releasing its borrows) without running it.
+            drop(job);
+            scope.finish_one();
+            return;
+        }
+        if inline {
+            self.inline_tasks.fetch_add(1, Ordering::Relaxed);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            fault::fire_if_armed();
+            job();
+        }));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>")
+                .to_owned();
+            let mut first = scope.panic.lock().expect("scope panic lock");
+            if first.is_none() {
+                *first = Some(msg);
+            }
+            scope.panicked.store(true, Ordering::Release);
+        }
+        scope.finish_one();
+    }
+
+    /// Long-lived worker body: pop and run until shutdown.
+    fn worker_loop(&self) {
+        loop {
+            let item = {
+                let mut queue = self.queue.lock().expect("pool queue lock");
+                loop {
+                    if let Some(item) = queue.pop_front() {
+                        break item;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self.available.wait(queue).expect("pool queue lock");
+                }
+            };
+            self.run_item(item, false);
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`].
+///
+/// `'env` is the lifetime of the environment jobs may borrow; it outlives
+/// the `scope` call, and `scope` blocks until all jobs are settled, so the
+/// borrows never dangle.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queue `job` for execution on the pool. Jobs run in FIFO spawn
+    /// order across lanes (the order guarantee stage pipelines such as
+    /// [`crate::multi`] rely on for deadlock freedom).
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        {
+            let mut pending = self.state.pending.lock().expect("scope state lock");
+            *pending += 1;
+        }
+        self.state.spawned.fetch_add(1, Ordering::Relaxed);
+        self.pool.shared.tasks.fetch_add(1, Ordering::Relaxed);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: the only consumer of this box is `PoolShared::run_item`,
+        // which either calls or drops it, always before decrementing the
+        // scope's `pending` count; `WorkerPool::scope` does not return (or
+        // unwind) until `pending == 0`. Every borrow with lifetime `'env`
+        // inside the closure therefore ends before `scope` returns, and
+        // `'env` outlives the `scope` call by construction, so erasing the
+        // lifetime to `'static` never lets a borrow dangle.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        {
+            let mut queue = self.pool.shared.queue.lock().expect("pool queue lock");
+            queue.push_back(QueuedJob { scope: Arc::clone(&self.state), job });
+        }
+        self.pool.shared.available.notify_one();
+    }
+}
+
+/// A persistent pool of worker threads with a scoped spawn API.
+///
+/// Create one per pipeline run and thread it through every stage; see the
+/// module docs for semantics.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("lanes", &self.lanes).finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Build a pool with `workers` lanes; `0` means one lane per available
+    /// CPU. The calling thread is one of the lanes, so `workers - 1`
+    /// threads are spawned; `workers = 1` spawns none and runs everything
+    /// inline on the caller.
+    pub fn new(workers: usize) -> Self {
+        let lanes = match workers {
+            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            w => w,
+        };
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            scopes: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            inline_tasks: AtomicU64::new(0),
+            busy_millis: AtomicU64::new(0),
+        });
+        let threads = (1..lanes)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gpu-sim-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, threads, lanes }
+    }
+
+    /// Concurrent execution slots, including the calling thread.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Run `body`, giving it a [`Scope`] to spawn borrowing jobs on the
+    /// pool, and block until every spawned job has settled. While blocked,
+    /// the calling thread drains the queue itself (it is a pool lane).
+    ///
+    /// Returns `body`'s value, or [`ExecError::WorkerPanic`] if any job
+    /// panicked (in which case the scope's remaining jobs were cancelled).
+    /// If `body` itself panics, the panic is re-raised — after the spawned
+    /// jobs settle, so no borrow escapes.
+    pub fn scope<'env, R>(&self, body: impl FnOnce(&Scope<'_, 'env>) -> R) -> Result<R, ExecError> {
+        let state = ScopeState::new();
+        let scope = Scope { pool: self, state: Arc::clone(&state), _env: PhantomData };
+        self.shared.scopes.fetch_add(1, Ordering::Relaxed);
+
+        let result = catch_unwind(AssertUnwindSafe(|| body(&scope)));
+
+        // Participate: run queued jobs (ours or a sibling scope's) while
+        // this scope still has pending work.
+        loop {
+            if let Some(item) = self.shared.try_pop() {
+                self.shared.run_item(item, true);
+                continue;
+            }
+            let pending = state.pending.lock().expect("scope state lock");
+            if *pending == 0 {
+                break;
+            }
+            // The remaining jobs are held by worker threads; wait for the
+            // count to drop, then re-check the queue (nested scopes may
+            // have queued more work in the meantime).
+            drop(state.done.wait(pending).expect("scope state lock"));
+        }
+
+        let busy = (state.spawned.load(Ordering::Relaxed) as usize).min(self.lanes);
+        self.shared
+            .busy_millis
+            .fetch_add((1000 * busy / self.lanes) as u64, Ordering::Relaxed);
+
+        let body_value = match result {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        };
+        let first_panic = state.panic.lock().expect("scope panic lock").take();
+        match first_panic {
+            Some(msg) => Err(ExecError::WorkerPanic(msg)),
+            None => Ok(body_value),
+        }
+    }
+
+    /// Snapshot the pool's utilization counters.
+    pub fn stats(&self) -> PoolStats {
+        let scopes = self.shared.scopes.load(Ordering::Relaxed);
+        let busy_millis = self.shared.busy_millis.load(Ordering::Relaxed);
+        PoolStats {
+            lanes: self.lanes,
+            scopes,
+            tasks: self.shared.tasks.load(Ordering::Relaxed),
+            inline_tasks: self.shared.inline_tasks.load(Ordering::Relaxed),
+            busy_ratio: if scopes == 0 { 0.0 } else { busy_millis as f64 / (1000.0 * scopes as f64) },
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for handle in self.threads.drain(..) {
+            // A worker that panicked outside `catch_unwind` cannot happen
+            // (jobs are wrapped), but don't double-panic on join anyway.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Test-only fault injection.
+///
+/// `cfg(test)` does not cross crates, so integration tests (the
+/// `tests/tests/` crate) need a runtime hook to make "a kernel panics in a
+/// worker" happen on demand. Arming is process-global; tests that use it
+/// must serialize themselves (e.g. behind a shared mutex). Disarmed, the
+/// cost is one relaxed atomic load per job.
+#[doc(hidden)]
+pub mod fault {
+    use super::AtomicI64;
+    use std::sync::atomic::Ordering;
+
+    /// `< 0`: disarmed. `>= 0`: the job that decrements it to exactly
+    /// zero panics.
+    static BUDGET: AtomicI64 = AtomicI64::new(-1);
+
+    /// Message carried by injected panics, for asserting provenance.
+    pub const INJECTED_MSG: &str = "injected worker fault (gpu_sim::exec::fault)";
+
+    /// Arm the hook: the `n`-th pool job executed from now (0-based)
+    /// panics with [`INJECTED_MSG`].
+    pub fn arm(n: u64) {
+        BUDGET.store(n as i64, Ordering::SeqCst);
+    }
+
+    /// Disarm the hook.
+    pub fn disarm() {
+        BUDGET.store(-1, Ordering::SeqCst);
+    }
+
+    /// Called by the pool before each job.
+    pub(crate) fn fire_if_armed() {
+        if BUDGET.load(Ordering::Relaxed) < 0 {
+            return;
+        }
+        if BUDGET.fetch_sub(1, Ordering::SeqCst) == 0 {
+            panic!("{}", INJECTED_MSG);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_all_jobs_with_borrows() {
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 64];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 * 3);
+            }
+        })
+        .unwrap();
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline_in_spawn_order() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.lanes(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..16 {
+                let order = &order;
+                s.spawn(move || order.lock().unwrap().push(i));
+            }
+        })
+        .unwrap();
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+        let stats = pool.stats();
+        assert_eq!(stats.inline_tasks, 16, "one lane means the caller ran everything");
+    }
+
+    #[test]
+    fn panic_is_captured_and_pool_survives() {
+        let pool = WorkerPool::new(3);
+        let ran_after = AtomicUsize::new(0);
+        let err = pool
+            .scope(|s| {
+                s.spawn(|| panic!("deliberate test panic"));
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        ran_after.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::WorkerPanic("deliberate test panic".into()));
+        // Not poisoned: the next scope on the same pool works.
+        let mut x = 0;
+        pool.scope(|s| s.spawn(|| x = 7)).unwrap();
+        assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn first_panic_wins_and_later_jobs_are_cancelled() {
+        let pool = WorkerPool::new(1);
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .scope(|s| {
+                s.spawn(|| panic!("first"));
+                s.spawn(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                s.spawn(|| panic!("second"));
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::WorkerPanic("first".into()));
+        // With one lane the panic lands before the later jobs start, so
+        // they are cancelled (dropped), not run.
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.lanes() >= 1);
+    }
+
+    #[test]
+    fn stats_track_scopes_and_tasks() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..5 {
+            pool.scope(|s| {
+                s.spawn(|| {});
+                s.spawn(|| {});
+            })
+            .unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.scopes, 5);
+        assert_eq!(stats.tasks, 10);
+        assert_eq!(stats.lanes, 2);
+        assert!((stats.busy_ratio - 1.0).abs() < 1e-9, "2 tasks on 2 lanes is fully busy");
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    // A job that itself fans out on the same pool: the
+                    // running lane participates, so this cannot deadlock
+                    // even with every thread busy.
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    })
+                    .unwrap();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_returns_body_value() {
+        let pool = WorkerPool::new(2);
+        let v = pool.scope(|_| 42).unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -17,8 +17,12 @@
 //!   (`n >= 2 B T`), including the runtime reduction of `B`,
 //! * [`kernel`] — the per-block tile kernel (Gotoh recurrences over a
 //!   `block_height x block_width` tile fed by bus segments),
-//! * [`wavefront`] — the external-diagonal scheduler (crossbeam scoped
-//!   threads, one barrier per diagonal) with observer hooks used by the
+//! * [`exec`] — the persistent worker-pool executor (the CPU analogue of
+//!   a persistent-kernel GPU design): long-lived threads, a queue/condvar
+//!   handoff per external diagonal, panic capture instead of process
+//!   aborts, and busy-lane utilization counters,
+//! * [`wavefront`] — the external-diagonal scheduler (one [`exec`] scope
+//!   per diagonal as the barrier) with observer hooks used by the
 //!   pipeline to flush special rows and run matching procedures,
 //! * [`device`] — the calibrated GTX 285 time model used to project
 //!   paper-scale runtimes from cell counts,
@@ -33,12 +37,14 @@
 //! minimum size requirement — is executed faithfully.
 
 pub mod device;
+pub mod exec;
 pub mod grid;
 pub mod kernel;
 pub mod multi;
 pub mod wavefront;
 
 pub use device::DeviceModel;
+pub use exec::{ExecError, PoolStats, WorkerPool};
 pub use grid::GridSpec;
 pub use kernel::{CellHE, CellHF, GlobalOrigin, Mode, TileOutcome};
 pub use wavefront::{BlockCoords, NoObserver, RegionJob, RegionResult, WavefrontObserver};

@@ -11,6 +11,7 @@
 //! block columns, but with an explicit, counted exchange channel standing
 //! in for the PCIe transfers a real dual-card setup pays for.
 
+use crate::exec::{ExecError, WorkerPool};
 use crate::kernel::{self, CellHE, CellHF, Mode};
 use crate::wavefront::RegionJob;
 use std::sync::mpsc;
@@ -46,10 +47,33 @@ fn chunk_rows(m: usize, devices: usize) -> usize {
 
 /// Run a region split across `devices` simulated cards.
 ///
+/// Convenience wrapper over [`run_split_pooled`] with a transient
+/// [`WorkerPool`] of one lane per device; panics if a device worker
+/// panics (the pre-executor behaviour).
+pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
+    let pool = WorkerPool::new(devices.clamp(1, job.b.len().max(1)));
+    run_split_pooled(&pool, job, devices)
+        .unwrap_or_else(|e| panic!("device worker panicked: {e}"))
+}
+
+/// Run a region split across `devices` simulated cards on a shared
+/// persistent [`WorkerPool`].
+///
 /// Results are bit-identical to the single-device engine; only the
 /// execution structure (and the exchange accounting) differs. Global
 /// mode is supported with forward and reverse origins.
-pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
+///
+/// The device pipeline is deadlock-free on *any* pool size, including a
+/// single lane: device tasks are spawned in device order (the pool's FIFO
+/// guarantee keeps that order), device `d` only ever waits on borders
+/// from device `d - 1`, and border channels are unbounded so senders
+/// never block. With one lane, device `d - 1` simply runs to completion
+/// — buffering every border — before `d` starts.
+pub fn run_split_pooled(
+    pool: &WorkerPool,
+    job: &RegionJob<'_>,
+    devices: usize,
+) -> Result<MultiDeviceResult, ExecError> {
     let (m, n) = (job.a.len(), job.b.len());
     let devices = devices.clamp(1, n.max(1));
     let local = job.mode.is_local();
@@ -60,14 +84,14 @@ pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
     };
 
     if m == 0 || n == 0 {
-        return MultiDeviceResult {
+        return Ok(MultiDeviceResult {
             best: None,
             cells: 0,
             per_device_cells: vec![0; devices],
             exchanged_cells: 0,
             hbus: hbus_init,
             watch_hit: None,
-        };
+        });
     }
 
     let chunk = chunk_rows(m, devices);
@@ -82,20 +106,26 @@ pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
         (start, start + width)
     };
 
-    // Channel d carries the border column segment from device d-1.
-    let mut senders: Vec<Option<mpsc::SyncSender<Vec<CellHE>>>> = Vec::new();
+    // Channel d carries the border column segment from device d-1. The
+    // channels are unbounded: a bounded channel plus a pool narrower than
+    // the device count could fill while the downstream device is still
+    // waiting for a lane, blocking the sender forever. Unbounded sends
+    // always complete, and the FIFO spawn order guarantees every running
+    // device's upstream is already running or finished.
+    let mut senders: Vec<Option<mpsc::Sender<Vec<CellHE>>>> = Vec::new();
     let mut receivers: Vec<Option<mpsc::Receiver<Vec<CellHE>>>> = Vec::new();
     receivers.push(None);
     for _ in 1..devices {
-        let (tx, rx) = mpsc::sync_channel(2);
+        let (tx, rx) = mpsc::channel();
         senders.push(Some(tx));
         receivers.push(Some(rx));
     }
     senders.push(None);
 
-    let results = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for d in 0..devices {
+    type DeviceOutcome = (Option<(Score, usize, usize)>, u64, Vec<CellHF>, Option<(usize, usize)>);
+    let mut results: Vec<Option<DeviceOutcome>> = (0..devices).map(|_| None).collect();
+    pool.scope(|s| {
+        for (d, slot) in results.iter_mut().enumerate() {
             let rx = receivers[d].take();
             let tx = senders[d].take();
             let (c0, c1) = col_range(d);
@@ -103,7 +133,7 @@ pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
             // Device 0's left border is the region's; later devices get
             // theirs chunk by chunk over the channel.
             let vbus_init = &vbus_init;
-            handles.push(s.spawn(move |_| {
+            s.spawn(move || {
                 let b_slice = &job.b[c0..c1];
                 let mut best: Option<(Score, usize, usize)> = None;
                 let mut watch_hit: Option<(usize, usize)> = None;
@@ -158,19 +188,17 @@ pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
                         tx.send(left).expect("device pipeline broken");
                     }
                 }
-                (best, cells, top, watch_hit)
-            }));
+                *slot = Some((best, cells, top, watch_hit));
+            });
         }
-        handles.into_iter().map(|h| h.join().expect("device worker panicked")).collect::<Vec<_>>()
-    })
-    .expect("multi-device scope failed");
+    })?;
 
     let mut best: Option<(Score, usize, usize)> = None;
     let mut watch_hit: Option<(usize, usize)> = None;
     let mut cells = 0u64;
     let mut per_device_cells = Vec::with_capacity(devices);
     let mut hbus = Vec::with_capacity(n);
-    for (b_d, c_d, top, w_d) in results {
+    for (b_d, c_d, top, w_d) in results.into_iter().flatten() {
         per_device_cells.push(c_d);
         cells += c_d;
         if let Some(cand) = b_d {
@@ -186,14 +214,14 @@ pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
         }
         hbus.extend(top);
     }
-    MultiDeviceResult {
+    Ok(MultiDeviceResult {
         best,
         cells,
         per_device_cells,
         exchanged_cells: (m as u64) * (devices as u64 - 1),
         hbus,
         watch_hit,
-    }
+    })
 }
 
 /// `H` of the region's init row at column `c0` (the corner a non-first

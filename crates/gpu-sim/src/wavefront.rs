@@ -4,12 +4,14 @@
 //! the horizontal-bus segment written by the block above it (previous
 //! diagonal) and the vertical-bus segment written by the block to its left
 //! (also previous diagonal). The scheduler walks diagonals in order,
-//! executes each diagonal's blocks concurrently on scoped threads, then
-//! — still synchronously with respect to the next diagonal — reports every
-//! completed block to the caller's [`WavefrontObserver`], which is how the
-//! pipeline flushes special rows (Stage 1) and runs goal-based matching
-//! with early abort (Stages 2-3).
+//! executes each diagonal's blocks concurrently on the persistent
+//! [`crate::exec::WorkerPool`] (one scope per diagonal is the barrier),
+//! then — still synchronously with respect to the next diagonal — reports
+//! every completed block to the caller's [`WavefrontObserver`], which is
+//! how the pipeline flushes special rows (Stage 1) and runs goal-based
+//! matching with early abort (Stages 2-3).
 
+use crate::exec::{ExecError, WorkerPool};
 use crate::grid::{GridLayout, GridSpec};
 use crate::kernel::{self, CellHE, CellHF, Mode, TileOutcome};
 use std::ops::ControlFlow;
@@ -324,8 +326,26 @@ impl EngineState {
 }
 
 /// Run a region to completion (or until an observer aborts).
+///
+/// Convenience wrapper that builds a transient [`WorkerPool`] sized by
+/// `job.workers` and panics if a worker panics (the pre-executor
+/// behaviour). Pipelines should prefer [`run_pooled`] with a shared pool.
 pub fn run(job: &RegionJob<'_>, observer: &mut dyn WavefrontObserver) -> RegionResult {
     run_resumable(job, observer, None, None)
+}
+
+/// Run a region on a shared persistent [`WorkerPool`].
+///
+/// Observationally identical to [`run`] for every pool size: block
+/// results are merged (and the observer notified) on the calling thread
+/// in block order after each diagonal's barrier, so scheduling cannot
+/// change scores, endpoints, buses, or observer event order.
+pub fn run_pooled(
+    pool: &WorkerPool,
+    job: &RegionJob<'_>,
+    observer: &mut dyn WavefrontObserver,
+) -> Result<RegionResult, ExecError> {
+    run_resumable_pooled(pool, job, observer, None, None)
 }
 
 /// Like [`run`], but optionally resuming from a previous [`EngineState`]
@@ -334,13 +354,36 @@ pub fn run(job: &RegionJob<'_>, observer: &mut dyn WavefrontObserver) -> RegionR
 /// external diagonals.
 ///
 /// # Panics
-/// Panics when `resume` carries a fingerprint for a different job.
+/// Panics when `resume` carries a fingerprint for a different job, or
+/// when a worker panics (transient-pool wrapper; see [`run`]).
 pub fn run_resumable(
     job: &RegionJob<'_>,
     observer: &mut dyn WavefrontObserver,
     resume: Option<EngineState>,
     checkpoint_every: Option<usize>,
 ) -> RegionResult {
+    let pool = WorkerPool::new(job.workers);
+    run_resumable_pooled(&pool, job, observer, resume, checkpoint_every)
+        .unwrap_or_else(|e| panic!("wavefront worker panicked: {e}"))
+}
+
+/// [`run_resumable`] on a shared persistent [`WorkerPool`].
+///
+/// The effective parallelism of a diagonal is
+/// `min(pool.lanes(), job.workers)` (with `job.workers == 0` meaning "no
+/// extra cap"), so a job built with `workers: 1` stays serial even on a
+/// wide pool — stage 3 relies on that to keep per-partition engines
+/// single-lane while partitions fan out.
+///
+/// # Panics
+/// Panics when `resume` carries a fingerprint for a different job.
+pub fn run_resumable_pooled(
+    pool: &WorkerPool,
+    job: &RegionJob<'_>,
+    observer: &mut dyn WavefrontObserver,
+    resume: Option<EngineState>,
+    checkpoint_every: Option<usize>,
+) -> Result<RegionResult, ExecError> {
     let (m, n) = (job.a.len(), job.b.len());
     let layout = job.grid.layout(m, n);
     let local = job.mode.is_local();
@@ -366,10 +409,11 @@ pub fn run_resumable(
         corners[(r + 1) * (bc + 1)] = if re == 0 { 0 } else { vbus[re - 1].h };
     }
 
-    let workers = if job.workers == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        job.workers
+    // The pool fixes the lane count for the whole run; `job.workers` can
+    // only cap it further (0 = uncapped).
+    let workers = match job.workers {
+        0 => pool.lanes(),
+        w => w.min(pool.lanes()),
     };
 
     let mut best: Option<(Score, usize, usize)> = None;
@@ -480,17 +524,20 @@ pub fn run_resumable(
         };
         let parallel = workers > 1 && tasks.len() > 1;
         if parallel {
+            // One pool scope per diagonal: the scope's drain is the
+            // barrier. Threads persist across diagonals; only the job
+            // handoff is paid here.
             let chunk = tasks.len().div_ceil(workers.min(tasks.len()));
-            crossbeam::thread::scope(|s| {
+            let run_task = &run_task;
+            pool.scope(|s| {
                 for group in tasks.chunks_mut(chunk) {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for t in group.iter_mut() {
                             run_task(t);
                         }
                     });
                 }
-            })
-            .expect("wavefront worker panicked");
+            })?;
         } else {
             for t in tasks.iter_mut() {
                 run_task(t);
@@ -521,7 +568,7 @@ pub fn run_resumable(
         }
     }
 
-    RegionResult { best, cells, diagonals_run, aborted, busy_slots, hbus, vbus, layout }
+    Ok(RegionResult { best, cells, diagonals_run, aborted, busy_slots, hbus, vbus, layout })
 }
 
 /// Convenience: run without an observer.

@@ -10,7 +10,7 @@
 
 use cudalign::config::{CheckpointPolicy, SraBackend};
 use cudalign::sra::LineStore;
-use cudalign::{stage1, Pipeline, PipelineConfig};
+use cudalign::{stage1, Pipeline, PipelineConfig, WorkerPool};
 use seqio::generate::{homologous_pair, HomologyParams};
 use std::time::Instant;
 
@@ -31,12 +31,14 @@ fn main() {
     // state + in-flight special rows) to <dir>/stage1.ckpt as it goes;
     // abandon the run and keep whatever the last snapshot captured.
     {
+        let pool = WorkerPool::new(cfg.workers);
         let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row").unwrap();
         let t = Instant::now();
         let _ = stage1::run_resumable(
             s0.bases(),
             s1.bases(),
             &cfg,
+            &pool,
             &mut rows,
             None,
             Some((dir.as_path(), 16)),

@@ -35,6 +35,36 @@ fn worker_count_does_not_change_output() {
     }
 }
 
+/// The strongest form of the worker-count claim: the *compact binary
+/// output* of the whole six-stage pipeline is byte-for-byte identical
+/// between a serial run and a run on a wide persistent pool. Any
+/// scheduling leak anywhere in stages 1-5 (block merge order, partition
+/// fan-out order, crosspoint chains) would show up here.
+#[test]
+fn pooled_pipeline_output_is_byte_identical_to_serial() {
+    let (a, b) = edited_pair(27, 900, 17);
+    let mut serial_cfg = PipelineConfig::for_tests();
+    serial_cfg.workers = 1;
+    let serial = Pipeline::new(serial_cfg).align(&a, &b).unwrap();
+    let serial_bytes = serial.binary.encode();
+
+    for workers in [2usize, 8] {
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.workers = workers;
+        let pipeline = Pipeline::new(cfg);
+        assert!(pipeline.pool().lanes() >= 1);
+        let pooled = pipeline.align(&a, &b).unwrap();
+        assert_eq!(pooled.best_score, serial.best_score, "workers={workers}");
+        assert_eq!(pooled.start, serial.start, "workers={workers}");
+        assert_eq!(pooled.end, serial.end, "workers={workers}");
+        assert_eq!(
+            pooled.binary.encode(),
+            serial_bytes,
+            "compact binary output diverged at workers={workers}"
+        );
+    }
+}
+
 #[test]
 fn score_is_grid_invariant() {
     // The *score*, endpoint and start are grid-invariant. (The exact

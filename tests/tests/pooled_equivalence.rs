@@ -1,0 +1,130 @@
+//! Pooled execution is observationally identical to serial execution.
+//!
+//! The persistent worker pool (`gpu_sim::exec::WorkerPool`) replaces the
+//! per-diagonal thread spawns of the original engine. These properties
+//! pin down the contract the pipeline relies on: for ANY grid geometry
+//! and ANY pool width, a pooled launch produces exactly the same scores,
+//! endpoints, buses and observer event stream (hence the same special
+//! rows) as the single-threaded run.
+
+use gpu_sim::wavefront::{run, run_pooled, RegionJob};
+use gpu_sim::{BlockCoords, CellHE, CellHF, GridSpec, Mode, TileOutcome, WorkerPool};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+use sw_core::scoring::Scoring;
+use sw_core::transcript::EdgeState;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+}
+
+fn grids() -> impl Strategy<Value = GridSpec> {
+    (1usize..8, 1usize..8, 1usize..5)
+        .prop_map(|(blocks, threads, alpha)| GridSpec { blocks, threads, alpha })
+}
+
+/// One observer event: block coordinates plus its bottom/right border
+/// contents.
+type BlockEvent = ((usize, usize), Vec<CellHF>, Vec<CellHE>);
+
+/// Records the full observer event stream, one entry per block. Stage 1
+/// assembles special rows from exactly these bottom borders, so equal
+/// streams imply byte-equal special rows in the SRA.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<BlockEvent>,
+}
+
+impl gpu_sim::WavefrontObserver for Recorder {
+    fn on_block(
+        &mut self,
+        block: &BlockCoords,
+        _outcome: &TileOutcome,
+        bottom: &[CellHF],
+        right: &[CellHE],
+    ) -> ControlFlow<()> {
+        self.events.push(((block.r, block.c), bottom.to_vec(), right.to_vec()));
+        ControlFlow::Continue(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Local mode (stage 1): same best score, same endpoint, same buses,
+    /// same observer stream for pool widths 1, 2 and 8.
+    #[test]
+    fn pooled_local_equals_serial(a in dna(140), b in dna(140), grid in grids()) {
+        let serial_job = RegionJob {
+            a: &a, b: &b, scoring: Scoring::paper(), mode: Mode::Local,
+            grid, workers: 1, watch: None,
+        };
+        let mut serial_obs = Recorder::default();
+        let serial = run(&serial_job, &mut serial_obs);
+
+        for lanes in [1usize, 2, 8] {
+            let pool = WorkerPool::new(lanes);
+            let job = RegionJob { workers: lanes, ..serial_job };
+            let mut obs = Recorder::default();
+            let res = run_pooled(&pool, &job, &mut obs).expect("no worker panic");
+            prop_assert_eq!(res.best, serial.best, "best, lanes={}", lanes);
+            prop_assert_eq!(res.cells, serial.cells, "cells, lanes={}", lanes);
+            prop_assert_eq!(&res.hbus, &serial.hbus, "hbus, lanes={}", lanes);
+            prop_assert_eq!(&res.vbus, &serial.vbus, "vbus, lanes={}", lanes);
+            prop_assert_eq!(
+                obs.events.len(), serial_obs.events.len(),
+                "event count, lanes={}", lanes
+            );
+            prop_assert!(
+                obs.events == serial_obs.events,
+                "observer stream diverged with lanes={}", lanes
+            );
+        }
+    }
+
+    /// Global mode (stages 2-3 strips): identical frontier buses.
+    #[test]
+    fn pooled_global_equals_serial(
+        a in dna(120), b in dna(120), grid in grids(),
+        start in proptest::sample::select(vec![EdgeState::Diagonal, EdgeState::GapS0, EdgeState::GapS1]),
+    ) {
+        let serial_job = RegionJob {
+            a: &a, b: &b, scoring: Scoring::paper(), mode: Mode::global(start),
+            grid, workers: 1, watch: None,
+        };
+        let mut serial_obs = Recorder::default();
+        let serial = run(&serial_job, &mut serial_obs);
+
+        for lanes in [2usize, 8] {
+            let pool = WorkerPool::new(lanes);
+            let job = RegionJob { workers: lanes, ..serial_job };
+            let mut obs = Recorder::default();
+            let res = run_pooled(&pool, &job, &mut obs).expect("no worker panic");
+            prop_assert_eq!(&res.hbus, &serial.hbus, "hbus, lanes={}", lanes);
+            prop_assert_eq!(&res.vbus, &serial.vbus, "vbus, lanes={}", lanes);
+            prop_assert!(obs.events == serial_obs.events, "stream, lanes={}", lanes);
+        }
+    }
+
+    /// A single pool serves many launches of different shapes without its
+    /// lane count or queue state leaking between runs: interleaving jobs
+    /// on one shared pool gives the same results as fresh pools.
+    #[test]
+    fn shared_pool_reuse_is_stateless(a in dna(100), b in dna(100), g1 in grids(), g2 in grids()) {
+        let pool = WorkerPool::new(4);
+        let job1 = RegionJob {
+            a: &a, b: &b, scoring: Scoring::paper(), mode: Mode::Local,
+            grid: g1, workers: 0, watch: None,
+        };
+        let job2 = RegionJob { grid: g2, ..job1 };
+        let first_1 = run_pooled(&pool, &job1, &mut gpu_sim::wavefront::NoObserver).unwrap();
+        let first_2 = run_pooled(&pool, &job2, &mut gpu_sim::wavefront::NoObserver).unwrap();
+        // Re-run in the opposite order on the same pool.
+        let second_2 = run_pooled(&pool, &job2, &mut gpu_sim::wavefront::NoObserver).unwrap();
+        let second_1 = run_pooled(&pool, &job1, &mut gpu_sim::wavefront::NoObserver).unwrap();
+        prop_assert_eq!(first_1.best, second_1.best);
+        prop_assert_eq!(first_1.hbus, second_1.hbus);
+        prop_assert_eq!(first_2.best, second_2.best);
+        prop_assert_eq!(first_2.hbus, second_2.hbus);
+    }
+}
