@@ -24,8 +24,9 @@ fn bench_stage1_flush(c: &mut Criterion) {
             let mut cfg = PipelineConfig::default_cpu();
             cfg.sra_bytes = sra;
             let pool = WorkerPool::new(cfg.workers);
+            let fp = cfg.job_fingerprint(a.len(), b.len());
             bench.iter(|| {
-                let mut rows = LineStore::new(&cfg.backend, sra, "row").unwrap();
+                let mut rows = LineStore::new(&cfg.backend, sra, "row", fp).unwrap();
                 stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap().best_score
             })
         });

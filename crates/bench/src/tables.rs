@@ -168,7 +168,8 @@ pub fn table4() {
 
         // Without flushing.
         cfg.sra_bytes = 0;
-        let mut rows0 = LineStore::new(&cfg.backend, 0, "row").unwrap();
+        let fp = cfg.job_fingerprint(w.s0.len(), w.s1.len());
+        let mut rows0 = LineStore::new(&cfg.backend, 0, "row", fp).unwrap();
         let t = Instant::now();
         let res0 = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &mut rows0).unwrap();
         let t0 = t.elapsed().as_secs_f64();
@@ -176,7 +177,7 @@ pub fn table4() {
         // With flushing at the paper's (scaled) SRA size.
         let sra = scaled_sra_bytes(paper_sra_bytes(w.spec.key), w.scale, w.s1.len());
         cfg.sra_bytes = sra;
-        let mut rows1 = LineStore::new(&cfg.backend, sra, "row").unwrap();
+        let mut rows1 = LineStore::new(&cfg.backend, sra, "row", fp).unwrap();
         let t = Instant::now();
         let res1 = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &mut rows1).unwrap();
         let t1 = t.elapsed().as_secs_f64();
@@ -344,7 +345,8 @@ pub fn table7() {
         let mut cfg = repro_config(&w);
         cfg.sra_bytes = 0;
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&cfg.backend, 0, "row").unwrap();
+        let fp = cfg.job_fingerprint(w.s0.len(), w.s1.len());
+        let mut rows = LineStore::new(&cfg.backend, 0, "row", fp).unwrap();
         let t = Instant::now();
         let _ = stage1::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &mut rows);
         r.row(&[
@@ -431,10 +433,11 @@ fn stages_123(
     cfg: &PipelineConfig,
 ) -> (cudalign::CrosspointChain, LineStore<gpu_sim::CellHF>) {
     let pool = WorkerPool::new(cfg.workers);
-    let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "row").unwrap();
+    let fp = cfg.job_fingerprint(w.s0.len(), w.s1.len());
+    let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "row", fp).unwrap();
     let s1r = stage1::run(w.s0.bases(), w.s1.bases(), cfg, &pool, &mut rows).unwrap();
     assert!(s1r.best_score > 0, "chromosome pair must align");
-    let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col").unwrap();
+    let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col", fp).unwrap();
     let s2r = stage2::run(
         w.s0.bases(),
         w.s1.bases(),
@@ -442,7 +445,7 @@ fn stages_123(
         &pool,
         s1r.best_score,
         s1r.end,
-        &rows,
+        &mut rows,
         &mut cols,
     )
     .unwrap();

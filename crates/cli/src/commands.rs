@@ -99,6 +99,17 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
         writeln!(out, "  stage-4 iterations: {}", st.stage4_iterations.len()).unwrap();
         writeln!(
             out,
+            "  storage: {} rows / {} cols dropped, {} checkpoint failures, {} write retries, {} files rejected, {} swept",
+            st.dropped_special_rows,
+            st.dropped_special_cols,
+            st.checkpoint_failures,
+            st.storage_retries,
+            st.storage_rejected_files,
+            st.storage_swept_files
+        )
+        .unwrap();
+        writeln!(
+            out,
             "  worker pool: {} lanes, {} handoffs, {} tasks, {:.1}% busy",
             st.pool_lanes,
             st.pool_handoffs,

@@ -109,6 +109,14 @@ impl PipelineConfig {
         }
     }
 
+    /// Fingerprint of the job this configuration defines for an `m x n`
+    /// comparison (see [`crate::storage::job_fingerprint`]). Stamped into
+    /// every persistent file so state from a different sequence pair,
+    /// scoring or grid is rejected on resume.
+    pub fn job_fingerprint(&self, m: usize, n: usize) -> u64 {
+        crate::storage::job_fingerprint(m, n, &self.scoring, &self.grid1, &self.grid23)
+    }
+
     /// Set the SRA budget (builder style).
     pub fn with_sra_bytes(mut self, bytes: u64) -> Self {
         self.sra_bytes = bytes;

@@ -60,9 +60,11 @@ pub mod stage3;
 pub mod stage4;
 pub mod stage5;
 pub mod stage6;
+pub mod storage;
 
 pub use binary::BinaryAlignment;
 pub use config::PipelineConfig;
 pub use crosspoint::{Crosspoint, CrosspointChain, Partition};
 pub use gpu_sim::{ExecError, PoolStats, WorkerPool};
 pub use pipeline::{Pipeline, PipelineError, PipelineResult, PipelineStats, StageError};
+pub use storage::StorageError;

@@ -3,8 +3,9 @@
 use crate::binary::BinaryAlignment;
 use crate::config::PipelineConfig;
 use crate::crosspoint::CrosspointChain;
-use crate::sra::LineStore;
+use crate::sra::{LineStore, StoreStats};
 use crate::stage4::IterationStats;
+use crate::storage::StorageError;
 use crate::{stage1, stage2, stage3, stage4, stage5};
 use gpu_sim::{ExecError, PoolStats, WorkerPool};
 use std::sync::Arc;
@@ -26,6 +27,17 @@ pub enum StageError {
     Logic(String),
     /// A worker-pool job panicked; the payload is the panic message.
     Worker(String),
+    /// The storage layer failed in a way the stage could not degrade
+    /// around (see [`StorageError`]).
+    Storage(StorageError),
+    /// The stage was interrupted mid-run (a simulated crash from
+    /// `storage::fault::arm_stage1_kill`, or an observer abort). The
+    /// partial result is *not* usable — resuming from the last checkpoint
+    /// is the only correct continuation.
+    Interrupted {
+        /// External diagonal the wavefront had reached.
+        diagonal: usize,
+    },
 }
 
 impl std::fmt::Display for StageError {
@@ -33,6 +45,10 @@ impl std::fmt::Display for StageError {
         match self {
             StageError::Logic(s) => write!(f, "{s}"),
             StageError::Worker(s) => write!(f, "worker panicked: {s}"),
+            StageError::Storage(e) => write!(f, "{e}"),
+            StageError::Interrupted { diagonal } => {
+                write!(f, "stage interrupted at external diagonal {diagonal}")
+            }
         }
     }
 }
@@ -53,6 +69,12 @@ impl From<ExecError> for StageError {
     }
 }
 
+impl From<StorageError> for StageError {
+    fn from(e: StorageError) -> Self {
+        StageError::Storage(e)
+    }
+}
+
 /// Pipeline failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
@@ -63,6 +85,14 @@ pub enum PipelineError {
     /// A worker-pool job panicked. The pool is not poisoned: the same
     /// [`Pipeline`] may be retried.
     Worker(String),
+    /// The run was interrupted mid-stage (simulated crash / observer
+    /// abort). With checkpointing enabled, calling
+    /// [`Pipeline::align`] again resumes from the last snapshot;
+    /// special rows already on a disk backend are reopened.
+    Interrupted {
+        /// External diagonal the wavefront had reached.
+        diagonal: usize,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -71,6 +101,9 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Internal(s) => write!(f, "pipeline error: {s}"),
             PipelineError::Io(s) => write!(f, "pipeline I/O error: {s}"),
             PipelineError::Worker(s) => write!(f, "pipeline worker panicked: {s}"),
+            PipelineError::Interrupted { diagonal } => {
+                write!(f, "pipeline interrupted at external diagonal {diagonal} (resume to continue)")
+            }
         }
     }
 }
@@ -82,6 +115,8 @@ impl From<StageError> for PipelineError {
         match e {
             StageError::Logic(s) => PipelineError::Internal(s),
             StageError::Worker(s) => PipelineError::Worker(s),
+            StageError::Storage(e) => PipelineError::Io(e.to_string()),
+            StageError::Interrupted { diagonal } => PipelineError::Interrupted { diagonal },
         }
     }
 }
@@ -125,6 +160,23 @@ pub struct PipelineStats {
     pub binary_bytes: usize,
     /// External diagonal Stage 1 resumed from (0 = fresh run).
     pub resumed_from_diagonal: usize,
+    /// Special rows lost to storage failures: unwritable after retries
+    /// (Stage 1) or corrupt on read-back (Stage 2). The run stays
+    /// correct — Stage 2 just does more work between surviving rows.
+    pub dropped_special_rows: u64,
+    /// Special columns lost to storage failures: unwritable (Stage 2) or
+    /// corrupt/skipped on read-back (Stage 3) — partitions just grow.
+    pub dropped_special_cols: u64,
+    /// Stage-1 checkpoint snapshots that could not be written. Non-zero
+    /// means resumability is degraded to the last successful snapshot.
+    pub checkpoint_failures: u64,
+    /// Transient storage write failures recovered by retry.
+    pub storage_retries: u64,
+    /// Persisted files rejected on reopen (truncated, bit-flipped,
+    /// misnamed, foreign job fingerprint).
+    pub storage_rejected_files: u64,
+    /// Orphaned/stale files swept from the storage directory.
+    pub storage_swept_files: u64,
     /// Worker-pool lanes available to this run (including the caller).
     pub pool_lanes: usize,
     /// Queue/condvar handoffs this run performed (one per wavefront
@@ -213,15 +265,17 @@ impl Pipeline {
         let pool_before = pool.stats();
         let t_total = Instant::now();
         let mut stats = PipelineStats::default();
+        let fingerprint = cfg.job_fingerprint(s0.len(), s1.len());
 
         // With a checkpoint policy, a matching snapshot from a previous
         // (crashed) run resumes Stage 1 mid-matrix; completed special rows
         // are reopened when the backend is disk-based and in-flight row
-        // segments are restored from the combined snapshot.
-        let resume = cfg.checkpoint.as_ref().and_then(|ck| {
-            let bytes = std::fs::read(ck.dir.join("stage1.ckpt")).ok()?;
-            stage1::decode_checkpoint(&bytes)
-        });
+        // segments are restored from the combined snapshot. A checkpoint
+        // that fails validation (truncated, bit-flipped, foreign job) is
+        // discarded and the run starts fresh — always correct, never
+        // resumed-from-garbage.
+        let resume =
+            cfg.checkpoint.as_ref().and_then(|ck| stage1::load_checkpoint(&ck.dir, fingerprint));
         let resuming = resume.is_some();
         let (resume_state, resume_partials) = match resume {
             Some((st, p)) => (Some(st), Some(p)),
@@ -229,19 +283,25 @@ impl Pipeline {
         };
 
         let mut rows: LineStore<gpu_sim::CellHF> = if resuming {
-            LineStore::reopen(&cfg.backend, cfg.sra_bytes, "special-row")
+            LineStore::reopen(&cfg.backend, cfg.sra_bytes, "special-row", fingerprint)
                 .map_err(|e| PipelineError::Io(e.to_string()))?
         } else {
-            LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row")
+            LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row", fingerprint)
                 .map_err(|e| PipelineError::Io(e.to_string()))?
         };
+        if cfg.checkpoint.is_some() {
+            // An interrupted run must leave the row files on disk for the
+            // resumed run to reopen; Drop would otherwise delete them on
+            // the error path. Completed runs clean up explicitly below.
+            rows.persist_on_drop(true);
+        }
         if let Some(p) = resume_partials {
             if !rows.restore_partials(&p) {
                 return Err(PipelineError::Io("corrupt stage-1 checkpoint partials".into()));
             }
         }
         let mut cols: LineStore<gpu_sim::CellHE> =
-            LineStore::new(&cfg.backend, cfg.sca_bytes, "special-col")
+            LineStore::new(&cfg.backend, cfg.sca_bytes, "special-col", fingerprint)
                 .map_err(|e| PipelineError::Io(e.to_string()))?;
 
         // Stage 1: best score, end point, special rows.
@@ -272,8 +332,11 @@ impl Pipeline {
         stats.sra_bytes_used = s1r.flushed_bytes;
         stats.vram_bytes[0] = s1r.vram_bytes;
         stats.effective_blocks[0] = cfg.grid1.effective_blocks(s1.len());
+        stats.checkpoint_failures = s1r.checkpoint_failures;
 
         if s1r.best_score <= 0 {
+            record_store_stats(&mut stats, rows.stats(), cols.stats());
+            rows.clear();
             record_pool_delta(&mut stats, &pool_before, &pool.stats());
             stats.total_seconds = t_total.elapsed().as_secs_f64();
             return Ok(PipelineResult {
@@ -293,9 +356,11 @@ impl Pipeline {
             });
         }
 
-        // Stage 2: partial traceback over special rows.
+        // Stage 2: partial traceback over special rows. Rows whose disk
+        // file turns out corrupt are dropped here (and counted): the
+        // matching procedure simply spans a larger area.
         let t = Instant::now();
-        let s2r = stage2::run(s0, s1, cfg, pool, s1r.best_score, s1r.end, &rows, &mut cols)?;
+        let s2r = stage2::run(s0, s1, cfg, pool, s1r.best_score, s1r.end, &mut rows, &mut cols)?;
         stats.stage_seconds[1] = t.elapsed().as_secs_f64();
         stats.stage_cells[1] = s2r.cells;
         stats.crosspoints[1] = s2r.chain.len();
@@ -304,8 +369,10 @@ impl Pipeline {
         stats.stage2_strips = s2r.strips;
         stats.vram_bytes[1] = s2r.vram_bytes;
         stats.effective_blocks[1] = s2r.min_blocks;
+        stats.dropped_special_rows += s2r.dropped_rows;
 
-        // Stage 3: split partitions on special columns.
+        // Stage 3: split partitions on special columns (corrupt columns
+        // are skipped and counted; their partitions stay coarse).
         let t = Instant::now();
         let s3r = stage3::run(s0, s1, cfg, pool, &s2r.chain, &cols)?;
         stats.stage_seconds[2] = t.elapsed().as_secs_f64();
@@ -315,6 +382,7 @@ impl Pipeline {
         stats.w_max = s3r.chain.w_max();
         stats.vram_bytes[2] = s3r.vram_bytes;
         stats.effective_blocks[2] = s3r.min_blocks;
+        stats.dropped_special_cols += s3r.skipped_columns;
 
         // Stage 4: Myers-Miller until partitions fit.
         let t = Instant::now();
@@ -330,6 +398,10 @@ impl Pipeline {
         stats.stage_seconds[4] = t.elapsed().as_secs_f64();
         stats.stage5_cells = s5r.cells;
         stats.binary_bytes = s5r.binary.encode().len();
+        record_store_stats(&mut stats, rows.stats(), cols.stats());
+        // Success: nothing left to resume, so the persisted row files can
+        // go regardless of persist_on_drop.
+        rows.clear();
         record_pool_delta(&mut stats, &pool_before, &pool.stats());
         stats.total_seconds = t_total.elapsed().as_secs_f64();
 
@@ -347,6 +419,17 @@ impl Pipeline {
             stats,
         })
     }
+}
+
+/// Fold the storage-health counters of the row and column stores into the
+/// run's stats (dropped lines are attributed per store, the rest merged).
+fn record_store_stats(stats: &mut PipelineStats, rows: StoreStats, cols: StoreStats) {
+    stats.dropped_special_rows += rows.dropped_lines;
+    stats.dropped_special_cols += cols.dropped_lines;
+    let merged = rows.merged(cols);
+    stats.storage_retries += merged.write_retries;
+    stats.storage_rejected_files += merged.rejected_files;
+    stats.storage_swept_files += merged.swept_files;
 }
 
 /// Fold the difference between two pool snapshots into per-run stats.
@@ -529,8 +612,9 @@ mod checkpoint_tests {
         // "Crashed" run: the observer writes combined snapshots itself;
         // the last one survives as stage1.ckpt alongside the row files.
         {
+            let fp = cfg.job_fingerprint(a.len(), b.len());
             let mut rows =
-                LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row").unwrap();
+                LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row", fp).unwrap();
             let pool = WorkerPool::new(cfg.workers);
             let _ = stage1::run_resumable(
                 &a,

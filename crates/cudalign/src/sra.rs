@@ -10,12 +10,20 @@
 //! (the "shifted bus" of Figure 5: a special row is scattered across the
 //! blocks of an external diagonal and becomes whole only after several
 //! diagonals); a line becomes readable once every cell has arrived.
+//!
+//! Disk persistence goes through [`crate::storage`]: every line file is a
+//! checksummed frame carrying the job fingerprint, written atomically.
+//! Failures *degrade* instead of panicking — an unwritable line is
+//! dropped (the pipeline tolerates fewer special lines; partitions just
+//! grow) and a corrupt or stale line surfaces as a typed
+//! [`StorageError`] for the caller to drop and count. [`StoreStats`]
+//! records every such event for [`crate::PipelineStats`].
 
 use crate::config::SraBackend;
+use crate::storage::{self, FrameMeta, StorageError};
 use gpu_sim::{CellHE, CellHF};
 use std::collections::{BTreeMap, HashMap};
 use std::fs;
-use std::io::{Read, Write};
 use std::path::PathBuf;
 use sw_core::scoring::Score;
 
@@ -73,6 +81,36 @@ pub fn flush_interval(m: usize, n: usize, block_height: usize, sra_bytes: u64) -
     (interval.min(usize::MAX as u128) as usize).max(1)
 }
 
+/// Storage-health counters of one [`LineStore`], aggregated into
+/// [`crate::PipelineStats`] so an operator can see a degraded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Completed lines abandoned because their disk write failed after
+    /// retries (ENOSPC, persistent I/O error). The run continues with
+    /// fewer special lines.
+    pub dropped_lines: u64,
+    /// Transient write failures that a retry recovered.
+    pub write_retries: u64,
+    /// Files rejected during [`LineStore::reopen`] (truncated,
+    /// bit-flipped, misnamed, or carrying a foreign job fingerprint).
+    pub rejected_files: u64,
+    /// Orphaned files swept by [`LineStore::new`] (left behind by a
+    /// crashed prior run) plus stale tmp siblings removed on reopen.
+    pub swept_files: u64,
+}
+
+impl StoreStats {
+    /// Element-wise sum (for aggregating the row and column stores).
+    pub fn merged(self, other: StoreStats) -> StoreStats {
+        StoreStats {
+            dropped_lines: self.dropped_lines + other.dropped_lines,
+            write_retries: self.write_retries + other.write_retries,
+            rejected_files: self.rejected_files + other.rejected_files,
+            swept_files: self.swept_files + other.swept_files,
+        }
+    }
+}
+
 enum Stored<T> {
     Memory(Vec<T>),
     Disk(PathBuf),
@@ -96,22 +134,187 @@ pub struct LineStore<T: BusCell> {
     used: u64,
     dir: Option<PathBuf>,
     prefix: &'static str,
+    fingerprint: u64,
+    persist: bool,
+    stats: StoreStats,
     lines: BTreeMap<usize, Line<T>>,
     partial: HashMap<usize, Partial<T>>,
 }
 
 impl<T: BusCell> LineStore<T> {
-    /// Create a store with the given budget. `prefix` names disk files
-    /// (`<prefix>-<index>.bin`).
-    pub fn new(backend: &SraBackend, budget: u64, prefix: &'static str) -> std::io::Result<Self> {
+    fn fresh(
+        backend: &SraBackend,
+        budget: u64,
+        prefix: &'static str,
+        fingerprint: u64,
+    ) -> Result<Self, StorageError> {
         let dir = match backend {
             SraBackend::Memory => None,
             SraBackend::Disk(d) => {
-                fs::create_dir_all(d)?;
+                fs::create_dir_all(d).map_err(|e| StorageError::Io {
+                    path: d.clone(),
+                    op: "create_dir_all",
+                    msg: e.to_string(),
+                })?;
                 Some(d.clone())
             }
         };
-        Ok(LineStore { budget, used: 0, dir, prefix, lines: BTreeMap::new(), partial: HashMap::new() })
+        Ok(LineStore {
+            budget,
+            used: 0,
+            dir,
+            prefix,
+            fingerprint,
+            persist: false,
+            stats: StoreStats::default(),
+            lines: BTreeMap::new(),
+            partial: HashMap::new(),
+        })
+    }
+
+    /// Files in this store's directory that belong to this store's prefix:
+    /// `<prefix>-<index>-<origin>.bin` plus their `.tmp` staging siblings.
+    fn own_files(&self) -> Result<Vec<(PathBuf, bool /* is_tmp */)>, StorageError> {
+        let Some(dir) = &self.dir else { return Ok(Vec::new()) };
+        let rd = fs::read_dir(dir).map_err(|e| StorageError::Io {
+            path: dir.clone(),
+            op: "read_dir",
+            msg: e.to_string(),
+        })?;
+        let mut out = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| StorageError::Io {
+                path: dir.clone(),
+                op: "read_dir",
+                msg: e.to_string(),
+            })?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&format!("{}-", self.prefix)) {
+                continue;
+            }
+            if name.ends_with(".bin") {
+                out.push((entry.path(), false));
+            } else if name.ends_with(".bin.tmp") {
+                out.push((entry.path(), true));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Create a store with the given budget. `prefix` names disk files
+    /// (`<prefix>-<index>-<origin>.bin`); `fingerprint` identifies the job
+    /// (see [`storage::job_fingerprint`]) and is stamped into every frame.
+    ///
+    /// On a disk backend, orphaned files under this prefix — left behind
+    /// by a crashed prior run — are swept (deleted and counted in
+    /// [`StoreStats::swept_files`]): a *fresh* store must never silently
+    /// coexist with stale state it would otherwise leak forever.
+    pub fn new(
+        backend: &SraBackend,
+        budget: u64,
+        prefix: &'static str,
+        fingerprint: u64,
+    ) -> Result<Self, StorageError> {
+        let mut store = Self::fresh(backend, budget, prefix, fingerprint)?;
+        for (path, _) in store.own_files()? {
+            if fs::remove_file(&path).is_ok() {
+                store.stats.swept_files += 1;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Rebuild a disk-backed store's index from the files a previous run
+    /// left behind (crash-recovery for Stage 1's special rows). Every
+    /// candidate file is fully validated — magic, job fingerprint, header
+    /// vs. file name, payload length, CRC32 — before adoption; files that
+    /// fail any check (truncated, bit-flipped, misnamed, foreign job) are
+    /// deleted and counted in [`StoreStats::rejected_files`], never
+    /// decoded into cells. Stale `.tmp` siblings from an interrupted write
+    /// are swept. Completed lines beyond the budget are dropped (and their
+    /// files deleted), smallest index first.
+    pub fn reopen(
+        backend: &SraBackend,
+        budget: u64,
+        prefix: &'static str,
+        fingerprint: u64,
+    ) -> Result<Self, StorageError> {
+        let mut store = Self::fresh(backend, budget, prefix, fingerprint)?;
+        let mut found: Vec<(usize, usize, PathBuf)> = Vec::new();
+        for (path, is_tmp) in store.own_files()? {
+            if is_tmp {
+                // An interrupted write: the frame never made it to its
+                // final name, so nothing references it.
+                if fs::remove_file(&path).is_ok() {
+                    store.stats.swept_files += 1;
+                }
+                continue;
+            }
+            let named = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix(&format!("{prefix}-")))
+                .and_then(|n| n.strip_suffix(".bin"))
+                .and_then(|rest| {
+                    let (idx, origin) = rest.split_once('-')?;
+                    Some((idx.parse::<usize>().ok()?, origin.parse::<usize>().ok()?))
+                });
+            let Some((idx, origin)) = named else {
+                // Matches the prefix but not the naming scheme: reject.
+                let _ = fs::remove_file(&path);
+                store.stats.rejected_files += 1;
+                continue;
+            };
+            match storage::read_frame(&path, fingerprint) {
+                Ok((meta, _)) if meta.index == idx as u64 && meta.origin == origin as u64 => {
+                    found.push((idx, origin, path));
+                }
+                // Valid frame under the wrong name (copied/renamed by
+                // hand, or cross-linked by a sick filesystem): the name is
+                // what indexing trusts, so treat as corrupt.
+                Ok(_) | Err(_) => {
+                    let _ = fs::remove_file(&path);
+                    store.stats.rejected_files += 1;
+                }
+            }
+        }
+        found.sort();
+        for (idx, origin, path) in found {
+            let len_bytes = fs::metadata(&path)
+                .map(|m| m.len().saturating_sub(storage::FRAME_HEADER_BYTES as u64))
+                .unwrap_or(0);
+            if store.used + len_bytes > budget {
+                if fs::remove_file(&path).is_ok() {
+                    store.stats.swept_files += 1;
+                }
+                continue;
+            }
+            store.used += len_bytes;
+            store.lines.insert(
+                idx,
+                Line { origin, len: (len_bytes / CELL_BYTES) as usize, data: Stored::Disk(path) },
+            );
+        }
+        Ok(store)
+    }
+
+    /// Keep (or stop keeping) disk files alive past this store's drop.
+    /// The pipeline sets this when checkpointing is on, so an error
+    /// return — or a simulated crash — leaves the special lines on disk
+    /// for the resumed run to [`LineStore::reopen`].
+    pub fn persist_on_drop(&mut self, persist: bool) {
+        self.persist = persist;
+    }
+
+    /// Storage-health counters accumulated so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The job fingerprint this store stamps into its frames.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Begin accepting segments for line `index`, covering coordinates
@@ -133,6 +336,13 @@ impl<T: BusCell> LineStore<T> {
     /// Store a segment of line `index` starting at absolute coordinate
     /// `at`. Segments for untracked lines are ignored (returns `false`).
     /// Returns `true` when this segment completed the line.
+    ///
+    /// On the disk backend a completed line is persisted through
+    /// [`storage::write_frame`] (atomic, retried). If the write still
+    /// fails — disk full, persistent I/O error — the line is *dropped*:
+    /// its budget is refunded, [`StoreStats::dropped_lines`] grows, and
+    /// the store carries on. The pipeline is correct with any subset of
+    /// special lines; a panic here would cost an 18-hour Stage 1.
     pub fn put_segment(&mut self, index: usize, at: usize, cells: impl Iterator<Item = T>) -> bool {
         let Some(p) = self.partial.get_mut(&index) else {
             return false;
@@ -151,29 +361,44 @@ impl<T: BusCell> LineStore<T> {
             }
             *slot = Some(cell);
         }
-        if p.filled == p.cells.len() {
-            let p = self.partial.remove(&index).expect("just present");
-            let origin = p.origin;
-            let len = p.cells.len();
-            let data: Vec<T> = p.cells.into_iter().map(|c| c.expect("filled")).collect();
-            let stored = match &self.dir {
-                None => Stored::Memory(data),
-                Some(dir) => {
-                    let path = dir.join(format!("{}-{index}-{origin}.bin", self.prefix));
-                    let mut buf = Vec::with_capacity(data.len() * CELL_BYTES as usize);
-                    for c in &data {
-                        buf.extend_from_slice(&c.encode());
-                    }
-                    let mut f = fs::File::create(&path).expect("create special line file");
-                    f.write_all(&buf).expect("write special line");
-                    Stored::Disk(path)
-                }
-            };
-            self.lines.insert(index, Line { origin, len, data: stored });
-            true
-        } else {
-            false
+        if p.filled != p.cells.len() {
+            return false;
         }
+        let Some(p) = self.partial.remove(&index) else { return false };
+        let origin = p.origin;
+        let len = p.cells.len();
+        let data: Vec<T> = p.cells.into_iter().flatten().collect();
+        debug_assert_eq!(data.len(), len, "filled == len guarantees no None cells");
+        let stored = match &self.dir {
+            None => Stored::Memory(data),
+            Some(dir) => {
+                let path = dir.join(format!("{}-{index}-{origin}.bin", self.prefix));
+                let mut buf = Vec::with_capacity(len * CELL_BYTES as usize);
+                for c in &data {
+                    buf.extend_from_slice(&c.encode());
+                }
+                let meta = FrameMeta {
+                    fingerprint: self.fingerprint,
+                    index: index as u64,
+                    origin: origin as u64,
+                    len: len as u64,
+                };
+                match storage::write_frame(&path, &meta, &buf) {
+                    Ok(retries) => {
+                        self.stats.write_retries += retries as u64;
+                        Stored::Disk(path)
+                    }
+                    Err(_) => {
+                        // Degrade: drop this line, refund its budget.
+                        self.used -= CELL_BYTES * len as u64;
+                        self.stats.dropped_lines += 1;
+                        return false;
+                    }
+                }
+            }
+        };
+        self.lines.insert(index, Line { origin, len, data: stored });
+        true
     }
 
     /// Completed line indices, ascending.
@@ -194,21 +419,29 @@ impl<T: BusCell> LineStore<T> {
         self.lines.range(lo + 1..hi).map(|(k, _)| *k).collect()
     }
 
-    /// Read a completed line: `(origin, cells)`.
-    pub fn get(&self, index: usize) -> Option<(usize, Vec<T>)> {
-        let line = self.lines.get(&index)?;
+    /// Read a completed line: `Ok(Some((origin, cells)))`. Unknown indices
+    /// are `Ok(None)`; a disk line that fails validation (truncated,
+    /// bit-flipped, foreign) is a typed error — the caller decides whether
+    /// to drop the line and degrade or abort the stage.
+    pub fn get(&self, index: usize) -> Result<Option<(usize, Vec<T>)>, StorageError> {
+        let Some(line) = self.lines.get(&index) else { return Ok(None) };
         let cells = match &line.data {
             Stored::Memory(v) => v.clone(),
             Stored::Disk(path) => {
-                let mut buf = Vec::new();
-                fs::File::open(path)
-                    .and_then(|mut f| f.read_to_end(&mut buf))
-                    .expect("read special line");
-                assert_eq!(buf.len(), line.len * CELL_BYTES as usize, "truncated line file");
-                buf.chunks_exact(8).map(|c| T::decode(c.try_into().unwrap())).collect()
+                let (meta, payload) = storage::read_frame(path, self.fingerprint)?;
+                if meta.index != index as u64 || meta.origin != line.origin as u64 {
+                    return Err(StorageError::Corrupt {
+                        path: path.clone(),
+                        reason: format!(
+                            "frame header names line {}@{}, store expected {index}@{}",
+                            meta.index, meta.origin, line.origin
+                        ),
+                    });
+                }
+                payload.chunks_exact(8).map(|c| T::decode(c.try_into().unwrap())).collect()
             }
         };
-        Some((line.origin, cells))
+        Ok(Some((line.origin, cells)))
     }
 
     /// Serialize the in-flight (incomplete) lines — the state a Stage-1
@@ -304,7 +537,7 @@ impl<T: BusCell> LineStore<T> {
         }
     }
 
-    /// Drop a completed line, freeing its budget.
+    /// Drop a completed line, freeing its budget (and its disk file).
     pub fn remove(&mut self, index: usize) {
         if let Some(line) = self.lines.remove(&index) {
             self.used -= CELL_BYTES * line.len as u64;
@@ -314,46 +547,15 @@ impl<T: BusCell> LineStore<T> {
         }
     }
 
-    /// Rebuild a disk-backed store's index from the files a previous run
-    /// left behind (crash-recovery for Stage 1's special rows). Files are
-    /// named `<prefix>-<index>-<origin>.bin`; unparsable names are
-    /// ignored. Completed lines beyond the budget are dropped (and their
-    /// files deleted), smallest index first.
-    pub fn reopen(backend: &SraBackend, budget: u64, prefix: &'static str) -> std::io::Result<Self> {
-        let mut store = Self::new(backend, budget, prefix)?;
-        let Some(dir) = store.dir.clone() else {
-            return Ok(store);
-        };
-        let mut found: Vec<(usize, usize, PathBuf, u64)> = Vec::new();
-        for entry in fs::read_dir(&dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            let Some(rest) = name.strip_prefix(&format!("{prefix}-")) else { continue };
-            let Some(rest) = rest.strip_suffix(".bin") else { continue };
-            let Some((idx, origin)) = rest.split_once('-') else { continue };
-            let (Ok(idx), Ok(origin)) = (idx.parse::<usize>(), origin.parse::<usize>()) else {
-                continue;
-            };
-            let len_bytes = entry.metadata()?.len();
-            if len_bytes % CELL_BYTES != 0 {
-                continue; // truncated write: discard
-            }
-            found.push((idx, origin, entry.path(), len_bytes));
+    /// Drop every line and partial, deleting all disk files. Called on the
+    /// success path so a finished run leaves no state behind regardless of
+    /// [`LineStore::persist_on_drop`].
+    pub fn clear(&mut self) {
+        let indices: Vec<usize> = self.lines.keys().copied().collect();
+        for i in indices {
+            self.remove(i);
         }
-        found.sort();
-        for (idx, origin, path, len_bytes) in found {
-            if store.used + len_bytes > budget {
-                let _ = fs::remove_file(&path);
-                continue;
-            }
-            store.used += len_bytes;
-            store.lines.insert(
-                idx,
-                Line { origin, len: (len_bytes / CELL_BYTES) as usize, data: Stored::Disk(path) },
-            );
-        }
-        Ok(store)
+        self.abort_partials();
     }
 
     /// Bytes currently accounted against the budget.
@@ -379,7 +581,7 @@ impl<T: BusCell> LineStore<T> {
 
 impl<T: BusCell> Drop for LineStore<T> {
     fn drop(&mut self) {
-        if self.dir.is_some() {
+        if self.dir.is_some() && !self.persist {
             let indices: Vec<usize> = self.lines.keys().copied().collect();
             for i in indices {
                 self.remove(i);
@@ -391,10 +593,24 @@ impl<T: BusCell> Drop for LineStore<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::fault;
     use sw_core::scoring::NEG_INF;
+
+    const FP: u64 = 0x5EED;
 
     fn hf(h: Score) -> CellHF {
         CellHF { h, f: h - 7 }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cudalign-sra-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
     }
 
     #[test]
@@ -409,12 +625,12 @@ mod tests {
     #[test]
     fn segments_assemble_into_lines() {
         let mut store: LineStore<CellHF> =
-            LineStore::new(&SraBackend::Memory, 1 << 20, "row").unwrap();
+            LineStore::new(&SraBackend::Memory, 1 << 20, "row", FP).unwrap();
         assert!(store.try_begin_line(8, 0, 5));
         assert!(!store.put_segment(8, 0, [hf(1), hf(2)].into_iter()));
         assert!(!store.put_segment(8, 3, [hf(4), hf(5)].into_iter()));
         assert!(store.put_segment(8, 2, [hf(3)].into_iter()));
-        let (origin, cells) = store.get(8).unwrap();
+        let (origin, cells) = store.get(8).unwrap().unwrap();
         assert_eq!(origin, 0);
         assert_eq!(cells.iter().map(|c| c.h).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
         assert_eq!(store.len(), 1);
@@ -423,7 +639,8 @@ mod tests {
 
     #[test]
     fn budget_is_enforced() {
-        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 100, "row").unwrap();
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 100, "row", FP).unwrap();
         assert!(store.try_begin_line(1, 0, 10)); // 80 bytes
         assert!(!store.try_begin_line(2, 0, 10), "would exceed 100 bytes");
         assert!(store.try_begin_line(3, 0, 2)); // 16 more = 96
@@ -435,21 +652,24 @@ mod tests {
 
     #[test]
     fn segments_for_untracked_lines_are_ignored() {
-        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 64, "row").unwrap();
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 64, "row", FP).unwrap();
         assert!(!store.put_segment(3, 0, [hf(1)].into_iter()));
-        assert!(store.get(3).is_none());
+        assert!(store.get(3).unwrap().is_none());
     }
 
     #[test]
     fn duplicate_begin_rejected() {
-        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         assert!(store.try_begin_line(5, 0, 4));
         assert!(!store.try_begin_line(5, 0, 4));
     }
 
     #[test]
     fn navigation_helpers() {
-        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         for idx in [4usize, 8, 12] {
             store.try_begin_line(idx, 0, 1);
             store.put_segment(idx, 0, [hf(idx as Score)].into_iter());
@@ -465,10 +685,11 @@ mod tests {
 
     #[test]
     fn disk_backend_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("sra-test-{}", std::process::id()));
+        let _guard = fault::test_guard();
+        let dir = tmpdir("roundtrip");
         {
             let mut store: LineStore<CellHE> =
-                LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "col").unwrap();
+                LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "col", FP).unwrap();
             store.try_begin_line(7, 3, 4);
             store.put_segment(
                 7,
@@ -476,16 +697,202 @@ mod tests {
                 [CellHE { h: 1, e: NEG_INF }, CellHE { h: -2, e: 5 }, CellHE { h: 3, e: 4 }, CellHE { h: 9, e: 9 }]
                     .into_iter(),
             );
-            let (origin, cells) = store.get(7).unwrap();
+            let (origin, cells) = store.get(7).unwrap().unwrap();
             assert_eq!(origin, 3);
             assert_eq!(cells[0], CellHE { h: 1, e: NEG_INF });
             assert_eq!(cells[3], CellHE { h: 9, e: 9 });
-            // File exists on disk with the right size.
+            // File exists on disk: framed, so header + 32 payload bytes.
             let path = dir.join("col-7-3.bin");
-            assert_eq!(fs::metadata(&path).unwrap().len(), 32);
+            assert_eq!(
+                fs::metadata(&path).unwrap().len(),
+                storage::FRAME_HEADER_BYTES as u64 + 32
+            );
         }
-        // Dropped store cleans its files.
+        // Dropped store cleans its files (persist_on_drop defaults off).
         assert!(fs::read_dir(&dir).map(|d| d.count() == 0).unwrap_or(true));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn new_sweeps_orphans_but_reopen_adopts() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("sweep");
+        {
+            let mut store: LineStore<CellHF> =
+                LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "row", FP).unwrap();
+            store.try_begin_line(5, 0, 2);
+            store.put_segment(5, 0, [hf(1), hf(2)].into_iter());
+            store.persist_on_drop(true);
+        }
+        // A stale tmp sibling and an unrelated-prefix file join the orphan.
+        fs::write(dir.join("row-9-0.bin.tmp"), b"half a frame").unwrap();
+        fs::write(dir.join("col-1-0.bin"), b"other store's file").unwrap();
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 3);
+
+        // reopen adopts the valid line and sweeps only the tmp.
+        let reopened: LineStore<CellHF> =
+            LineStore::reopen(&SraBackend::Disk(dir.clone()), 1 << 20, "row", FP).unwrap();
+        assert_eq!(reopened.indices(), vec![5]);
+        assert_eq!(reopened.get(5).unwrap().unwrap().1.len(), 2);
+        assert_eq!(reopened.stats().swept_files, 1, "tmp sibling swept");
+        assert_eq!(reopened.stats().rejected_files, 0);
+        drop(reopened); // deletes row-5-0.bin (persist off by default)
+
+        fs::write(dir.join("row-3-0.bin"), b"orphan from a crashed run").unwrap();
+        fs::write(dir.join("row-4-0.bin.tmp"), b"torn").unwrap();
+        let store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "row", FP).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.stats().swept_files, 2, "orphan + tmp swept on new");
+        assert!(!dir.join("row-3-0.bin").exists());
+        assert!(dir.join("col-1-0.bin").exists(), "other prefix untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_rejects_foreign_and_corrupt_files() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("reject");
+        let backend = SraBackend::Disk(dir.clone());
+        {
+            let mut store: LineStore<CellHF> =
+                LineStore::new(&backend, 1 << 20, "row", FP).unwrap();
+            for idx in [2usize, 4, 6] {
+                store.try_begin_line(idx, 0, 3);
+                store.put_segment(idx, 0, (0..3).map(|k| hf(k as Score)));
+            }
+            store.persist_on_drop(true);
+        }
+        // Corrupt line 2 (bit flip in the payload), truncate line 4.
+        let p2 = dir.join("row-2-0.bin");
+        let mut b = fs::read(&p2).unwrap();
+        let at = b.len() - 3;
+        b[at] ^= 0x40;
+        fs::write(&p2, &b).unwrap();
+        let p4 = dir.join("row-4-0.bin");
+        let b = fs::read(&p4).unwrap();
+        fs::write(&p4, &b[..b.len() / 2]).unwrap();
+
+        let reopened: LineStore<CellHF> =
+            LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
+        assert_eq!(reopened.indices(), vec![6], "only the intact line survives");
+        assert_eq!(reopened.stats().rejected_files, 2);
+        assert!(!p2.exists() && !p4.exists(), "rejected files are deleted");
+        drop(reopened);
+
+        // A whole store written under another job's fingerprint.
+        {
+            let mut store: LineStore<CellHF> =
+                LineStore::new(&backend, 1 << 20, "row", FP + 1).unwrap();
+            store.try_begin_line(8, 0, 2);
+            store.put_segment(8, 0, [hf(1), hf(2)].into_iter());
+            store.persist_on_drop(true);
+        }
+        let reopened: LineStore<CellHF> =
+            LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
+        assert!(reopened.is_empty(), "foreign-fingerprint file not adopted");
+        assert_eq!(reopened.stats().rejected_files, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_rejects_misnamed_files() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("misnamed");
+        let backend = SraBackend::Disk(dir.clone());
+        {
+            let mut store: LineStore<CellHF> =
+                LineStore::new(&backend, 1 << 20, "row", FP).unwrap();
+            store.try_begin_line(5, 0, 2);
+            store.put_segment(5, 0, [hf(1), hf(2)].into_iter());
+            store.persist_on_drop(true);
+        }
+        // A valid frame copied under the wrong name: header says line 5,
+        // name says line 7. Adopting it would hand Stage 2 the wrong row.
+        fs::copy(dir.join("row-5-0.bin"), dir.join("row-7-0.bin")).unwrap();
+        let reopened: LineStore<CellHF> =
+            LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
+        assert_eq!(reopened.indices(), vec![5]);
+        assert_eq!(reopened.stats().rejected_files, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failure_drops_line_and_degrades() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("degrade");
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "row", FP).unwrap();
+        assert!(store.try_begin_line(4, 0, 2));
+        let used = store.bytes_used();
+        fault::arm_write(0, fault::WriteFault::Enospc, 1);
+        let completed = store.put_segment(4, 0, [hf(1), hf(2)].into_iter());
+        fault::disarm_all();
+        assert!(!completed, "line did not complete");
+        assert!(store.get(4).unwrap().is_none(), "line is gone, not half-stored");
+        assert_eq!(store.stats().dropped_lines, 1);
+        assert_eq!(store.bytes_used(), used - 16, "budget refunded");
+        // The store still works for the next line.
+        assert!(store.try_begin_line(8, 0, 1));
+        assert!(store.put_segment(8, 0, [hf(9)].into_iter()));
+        assert!(store.get(8).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_write_failures_recover_with_retries() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("transient");
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "row", FP).unwrap();
+        assert!(store.try_begin_line(2, 0, 1));
+        fault::arm_write(0, fault::WriteFault::Transient, 1);
+        assert!(store.put_segment(2, 0, [hf(5)].into_iter()));
+        fault::disarm_all();
+        assert_eq!(store.stats().write_retries, 1);
+        assert_eq!(store.stats().dropped_lines, 0);
+        assert_eq!(store.get(2).unwrap().unwrap().1[0].h, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_get_is_a_typed_error_and_removable() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("corrupt-get");
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "row", FP).unwrap();
+        store.try_begin_line(6, 0, 2);
+        store.put_segment(6, 0, [hf(1), hf(2)].into_iter());
+        // Corrupt the file behind the store's back.
+        let path = dir.join("row-6-0.bin");
+        let mut b = fs::read(&path).unwrap();
+        let last = b.len() - 1;
+        b[last] ^= 0x01;
+        fs::write(&path, &b).unwrap();
+        match store.get(6) {
+            Err(StorageError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        store.remove(6);
+        assert!(store.get(6).unwrap().is_none());
+        assert_eq!(store.bytes_used(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("clear");
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Disk(dir.clone()), 1 << 20, "row", FP).unwrap();
+        store.try_begin_line(1, 0, 2);
+        store.put_segment(1, 0, [hf(1), hf(2)].into_iter());
+        store.try_begin_line(3, 0, 4);
+        store.persist_on_drop(true);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.bytes_used(), 0);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "disk files deleted");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -503,62 +910,70 @@ mod partial_snapshot_tests {
     use super::*;
     use sw_core::scoring::Score;
 
+    const FP: u64 = 0x5EED;
+
     fn hf(h: Score) -> CellHF {
         CellHF { h, f: h - 1 }
     }
 
     #[test]
     fn partials_roundtrip() {
-        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         store.try_begin_line(8, 0, 5);
         store.put_segment(8, 1, [hf(10), hf(11)].into_iter());
         store.try_begin_line(16, 2, 3);
         store.put_segment(16, 3, [hf(20)].into_iter());
         let bytes = store.encode_partials();
 
-        let mut fresh: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut fresh: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         assert!(fresh.restore_partials(&bytes));
         // Completing the restored partials yields identical lines.
         fresh.put_segment(8, 0, [hf(9)].into_iter());
         fresh.put_segment(8, 3, [hf(12), hf(13)].into_iter());
-        let (origin, cells) = fresh.get(8).unwrap();
+        let (origin, cells) = fresh.get(8).unwrap().unwrap();
         assert_eq!(origin, 0);
         assert_eq!(cells.iter().map(|c| c.h).collect::<Vec<_>>(), vec![9, 10, 11, 12, 13]);
         // Idempotence: re-putting a segment present in the snapshot is fine.
         fresh.put_segment(16, 3, [hf(20)].into_iter());
         fresh.put_segment(16, 2, [hf(19)].into_iter());
-        assert!(fresh.get(16).is_none(), "still missing index 4");
+        assert!(fresh.get(16).unwrap().is_none(), "still missing index 4");
         fresh.put_segment(16, 4, [hf(21)].into_iter());
-        assert!(fresh.get(16).is_some());
+        assert!(fresh.get(16).unwrap().is_some());
     }
 
     #[test]
     fn restore_rejects_garbage_and_respects_budget() {
-        let mut store: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut store: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         assert!(!store.restore_partials(b"nope"));
         assert!(!store.restore_partials(b"SRAP\x01\x00\x00\x00\x00\x00\x00\x00"));
         // Oversized partial vs budget: skipped, not an error.
-        let mut big: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut big: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         big.try_begin_line(1, 0, 100);
         let bytes = big.encode_partials();
-        let mut tiny: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 64, "r").unwrap();
+        let mut tiny: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 64, "r", FP).unwrap();
         assert!(tiny.restore_partials(&bytes));
         assert_eq!(tiny.bytes_used(), 0, "over-budget partial skipped");
     }
 
     #[test]
     fn restore_skips_already_tracked_lines() {
-        let mut a: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut a: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         a.try_begin_line(4, 0, 2);
         a.put_segment(4, 0, [hf(1)].into_iter());
         let bytes = a.encode_partials();
         // The target already completed line 4.
-        let mut b: LineStore<CellHF> = LineStore::new(&SraBackend::Memory, 1 << 20, "r").unwrap();
+        let mut b: LineStore<CellHF> =
+            LineStore::new(&SraBackend::Memory, 1 << 20, "r", FP).unwrap();
         b.try_begin_line(4, 0, 2);
         b.put_segment(4, 0, [hf(7), hf(8)].into_iter());
         let used = b.bytes_used();
         assert!(b.restore_partials(&bytes));
         assert_eq!(b.bytes_used(), used, "no double accounting");
-        assert_eq!(b.get(4).unwrap().1[0].h, 7, "completed line untouched");
+        assert_eq!(b.get(4).unwrap().unwrap().1[0].h, 7, "completed line untouched");
     }
 }

@@ -10,6 +10,7 @@
 use crate::config::PipelineConfig;
 use crate::pipeline::StageError;
 use crate::sra::{self, LineStore};
+use crate::storage;
 use gpu_sim::wavefront::{self, RegionJob};
 use gpu_sim::{BlockCoords, CellHE, CellHF, Mode, TileOutcome, WorkerPool};
 use std::ops::ControlFlow;
@@ -35,6 +36,9 @@ pub struct Stage1Result {
     /// External diagonal this run actually resumed from (0 = fresh run or
     /// a stale snapshot that was ignored).
     pub resumed_from_diagonal: usize,
+    /// Checkpoint snapshots that failed to persist during this run (the
+    /// run continued; resumability degraded to the last good snapshot).
+    pub checkpoint_failures: u64,
 }
 
 struct Stage1Observer<'s> {
@@ -46,6 +50,8 @@ struct Stage1Observer<'s> {
     /// Directory receiving combined checkpoints (engine state + in-flight
     /// special-row segments).
     ckpt_dir: Option<std::path::PathBuf>,
+    /// Snapshots that failed to persist (counted, not fatal).
+    ckpt_failures: u64,
 }
 
 impl Stage1Observer<'_> {
@@ -69,6 +75,15 @@ impl gpu_sim::WavefrontObserver for Stage1Observer<'_> {
         bottom: &[CellHF],
         _right: &[CellHE],
     ) -> ControlFlow<()> {
+        // Simulated process kill (fault injection): abort the wavefront at
+        // the armed external diagonal. run_resumable turns the aborted
+        // result into a typed StageError::Interrupted — the torture tests
+        // then resume from the last checkpoint like a restarted process.
+        if let Some(k) = storage::fault::stage1_kill() {
+            if block.diagonal >= k {
+                return ControlFlow::Break(());
+            }
+        }
         if !self.is_special_block_row(block) {
             return ControlFlow::Continue(());
         }
@@ -88,12 +103,15 @@ impl gpu_sim::WavefrontObserver for Stage1Observer<'_> {
     fn on_checkpoint(&mut self, state: &gpu_sim::wavefront::EngineState) {
         let Some(dir) = &self.ckpt_dir else { return };
         let bytes = encode_checkpoint(state, self.rows);
-        // Atomic replace so a crash mid-write never corrupts the previous
-        // snapshot.
-        let tmp = dir.join("stage1.ckpt.tmp");
+        // Checksummed envelope + tmp/rename replace: a crash mid-write
+        // never corrupts the previous snapshot, and a torn or bit-flipped
+        // snapshot is rejected on load instead of resuming from garbage.
+        // A failed write is not fatal — the run continues with the last
+        // good snapshot — but it is *counted* so the operator learns that
+        // resumability is degraded.
         let path = dir.join("stage1.ckpt");
-        if std::fs::write(&tmp, bytes).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        if storage::write_checksummed(&path, self.rows.fingerprint(), &bytes).is_err() {
+            self.ckpt_failures += 1;
         }
     }
 }
@@ -124,6 +142,19 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Option<(gpu_sim::wavefront::EngineStat
     let (engine, partials) = rest.split_at_checked(engine_len)?;
     let state = gpu_sim::wavefront::EngineState::decode(engine)?;
     Some((state, partials.to_vec()))
+}
+
+/// Load a combined checkpoint written by the Stage-1 observer: validate
+/// the checksummed envelope (magic, job fingerprint, CRC32) and parse the
+/// inner `CKS1` payload. Any failure — missing file, truncation, bit
+/// flip, foreign fingerprint, malformed payload — yields `None`: starting
+/// fresh is always correct, resuming from garbage never is.
+pub fn load_checkpoint(
+    dir: &std::path::Path,
+    fingerprint: u64,
+) -> Option<(gpu_sim::wavefront::EngineState, Vec<u8>)> {
+    let bytes = storage::read_checksummed(&dir.join("stage1.ckpt"), fingerprint).ok()?;
+    decode_checkpoint(&bytes)
 }
 
 /// Run Stage 1 on the shared worker pool.
@@ -170,6 +201,7 @@ pub fn run_resumable(
         m,
         n,
         ckpt_dir: checkpoint.map(|(dir, _)| dir.to_path_buf()),
+        ckpt_failures: 0,
     };
     let before = observer.rows.bytes_used();
     // A snapshot from a different job (other sequences, scoring, mode or
@@ -192,6 +224,17 @@ pub fn run_resumable(
     }
     let resumed_from_diagonal = resume.as_ref().map_or(0, |st| st.next_diagonal);
     let res = wavefront::run_resumable_pooled(pool, &job, &mut observer, resume, checkpoint_every)?;
+    let checkpoint_failures = observer.ckpt_failures;
+
+    if res.aborted {
+        // The observer broke out of the wavefront (a simulated kill). The
+        // partial best score MUST NOT leak out as a result — that would be
+        // a silently wrong alignment. Surface a typed error; with
+        // checkpointing on, the caller resumes from the last snapshot.
+        return Err(StageError::Interrupted {
+            diagonal: resumed_from_diagonal + res.diagonals_run,
+        });
+    }
 
     let (best_score, end) = match res.best {
         Some((s, i, j)) => (s, (i, j)),
@@ -206,6 +249,7 @@ pub fn run_resumable(
         flush_interval_blocks: flush_every,
         vram_bytes: gpu_sim::DeviceModel::bus_bytes(m, n),
         resumed_from_diagonal,
+        checkpoint_failures,
     })
 }
 
@@ -242,7 +286,7 @@ mod tests {
         let (a, b) = related(1, 200);
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let res = run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let (score, end) = sw_local_score(&a, &b, &cfg.scoring);
         assert_eq!(res.best_score, score);
@@ -264,7 +308,7 @@ mod tests {
         let (a, b) = related(2, 96);
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         run(&a, &b, &cfg, &pool, &mut rows).unwrap();
 
         // Local-mode reference via a clamped row DP.
@@ -282,7 +326,7 @@ mod tests {
                 h_cur[j] = h;
             }
             std::mem::swap(&mut h_prev, &mut h_cur);
-            if let Some((origin, cells)) = rows.get(i) {
+            if let Some((origin, cells)) = rows.get(i).unwrap() {
                 assert_eq!(origin, 0);
                 for j in 0..=b.len() {
                     assert_eq!(cells[j].h, h_prev[j], "row {i} col {j} H");
@@ -302,7 +346,7 @@ mod tests {
         let mut cfg = PipelineConfig::for_tests();
         cfg.sra_bytes = 0;
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, 0, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, 0, "row", 7).unwrap();
         let res = run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         assert!(res.special_rows.is_empty());
         assert_eq!(res.flushed_bytes, 0);
@@ -317,7 +361,7 @@ mod tests {
         let b = lcg(99, 150);
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let res = run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let (score, _) = sw_local_score(&a, &b, &cfg.scoring);
         assert_eq!(res.best_score, score);
@@ -358,25 +402,24 @@ mod resume_tests {
 
         // Uninterrupted reference.
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows_ref = LineStore::new(&cfg.backend, cfg.sra_bytes, "ref-row").unwrap();
+        let mut rows_ref = LineStore::new(&cfg.backend, cfg.sra_bytes, "ref-row", 7).unwrap();
         let full = run(&a, &b, &cfg, &pool, &mut rows_ref).unwrap();
 
         // First run: let the observer write combined checkpoints to disk,
         // pretend to die after it finishes (discard the in-memory store).
         {
-            let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "row").unwrap();
+            let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "row", 7).unwrap();
             let _ = run_resumable(&a, &b, &cfg, &pool, &mut rows, None, Some((dir.as_path(), 7)));
             // `rows` dropped here would delete its files — simulate a hard
             // crash instead by forgetting it.
             std::mem::forget(rows);
         }
-        let bytes = std::fs::read(dir.join("stage1.ckpt")).expect("checkpoint written");
-        let (snap, partials) = decode_checkpoint(&bytes).expect("combined checkpoint parses");
+        let (snap, partials) = load_checkpoint(&dir, 7).expect("combined checkpoint parses");
         assert!(snap.next_diagonal > 0);
 
         // Resume: reopen the surviving rows, restore in-flight segments,
         // continue from the snapshot.
-        let mut rows = LineStore::<CellHF>::reopen(&cfg.backend, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::<CellHF>::reopen(&cfg.backend, cfg.sra_bytes, "row", 7).unwrap();
         assert!(rows.restore_partials(&partials), "partials restore");
         let survived_before = rows.len();
         let resumed = run_resumable(&a, &b, &cfg, &pool, &mut rows, Some(snap), None).unwrap();
@@ -389,9 +432,9 @@ mod resume_tests {
 
         // The resumed SRA still drives the rest of the pipeline: rows that
         // were mid-flight at the snapshot are missing, which is allowed.
-        let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col").unwrap();
+        let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col", 7).unwrap();
         let s2r =
-            crate::stage2::run(&a, &b, &cfg, &pool, resumed.best_score, resumed.end, &rows, &mut cols)
+            crate::stage2::run(&a, &b, &cfg, &pool, resumed.best_score, resumed.end, &mut rows, &mut cols)
                 .unwrap();
         assert_eq!(s2r.chain.points().last().unwrap().score, full.best_score);
 
@@ -426,15 +469,14 @@ mod stale_checkpoint_tests {
 
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let _ = run_resumable(&a, &b, &cfg, &pool, &mut rows, None, Some((dir.as_path(), 5)));
-        let bytes = std::fs::read(dir.join("stage1.ckpt")).unwrap();
-        let (snap, _) = decode_checkpoint(&bytes).unwrap();
+        let (snap, _) = load_checkpoint(&dir, 7).unwrap();
 
         // Same lengths and grid, different scoring: must run fresh.
         let mut cfg2 = PipelineConfig::for_tests();
         cfg2.scoring = sw_core::Scoring::new(2, -1, 4, 1);
-        let mut rows2 = LineStore::new(&SraBackend::Memory, cfg2.sra_bytes, "row").unwrap();
+        let mut rows2 = LineStore::new(&SraBackend::Memory, cfg2.sra_bytes, "row", 7).unwrap();
         let res = run_resumable(&a, &b, &cfg2, &pool, &mut rows2, Some(snap), None).unwrap();
         assert_eq!(res.resumed_from_diagonal, 0, "stale snapshot must be ignored");
         let (ref_score, ref_end) = sw_core::full::sw_local_score(&a, &b, &cfg2.scoring);

@@ -49,6 +49,10 @@ pub struct Stage2Result {
     /// Smallest effective block count across strips (the paper's `B_2`
     /// after the minimum-size-requirement reduction).
     pub min_blocks: usize,
+    /// Special rows found corrupt on read-back and dropped (the strip is
+    /// re-run against the next surviving row below — degradation, not
+    /// failure).
+    pub dropped_rows: u64,
 }
 
 /// A gap run value of length `k >= 1` extended from an origin-seeded gap
@@ -181,7 +185,7 @@ pub fn run(
     pool: &WorkerPool,
     best_score: Score,
     end: (usize, usize),
-    rows: &LineStore<CellHF>,
+    rows: &mut LineStore<CellHF>,
     cols: &mut LineStore<CellHE>,
 ) -> Result<Stage2Result, StageError> {
     assert!(best_score > 0, "stage 2 requires a positive best score");
@@ -197,10 +201,13 @@ pub fn run(
     let mut strips = 0usize;
     let mut vram = 0u64;
     let mut min_blocks = cfg.grid23.blocks;
+    let mut dropped_rows = 0u64;
     let guard = rows.len() + 4;
 
     while cur.score > 0 {
-        if strips > guard {
+        // Each dropped row costs one extra (aborted) strip iteration, so
+        // the convergence guard grows with the drops.
+        if strips > guard + 2 * dropped_rows as usize {
             return Err(StageError::Logic(format!(
                 "stage 2 did not converge after {strips} strips (goal {})",
                 cur.score
@@ -213,7 +220,22 @@ pub fn run(
         debug_assert!(h >= 1, "strip height must be positive");
         let origin = GlobalOrigin::reverse(cur.edge.transposed(), &sc);
 
-        let fwd = if r > 0 { rows.get(r) } else { None };
+        let fwd = if r > 0 {
+            match rows.get(r) {
+                Ok(v) => v,
+                Err(_) => {
+                    // The stored row fails validation (torn write that the
+                    // OS acknowledged, bit rot, ...). Drop it and redo the
+                    // strip against the next surviving row below: the
+                    // matching area grows, the result stays exact.
+                    rows.remove(r);
+                    dropped_rows += 1;
+                    continue;
+                }
+            }
+        } else {
+            None
+        };
         let fwd_cells = fwd.as_ref().map(|(_, c)| c.as_slice());
 
         // Upfront border check: the path may cross row `r` at column
@@ -330,6 +352,7 @@ pub fn run(
         strips,
         vram_bytes: vram,
         min_blocks,
+        dropped_rows,
     })
 }
 
@@ -366,11 +389,11 @@ mod tests {
     fn run_stage12(a: &[u8], b: &[u8]) -> (Stage2Result, Score) {
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(a, b, &cfg, &pool, &mut rows).unwrap();
         assert!(s1r.best_score > 0);
-        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(a, b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col", 7).unwrap();
+        let s2r = run(a, b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols).unwrap();
         (s2r, s1r.best_score)
     }
 
@@ -447,13 +470,13 @@ mod tests {
         let b = lcg(99, 180);
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         if s1r.best_score == 0 {
             return; // nothing to trace
         }
-        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col", 7).unwrap();
+        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols).unwrap();
         let start = s2r.chain.points()[0];
         let end = *s2r.chain.points().last().unwrap();
         assert!(end.i - start.i <= 64, "short alignment expected");
@@ -467,10 +490,10 @@ mod tests {
         let mut cfg = PipelineConfig::for_tests();
         cfg.sra_bytes = 0;
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, 0, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, 0, "row", 7).unwrap();
         let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
-        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col", 7).unwrap();
+        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols).unwrap();
         assert_eq!(s2r.chain.len(), 2, "only start and end points");
         assert_eq!(s2r.strips, 1);
     }
@@ -504,10 +527,10 @@ mod orthogonal_tests {
         }
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
-        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col", 7).unwrap();
+        let s2r = run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols).unwrap();
         let matrix = (a.len() * b.len()) as u64;
         assert!(
             s2r.cells * 3 < matrix,
@@ -517,9 +540,9 @@ mod orthogonal_tests {
         // And the area shrinks when more special rows are available.
         let mut cfg_small = PipelineConfig::for_tests();
         cfg_small.sra_bytes = 8 * (b.len() as u64 + 1) * 2; // two rows only
-        let mut rows_small = LineStore::new(&SraBackend::Memory, cfg_small.sra_bytes, "row").unwrap();
+        let mut rows_small = LineStore::new(&SraBackend::Memory, cfg_small.sra_bytes, "row", 7).unwrap();
         let s1_small = stage1::run(&a, &b, &cfg_small, &pool, &mut rows_small).unwrap();
-        let mut cols_small = LineStore::new(&SraBackend::Memory, cfg_small.sca_bytes, "col").unwrap();
+        let mut cols_small = LineStore::new(&SraBackend::Memory, cfg_small.sca_bytes, "col", 7).unwrap();
         let s2_small = run(
             &a,
             &b,
@@ -527,7 +550,7 @@ mod orthogonal_tests {
             &pool,
             s1_small.best_score,
             s1_small.end,
-            &rows_small,
+            &mut rows_small,
             &mut cols_small,
         )
         .unwrap();

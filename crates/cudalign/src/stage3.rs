@@ -36,6 +36,10 @@ pub struct Stage3Result {
     /// Smallest effective block count across bands (the paper's `B_3`
     /// after the minimum-size-requirement reduction).
     pub min_blocks: usize,
+    /// Special columns skipped because their stored line failed
+    /// validation on read-back. The partition simply is not split at a
+    /// skipped column — coarser, never wrong.
+    pub skipped_columns: u64,
 }
 
 struct BandObserver<'a> {
@@ -101,6 +105,7 @@ fn refine_partition(
     cols: &LineStore<CellHE>,
     vram: &mut u64,
     min_blocks: &mut usize,
+    skipped: &mut u64,
 ) -> Result<(Vec<Crosspoint>, u64), StageError> {
     let sc = cfg.scoring;
     let gopen = sc.gap_open();
@@ -111,7 +116,15 @@ fn refine_partition(
 
     for c in inside {
         debug_assert!(cur.j < c && c < p.end.j);
-        let (rev_origin, rev_cells) = cols.get(c).expect("stored column disappeared");
+        // A column whose stored line fails validation (or vanished) is
+        // skipped, not fatal: the partition stays unsplit at `c` and the
+        // next band just spans further. The store is shared immutably
+        // across concurrently refined partitions, so the bad line is
+        // counted here and left for the owner to discard.
+        let Ok(Some((rev_origin, rev_cells))) = cols.get(c) else {
+            *skipped += 1;
+            continue;
+        };
         let goal_rel = p.end.score - cur.score;
         let origin = GlobalOrigin::forward(cur.edge);
 
@@ -196,15 +209,16 @@ pub fn run(
     };
 
     // Per-partition outputs, merged in order afterwards.
-    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize), StageError>;
+    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize, u64), StageError>;
     let mut outputs: Vec<Option<PartOut>> = vec![None; parts.len()];
 
     let solve = |p: &Partition, cfg: &PipelineConfig| -> PartOut {
         let mut vram = 0u64;
         let mut min_blocks = cfg.grid23.blocks;
+        let mut skipped = 0u64;
         let (pts, cells) =
-            refine_partition(s0, s1, cfg, pool, p, cols, &mut vram, &mut min_blocks)?;
-        Ok((pts, cells, vram, min_blocks))
+            refine_partition(s0, s1, cfg, pool, p, cols, &mut vram, &mut min_blocks, &mut skipped)?;
+        Ok((pts, cells, vram, min_blocks, skipped))
     };
 
     if cfg.parallel_partitions && parts.len() > 1 && workers > 1 {
@@ -239,21 +253,23 @@ pub fn run(
     let mut cells = 0u64;
     let mut vram = 0u64;
     let mut min_blocks = cfg.grid23.blocks;
+    let mut skipped_columns = 0u64;
     if !chain.is_empty() {
         points.push(chain.points()[0]);
     }
     for (p, out) in parts.iter().zip(outputs) {
-        let (new_points, c, v, b) = out.expect("computed")?;
+        let (new_points, c, v, b, s) = out.expect("computed")?;
         cells += c;
         vram = vram.max(v);
         min_blocks = min_blocks.min(b);
+        skipped_columns += s;
         points.extend(new_points);
         points.push(p.end);
     }
 
     let chain = CrosspointChain::new(points);
     chain.validate()?;
-    Ok(Stage3Result { chain, cells, vram_bytes: vram, min_blocks })
+    Ok(Stage3Result { chain, cells, vram_bytes: vram, min_blocks, skipped_columns })
 }
 
 #[cfg(test)]
@@ -291,11 +307,12 @@ mod tests {
     fn run_stages(a: &[u8], b: &[u8]) -> (CrosspointChain, Stage3Result) {
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(a, b, &cfg, &pool, &mut rows).unwrap();
         assert!(s1r.best_score > 0);
-        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
-        let s2r = stage2::run(a, b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col", 7).unwrap();
+        let s2r =
+            stage2::run(a, b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols).unwrap();
         let s3r = run(a, b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         (s2r.chain, s3r)
     }
@@ -335,11 +352,12 @@ mod tests {
         let (a, b) = related(4, 120);
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
-        let mut cols = LineStore::new(&SraBackend::Memory, 0, "col").unwrap();
+        let mut cols = LineStore::new(&SraBackend::Memory, 0, "col", 7).unwrap();
         let s2r =
-            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols)
+                .unwrap();
         let s3r = run(&a, &b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         assert_eq!(s3r.chain.points(), s2r.chain.points());
         assert_eq!(s3r.cells, 0);
@@ -373,11 +391,12 @@ mod parallel_tests {
         }
         let cfg = PipelineConfig::for_tests();
         let pool = WorkerPool::new(4);
-        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row").unwrap();
+        let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
-        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col").unwrap();
+        let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col", 7).unwrap();
         let s2r =
-            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &rows, &mut cols).unwrap();
+            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols)
+                .unwrap();
 
         let seq = run(&a, &b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         let mut par_cfg = cfg.clone();

@@ -2,8 +2,10 @@
 //! quadratic-space reference on arbitrary inputs, for arbitrary grid
 //! shapes and SRA budgets.
 
-use cudalign::{Pipeline, PipelineConfig};
-use gpu_sim::GridSpec;
+use cudalign::config::SraBackend;
+use cudalign::sra::LineStore;
+use cudalign::{storage, Pipeline, PipelineConfig};
+use gpu_sim::{CellHF, GridSpec};
 use proptest::prelude::*;
 use sw_core::full::sw_local_score;
 use sw_core::Scoring;
@@ -138,5 +140,107 @@ proptest! {
             let back = cudalign::BinaryAlignment::decode(&re).unwrap();
             prop_assert_eq!(back, decoded);
         }
+    }
+}
+
+/// A fresh directory per proptest case; cases run concurrently inside one
+/// process, so the name carries a global counter besides the pid.
+fn case_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "cudalign-prop-store-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Damaging any single stored line file — truncating it anywhere,
+    /// flipping any bit, restamping it with a foreign fingerprint, or
+    /// renaming it to another line's slot — makes `reopen` reject and
+    /// delete exactly that file, never panic, never serve wrong cells;
+    /// every intact line survives byte-identical.
+    #[test]
+    fn reopen_survives_single_file_damage(
+        n_lines in 2usize..6,
+        line_len in 1usize..9,
+        victim in 0usize..8,
+        kind in 0u8..4,
+        at in any::<usize>(),
+    ) {
+        const FP: u64 = 0xF00D;
+        let dir = case_dir();
+        let backend = SraBackend::Disk(dir.clone());
+        let cell = |i: usize, k: usize| CellHF { h: (i * 100 + k) as i32, f: k as i32 - 3 };
+
+        {
+            let mut store: LineStore<CellHF> =
+                LineStore::new(&backend, 1 << 20, "row", FP).unwrap();
+            for i in 0..n_lines {
+                let idx = (i + 1) * 3;
+                prop_assert!(store.try_begin_line(idx, i, line_len));
+                prop_assert!(store.put_segment(idx, i, (0..line_len).map(|k| cell(i, k))));
+            }
+            store.persist_on_drop(true);
+        }
+
+        let vi = victim % n_lines;
+        let vidx = (vi + 1) * 3;
+        let path = dir.join(format!("row-{vidx}-{vi}.bin"));
+        let bytes = std::fs::read(&path).unwrap();
+        match kind {
+            0 => {
+                // Truncate to any strictly shorter length (torn write).
+                std::fs::write(&path, &bytes[..at % bytes.len()]).unwrap();
+            }
+            1 => {
+                // Flip one bit anywhere — header fields included.
+                let mut b = bytes;
+                let pos = at % b.len();
+                b[pos] ^= 1 << (at % 8);
+                std::fs::write(&path, &b).unwrap();
+            }
+            2 => {
+                // A fully valid frame from some other job.
+                let meta = storage::FrameMeta {
+                    fingerprint: FP + 1,
+                    index: vidx as u64,
+                    origin: vi as u64,
+                    len: line_len as u64,
+                };
+                storage::write_frame(&path, &meta, &bytes[storage::FRAME_HEADER_BYTES..])
+                    .unwrap();
+            }
+            _ => {
+                // A valid frame under the wrong name ((i+1)*3 + 1 never
+                // collides with another line's slot).
+                std::fs::rename(&path, dir.join(format!("row-{}-{vi}.bin", vidx + 1)))
+                    .unwrap();
+            }
+        }
+
+        let reopened: LineStore<CellHF> =
+            LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
+        prop_assert_eq!(reopened.stats().rejected_files, 1);
+        prop_assert!(reopened.get(vidx).unwrap().is_none(), "damaged line never served");
+        for i in (0..n_lines).filter(|&i| i != vi) {
+            let idx = (i + 1) * 3;
+            let (origin, cells) = reopened.get(idx).unwrap().unwrap();
+            prop_assert_eq!(origin, i);
+            prop_assert_eq!(cells.len(), line_len);
+            for (k, c) in cells.iter().enumerate() {
+                prop_assert_eq!(*c, cell(i, k));
+            }
+        }
+        let survivors = std::fs::read_dir(&dir).unwrap().count();
+        prop_assert_eq!(survivors, n_lines - 1, "rejected file deleted, intact kept");
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -30,9 +30,10 @@ fn main() {
     // --- The "crashing" run: stage 1 persists combined snapshots (engine
     // state + in-flight special rows) to <dir>/stage1.ckpt as it goes;
     // abandon the run and keep whatever the last snapshot captured.
+    let fp = cfg.job_fingerprint(s0.len(), s1.len());
     {
         let pool = WorkerPool::new(cfg.workers);
-        let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row").unwrap();
+        let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row", fp).unwrap();
         let t = Instant::now();
         let _ = stage1::run_resumable(
             s0.bases(),
@@ -46,12 +47,11 @@ fn main() {
         println!("full stage 1: {:.2}s", t.elapsed().as_secs_f64());
         std::mem::forget(rows); // crash: leave the special-row files behind
     }
-    let bytes = std::fs::read(dir.join("stage1.ckpt")).unwrap();
-    let (snap, _) = stage1::decode_checkpoint(&bytes).expect("snapshot parses");
+    let (snap, row_bytes) = stage1::load_checkpoint(&dir, fp).expect("snapshot parses");
     println!(
-        "simulated crash; surviving snapshot at external diagonal {} ({} bytes)",
+        "simulated crash; surviving snapshot at external diagonal {} ({} in-flight row bytes)",
         snap.next_diagonal,
-        bytes.len()
+        row_bytes.len()
     );
 
     // --- The recovery run: Pipeline::align picks the snapshot up itself.
