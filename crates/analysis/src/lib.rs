@@ -1,0 +1,923 @@
+#![warn(missing_docs)]
+
+//! # analysis — workspace invariant linter
+//!
+//! CUDAlign's correctness rests on structural invariants that `rustc`
+//! cannot see: all persistence flows through the checksummed
+//! [`cudalign::storage`] layer, all parallelism through
+//! [`gpu_sim::exec::WorkerPool`], library code reports failures as typed
+//! errors instead of panicking, and every `unsafe` block justifies itself.
+//! This crate is a source-level lint pass over the whole workspace — run
+//! as `cargo run -p analysis` and as a tier-1 test — that turns those
+//! conventions into machine-checked rules.
+//!
+//! The linter is deliberately std-only (the build environment has no
+//! registry access, the same constraint that produced the vendored
+//! `rand`/`proptest`/`criterion` stubs), so it works on a lexical scan:
+//! comments, strings and char literals are masked out, `#[cfg(test)]`
+//! regions are mapped, and each rule searches the remaining *code* text.
+//! That is cruder than a full parse but exact enough for the token-shaped
+//! invariants enforced here, and it keeps the pass fast (< 50 ms over the
+//! workspace).
+//!
+//! ## Escape hatch
+//!
+//! A violating site can be suppressed with a per-site comment on the same
+//! line or the line directly above:
+//!
+//! ```text
+//! // lint: allow(no-panics): mutex poisoning is unrecoverable here
+//! ```
+//!
+//! The justification after the rule name is mandatory — an `allow`
+//! without one is itself reported.
+//!
+//! ## Rules
+//!
+//! See [`rules`] for the registry; DESIGN.md §"Enforced invariants"
+//! documents each rule's rationale.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifier of the "no panics in library code" rule.
+pub const NO_PANICS: &str = "no-panics";
+/// Identifier of the "filesystem access only in storage.rs" rule.
+pub const FS_ISOLATION: &str = "fs-isolation";
+/// Identifier of the "thread spawning only in gpu_sim::exec" rule.
+pub const THREAD_ISOLATION: &str = "thread-isolation";
+/// Identifier of the "unsafe blocks need SAFETY comments" rule.
+pub const SAFETY_COMMENT: &str = "safety-comment";
+/// Identifier of the "no wall-clock reads in hot paths" rule.
+pub const NO_WALLCLOCK: &str = "no-wallclock";
+/// Identifier of the "public error enums are #[non_exhaustive]" rule.
+pub const NON_EXHAUSTIVE_ERRORS: &str = "non-exhaustive-errors";
+
+/// Static description of one rule in the registry.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule identifier, as used in `// lint: allow(<id>): ...`.
+    pub id: &'static str,
+    /// One-line summary of the enforced invariant.
+    pub summary: &'static str,
+}
+
+/// The rule registry.
+pub fn rules() -> &'static [RuleInfo] {
+    &[
+        RuleInfo {
+            id: NO_PANICS,
+            summary: "no unwrap()/expect()/panic! in cudalign/gpu-sim library code \
+                      (tests and bins exempt)",
+        },
+        RuleInfo {
+            id: FS_ISOLATION,
+            summary: "no direct std::fs/File access in cudalign/gpu-sim outside storage.rs \
+                      (all persistence goes through the checksummed storage layer)",
+        },
+        RuleInfo {
+            id: THREAD_ISOLATION,
+            summary: "no thread::spawn/scope/Builder outside gpu_sim::exec and the baselines \
+                      crate (all parallelism goes through the WorkerPool)",
+        },
+        RuleInfo {
+            id: SAFETY_COMMENT,
+            summary: "every `unsafe` is directly preceded by a // SAFETY: comment",
+        },
+        RuleInfo {
+            id: NO_WALLCLOCK,
+            summary: "no Instant/SystemTime in gpu-sim kernel/wavefront/multi/exec hot paths \
+                      (stats structs exempt)",
+        },
+        RuleInfo {
+            id: NON_EXHAUSTIVE_ERRORS,
+            summary: "public enums named *Error carry #[non_exhaustive]",
+        },
+    ]
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of the [`rules`] ids).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Outcome of a workspace lint pass.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All violations, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Sites suppressed by a justified `// lint: allow(...)`.
+    pub suppressed: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Lexical scan: mask comments/strings, map test regions.
+// ---------------------------------------------------------------------------
+
+/// A scanned source file: code with comments/strings blanked out (byte
+/// offsets and line structure preserved), per-line comment text, and the
+/// line regions belonging to `#[cfg(test)]` / `#[test]` items and
+/// `struct *Stats` bodies.
+struct Scan {
+    rel_path: String,
+    /// Per-line masked code (comments and literal contents replaced by
+    /// spaces).
+    code: Vec<String>,
+    /// Per-line comment text (concatenation of every comment on the line,
+    /// including the `//` markers).
+    comments: Vec<String>,
+    /// Lines inside `#[cfg(test)]`/`#[test]` items.
+    test_region: Vec<bool>,
+    /// Lines inside the body of a `struct <Name>Stats`.
+    stats_region: Vec<bool>,
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl Scan {
+    fn new(rel_path: &str, src: &str) -> Scan {
+        let (code_joined, comments) = mask(src);
+        let code: Vec<String> = code_joined.split('\n').map(str::to_owned).collect();
+        let n = code.len();
+        let mut comments_by_line = comments;
+        comments_by_line.resize(n, String::new());
+        let mut scan = Scan {
+            rel_path: rel_path.to_owned(),
+            code,
+            comments: comments_by_line,
+            test_region: vec![false; n],
+            stats_region: vec![false; n],
+        };
+        scan.mark_attr_regions();
+        scan.mark_stats_regions();
+        scan
+    }
+
+    /// Mark the lines covered by `#[cfg(test)]`- or `#[test]`-attributed
+    /// items (attribute line through the item's closing brace or `;`).
+    fn mark_attr_regions(&mut self) {
+        let joined = self.code.join("\n");
+        let starts = line_starts(&joined);
+        for l in 0..self.code.len() {
+            let line = &self.code[l];
+            let hit = ["#[cfg(test)]", "#[cfg(any(test", "#[test]"]
+                .iter()
+                .filter_map(|pat| line.find(pat).map(|p| p + pat.len()))
+                .min();
+            let Some(after_attr) = hit else { continue };
+            // Scan from just past the attribute for the item's extent:
+            // a braced body (mod/fn/impl) or a `;` (use/const) — whichever
+            // comes first at the top level.
+            let from = starts[l] + after_attr;
+            let bytes = joined.as_bytes();
+            let mut i = from;
+            let mut end = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => {
+                        end = matching_brace(bytes, i);
+                        break;
+                    }
+                    b';' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let end = end.unwrap_or(bytes.len().saturating_sub(1));
+            let end_line = line_of(&starts, end);
+            for t in self.test_region.iter_mut().take(end_line + 1).skip(l) {
+                *t = true;
+            }
+        }
+    }
+
+    /// Mark the body lines of every `struct <Name>Stats` (the hot-path
+    /// wall-clock rule exempts them: stats structs may *store* durations,
+    /// they just must not be sampled inside the kernel loops).
+    fn mark_stats_regions(&mut self) {
+        let joined = self.code.join("\n");
+        let starts = line_starts(&joined);
+        let bytes = joined.as_bytes();
+        let mut from = 0;
+        while let Some(p) = joined[from..].find("struct ") {
+            let at = from + p;
+            from = at + 7;
+            if at > 0 && is_ident(bytes[at - 1]) {
+                continue;
+            }
+            let name: String = joined[at + 7..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.ends_with("Stats") {
+                continue;
+            }
+            let Some(open_rel) = joined[at..].find('{') else { continue };
+            // A `;` before the brace means a tuple/unit struct: no body.
+            if joined[at..at + open_rel].contains(';') {
+                continue;
+            }
+            let open = at + open_rel;
+            let Some(close) = matching_brace(bytes, open) else { continue };
+            let (l0, l1) = (line_of(&starts, open), line_of(&starts, close));
+            for t in self.stats_region.iter_mut().take(l1 + 1).skip(l0) {
+                *t = true;
+            }
+        }
+    }
+
+    /// Is the finding at `line` (0-based) suppressed by a justified
+    /// `// lint: allow(<rule>): why`? The allow may sit on the same line,
+    /// on the line directly above, or anywhere in the contiguous block of
+    /// comment-only lines directly above (justifications wrap). Returns
+    /// `Some(justified)` when an allow for this rule is present.
+    fn allow_at(&self, line: usize, rule: &str) -> Option<bool> {
+        let needle = format!("lint: allow({rule})");
+        let check = |l: usize| -> Option<bool> {
+            let p = self.comments[l].find(&needle)?;
+            let rest = self.comments[l][p + needle.len()..]
+                .trim_start_matches([':', ' ', '\u{2014}', '-', '\u{2013}']);
+            Some(rest.chars().filter(|c| !c.is_whitespace()).count() >= 3)
+        };
+        let mut hit = check(line);
+        let mut l = line;
+        while hit != Some(true) && l > 0 {
+            l -= 1;
+            if let Some(j) = check(l) {
+                hit = Some(hit.unwrap_or(false) || j);
+            }
+            // Only comment-only lines extend the search upward; a line
+            // with code ends the justification block (it is still checked
+            // itself, so a trailing-comment allow one line up works).
+            if !self.code[l].trim().is_empty() || self.comments[l].is_empty() {
+                break;
+            }
+        }
+        hit
+    }
+}
+
+/// Byte offsets at which each line of `s` starts.
+fn line_starts(s: &str) -> Vec<usize> {
+    let mut v = vec![0];
+    for (i, b) in s.bytes().enumerate() {
+        if b == b'\n' {
+            v.push(i + 1);
+        }
+    }
+    v
+}
+
+/// 0-based line containing byte offset `at`.
+fn line_of(starts: &[usize], at: usize) -> usize {
+    match starts.binary_search(&at) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    }
+}
+
+/// Find the `}` matching the `{` at `open`; `None` if unbalanced.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Blank out comments, string/char literals (and the *contents* of raw
+/// strings) from `src`, preserving byte positions of everything else.
+/// Returns the masked text plus the per-line comment text.
+fn mask(src: &str) -> (String, Vec<String>) {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    let push_code = |out: &mut Vec<u8>, comments: &mut Vec<String>, line: &mut usize, c: u8| {
+        out.push(c);
+        if c == b'\n' {
+            *line += 1;
+            if comments.len() <= *line {
+                comments.push(String::new());
+            }
+        }
+    };
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            comments[line].push_str(&src[start..i]);
+            for &cc in &b[start..i] {
+                push_code(&mut out, &mut comments, &mut line, blank(cc));
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            // Attribute the whole comment's text to its starting line
+            // (SAFETY block comments are recognised there), but keep the
+            // masked newlines so positions survive.
+            comments[line].push_str(&src[start..i]);
+            for &cc in &b[start..i] {
+                push_code(&mut out, &mut comments, &mut line, blank(cc));
+            }
+            continue;
+        }
+        // Raw (byte) string: r"..." / r#"..."# / br"..." etc.
+        if (c == b'r' || c == b'b') && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut hashes = 0;
+                let mut k = j + 1;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' {
+                    // Find the terminator `"` + hashes `#`s.
+                    let mut e = k + 1;
+                    'scanraw: while e < b.len() {
+                        if b[e] == b'"' {
+                            let mut h = 0;
+                            while h < hashes && e + 1 + h < b.len() && b[e + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                e += 1 + hashes;
+                                break 'scanraw;
+                            }
+                        }
+                        e += 1;
+                    }
+                    for &cc in &b[i..e.min(b.len())] {
+                        push_code(&mut out, &mut comments, &mut line, blank(cc));
+                    }
+                    i = e;
+                    continue;
+                }
+            }
+        }
+        // Plain (byte) string.
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' && !prev_ident(b, i)) {
+            let mut j = if c == b'b' { i + 2 } else { i + 1 };
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            for &cc in &b[i..j.min(b.len())] {
+                push_code(&mut out, &mut comments, &mut line, blank(cc));
+            }
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' && !prev_ident(b, i)) {
+            let q = if c == b'b' { i + 1 } else { i };
+            let end = char_literal_end(b, q);
+            if let Some(e) = end {
+                for &cc in &b[i..e] {
+                    push_code(&mut out, &mut comments, &mut line, blank(cc));
+                }
+                i = e;
+                continue;
+            }
+            // A lifetime: pass through as code.
+        }
+        push_code(&mut out, &mut comments, &mut line, c);
+        i += 1;
+    }
+    // `split('\n')` on the masked text yields line count = newlines + 1.
+    let nlines = out.iter().filter(|&&c| c == b'\n').count() + 1;
+    comments.resize(nlines, String::new());
+    (String::from_utf8(out).expect("masking preserves UTF-8"), comments)
+}
+
+fn prev_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(b[i - 1])
+}
+
+/// If position `q` (a `'`) starts a char literal, return the byte just
+/// past its closing quote; `None` when it is a lifetime.
+fn char_literal_end(b: &[u8], q: usize) -> Option<usize> {
+    let first = *b.get(q + 1)?;
+    if first == b'\\' {
+        // Escape: '\n', '\'', '\u{...}', '\x41'.
+        let mut j = q + 2;
+        if b.get(j) == Some(&b'u') {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+        } else if b.get(j) == Some(&b'x') {
+            j += 2;
+        }
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return if j < b.len() { Some(j + 1) } else { None };
+    }
+    if first == b'\'' {
+        return None; // `''` is not a char literal.
+    }
+    // One (possibly multi-byte) character followed by a closing quote.
+    let width = utf8_width(first);
+    if b.get(q + 1 + width) == Some(&b'\'') {
+        Some(q + 2 + width)
+    } else {
+        None // lifetime
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token search helpers.
+// ---------------------------------------------------------------------------
+
+/// Occurrences of `pat` in `line` whose preceding byte is not an
+/// identifier character (and, when `no_prev_colon`, not a `:` either — to
+/// avoid double-reporting `std::fs` as both `std::fs` and `fs::`).
+fn token_positions(line: &str, pat: &str, no_prev_colon: bool) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    let lb = line.as_bytes();
+    while let Some(p) = line[from..].find(pat) {
+        let at = from + p;
+        from = at + pat.len();
+        if at > 0 {
+            let prev = lb[at - 1];
+            if is_ident(prev) || (no_prev_colon && prev == b':') {
+                continue;
+            }
+        }
+        out.push(at);
+    }
+    out
+}
+
+/// Does `line` call `.name()`-style method `name` (exact method name,
+/// immediately applied)? Rejects `name_suffix` identifiers.
+fn method_call(line: &str, name: &str) -> bool {
+    let lb = line.as_bytes();
+    let dotted = format!(".{name}");
+    let mut from = 0;
+    while let Some(p) = line[from..].find(&dotted) {
+        let at = from + p;
+        from = at + dotted.len();
+        let after = at + dotted.len();
+        if lb.get(after).is_some_and(|&c| is_ident(c)) {
+            continue; // `.unwrap_or(...)`, `.expect_err(...)`
+        }
+        if lb.get(after) == Some(&b'(') {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping.
+// ---------------------------------------------------------------------------
+
+/// Crates vendored as minimal API mirrors of external registry crates;
+/// they follow upstream's API shape, not this repo's conventions.
+const VENDORED: &[&str] = &["crates/rand/", "crates/proptest/", "crates/criterion/"];
+
+/// Files making up the gpu-sim compute hot path (the per-cell /
+/// per-diagonal loops a wall-clock read would perturb and serialize).
+const HOT_PATHS: &[&str] = &[
+    "crates/gpu-sim/src/kernel.rs",
+    "crates/gpu-sim/src/wavefront.rs",
+    "crates/gpu-sim/src/multi.rs",
+    "crates/gpu-sim/src/exec.rs",
+];
+
+fn is_vendored(path: &str) -> bool {
+    VENDORED.iter().any(|v| path.starts_with(v))
+}
+
+fn is_bin(path: &str) -> bool {
+    path.contains("/src/bin/") || path.ends_with("/src/main.rs")
+}
+
+fn in_library_scope(path: &str) -> bool {
+    (path.starts_with("crates/cudalign/src/") || path.starts_with("crates/gpu-sim/src/"))
+        && !is_bin(path)
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+struct Ctx<'a> {
+    scan: &'a Scan,
+    findings: Vec<Finding>,
+    suppressed: usize,
+}
+
+impl Ctx<'_> {
+    /// Report a violation of `rule` at 0-based `line`, honouring the
+    /// per-site allow hatch.
+    fn report(&mut self, line: usize, rule: &'static str, msg: String) {
+        match self.scan.allow_at(line, rule) {
+            Some(true) => self.suppressed += 1,
+            Some(false) => self.findings.push(Finding {
+                path: self.scan.rel_path.clone(),
+                line: line + 1,
+                rule,
+                msg: format!(
+                    "{msg} — `lint: allow({rule})` found but the mandatory justification is \
+                     missing (write `// lint: allow({rule}): <why>`)"
+                ),
+            }),
+            None => self.findings.push(Finding {
+                path: self.scan.rel_path.clone(),
+                line: line + 1,
+                rule,
+                msg,
+            }),
+        }
+    }
+}
+
+fn rule_no_panics(ctx: &mut Ctx<'_>) {
+    if !in_library_scope(&ctx.scan.rel_path) {
+        return;
+    }
+    for l in 0..ctx.scan.code.len() {
+        if ctx.scan.test_region[l] {
+            continue;
+        }
+        let line = ctx.scan.code[l].clone();
+        for (what, hit) in [
+            (".unwrap()", method_call(&line, "unwrap")),
+            (".expect(..)", method_call(&line, "expect")),
+            ("panic!", !token_positions(&line, "panic!", false).is_empty()),
+        ] {
+            if hit {
+                ctx.report(
+                    l,
+                    NO_PANICS,
+                    format!(
+                        "`{what}` in library code: return a typed error \
+                         (StageError/StorageError/ExecError) instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn rule_fs_isolation(ctx: &mut Ctx<'_>) {
+    let path = &ctx.scan.rel_path;
+    if !in_library_scope(path) || path.ends_with("/storage.rs") {
+        return;
+    }
+    for l in 0..ctx.scan.code.len() {
+        if ctx.scan.test_region[l] {
+            continue;
+        }
+        let line = ctx.scan.code[l].clone();
+        let hit = !token_positions(&line, "std::fs", false).is_empty()
+            || !token_positions(&line, "fs::", true).is_empty()
+            || !token_positions(&line, "File::", true).is_empty()
+            || !token_positions(&line, "OpenOptions", true).is_empty();
+        if hit {
+            ctx.report(
+                l,
+                FS_ISOLATION,
+                "direct filesystem access outside cudalign::storage: all persistence must go \
+                 through the checksummed storage layer"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn rule_thread_isolation(ctx: &mut Ctx<'_>) {
+    let path = &ctx.scan.rel_path;
+    if path == "crates/gpu-sim/src/exec.rs" || path.starts_with("crates/baselines/") {
+        return;
+    }
+    if is_vendored(path) {
+        return;
+    }
+    for l in 0..ctx.scan.code.len() {
+        if ctx.scan.test_region[l] {
+            continue;
+        }
+        let line = ctx.scan.code[l].clone();
+        let hit = ["thread::spawn", "thread::scope", "thread::Builder"]
+            .iter()
+            .any(|pat| !token_positions(&line, pat, false).is_empty());
+        if hit {
+            ctx.report(
+                l,
+                THREAD_ISOLATION,
+                "thread spawned outside gpu_sim::exec: all engine parallelism must go through \
+                 the shared WorkerPool"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn rule_safety_comment(ctx: &mut Ctx<'_>) {
+    for l in 0..ctx.scan.code.len() {
+        let line = ctx.scan.code[l].clone();
+        if token_positions(&line, "unsafe", false)
+            .iter()
+            .all(|&at| line.as_bytes().get(at + 6).is_some_and(|&c| is_ident(c)))
+        {
+            continue;
+        }
+        // Accept SAFETY: on the same line or in the contiguous comment
+        // block whose last line is directly above.
+        let mut ok = ctx.scan.comments[l].contains("SAFETY:");
+        let mut k = l;
+        while !ok && k > 0 {
+            k -= 1;
+            let above_comment = &ctx.scan.comments[k];
+            let above_code_empty = ctx.scan.code[k].trim().is_empty();
+            if above_comment.is_empty() || !above_code_empty {
+                break;
+            }
+            ok = above_comment.contains("SAFETY:");
+        }
+        if !ok {
+            ctx.report(
+                l,
+                SAFETY_COMMENT,
+                "`unsafe` without a `// SAFETY:` comment directly above: state the invariant \
+                 that makes this sound"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn rule_no_wallclock(ctx: &mut Ctx<'_>) {
+    if !HOT_PATHS.contains(&ctx.scan.rel_path.as_str()) {
+        return;
+    }
+    for l in 0..ctx.scan.code.len() {
+        if ctx.scan.test_region[l] || ctx.scan.stats_region[l] {
+            continue;
+        }
+        let line = ctx.scan.code[l].clone();
+        let hit = ["Instant", "SystemTime"].iter().any(|pat| {
+            token_positions(&line, pat, false)
+                .iter()
+                .any(|&at| !line.as_bytes().get(at + pat.len()).is_some_and(|&c| is_ident(c)))
+        });
+        if hit {
+            ctx.report(
+                l,
+                NO_WALLCLOCK,
+                "wall-clock read in a wavefront/kernel hot path: time only at stage \
+                 boundaries (pipeline.rs) or in stats structs"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn rule_non_exhaustive_errors(ctx: &mut Ctx<'_>) {
+    if is_vendored(&ctx.scan.rel_path) {
+        return;
+    }
+    for l in 0..ctx.scan.code.len() {
+        if ctx.scan.test_region[l] {
+            continue;
+        }
+        let line = ctx.scan.code[l].clone();
+        let Some(at) = token_positions(&line, "pub enum ", false).first().copied() else {
+            continue;
+        };
+        let name: String =
+            line[at + 9..].chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !name.ends_with("Error") {
+            continue;
+        }
+        // Walk the attribute/comment block above the item.
+        let mut has = false;
+        let mut k = l;
+        while k > 0 {
+            k -= 1;
+            let code = ctx.scan.code[k].trim().to_owned();
+            if code.starts_with("#[") || code.starts_with("#![") {
+                has |= code.contains("non_exhaustive");
+                continue;
+            }
+            if code.is_empty() {
+                // Doc comments and blank lines: keep walking.
+                if ctx.scan.comments[k].is_empty() && k + 1 < ctx.scan.code.len() {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if !has {
+            ctx.report(
+                l,
+                NON_EXHAUSTIVE_ERRORS,
+                format!(
+                    "public error enum `{name}` is not `#[non_exhaustive]`: downstream \
+                     matches would break when a failure mode is added"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Lint a single source buffer as if it lived at `rel_path` (workspace
+/// relative, `/`-separated). Returns `(findings, suppressed)`.
+pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let scan = Scan::new(rel_path, src);
+    let mut ctx = Ctx { scan: &scan, findings: Vec::new(), suppressed: 0 };
+    rule_no_panics(&mut ctx);
+    rule_fs_isolation(&mut ctx);
+    rule_thread_isolation(&mut ctx);
+    rule_safety_comment(&mut ctx);
+    rule_no_wallclock(&mut ctx);
+    rule_non_exhaustive_errors(&mut ctx);
+    ctx.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (ctx.findings, ctx.suppressed)
+}
+
+/// Collect the workspace's lintable sources: every `.rs` under
+/// `crates/*/src` plus the integration-test support library under
+/// `tests/src`. Test *targets* (`tests/tests`, `crates/*/tests`, benches,
+/// examples) are whole-file test code and are not walked.
+fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let mut src_dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            src_dirs.push(p.join("src"));
+        }
+    }
+    src_dirs.push(root.join("tests").join("src"));
+    for dir in src_dirs {
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in workspace_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path)?;
+        let (findings, suppressed) = lint_source(&rel, &src);
+        report.files += 1;
+        report.suppressed += suppressed;
+        report.findings.extend(findings);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_strips_comments_strings_chars() {
+        let src = "let a = \"panic!\"; // .unwrap()\nlet b = '\\n'; let c: &'static str = x;\n";
+        let (masked, comments) = mask(src);
+        assert!(!masked.contains("panic!"));
+        assert!(!masked.contains(".unwrap()"));
+        assert!(comments[0].contains(".unwrap()"));
+        assert!(masked.contains("'static"), "lifetime must survive masking: {masked}");
+    }
+
+    #[test]
+    fn method_call_rejects_suffixed_names() {
+        assert!(method_call("x.unwrap()", "unwrap"));
+        assert!(!method_call("x.unwrap_or(0)", "unwrap"));
+        assert!(!method_call("x.unwrap_or_else(f)", "unwrap"));
+        assert!(!method_call("x.expect_err(\"e\")", "expect"));
+        assert!(method_call("x.expect(\"e\")", "expect"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        let (findings, _) = lint_source("crates/cudalign/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "let s = r#\"thread::spawn panic! \"#;\n";
+        let (findings, _) = lint_source("crates/cudalign/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        let with = "// lint: allow(no-panics): infallible by construction\nlet x = y.unwrap();\n";
+        let (f, s) = lint_source("crates/cudalign/src/x.rs", with);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(s, 1);
+        let without = "// lint: allow(no-panics)\nlet x = y.unwrap();\n";
+        let (f, _) = lint_source("crates/cudalign/src/x.rs", without);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("justification"), "{}", f[0].msg);
+    }
+}

@@ -1,0 +1,87 @@
+//! `cargo run -p analysis` — lint the workspace against the invariant
+//! registry and exit non-zero on any violation.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo run -p analysis [-- [--list-rules] [ROOT]]\n\
+         \n\
+         Lints every crate source tree under ROOT (default: the enclosing\n\
+         cargo workspace) against the repo invariant registry. Exit codes:\n\
+         0 = clean, 1 = violations found, 2 = usage or I/O error."
+    );
+    std::process::exit(2);
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut list_rules = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && root_arg.is_none() => {
+                root_arg = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+
+    if list_rules {
+        for rule in analysis::rules() {
+            println!("{:<24} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match root_arg.or_else(|| find_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("analysis: no cargo workspace found above {}", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match analysis::lint_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            println!(
+                "analysis: {} file(s), {} violation(s), {} justified allow(s)",
+                report.files,
+                report.findings.len(),
+                report.suppressed
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("analysis: I/O error while scanning {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

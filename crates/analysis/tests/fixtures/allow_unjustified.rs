@@ -1,0 +1,7 @@
+// lint-fixture path=crates/gpu-sim/src/fixture.rs rule=no-panics expect=1
+// An allow WITHOUT a justification does not suppress: the violation is
+// reported, with a message pointing at the missing justification.
+pub fn lazy(v: Option<u32>) -> u32 {
+    // lint: allow(no-panics)
+    v.unwrap()
+}

@@ -1,0 +1,36 @@
+// lint-fixture path=crates/cudalign/src/fixture.rs rule=* expect=0
+//! A fixture that exercises every rule's *negative* space at once: no
+//! rule may fire here.
+
+/// Typed errors instead of panics.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CleanError {
+    Missing,
+}
+
+pub fn decode(v: Option<u32>) -> Result<u32, CleanError> {
+    v.ok_or(CleanError::Missing)
+}
+
+pub fn strings_and_comments() {
+    // panic! .unwrap() std::fs thread::spawn Instant unsafe — comments are fine
+    let s = "panic! .unwrap() std::fs thread::spawn Instant unsafe";
+    let r = r#"panic! "quoted" .expect( "#;
+    let c = '\'';
+    let b = b'"';
+    let _ = (s, r, c, b);
+}
+
+pub fn lifetimes_survive_masking<'a>(x: &'a str) -> &'a str {
+    let _never_a_char_literal: &'static str = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        super::decode(Some(1)).unwrap();
+    }
+}

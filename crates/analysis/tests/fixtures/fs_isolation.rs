@@ -1,0 +1,25 @@
+// lint-fixture path=crates/cudalign/src/fixture.rs rule=fs-isolation expect=1
+// The one live violation: raw filesystem access outside storage.rs.
+pub fn leak(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+// Must NOT fire: `fs` in strings/comments, or behind a justified allow.
+pub fn clean() {
+    // std::fs in a comment is fine
+    let s = "File::open in a string is fine";
+    let _ = s;
+}
+
+pub fn allowed(p: &std::path::Path) -> bool {
+    // lint: allow(fs-isolation): fixture — justified suppression must not fire
+    std::fs::metadata(p).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::fs::read_to_string("/nonexistent");
+    }
+}

@@ -1,0 +1,31 @@
+// lint-fixture path=crates/cudalign/src/fixture.rs rule=no-panics expect=1
+// The one live violation: an unwrap in library code.
+pub fn decode(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// Near misses that must NOT fire: suffixed methods, strings, comments.
+pub fn safe(v: Option<u32>) -> u32 {
+    // .unwrap() in a comment is fine
+    let s = "panic! and .expect(..) in a string are fine";
+    let _ = s;
+    v.unwrap_or_default()
+}
+
+// A justified allow is suppressed.
+pub fn allowed(v: Option<u32>) -> u32 {
+    // lint: allow(no-panics): fixture — justified suppression must not fire
+    v.expect("justified")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("exempt in tests");
+        }
+    }
+}

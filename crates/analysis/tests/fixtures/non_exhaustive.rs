@@ -1,0 +1,30 @@
+// lint-fixture path=crates/seqio/src/fixture.rs rule=non-exhaustive-errors expect=1
+// The one live violation: a public error enum downstream can match
+// exhaustively, freezing its variant set forever.
+#[derive(Debug)]
+pub enum BadError {
+    Broken(String),
+}
+
+// Must NOT fire: the required form.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GoodError {
+    Broken(String),
+}
+
+/// Doc comments between the attributes and the item are fine.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum AlsoGoodError {
+    Broken(String),
+}
+
+// Must NOT fire: not an error enum, and not public.
+pub enum Mode {
+    Fast,
+}
+#[allow(dead_code)]
+enum PrivateError {
+    Internal,
+}

@@ -1,0 +1,19 @@
+// lint-fixture path=crates/seqio/src/fixture.rs rule=safety-comment expect=1
+// The one live violation: an unsafe block with no SAFETY comment.
+pub fn undocumented(x: u32) -> i32 {
+    unsafe { std::mem::transmute::<u32, i32>(x) }
+}
+
+// Must NOT fire: the canonical form, modeled on the lifetime-erasure
+// transmute in gpu_sim::exec::Scope::spawn (the lint's reference fixture).
+pub fn documented(x: u32) -> i32 {
+    // SAFETY: u32 and i32 have identical size and all bit patterns of a
+    // u32 are valid i32 values, so this transmute cannot produce UB.
+    unsafe { std::mem::transmute::<u32, i32>(x) }
+}
+
+pub fn mentions_only() {
+    // the word unsafe in a comment is fine
+    let s = "unsafe in a string is fine";
+    let _ = s;
+}

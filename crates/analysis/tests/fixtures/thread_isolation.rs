@@ -1,0 +1,20 @@
+// lint-fixture path=crates/cudalign/src/fixture.rs rule=thread-isolation expect=1
+// The one live violation: a thread spawned outside gpu_sim::exec.
+pub fn rogue() {
+    std::thread::spawn(|| {}).join().ok();
+}
+
+// Must NOT fire: thread mentions in strings and comments.
+pub fn clean() {
+    // thread::spawn in a comment is fine
+    let s = "thread::scope in a string is fine";
+    let _ = s;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        std::thread::scope(|_| {});
+    }
+}

@@ -1,0 +1,19 @@
+// lint-fixture path=crates/gpu-sim/src/kernel.rs rule=no-wallclock expect=1
+// The one live violation: sampling the wall clock inside a hot path.
+pub fn timed_tile() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+// Must NOT fire: stats structs may *store* instants; they are sampled at
+// stage boundaries, not inside the per-cell loops.
+pub struct TileStats {
+    pub started: Option<std::time::Instant>,
+    pub cells: u64,
+}
+
+pub fn mentions_only() {
+    // Instant in a comment is fine
+    let s = "SystemTime in a string is fine";
+    let _ = s;
+}

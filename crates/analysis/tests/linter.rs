@@ -1,0 +1,148 @@
+//! Fixture-driven coverage for every lint rule.
+//!
+//! Each file under `tests/fixtures/` is self-describing: its first line is
+//!
+//! ```text
+//! // lint-fixture path=<pretend-workspace-path> rule=<rule-id|*> expect=<n>
+//! ```
+//!
+//! The fixture is linted *as if* it lived at the pretend path (so scoping
+//! rules like "library code only" and "hot paths only" apply), and the
+//! harness asserts that the named rule fires exactly `n` times and that no
+//! other rule fires at all. `rule=*` with `expect=0` marks the clean
+//! fixture.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+struct Fixture {
+    file: String,
+    pretend_path: String,
+    rule: String,
+    expect: usize,
+    source: String,
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn parse_header(file: &str, src: &str) -> Fixture {
+    let header = src.lines().next().unwrap_or("");
+    let body = header
+        .strip_prefix("// lint-fixture ")
+        .unwrap_or_else(|| panic!("{file}: first line must be a `// lint-fixture` header"));
+    let mut pretend_path = None;
+    let mut rule = None;
+    let mut expect = None;
+    for field in body.split_whitespace() {
+        if let Some(v) = field.strip_prefix("path=") {
+            pretend_path = Some(v.to_string());
+        } else if let Some(v) = field.strip_prefix("rule=") {
+            rule = Some(v.to_string());
+        } else if let Some(v) = field.strip_prefix("expect=") {
+            expect = Some(v.parse().unwrap_or_else(|_| panic!("{file}: bad expect= value")));
+        } else {
+            panic!("{file}: unknown header field {field:?}");
+        }
+    }
+    Fixture {
+        file: file.to_string(),
+        pretend_path: pretend_path.unwrap_or_else(|| panic!("{file}: header missing path=")),
+        rule: rule.unwrap_or_else(|| panic!("{file}: header missing rule=")),
+        expect: expect.unwrap_or_else(|| panic!("{file}: header missing expect=")),
+        source: src.to_string(),
+    }
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = fixtures_dir();
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("read fixture");
+        out.push(parse_header(&name, &src));
+    }
+    out
+}
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    let covered: BTreeSet<String> =
+        load_fixtures().iter().filter(|f| f.expect > 0).map(|f| f.rule.clone()).collect();
+    let all: BTreeSet<String> = analysis::rules().iter().map(|r| r.id.to_string()).collect();
+    assert_eq!(covered, all, "each rule needs a fixture where it fires (and vice versa)");
+}
+
+#[test]
+fn fixtures_fire_exactly_as_annotated() {
+    for f in load_fixtures() {
+        let (findings, _suppressed) = analysis::lint_source(&f.pretend_path, &f.source);
+        let named: Vec<_> = findings.iter().filter(|v| v.rule == f.rule).collect();
+        let strays: Vec<_> =
+            findings.iter().filter(|v| f.rule != "*" && v.rule != f.rule).collect();
+        assert_eq!(
+            named.len(),
+            if f.rule == "*" { 0 } else { f.expect },
+            "{}: rule {} fired {} time(s), annotated expect={}\nfindings:\n{}",
+            f.file,
+            f.rule,
+            named.len(),
+            f.expect,
+            render(&findings),
+        );
+        assert!(
+            strays.is_empty(),
+            "{}: unrelated rules fired:\n{}",
+            f.file,
+            render(&strays.into_iter().cloned().collect::<Vec<_>>()),
+        );
+        if f.rule == "*" {
+            assert!(
+                findings.is_empty(),
+                "{}: clean fixture produced:\n{}",
+                f.file,
+                render(&findings)
+            );
+        }
+    }
+}
+
+#[test]
+fn unjustified_allow_message_names_the_problem() {
+    let f = load_fixtures()
+        .into_iter()
+        .find(|f| f.file == "allow_unjustified.rs")
+        .expect("allow_unjustified.rs fixture present");
+    let (findings, suppressed) = analysis::lint_source(&f.pretend_path, &f.source);
+    assert_eq!(suppressed, 0, "an unjustified allow must not count as a suppression");
+    assert_eq!(findings.len(), 1);
+    assert!(
+        findings[0].msg.contains("justification"),
+        "finding should tell the author the allow lacks a justification: {}",
+        findings[0].msg
+    );
+}
+
+#[test]
+fn justified_allows_are_counted_as_suppressed() {
+    let f = load_fixtures()
+        .into_iter()
+        .find(|f| f.file == "no_panics.rs")
+        .expect("no_panics.rs fixture present");
+    let (_findings, suppressed) = analysis::lint_source(&f.pretend_path, &f.source);
+    assert_eq!(suppressed, 1, "the justified allow in no_panics.rs should register once");
+}
+
+fn render(findings: &[analysis::Finding]) -> String {
+    if findings.is_empty() {
+        return "  (none)".into();
+    }
+    findings.iter().map(|f| format!("  {f}")).collect::<Vec<_>>().join("\n")
+}

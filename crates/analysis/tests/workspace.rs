@@ -1,0 +1,19 @@
+//! Tier-1 gate: the real workspace must be lint-clean.
+//!
+//! This is the same check `cargo run -p analysis` performs in CI, embedded
+//! in the test suite so `cargo test` alone enforces the invariants.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analysis::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(report.files > 0, "linter walked no files — wrong root?");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        report.findings.len(),
+        report.findings.iter().map(|f| format!("  {f}")).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -358,7 +358,8 @@ fn classify(ops: &mut [EditOp], a: &[u8], b: &[u8], mut i: usize, mut j: usize) 
 /// row-caching global solver on the delimited span.
 pub fn fastlsa_local(a: &[u8], b: &[u8], scoring: &Scoring, buffer_cells: u64) -> FastLsaResult {
     let (score, end) = sw_local_score(a, b, scoring);
-    let mut stats = FastLsaStats { forward_cells: (a.len() * b.len()) as u64, ..Default::default() };
+    let mut stats =
+        FastLsaStats { forward_cells: (a.len() * b.len()) as u64, ..Default::default() };
     if score <= 0 {
         return FastLsaResult {
             score: 0,

@@ -21,12 +21,7 @@ pub struct QuadraticResult {
 /// # Panics
 /// Panics when the traceback matrix would exceed `max_bytes` — the
 /// honest failure mode of quadratic-space tools on huge sequences.
-pub fn quadratic_align(
-    a: &[u8],
-    b: &[u8],
-    scoring: &Scoring,
-    max_bytes: u64,
-) -> QuadraticResult {
+pub fn quadratic_align(a: &[u8], b: &[u8], scoring: &Scoring, max_bytes: u64) -> QuadraticResult {
     let traceback_bytes = (a.len() as u64 + 1) * (b.len() as u64 + 1);
     assert!(
         traceback_bytes <= max_bytes,

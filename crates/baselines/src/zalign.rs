@@ -52,7 +52,12 @@ fn chunk_size(n: usize, workers: usize) -> usize {
 }
 
 /// Band-pipelined local SW scan: returns `(best, end, cells)`.
-fn band_scan(a: &[u8], b: &[u8], scoring: &Scoring, workers: usize) -> (Score, (usize, usize), u64) {
+fn band_scan(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    workers: usize,
+) -> (Score, (usize, usize), u64) {
     let (m, n) = (a.len(), b.len());
     if m == 0 || n == 0 {
         return (0, (0, 0), 0);

@@ -45,17 +45,43 @@ fn bench_tile(c: &mut Criterion) {
         g.throughput(Throughput::Elements((h * w) as u64));
         g.bench_with_input(BenchmarkId::new("global", format!("{h}x{w}")), &(h, w), |bench, _| {
             bench.iter(|| {
-                let (mut top, mut left, corner) =
-                    global_borders(h, w, &Scoring::paper(), GlobalOrigin::forward(EdgeState::Diagonal));
-                compute_tile(&a, &b, 1, 1, &Scoring::paper(), false, None, corner, &mut top, &mut left)
-                    .corner_out
+                let (mut top, mut left, corner) = global_borders(
+                    h,
+                    w,
+                    &Scoring::paper(),
+                    GlobalOrigin::forward(EdgeState::Diagonal),
+                );
+                compute_tile(
+                    &a,
+                    &b,
+                    1,
+                    1,
+                    &Scoring::paper(),
+                    false,
+                    None,
+                    corner,
+                    &mut top,
+                    &mut left,
+                )
+                .corner_out
             })
         });
         g.bench_with_input(BenchmarkId::new("local", format!("{h}x{w}")), &(h, w), |bench, _| {
             bench.iter(|| {
                 let (mut top, mut left, corner) = gpu_sim::kernel::local_borders(h, w);
-                compute_tile(&a, &b, 1, 1, &Scoring::paper(), true, None, corner, &mut top, &mut left)
-                    .best
+                compute_tile(
+                    &a,
+                    &b,
+                    1,
+                    1,
+                    &Scoring::paper(),
+                    true,
+                    None,
+                    corner,
+                    &mut top,
+                    &mut left,
+                )
+                .best
             })
         });
     }

@@ -169,11 +169,56 @@ pub struct PaperSweepRow {
 
 /// Tables VII + VIII of the paper (chromosome pair).
 pub const PAPER_SRA_SWEEP: &[PaperSweepRow] = &[
-    PaperSweepRow { sra_gb: 10, stage_seconds: [64_634.0, 1721.0, 126.0, 8211.0, 5.23, 5.17], sum_s: 74_702.0, l2: 30, l3: 603, h_max: 74_956, w_max: 56_320, b3: 60 },
-    PaperSweepRow { sra_gb: 20, stage_seconds: [64_773.0, 1015.0, 111.0, 2098.0, 5.37, 5.23], sum_s: 68_008.0, l2: 58, l3: 2338, h_max: 28_347, w_max: 14_336, b3: 30 },
-    PaperSweepRow { sra_gb: 30, stage_seconds: [64_887.0, 851.0, 144.0, 974.0, 5.18, 5.00], sum_s: 66_866.0, l2: 87, l3: 5014, h_max: 20_675, w_max: 6_656, b3: 26 },
-    PaperSweepRow { sra_gb: 40, stage_seconds: [65_039.0, 818.0, 187.0, 525.0, 5.36, 5.52], sum_s: 66_580.0, l2: 115, l3: 9283, h_max: 17_607, w_max: 3_684, b3: 14 },
-    PaperSweepRow { sra_gb: 50, stage_seconds: [65_153.0, 805.0, 236.0, 376.0, 4.35, 5.02], sum_s: 66_579.0, l2: 144, l3: 12_986, h_max: 16_583, w_max: 2_624, b3: 10 },
+    PaperSweepRow {
+        sra_gb: 10,
+        stage_seconds: [64_634.0, 1721.0, 126.0, 8211.0, 5.23, 5.17],
+        sum_s: 74_702.0,
+        l2: 30,
+        l3: 603,
+        h_max: 74_956,
+        w_max: 56_320,
+        b3: 60,
+    },
+    PaperSweepRow {
+        sra_gb: 20,
+        stage_seconds: [64_773.0, 1015.0, 111.0, 2098.0, 5.37, 5.23],
+        sum_s: 68_008.0,
+        l2: 58,
+        l3: 2338,
+        h_max: 28_347,
+        w_max: 14_336,
+        b3: 30,
+    },
+    PaperSweepRow {
+        sra_gb: 30,
+        stage_seconds: [64_887.0, 851.0, 144.0, 974.0, 5.18, 5.00],
+        sum_s: 66_866.0,
+        l2: 87,
+        l3: 5014,
+        h_max: 20_675,
+        w_max: 6_656,
+        b3: 26,
+    },
+    PaperSweepRow {
+        sra_gb: 40,
+        stage_seconds: [65_039.0, 818.0, 187.0, 525.0, 5.36, 5.52],
+        sum_s: 66_580.0,
+        l2: 115,
+        l3: 9283,
+        h_max: 17_607,
+        w_max: 3_684,
+        b3: 14,
+    },
+    PaperSweepRow {
+        sra_gb: 50,
+        stage_seconds: [65_153.0, 805.0, 236.0, 376.0, 4.35, 5.02],
+        sum_s: 66_579.0,
+        l2: 144,
+        l3: 12_986,
+        h_max: 16_583,
+        w_max: 2_624,
+        b3: 10,
+    },
 ];
 
 /// The paper's Table X: chromosome alignment composition.

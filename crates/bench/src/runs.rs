@@ -89,7 +89,12 @@ pub fn run_pipeline(w: &Workload, cfg: &PipelineConfig) -> PipelineResult {
 /// measured counts: cells grow with `scale^2`; flushed bytes grow with
 /// `scale` (row count is scale-invariant by construction, row width grows
 /// with `scale`).
-pub fn project_seconds(device: &DeviceModel, cells_scaled: u64, flushed_scaled: u64, scale: usize) -> f64 {
+pub fn project_seconds(
+    device: &DeviceModel,
+    cells_scaled: u64,
+    flushed_scaled: u64,
+    scale: usize,
+) -> f64 {
     let s = scale as u64;
     device.stage_seconds(cells_scaled.saturating_mul(s * s), flushed_scaled.saturating_mul(s))
 }

@@ -4,7 +4,9 @@
 //! device model.
 
 use crate::report::{big, sci, secs, Report};
-use crate::runs::{paper_sra_bytes, project_seconds, repro_config, run_pipeline, scaled_sra_bytes, Workload};
+use crate::runs::{
+    paper_sra_bytes, project_seconds, repro_config, run_pipeline, scaled_sra_bytes, Workload,
+};
 use crate::{repro_scale, repro_seed};
 use cudalign::sra::LineStore;
 use cudalign::{stage1, stage2, stage3, stage4, stage5, stage6};
@@ -15,9 +17,23 @@ use std::time::Instant;
 
 /// Every experiment id, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "table10", "fig11", "fig12", "ablation-split", "ablation-blocks", "ablation-utilization",
-    "ablation-linear-space", "ablation-multigpu",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "fig11",
+    "fig12",
+    "ablation-split",
+    "ablation-blocks",
+    "ablation-utilization",
+    "ablation-linear-space",
+    "ablation-multigpu",
 ];
 
 /// Run one experiment by id; returns `false` for unknown ids.
@@ -108,7 +124,9 @@ pub fn table2() {
             String::new(),
         ]);
     }
-    r.note = "sequences are synthetic stand-ins with the similarity regime of the paper's Table III".into();
+    r.note =
+        "sequences are synthetic stand-ins with the similarity regime of the paper's Table III"
+            .into();
     r.print();
 }
 
@@ -117,8 +135,15 @@ pub fn table3() {
     let mut r = Report::new(
         format!("Table III: stage 1-5 results per pair (scale 1/{})", repro_scale()),
         &[
-            "Comparison", "Cells", "Score", "End Position", "Start Position", "Length", "Gaps",
-            "paper Score", "paper Length",
+            "Comparison",
+            "Cells",
+            "Score",
+            "End Position",
+            "Start Position",
+            "Length",
+            "Gaps",
+            "paper Score",
+            "paper Length",
         ],
     );
     for w in workloads() {
@@ -244,7 +269,9 @@ pub fn table6() {
     let device = DeviceModel::gtx285();
     let scale = repro_scale();
     let mut r = Report::new(
-        format!("Table VI: CUDAlign vs Z-align-style CPU baseline (scale 1/{scale}, {cores} core(s))"),
+        format!(
+            "Table VI: CUDAlign vs Z-align-style CPU baseline (scale 1/{scale}, {cores} core(s))"
+        ),
         &[
             "Size",
             "Z-align(s)",
@@ -288,7 +315,8 @@ pub fn table6() {
         let s2 = (scale as f64) * (scale as f64);
         let z_paper_1c = z1.cells as f64 * s2 / (z_mcups * 1e6);
         let z_paper_64c = z_paper_1c / 64.0;
-        let gtx = project_seconds(&device, res.stats.total_cells(), res.stats.sra_bytes_used, scale);
+        let gtx =
+            project_seconds(&device, res.stats.total_cells(), res.stats.sra_bytes_used, scale);
 
         r.row(&[
             key.to_string(),
@@ -382,7 +410,8 @@ pub fn table7() {
             res.stats.special_rows.to_string(),
         ]);
     }
-    r.note = "larger SRA: stage 1 slightly slower (flush), stage 2/4 faster — the paper's tradeoff".into();
+    r.note = "larger SRA: stage 1 slightly slower (flush), stage 2/4 faster — the paper's tradeoff"
+        .into();
     r.print();
 }
 
@@ -392,8 +421,23 @@ pub fn table8() {
     let mut r = Report::new(
         format!("Table VIII: execution statistics vs SRA size (scale 1/{})", w.scale),
         &[
-            "SRA", "B1", "B2", "B3", "Cells1", "Cells2", "Cells3", "|L1|", "|L2|", "|L3|",
-            "Hmax", "Wmax", "VRAM1", "VRAM2", "VRAM3", "paper |L2|", "paper |L3|",
+            "SRA",
+            "B1",
+            "B2",
+            "B3",
+            "Cells1",
+            "Cells2",
+            "Cells3",
+            "|L1|",
+            "|L2|",
+            "|L3|",
+            "Hmax",
+            "Wmax",
+            "VRAM1",
+            "VRAM2",
+            "VRAM3",
+            "paper |L2|",
+            "paper |L3|",
         ],
     );
     let paper_sweep = crate::paper_data::PAPER_SRA_SWEEP;
@@ -467,7 +511,10 @@ pub fn table9() {
     let orth = stage4::run(w.s0.bases(), w.s1.bases(), &cfg, &pool, &l3).unwrap();
 
     let mut r = Report::new(
-        format!("Table IX: stage 4 iterations, MM (Time1) vs orthogonal (Time2), scale 1/{}", w.scale),
+        format!(
+            "Table IX: stage 4 iterations, MM (Time1) vs orthogonal (Time2), scale 1/{}",
+            w.scale
+        ),
         &["It.", "Hmax", "Wmax", "crosspoints", "Time1 (s)", "Time2 (s)", "Cells1", "Cells2"],
     );
     let n = classic.iterations.len().max(orth.iterations.len());

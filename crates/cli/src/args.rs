@@ -181,9 +181,8 @@ fn split_opts(
             if switch_names.contains(&name) {
                 switches.push(name.to_string());
             } else if flag_names.contains(&name) {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ParseError(format!("missing value for --{name}")))?;
+                let value =
+                    it.next().ok_or_else(|| ParseError(format!("missing value for --{name}")))?;
                 flags.insert(name.to_string(), value.clone());
             } else {
                 return Err(ParseError(format!("unknown option --{name}")));
@@ -198,10 +197,9 @@ fn split_opts(
 fn get_num<T: std::str::FromStr>(opts: &Opts, name: &str) -> Result<Option<T>, ParseError> {
     match opts.flags.get(name) {
         None => Ok(None),
-        Some(v) => v
-            .parse()
-            .map(Some)
-            .map_err(|_| ParseError(format!("invalid value {v:?} for --{name}"))),
+        Some(v) => {
+            v.parse().map(Some).map_err(|_| ParseError(format!("invalid value {v:?} for --{name}")))
+        }
     }
 }
 
@@ -217,8 +215,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let opts = split_opts(
                 rest,
                 &[
-                    "out", "o", "sra-bytes", "sca-bytes", "disk", "max-partition", "workers",
-                    "match", "mismatch", "gap-first", "gap-ext", "checkpoint-dir",
+                    "out",
+                    "o",
+                    "sra-bytes",
+                    "sca-bytes",
+                    "disk",
+                    "max-partition",
+                    "workers",
+                    "match",
+                    "mismatch",
+                    "gap-first",
+                    "gap-ext",
+                    "checkpoint-dir",
                     "checkpoint-every",
                 ],
                 &["stats", "middle-row-split", "no-orthogonal", "parallel-partitions"],
@@ -270,9 +278,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 None => None,
                 Some(v) => {
                     let (path, dims) = v.split_once(':').unwrap_or((v.as_str(), "512x512"));
-                    let (w, h) = dims
-                        .split_once(['x', 'X'])
-                        .ok_or_else(|| ParseError(format!("--pgm dims must be WxH, got {dims:?}")))?;
+                    let (w, h) = dims.split_once(['x', 'X']).ok_or_else(|| {
+                        ParseError(format!("--pgm dims must be WxH, got {dims:?}"))
+                    })?;
                     Some((
                         PathBuf::from(path),
                         w.parse().map_err(|_| ParseError(format!("bad pgm width {w:?}")))?,
@@ -340,8 +348,18 @@ mod tests {
     #[test]
     fn parses_align_with_options() {
         let cmd = parse(&sv(&[
-            "align", "a.fa", "b.fa", "--out", "x.cal2", "--sra-bytes", "1024", "--stats",
-            "--workers", "3", "--mismatch", "-2",
+            "align",
+            "a.fa",
+            "b.fa",
+            "--out",
+            "x.cal2",
+            "--sra-bytes",
+            "1024",
+            "--stats",
+            "--workers",
+            "3",
+            "--mismatch",
+            "-2",
         ]))
         .unwrap();
         match cmd {
@@ -361,7 +379,14 @@ mod tests {
     #[test]
     fn parses_view_plot_and_pgm() {
         let cmd = parse(&sv(&[
-            "view", "x.cal2", "a.fa", "b.fa", "--plot", "20x60", "--pgm", "img.pgm:128x96",
+            "view",
+            "x.cal2",
+            "a.fa",
+            "b.fa",
+            "--plot",
+            "20x60",
+            "--pgm",
+            "img.pgm:128x96",
         ]))
         .unwrap();
         match cmd {

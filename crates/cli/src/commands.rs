@@ -124,8 +124,8 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
 
 /// `cudalign view`
 pub fn view(args: &ViewArgs) -> Result<String, String> {
-    let bytes = std::fs::read(&args.alignment)
-        .map_err(|e| format!("{}: {e}", args.alignment.display()))?;
+    let bytes =
+        std::fs::read(&args.alignment).map_err(|e| format!("{}: {e}", args.alignment.display()))?;
     let binary = BinaryAlignment::decode(&bytes).map_err(|e| e.to_string())?;
     let s0 = load_first_record(&args.a)?;
     let s1 = load_first_record(&args.b)?;
@@ -157,8 +157,12 @@ pub fn view(args: &ViewArgs) -> Result<String, String> {
     }
 
     if let Some((rows, cols)) = args.plot {
-        writeln!(out, "\n{}", stage6::dot_plot(s0.len(), s1.len(), &binary, &transcript, rows, cols))
-            .unwrap();
+        writeln!(
+            out,
+            "\n{}",
+            stage6::dot_plot(s0.len(), s1.len(), &binary, &transcript, rows, cols)
+        )
+        .unwrap();
     }
     if let Some((path, w, h)) = &args.pgm {
         let img = stage6::dot_plot_pgm(s0.len(), s1.len(), &binary, &transcript, *w, *h);
@@ -259,13 +263,8 @@ pub fn dataset(args: &DatasetArgs) -> Result<String, String> {
         .get(&args.key)
         .ok_or_else(|| format!("unknown pair {:?}; try 'cudalign dataset list'", args.key))?;
     let (s0, s1) = spec.materialize(args.scale, args.seed);
-    let mut out = format!(
-        "{} at scale 1/{}: {} bp x {} bp\n",
-        spec.key,
-        args.scale,
-        s0.len(),
-        s1.len()
-    );
+    let mut out =
+        format!("{} at scale 1/{}: {} bp x {} bp\n", spec.key, args.scale, s0.len(), s1.len());
     if let Some(prefix) = &args.out {
         out.push_str(&write_pair(prefix, &s0, &s1)?);
         out.push('\n');
@@ -358,24 +357,20 @@ mod tests {
 
     #[test]
     fn dataset_list_and_materialize() {
-        let out = dataset(&DatasetArgs { key: "list".into(), scale: 1000, seed: 1, out: None })
-            .unwrap();
+        let out =
+            dataset(&DatasetArgs { key: "list".into(), scale: 1000, seed: 1, out: None }).unwrap();
         assert!(out.contains("32799Kx46944K"));
-        let out = dataset(&DatasetArgs {
-            key: "162Kx172K".into(),
-            scale: 1000,
-            seed: 1,
-            out: None,
-        })
-        .unwrap();
+        let out =
+            dataset(&DatasetArgs { key: "162Kx172K".into(), scale: 1000, seed: 1, out: None })
+                .unwrap();
         assert!(out.contains("162 bp"));
         assert!(dataset(&DatasetArgs { key: "nope".into(), scale: 1, seed: 1, out: None }).is_err());
     }
 
     #[test]
     fn generate_rejects_unknown_kind() {
-        let err =
-            generate(&GenerateArgs { kind: "weird".into(), len: 10, seed: 1, out: None }).unwrap_err();
+        let err = generate(&GenerateArgs { kind: "weird".into(), len: 10, seed: 1, out: None })
+            .unwrap_err();
         assert!(err.contains("unknown kind"));
     }
 

@@ -71,7 +71,8 @@ impl Bencher {
         let start = Instant::now();
         black_box(body());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
 
         let mut times = Vec::with_capacity(self.samples);
         let mut total = Duration::ZERO;

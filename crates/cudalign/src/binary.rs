@@ -26,6 +26,7 @@ pub struct GapRun {
 
 /// Errors decoding a binary alignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DecodeError {
     /// Wrong magic bytes.
     BadMagic,
@@ -69,11 +70,7 @@ pub struct BinaryAlignment {
 
 impl BinaryAlignment {
     /// Build from a transcript anchored at `start`.
-    pub fn from_transcript(
-        start: (usize, usize),
-        score: Score,
-        transcript: &Transcript,
-    ) -> Self {
+    pub fn from_transcript(start: (usize, usize), score: Score, transcript: &Transcript) -> Self {
         let (mut i, mut j) = start;
         let mut gaps_s0 = Vec::new();
         let mut gaps_s1 = Vec::new();
@@ -223,14 +220,27 @@ impl BinaryAlignment {
         if take(&mut pos, 4)? != MAGIC {
             return Err(DecodeError::BadMagic);
         }
+        // `take` hands back exactly `n` bytes, so re-checking the length in
+        // the conversions below would be dead code; zip-filling fixed
+        // buffers keeps the decoder free of panicking paths either way.
         let u64_at = |pos: &mut usize| -> Result<u64, DecodeError> {
-            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+            let mut b = [0u8; 8];
+            for (d, s) in b.iter_mut().zip(take(pos, 8)?) {
+                *d = *s;
+            }
+            Ok(u64::from_le_bytes(b))
         };
         let s0 = u64_at(&mut pos)? as usize;
         let s1 = u64_at(&mut pos)? as usize;
         let e0 = u64_at(&mut pos)? as usize;
         let e1 = u64_at(&mut pos)? as usize;
-        let score = Score::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let score = {
+            let mut b = [0u8; 4];
+            for (d, s) in b.iter_mut().zip(take(&mut pos, 4)?) {
+                *d = *s;
+            }
+            Score::from_le_bytes(b)
+        };
         let n0 = u64_at(&mut pos)? as usize;
         let n1 = u64_at(&mut pos)? as usize;
         // Validate counts against the remaining payload before allocating:
@@ -242,9 +252,9 @@ impl BinaryAlignment {
         let read_runs = |pos: &mut usize, n: usize| -> Result<Vec<GapRun>, DecodeError> {
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
-                let i = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
-                let j = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
-                let len = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
+                let i = u64_at(pos)? as usize;
+                let j = u64_at(pos)? as usize;
+                let len = u64_at(pos)? as usize;
                 v.push(GapRun { i, j, len });
             }
             Ok(v)

@@ -5,7 +5,7 @@ use crate::config::PipelineConfig;
 use crate::crosspoint::CrosspointChain;
 use crate::sra::{LineStore, StoreStats};
 use crate::stage4::IterationStats;
-use crate::storage::StorageError;
+use crate::storage::{self, StorageError};
 use crate::{stage1, stage2, stage3, stage4, stage5};
 use gpu_sim::{ExecError, PoolStats, WorkerPool};
 use std::sync::Arc;
@@ -22,6 +22,7 @@ use sw_core::transcript::Transcript;
 /// [`StageError::Worker`] means a job panicked on the shared
 /// [`WorkerPool`] — the pool itself survives and the run can be retried.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StageError {
     /// A stage invariant failed (a bug or corrupted store).
     Logic(String),
@@ -65,6 +66,10 @@ impl From<ExecError> for StageError {
     fn from(e: ExecError) -> Self {
         match e {
             ExecError::WorkerPanic(msg) => StageError::Worker(msg),
+            // `ExecError` is `#[non_exhaustive]`: any executor failure mode
+            // added later surfaces as a stage-invariant error rather than a
+            // compile break here.
+            other => StageError::Logic(format!("executor error: {other}")),
         }
     }
 }
@@ -77,6 +82,7 @@ impl From<StorageError> for StageError {
 
 /// Pipeline failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PipelineError {
     /// An internal invariant failed (a bug or corrupted store).
     Internal(String),
@@ -102,7 +108,10 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Io(s) => write!(f, "pipeline I/O error: {s}"),
             PipelineError::Worker(s) => write!(f, "pipeline worker panicked: {s}"),
             PipelineError::Interrupted { diagonal } => {
-                write!(f, "pipeline interrupted at external diagonal {diagonal} (resume to continue)")
+                write!(
+                    f,
+                    "pipeline interrupted at external diagonal {diagonal} (resume to continue)"
+                )
             }
         }
     }
@@ -309,7 +318,7 @@ impl Pipeline {
         let s1r = match &cfg.checkpoint {
             None => stage1::run(s0, s1, cfg, pool, &mut rows)?,
             Some(ck) => {
-                std::fs::create_dir_all(&ck.dir).map_err(|e| PipelineError::Io(e.to_string()))?;
+                storage::ensure_dir(&ck.dir).map_err(|e| PipelineError::Io(e.to_string()))?;
                 let r = stage1::run_resumable(
                     s0,
                     s1,
@@ -319,7 +328,7 @@ impl Pipeline {
                     resume_state,
                     Some((ck.dir.as_path(), ck.every_diagonals)),
                 )?;
-                let _ = std::fs::remove_file(ck.dir.join("stage1.ckpt"));
+                storage::remove_file_quiet(&ck.dir.join("stage1.ckpt"));
                 r
             }
         };
@@ -606,15 +615,13 @@ mod checkpoint_tests {
 
         let mut cfg = PipelineConfig::for_tests();
         cfg.backend = SraBackend::Disk(dir.clone());
-        cfg.checkpoint =
-            Some(CheckpointPolicy { dir: dir.clone(), every_diagonals: 9 });
+        cfg.checkpoint = Some(CheckpointPolicy { dir: dir.clone(), every_diagonals: 9 });
 
         // "Crashed" run: the observer writes combined snapshots itself;
         // the last one survives as stage1.ckpt alongside the row files.
         {
             let fp = cfg.job_fingerprint(a.len(), b.len());
-            let mut rows =
-                LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row", fp).unwrap();
+            let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row", fp).unwrap();
             let pool = WorkerPool::new(cfg.workers);
             let _ = stage1::run_resumable(
                 &a,
@@ -633,9 +640,7 @@ mod checkpoint_tests {
         let (ref_score, ref_end) = sw_local_score(&a, &b, &Scoring::paper());
         assert_eq!(res.best_score, ref_score);
         assert_eq!(res.end, ref_end);
-        res.transcript
-            .validate(&a[res.start.0..res.end.0], &b[res.start.1..res.end.1])
-            .unwrap();
+        res.transcript.validate(&a[res.start.0..res.end.0], &b[res.start.1..res.end.1]).unwrap();
         assert!(
             !dir.join("stage1.ckpt").exists(),
             "snapshot must be cleared after a completed stage 1"

@@ -23,12 +23,32 @@ use crate::config::SraBackend;
 use crate::storage::{self, FrameMeta, StorageError};
 use gpu_sim::{CellHE, CellHF};
 use std::collections::{BTreeMap, HashMap};
-use std::fs;
 use std::path::PathBuf;
 use sw_core::scoring::Score;
 
 /// Bytes per stored cell (two 4-byte values — the paper's layout).
 pub const CELL_BYTES: u64 = 8;
+
+/// The [`Score`] stored little-endian at byte offset `at` of a cell.
+/// Out-of-range reads are zero-filled rather than panicking; callers only
+/// pass offsets 0 and 4 of an 8-byte cell.
+fn score_at(b: &[u8; 8], at: usize) -> Score {
+    let mut le = [0u8; 4];
+    for (d, s) in le.iter_mut().zip(b.iter().skip(at)) {
+        *d = *s;
+    }
+    Score::from_le_bytes(le)
+}
+
+/// An owned 8-byte cell from a slice; shorter input is zero-padded (the
+/// framing layer has already length-checked every payload it hands out).
+fn cell8(c: &[u8]) -> [u8; 8] {
+    let mut b = [0u8; 8];
+    for (d, s) in b.iter_mut().zip(c) {
+        *d = *s;
+    }
+    b
+}
 
 /// A bus cell that can be stored in a [`LineStore`].
 pub trait BusCell: Copy + Send + 'static {
@@ -46,10 +66,7 @@ impl BusCell for CellHF {
         out
     }
     fn decode(b: [u8; 8]) -> Self {
-        CellHF {
-            h: Score::from_le_bytes(b[..4].try_into().unwrap()),
-            f: Score::from_le_bytes(b[4..].try_into().unwrap()),
-        }
+        CellHF { h: score_at(&b, 0), f: score_at(&b, 4) }
     }
 }
 
@@ -61,10 +78,7 @@ impl BusCell for CellHE {
         out
     }
     fn decode(b: [u8; 8]) -> Self {
-        CellHE {
-            h: Score::from_le_bytes(b[..4].try_into().unwrap()),
-            e: Score::from_le_bytes(b[4..].try_into().unwrap()),
-        }
+        CellHE { h: score_at(&b, 0), e: score_at(&b, 4) }
     }
 }
 
@@ -151,11 +165,7 @@ impl<T: BusCell> LineStore<T> {
         let dir = match backend {
             SraBackend::Memory => None,
             SraBackend::Disk(d) => {
-                fs::create_dir_all(d).map_err(|e| StorageError::Io {
-                    path: d.clone(),
-                    op: "create_dir_all",
-                    msg: e.to_string(),
-                })?;
+                storage::ensure_dir(d)?;
                 Some(d.clone())
             }
         };
@@ -176,27 +186,16 @@ impl<T: BusCell> LineStore<T> {
     /// `<prefix>-<index>-<origin>.bin` plus their `.tmp` staging siblings.
     fn own_files(&self) -> Result<Vec<(PathBuf, bool /* is_tmp */)>, StorageError> {
         let Some(dir) = &self.dir else { return Ok(Vec::new()) };
-        let rd = fs::read_dir(dir).map_err(|e| StorageError::Io {
-            path: dir.clone(),
-            op: "read_dir",
-            msg: e.to_string(),
-        })?;
         let mut out = Vec::new();
-        for entry in rd {
-            let entry = entry.map_err(|e| StorageError::Io {
-                path: dir.clone(),
-                op: "read_dir",
-                msg: e.to_string(),
-            })?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for path in storage::list_dir(dir)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
             if !name.starts_with(&format!("{}-", self.prefix)) {
                 continue;
             }
             if name.ends_with(".bin") {
-                out.push((entry.path(), false));
+                out.push((path, false));
             } else if name.ends_with(".bin.tmp") {
-                out.push((entry.path(), true));
+                out.push((path, true));
             }
         }
         Ok(out)
@@ -218,7 +217,7 @@ impl<T: BusCell> LineStore<T> {
     ) -> Result<Self, StorageError> {
         let mut store = Self::fresh(backend, budget, prefix, fingerprint)?;
         for (path, _) in store.own_files()? {
-            if fs::remove_file(&path).is_ok() {
+            if storage::remove_file_quiet(&path) {
                 store.stats.swept_files += 1;
             }
         }
@@ -246,7 +245,7 @@ impl<T: BusCell> LineStore<T> {
             if is_tmp {
                 // An interrupted write: the frame never made it to its
                 // final name, so nothing references it.
-                if fs::remove_file(&path).is_ok() {
+                if storage::remove_file_quiet(&path) {
                     store.stats.swept_files += 1;
                 }
                 continue;
@@ -262,7 +261,7 @@ impl<T: BusCell> LineStore<T> {
                 });
             let Some((idx, origin)) = named else {
                 // Matches the prefix but not the naming scheme: reject.
-                let _ = fs::remove_file(&path);
+                storage::remove_file_quiet(&path);
                 store.stats.rejected_files += 1;
                 continue;
             };
@@ -274,18 +273,18 @@ impl<T: BusCell> LineStore<T> {
                 // hand, or cross-linked by a sick filesystem): the name is
                 // what indexing trusts, so treat as corrupt.
                 Ok(_) | Err(_) => {
-                    let _ = fs::remove_file(&path);
+                    storage::remove_file_quiet(&path);
                     store.stats.rejected_files += 1;
                 }
             }
         }
         found.sort();
         for (idx, origin, path) in found {
-            let len_bytes = fs::metadata(&path)
-                .map(|m| m.len().saturating_sub(storage::FRAME_HEADER_BYTES as u64))
+            let len_bytes = storage::file_len(&path)
+                .map(|len| len.saturating_sub(storage::FRAME_HEADER_BYTES as u64))
                 .unwrap_or(0);
             if store.used + len_bytes > budget {
-                if fs::remove_file(&path).is_ok() {
+                if storage::remove_file_quiet(&path) {
                     store.stats.swept_files += 1;
                 }
                 continue;
@@ -438,7 +437,7 @@ impl<T: BusCell> LineStore<T> {
                         ),
                     });
                 }
-                payload.chunks_exact(8).map(|c| T::decode(c.try_into().unwrap())).collect()
+                payload.chunks_exact(8).map(|c| T::decode(cell8(c))).collect()
             }
         };
         Ok(Some((line.origin, cells)))
@@ -492,14 +491,16 @@ impl<T: BusCell> LineStore<T> {
             return false;
         }
         let Some(nb) = take(&mut pos, 8) else { return false };
-        let n = u64::from_le_bytes(nb.try_into().unwrap()) as usize;
+        let n = u64::from_le_bytes(cell8(nb)) as usize;
         for _ in 0..n {
-            let (Some(ib), Some(ob), Some(lb)) = (take(&mut pos, 8), take(&mut pos, 8), take(&mut pos, 8)) else {
+            let (Some(ib), Some(ob), Some(lb)) =
+                (take(&mut pos, 8), take(&mut pos, 8), take(&mut pos, 8))
+            else {
                 return false;
             };
-            let index = u64::from_le_bytes(ib.try_into().unwrap()) as usize;
-            let origin = u64::from_le_bytes(ob.try_into().unwrap()) as usize;
-            let len = u64::from_le_bytes(lb.try_into().unwrap()) as usize;
+            let index = u64::from_le_bytes(cell8(ib)) as usize;
+            let origin = u64::from_le_bytes(cell8(ob)) as usize;
+            let len = u64::from_le_bytes(cell8(lb)) as usize;
             if bytes.len().saturating_sub(pos) < len {
                 return false; // at least 1 byte per cell must remain
             }
@@ -511,7 +512,7 @@ impl<T: BusCell> LineStore<T> {
                     cells.push(None);
                 } else {
                     let Some(cb) = take(&mut pos, 8) else { return false };
-                    cells.push(Some(T::decode(cb.try_into().unwrap())));
+                    cells.push(Some(T::decode(cell8(cb))));
                     filled += 1;
                 }
             }
@@ -542,7 +543,7 @@ impl<T: BusCell> LineStore<T> {
         if let Some(line) = self.lines.remove(&index) {
             self.used -= CELL_BYTES * line.len as u64;
             if let Stored::Disk(path) = line.data {
-                let _ = fs::remove_file(path);
+                storage::remove_file_quiet(&path);
             }
         }
     }
@@ -594,6 +595,7 @@ impl<T: BusCell> Drop for LineStore<T> {
 mod tests {
     use super::*;
     use crate::storage::fault;
+    use std::fs;
     use sw_core::scoring::NEG_INF;
 
     const FP: u64 = 0x5EED;
@@ -694,8 +696,13 @@ mod tests {
             store.put_segment(
                 7,
                 3,
-                [CellHE { h: 1, e: NEG_INF }, CellHE { h: -2, e: 5 }, CellHE { h: 3, e: 4 }, CellHE { h: 9, e: 9 }]
-                    .into_iter(),
+                [
+                    CellHE { h: 1, e: NEG_INF },
+                    CellHE { h: -2, e: 5 },
+                    CellHE { h: 3, e: 4 },
+                    CellHE { h: 9, e: 9 },
+                ]
+                .into_iter(),
             );
             let (origin, cells) = store.get(7).unwrap().unwrap();
             assert_eq!(origin, 3);
@@ -703,10 +710,7 @@ mod tests {
             assert_eq!(cells[3], CellHE { h: 9, e: 9 });
             // File exists on disk: framed, so header + 32 payload bytes.
             let path = dir.join("col-7-3.bin");
-            assert_eq!(
-                fs::metadata(&path).unwrap().len(),
-                storage::FRAME_HEADER_BYTES as u64 + 32
-            );
+            assert_eq!(fs::metadata(&path).unwrap().len(), storage::FRAME_HEADER_BYTES as u64 + 32);
         }
         // Dropped store cleans its files (persist_on_drop defaults off).
         assert!(fs::read_dir(&dir).map(|d| d.count() == 0).unwrap_or(true));
@@ -773,8 +777,7 @@ mod tests {
         let b = fs::read(&p4).unwrap();
         fs::write(&p4, &b[..b.len() / 2]).unwrap();
 
-        let reopened: LineStore<CellHF> =
-            LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
+        let reopened: LineStore<CellHF> = LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
         assert_eq!(reopened.indices(), vec![6], "only the intact line survives");
         assert_eq!(reopened.stats().rejected_files, 2);
         assert!(!p2.exists() && !p4.exists(), "rejected files are deleted");
@@ -788,8 +791,7 @@ mod tests {
             store.put_segment(8, 0, [hf(1), hf(2)].into_iter());
             store.persist_on_drop(true);
         }
-        let reopened: LineStore<CellHF> =
-            LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
+        let reopened: LineStore<CellHF> = LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
         assert!(reopened.is_empty(), "foreign-fingerprint file not adopted");
         assert_eq!(reopened.stats().rejected_files, 1);
         let _ = fs::remove_dir_all(&dir);
@@ -810,8 +812,7 @@ mod tests {
         // A valid frame copied under the wrong name: header says line 5,
         // name says line 7. Adopting it would hand Stage 2 the wrong row.
         fs::copy(dir.join("row-5-0.bin"), dir.join("row-7-0.bin")).unwrap();
-        let reopened: LineStore<CellHF> =
-            LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
+        let reopened: LineStore<CellHF> = LineStore::reopen(&backend, 1 << 20, "row", FP).unwrap();
         assert_eq!(reopened.indices(), vec![5]);
         assert_eq!(reopened.stats().rejected_files, 1);
         let _ = fs::remove_dir_all(&dir);

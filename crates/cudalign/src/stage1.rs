@@ -433,9 +433,17 @@ mod resume_tests {
         // The resumed SRA still drives the rest of the pipeline: rows that
         // were mid-flight at the snapshot are missing, which is allowed.
         let mut cols = LineStore::new(&cfg.backend, cfg.sca_bytes, "col", 7).unwrap();
-        let s2r =
-            crate::stage2::run(&a, &b, &cfg, &pool, resumed.best_score, resumed.end, &mut rows, &mut cols)
-                .unwrap();
+        let s2r = crate::stage2::run(
+            &a,
+            &b,
+            &cfg,
+            &pool,
+            resumed.best_score,
+            resumed.end,
+            &mut rows,
+            &mut cols,
+        )
+        .unwrap();
         assert_eq!(s2r.chain.points().last().unwrap().score, full.best_score);
 
         let _ = std::fs::remove_dir_all(&dir);

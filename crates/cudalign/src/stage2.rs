@@ -143,22 +143,25 @@ impl gpu_sim::WavefrontObserver for StripObserver<'_> {
         // boundaries is a column of the original matrix.
         let vi_boundary = block.rows.1;
         let full_row = vi_boundary == (block.r + 1) * self.view_block_height;
-        if full_row && vi_boundary < self.view_m && (block.r + 1).is_multiple_of(self.col_interval) {
+        if full_row && vi_boundary < self.view_m && (block.r + 1).is_multiple_of(self.col_interval)
+        {
             let j = self.cur_j - vi_boundary;
             if j > 0 {
                 if block.c == 0
-                    && self.cols.try_begin_line(j, self.strip_top, self.strip_height + 1) {
-                        self.saved_cols.push(j);
-                        // Border cell i = cur_i: the reverse path from
-                        // (cur_i, j) is the pure horizontal run along the
-                        // view's left border.
-                        let run = gap_run_from(self.origin.f0, self.origin.h0, vi_boundary, &self.scoring);
-                        self.cols.put_segment(
-                            j,
-                            self.cur_i,
-                            std::iter::once(CellHE { h: run, e: run }),
-                        );
-                    }
+                    && self.cols.try_begin_line(j, self.strip_top, self.strip_height + 1)
+                {
+                    self.saved_cols.push(j);
+                    // Border cell i = cur_i: the reverse path from
+                    // (cur_i, j) is the pure horizontal run along the
+                    // view's left border.
+                    let run =
+                        gap_run_from(self.origin.f0, self.origin.h0, vi_boundary, &self.scoring);
+                    self.cols.put_segment(
+                        j,
+                        self.cur_i,
+                        std::iter::once(CellHE { h: run, e: run }),
+                    );
+                }
                 // bottom[t] is view column (block.cols.0 + t) = original row
                 // cur_i - (block.cols.0 + t); reversed so positions ascend.
                 let at = self.cur_i - block.cols.1;
@@ -454,10 +457,7 @@ mod tests {
         let (a, b) = related(3, 400);
         let (s2r, _) = run_stage12(&a, &b);
         for &c in &s2r.special_columns {
-            let inside = s2r
-                .chain
-                .partitions()
-                .any(|p| p.start.j < c && c < p.end.j);
+            let inside = s2r.chain.partitions().any(|p| p.start.j < c && c < p.end.j);
             assert!(inside, "column {c} outside every partition");
         }
     }
@@ -540,9 +540,11 @@ mod orthogonal_tests {
         // And the area shrinks when more special rows are available.
         let mut cfg_small = PipelineConfig::for_tests();
         cfg_small.sra_bytes = 8 * (b.len() as u64 + 1) * 2; // two rows only
-        let mut rows_small = LineStore::new(&SraBackend::Memory, cfg_small.sra_bytes, "row", 7).unwrap();
+        let mut rows_small =
+            LineStore::new(&SraBackend::Memory, cfg_small.sra_bytes, "row", 7).unwrap();
         let s1_small = stage1::run(&a, &b, &cfg_small, &pool, &mut rows_small).unwrap();
-        let mut cols_small = LineStore::new(&SraBackend::Memory, cfg_small.sca_bytes, "col", 7).unwrap();
+        let mut cols_small =
+            LineStore::new(&SraBackend::Memory, cfg_small.sca_bytes, "col", 7).unwrap();
         let s2_small = run(
             &a,
             &b,

@@ -258,7 +258,8 @@ pub fn run(
         points.push(chain.points()[0]);
     }
     for (p, out) in parts.iter().zip(outputs) {
-        let (new_points, c, v, b, s) = out.expect("computed")?;
+        let (new_points, c, v, b, s) =
+            out.ok_or_else(|| StageError::Logic("stage 3 partition task never ran".into()))??;
         cells += c;
         vram = vram.max(v);
         min_blocks = min_blocks.min(b);
@@ -355,9 +356,8 @@ mod tests {
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let mut cols = LineStore::new(&SraBackend::Memory, 0, "col", 7).unwrap();
-        let s2r =
-            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols)
-                .unwrap();
+        let s2r = stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols)
+            .unwrap();
         let s3r = run(&a, &b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         assert_eq!(s3r.chain.points(), s2r.chain.points());
         assert_eq!(s3r.cells, 0);
@@ -394,9 +394,8 @@ mod parallel_tests {
         let mut rows = LineStore::new(&SraBackend::Memory, cfg.sra_bytes, "row", 7).unwrap();
         let s1r = stage1::run(&a, &b, &cfg, &pool, &mut rows).unwrap();
         let mut cols = LineStore::new(&SraBackend::Memory, cfg.sca_bytes, "col", 7).unwrap();
-        let s2r =
-            stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols)
-                .unwrap();
+        let s2r = stage2::run(&a, &b, &cfg, &pool, s1r.best_score, s1r.end, &mut rows, &mut cols)
+            .unwrap();
 
         let seq = run(&a, &b, &cfg, &pool, &s2r.chain, &cols).unwrap();
         let mut par_cfg = cfg.clone();

@@ -111,10 +111,7 @@ fn split_rows(
         cells += ((h - mid) as u64) * (w as u64);
         let mp = match_argmax(&cc, &dd, &rr, &ss, sc);
         if mp.total != score {
-            return Err(format!(
-                "stage 4 matching total {} != partition score {score}",
-                mp.total
-            ));
+            return Err(format!("stage 4 matching total {} != partition score {score}", mp.total));
         }
         Ok((mid, mp.j, mp.forward_score, mp.state, cells))
     }
@@ -258,7 +255,7 @@ pub fn run(
             if next_result < oversized.len() && oversized[next_result] == pi {
                 let (cp, cells) = results[next_result]
                     .take()
-                    .expect("result computed")
+                    .ok_or_else(|| StageError::Logic(format!("partition {pi} task never ran")))?
                     .map_err(|e| format!("partition {pi}: {e}"))?;
                 new_points.push(cp);
                 iter_cells += cells;
@@ -409,11 +406,7 @@ mod tests {
         let pool = WorkerPool::new(cfg.workers);
         let res = run(&a, &b, &cfg, &pool, &chain).unwrap();
         check_final_chain(&a, &b, &cfg, &res);
-        let has_gap_point = res
-            .chain
-            .points()
-            .iter()
-            .any(|p| p.edge != EdgeState::Diagonal);
+        let has_gap_point = res.chain.points().iter().any(|p| p.edge != EdgeState::Diagonal);
         assert!(has_gap_point, "expected gap-typed crosspoints across the deleted block");
     }
 

@@ -78,14 +78,20 @@ pub fn run(
     let mut transcript = Transcript::new();
     let mut cells = 0u64;
     for (idx, r) in results.into_iter().enumerate() {
-        let (t, c) = r.expect("computed").map_err(|e| format!("stage 5 partition {idx}: {e}"))?;
+        let (t, c) = r
+            .ok_or_else(|| StageError::Logic(format!("stage 5 partition {idx} task never ran")))?
+            .map_err(|e| format!("stage 5 partition {idx}: {e}"))?;
         transcript.extend_from(&t);
         cells += c;
     }
 
     let start_cp = chain.points()[0];
-    let end_cp = *chain.points().last().unwrap();
-    let binary = BinaryAlignment::from_transcript((start_cp.i, start_cp.j), end_cp.score, &transcript);
+    let end_cp = *chain
+        .points()
+        .last()
+        .ok_or_else(|| StageError::Logic("stage 5 crosspoint chain is empty".into()))?;
+    let binary =
+        BinaryAlignment::from_transcript((start_cp.i, start_cp.j), end_cp.score, &transcript);
     debug_assert_eq!(binary.end, (end_cp.i, end_cp.j), "transcript must span the chain");
 
     Ok(Stage5Result { transcript, binary, cells })

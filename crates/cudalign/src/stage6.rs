@@ -79,7 +79,7 @@ pub fn dot_plot(
     let mut out = String::with_capacity(rows * (cols + 1) + 64);
     out.push_str(&format!("S1 (0..{n}) ->\n"));
     for row in grid {
-        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.extend(row.iter().map(|&b| char::from(b)));
         out.push('\n');
     }
     out

@@ -51,6 +51,7 @@ const BACKOFF: Duration = Duration::from_millis(1);
 /// `ForeignFingerprint` means the file belongs to a *different job* and
 /// adopting it would silently corrupt the alignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StorageError {
     /// The operating system failed the operation after retries.
     Io {
@@ -109,6 +110,61 @@ impl StorageError {
     fn corrupt(path: &Path, reason: impl Into<String>) -> Self {
         StorageError::Corrupt { path: path.to_path_buf(), reason: reason.into() }
     }
+}
+
+/// Little-endian `u64` at byte offset `at`. Reads past the end are
+/// zero-filled instead of panicking; every caller validates the buffer
+/// length first, this just keeps header decoding panic-free.
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    for (d, s) in b.iter_mut().zip(bytes.iter().skip(at)) {
+        *d = *s;
+    }
+    u64::from_le_bytes(b)
+}
+
+/// Little-endian `u32` at byte offset `at`; see [`le_u64`].
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    for (d, s) in b.iter_mut().zip(bytes.iter().skip(at)) {
+        *d = *s;
+    }
+    u32::from_le_bytes(b)
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem access for the rest of the crate
+// ---------------------------------------------------------------------------
+//
+// All persistent state flows through this module (the `fs-isolation` lint
+// enforces it), so the few directory-level operations other modules need
+// live here as thin, typed wrappers.
+
+/// Create `dir` and any missing parents.
+pub fn ensure_dir(dir: &Path) -> Result<(), StorageError> {
+    std::fs::create_dir_all(dir).map_err(|e| StorageError::io(dir, "create_dir_all", &e))
+}
+
+/// Delete `path`, reporting whether a file was actually removed. Failures
+/// (already gone, permissions) are swallowed: callers use this for sweeps
+/// and cleanups where the only interesting outcome is the sweep count.
+pub fn remove_file_quiet(path: &Path) -> bool {
+    std::fs::remove_file(path).is_ok()
+}
+
+/// Paths of all entries in `dir`.
+pub fn list_dir(dir: &Path) -> Result<Vec<PathBuf>, StorageError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| StorageError::io(dir, "read_dir", &e))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        out.push(entry.map_err(|e| StorageError::io(dir, "read_dir", &e))?.path());
+    }
+    Ok(out)
+}
+
+/// Size of `path` in bytes, or `None` if it cannot be stat'ed.
+pub fn file_len(path: &Path) -> Option<u64> {
+    std::fs::metadata(path).map(|m| m.len()).ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -237,8 +293,12 @@ pub fn read_frame(path: &Path, expected_fp: u64) -> Result<(FrameMeta, Vec<u8>),
     if bytes[..8] != FRAME_MAGIC {
         return Err(StorageError::corrupt(path, "bad magic"));
     }
-    let u = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
-    let meta = FrameMeta { fingerprint: u(8), index: u(16), origin: u(24), len: u(32) };
+    let meta = FrameMeta {
+        fingerprint: le_u64(&bytes, 8),
+        index: le_u64(&bytes, 16),
+        origin: le_u64(&bytes, 24),
+        len: le_u64(&bytes, 32),
+    };
     if meta.fingerprint != expected_fp {
         return Err(StorageError::ForeignFingerprint {
             path: path.to_path_buf(),
@@ -254,7 +314,7 @@ pub fn read_frame(path: &Path, expected_fp: u64) -> Result<(FrameMeta, Vec<u8>),
             format!("payload is {have} bytes, header promises {want}"),
         ));
     }
-    let stored_crc = u32::from_le_bytes(bytes[40..44].try_into().unwrap());
+    let stored_crc = le_u32(&bytes, 40);
     let actual = crc32_parts(&[&bytes[..40], &bytes[FRAME_HEADER_BYTES..]]);
     let payload = bytes.split_off(FRAME_HEADER_BYTES);
     if actual != stored_crc {
@@ -275,7 +335,11 @@ pub fn read_frame(path: &Path, expected_fp: u64) -> Result<(FrameMeta, Vec<u8>),
 /// whose inner format has structure but no integrity check of its own — a
 /// bit-flipped bus value would otherwise decode cleanly and poison the
 /// resumed wavefront. Returns the number of retries used.
-pub fn write_checksummed(path: &Path, fingerprint: u64, payload: &[u8]) -> Result<u32, StorageError> {
+pub fn write_checksummed(
+    path: &Path,
+    fingerprint: u64,
+    payload: &[u8],
+) -> Result<u32, StorageError> {
     let mut out = Vec::with_capacity(CKPT_HEADER_BYTES + payload.len());
     out.extend_from_slice(&CKPT_MAGIC);
     out.extend_from_slice(&fingerprint.to_le_bytes());
@@ -296,7 +360,7 @@ pub fn read_checksummed(path: &Path, expected_fp: u64) -> Result<Vec<u8>, Storag
     if bytes[..8] != CKPT_MAGIC {
         return Err(StorageError::corrupt(path, "bad envelope magic"));
     }
-    let found = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let found = le_u64(&bytes, 8);
     if found != expected_fp {
         return Err(StorageError::ForeignFingerprint {
             path: path.to_path_buf(),
@@ -304,11 +368,11 @@ pub fn read_checksummed(path: &Path, expected_fp: u64) -> Result<Vec<u8>, Storag
             found,
         });
     }
-    let len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let len = le_u64(&bytes, 16);
     if (bytes.len() - CKPT_HEADER_BYTES) as u64 != len {
         return Err(StorageError::corrupt(path, "payload length mismatch"));
     }
-    let stored_crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    let stored_crc = le_u32(&bytes, 24);
     let actual = crc32_parts(&[&bytes[..24], &bytes[CKPT_HEADER_BYTES..]]);
     let payload = bytes.split_off(CKPT_HEADER_BYTES);
     if actual != stored_crc {
@@ -368,11 +432,9 @@ fn attempt_write(path: &Path, tmp: &Path, frame: &[u8]) -> Result<(), AttemptErr
             },
             transient: false,
         }),
-        Some(fault::WriteFault::Transient) => Err(AttemptError::from_io(
-            path,
-            "write",
-            &io::Error::from(io::ErrorKind::Interrupted),
-        )),
+        Some(fault::WriteFault::Transient) => {
+            Err(AttemptError::from_io(path, "write", &io::Error::from(io::ErrorKind::Interrupted)))
+        }
         None => {
             std::fs::write(tmp, frame).map_err(|e| AttemptError::from_io(tmp, "write", &e))?;
             std::fs::rename(tmp, path).map_err(|e| AttemptError::from_io(path, "rename", &e))?;
@@ -445,6 +507,13 @@ pub mod fault {
     }
 
     static WRITE_PLAN: Mutex<Option<WritePlan>> = Mutex::new(None);
+
+    /// The write plan, recovering from poisoning: a panicking test must
+    /// not wedge every later storage write behind a poisoned lock.
+    fn write_plan() -> std::sync::MutexGuard<'static, Option<WritePlan>> {
+        WRITE_PLAN.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// `< 0`: disarmed. Otherwise the read that decrements it to exactly
     /// zero gets a bit flipped.
     static READ_CORRUPT: AtomicI64 = AtomicI64::new(-1);
@@ -455,8 +524,7 @@ pub mod fault {
     /// Arm a write fault: the `nth` write attempt from now (0-based)
     /// applies `fault`, and so do the `times - 1` attempts after it.
     pub fn arm_write(nth: u64, fault: WriteFault, times: u32) {
-        *WRITE_PLAN.lock().expect("fault plan lock") =
-            Some(WritePlan { countdown: nth, fault, hits_left: times.max(1) });
+        *write_plan() = Some(WritePlan { countdown: nth, fault, hits_left: times.max(1) });
     }
 
     /// Arm a corrupt read: the `nth` storage read from now (0-based) has
@@ -488,13 +556,13 @@ pub mod fault {
 
     /// Disarm every hook.
     pub fn disarm_all() {
-        *WRITE_PLAN.lock().expect("fault plan lock") = None;
+        *write_plan() = None;
         READ_CORRUPT.store(-1, Ordering::SeqCst);
         STAGE1_KILL.store(-1, Ordering::SeqCst);
     }
 
     pub(crate) fn take_write_fault() -> Option<WriteFault> {
-        let mut plan = WRITE_PLAN.lock().expect("fault plan lock");
+        let mut plan = write_plan();
         let p = plan.as_mut()?;
         if p.countdown > 0 {
             p.countdown -= 1;
@@ -597,10 +665,7 @@ mod tests {
         let payload = b"CKS1-some-inner-bytes".to_vec();
         write_checksummed(&path, 7, &payload).unwrap();
         assert_eq!(read_checksummed(&path, 7).unwrap(), payload);
-        assert!(matches!(
-            read_checksummed(&path, 8),
-            Err(StorageError::ForeignFingerprint { .. })
-        ));
+        assert!(matches!(read_checksummed(&path, 8), Err(StorageError::ForeignFingerprint { .. })));
         let mut bad = std::fs::read(&path).unwrap();
         let last = bad.len() - 1;
         bad[last] ^= 0x80;

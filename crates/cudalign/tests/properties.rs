@@ -49,8 +49,11 @@ fn related_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
 }
 
 fn small_grids() -> impl Strategy<Value = GridSpec> {
-    (1usize..6, 1usize..6, 1usize..4)
-        .prop_map(|(blocks, threads, alpha)| GridSpec { blocks, threads, alpha })
+    (1usize..6, 1usize..6, 1usize..4).prop_map(|(blocks, threads, alpha)| GridSpec {
+        blocks,
+        threads,
+        alpha,
+    })
 }
 
 fn check(a: &[u8], b: &[u8], cfg: PipelineConfig) -> Result<(), TestCaseError> {

@@ -45,6 +45,7 @@ use std::thread::JoinHandle;
 
 /// Failure surfaced by [`WorkerPool::scope`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ExecError {
     /// A job panicked; the payload is the panic message of the first
     /// panicking job (later jobs in the same scope were cancelled).
@@ -85,6 +86,41 @@ pub struct PoolStats {
 struct QueuedJob {
     scope: Arc<ScopeState>,
     job: Box<dyn FnOnce() + Send + 'static>,
+    /// Scope-FIFO sequence number, stamped at spawn. The queue preserves
+    /// it, so the race detector can tag every bus event with the exact
+    /// position of its job in the pool's total spawn order.
+    #[cfg(feature = "race-check")]
+    seq: u64,
+}
+
+/// Event-tagging context for the race detector (feature `race-check`):
+/// which pool lane the calling thread is, and the FIFO sequence number of
+/// the job it is currently executing. Lane 0 is every non-pool thread
+/// (including scope callers draining inline); worker threads register
+/// their 1-based lane index at startup.
+#[cfg(feature = "race-check")]
+pub mod trace {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        pub(crate) static LANE: Cell<usize> = const { Cell::new(0) };
+        pub(crate) static CURRENT_SEQ: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+
+    /// Allocate the next scope-FIFO sequence number.
+    pub(crate) fn next_seq() -> u64 {
+        NEXT_SEQ.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// `(lane, seq)` of the pool job the calling thread is executing;
+    /// `seq` is `u64::MAX` outside any job (e.g. the engine's commit
+    /// loop on the caller thread).
+    pub fn current() -> (usize, u64) {
+        (LANE.with(Cell::get), CURRENT_SEQ.with(Cell::get))
+    }
 }
 
 /// Book-keeping for one `scope` call.
@@ -101,6 +137,14 @@ struct ScopeState {
     spawned: AtomicU64,
 }
 
+/// Lock `m`, recovering from poisoning. Job panics are caught by
+/// `run_item` and surfaced as [`ExecError::WorkerPanic`], so a poisoned
+/// pool mutex carries no extra information — the counters and queue it
+/// guards are valid and must stay usable for the scopes that follow.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl ScopeState {
     fn new() -> Arc<Self> {
         Arc::new(ScopeState {
@@ -114,7 +158,7 @@ impl ScopeState {
 
     /// Mark one job finished (run, cancelled, or panicked).
     fn finish_one(&self) {
-        let mut pending = self.pending.lock().expect("scope state lock");
+        let mut pending = lock_unpoisoned(&self.pending);
         *pending -= 1;
         if *pending == 0 {
             self.done.notify_all();
@@ -137,11 +181,16 @@ struct PoolShared {
 impl PoolShared {
     /// Pop the oldest queued job, without blocking.
     fn try_pop(&self) -> Option<QueuedJob> {
-        self.queue.lock().expect("pool queue lock").pop_front()
+        lock_unpoisoned(&self.queue).pop_front()
     }
 
     /// Execute (or cancel) one job and settle its scope accounting.
     fn run_item(&self, item: QueuedJob, inline: bool) {
+        #[cfg(feature = "race-check")]
+        trace::CURRENT_SEQ.with(|s| s.set(item.seq));
+        #[cfg(feature = "race-check")]
+        let QueuedJob { scope, job, seq: _ } = item;
+        #[cfg(not(feature = "race-check"))]
         let QueuedJob { scope, job } = item;
         if scope.panicked.load(Ordering::Acquire) {
             // A sibling already failed: cancel by dropping the closure
@@ -157,6 +206,8 @@ impl PoolShared {
             fault::fire_if_armed();
             job();
         }));
+        #[cfg(feature = "race-check")]
+        trace::CURRENT_SEQ.with(|s| s.set(u64::MAX));
         if let Err(payload) = outcome {
             let msg = payload
                 .downcast_ref::<String>()
@@ -164,7 +215,7 @@ impl PoolShared {
                 .or_else(|| payload.downcast_ref::<&str>().copied())
                 .unwrap_or("<non-string panic payload>")
                 .to_owned();
-            let mut first = scope.panic.lock().expect("scope panic lock");
+            let mut first = lock_unpoisoned(&scope.panic);
             if first.is_none() {
                 *first = Some(msg);
             }
@@ -177,7 +228,7 @@ impl PoolShared {
     fn worker_loop(&self) {
         loop {
             let item = {
-                let mut queue = self.queue.lock().expect("pool queue lock");
+                let mut queue = lock_unpoisoned(&self.queue);
                 loop {
                     if let Some(item) = queue.pop_front() {
                         break item;
@@ -185,7 +236,7 @@ impl PoolShared {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    queue = self.available.wait(queue).expect("pool queue lock");
+                    queue = self.available.wait(queue).unwrap_or_else(|e| e.into_inner());
                 }
             };
             self.run_item(item, false);
@@ -214,7 +265,7 @@ impl<'env> Scope<'_, 'env> {
         F: FnOnce() + Send + 'env,
     {
         {
-            let mut pending = self.state.pending.lock().expect("scope state lock");
+            let mut pending = lock_unpoisoned(&self.state.pending);
             *pending += 1;
         }
         self.state.spawned.fetch_add(1, Ordering::Relaxed);
@@ -229,8 +280,13 @@ impl<'env> Scope<'_, 'env> {
         // lifetime to `'static` never lets a borrow dangle.
         let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
         {
-            let mut queue = self.pool.shared.queue.lock().expect("pool queue lock");
-            queue.push_back(QueuedJob { scope: Arc::clone(&self.state), job });
+            let mut queue = lock_unpoisoned(&self.pool.shared.queue);
+            queue.push_back(QueuedJob {
+                scope: Arc::clone(&self.state),
+                job,
+                #[cfg(feature = "race-check")]
+                seq: trace::next_seq(),
+            });
         }
         self.pool.shared.available.notify_one();
     }
@@ -271,15 +327,22 @@ impl WorkerPool {
             inline_tasks: AtomicU64::new(0),
             busy_millis: AtomicU64::new(0),
         });
-        let threads = (1..lanes)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gpu-sim-worker-{i}"))
-                    .spawn(move || shared.worker_loop())
-                    .expect("spawn pool worker")
-            })
-            .collect();
+        let mut threads = Vec::with_capacity(lanes.saturating_sub(1));
+        for i in 1..lanes {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new().name(format!("gpu-sim-worker-{i}")).spawn(move || {
+                #[cfg(feature = "race-check")]
+                trace::LANE.with(|l| l.set(i));
+                shared.worker_loop()
+            }) {
+                Ok(handle) => threads.push(handle),
+                // Out of native threads: degrade to the lanes that did
+                // start. The caller is always a lane of its own, so the
+                // pool makes progress even with zero spawned workers.
+                Err(_) => break,
+            }
+        }
+        let lanes = threads.len() + 1;
         WorkerPool { shared, threads, lanes }
     }
 
@@ -310,26 +373,24 @@ impl WorkerPool {
                 self.shared.run_item(item, true);
                 continue;
             }
-            let pending = state.pending.lock().expect("scope state lock");
+            let pending = lock_unpoisoned(&state.pending);
             if *pending == 0 {
                 break;
             }
             // The remaining jobs are held by worker threads; wait for the
             // count to drop, then re-check the queue (nested scopes may
             // have queued more work in the meantime).
-            drop(state.done.wait(pending).expect("scope state lock"));
+            drop(state.done.wait(pending).unwrap_or_else(|e| e.into_inner()));
         }
 
         let busy = (state.spawned.load(Ordering::Relaxed) as usize).min(self.lanes);
-        self.shared
-            .busy_millis
-            .fetch_add((1000 * busy / self.lanes) as u64, Ordering::Relaxed);
+        self.shared.busy_millis.fetch_add((1000 * busy / self.lanes) as u64, Ordering::Relaxed);
 
         let body_value = match result {
             Ok(v) => v,
             Err(payload) => resume_unwind(payload),
         };
-        let first_panic = state.panic.lock().expect("scope panic lock").take();
+        let first_panic = lock_unpoisoned(&state.panic).take();
         match first_panic {
             Some(msg) => Err(ExecError::WorkerPanic(msg)),
             None => Ok(body_value),
@@ -345,7 +406,11 @@ impl WorkerPool {
             scopes,
             tasks: self.shared.tasks.load(Ordering::Relaxed),
             inline_tasks: self.shared.inline_tasks.load(Ordering::Relaxed),
-            busy_ratio: if scopes == 0 { 0.0 } else { busy_millis as f64 / (1000.0 * scopes as f64) },
+            busy_ratio: if scopes == 0 {
+                0.0
+            } else {
+                busy_millis as f64 / (1000.0 * scopes as f64)
+            },
         }
     }
 }
@@ -390,6 +455,39 @@ pub mod fault {
     /// Disarm the hook.
     pub fn disarm() {
         BUDGET.store(-1, Ordering::SeqCst);
+        #[cfg(feature = "race-check")]
+        disarm_reorder();
+    }
+
+    /// `(r, c)` of a block the wavefront engine must run one external
+    /// diagonal EARLY, encoded as `r * 2^32 + c + 1`; `0` = disarmed.
+    #[cfg(feature = "race-check")]
+    static REORDER: super::AtomicU64 = super::AtomicU64::new(0);
+
+    /// Arm the reorder fault: the wavefront engine performs block
+    /// `(r, c)`'s bus transactions one external diagonal early — before
+    /// the barrier that should order its neighbours' writes first — so
+    /// the race detector provably observes a violation. The phantom run
+    /// touches only the detector's shadow state; engine output is
+    /// unchanged. Requires `r > 0 && c > 0` (a border block has nothing
+    /// to read early).
+    #[cfg(feature = "race-check")]
+    pub fn arm_reorder_block(r: usize, c: usize) {
+        assert!(r > 0 && c > 0, "reorder fault needs an interior block");
+        REORDER.store(((r as u64) << 32) | (c as u64 + 1), Ordering::SeqCst);
+    }
+
+    /// Disarm the reorder fault.
+    #[cfg(feature = "race-check")]
+    pub fn disarm_reorder() {
+        REORDER.store(0, Ordering::SeqCst);
+    }
+
+    /// The armed reorder target, if any.
+    #[cfg(feature = "race-check")]
+    pub(crate) fn reorder_block() -> Option<(usize, usize)> {
+        let v = REORDER.load(Ordering::Relaxed);
+        (v != 0).then(|| ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize - 1))
     }
 
     /// Called by the pool before each job.
@@ -398,6 +496,8 @@ pub mod fault {
             return;
         }
         if BUDGET.fetch_sub(1, Ordering::SeqCst) == 0 {
+            // lint: allow(no-panics): the injected panic IS the fault this
+            // hook exists to deliver; run_item catches it as WorkerPanic.
             panic!("{}", INJECTED_MSG);
         }
     }
@@ -407,6 +507,77 @@ pub mod fault {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    /// Drop-counter capture: proves a job closure (and everything it
+    /// borrowed) was destroyed, whether the job ran or was cancelled.
+    struct Canary<'a>(&'a AtomicUsize);
+    impl Drop for Canary<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Regression for the `SAFETY` note on [`Scope::spawn`]'s
+    /// lifetime-erasing transmute: `scope()` must not return while any
+    /// job — and with it any `'env` borrow — is still alive. Slow jobs
+    /// keep workers busy past the body's exit; the canaries prove every
+    /// closure (with its captures) was destroyed before `scope()`
+    /// returned, and the post-scope `&mut` reuse of `data` is the
+    /// borrow-checker's half of the argument (it would not compile if
+    /// the `'env` borrows could escape the call).
+    #[test]
+    fn scope_borrows_end_before_scope_returns() {
+        for workers in [1usize, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut data = [0u64; 24];
+            let dropped = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for (i, slot) in data.iter_mut().enumerate() {
+                    let canary = Canary(&dropped);
+                    s.spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        *slot = i as u64 + 1;
+                        drop(canary);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(
+                dropped.load(Ordering::SeqCst),
+                data.len(),
+                "{workers} lane(s): a job closure outlived scope()"
+            );
+            for (i, slot) in data.iter_mut().enumerate() {
+                assert_eq!(*slot, i as u64 + 1, "{workers} lane(s): job {i} never ran");
+                *slot = 0;
+            }
+        }
+    }
+
+    /// The cancel path must uphold the same invariant: jobs skipped after
+    /// a sibling's panic are *dropped* (not leaked) before `scope()`
+    /// returns, so captured borrows cannot dangle either way.
+    #[test]
+    fn cancelled_jobs_drop_their_captures_before_scope_returns() {
+        let pool = WorkerPool::new(2);
+        let dropped = AtomicUsize::new(0);
+        let spawned = 16usize;
+        let err = pool
+            .scope(|s| {
+                s.spawn(|| panic!("deliberate test panic"));
+                for _ in 0..spawned {
+                    let canary = Canary(&dropped);
+                    s.spawn(move || drop(canary));
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::WorkerPanic(_)));
+        assert_eq!(
+            dropped.load(Ordering::SeqCst),
+            spawned,
+            "a cancelled job's captures were not dropped before scope() returned"
+        );
+    }
 
     #[test]
     fn scope_runs_all_jobs_with_borrows() {

@@ -272,17 +272,13 @@ pub fn global_borders(
 
 /// Border values for a local-mode region: all zeros.
 pub fn local_borders(m: usize, n: usize) -> (Vec<CellHF>, Vec<CellHE>, Score) {
-    (
-        vec![CellHF { h: 0, f: NEG_INF }; n],
-        vec![CellHE { h: 0, e: NEG_INF }; m],
-        0,
-    )
+    (vec![CellHF { h: 0, f: NEG_INF }; n], vec![CellHE { h: 0, e: NEG_INF }; m], 0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sw_core::full::{sw_local_score, nw_global_typed};
+    use sw_core::full::{nw_global_typed, sw_local_score};
     use sw_core::linear::forward_vectors;
     use sw_core::transcript::EdgeState as ES;
 
@@ -304,7 +300,8 @@ mod tests {
         let a = lcg(1, 37);
         let b = lcg(2, 23);
         for start in [ES::Diagonal, ES::GapS0, ES::GapS1] {
-            let (mut top, mut left, corner) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(start));
+            let (mut top, mut left, corner) =
+                global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(start));
             compute_tile(&a, &b, 1, 1, &SC, false, None, corner, &mut top, &mut left);
             let (h, f) = forward_vectors(&a, &b, &SC, start);
             for j in 0..b.len() {
@@ -338,11 +335,13 @@ mod tests {
         let (mi, nj) = (a.len() / 2, b.len() / 2);
 
         // Reference: single tile.
-        let (mut top_ref, mut left_ref, corner) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        let (mut top_ref, mut left_ref, corner) =
+            global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
         compute_tile(&a, &b, 1, 1, &SC, false, None, corner, &mut top_ref, &mut left_ref);
 
         // Stitched: four tiles with explicit corner bookkeeping.
-        let (mut top, mut left, _) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        let (mut top, mut left, _) =
+            global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
         let (t0, t1) = top.split_at_mut(nj);
         let (l0, l1) = left.split_at_mut(mi);
         // corners[r][c] = H at the bottom-right of block (r, c); virtual
@@ -350,12 +349,14 @@ mod tests {
         let c00_in = 0; // H(0,0)
         let o00 = compute_tile(&a[..mi], &b[..nj], 1, 1, &SC, false, None, c00_in, t0, l0);
         // block (0,1): corner = H(0, nj) = value the init row had there.
-        let (init_top, _, _) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        let (init_top, _, _) =
+            global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
         let c01_in = init_top[nj - 1].h;
         let o01 = compute_tile(&a[..mi], &b[nj..], 1, nj + 1, &SC, false, None, c01_in, t1, l0);
         let _ = o01;
         // block (1,0): corner = H(mi, 0) = init column value at row mi.
-        let (_, init_left, _) = global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        let (_, init_left, _) =
+            global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
         let c10_in = init_left[mi - 1].h;
         compute_tile(&a[mi..], &b[..nj], mi + 1, 1, &SC, false, None, c10_in, t0, l1);
         // block (1,1): corner = bottom-right H of block (0,0).
@@ -371,14 +372,17 @@ mod tests {
 
     #[test]
     fn empty_tiles_pass_through() {
-        let (mut top, mut left, corner) = global_borders(0, 5, &SC, GlobalOrigin::forward(ES::Diagonal));
+        let (mut top, mut left, corner) =
+            global_borders(0, 5, &SC, GlobalOrigin::forward(ES::Diagonal));
         let out = compute_tile(b"", b"ACGTA", 1, 1, &SC, false, None, corner, &mut top, &mut left);
         assert_eq!(out.cells, 0);
         // Zero-height: corner walks along the untouched top border.
         assert_eq!(out.corner_out, top[4].h);
         let _ = corner;
-        let (mut top2, mut left2, corner2) = global_borders(4, 0, &SC, GlobalOrigin::forward(ES::Diagonal));
-        let out2 = compute_tile(b"ACGT", b"", 1, 1, &SC, false, None, corner2, &mut top2, &mut left2);
+        let (mut top2, mut left2, corner2) =
+            global_borders(4, 0, &SC, GlobalOrigin::forward(ES::Diagonal));
+        let out2 =
+            compute_tile(b"ACGT", b"", 1, 1, &SC, false, None, corner2, &mut top2, &mut left2);
         assert_eq!(out2.cells, 0);
         // corner_out walks down the left border to the last row.
         assert_eq!(out2.corner_out, left2[3].h);

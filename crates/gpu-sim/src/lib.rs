@@ -41,6 +41,8 @@ pub mod exec;
 pub mod grid;
 pub mod kernel;
 pub mod multi;
+#[cfg(feature = "race-check")]
+pub mod race;
 pub mod wavefront;
 
 pub use device::DeviceModel;

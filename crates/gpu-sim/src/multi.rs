@@ -45,6 +45,38 @@ fn chunk_rows(m: usize, devices: usize) -> usize {
     (m / (devices * 4).max(1)).clamp(32, 8192).min(m.max(1))
 }
 
+/// Border message on the inter-device channel. Under `race-check` every
+/// border is tagged with its (sender device, chunk index) so the receiver
+/// can verify it consumed the border it scheduled for — a mis-sequenced
+/// or cross-wired channel shows up as a `ChannelTag` violation instead of
+/// silently corrupting the downstream slice.
+#[cfg(feature = "race-check")]
+type BorderMsg = ((usize, usize), Vec<CellHE>);
+#[cfg(not(feature = "race-check"))]
+type BorderMsg = Vec<CellHE>;
+
+#[cfg(feature = "race-check")]
+fn tag_border(device: usize, chunk: usize, border: Vec<CellHE>) -> BorderMsg {
+    ((device, chunk), border)
+}
+#[cfg(not(feature = "race-check"))]
+fn tag_border(_device: usize, _chunk: usize, border: Vec<CellHE>) -> BorderMsg {
+    border
+}
+
+#[cfg(feature = "race-check")]
+fn untag_border(expect_device: usize, expect_chunk: usize, msg: BorderMsg) -> Vec<CellHE> {
+    let ((got_device, got_chunk), border) = msg;
+    if (got_device, got_chunk) != (expect_device, expect_chunk) {
+        crate::race::report_channel_tag(expect_device, expect_chunk, got_device, got_chunk);
+    }
+    border
+}
+#[cfg(not(feature = "race-check"))]
+fn untag_border(_expect_device: usize, _expect_chunk: usize, msg: BorderMsg) -> Vec<CellHE> {
+    msg
+}
+
 /// Run a region split across `devices` simulated cards.
 ///
 /// Convenience wrapper over [`run_split_pooled`] with a transient
@@ -53,6 +85,8 @@ fn chunk_rows(m: usize, devices: usize) -> usize {
 pub fn run_split(job: &RegionJob<'_>, devices: usize) -> MultiDeviceResult {
     let pool = WorkerPool::new(devices.clamp(1, job.b.len().max(1)));
     run_split_pooled(&pool, job, devices)
+        // lint: allow(no-panics): documented panicking wrapper (the
+        // pre-executor behaviour); fallible callers use run_split_pooled.
         .unwrap_or_else(|e| panic!("device worker panicked: {e}"))
 }
 
@@ -112,8 +146,8 @@ pub fn run_split_pooled(
     // waiting for a lane, blocking the sender forever. Unbounded sends
     // always complete, and the FIFO spawn order guarantees every running
     // device's upstream is already running or finished.
-    let mut senders: Vec<Option<mpsc::Sender<Vec<CellHE>>>> = Vec::new();
-    let mut receivers: Vec<Option<mpsc::Receiver<Vec<CellHE>>>> = Vec::new();
+    let mut senders: Vec<Option<mpsc::Sender<BorderMsg>>> = Vec::new();
+    let mut receivers: Vec<Option<mpsc::Receiver<BorderMsg>>> = Vec::new();
     receivers.push(None);
     for _ in 1..devices {
         let (tx, rx) = mpsc::channel();
@@ -147,7 +181,12 @@ pub fn run_split_pooled(
                     let r1 = ((k + 1) * chunk).min(m);
                     let a_chunk = &job.a[r0..r1];
                     let mut left: Vec<CellHE> = match &rx {
-                        Some(rx) => rx.recv().expect("device pipeline broken"),
+                        Some(rx) => {
+                            // lint: allow(no-panics): recv fails only if the
+                            // upstream device panicked — which already poisons
+                            // the scope; this panic is the cancel path.
+                            untag_border(d - 1, k, rx.recv().expect("device pipeline broken"))
+                        }
                         None => vbus_init[r0..r1].to_vec(),
                     };
                     // The corner for this device's NEXT chunk is the last
@@ -175,9 +214,7 @@ pub fn run_split_pooled(
                     }
                     if let Some(hit) = out.watch_hit {
                         let cand = (0, hit.0, hit.1);
-                        if watch_hit
-                            .is_none_or(|cur| better_endpoint(cand, (0, cur.0, cur.1)))
-                        {
+                        if watch_hit.is_none_or(|cur| better_endpoint(cand, (0, cur.0, cur.1))) {
                             watch_hit = Some(hit);
                         }
                     }
@@ -185,7 +222,9 @@ pub fn run_split_pooled(
                     if let Some(tx) = &tx {
                         // `left` now holds this slice's LAST column — the
                         // next device's border for the same chunk.
-                        tx.send(left).expect("device pipeline broken");
+                        // lint: allow(no-panics): send fails only if the
+                        // downstream device panicked; see recv above.
+                        tx.send(tag_border(d, k, left)).expect("device pipeline broken");
                     }
                 }
                 *slot = Some((best, cells, top, watch_hit));
@@ -229,7 +268,9 @@ pub fn run_split_pooled(
 fn top_corner_from_init(job: &RegionJob<'_>, c0: usize) -> Score {
     let (hbus, _, origin_h) = match job.mode {
         Mode::Local => kernel::local_borders(job.a.len(), job.b.len()),
-        Mode::Global { origin } => kernel::global_borders(job.a.len(), job.b.len(), &job.scoring, origin),
+        Mode::Global { origin } => {
+            kernel::global_borders(job.a.len(), job.b.len(), &job.scoring, origin)
+        }
     };
     if c0 == 0 {
         origin_h

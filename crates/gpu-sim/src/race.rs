@@ -1,0 +1,351 @@
+//! Happens-before race detector for the wavefront engine.
+//!
+//! Compiled only with the `race-check` feature. The wavefront engine's
+//! correctness rests on one ordering argument: blocks of external
+//! diagonal `d` read bus cells written by blocks of diagonal `d - 1`, and
+//! the [`crate::exec::WorkerPool::scope`] drain between diagonals is the
+//! barrier that orders those writes before the reads. This module turns
+//! the argument into a runtime check:
+//!
+//! * Every bus cell (horizontal `H`/`F` bus, vertical `H`/`E` bus, and
+//!   the corner table) carries a *last-writer record* — which block (or
+//!   border initialisation) wrote it, on which diagonal, from which pool
+//!   lane, with which scope-FIFO sequence number (see `exec::trace`).
+//! * When block `(r, c)` of diagonal `d` starts, the detector checks each
+//!   cell it is about to read against the *expected producer* derived
+//!   from the grid: the horizontal segment must have been written by
+//!   `(r-1, c)` on diagonal `d-1` (or be border/restored state), the
+//!   vertical segment by `(r, c-1)`, the corner by `(r-1, c-1)` two
+//!   diagonals back. A mismatched identity is a [`ViolationKind::WrongProducer`];
+//!   a matching identity whose *barrier epoch* does not precede the
+//!   reader's is a [`ViolationKind::UnorderedRead`].
+//! * Two blocks writing one cell within the same barrier interval is a
+//!   [`ViolationKind::WriteOverlap`] (the segment-splitting invariant).
+//! * The multi-device pipeline tags every border message with its
+//!   `(device, chunk)` provenance; a receiver observing the wrong tag
+//!   reports a [`ViolationKind::ChannelTag`].
+//!
+//! Violations accumulate in a process-global sink drained by
+//! [`take_report`]; tests that arm faults or assert on the report must
+//! serialize behind a shared lock (see `tests/race.rs`). The detector
+//! never alters engine behaviour — a run with violations still produces
+//! its normal result, so a seeded fault can assert both "the output is
+//! unchanged" and "the detector saw it".
+
+use crate::exec;
+use std::fmt;
+use std::sync::Mutex;
+
+/// What produced the current value of a bus cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Border initialisation, or state restored from a checkpoint.
+    Border,
+    /// Block `(r, c)` running on its scheduled external diagonal.
+    Block {
+        /// Block row.
+        r: usize,
+        /// Block column.
+        c: usize,
+        /// External diagonal the block ran on.
+        diagonal: usize,
+    },
+    /// The fault-injected early run of a block (see
+    /// [`exec::fault::arm_reorder_block`]): its writes are recorded here
+    /// but never materialized in the real buses.
+    Phantom {
+        /// Block row.
+        r: usize,
+        /// Block column.
+        c: usize,
+        /// External diagonal the block *should* have run on.
+        diagonal: usize,
+    },
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::Border => write!(f, "border"),
+            Source::Block { r, c, diagonal } => write!(f, "block ({r},{c})@d{diagonal}"),
+            Source::Phantom { r, c, diagonal } => write!(f, "PHANTOM ({r},{c})@d{diagonal}"),
+        }
+    }
+}
+
+/// Classification of a detected ordering violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A cell's last writer is not the producer the grid schedule names.
+    WrongProducer,
+    /// The producing write's barrier epoch does not precede the read.
+    UnorderedRead,
+    /// Two blocks wrote one cell within the same barrier interval.
+    WriteOverlap,
+    /// A multi-device border message arrived with the wrong
+    /// `(device, chunk)` provenance tag.
+    ChannelTag,
+}
+
+/// One detected violation, with a human-readable account.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What rule was broken.
+    pub kind: ViolationKind,
+    /// Block row of the reader (or receiving device).
+    pub r: usize,
+    /// Block column of the reader (or chunk index).
+    pub c: usize,
+    /// External diagonal of the reader (0 for channel violations).
+    pub diagonal: usize,
+    /// Full account: cell, expected producer, observed record.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} at ({},{})@d{}: {}", self.kind, self.r, self.c, self.diagonal, self.detail)
+    }
+}
+
+/// Process-global violation sink. Per-cell state is per-[`Session`]; only
+/// confirmed violations cross sessions, so concurrent clean engines (e.g.
+/// stage-3 partitions) share this without contention.
+static SINK: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+
+fn sink() -> std::sync::MutexGuard<'static, Vec<Violation>> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Drain and return every violation recorded since the last call.
+pub fn take_report() -> Vec<Violation> {
+    std::mem::take(&mut *sink())
+}
+
+/// Record a multi-device border tag mismatch (receiver expected the
+/// border of `(expect_device, expect_chunk)`, got `(got_device, got_chunk)`).
+pub fn report_channel_tag(
+    expect_device: usize,
+    expect_chunk: usize,
+    got_device: usize,
+    got_chunk: usize,
+) {
+    sink().push(Violation {
+        kind: ViolationKind::ChannelTag,
+        r: expect_device,
+        c: expect_chunk,
+        diagonal: 0,
+        detail: format!(
+            "border message tagged (device {got_device}, chunk {got_chunk}), \
+             expected (device {expect_device}, chunk {expect_chunk})"
+        ),
+    });
+}
+
+/// Last-writer record of one bus cell.
+#[derive(Debug, Clone, Copy)]
+struct WriteRec {
+    source: Source,
+    /// Barrier epoch: `diagonal + 1` for block writes, the session's
+    /// resume diagonal for border/restored cells. A read on diagonal `d`
+    /// is ordered iff the record's epoch is `<= d`.
+    epoch: usize,
+    /// Pool lane that performed the write (diagnostic tag).
+    lane: usize,
+    /// Scope-FIFO sequence of the producing job (diagnostic tag).
+    seq: u64,
+}
+
+struct Inner {
+    /// Diagonal the engine started from (0 for a fresh run); everything
+    /// on earlier diagonals is border/restored state.
+    base: usize,
+    /// Block grid shape, for corner-table indexing.
+    block_rows: usize,
+    block_cols: usize,
+    /// Last writer per horizontal-bus cell (one per DP column).
+    h: Vec<WriteRec>,
+    /// Last writer per vertical-bus cell (one per DP row).
+    v: Vec<WriteRec>,
+    /// Last writer per corner cell, `(block_rows+1) x (block_cols+1)`.
+    corners: Vec<WriteRec>,
+}
+
+/// Per-engine-run detector state. Create one per
+/// `wavefront::run_resumable_pooled` invocation; blocks report their bus
+/// reads and writes through it and violations land in the global sink.
+pub struct Session {
+    inner: Mutex<Inner>,
+}
+
+impl Session {
+    /// A session for a grid of `block_rows x block_cols` blocks over an
+    /// `m x n` DP matrix, starting (or resuming) at diagonal `base`.
+    pub fn new(m: usize, n: usize, block_rows: usize, block_cols: usize, base: usize) -> Session {
+        let border = WriteRec { source: Source::Border, epoch: base, lane: 0, seq: 0 };
+        Session {
+            inner: Mutex::new(Inner {
+                base,
+                block_rows,
+                block_cols,
+                h: vec![border; n],
+                v: vec![border; m],
+                corners: vec![border; (block_rows + 1) * (block_cols + 1)],
+            }),
+        }
+    }
+
+    /// Check the reads block `(r, c)` of diagonal `d` performs before it
+    /// computes: its horizontal segment (`len_h` cells from absolute
+    /// column `h0`), vertical segment (`len_v` cells from absolute row
+    /// `v0`) and corner.
+    pub fn block_reads(
+        &self,
+        r: usize,
+        c: usize,
+        d: usize,
+        (h0, len_h): (usize, usize),
+        (v0, len_v): (usize, usize),
+    ) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let base = inner.base;
+        // The grid's scheduled producers. A first-row/column block reads
+        // border state; so does any block whose producer ran before the
+        // resume point (its writes were restored from the checkpoint).
+        let expect_h = if r == 0 || d == base {
+            Source::Border
+        } else {
+            Source::Block { r: r - 1, c, diagonal: d - 1 }
+        };
+        let expect_v = if c == 0 || d == base {
+            Source::Border
+        } else {
+            Source::Block { r, c: c - 1, diagonal: d - 1 }
+        };
+        let expect_corner = if r == 0 || c == 0 || d < base + 2 {
+            Source::Border
+        } else {
+            Source::Block { r: r - 1, c: c - 1, diagonal: d - 2 }
+        };
+        let mut pending = Vec::new();
+        for (i, rec) in inner.h.iter().enumerate().skip(h0).take(len_h) {
+            check_read(&mut pending, "hbus", i, rec, expect_h, r, c, d);
+        }
+        for (i, rec) in inner.v.iter().enumerate().skip(v0).take(len_v) {
+            check_read(&mut pending, "vbus", i, rec, expect_v, r, c, d);
+        }
+        let ci = r * (inner.block_cols + 1) + c;
+        if let Some(rec) = inner.corners.get(ci) {
+            check_read(&mut pending, "corner", ci, rec, expect_corner, r, c, d);
+        }
+        drop(inner);
+        if !pending.is_empty() {
+            sink().append(&mut pending);
+        }
+    }
+
+    /// Record the writes block `(r, c)` of diagonal `d` commits: its
+    /// horizontal and vertical segments and the corner below-right of it.
+    /// `phantom` marks the fault-injected early run, whose writes exist
+    /// only in the detector.
+    pub fn block_writes(
+        &self,
+        r: usize,
+        c: usize,
+        d: usize,
+        (h0, len_h): (usize, usize),
+        (v0, len_v): (usize, usize),
+        phantom: bool,
+    ) {
+        let (lane, seq) = exec::trace::current();
+        let source = if phantom {
+            Source::Phantom { r, c, diagonal: d }
+        } else {
+            Source::Block { r, c, diagonal: d }
+        };
+        let rec = WriteRec { source, epoch: d + 1, lane, seq };
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pending = Vec::new();
+        for i in h0..(h0 + len_h).min(inner.h.len()) {
+            check_write(&mut pending, "hbus", i, &inner.h[i], &rec);
+            inner.h[i] = rec;
+        }
+        for i in v0..(v0 + len_v).min(inner.v.len()) {
+            check_write(&mut pending, "vbus", i, &inner.v[i], &rec);
+            inner.v[i] = rec;
+        }
+        if r < inner.block_rows && c < inner.block_cols {
+            let ci = (r + 1) * (inner.block_cols + 1) + (c + 1);
+            check_write(&mut pending, "corner", ci, &inner.corners[ci], &rec);
+            inner.corners[ci] = rec;
+        }
+        drop(inner);
+        if !pending.is_empty() {
+            sink().append(&mut pending);
+        }
+    }
+}
+
+/// The happens-before check for one cell read: last writer must be the
+/// scheduled producer, and its barrier epoch must precede the reader's
+/// diagonal (epoch `<= d` means the write was sealed by an earlier
+/// scope drain — the FIFO pool's barrier).
+#[allow(clippy::too_many_arguments)]
+fn check_read(
+    pending: &mut Vec<Violation>,
+    bus: &str,
+    idx: usize,
+    rec: &WriteRec,
+    expect: Source,
+    r: usize,
+    c: usize,
+    d: usize,
+) {
+    if rec.source != expect {
+        pending.push(Violation {
+            kind: ViolationKind::WrongProducer,
+            r,
+            c,
+            diagonal: d,
+            detail: format!(
+                "{bus}[{idx}] last written by {} (lane {}, seq {}), expected {}",
+                rec.source, rec.lane, rec.seq, expect
+            ),
+        });
+    } else if rec.epoch > d {
+        pending.push(Violation {
+            kind: ViolationKind::UnorderedRead,
+            r,
+            c,
+            diagonal: d,
+            detail: format!(
+                "{bus}[{idx}] write by {} has epoch {} — not sealed by a barrier before \
+                 diagonal {d}",
+                rec.source, rec.epoch
+            ),
+        });
+    }
+}
+
+/// The exclusivity check for one cell write: nobody else may have written
+/// it within the same barrier interval (same epoch).
+fn check_write(
+    pending: &mut Vec<Violation>,
+    bus: &str,
+    idx: usize,
+    old: &WriteRec,
+    new: &WriteRec,
+) {
+    if old.epoch == new.epoch && old.source != Source::Border {
+        pending.push(Violation {
+            kind: ViolationKind::WriteOverlap,
+            r: 0,
+            c: 0,
+            diagonal: new.epoch.saturating_sub(1),
+            detail: format!(
+                "{bus}[{idx}] written by both {} and {} within one barrier interval",
+                old.source, new.source
+            ),
+        });
+    }
+}

@@ -364,6 +364,8 @@ pub fn run_resumable(
 ) -> RegionResult {
     let pool = WorkerPool::new(job.workers);
     run_resumable_pooled(&pool, job, observer, resume, checkpoint_every)
+        // lint: allow(no-panics): documented panicking wrapper (see `# Panics`
+        // above); error-returning callers use `run_resumable_pooled`.
         .unwrap_or_else(|e| panic!("wavefront worker panicked: {e}"))
 }
 
@@ -438,6 +440,11 @@ pub fn run_resumable_pooled(
         first_diagonal = state.next_diagonal;
     }
 
+    // One detector session per engine run: shadow last-writer state for
+    // every bus cell, checked against the grid's scheduled producers.
+    #[cfg(feature = "race-check")]
+    let race_session = crate::race::Session::new(m, n, br, bc, first_diagonal);
+
     'diagonals: for d in first_diagonal..layout.diagonals() {
         if let Some(every) = checkpoint_every {
             if d > first_diagonal && (d - first_diagonal).is_multiple_of(every.max(1)) {
@@ -454,6 +461,23 @@ pub fn run_resumable_pooled(
             }
         }
         let blocks: Vec<(usize, usize)> = layout.diagonal_blocks(d).collect();
+
+        // Seeded reorder fault: perform the target block's bus reads and
+        // writes one diagonal EARLY — before the barrier that orders its
+        // neighbours' diagonal-d writes. The phantom touches only the
+        // detector's shadow state (engine output is byte-identical); the
+        // detector must flag its reads as wrong-producer.
+        #[cfg(feature = "race-check")]
+        if let Some((pr, pc)) = crate::exec::fault::reorder_block() {
+            if d + 1 == pr + pc && pr < br && pc < bc {
+                let (rs, re) = layout.row_range(pr);
+                let (cs, ce) = layout.col_range(pc);
+                let width = (ce + 1).saturating_sub(cs);
+                let height = (re + 1).saturating_sub(rs);
+                race_session.block_reads(pr, pc, d + 1, (cs - 1, width), (rs - 1, height));
+                race_session.block_writes(pr, pc, d + 1, (cs - 1, width), (rs - 1, height), true);
+            }
+        }
 
         // Hand out disjoint bus segments. Blocks arrive in ascending `c`
         // (descending `r`), so the horizontal bus is split left-to-right
@@ -508,6 +532,14 @@ pub fn run_resumable_pooled(
 
         // Execute the diagonal.
         let run_task = |t: &mut Task<'_, '_>| {
+            #[cfg(feature = "race-check")]
+            race_session.block_reads(
+                t.coords.r,
+                t.coords.c,
+                t.coords.diagonal,
+                (t.coords.cols.0 - 1, t.hseg.len()),
+                (t.coords.rows.0 - 1, t.vseg.len()),
+            );
             let out = kernel::compute_tile(
                 t.a_tile,
                 t.b_tile,
@@ -519,6 +551,15 @@ pub fn run_resumable_pooled(
                 t.corner,
                 t.hseg,
                 t.vseg,
+            );
+            #[cfg(feature = "race-check")]
+            race_session.block_writes(
+                t.coords.r,
+                t.coords.c,
+                t.coords.diagonal,
+                (t.coords.cols.0 - 1, t.hseg.len()),
+                (t.coords.rows.0 - 1, t.vseg.len()),
+                false,
             );
             t.outcome = Some(out);
         };
@@ -549,6 +590,8 @@ pub fn run_resumable_pooled(
 
         // Commit results and notify the observer, in block order.
         for t in tasks.iter_mut() {
+            // lint: allow(no-panics): the scope() above returned Ok, which
+            // guarantees every task of this diagonal ran to completion.
             let out = t.outcome.expect("task executed");
             cells += out.cells;
             if let Some(cand) = out.best {
@@ -595,7 +638,13 @@ mod tests {
             .collect()
     }
 
-    fn job<'a>(a: &'a [u8], b: &'a [u8], mode: Mode, grid: GridSpec, workers: usize) -> RegionJob<'a> {
+    fn job<'a>(
+        a: &'a [u8],
+        b: &'a [u8],
+        mode: Mode,
+        grid: GridSpec,
+        workers: usize,
+    ) -> RegionJob<'a> {
         RegionJob { a, b, scoring: SC, mode, grid, workers, watch: None }
     }
 
@@ -633,8 +682,10 @@ mod tests {
     fn worker_count_does_not_change_results() {
         let a = lcg(5, 301);
         let b = lcg(6, 257);
-        let r1 = run_plain(&job(&a, &b, Mode::Local, GridSpec { blocks: 5, threads: 4, alpha: 3 }, 1));
-        let r4 = run_plain(&job(&a, &b, Mode::Local, GridSpec { blocks: 5, threads: 4, alpha: 3 }, 4));
+        let r1 =
+            run_plain(&job(&a, &b, Mode::Local, GridSpec { blocks: 5, threads: 4, alpha: 3 }, 1));
+        let r4 =
+            run_plain(&job(&a, &b, Mode::Local, GridSpec { blocks: 5, threads: 4, alpha: 3 }, 4));
         assert_eq!(r1.best, r4.best);
         assert_eq!(r1.cells, r4.cells);
         for j in 0..b.len() {
@@ -667,7 +718,13 @@ mod tests {
             seen: Vec<BlockCoords>,
         }
         impl WavefrontObserver for Collect {
-            fn on_block(&mut self, b: &BlockCoords, _out: &TileOutcome, bottom: &[CellHF], right: &[CellHE]) -> ControlFlow<()> {
+            fn on_block(
+                &mut self,
+                b: &BlockCoords,
+                _out: &TileOutcome,
+                bottom: &[CellHF],
+                right: &[CellHE],
+            ) -> ControlFlow<()> {
                 assert_eq!(bottom.len(), b.cols.1 + 1 - b.cols.0);
                 assert_eq!(right.len(), b.rows.1 + 1 - b.rows.0);
                 self.seen.push(*b);
@@ -692,7 +749,13 @@ mod tests {
             n: usize,
         }
         impl WavefrontObserver for StopAfter {
-            fn on_block(&mut self, _: &BlockCoords, _: &TileOutcome, _: &[CellHF], _: &[CellHE]) -> ControlFlow<()> {
+            fn on_block(
+                &mut self,
+                _: &BlockCoords,
+                _: &TileOutcome,
+                _: &[CellHF],
+                _: &[CellHE],
+            ) -> ControlFlow<()> {
                 self.n -= 1;
                 if self.n == 0 {
                     ControlFlow::Break(())
@@ -818,7 +881,13 @@ mod resume_tests {
     /// Observer that records every checkpoint snapshot.
     struct Snapshots(Vec<EngineState>);
     impl WavefrontObserver for Snapshots {
-        fn on_block(&mut self, _: &BlockCoords, _: &TileOutcome, _: &[CellHF], _: &[CellHE]) -> ControlFlow<()> {
+        fn on_block(
+            &mut self,
+            _: &BlockCoords,
+            _: &TileOutcome,
+            _: &[CellHF],
+            _: &[CellHE],
+        ) -> ControlFlow<()> {
             ControlFlow::Continue(())
         }
         fn on_checkpoint(&mut self, state: &EngineState) {

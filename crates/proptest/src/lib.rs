@@ -361,9 +361,7 @@ impl TestRunner {
             seed ^= b as u64;
             seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        if let Some(extra) = std::env::var("PROPTEST_SEED")
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok())
+        if let Some(extra) = std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse::<u64>().ok())
         {
             seed ^= extra;
         }
@@ -541,7 +539,9 @@ macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !($cond) {
             return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
-                "prop_assume!(", stringify!($cond), ")"
+                "prop_assume!(",
+                stringify!($cond),
+                ")"
             )));
         }
     };

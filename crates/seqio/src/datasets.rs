@@ -86,8 +86,14 @@ impl PairSpec {
                 generate::homologous_with_flanks(seed, core, fl, fr, &params)
             }
         };
-        s0 = Sequence::new_unchecked(format!("{} {}", self.accessions.0, self.organisms.0), s0.into_bases());
-        s1 = Sequence::new_unchecked(format!("{} {}", self.accessions.1, self.organisms.1), s1.into_bases());
+        s0 = Sequence::new_unchecked(
+            format!("{} {}", self.accessions.0, self.organisms.0),
+            s0.into_bases(),
+        );
+        s1 = Sequence::new_unchecked(
+            format!("{} {}", self.accessions.1, self.organisms.1),
+            s1.into_bases(),
+        );
         (s0, s1)
     }
 }
@@ -130,14 +136,20 @@ impl DatasetRegistry {
                 real_sizes: (1_044_459, 1_072_950),
                 accessions: ("CP000051.1", "AE002160.2"),
                 organisms: ("Chlamydia trachomatis", "Chlamydia muridarum"),
-                relation: Relation::Island { island_frac: 0.45, params: HomologyParams::diverged() },
+                relation: Relation::Island {
+                    island_frac: 0.45,
+                    params: HomologyParams::diverged(),
+                },
             },
             PairSpec {
                 key: "3147Kx3283K",
                 real_sizes: (3_147_090, 3_282_708),
                 accessions: ("BA000035.2", "BX927147.1"),
                 organisms: ("Corynebacterium efficiens", "Corynebacterium glutamicum"),
-                relation: Relation::Island { island_frac: 0.005, params: HomologyParams::diverged() },
+                relation: Relation::Island {
+                    island_frac: 0.005,
+                    params: HomologyParams::diverged(),
+                },
             },
             PairSpec {
                 key: "5227Kx5229K",
@@ -151,14 +163,23 @@ impl DatasetRegistry {
                 real_sizes: (7_145_576, 5_227_293),
                 accessions: ("NC_005027.1", "NC_003997.3"),
                 organisms: ("Rhodopirellula baltica SH 1", "Bacillus anthracis str. Ames"),
-                relation: Relation::Island { island_frac: 0.0002, params: HomologyParams::strain() },
+                relation: Relation::Island {
+                    island_frac: 0.0002,
+                    params: HomologyParams::strain(),
+                },
             },
             PairSpec {
                 key: "23012Kx24544K",
                 real_sizes: (23_011_544, 24_543_557),
                 accessions: ("NT_033779.4", "NT_037436.3"),
-                organisms: ("Drosophila melanog. chromosome 2L", "Drosophila melanog. chromosome 3L"),
-                relation: Relation::Island { island_frac: 0.0004, params: HomologyParams::strain() },
+                organisms: (
+                    "Drosophila melanog. chromosome 2L",
+                    "Drosophila melanog. chromosome 3L",
+                ),
+                relation: Relation::Island {
+                    island_frac: 0.0004,
+                    params: HomologyParams::strain(),
+                },
             },
             PairSpec {
                 key: "32799Kx46944K",

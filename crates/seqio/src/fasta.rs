@@ -15,6 +15,7 @@ pub const LINE_WIDTH: usize = 70;
 
 /// Errors raised while parsing FASTA input.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum FastaError {
     /// Underlying I/O failure.
     Io(io::Error),

@@ -43,13 +43,23 @@ impl Default for HomologyParams {
 impl HomologyParams {
     /// Human↔chimpanzee-like divergence (Table X regime).
     pub fn chromosome() -> Self {
-        HomologyParams { snp_rate: 0.016, indel_rate: 0.002, indel_mean_len: 10.0, insert_prob: 0.5 }
+        HomologyParams {
+            snp_rate: 0.016,
+            indel_rate: 0.002,
+            indel_mean_len: 10.0,
+            insert_prob: 0.5,
+        }
     }
 
     /// Near-identical strains (the paper's two *Bacillus anthracis*
     /// genomes: full-length alignment with very few gaps).
     pub fn strain() -> Self {
-        HomologyParams { snp_rate: 0.001, indel_rate: 0.0002, indel_mean_len: 4.0, insert_prob: 0.5 }
+        HomologyParams {
+            snp_rate: 0.001,
+            indel_rate: 0.0002,
+            indel_mean_len: 4.0,
+            insert_prob: 0.5,
+        }
     }
 
     /// Strong divergence: alignments still span the homologous region but
@@ -213,26 +223,16 @@ pub fn unrelated_pair(seed: u64, len0: usize, len1: usize) -> (Sequence, Sequenc
     let mut rng = StdRng::seed_from_u64(seed);
     let s0 = random_dna(&mut rng, len0);
     let s1 = random_dna(&mut rng, len1);
-    (
-        Sequence::new_unchecked("random-0", s0),
-        Sequence::new_unchecked("random-1", s1),
-    )
+    (Sequence::new_unchecked("random-0", s0), Sequence::new_unchecked("random-1", s1))
 }
 
 /// A fully homologous pair: `s1` is a mutated copy of `s0` (± size drift
 /// from indels). Mirrors the *B. anthracis* and human/chimpanzee regimes.
-pub fn homologous_pair(
-    seed: u64,
-    len: usize,
-    params: &HomologyParams,
-) -> (Sequence, Sequence) {
+pub fn homologous_pair(seed: u64, len: usize, params: &HomologyParams) -> (Sequence, Sequence) {
     let mut rng = StdRng::seed_from_u64(seed);
     let s0 = random_dna(&mut rng, len);
     let s1 = mutate(&mut rng, &s0, params);
-    (
-        Sequence::new_unchecked("homolog-0", s0),
-        Sequence::new_unchecked("homolog-1", s1),
-    )
+    (Sequence::new_unchecked("homolog-0", s0), Sequence::new_unchecked("homolog-1", s1))
 }
 
 /// A pair sharing one homologous *island* embedded in otherwise unrelated
@@ -263,10 +263,7 @@ pub fn island_pair(
     let end1 = (pos1 + island_mut.len()).min(len1);
     s1[pos1..end1].copy_from_slice(&island_mut[..end1 - pos1]);
 
-    (
-        Sequence::new_unchecked("island-0", s0),
-        Sequence::new_unchecked("island-1", s1),
-    )
+    (Sequence::new_unchecked("island-0", s0), Sequence::new_unchecked("island-1", s1))
 }
 
 /// A homologous pair where `s1` additionally carries an unrelated flank on
@@ -285,10 +282,7 @@ pub fn homologous_with_flanks(
     let mut s1 = random_dna(&mut rng, flank_left);
     s1.extend_from_slice(&core_mut);
     s1.extend(random_dna(&mut rng, flank_right));
-    (
-        Sequence::new_unchecked("core", core),
-        Sequence::new_unchecked("core+flanks", s1),
-    )
+    (Sequence::new_unchecked("core", core), Sequence::new_unchecked("core+flanks", s1))
 }
 
 #[cfg(test)]
@@ -312,7 +306,12 @@ mod tests {
     fn mutate_respects_rates() {
         let mut rng = StdRng::seed_from_u64(7);
         let seed_seq = random_dna(&mut rng, 20_000);
-        let p = HomologyParams { snp_rate: 0.05, indel_rate: 0.0, indel_mean_len: 1.0, insert_prob: 0.5 };
+        let p = HomologyParams {
+            snp_rate: 0.05,
+            indel_rate: 0.0,
+            indel_mean_len: 1.0,
+            insert_prob: 0.5,
+        };
         let out = mutate(&mut rng, &seed_seq, &p);
         assert_eq!(out.len(), seed_seq.len());
         let diffs = out.iter().zip(&seed_seq).filter(|(a, b)| a != b).count();
@@ -324,7 +323,12 @@ mod tests {
     fn mutate_indels_change_length() {
         let mut rng = StdRng::seed_from_u64(9);
         let seed_seq = random_dna(&mut rng, 50_000);
-        let p = HomologyParams { snp_rate: 0.0, indel_rate: 0.01, indel_mean_len: 8.0, insert_prob: 0.5 };
+        let p = HomologyParams {
+            snp_rate: 0.0,
+            indel_rate: 0.01,
+            indel_mean_len: 8.0,
+            insert_prob: 0.5,
+        };
         let out = mutate(&mut rng, &seed_seq, &p);
         assert_ne!(out.len(), seed_seq.len());
         // Insertions and deletions are balanced, so drift is bounded.

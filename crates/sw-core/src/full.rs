@@ -36,10 +36,7 @@ pub struct LocalAlignment {
 /// report the same endpoint): higher score wins; ties prefer the earlier
 /// anti-diagonal `i + j`, then the smaller row `i`.
 #[inline]
-pub fn better_endpoint(
-    cand: (Score, usize, usize),
-    best: (Score, usize, usize),
-) -> bool {
+pub fn better_endpoint(cand: (Score, usize, usize), best: (Score, usize, usize)) -> bool {
     let (cs, ci, cj) = cand;
     let (bs, bi, bj) = best;
     if cs != bs {
@@ -314,7 +311,8 @@ pub fn nw_global_typed(
         EdgeState::GapS0 => TracebackState::E,
         EdgeState::GapS1 => TracebackState::F,
     };
-    let (transcript, origin) = traceback(&dirs, row, (m, n), init_state, |_d, i, j| i == 0 && j == 0);
+    let (transcript, origin) =
+        traceback(&dirs, row, (m, n), init_state, |_d, i, j| i == 0 && j == 0);
     debug_assert_eq!(origin, (0, 0), "global traceback must reach the origin");
     (score, transcript)
 }

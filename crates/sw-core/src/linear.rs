@@ -48,8 +48,12 @@ impl RowDp {
     pub fn new_reverse(n: usize, scoring: Scoring, end: EdgeState) -> Self {
         match end {
             EdgeState::Diagonal => Self::with_origin(n, scoring, 0, NEG_INF, NEG_INF),
-            EdgeState::GapS0 => Self::with_origin(n, scoring, NEG_INF, -scoring.gap_open(), NEG_INF),
-            EdgeState::GapS1 => Self::with_origin(n, scoring, NEG_INF, NEG_INF, -scoring.gap_open()),
+            EdgeState::GapS0 => {
+                Self::with_origin(n, scoring, NEG_INF, -scoring.gap_open(), NEG_INF)
+            }
+            EdgeState::GapS1 => {
+                Self::with_origin(n, scoring, NEG_INF, NEG_INF, -scoring.gap_open())
+            }
         }
     }
 

@@ -92,11 +92,8 @@ pub fn match_goal(
     assert_eq!(cc.len(), dd.len());
     let gopen = scoring.gap_open();
     let n1 = cc.len();
-    let idx: Box<dyn Iterator<Item = usize>> = if rightward {
-        Box::new(from_j..n1)
-    } else {
-        Box::new((0..=from_j.min(n1 - 1)).rev())
-    };
+    let idx: Box<dyn Iterator<Item = usize>> =
+        if rightward { Box::new(from_j..n1) } else { Box::new((0..=from_j.min(n1 - 1)).rev()) };
     for j in idx {
         let h_total = cc[j] + rr[j];
         if h_total == goal {
@@ -109,7 +106,12 @@ pub fn match_goal(
         }
         let g_total = dd[j] + ss[j] + gopen;
         if g_total == goal {
-            return Some(MatchPoint { j, total: g_total, forward_score: dd[j], state: EdgeState::GapS1 });
+            return Some(MatchPoint {
+                j,
+                total: g_total,
+                forward_score: dd[j],
+                state: EdgeState::GapS1,
+            });
         }
         debug_assert!(
             h_total <= goal && g_total <= goal,
@@ -172,10 +174,10 @@ impl<'a> GoalMatcher<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::full::nw_global_typed;
     use crate::linear::{forward_vectors, reverse_vectors};
     use crate::scoring::NEG_INF;
     use crate::transcript::EdgeState as ES;
-    use crate::full::nw_global_typed;
 
     const SC: Scoring = Scoring::paper();
 

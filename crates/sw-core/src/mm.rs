@@ -44,7 +44,7 @@ pub fn mm_align(
     end: EdgeState,
 ) -> (Score, Transcript) {
     let mut stats = MmStats::default();
-    
+
     mm_align_with_stats(a, b, scoring, start, end, &mut stats)
 }
 

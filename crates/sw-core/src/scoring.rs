@@ -47,7 +47,12 @@ impl Scoring {
     /// Panics if `gap_first < gap_ext`, `gap_ext < 0`, or
     /// `match_score <= 0` (a non-positive match score makes every local
     /// alignment empty).
-    pub fn new(match_score: Score, mismatch_score: Score, gap_first: Score, gap_ext: Score) -> Self {
+    pub fn new(
+        match_score: Score,
+        mismatch_score: Score,
+        gap_first: Score,
+        gap_ext: Score,
+    ) -> Self {
         assert!(match_score > 0, "match score must be positive");
         assert!(gap_ext >= 0, "gap extension penalty must be non-negative");
         assert!(gap_first >= gap_ext, "affine model requires gap_first >= gap_ext");

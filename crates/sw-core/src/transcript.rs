@@ -261,12 +261,14 @@ impl Transcript {
                     prev = EdgeState::Diagonal;
                 }
                 EditOp::GapS0 => {
-                    score -= if prev == EdgeState::GapS0 { scoring.gap_ext } else { scoring.gap_first };
+                    score -=
+                        if prev == EdgeState::GapS0 { scoring.gap_ext } else { scoring.gap_first };
                     j += 1;
                     prev = EdgeState::GapS0;
                 }
                 EditOp::GapS1 => {
-                    score -= if prev == EdgeState::GapS1 { scoring.gap_ext } else { scoring.gap_first };
+                    score -=
+                        if prev == EdgeState::GapS1 { scoring.gap_ext } else { scoring.gap_first };
                     i += 1;
                     prev = EdgeState::GapS1;
                 }

@@ -18,7 +18,12 @@ fn main() {
     let reg = DatasetRegistry::paper();
     println!(
         "{:>16} {:>10} {:>9} {:>12} {:>12} {:>12}",
-        "pair", "score", "length", "pipeline(s)", "zalign1(s)", format!("zalign{cores}(s)")
+        "pair",
+        "score",
+        "length",
+        "pipeline(s)",
+        "zalign1(s)",
+        format!("zalign{cores}(s)")
     );
     for spec in reg.pairs() {
         let (s0, s1) = spec.materialize(scale, 42);

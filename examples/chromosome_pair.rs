@@ -57,5 +57,8 @@ fn main() {
         100.0 * (stats.gap_openings + stats.gap_extensions) as f64 / total as f64,
     );
     println!("\ndot plot of the alignment path:");
-    println!("{}", stage6::dot_plot(s0.len(), s1.len(), &result.binary, &result.transcript, 20, 64));
+    println!(
+        "{}",
+        stage6::dot_plot(s0.len(), s1.len(), &result.binary, &result.transcript, 20, 64)
+    );
 }

@@ -39,11 +39,7 @@ fn main() {
     std::fs::write(&path, result.binary.encode()).expect("write binary alignment");
     let bytes = std::fs::read(&path).expect("read back");
     let binary = BinaryAlignment::decode(&bytes).expect("decode");
-    println!(
-        "binary alignment: {} bytes at {}",
-        bytes.len(),
-        path.display()
-    );
+    println!("binary alignment: {} bytes at {}", bytes.len(), path.display());
 
     let text = stage6::render_text(s0.bases(), s1.bases(), &binary, 80);
     println!(

@@ -72,9 +72,18 @@ fn score_is_grid_invariant() {
     let (a, b) = edited_pair(23, 600, 9);
     let mut scores = Vec::new();
     for (g1, g23) in [
-        (GridSpec { blocks: 2, threads: 2, alpha: 1 }, GridSpec { blocks: 1, threads: 2, alpha: 1 }),
-        (GridSpec { blocks: 4, threads: 4, alpha: 2 }, GridSpec { blocks: 2, threads: 4, alpha: 2 }),
-        (GridSpec { blocks: 8, threads: 8, alpha: 4 }, GridSpec { blocks: 4, threads: 8, alpha: 4 }),
+        (
+            GridSpec { blocks: 2, threads: 2, alpha: 1 },
+            GridSpec { blocks: 1, threads: 2, alpha: 1 },
+        ),
+        (
+            GridSpec { blocks: 4, threads: 4, alpha: 2 },
+            GridSpec { blocks: 2, threads: 4, alpha: 2 },
+        ),
+        (
+            GridSpec { blocks: 8, threads: 8, alpha: 4 },
+            GridSpec { blocks: 4, threads: 8, alpha: 4 },
+        ),
     ] {
         let mut cfg = PipelineConfig::for_tests();
         cfg.grid1 = g1;

@@ -19,8 +19,11 @@ fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn grids() -> impl Strategy<Value = GridSpec> {
-    (1usize..8, 1usize..8, 1usize..5)
-        .prop_map(|(blocks, threads, alpha)| GridSpec { blocks, threads, alpha })
+    (1usize..8, 1usize..8, 1usize..5).prop_map(|(blocks, threads, alpha)| GridSpec {
+        blocks,
+        threads,
+        alpha,
+    })
 }
 
 /// One observer event: block coordinates plus its bottom/right border

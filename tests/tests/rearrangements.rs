@@ -40,10 +40,7 @@ fn inversion_breaks_collinearity() {
     let b = apply_block_ops(&a, &[BlockOp::Invert { start: 300, len: 300 }]);
     let res = align(&a, &b);
     let span = res.end.0 - res.start.0;
-    assert!(
-        (250..600).contains(&span),
-        "expected one flank (~300 bp), got {span}"
-    );
+    assert!((250..600).contains(&span), "expected one flank (~300 bp), got {span}");
     // Aligning against the reverse complement recovers the inverted block.
     let b_rc = reverse_complement(&b);
     let res_rc = align(&a, &b_rc);

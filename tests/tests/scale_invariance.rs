@@ -32,11 +32,7 @@ fn chromosome_regime_is_scale_invariant() {
         let r = chromosome_regime(scale);
         // The paper's regime: ~94-97% matches, alignment spans the whole
         // chimpanzee side, starts ~42% into the human side.
-        assert!(
-            (88.0..99.0).contains(&r.match_pct),
-            "scale {scale}: match% {:.1}",
-            r.match_pct
-        );
+        assert!((88.0..99.0).contains(&r.match_pct), "scale {scale}: match% {:.1}", r.match_pct);
         assert!(r.span_frac_s0 > 0.95, "scale {scale}: span {:.2}", r.span_frac_s0);
         assert!(
             (0.25..0.55).contains(&r.start_frac_s1),

@@ -31,8 +31,7 @@ fn fresh_dir(tag: &str) -> PathBuf {
 fn ckpt_cfg(dir: &Path) -> PipelineConfig {
     let mut cfg = PipelineConfig::for_tests();
     cfg.backend = SraBackend::Disk(dir.to_path_buf());
-    cfg.checkpoint =
-        Some(CheckpointPolicy { dir: dir.to_path_buf(), every_diagonals: 3 });
+    cfg.checkpoint = Some(CheckpointPolicy { dir: dir.to_path_buf(), every_diagonals: 3 });
     cfg
 }
 

@@ -32,11 +32,7 @@ fn reversing_both_inputs_preserves_score() {
     let rev = Pipeline::new(PipelineConfig::for_tests()).align(&ar, &br).unwrap();
     assert_eq!(fwd.best_score, rev.best_score);
     // The reversed problem's span mirrors the forward one's.
-    assert_eq!(
-        fwd.end.0 - fwd.start.0,
-        rev.end.0 - rev.start.0,
-        "span must be reversal-invariant"
-    );
+    assert_eq!(fwd.end.0 - fwd.start.0, rev.end.0 - rev.start.0, "span must be reversal-invariant");
 }
 
 #[test]

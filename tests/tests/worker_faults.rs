@@ -67,8 +67,8 @@ fn observer_break_mid_diagonal_is_clean_and_pool_survives() {
     let (a, b) = edited_pair(31, 400, 13);
     let pool = WorkerPool::new(4);
 
-    let full = run_pooled(&pool, &job(&a, &b), &mut gpu_sim::wavefront::NoObserver)
-        .expect("clean run");
+    let full =
+        run_pooled(&pool, &job(&a, &b), &mut gpu_sim::wavefront::NoObserver).expect("clean run");
     assert!(!full.aborted);
 
     let mut obs = BreakAfter { after: 3, seen: 0 };
