@@ -553,6 +553,7 @@ const VENDORED: &[&str] = &["crates/rand/", "crates/proptest/", "crates/criterio
 /// per-diagonal loops a wall-clock read would perturb and serialize).
 const HOT_PATHS: &[&str] = &[
     "crates/gpu-sim/src/kernel.rs",
+    "crates/gpu-sim/src/striped.rs",
     "crates/gpu-sim/src/wavefront.rs",
     "crates/gpu-sim/src/multi.rs",
     "crates/gpu-sim/src/exec.rs",

@@ -2,7 +2,7 @@
 //! that all paper-scale projections build on).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gpu_sim::kernel::{compute_tile, global_borders, GlobalOrigin};
+use gpu_sim::kernel::{compute_tile, compute_tile_scalar, global_borders, GlobalOrigin};
 use gpu_sim::wavefront::{run_plain, run_pooled, NoObserver, RegionJob};
 use gpu_sim::{GridSpec, Mode, WorkerPool};
 use sw_core::linear::RowDp;
@@ -37,53 +37,69 @@ fn bench_rowdp(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tile throughput on the default (striped) path and the scalar reference,
+/// same shapes and seeds as `src/bin/mcups.rs`, so criterion's statistics
+/// back up the speedups recorded in BENCH_kernel.json.
 fn bench_tile(c: &mut Criterion) {
     let mut g = c.benchmark_group("tile");
     for &(h, w) in &[(256usize, 256usize), (256, 4096)] {
         let a = dna(3, h);
         let b = dna(4, w);
         g.throughput(Throughput::Elements((h * w) as u64));
-        g.bench_with_input(BenchmarkId::new("global", format!("{h}x{w}")), &(h, w), |bench, _| {
-            bench.iter(|| {
-                let (mut top, mut left, corner) = global_borders(
-                    h,
-                    w,
-                    &Scoring::paper(),
-                    GlobalOrigin::forward(EdgeState::Diagonal),
-                );
-                compute_tile(
-                    &a,
-                    &b,
-                    1,
-                    1,
-                    &Scoring::paper(),
-                    false,
-                    None,
-                    corner,
-                    &mut top,
-                    &mut left,
-                )
-                .corner_out
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("local", format!("{h}x{w}")), &(h, w), |bench, _| {
-            bench.iter(|| {
-                let (mut top, mut left, corner) = gpu_sim::kernel::local_borders(h, w);
-                compute_tile(
-                    &a,
-                    &b,
-                    1,
-                    1,
-                    &Scoring::paper(),
-                    true,
-                    None,
-                    corner,
-                    &mut top,
-                    &mut left,
-                )
-                .best
-            })
-        });
+        for scalar in [false, true] {
+            let path = if scalar { "scalar" } else { "striped" };
+            g.bench_with_input(
+                BenchmarkId::new(format!("global_{path}"), format!("{h}x{w}")),
+                &(h, w),
+                |bench, _| {
+                    bench.iter(|| {
+                        let (mut top, mut left, corner) = global_borders(
+                            h,
+                            w,
+                            &Scoring::paper(),
+                            GlobalOrigin::forward(EdgeState::Diagonal),
+                        );
+                        let run = if scalar { compute_tile_scalar } else { compute_tile };
+                        run(
+                            &a,
+                            &b,
+                            1,
+                            1,
+                            &Scoring::paper(),
+                            false,
+                            None,
+                            corner,
+                            &mut top,
+                            &mut left,
+                        )
+                        .corner_out
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("local_{path}"), format!("{h}x{w}")),
+                &(h, w),
+                |bench, _| {
+                    bench.iter(|| {
+                        let (mut top, mut left, corner) = gpu_sim::kernel::local_borders(h, w);
+                        let run = if scalar { compute_tile_scalar } else { compute_tile };
+                        run(
+                            &a,
+                            &b,
+                            1,
+                            1,
+                            &Scoring::paper(),
+                            true,
+                            None,
+                            corner,
+                            &mut top,
+                            &mut left,
+                        )
+                        .best
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }

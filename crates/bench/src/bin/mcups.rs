@@ -1,0 +1,235 @@
+//! MCUPS trajectory of the DP kernel: scalar reference vs the default
+//! lane-striped path, on the same shapes the criterion microbenches use.
+//!
+//! ```text
+//! cargo run --release -p cudalign-bench --bin mcups [-- --quick] [--out PATH]
+//!
+//! --quick     shrink shapes and the per-case time budget (CI smoke)
+//! --out PATH  where to write the JSON report (default BENCH_kernel.json)
+//! ```
+//!
+//! Each case is timed by repeating the whole computation until a minimum
+//! wall-clock budget is spent, so short cases amortize setup noise. The
+//! report is newline-stable hand-rolled JSON (the workspace excludes
+//! serde_json) with one entry per (bench, shape, path) triple.
+
+use gpu_sim::kernel::{
+    compute_tile, compute_tile_scalar, global_borders, local_borders, GlobalOrigin, KernelPath,
+};
+use gpu_sim::wavefront::{run_pooled, NoObserver, RegionJob};
+use gpu_sim::{striped, GridSpec, Mode, WorkerPool};
+use std::io::Write;
+use std::time::Instant;
+use sw_core::scoring::Scoring;
+use sw_core::transcript::EdgeState;
+
+fn dna(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b"ACGT"[(x >> 33) as usize & 3]
+        })
+        .collect()
+}
+
+struct Entry {
+    bench: &'static str,
+    shape: String,
+    path: &'static str,
+    workers: usize,
+    cells: u64,
+    seconds: f64,
+    mcups: f64,
+}
+
+/// Repeat `f` until `budget` seconds have elapsed (at least twice after
+/// one warm-up call), and return (cells processed, seconds).
+fn time_case(cells_per_iter: u64, budget: f64, mut f: impl FnMut() -> i32) -> (u64, f64) {
+    let mut sink = f(); // warm-up, also keeps the work observable
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        sink = sink.wrapping_add(f());
+        iters += 1;
+        if iters >= 2 && start.elapsed().as_secs_f64() >= budget {
+            break;
+        }
+    }
+    std::hint::black_box(sink);
+    (cells_per_iter * iters, start.elapsed().as_secs_f64())
+}
+
+fn tile_case(
+    bench: &'static str,
+    h: usize,
+    w: usize,
+    local: bool,
+    scalar: bool,
+    budget: f64,
+    entries: &mut Vec<Entry>,
+) {
+    let a = dna(3, h);
+    let b = dna(4, w);
+    let sc = Scoring::paper();
+    let mut seen_path = KernelPath::Scalar;
+    let (cells, seconds) = time_case((h * w) as u64, budget, || {
+        let (mut top, mut left, corner) = if local {
+            local_borders(h, w)
+        } else {
+            global_borders(h, w, &sc, GlobalOrigin::forward(EdgeState::Diagonal))
+        };
+        let out = if scalar {
+            compute_tile_scalar(&a, &b, 1, 1, &sc, local, None, corner, &mut top, &mut left)
+        } else {
+            compute_tile(&a, &b, 1, 1, &sc, local, None, corner, &mut top, &mut left)
+        };
+        seen_path = out.path;
+        out.corner_out.wrapping_add(out.best.map_or(0, |(s, _, _)| s))
+    });
+    if !scalar && seen_path != KernelPath::Striped {
+        eprintln!("mcups: warning: {bench} {h}x{w} vector case ran on {seen_path:?}");
+    }
+    let mode = if local { "local" } else { "global" };
+    entries.push(Entry {
+        bench,
+        shape: format!("{mode}_{h}x{w}"),
+        path: if scalar { "scalar" } else { "striped" },
+        workers: 1,
+        cells,
+        seconds,
+        mcups: cells as f64 / seconds / 1e6,
+    });
+}
+
+fn wavefront_case(m: usize, n: usize, workers: usize, budget: f64, entries: &mut Vec<Entry>) {
+    let a = dna(5, m);
+    let b = dna(6, n);
+    let grid = GridSpec { blocks: 16, threads: 16, alpha: 4 };
+    let layout = grid.layout(m, n);
+    let (min_h, min_w) = layout.min_tile_dims();
+    if min_h < striped::LANES || min_w < striped::LANES {
+        eprintln!(
+            "mcups: warning: wavefront {m}x{n} has {min_h}x{min_w} tiles; \
+             some will take the scalar path"
+        );
+    }
+    let pool = WorkerPool::new(workers);
+    let job = RegionJob {
+        a: &a,
+        b: &b,
+        scoring: Scoring::paper(),
+        mode: Mode::Local,
+        grid,
+        workers,
+        watch: None,
+    };
+    let mut striped_tiles = 0u64;
+    let mut fallback_tiles = 0u64;
+    let (cells, seconds) = time_case((m * n) as u64, budget, || {
+        let res = run_pooled(&pool, &job, &mut NoObserver).expect("no worker panic");
+        striped_tiles = res.striped_tiles;
+        fallback_tiles = res.fallback_tiles;
+        res.best.map_or(0, |(s, _, _)| s)
+    });
+    if fallback_tiles > 0 {
+        eprintln!("mcups: warning: wavefront run had {fallback_tiles} scalar fallbacks");
+    }
+    if striped_tiles == 0 {
+        eprintln!("mcups: warning: wavefront run engaged no striped tiles");
+    }
+    entries.push(Entry {
+        bench: "wavefront",
+        shape: format!("local_{m}x{n}"),
+        path: "striped",
+        workers,
+        cells,
+        seconds,
+        mcups: cells as f64 / seconds / 1e6,
+    });
+}
+
+fn to_json(quick: bool, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"lanes\": {},\n", striped::LANES));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"shape\": \"{}\", \"path\": \"{}\", \
+             \"workers\": {}, \"cells\": {}, \"seconds\": {:.6}, \"mcups\": {:.1}}}{}\n",
+            e.bench,
+            e.shape,
+            e.path,
+            e.workers,
+            e.cells,
+            e.seconds,
+            e.mcups,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: mcups [--quick] [--out PATH]");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let budget = if quick { 0.05 } else { 0.5 };
+
+    let mut entries = Vec::new();
+    // The rowdp shape from benches/kernel.rs: one tall global tile.
+    let (rh, rw) = if quick { (256, 1024) } else { (1024, 4096) };
+    tile_case("rowdp", rh, rw, false, true, budget, &mut entries);
+    tile_case("rowdp", rh, rw, false, false, budget, &mut entries);
+    // The tile shapes from benches/kernel.rs, both modes.
+    let shapes: &[(usize, usize)] =
+        if quick { &[(128, 128), (128, 512)] } else { &[(256, 256), (256, 4096)] };
+    for &(h, w) in shapes {
+        for local in [false, true] {
+            tile_case("tile", h, w, local, true, budget, &mut entries);
+            tile_case("tile", h, w, local, false, budget, &mut entries);
+        }
+    }
+    // End-to-end wavefront engine (striped path is the default).
+    let (wm, wn) = if quick { (1024, 1024) } else { (4096, 4096) };
+    for workers in [1usize, 4] {
+        wavefront_case(wm, wn, workers, budget, &mut entries);
+    }
+
+    println!(
+        "{:<10} {:<18} {:<8} {:>3} {:>12} {:>10}",
+        "bench", "shape", "path", "w", "cells", "MCUPS"
+    );
+    for e in &entries {
+        println!(
+            "{:<10} {:<18} {:<8} {:>3} {:>12} {:>10.1}",
+            e.bench, e.shape, e.path, e.workers, e.cells, e.mcups
+        );
+    }
+    // Scalar-vs-striped speedups for every shape that has both paths.
+    for pair in entries.chunks(2) {
+        if let [s, v] = pair {
+            if s.path == "scalar" && v.path == "striped" && s.shape == v.shape {
+                println!("speedup    {:<18} {:>38.2}x", s.shape, v.mcups / s.mcups);
+            }
+        }
+    }
+
+    let json = to_json(quick, &entries);
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("mcups: cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes()).expect("write report");
+    eprintln!("mcups: wrote {out_path}");
+}

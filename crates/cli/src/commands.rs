@@ -117,6 +117,15 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
             st.pool_busy_ratio * 100.0
         )
         .unwrap();
+        writeln!(
+            out,
+            "  kernel: {} cells updated ({:.1} MCUPS), {} striped tiles, {} scalar fallbacks",
+            st.total_cells(),
+            st.mcups(),
+            st.kernel_striped_tiles,
+            st.kernel_fallback_tiles
+        )
+        .unwrap();
         writeln!(out, "  total: {:.3}s", st.total_seconds).unwrap();
     }
     Ok(out)

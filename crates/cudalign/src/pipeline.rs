@@ -195,6 +195,12 @@ pub struct PipelineStats {
     pub pool_tasks: u64,
     /// Mean occupied-lane fraction per handoff, in `[0, 1]`.
     pub pool_busy_ratio: f64,
+    /// Tiles computed by the lane-striped vector kernel (Stages 1-3, the
+    /// engine-driven stages).
+    pub kernel_striped_tiles: u64,
+    /// Tiles that attempted the striped kernel but re-ran on the scalar
+    /// `i32` kernel after `i16` overflow.
+    pub kernel_fallback_tiles: u64,
     /// Total wall-clock seconds.
     pub total_seconds: f64,
 }
@@ -203,6 +209,15 @@ impl PipelineStats {
     /// Total cells across all stages.
     pub fn total_cells(&self) -> u64 {
         self.stage_cells.iter().sum::<u64>() + self.stage5_cells
+    }
+
+    /// Million cell updates per second over the whole run — the paper's
+    /// headline MCUPS metric, derived from total cells and wall-clock.
+    pub fn mcups(&self) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_cells() as f64 / self.total_seconds / 1e6
     }
 }
 
@@ -342,6 +357,8 @@ impl Pipeline {
         stats.vram_bytes[0] = s1r.vram_bytes;
         stats.effective_blocks[0] = cfg.grid1.effective_blocks(s1.len());
         stats.checkpoint_failures = s1r.checkpoint_failures;
+        stats.kernel_striped_tiles += s1r.striped_tiles;
+        stats.kernel_fallback_tiles += s1r.fallback_tiles;
 
         if s1r.best_score <= 0 {
             record_store_stats(&mut stats, rows.stats(), cols.stats());
@@ -379,6 +396,8 @@ impl Pipeline {
         stats.vram_bytes[1] = s2r.vram_bytes;
         stats.effective_blocks[1] = s2r.min_blocks;
         stats.dropped_special_rows += s2r.dropped_rows;
+        stats.kernel_striped_tiles += s2r.striped_tiles;
+        stats.kernel_fallback_tiles += s2r.fallback_tiles;
 
         // Stage 3: split partitions on special columns (corrupt columns
         // are skipped and counted; their partitions stay coarse).
@@ -392,6 +411,8 @@ impl Pipeline {
         stats.vram_bytes[2] = s3r.vram_bytes;
         stats.effective_blocks[2] = s3r.min_blocks;
         stats.dropped_special_cols += s3r.skipped_columns;
+        stats.kernel_striped_tiles += s3r.striped_tiles;
+        stats.kernel_fallback_tiles += s3r.fallback_tiles;
 
         // Stage 4: Myers-Miller until partitions fit.
         let t = Instant::now();

@@ -39,6 +39,10 @@ pub struct Stage1Result {
     /// Checkpoint snapshots that failed to persist during this run (the
     /// run continued; resumability degraded to the last good snapshot).
     pub checkpoint_failures: u64,
+    /// Tiles computed on the lane-striped vector kernel.
+    pub striped_tiles: u64,
+    /// Tiles re-run on the scalar kernel after `i16` overflow.
+    pub fallback_tiles: u64,
 }
 
 struct Stage1Observer<'s> {
@@ -250,6 +254,8 @@ pub fn run_resumable(
         vram_bytes: gpu_sim::DeviceModel::bus_bytes(m, n),
         resumed_from_diagonal,
         checkpoint_failures,
+        striped_tiles: res.striped_tiles,
+        fallback_tiles: res.fallback_tiles,
     })
 }
 

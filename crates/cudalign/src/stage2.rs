@@ -53,6 +53,10 @@ pub struct Stage2Result {
     /// re-run against the next surviving row below — degradation, not
     /// failure).
     pub dropped_rows: u64,
+    /// Tiles computed on the lane-striped vector kernel.
+    pub striped_tiles: u64,
+    /// Tiles re-run on the scalar kernel after `i16` overflow.
+    pub fallback_tiles: u64,
 }
 
 /// A gap run value of length `k >= 1` extended from an origin-seeded gap
@@ -201,6 +205,8 @@ pub fn run(
     let mut cur = end_cp;
 
     let mut total_cells = 0u64;
+    let mut striped_tiles = 0u64;
+    let mut fallback_tiles = 0u64;
     let mut strips = 0usize;
     let mut vram = 0u64;
     let mut min_blocks = cfg.grid23.blocks;
@@ -303,6 +309,8 @@ pub fn run(
         };
         let res = wavefront::run_pooled(pool, &job, &mut obs)?;
         total_cells += res.cells;
+        striped_tiles += res.striped_tiles;
+        fallback_tiles += res.fallback_tiles;
         vram = vram.max(gpu_sim::DeviceModel::bus_bytes(a_view.len(), b_view.len()));
         min_blocks = min_blocks.min(res.layout.block_cols);
 
@@ -356,6 +364,8 @@ pub fn run(
         vram_bytes: vram,
         min_blocks,
         dropped_rows,
+        striped_tiles,
+        fallback_tiles,
     })
 }
 

@@ -40,6 +40,10 @@ pub struct Stage3Result {
     /// validation on read-back. The partition simply is not split at a
     /// skipped column — coarser, never wrong.
     pub skipped_columns: u64,
+    /// Tiles computed on the lane-striped vector kernel.
+    pub striped_tiles: u64,
+    /// Tiles re-run on the scalar kernel after `i16` overflow.
+    pub fallback_tiles: u64,
 }
 
 struct BandObserver<'a> {
@@ -106,6 +110,7 @@ fn refine_partition(
     vram: &mut u64,
     min_blocks: &mut usize,
     skipped: &mut u64,
+    kernel_tiles: &mut (u64, u64),
 ) -> Result<(Vec<Crosspoint>, u64), StageError> {
     let sc = cfg.scoring;
     let gopen = sc.gap_open();
@@ -167,6 +172,8 @@ fn refine_partition(
         };
         let res = wavefront::run_pooled(pool, &job, &mut obs)?;
         cells += res.cells;
+        kernel_tiles.0 += res.striped_tiles;
+        kernel_tiles.1 += res.fallback_tiles;
         *vram = (*vram).max(gpu_sim::DeviceModel::bus_bytes(a_band.len(), b_band.len()));
         *min_blocks = (*min_blocks).min(res.layout.block_cols);
 
@@ -209,16 +216,27 @@ pub fn run(
     };
 
     // Per-partition outputs, merged in order afterwards.
-    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize, u64), StageError>;
+    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize, u64, (u64, u64)), StageError>;
     let mut outputs: Vec<Option<PartOut>> = vec![None; parts.len()];
 
     let solve = |p: &Partition, cfg: &PipelineConfig| -> PartOut {
         let mut vram = 0u64;
         let mut min_blocks = cfg.grid23.blocks;
         let mut skipped = 0u64;
-        let (pts, cells) =
-            refine_partition(s0, s1, cfg, pool, p, cols, &mut vram, &mut min_blocks, &mut skipped)?;
-        Ok((pts, cells, vram, min_blocks, skipped))
+        let mut kernel_tiles = (0u64, 0u64);
+        let (pts, cells) = refine_partition(
+            s0,
+            s1,
+            cfg,
+            pool,
+            p,
+            cols,
+            &mut vram,
+            &mut min_blocks,
+            &mut skipped,
+            &mut kernel_tiles,
+        )?;
+        Ok((pts, cells, vram, min_blocks, skipped, kernel_tiles))
     };
 
     if cfg.parallel_partitions && parts.len() > 1 && workers > 1 {
@@ -254,23 +272,35 @@ pub fn run(
     let mut vram = 0u64;
     let mut min_blocks = cfg.grid23.blocks;
     let mut skipped_columns = 0u64;
+    let mut striped_tiles = 0u64;
+    let mut fallback_tiles = 0u64;
     if !chain.is_empty() {
         points.push(chain.points()[0]);
     }
     for (p, out) in parts.iter().zip(outputs) {
-        let (new_points, c, v, b, s) =
+        let (new_points, c, v, b, s, kt) =
             out.ok_or_else(|| StageError::Logic("stage 3 partition task never ran".into()))??;
         cells += c;
         vram = vram.max(v);
         min_blocks = min_blocks.min(b);
         skipped_columns += s;
+        striped_tiles += kt.0;
+        fallback_tiles += kt.1;
         points.extend(new_points);
         points.push(p.end);
     }
 
     let chain = CrosspointChain::new(points);
     chain.validate()?;
-    Ok(Stage3Result { chain, cells, vram_bytes: vram, min_blocks, skipped_columns })
+    Ok(Stage3Result {
+        chain,
+        cells,
+        vram_bytes: vram,
+        min_blocks,
+        skipped_columns,
+        striped_tiles,
+        fallback_tiles,
+    })
 }
 
 #[cfg(test)]

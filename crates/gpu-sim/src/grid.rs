@@ -119,6 +119,21 @@ impl GridLayout {
     pub fn cells(&self) -> u64 {
         self.m as u64 * self.n as u64
     }
+
+    /// Smallest tile shape `(height, width)` any block of this layout is
+    /// asked to compute: the last block row may be shorter than
+    /// `block_height`, and column slices differ by at most one.
+    ///
+    /// Tiles need at least [`crate::striped::LANES`] rows *and* columns
+    /// to take the lane-striped kernel path, so a layout whose minimum
+    /// stays at or above that keeps every block of the region on the
+    /// vector kernel (barring score-range fallbacks).
+    pub fn min_tile_dims(&self) -> (usize, usize) {
+        let min_height = self.m - (self.block_rows - 1) * self.block_height;
+        // At least one block column has the un-widened base width.
+        let min_width = self.n / self.block_cols;
+        (min_height, min_width)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +195,32 @@ mod tests {
         let max = *widths.iter().max().unwrap();
         assert!(max - min <= 1, "{widths:?}");
         assert_eq!(widths.iter().sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn min_tile_dims_matches_actual_ranges() {
+        for (g, m, n) in [
+            (GridSpec { blocks: 3, threads: 4, alpha: 2 }, 21, 50),
+            (GridSpec { blocks: 7, threads: 1, alpha: 1 }, 5, 24),
+            (GridSpec { blocks: 2, threads: 8, alpha: 2 }, 16, 16),
+        ] {
+            let l = g.layout(m, n);
+            let min_h = (0..l.block_rows)
+                .map(|r| {
+                    let (s, e) = l.row_range(r);
+                    e - s + 1
+                })
+                .min()
+                .unwrap();
+            let min_w = (0..l.block_cols)
+                .map(|c| {
+                    let (s, e) = l.col_range(c);
+                    e - s + 1
+                })
+                .min()
+                .unwrap();
+            assert_eq!(l.min_tile_dims(), (min_h, min_w));
+        }
     }
 
     #[test]

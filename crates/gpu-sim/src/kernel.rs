@@ -7,6 +7,7 @@
 //! its own last row / last column — exactly the bus hand-off of the paper
 //! (Section III-C).
 
+use crate::striped::{self, QueryProfile};
 use sw_core::full::better_endpoint;
 use sw_core::scoring::{Score, Scoring, NEG_INF};
 use sw_core::transcript::EdgeState;
@@ -113,6 +114,22 @@ impl Mode {
     }
 }
 
+/// Which execution path computed a tile. Tracked per tile so the engine
+/// can report how much work ran vectorized and how often the overflow
+/// protocol kicked in (`align --stats`, MCUPS benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Lane-striped saturating-`i16` kernel (plus a scalar sliver for the
+    /// `height % LANES` remainder rows).
+    Striped,
+    /// Scalar `i32` kernel chosen up front — the tile was too small or the
+    /// scoring too wide for the striped path ([`striped::eligible`]).
+    Scalar,
+    /// The striped attempt left the safe `i16` window; the tile was
+    /// transparently re-run on the scalar kernel (results identical).
+    StripedFallback,
+}
+
 /// Result of one tile computation.
 #[derive(Debug, Clone, Copy)]
 pub struct TileOutcome {
@@ -127,6 +144,8 @@ pub struct TileOutcome {
     pub watch_hit: Option<(usize, usize)>,
     /// Cells updated.
     pub cells: u64,
+    /// Execution path that produced this tile.
+    pub path: KernelPath,
 }
 
 /// Compute one tile.
@@ -139,6 +158,17 @@ pub struct TileOutcome {
 ///   `row_offset - 1`; overwritten with the tile's last row,
 /// * `left` — vertical-bus segment (`a_tile.len()` entries) holding column
 ///   `col_offset - 1`; overwritten with the tile's last column.
+///
+/// Zero-dimension contract: a zero-height tile leaves `top` untouched and
+/// `corner_out` is the top border's last `H` (or `corner` itself if the
+/// tile is also zero-width); a zero-width tile likewise leaves `left`
+/// untouched and `corner_out` is the left border's last `H`. Degenerate
+/// tiles count zero cells and never produce `best`/`watch_hit`.
+///
+/// Eligible tiles (≥ `LANES` in both dimensions, scoring within
+/// [`striped::P_MAX`]) run on the lane-striped `i16` kernel and fall back
+/// to the scalar `i32` loop on overflow; results are bit-identical either
+/// way, and [`TileOutcome::path`] records which path ran.
 #[allow(clippy::too_many_arguments)] // a tile kernel: sequences, borders and tracking knobs
 pub fn compute_tile(
     a_tile: &[u8],
@@ -158,6 +188,40 @@ pub fn compute_tile(
     // only) and max-tracking applies only to local mode, so the global
     // no-watch kernel — the bulk of Stages 2-3 — carries neither check.
     match (local, watch.is_some()) {
+        (false, false) => dispatch_tile::<false, false>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+        (false, true) => dispatch_tile::<false, true>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+        (true, false) => dispatch_tile::<true, false>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+        (true, true) => dispatch_tile::<true, true>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ),
+    }
+}
+
+/// Compute one tile on the scalar `i32` kernel regardless of eligibility.
+///
+/// Same contract as [`compute_tile`]. This is the reference path: the
+/// striped kernel's overflow fallback re-runs through it, and the
+/// equivalence tests and MCUPS benches call it directly to compare paths.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tile_scalar(
+    a_tile: &[u8],
+    b_tile: &[u8],
+    row_offset: usize,
+    col_offset: usize,
+    scoring: &Scoring,
+    local: bool,
+    watch: Option<Score>,
+    corner: Score,
+    top: &mut [CellHF],
+    left: &mut [CellHE],
+) -> TileOutcome {
+    match (local, watch.is_some()) {
         (false, false) => compute_tile_impl::<false, false>(
             a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
         ),
@@ -170,6 +234,95 @@ pub fn compute_tile(
         (true, true) => compute_tile_impl::<true, true>(
             a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
         ),
+    }
+}
+
+/// Route a tile to the striped kernel when eligible, stitching the scalar
+/// sliver for the `height % LANES` remainder rows, and fall back to the
+/// full scalar kernel when the striped attempt overflows its `i16` window.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_tile<const LOCAL: bool, const WATCH: bool>(
+    a_tile: &[u8],
+    b_tile: &[u8],
+    row_offset: usize,
+    col_offset: usize,
+    scoring: &Scoring,
+    watch: Option<Score>,
+    corner: Score,
+    top: &mut [CellHF],
+    left: &mut [CellHE],
+) -> TileOutcome {
+    if striped::eligible(a_tile.len(), b_tile.len(), scoring) {
+        match striped::compute_striped_columns::<LOCAL, WATCH>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+        ) {
+            Some(part) => {
+                let height = a_tile.len();
+                let (corner_out, best, watch_hit) = if part.rows < height {
+                    // Finish the sliver exactly like a stitched lower tile:
+                    // seed with the original left-border H at row `rows - 1`
+                    // and reuse the (already updated) horizontal bus.
+                    let rem = compute_tile_impl::<LOCAL, WATCH>(
+                        &a_tile[part.rows..],
+                        b_tile,
+                        row_offset + part.rows,
+                        col_offset,
+                        scoring,
+                        watch,
+                        part.rem_corner,
+                        top,
+                        &mut left[part.rows..],
+                    );
+                    (
+                        rem.corner_out,
+                        merge_best(part.best, rem.best),
+                        merge_watch(part.watch_hit, rem.watch_hit),
+                    )
+                } else {
+                    (part.corner_out, part.best, part.watch_hit)
+                };
+                return TileOutcome {
+                    corner_out,
+                    best,
+                    watch_hit,
+                    cells: (a_tile.len() * b_tile.len()) as u64,
+                    path: KernelPath::Striped,
+                };
+            }
+            None => {
+                // Overflow: the buses are untouched, re-run scalar.
+                let mut out = compute_tile_impl::<LOCAL, WATCH>(
+                    a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+                );
+                out.path = KernelPath::StripedFallback;
+                return out;
+            }
+        }
+    }
+    compute_tile_impl::<LOCAL, WATCH>(
+        a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+    )
+}
+
+/// Fold two partial best endpoints with the same total order the scalar
+/// scan uses, so the striped + sliver composition stays bit-identical.
+fn merge_best(
+    a: Option<(Score, usize, usize)>,
+    b: Option<(Score, usize, usize)>,
+) -> Option<(Score, usize, usize)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if better_endpoint(y, x) { y } else { x }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// First watch hit in scan order = lexicographic `(row, col)` minimum.
+fn merge_watch(a: Option<(usize, usize)>, b: Option<(usize, usize)>) -> Option<(usize, usize)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -193,17 +346,22 @@ fn compute_tile_impl<const LOCAL: bool, const WATCH: bool>(
     let watch_score = watch.unwrap_or(Score::MIN);
     let mut prev_left_h = corner;
 
+    // Hoist the substitution lookup out of the inner loop: one score row
+    // per distinct query symbol, indexed in lockstep with the bus.
+    let profile = QueryProfile::build(a_tile, b_tile, scoring);
+
     for (i, &ai) in a_tile.iter().enumerate() {
         let left_cell = left[i];
         let mut diag = prev_left_h;
         let mut h_left = left_cell.h;
         let mut e = left_cell.e;
+        let prow = profile.row(ai);
 
-        for (j, &bj) in b_tile.iter().enumerate() {
+        for (j, (cell, &sc)) in top.iter_mut().zip(prow).enumerate() {
             e = (e - scoring.gap_ext).max(h_left - scoring.gap_first);
-            let t = top[j];
+            let t = *cell;
             let f = (t.f - scoring.gap_ext).max(t.h - scoring.gap_first);
-            let mut h = (diag + scoring.subst(ai, bj)).max(e).max(f);
+            let mut h = (diag + sc).max(e).max(f);
             if LOCAL {
                 if h < 0 {
                     h = 0;
@@ -219,7 +377,7 @@ fn compute_tile_impl<const LOCAL: bool, const WATCH: bool>(
                 watch_hit = Some((row_offset + i, col_offset + j));
             }
             diag = t.h;
-            top[j] = CellHF { h, f };
+            *cell = CellHF { h, f };
             h_left = h;
         }
         prev_left_h = left_cell.h;
@@ -230,14 +388,20 @@ fn compute_tile_impl<const LOCAL: bool, const WATCH: bool>(
         // Zero-width tile: the "last column" is the left border itself
         // (`prev_left_h` equals `corner` when the tile is also zero-height).
         prev_left_h
-    } else if a_tile.is_empty() {
-        // Zero-height tile: the "last row" is the untouched top border.
-        top[b_tile.len() - 1].h
     } else {
+        // Bottom-right H. For a zero-height tile the loop never ran, so
+        // this is the untouched top border's last value — the same walk a
+        // degenerate block performs along the bus.
         top[b_tile.len() - 1].h
     };
 
-    TileOutcome { corner_out, best, watch_hit, cells: (a_tile.len() * b_tile.len()) as u64 }
+    TileOutcome {
+        corner_out,
+        best,
+        watch_hit,
+        cells: (a_tile.len() * b_tile.len()) as u64,
+        path: KernelPath::Scalar,
+    }
 }
 
 /// Border values for a global-mode region: the init row (`H`/`F` per
@@ -387,6 +551,131 @@ mod tests {
         // corner_out walks down the left border to the last row.
         assert_eq!(out2.corner_out, left2[3].h);
         let _ = top2;
+    }
+
+    /// Big tiles must take the striped path and still agree with the
+    /// scalar kernel on every bus cell and outcome field.
+    #[test]
+    fn striped_path_taken_and_matches_scalar() {
+        let a = lcg(11, 200);
+        let b = lcg(12, 171); // 171 = 10 * LANES + 11-column sliver
+        for local in [false, true] {
+            let (mut top_s, mut left_s, corner) = if local {
+                local_borders(a.len(), b.len())
+            } else {
+                global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal))
+            };
+            let mut top_v = top_s.clone();
+            let mut left_v = left_s.clone();
+            let scal = compute_tile_scalar(
+                &a,
+                &b,
+                1,
+                1,
+                &SC,
+                local,
+                None,
+                corner,
+                &mut top_s,
+                &mut left_s,
+            );
+            let vect =
+                compute_tile(&a, &b, 1, 1, &SC, local, None, corner, &mut top_v, &mut left_v);
+            assert_eq!(vect.path, KernelPath::Striped, "local={local}");
+            assert_eq!(scal.path, KernelPath::Scalar);
+            assert_eq!(top_v, top_s, "hbus, local={local}");
+            assert_eq!(left_v, left_s, "vbus, local={local}");
+            assert_eq!(vect.corner_out, scal.corner_out);
+            assert_eq!(vect.best, scal.best);
+            assert_eq!(vect.cells, scal.cells);
+        }
+    }
+
+    /// Watch hits must agree across paths, including hits inside the
+    /// striped columns and inside the scalar sliver.
+    #[test]
+    fn striped_watch_matches_scalar() {
+        let a = lcg(13, 90);
+        let b = lcg(14, 75);
+        let (mut top, mut left, corner) =
+            global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        compute_tile(&a, &b, 1, 1, &SC, false, None, corner, &mut top, &mut left);
+        // Watch a score that actually occurs: the final corner value.
+        let goal = top[b.len() - 1].h;
+        for watch in [goal, goal + 1_000_000] {
+            let (mut top_s, mut left_s, corner) =
+                global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+            let mut top_v = top_s.clone();
+            let mut left_v = left_s.clone();
+            let scal = compute_tile_scalar(
+                &a,
+                &b,
+                1,
+                1,
+                &SC,
+                false,
+                Some(watch),
+                corner,
+                &mut top_s,
+                &mut left_s,
+            );
+            let vect = compute_tile(
+                &a,
+                &b,
+                1,
+                1,
+                &SC,
+                false,
+                Some(watch),
+                corner,
+                &mut top_v,
+                &mut left_v,
+            );
+            assert_eq!(vect.path, KernelPath::Striped);
+            assert_eq!(vect.watch_hit, scal.watch_hit, "watch={watch}");
+            assert_eq!(top_v, top_s);
+            assert_eq!(left_v, left_s);
+        }
+    }
+
+    /// Borders whose scores sit outside the i16 window must trigger the
+    /// transparent scalar fallback — identical results, path recorded.
+    #[test]
+    fn saturating_tile_falls_back_to_scalar() {
+        let a = lcg(15, 48);
+        let b = lcg(16, 48);
+        let (mut top_s, mut left_s, _) =
+            global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal));
+        // A border H far above the rest: rebasing to it pushes every other
+        // border value below the safe window.
+        top_s[0].h += 100_000;
+        let corner = 0;
+        let mut top_v = top_s.clone();
+        let mut left_v = left_s.clone();
+        let scal =
+            compute_tile_scalar(&a, &b, 1, 1, &SC, false, None, corner, &mut top_s, &mut left_s);
+        let vect = compute_tile(&a, &b, 1, 1, &SC, false, None, corner, &mut top_v, &mut left_v);
+        assert_eq!(vect.path, KernelPath::StripedFallback);
+        assert_eq!(top_v, top_s);
+        assert_eq!(left_v, left_s);
+        assert_eq!(vect.corner_out, scal.corner_out);
+    }
+
+    /// A reverse-origin region (NEG_INF corner seed) is ineligible for
+    /// rebasing at its first block but must still be exact via fallback.
+    #[test]
+    fn reverse_origin_first_block_falls_back() {
+        let a = lcg(17, 40);
+        let b = lcg(18, 40);
+        let (mut top_s, mut left_s, corner) =
+            global_borders(a.len(), b.len(), &SC, GlobalOrigin::reverse(ES::GapS1, &SC));
+        let mut top_v = top_s.clone();
+        let mut left_v = left_s.clone();
+        compute_tile_scalar(&a, &b, 1, 1, &SC, false, None, corner, &mut top_s, &mut left_s);
+        let vect = compute_tile(&a, &b, 1, 1, &SC, false, None, corner, &mut top_v, &mut left_v);
+        assert_eq!(vect.path, KernelPath::StripedFallback);
+        assert_eq!(top_v, top_s);
+        assert_eq!(left_v, left_s);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`grid`] — grid geometry and the paper's *minimum size requirement*
 //!   (`n >= 2 B T`), including the runtime reduction of `B`,
 //! * [`kernel`] — the per-block tile kernel (Gotoh recurrences over a
-//!   `block_height x block_width` tile fed by bus segments),
+//!   `block_height x block_width` tile fed by bus segments), dispatching
+//!   between a scalar `i32` loop and the vector path below,
+//! * [`striped`] — the lane-striped saturating-`i16` kernel (the CPU
+//!   analogue of the paper's internal-diagonal parallelism) with the
+//!   query profile and the overflow/fallback protocol,
 //! * [`exec`] — the persistent worker-pool executor (the CPU analogue of
 //!   a persistent-kernel GPU design): long-lived threads, a queue/condvar
 //!   handoff per external diagonal, panic capture instead of process
@@ -29,10 +33,11 @@
 //! * [`multi`] — column-split execution across several simulated cards
 //!   with counted border exchange (the paper's dual-GPU future work).
 //!
-//! What is *not* simulated: warp-level mechanics (internal diagonals, the
-//! short/long phase kernel split and the `alpha`-row memory access design)
-//! — these affect GPU throughput, not results; their cost shows up in the
-//! [`device`] model instead. The data-flow the algorithm depends on —
+//! What is *not* simulated: warp-level mechanics (the short/long phase
+//! kernel split and the `alpha`-row memory access design) — these affect
+//! GPU throughput, not results; their cost shows up in the [`device`]
+//! model instead. Internal-diagonal parallelism *is* exploited, but as
+//! real CPU SIMD via [`striped`] rather than as simulation. The data-flow the algorithm depends on —
 //! bus hand-offs, block boundaries, diagonal-synchronous progress and the
 //! minimum size requirement — is executed faithfully.
 
@@ -43,10 +48,11 @@ pub mod kernel;
 pub mod multi;
 #[cfg(feature = "race-check")]
 pub mod race;
+pub mod striped;
 pub mod wavefront;
 
 pub use device::DeviceModel;
 pub use exec::{ExecError, PoolStats, WorkerPool};
 pub use grid::GridSpec;
-pub use kernel::{CellHE, CellHF, GlobalOrigin, Mode, TileOutcome};
+pub use kernel::{CellHE, CellHF, GlobalOrigin, KernelPath, Mode, TileOutcome};
 pub use wavefront::{BlockCoords, NoObserver, RegionJob, RegionResult, WavefrontObserver};

@@ -38,6 +38,10 @@ pub struct MultiDeviceResult {
     /// First watch hit per the shared scan order (when `job.watch` was
     /// set): the earliest-anti-diagonal cell whose `H` equals the watch.
     pub watch_hit: Option<(usize, usize)>,
+    /// Chunks computed on the lane-striped vector kernel, all devices.
+    pub striped_tiles: u64,
+    /// Chunks that re-ran on the scalar kernel after `i16` overflow.
+    pub fallback_tiles: u64,
 }
 
 /// Row-chunk height of the pipeline.
@@ -125,6 +129,8 @@ pub fn run_split_pooled(
             exchanged_cells: 0,
             hbus: hbus_init,
             watch_hit: None,
+            striped_tiles: 0,
+            fallback_tiles: 0,
         });
     }
 
@@ -156,7 +162,8 @@ pub fn run_split_pooled(
     }
     senders.push(None);
 
-    type DeviceOutcome = (Option<(Score, usize, usize)>, u64, Vec<CellHF>, Option<(usize, usize)>);
+    type DeviceOutcome =
+        (Option<(Score, usize, usize)>, u64, Vec<CellHF>, Option<(usize, usize)>, u64, u64);
     let mut results: Vec<Option<DeviceOutcome>> = (0..devices).map(|_| None).collect();
     pool.scope(|s| {
         for (d, slot) in results.iter_mut().enumerate() {
@@ -172,6 +179,8 @@ pub fn run_split_pooled(
                 let mut best: Option<(Score, usize, usize)> = None;
                 let mut watch_hit: Option<(usize, usize)> = None;
                 let mut cells = 0u64;
+                let mut striped = 0u64;
+                let mut fallback = 0u64;
                 // Corner above this device's slice for chunk 0:
                 // H at (0, c0) — the origin for device 0, the init-row
                 // value at column c0 otherwise.
@@ -207,6 +216,11 @@ pub fn run_split_pooled(
                         &mut left,
                     );
                     cells += out.cells;
+                    match out.path {
+                        kernel::KernelPath::Striped => striped += 1,
+                        kernel::KernelPath::StripedFallback => fallback += 1,
+                        kernel::KernelPath::Scalar => {}
+                    }
                     if let Some(cand) = out.best {
                         if best.is_none_or(|cur| better_endpoint(cand, cur)) {
                             best = Some(cand);
@@ -227,7 +241,7 @@ pub fn run_split_pooled(
                         tx.send(tag_border(d, k, left)).expect("device pipeline broken");
                     }
                 }
-                *slot = Some((best, cells, top, watch_hit));
+                *slot = Some((best, cells, top, watch_hit, striped, fallback));
             });
         }
     })?;
@@ -237,9 +251,13 @@ pub fn run_split_pooled(
     let mut cells = 0u64;
     let mut per_device_cells = Vec::with_capacity(devices);
     let mut hbus = Vec::with_capacity(n);
-    for (b_d, c_d, top, w_d) in results.into_iter().flatten() {
+    let mut striped_tiles = 0u64;
+    let mut fallback_tiles = 0u64;
+    for (b_d, c_d, top, w_d, s_d, f_d) in results.into_iter().flatten() {
         per_device_cells.push(c_d);
         cells += c_d;
+        striped_tiles += s_d;
+        fallback_tiles += f_d;
         if let Some(cand) = b_d {
             if best.is_none_or(|cur| better_endpoint(cand, cur)) {
                 best = Some(cand);
@@ -260,6 +278,8 @@ pub fn run_split_pooled(
         exchanged_cells: (m as u64) * (devices as u64 - 1),
         hbus,
         watch_hit,
+        striped_tiles,
+        fallback_tiles,
     })
 }
 

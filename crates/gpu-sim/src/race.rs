@@ -25,6 +25,16 @@
 //!   `(device, chunk)` provenance; a receiver observing the wrong tag
 //!   reports a [`ViolationKind::ChannelTag`].
 //!
+//! Striped-kernel writes need no special modelling: the lane-striped
+//! kernel (see [`crate::striped`]) is an implementation detail *inside*
+//! one `compute_tile` call. Whether a tile runs scalar, striped, or
+//! striped-then-fallback, it still reads its whole bus segments before
+//! the call and overwrites them whole by the time it returns, so the
+//! per-segment `block_reads`/`block_writes` records around the call (the
+//! granularity this detector tracks) describe striped execution exactly;
+//! intra-tile lane state lives in kernel-local arrays no other block can
+//! observe.
+//!
 //! Violations accumulate in a process-global sink drained by
 //! [`take_report`]; tests that arm faults or assert on the report must
 //! serialize behind a shared lock (see `tests/race.rs`). The detector

@@ -115,6 +115,13 @@ pub struct RegionResult {
     pub vbus: Vec<CellHE>,
     /// The layout that was executed.
     pub layout: GridLayout,
+    /// Tiles computed on the lane-striped vector kernel *in this run* —
+    /// like [`RegionResult::diagonals_run`], kernel-path counters are not
+    /// carried across checkpoint resume.
+    pub striped_tiles: u64,
+    /// Tiles that attempted the striped kernel but overflowed the `i16`
+    /// window and re-ran on the scalar kernel (this run).
+    pub fallback_tiles: u64,
 }
 
 impl RegionResult {
@@ -423,6 +430,8 @@ pub fn run_resumable_pooled(
     let mut aborted = false;
     let mut diagonals_run = 0usize;
     let mut busy_slots = 0u64;
+    let mut striped_tiles = 0u64;
+    let mut fallback_tiles = 0u64;
     let mut first_diagonal = 0usize;
 
     if let Some(state) = resume {
@@ -594,6 +603,11 @@ pub fn run_resumable_pooled(
             // guarantees every task of this diagonal ran to completion.
             let out = t.outcome.expect("task executed");
             cells += out.cells;
+            match out.path {
+                kernel::KernelPath::Striped => striped_tiles += 1,
+                kernel::KernelPath::StripedFallback => fallback_tiles += 1,
+                kernel::KernelPath::Scalar => {}
+            }
             if let Some(cand) = out.best {
                 if best.is_none_or(|b| better_endpoint(cand, b)) {
                     best = Some(cand);
@@ -611,7 +625,18 @@ pub fn run_resumable_pooled(
         }
     }
 
-    Ok(RegionResult { best, cells, diagonals_run, aborted, busy_slots, hbus, vbus, layout })
+    Ok(RegionResult {
+        best,
+        cells,
+        diagonals_run,
+        aborted,
+        busy_slots,
+        hbus,
+        vbus,
+        layout,
+        striped_tiles,
+        fallback_tiles,
+    })
 }
 
 /// Convenience: run without an observer.

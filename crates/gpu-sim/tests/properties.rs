@@ -13,6 +13,11 @@ fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
 }
 
+/// Sequences long enough for the striped kernel's eligibility gate.
+fn dna_min(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), min_len..max_len)
+}
+
 fn grids() -> impl Strategy<Value = GridSpec> {
     (1usize..8, 1usize..8, 1usize..5).prop_map(|(blocks, threads, alpha)| GridSpec {
         blocks,
@@ -90,6 +95,65 @@ proptest! {
             prop_assert_eq!(res.vbus[i].h, res_t.hbus[i].h);
             prop_assert_eq!(res.vbus[i].e, res_t.hbus[i].f);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The striped i16 kernel must be bit-identical to the scalar i32
+    /// kernel on whole tiles: every bus cell, the corner, the best
+    /// endpoint and the watch hit. Scoring ranges deliberately include
+    /// values large enough (x20 amplification, still within the P_MAX
+    /// eligibility bound) that long tiles drift out of the i16 window and
+    /// exercise the overflow fallback.
+    #[test]
+    fn striped_kernel_equals_scalar_cell_for_cell(
+        a in dna_min(16, 220),
+        b in dna_min(16, 220),
+        ms in 1i32..30,
+        mms in -30i32..0,
+        gaps in (1i32..30, 0i32..20),
+        amplify in any::<bool>(),
+        local in any::<bool>(),
+        start in edge(),
+        watch_some in any::<bool>(),
+    ) {
+        use gpu_sim::kernel::{compute_tile, compute_tile_scalar, global_borders, local_borders, GlobalOrigin, KernelPath};
+        let k = if amplify { 20 } else { 1 };
+        let scoring = Scoring {
+            match_score: ms * k,
+            mismatch_score: mms * k,
+            gap_first: (gaps.0 + gaps.1) * k,
+            gap_ext: gaps.0 * k,
+        };
+        let (top_0, left_0, corner) = if local {
+            local_borders(a.len(), b.len())
+        } else {
+            global_borders(a.len(), b.len(), &scoring, GlobalOrigin::forward(start))
+        };
+        // Watch a score that exists (the scalar corner) half the time, so
+        // hits in striped columns, the sliver, and nowhere all occur.
+        let watch = if watch_some {
+            let (mut t, mut l) = (top_0.clone(), left_0.clone());
+            let probe = compute_tile_scalar(&a, &b, 1, 1, &scoring, local, None, corner, &mut t, &mut l);
+            Some(probe.corner_out)
+        } else {
+            None
+        };
+        let (mut top_s, mut left_s) = (top_0.clone(), left_0.clone());
+        let scal = compute_tile_scalar(
+            &a, &b, 1, 1, &scoring, local, watch, corner, &mut top_s, &mut left_s,
+        );
+        let (mut top_v, mut left_v) = (top_0, left_0);
+        let vect = compute_tile(&a, &b, 1, 1, &scoring, local, watch, corner, &mut top_v, &mut left_v);
+        prop_assert_ne!(vect.path, KernelPath::Scalar, "eligible tile must try the striped path");
+        prop_assert_eq!(&top_v, &top_s, "hbus");
+        prop_assert_eq!(&left_v, &left_s, "vbus");
+        prop_assert_eq!(vect.corner_out, scal.corner_out);
+        prop_assert_eq!(vect.best, scal.best);
+        prop_assert_eq!(vect.watch_hit, scal.watch_hit);
+        prop_assert_eq!(vect.cells, scal.cells);
     }
 }
 

@@ -18,6 +18,24 @@ fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
 }
 
+/// Sequences long enough that, with a small grid, every tile clears the
+/// striped kernel's `LANES x LANES` eligibility floor.
+fn dna_long() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 200..600)
+}
+
+/// Grids coarse enough that tiles stay at least `LANES` wide/tall for
+/// `dna_long` inputs: `alpha * threads >= 16` keeps every full block at
+/// least 16 rows high, and at most 4 column groups over >= 200 columns
+/// keeps every tile at least 16 columns wide.
+fn coarse_grids() -> impl Strategy<Value = GridSpec> {
+    (2usize..5, 4usize..9, 4usize..7).prop_map(|(blocks, threads, alpha)| GridSpec {
+        blocks,
+        threads,
+        alpha,
+    })
+}
+
 fn grids() -> impl Strategy<Value = GridSpec> {
     (1usize..8, 1usize..8, 1usize..5).prop_map(|(blocks, threads, alpha)| GridSpec {
         blocks,
@@ -129,5 +147,54 @@ proptest! {
         prop_assert_eq!(first_1.hbus, second_1.hbus);
         prop_assert_eq!(first_2.best, second_2.best);
         prop_assert_eq!(first_2.hbus, second_2.hbus);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The vectorized (lane-striped) kernel is the default path, so the
+    /// pooled-equivalence contract must hold while it is actually
+    /// engaged. Sequences here are long and grids coarse, so every tile
+    /// clears the striped eligibility floor; we assert that striped
+    /// tiles really occurred, that the kernel-path counters are
+    /// deterministic across pool widths, and that results are identical
+    /// between a serial run and an 8-lane pool.
+    #[test]
+    fn pooled_equivalence_holds_with_striped_kernel(
+        a in dna_long(), b in dna_long(), grid in coarse_grids(),
+        local in any::<bool>(),
+    ) {
+        let mode = if local { Mode::Local } else { Mode::global(EdgeState::Diagonal) };
+        let serial_job = RegionJob {
+            a: &a, b: &b, scoring: Scoring::paper(), mode,
+            grid, workers: 1, watch: None,
+        };
+        let mut serial_obs = Recorder::default();
+        let serial = run(&serial_job, &mut serial_obs);
+        prop_assert!(
+            serial.striped_tiles > 0,
+            "expected striped tiles with grid {:?} on {}x{}", grid, a.len(), b.len()
+        );
+        // The paper scoring on zero/Diagonal borders never leaves the
+        // i16 window at these lengths, so nothing should fall back.
+        prop_assert_eq!(serial.fallback_tiles, 0, "unexpected scalar fallback");
+
+        for lanes in [1usize, 8] {
+            let pool = WorkerPool::new(lanes);
+            let job = RegionJob { workers: lanes, ..serial_job };
+            let mut obs = Recorder::default();
+            let res = run_pooled(&pool, &job, &mut obs).expect("no worker panic");
+            prop_assert_eq!(res.best, serial.best, "best, lanes={}", lanes);
+            prop_assert_eq!(res.cells, serial.cells, "cells, lanes={}", lanes);
+            prop_assert_eq!(res.striped_tiles, serial.striped_tiles, "striped, lanes={}", lanes);
+            prop_assert_eq!(res.fallback_tiles, serial.fallback_tiles, "fallback, lanes={}", lanes);
+            prop_assert_eq!(&res.hbus, &serial.hbus, "hbus, lanes={}", lanes);
+            prop_assert_eq!(&res.vbus, &serial.vbus, "vbus, lanes={}", lanes);
+            prop_assert!(
+                obs.events == serial_obs.events,
+                "observer stream diverged with lanes={}", lanes
+            );
+        }
     }
 }
