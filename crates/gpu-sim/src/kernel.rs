@@ -591,6 +591,57 @@ mod tests {
         }
     }
 
+    /// Regression: the lane-0 diagonal seed (`prev_top`) must be carried
+    /// across JCHUNK column-chunk boundaries, not re-read from the
+    /// horizontal bus — by the end of a chunk the bus already holds this
+    /// band's bottom row, and re-seeding from it fed a wrong diagonal to
+    /// the band's top row at every chunk boundary. Unit-test builds
+    /// shrink JCHUNK/BAND (see `striped.rs`), so this tile crosses three
+    /// chunk boundaries and two band boundaries in the modes that chunk
+    /// (local and watch).
+    #[test]
+    fn chunk_and_band_boundaries_match_scalar() {
+        let a = lcg(19, 80); // > 2 * BAND(test)
+        let b = lcg(20, 200); // > 3 * JCHUNK(test)
+        for (local, watched) in [(true, false), (false, true), (true, true)] {
+            let (top_0, left_0, corner) = if local {
+                local_borders(a.len(), b.len())
+            } else {
+                global_borders(a.len(), b.len(), &SC, GlobalOrigin::forward(ES::Diagonal))
+            };
+            let watch = if watched {
+                let (mut t, mut l) = (top_0.clone(), left_0.clone());
+                let probe =
+                    compute_tile_scalar(&a, &b, 1, 1, &SC, local, None, corner, &mut t, &mut l);
+                Some(probe.corner_out)
+            } else {
+                None
+            };
+            let (mut top_s, mut left_s) = (top_0.clone(), left_0.clone());
+            let scal = compute_tile_scalar(
+                &a,
+                &b,
+                1,
+                1,
+                &SC,
+                local,
+                watch,
+                corner,
+                &mut top_s,
+                &mut left_s,
+            );
+            let (mut top_v, mut left_v) = (top_0, left_0);
+            let vect =
+                compute_tile(&a, &b, 1, 1, &SC, local, watch, corner, &mut top_v, &mut left_v);
+            assert_eq!(vect.path, KernelPath::Striped, "local={local} watched={watched}");
+            assert_eq!(top_v, top_s, "hbus, local={local} watched={watched}");
+            assert_eq!(left_v, left_s, "vbus, local={local} watched={watched}");
+            assert_eq!(vect.corner_out, scal.corner_out);
+            assert_eq!(vect.best, scal.best);
+            assert_eq!(vect.watch_hit, scal.watch_hit);
+        }
+    }
+
     /// Watch hits must agree across paths, including hits inside the
     /// striped columns and inside the scalar sliver.
     #[test]

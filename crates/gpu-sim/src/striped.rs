@@ -99,12 +99,22 @@ const RAIL: i16 = i16::MIN;
 /// Rows per band: bounds the striped working set (four state arrays plus
 /// the profile) to the L1/L2 cache while columns stream across the band.
 /// Must be a multiple of [`LANES`].
+///
+/// Unit-test builds shrink this (and [`JCHUNK`]) so small tiles cross
+/// several band/chunk boundaries; the production values are exercised by
+/// the deterministic boundary test in `tests/properties.rs`.
+#[cfg(not(test))]
 const BAND: usize = 1024;
+#[cfg(test)]
+const BAND: usize = 32;
 
 /// Column-chunk width for the i16-indexed local-best/watch trackers;
 /// trackers are reduced and reset per chunk so a column index always
-/// fits an `i16`.
+/// fits an `i16`. Test builds shrink it — see [`BAND`].
+#[cfg(not(test))]
 const JCHUNK: usize = 32_000;
+#[cfg(test)]
+const JCHUNK: usize = 64;
 
 /// One striped vector: lane `l` holds a row of chunk `l`.
 type V = [i16; LANES];
@@ -237,12 +247,18 @@ pub(crate) fn compute_striped_columns<const LOCAL: bool, const WATCH: bool>(
     // that still produces the same `max(G - ge, H - gf)` on the first
     // computed cell. The raised value sits within 2*P_MAX of its (checked)
     // H, so it is representable; values above the window are real overflow.
+    // The first computed cell derives `tight - ge` from this border (the
+    // tightening makes it dominate `H - gf` there) and that value is
+    // min-tracked, so a border whose derived gap state already starts
+    // below the window would be guaranteed to fail the final overflow
+    // check — reject it up front so the tile goes straight to the scalar
+    // kernel instead of computing the whole striped tile and discarding it.
     let rel_gap = |g: Score, h16: i16| -> Option<i16> {
         let tight = (g as i64 - bias64).max(h16 as i64 - (gf - ge) as i64);
-        if tight <= WIN_HI as i64 {
-            Some(tight as i16)
-        } else {
+        if tight > WIN_HI as i64 || tight - (ge as i64) < WIN_LO as i64 {
             None
+        } else {
+            Some(tight as i16)
         }
     };
 
@@ -336,6 +352,11 @@ pub(crate) fn compute_striped_columns<const LOCAL: bool, const WATCH: bool>(
         let mut wj_: Vec<V> = vec![[-1; LANES]; if WATCH { seg } else { 0 }];
 
         let jchunk = if LOCAL || WATCH { JCHUNK } else { width };
+        // Lane-0 diagonal seed: the *pre-update* top-border H of the
+        // previous column. Must be carried across chunk boundaries — by
+        // the time a chunk ends, `th` already holds this band's bottom
+        // row, so it cannot be re-read from the bus.
+        let mut prev_top = band_corner;
         let mut cbase = 0usize;
         while cbase < width {
             let clen = (width - cbase).min(jchunk);
@@ -346,7 +367,6 @@ pub(crate) fn compute_striped_columns<const LOCAL: bool, const WATCH: bool>(
             if WATCH {
                 wj_.iter_mut().for_each(|v| *v = [-1; LANES]);
             }
-            let mut prev_top = if cbase == 0 { band_corner } else { th[cbase - 1] };
             for jc in 0..clen {
                 let j = cbase + jc;
                 let k = slot[b_tile[j] as usize] as usize;

@@ -157,6 +157,88 @@ proptest! {
     }
 }
 
+/// Deterministic regression for the *production* striped-kernel batching
+/// constants (the crate's unit tests shrink JCHUNK/BAND; integration
+/// tests link the real values): a tile wider than one column chunk
+/// (width > JCHUNK = 32,000, where the `prev_top` diagonal seed must be
+/// carried across the chunk boundary rather than re-read from the
+/// already-overwritten bus) and a tile taller than one band
+/// (height > BAND = 1024) must stay cell-for-cell identical to the
+/// scalar kernel.
+#[test]
+fn striped_boundaries_match_scalar_at_production_sizes() {
+    use gpu_sim::kernel::{
+        compute_tile, compute_tile_scalar, global_borders, local_borders, GlobalOrigin, KernelPath,
+    };
+    let dna = |seed: u64, len: usize| -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    };
+    let sc = Scoring::paper();
+    // (height, width, modes): one shape crossing the column-chunk boundary
+    // in the modes that chunk — local borders only, since a global border
+    // row spanning > 32k columns leaves the i16 window and (correctly)
+    // falls back — and one shape crossing the band boundary in all modes.
+    let wide: &[(bool, bool)] = &[(true, false), (true, true)];
+    let tall: &[(bool, bool)] = &[(true, false), (false, true), (false, false)];
+    for (ai, bi, height, width, modes) in
+        [(21u64, 22u64, 48, 32_100, wide), (23, 24, 1_056, 48, tall)]
+    {
+        let a = dna(ai, height);
+        let mut b = dna(bi, width);
+        if width > 32_000 {
+            // Plant an exact copy of `a` ending at the chunk boundary so
+            // the band's bottom row carries a large local H there, and a
+            // match right after it: a seed leak across the boundary would
+            // inflate the top row's diagonal and show up in best/bus.
+            b[32_000 - height..32_000].copy_from_slice(&a);
+            b[32_000] = a[0];
+        }
+        for &(local, watched) in modes {
+            let (top_0, left_0, corner) = if local {
+                local_borders(a.len(), b.len())
+            } else {
+                global_borders(a.len(), b.len(), &sc, GlobalOrigin::forward(EdgeState::Diagonal))
+            };
+            let watch = if watched {
+                let (mut t, mut l) = (top_0.clone(), left_0.clone());
+                let probe =
+                    compute_tile_scalar(&a, &b, 1, 1, &sc, local, None, corner, &mut t, &mut l);
+                Some(probe.corner_out)
+            } else {
+                None
+            };
+            let (mut top_s, mut left_s) = (top_0.clone(), left_0.clone());
+            let scal = compute_tile_scalar(
+                &a,
+                &b,
+                1,
+                1,
+                &sc,
+                local,
+                watch,
+                corner,
+                &mut top_s,
+                &mut left_s,
+            );
+            let (mut top_v, mut left_v) = (top_0, left_0);
+            let vect =
+                compute_tile(&a, &b, 1, 1, &sc, local, watch, corner, &mut top_v, &mut left_v);
+            assert_eq!(vect.path, KernelPath::Striped, "{height}x{width} local={local}");
+            assert_eq!(top_v, top_s, "hbus {height}x{width} local={local} watched={watched}");
+            assert_eq!(left_v, left_s, "vbus {height}x{width} local={local} watched={watched}");
+            assert_eq!(vect.corner_out, scal.corner_out);
+            assert_eq!(vect.best, scal.best);
+            assert_eq!(vect.watch_hit, scal.watch_hit);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
