@@ -52,6 +52,8 @@ pub const SAFETY_COMMENT: &str = "safety-comment";
 pub const NO_WALLCLOCK: &str = "no-wallclock";
 /// Identifier of the "public error enums are #[non_exhaustive]" rule.
 pub const NON_EXHAUSTIVE_ERRORS: &str = "non-exhaustive-errors";
+/// Identifier of the "wall-clock only via the injected obs::Clock" rule.
+pub const CLOCK_INJECTION: &str = "clock-injection";
 
 /// Static description of one rule in the registry.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +94,11 @@ pub fn rules() -> &'static [RuleInfo] {
         RuleInfo {
             id: NON_EXHAUSTIVE_ERRORS,
             summary: "public enums named *Error carry #[non_exhaustive]",
+        },
+        RuleInfo {
+            id: CLOCK_INJECTION,
+            summary: "no Instant/SystemTime in cudalign outside obs.rs: sample time through \
+                      the injected obs::Clock so runs trace deterministically",
         },
     ]
 }
@@ -749,6 +756,38 @@ fn rule_no_wallclock(ctx: &mut Ctx<'_>) {
     }
 }
 
+/// All cudalign library code must read time through the injected
+/// [`obs::Clock`]: `obs.rs` owns the one `Instant` (inside `WallClock`),
+/// everything else calls `Obs::now()`. This keeps traces replayable under
+/// a manual clock and extends the hot-path no-wallclock rule to the whole
+/// pipeline crate.
+fn rule_clock_injection(ctx: &mut Ctx<'_>) {
+    let path = ctx.scan.rel_path.as_str();
+    if !path.starts_with("crates/cudalign/src/") || path.ends_with("/obs.rs") || is_bin(path) {
+        return;
+    }
+    for l in 0..ctx.scan.code.len() {
+        if ctx.scan.test_region[l] || ctx.scan.stats_region[l] {
+            continue;
+        }
+        let line = ctx.scan.code[l].clone();
+        let hit = ["Instant", "SystemTime"].iter().any(|pat| {
+            token_positions(&line, pat, false)
+                .iter()
+                .any(|&at| !line.as_bytes().get(at + pat.len()).is_some_and(|&c| is_ident(c)))
+        });
+        if hit {
+            ctx.report(
+                l,
+                CLOCK_INJECTION,
+                "wall-clock read outside cudalign::obs: sample time through the injected \
+                 obs::Clock (Obs::now) so traces stay deterministic"
+                    .into(),
+            );
+        }
+    }
+}
+
 fn rule_non_exhaustive_errors(ctx: &mut Ctx<'_>) {
     if is_vendored(&ctx.scan.rel_path) {
         return;
@@ -812,6 +851,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
     rule_thread_isolation(&mut ctx);
     rule_safety_comment(&mut ctx);
     rule_no_wallclock(&mut ctx);
+    rule_clock_injection(&mut ctx);
     rule_non_exhaustive_errors(&mut ctx);
     ctx.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     (ctx.findings, ctx.suppressed)

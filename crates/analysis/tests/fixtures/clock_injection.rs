@@ -1,0 +1,20 @@
+// lint-fixture path=crates/cudalign/src/pipeline.rs rule=clock-injection expect=1
+// The one live violation: a direct wall-clock read in cudalign library
+// code outside obs.rs, bypassing the injected obs::Clock.
+pub fn timed_stage() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+// Must NOT fire: stats structs may *store* instants; only sampling them
+// outside the injected clock is banned.
+pub struct StageStats {
+    pub started: Option<std::time::Instant>,
+    pub cells: u64,
+}
+
+pub fn mentions_only() {
+    // Instant in a comment is fine
+    let s = "SystemTime in a string is fine";
+    let _ = s;
+}

@@ -26,6 +26,10 @@ USAGE:
                               automatically from an existing snapshot)
       --checkpoint-every N    snapshot cadence in external diagonals (default 64)
       --stats                 print per-stage statistics
+      --trace FILE            write an NDJSON event trace of the run
+                              (spans, per-diagonal ticks, metrics dump)
+      --progress              live progress line on stderr with
+                              percent-complete and ETA (resume-aware)
 
   cudalign view <OUT.cal2> <A.fasta> <B.fasta> [options]
       --width N               text wrap width (default 80)
@@ -99,6 +103,10 @@ pub struct AlignArgs {
     pub checkpoint_every: usize,
     /// Print statistics.
     pub stats: bool,
+    /// Write an NDJSON event trace of the run to this path.
+    pub trace: Option<PathBuf>,
+    /// Render a live progress line (percent + ETA) on stderr.
+    pub progress: bool,
 }
 
 /// Arguments of `view`.
@@ -228,8 +236,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "gap-ext",
                     "checkpoint-dir",
                     "checkpoint-every",
+                    "trace",
                 ],
-                &["stats", "middle-row-split", "no-orthogonal", "parallel-partitions"],
+                &["stats", "middle-row-split", "no-orthogonal", "parallel-partitions", "progress"],
             )?;
             if opts.positional.len() != 2 {
                 return Err(ParseError("align needs exactly two FASTA paths".into()));
@@ -255,6 +264,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 no_orthogonal: opts.switches.iter().any(|s| s == "no-orthogonal"),
                 parallel_partitions: opts.switches.iter().any(|s| s == "parallel-partitions"),
                 stats: opts.switches.iter().any(|s| s == "stats"),
+                trace: opts.flags.get("trace").map(PathBuf::from),
+                progress: opts.switches.iter().any(|s| s == "progress"),
             }))
         }
         "view" => {
@@ -371,6 +382,27 @@ mod tests {
                 assert_eq!(a.scoring.1, Some(-2));
                 assert!(a.stats);
                 assert!(!a.no_orthogonal);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_and_progress() {
+        let cmd =
+            parse(&sv(&["align", "a.fa", "b.fa", "--trace", "run.ndjson", "--progress"])).unwrap();
+        match cmd {
+            Command::Align(a) => {
+                assert_eq!(a.trace, Some(PathBuf::from("run.ndjson")));
+                assert!(a.progress);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults stay off.
+        match parse(&sv(&["align", "a.fa", "b.fa"])).unwrap() {
+            Command::Align(a) => {
+                assert_eq!(a.trace, None);
+                assert!(!a.progress);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -3,12 +3,52 @@
 
 use crate::args::{AlignArgs, DatasetArgs, GenerateArgs, ViewArgs};
 use cudalign::config::{CheckpointPolicy, SraBackend};
+use cudalign::obs::{Event, Obs, Progress, Recorder, TraceWriter};
 use cudalign::{stage6, BinaryAlignment, Pipeline, PipelineConfig};
 use seqio::generate::{self, HomologyParams};
 use seqio::{fasta, DatasetRegistry};
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
+use std::time::Duration;
 use sw_core::{Scoring, Sequence};
+
+/// Recorder that keeps a live progress line on stderr: redraws in place
+/// with carriage returns (no newline spam), only when the rendered text
+/// changes, and erases itself once the run finishes so the summary prints
+/// on a clean line.
+struct ProgressPrinter {
+    inner: Progress,
+    last: String,
+}
+
+impl ProgressPrinter {
+    fn new() -> Self {
+        ProgressPrinter { inner: Progress::new(), last: String::new() }
+    }
+
+    fn clear(&mut self) {
+        if !self.last.is_empty() {
+            eprint!("\r{}\r", " ".repeat(self.last.len()));
+            self.last.clear();
+        }
+    }
+}
+
+impl Recorder for ProgressPrinter {
+    fn record(&mut self, t: Duration, ev: &Event) {
+        self.inner.record(t, ev);
+        match self.inner.render() {
+            Some(line) if line != self.last => {
+                let pad = self.last.len().saturating_sub(line.len());
+                eprint!("\r{line}{}", " ".repeat(pad));
+                self.last = line;
+            }
+            Some(_) => {}
+            None => self.clear(),
+        }
+    }
+}
 
 fn load_first_record(path: &Path) -> Result<Sequence, String> {
     let mut records =
@@ -58,7 +98,34 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
     cfg.orthogonal_stage4 = !args.no_orthogonal;
     cfg.parallel_partitions = args.parallel_partitions;
 
-    let result = Pipeline::new(cfg).align(s0.bases(), s1.bases()).map_err(|e| e.to_string())?;
+    let mut tracer = match &args.trace {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            Some(TraceWriter::new(std::io::BufWriter::new(f)))
+        }
+        None => None,
+    };
+    let mut progress = args.progress.then(ProgressPrinter::new);
+
+    let mut obs = Obs::new();
+    if let Some(t) = tracer.as_mut() {
+        obs.add_recorder(t);
+    }
+    if let Some(p) = progress.as_mut() {
+        obs.add_recorder(p);
+    }
+    let result = Pipeline::new(cfg).align_observed(s0.bases(), s1.bases(), &mut obs);
+    drop(obs);
+    if let Some(p) = progress.as_mut() {
+        p.clear();
+    }
+    if let (Some(t), Some(path)) = (tracer, &args.trace) {
+        // Surface trace I/O failures even when the alignment itself
+        // succeeded — a silently truncated trace is worse than an error.
+        let mut w = t.finish().map_err(|e| format!("{}: {e}", path.display()))?;
+        w.flush().map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let result = result.map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     writeln!(out, "{} x {}", s0.name(), s1.name()).unwrap();
@@ -119,9 +186,10 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
         .unwrap();
         writeln!(
             out,
-            "  kernel: {} cells updated ({:.1} MCUPS), {} striped tiles, {} scalar fallbacks",
+            "  kernel: {} cells updated ({} MCUPS), {} striped tiles, {} scalar fallbacks",
             st.total_cells(),
-            st.mcups(),
+            // `-` for degenerate durations instead of the old inf/NaN.
+            st.mcups().map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
             st.kernel_striped_tiles,
             st.kernel_fallback_tiles
         )
@@ -323,6 +391,7 @@ mod tests {
         let a = dir.join("pair-0.fasta");
         let b = dir.join("pair-1.fasta");
         let cal = dir.join("out.cal2");
+        let trace = dir.join("run.ndjson");
         let cmd = parse(&sv(&[
             "align",
             a.to_str().unwrap(),
@@ -330,12 +399,25 @@ mod tests {
             "--out",
             cal.to_str().unwrap(),
             "--stats",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--progress",
         ]))
         .unwrap();
         let out = crate::run(cmd).unwrap();
         assert!(out.contains("score"), "{out}");
         assert!(out.contains("per-stage statistics"));
         assert!(cal.exists());
+
+        // The trace must be schema-valid and cover all six stages.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let check = cudalign::obs::validate_trace(&text).unwrap();
+        assert!(check.ended, "trace must end with run_end");
+        assert!(
+            check.stages_seen.iter().all(|s| *s),
+            "all six stages traced: {:?}",
+            check.stages_seen
+        );
 
         let cmd = parse(&sv(&["info", cal.to_str().unwrap()])).unwrap();
         let out = crate::run(cmd).unwrap();
@@ -436,6 +518,8 @@ mod tests {
             no_orthogonal: true,
             parallel_partitions: true,
             stats: false,
+            trace: None,
+            progress: false,
         })
         .unwrap();
         assert!(out.contains("score"), "{out}");

@@ -35,6 +35,11 @@ pub enum DecodeError {
     /// The gap lists do not describe a valid monotone path from `start`
     /// to `end` (corrupt or crafted file).
     Inconsistent,
+    /// A 64-bit header field does not fit the platform's address width
+    /// (e.g. a coordinate above `2^32` decoded on a 32-bit target, or a
+    /// crafted file with absurd values). The old decoder truncated such
+    /// values with `as usize`, silently producing wrong coordinates.
+    FieldOverflow,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -45,6 +50,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Inconsistent => {
                 write!(f, "binary alignment is internally inconsistent (corrupt file?)")
             }
+            DecodeError::FieldOverflow => {
+                write!(f, "binary alignment field exceeds the platform address width")
+            }
         }
     }
 }
@@ -52,6 +60,18 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 const MAGIC: &[u8; 4] = b"CAL2";
+
+/// Checked narrowing of a decoded 64-bit field to any target integer.
+/// Generic so tests can exercise the 32-bit failure mode (`u32`) on a
+/// 64-bit host.
+fn narrow_to<T: TryFrom<u64>>(v: u64) -> Result<T, DecodeError> {
+    T::try_from(v).map_err(|_| DecodeError::FieldOverflow)
+}
+
+/// Checked `u64 -> usize` for header coordinates, counts and run fields.
+fn narrow(v: u64) -> Result<usize, DecodeError> {
+    narrow_to::<usize>(v)
+}
 
 /// The compact alignment produced by Stage 5.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -230,10 +250,10 @@ impl BinaryAlignment {
             }
             Ok(u64::from_le_bytes(b))
         };
-        let s0 = u64_at(&mut pos)? as usize;
-        let s1 = u64_at(&mut pos)? as usize;
-        let e0 = u64_at(&mut pos)? as usize;
-        let e1 = u64_at(&mut pos)? as usize;
+        let s0 = narrow(u64_at(&mut pos)?)?;
+        let s1 = narrow(u64_at(&mut pos)?)?;
+        let e0 = narrow(u64_at(&mut pos)?)?;
+        let e1 = narrow(u64_at(&mut pos)?)?;
         let score = {
             let mut b = [0u8; 4];
             for (d, s) in b.iter_mut().zip(take(&mut pos, 4)?) {
@@ -241,8 +261,8 @@ impl BinaryAlignment {
             }
             Score::from_le_bytes(b)
         };
-        let n0 = u64_at(&mut pos)? as usize;
-        let n1 = u64_at(&mut pos)? as usize;
+        let n0 = narrow(u64_at(&mut pos)?)?;
+        let n1 = narrow(u64_at(&mut pos)?)?;
         // Validate counts against the remaining payload before allocating:
         // corrupt headers must fail cleanly, not abort on allocation.
         let remaining_runs = (bytes.len() - pos) / 24;
@@ -252,9 +272,9 @@ impl BinaryAlignment {
         let read_runs = |pos: &mut usize, n: usize| -> Result<Vec<GapRun>, DecodeError> {
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
-                let i = u64_at(pos)? as usize;
-                let j = u64_at(pos)? as usize;
-                let len = u64_at(pos)? as usize;
+                let i = narrow(u64_at(pos)?)?;
+                let j = narrow(u64_at(pos)?)?;
+                let len = narrow(u64_at(pos)?)?;
                 v.push(GapRun { i, j, len });
             }
             Ok(v)
@@ -393,6 +413,38 @@ mod tests {
         let mut bytes = b.encode();
         bytes.truncate(bytes.len() - 1);
         assert_eq!(BinaryAlignment::decode(&bytes), Err(DecodeError::Truncated));
+    }
+
+    /// Bug regression: header fields used to be narrowed with `as usize`,
+    /// which truncates silently on 32-bit targets. The checked narrowing
+    /// must reject values beyond the target width.
+    #[test]
+    fn narrowing_rejects_oversized_fields() {
+        // Simulate a 32-bit `usize` on any host.
+        assert_eq!(narrow_to::<u32>(u64::from(u32::MAX)), Ok(u32::MAX));
+        assert_eq!(narrow_to::<u32>(1 << 40), Err(DecodeError::FieldOverflow));
+        assert_eq!(narrow_to::<u32>(u64::MAX), Err(DecodeError::FieldOverflow));
+        // On the host width, in-range values pass through unchanged.
+        assert_eq!(narrow(123), Ok(123usize));
+    }
+
+    /// A crafted file whose end coordinate is a huge 64-bit value must
+    /// fail cleanly (on 64-bit hosts `usize` fits it, so the consistency
+    /// walk rejects it; on 32-bit it is `FieldOverflow`) — never a silent
+    /// wrap-around to small coordinates.
+    #[test]
+    fn decode_rejects_oversized_header_fields() {
+        let b = BinaryAlignment {
+            start: (0, 0),
+            end: (4, 4),
+            score: 4,
+            gaps_s0: vec![],
+            gaps_s1: vec![],
+        };
+        let mut bytes = b.encode();
+        // Patch end.0 (third u64, after the 4-byte magic) to u64::MAX.
+        bytes[4 + 16..4 + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(BinaryAlignment::decode(&bytes).is_err());
     }
 
     #[test]

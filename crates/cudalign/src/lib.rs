@@ -52,6 +52,7 @@
 pub mod binary;
 pub mod config;
 pub mod crosspoint;
+pub mod obs;
 pub mod pipeline;
 pub mod sra;
 pub mod stage1;
@@ -66,5 +67,6 @@ pub use binary::BinaryAlignment;
 pub use config::PipelineConfig;
 pub use crosspoint::{Crosspoint, CrosspointChain, Partition};
 pub use gpu_sim::{ExecError, PoolStats, WorkerPool};
+pub use obs::{Event, Metrics, Obs, Progress, Recorder, TraceWriter};
 pub use pipeline::{Pipeline, PipelineError, PipelineResult, PipelineStats, StageError};
 pub use storage::StorageError;

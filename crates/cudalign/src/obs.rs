@@ -1,0 +1,1323 @@
+//! Observability: event-sourced tracing, a metrics registry, and live
+//! progress for the six-stage pipeline (DESIGN.md §10).
+//!
+//! The paper's flagship run takes 18.5 hours; a run that long needs more
+//! than a stats struct printed after the fact. This module provides the
+//! three sinks the pipeline reports into:
+//!
+//! 1. **Events** — [`Event`] values emitted at pipeline edges (stage
+//!    begin/end spans, per-external-diagonal ticks, per-partition and
+//!    per-strip records, storage flush/drop, checkpoints) and fanned out
+//!    to any number of [`Recorder`]s through an [`Obs`] handle.
+//! 2. **Metrics** — a [`Metrics`] registry of named counters and gauges.
+//!    It is the single source of truth behind `PipelineStats`: the
+//!    pipeline accumulates into the registry, the stats struct is built
+//!    from it, and the trace dumps it verbatim as the final `metrics`
+//!    record, so `--stats`, the MCUPS bench and the trace can never
+//!    disagree.
+//! 3. **Clock** — all wall-clock reads go through the injected [`Clock`].
+//!    This file is the only place in `cudalign` allowed to touch
+//!    `std::time::Instant` (enforced by the `clock-injection` lint in the
+//!    `analysis` crate); everything else samples time via
+//!    [`Obs::now`], which makes timing deterministic under test via
+//!    [`ManualClock`].
+//!
+//! Hot paths (the DP kernels and the wavefront inner loops) do **not**
+//! emit events — they keep reporting pre-aggregated counters through the
+//! existing bus/stats plumbing, so the `no-wallclock` lint stays clean
+//! and tracing adds no per-cell overhead.
+//!
+//! # Trace format
+//!
+//! [`TraceWriter`] encodes each event as one JSON object per line
+//! (NDJSON). Every record carries `"t"` (seconds since the recorder's
+//! clock origin, non-decreasing) and `"ev"` (the record type); the
+//! remaining fields are per-type and documented in DESIGN.md §10.
+//! [`validate_trace`] checks a whole trace against that schema — field
+//! presence and types, monotone timestamps, and span nesting (stages
+//! open and close in order, stage-scoped records fall inside their
+//! stage's span).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Clock injection
+// ---------------------------------------------------------------------------
+
+/// A monotone clock, injected at the pipeline edges.
+///
+/// Returns the elapsed time since the clock's origin (creation for
+/// [`WallClock`], explicit for [`ManualClock`]). Implementations must be
+/// monotone: successive calls never go backwards.
+pub trait Clock {
+    /// Time elapsed since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now(&self) -> Duration {
+        (**self).now()
+    }
+}
+
+/// The production clock: monotone wall time since construction.
+///
+/// This is the only type in `cudalign` that reads `std::time::Instant`;
+/// the `clock-injection` lint keeps it that way.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClock { origin: std::time::Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A hand-cranked clock for deterministic tests.
+///
+/// Interior mutability lets a test keep a shared reference while the
+/// [`Obs`] holds `Box::new(&clock)` as its [`Clock`].
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Cell<Duration>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Set the absolute time. Callers are responsible for monotonicity.
+    pub fn set(&self, t: Duration) {
+        self.now.set(t);
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now.set(self.now.get().saturating_add(d));
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        self.now.get()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One observable moment in a pipeline run.
+///
+/// Events are pure data; the emission timestamp is stamped by
+/// [`Obs::emit`] and handed to each [`Recorder`] alongside the event.
+/// The NDJSON encoding of each variant is documented in DESIGN.md §10.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A run starts: matrix shape, stage-1 grid total, and where stage 1
+    /// resumes (0 for a fresh run).
+    RunBegin {
+        /// Rows of the DP matrix (`|S0|`).
+        m: usize,
+        /// Columns of the DP matrix (`|S1|`).
+        n: usize,
+        /// Total external diagonals in the stage-1 grid.
+        total_diagonals: usize,
+        /// First diagonal stage 1 will execute (from a checkpoint).
+        resumed_from_diagonal: usize,
+    },
+    /// A pipeline stage opens (stages are numbered 1..=6).
+    StageBegin {
+        /// Stage number, 1..=6.
+        stage: u8,
+    },
+    /// A pipeline stage closes.
+    StageEnd {
+        /// Stage number, 1..=6.
+        stage: u8,
+        /// Wall seconds the stage took (injected clock).
+        seconds: f64,
+        /// DP cells the stage processed in this run.
+        cells: u64,
+    },
+    /// Stage-1 wavefront progress: `done` of `total` external diagonals
+    /// are complete (absolute, i.e. inclusive of diagonals skipped by a
+    /// checkpoint resume).
+    Diagonal {
+        /// Stage number (currently always 1).
+        stage: u8,
+        /// External diagonals fully executed, counted from the matrix
+        /// origin.
+        done: usize,
+        /// Total external diagonals in the grid.
+        total: usize,
+    },
+    /// Stage 2 starts a reverse strip.
+    Strip {
+        /// Stage number (currently always 2).
+        stage: u8,
+        /// 1-based strip index.
+        index: usize,
+        /// Strip height in rows.
+        height: usize,
+        /// Strip width in columns.
+        width: usize,
+    },
+    /// A stage announces how many partitions it is about to solve.
+    Partitions {
+        /// Stage number (3 or 5).
+        stage: u8,
+        /// Partition count.
+        count: usize,
+    },
+    /// One partition a stage will solve.
+    Partition {
+        /// Stage number (currently always 3).
+        stage: u8,
+        /// 0-based partition index.
+        index: usize,
+        /// Partition height in rows.
+        height: usize,
+        /// Partition width in columns.
+        width: usize,
+    },
+    /// One stage-4 refinement iteration finished.
+    Iteration {
+        /// Stage number (currently always 4).
+        stage: u8,
+        /// 1-based iteration index.
+        index: usize,
+        /// Crosspoints known after this iteration.
+        crosspoints: usize,
+        /// DP cells this iteration processed.
+        cells: u64,
+        /// Wall seconds this iteration took (injected clock).
+        seconds: f64,
+    },
+    /// A special row/column was fully written to its store.
+    StorageFlush {
+        /// Which store: `"sra"` (special rows) or `"sca"` (special
+        /// columns).
+        store: &'static str,
+        /// Row (SRA) or column (SCA) index.
+        index: usize,
+        /// Bytes the line occupies in the store.
+        bytes: u64,
+    },
+    /// A stored line was dropped (e.g. a corrupt row rejected on read).
+    StorageDrop {
+        /// Which store: `"sra"` or `"sca"`.
+        store: &'static str,
+        /// Row (SRA) or column (SCA) index.
+        index: usize,
+    },
+    /// A stage-1 checkpoint snapshot was attempted.
+    Checkpoint {
+        /// The diagonal the snapshot restarts from.
+        diagonal: usize,
+        /// Whether the snapshot was persisted.
+        ok: bool,
+    },
+    /// Final dump of the metrics registry (see [`Metrics::to_event`]).
+    Metrics {
+        /// Counter names and values, sorted by name.
+        counters: Vec<(String, u64)>,
+        /// Gauge names and values, sorted by name.
+        gauges: Vec<(String, f64)>,
+    },
+    /// The run is over.
+    RunEnd {
+        /// Total wall seconds (injected clock).
+        seconds: f64,
+        /// Best local alignment score found.
+        best_score: i64,
+    },
+}
+
+/// A sink for timed [`Event`]s.
+///
+/// Recorders are driven synchronously from the pipeline's caller thread
+/// (never from pool workers), in emission order.
+pub trait Recorder {
+    /// Record `ev`, emitted at clock time `t`.
+    fn record(&mut self, t: Duration, ev: &Event);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Named counters (u64) and gauges (f64), the single source of truth for
+/// the pipeline's scalar statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `delta` to counter `key` (creating it at zero).
+    pub fn inc(&mut self, key: &'static str, delta: u64) {
+        let slot = self.counters.entry(key).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Set counter `key` to `value`.
+    pub fn set(&mut self, key: &'static str, value: u64) {
+        self.counters.insert(key, value);
+    }
+
+    /// Read counter `key` (0 if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `key` to `value`.
+    pub fn set_gauge(&mut self, key: &'static str, value: f64) {
+        self.gauges.insert(key, value);
+    }
+
+    /// Add `delta` to gauge `key` (creating it at zero).
+    pub fn add_gauge(&mut self, key: &'static str, delta: f64) {
+        *self.gauges.entry(key).or_insert(0.0) += delta;
+    }
+
+    /// Read gauge `key` (0.0 if never touched).
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.gauges.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Snapshot the registry as an [`Event::Metrics`] record.
+    pub fn to_event(&self) -> Event {
+        Event::Metrics {
+            counters: self.counters.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The observability handle
+// ---------------------------------------------------------------------------
+
+/// The pipeline's observability handle: an injected clock, a metrics
+/// registry, and a fan-out list of recorders.
+///
+/// `Obs::new()` (or `Obs::default()`) is the silent configuration: a
+/// wall clock, no recorders. [`Pipeline::align`] uses it, so runs without
+/// tracing pay only the cost of a few `Instant`-free duration reads.
+///
+/// [`Pipeline::align`]: crate::pipeline::Pipeline::align
+pub struct Obs<'a> {
+    clock: Box<dyn Clock + 'a>,
+    recorders: Vec<&'a mut (dyn Recorder + 'a)>,
+    /// The run's metrics registry. Pipeline code accumulates here; the
+    /// final `PipelineStats` and the trace's `metrics` record are both
+    /// derived from it.
+    pub metrics: Metrics,
+}
+
+impl std::fmt::Debug for Obs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("recorders", &self.recorders.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl Default for Obs<'_> {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl<'a> Obs<'a> {
+    /// Wall clock, no recorders.
+    pub fn new() -> Self {
+        Obs { clock: Box::new(WallClock::new()), recorders: Vec::new(), metrics: Metrics::new() }
+    }
+
+    /// A handle driven by the given clock (e.g. `Box::new(&manual)`).
+    pub fn with_clock(clock: Box<dyn Clock + 'a>) -> Self {
+        Obs { clock, recorders: Vec::new(), metrics: Metrics::new() }
+    }
+
+    /// Attach a recorder; every subsequent [`Obs::emit`] reaches it.
+    pub fn add_recorder(&mut self, recorder: &'a mut (dyn Recorder + 'a)) {
+        self.recorders.push(recorder);
+    }
+
+    /// Current time on the injected clock.
+    pub fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// Stamp `ev` with the current clock time and fan it out to every
+    /// recorder.
+    pub fn emit(&mut self, ev: Event) {
+        let t = self.clock.now();
+        for r in &mut self.recorders {
+            r.record(t, &ev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON trace sink
+// ---------------------------------------------------------------------------
+
+/// A [`Recorder`] that encodes every event as one JSON object per line.
+///
+/// Write errors are sticky: the first failure is remembered, later
+/// records are dropped, and [`TraceWriter::finish`] reports the error —
+/// a broken trace file never aborts an alignment.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    records: u64,
+    error: Option<String>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap a byte sink (commonly a buffered file handle).
+    pub fn new(out: W) -> Self {
+        TraceWriter { out, records: 0, error: None }
+    }
+
+    /// Records successfully written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The first write error, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Flush and return the sink, or the first write/flush error.
+    pub fn finish(mut self) -> Result<W, String> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        match self.out.flush() {
+            Ok(()) => Ok(self.out),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+impl<W: Write> Recorder for TraceWriter<W> {
+    fn record(&mut self, t: Duration, ev: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = encode_record(t, ev);
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.records += 1,
+            Err(e) => self.error = Some(e.to_string()),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Finite floats render as plain JSON numbers; NaN/inf (which valid runs
+/// never produce) degrade to 0 rather than corrupting the line.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn encode_record(t: Duration, ev: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"t\":{}", json_f64(t.as_secs_f64()));
+    match ev {
+        Event::RunBegin { m, n, total_diagonals, resumed_from_diagonal } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"run_begin\",\"m\":{m},\"n\":{n},\"total_diagonals\":{total_diagonals},\"resumed_from_diagonal\":{resumed_from_diagonal}"
+            );
+        }
+        Event::StageBegin { stage } => {
+            let _ = write!(s, ",\"ev\":\"stage_begin\",\"stage\":{stage}");
+        }
+        Event::StageEnd { stage, seconds, cells } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"stage_end\",\"stage\":{stage},\"seconds\":{},\"cells\":{cells}",
+                json_f64(*seconds)
+            );
+        }
+        Event::Diagonal { stage, done, total } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"diagonal\",\"stage\":{stage},\"done\":{done},\"total\":{total}"
+            );
+        }
+        Event::Strip { stage, index, height, width } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"strip\",\"stage\":{stage},\"index\":{index},\"height\":{height},\"width\":{width}"
+            );
+        }
+        Event::Partitions { stage, count } => {
+            let _ = write!(s, ",\"ev\":\"partitions\",\"stage\":{stage},\"count\":{count}");
+        }
+        Event::Partition { stage, index, height, width } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"partition\",\"stage\":{stage},\"index\":{index},\"height\":{height},\"width\":{width}"
+            );
+        }
+        Event::Iteration { stage, index, crosspoints, cells, seconds } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"iteration\",\"stage\":{stage},\"index\":{index},\"crosspoints\":{crosspoints},\"cells\":{cells},\"seconds\":{}",
+                json_f64(*seconds)
+            );
+        }
+        Event::StorageFlush { store, index, bytes } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"storage_flush\",\"store\":\"{}\",\"index\":{index},\"bytes\":{bytes}",
+                json_escape(store)
+            );
+        }
+        Event::StorageDrop { store, index } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"storage_drop\",\"store\":\"{}\",\"index\":{index}",
+                json_escape(store)
+            );
+        }
+        Event::Checkpoint { diagonal, ok } => {
+            let _ = write!(s, ",\"ev\":\"checkpoint\",\"diagonal\":{diagonal},\"ok\":{ok}");
+        }
+        Event::Metrics { counters, gauges } => {
+            s.push_str(",\"ev\":\"metrics\",\"counters\":{");
+            for (i, (k, v)) in counters.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{v}", json_escape(k));
+            }
+            s.push_str("},\"gauges\":{");
+            for (i, (k, v)) in gauges.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{}", json_escape(k), json_f64(*v));
+            }
+            s.push('}');
+        }
+        Event::RunEnd { seconds, best_score } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"run_end\",\"seconds\":{},\"best_score\":{best_score}",
+                json_f64(*seconds)
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+/// A [`Recorder`] that tracks percent-complete and an ETA.
+///
+/// During stage 1 (by far the dominant cost — it sweeps the full `m x n`
+/// matrix), progress is `done / total` external diagonals. The count is
+/// **absolute**, so a run resumed from a stage-1 checkpoint starts at the
+/// resumed diagonal, not at zero. The ETA extrapolates only from work
+/// this run actually did: `remaining * elapsed / (done - resumed)` —
+/// resumed (skipped) diagonals never inflate the apparent rate.
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    total: usize,
+    offset: usize,
+    done: usize,
+    stage: u8,
+    started: Option<Duration>,
+    now: Duration,
+    finished: bool,
+}
+
+impl Progress {
+    /// A fresh tracker; feed it events via [`Recorder::record`].
+    pub fn new() -> Self {
+        Progress::default()
+    }
+
+    /// Percent complete of the stage-1 sweep, if a run is in flight.
+    pub fn percent(&self) -> Option<f64> {
+        if self.stage == 0 || self.total == 0 {
+            return None;
+        }
+        Some(100.0 * self.done as f64 / self.total as f64)
+    }
+
+    /// Estimated seconds until stage 1 completes, extrapolated from this
+    /// run's own diagonal rate. `None` until at least one post-resume
+    /// diagonal has finished in nonzero time.
+    pub fn eta_seconds(&self) -> Option<f64> {
+        let started = self.started?;
+        let run = self.now.checked_sub(started)?.as_secs_f64();
+        let fresh = self.done.checked_sub(self.offset)?;
+        if fresh == 0 || run <= 0.0 || self.done >= self.total {
+            return None;
+        }
+        Some((self.total - self.done) as f64 * run / fresh as f64)
+    }
+
+    /// One-line human summary, or `None` when idle/finished.
+    pub fn render(&self) -> Option<String> {
+        if self.finished || self.stage == 0 {
+            return None;
+        }
+        if self.stage == 1 && self.total > 0 {
+            let pct = 100.0 * self.done as f64 / self.total as f64;
+            let eta = match self.eta_seconds() {
+                Some(e) => format!("{e:.1}s"),
+                None => "-".to_string(),
+            };
+            Some(format!(
+                "align: stage 1/6  {pct:5.1}%  diagonal {}/{}  ETA {eta}",
+                self.done, self.total
+            ))
+        } else {
+            Some(format!("align: stage {}/6", self.stage))
+        }
+    }
+}
+
+impl Recorder for Progress {
+    fn record(&mut self, t: Duration, ev: &Event) {
+        self.now = t;
+        match ev {
+            Event::RunBegin { total_diagonals, resumed_from_diagonal, .. } => {
+                self.total = *total_diagonals;
+                self.offset = *resumed_from_diagonal;
+                self.done = *resumed_from_diagonal;
+                self.started = Some(t);
+                self.stage = 0;
+                self.finished = false;
+            }
+            Event::StageBegin { stage } => self.stage = *stage,
+            Event::StageEnd { stage: 1, .. } => self.done = self.total,
+            Event::Diagonal { done, total, .. } => {
+                self.done = *done;
+                self.total = *total;
+            }
+            Event::RunEnd { .. } => self.finished = true,
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (for the schema checker)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — the minimal model the trace validator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` or `false`
+    Bool(bool),
+    /// Any JSON number, widened to `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, entries in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn str_val(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn bool_val(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Rejects trailing garbage; never panics.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos, 0)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while b.get(*pos).is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(&c) if c == want => {
+            *pos += 1;
+            Ok(())
+        }
+        other => Err(format!("expected '{}' at offset {}, found {:?}", want as char, *pos, other)),
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while b.get(*pos).is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at offset {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let cp = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        // Lone surrogates (which we never emit) degrade to
+                        // the replacement character.
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                match rest.chars().next() {
+                    Some(c) => {
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let chunk = b.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let text = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+    u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape {text:?}"))
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    expect_byte(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos, depth + 1)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']', found {other:?}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    expect_byte(b, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(entries));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect_byte(b, pos, b':')?;
+        let value = parse_value(b, pos, depth + 1)?;
+        entries.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace schema validation
+// ---------------------------------------------------------------------------
+
+/// Summary returned by a successful [`validate_trace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Number of records in the trace.
+    pub records: usize,
+    /// Which of stages 1..=6 opened a span (index = stage - 1).
+    pub stages_seen: [bool; 6],
+    /// Whether the trace ends with a `run_end` record.
+    pub ended: bool,
+}
+
+struct TraceState {
+    last_t: f64,
+    begun: bool,
+    ended: bool,
+    open_stage: Option<u8>,
+    last_closed: u8,
+    check: TraceCheck,
+}
+
+/// Check a whole NDJSON trace against the DESIGN.md §10 schema:
+/// every line parses, required fields are present and typed, timestamps
+/// are non-decreasing, and spans nest (`run_begin` first, stages open
+/// and close in ascending order one at a time, stage-scoped records fall
+/// inside a stage span, nothing follows `run_end`).
+pub fn validate_trace(text: &str) -> Result<TraceCheck, String> {
+    let mut st = TraceState {
+        last_t: 0.0,
+        begun: false,
+        ended: false,
+        open_stage: None,
+        last_closed: 0,
+        check: TraceCheck::default(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_record(&mut st, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    if !st.begun {
+        return Err("empty trace: no run_begin record".to_string());
+    }
+    st.check.ended = st.ended;
+    Ok(st.check)
+}
+
+fn req_num(obj: &Json, key: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        .num()
+        .ok_or_else(|| format!("field {key:?} is not a number"))?;
+    if !v.is_finite() {
+        return Err(format!("field {key:?} is not finite"));
+    }
+    Ok(v)
+}
+
+fn req_stage(obj: &Json) -> Result<u8, String> {
+    let v = req_num(obj, "stage")?;
+    if !(1.0..=6.0).contains(&v) || v.fract() != 0.0 {
+        return Err(format!("stage {v} out of range 1..=6"));
+    }
+    Ok(v as u8)
+}
+
+fn validate_record(st: &mut TraceState, line: &str) -> Result<(), String> {
+    let obj = parse_json(line)?;
+    if obj.entries().is_none() {
+        return Err("record is not a JSON object".to_string());
+    }
+    if st.ended {
+        return Err("record after run_end".to_string());
+    }
+    let t = req_num(&obj, "t")?;
+    if t < st.last_t {
+        return Err(format!("timestamp went backwards ({} -> {t})", st.last_t));
+    }
+    st.last_t = t;
+    let ev = obj.get("ev").and_then(Json::str_val).ok_or("missing or non-string \"ev\" field")?;
+    if ev == "run_begin" {
+        if st.begun {
+            return Err("duplicate run_begin".to_string());
+        }
+        st.begun = true;
+        let total = req_num(&obj, "total_diagonals")?;
+        let resumed = req_num(&obj, "resumed_from_diagonal")?;
+        req_num(&obj, "m")?;
+        req_num(&obj, "n")?;
+        if resumed > total {
+            return Err("resumed_from_diagonal exceeds total_diagonals".to_string());
+        }
+        st.check.records += 1;
+        return Ok(());
+    }
+    if !st.begun {
+        return Err(format!("{ev:?} before run_begin"));
+    }
+    match ev {
+        "stage_begin" => {
+            let stage = req_stage(&obj)?;
+            if let Some(open) = st.open_stage {
+                return Err(format!("stage {stage} begins inside open stage {open}"));
+            }
+            if stage <= st.last_closed {
+                return Err(format!("stage {stage} begins after stage {} closed", st.last_closed));
+            }
+            st.open_stage = Some(stage);
+            st.check.stages_seen[usize::from(stage) - 1] = true;
+        }
+        "stage_end" => {
+            let stage = req_stage(&obj)?;
+            req_num(&obj, "seconds")?;
+            req_num(&obj, "cells")?;
+            if st.open_stage != Some(stage) {
+                return Err(format!("stage {stage} ends but open stage is {:?}", st.open_stage));
+            }
+            st.open_stage = None;
+            st.last_closed = stage;
+        }
+        "diagonal" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            let done = req_num(&obj, "done")?;
+            let total = req_num(&obj, "total")?;
+            if done > total {
+                return Err(format!("diagonal done {done} exceeds total {total}"));
+            }
+        }
+        "strip" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            req_num(&obj, "index")?;
+            req_num(&obj, "height")?;
+            req_num(&obj, "width")?;
+        }
+        "partitions" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            req_num(&obj, "count")?;
+        }
+        "partition" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            req_num(&obj, "index")?;
+            req_num(&obj, "height")?;
+            req_num(&obj, "width")?;
+        }
+        "iteration" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            req_num(&obj, "index")?;
+            req_num(&obj, "crosspoints")?;
+            req_num(&obj, "cells")?;
+            req_num(&obj, "seconds")?;
+        }
+        "storage_flush" | "storage_drop" => {
+            if st.open_stage.is_none() {
+                return Err(format!("{ev} outside any stage span"));
+            }
+            let store = obj
+                .get("store")
+                .and_then(Json::str_val)
+                .ok_or("missing or non-string \"store\" field")?;
+            if store != "sra" && store != "sca" {
+                return Err(format!("unknown store {store:?}"));
+            }
+            req_num(&obj, "index")?;
+            if ev == "storage_flush" {
+                req_num(&obj, "bytes")?;
+            }
+        }
+        "checkpoint" => {
+            if st.open_stage.is_none() {
+                return Err("checkpoint outside any stage span".to_string());
+            }
+            req_num(&obj, "diagonal")?;
+            obj.get("ok").and_then(Json::bool_val).ok_or("missing or non-bool \"ok\" field")?;
+        }
+        "metrics" => {
+            for section in ["counters", "gauges"] {
+                let entries = obj
+                    .get(section)
+                    .and_then(Json::entries)
+                    .ok_or_else(|| format!("missing or non-object {section:?} field"))?;
+                for (k, v) in entries {
+                    if v.num().is_none() {
+                        return Err(format!("{section}.{k} is not a number"));
+                    }
+                }
+            }
+        }
+        "run_end" => {
+            if let Some(open) = st.open_stage {
+                return Err(format!("run_end with stage {open} still open"));
+            }
+            req_num(&obj, "seconds")?;
+            req_num(&obj, "best_score")?;
+            st.ended = true;
+        }
+        other => return Err(format!("unknown record type {other:?}")),
+    }
+    st.check.records += 1;
+    Ok(())
+}
+
+fn in_open_stage(st: &TraceState, stage: u8, ev: &str) -> Result<(), String> {
+    if st.open_stage == Some(stage) {
+        Ok(())
+    } else {
+        Err(format!("{ev} for stage {stage} but open stage is {:?}", st.open_stage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emit a miniature but schema-complete run through a TraceWriter and
+    /// return the NDJSON text.
+    fn sample_trace(resumed: usize) -> String {
+        let clk = ManualClock::new();
+        let mut tw = TraceWriter::new(Vec::new());
+        {
+            let mut obs = Obs::with_clock(Box::new(&clk));
+            obs.add_recorder(&mut tw);
+            obs.emit(Event::RunBegin {
+                m: 64,
+                n: 48,
+                total_diagonals: 10,
+                resumed_from_diagonal: resumed,
+            });
+            obs.emit(Event::StageBegin { stage: 1 });
+            for d in resumed..10 {
+                clk.advance(Duration::from_millis(100));
+                obs.emit(Event::Diagonal { stage: 1, done: d + 1, total: 10 });
+                if d == resumed + 1 {
+                    obs.emit(Event::Checkpoint { diagonal: d + 1, ok: true });
+                    obs.emit(Event::StorageFlush { store: "sra", index: 16, bytes: 392 });
+                }
+            }
+            obs.emit(Event::StageEnd { stage: 1, seconds: 1.0, cells: 64 * 48 });
+            obs.emit(Event::StageBegin { stage: 2 });
+            obs.emit(Event::Strip { stage: 2, index: 1, height: 20, width: 40 });
+            obs.emit(Event::StorageFlush { store: "sca", index: 7, bytes: 168 });
+            obs.emit(Event::StorageDrop { store: "sra", index: 16 });
+            obs.emit(Event::StageEnd { stage: 2, seconds: 0.1, cells: 800 });
+            obs.emit(Event::StageBegin { stage: 3 });
+            obs.emit(Event::Partitions { stage: 3, count: 1 });
+            obs.emit(Event::Partition { stage: 3, index: 0, height: 20, width: 40 });
+            obs.emit(Event::StageEnd { stage: 3, seconds: 0.05, cells: 400 });
+            obs.emit(Event::StageBegin { stage: 4 });
+            obs.emit(Event::Iteration {
+                stage: 4,
+                index: 1,
+                crosspoints: 5,
+                cells: 200,
+                seconds: 0.01,
+            });
+            obs.emit(Event::StageEnd { stage: 4, seconds: 0.02, cells: 200 });
+            obs.emit(Event::StageBegin { stage: 5 });
+            obs.emit(Event::Partitions { stage: 5, count: 4 });
+            obs.emit(Event::StageEnd { stage: 5, seconds: 0.01, cells: 100 });
+            obs.emit(Event::StageBegin { stage: 6 });
+            obs.emit(Event::StageEnd { stage: 6, seconds: 0.0, cells: 0 });
+            obs.metrics.set("stage1.cells", 64 * 48);
+            obs.metrics.set_gauge("total.seconds", 1.18);
+            obs.emit(obs.metrics.to_event());
+            obs.emit(Event::RunEnd { seconds: 1.18, best_score: 42 });
+        }
+        String::from_utf8(tw.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_trace_validates_and_covers_all_stages() {
+        let text = sample_trace(0);
+        let check = validate_trace(&text).unwrap();
+        assert!(check.stages_seen.iter().all(|&s| s), "stages seen: {:?}", check.stages_seen);
+        assert!(check.ended);
+        assert_eq!(check.records, text.lines().filter(|l| !l.trim().is_empty()).count());
+    }
+
+    #[test]
+    fn every_record_parses_as_standalone_json() {
+        for line in sample_trace(3).lines() {
+            let v = parse_json(line).unwrap();
+            assert!(v.get("t").and_then(Json::num).is_some(), "no t in {line}");
+            assert!(v.get("ev").and_then(Json::str_val).is_some(), "no ev in {line}");
+        }
+    }
+
+    #[test]
+    fn resumed_trace_reports_resume_diagonal() {
+        let text = sample_trace(4);
+        validate_trace(&text).unwrap();
+        let first = parse_json(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("resumed_from_diagonal").and_then(Json::num), Some(4.0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        let ok = sample_trace(0);
+        // A record after run_end.
+        let extra = format!("{ok}\n{{\"t\":99,\"ev\":\"stage_begin\",\"stage\":1}}");
+        assert!(validate_trace(&extra).unwrap_err().contains("after run_end"));
+        // Unbalanced span: drop the stage_end records.
+        let unbalanced: String =
+            ok.lines().filter(|l| !l.contains("stage_end")).collect::<Vec<_>>().join("\n");
+        assert!(validate_trace(&unbalanced).is_err());
+        // Non-monotone timestamps.
+        let back = "{\"t\":1,\"ev\":\"run_begin\",\"m\":1,\"n\":1,\"total_diagonals\":1,\"resumed_from_diagonal\":0}\n{\"t\":0.5,\"ev\":\"stage_begin\",\"stage\":1}";
+        assert!(validate_trace(back).unwrap_err().contains("backwards"));
+        // Missing required field.
+        let missing = "{\"t\":0,\"ev\":\"run_begin\",\"m\":1,\"n\":1,\"total_diagonals\":1}";
+        assert!(validate_trace(missing).unwrap_err().contains("resumed_from_diagonal"));
+        // Garbage line.
+        assert!(validate_trace("not json").is_err());
+        // Empty trace.
+        assert!(validate_trace("").unwrap_err().contains("run_begin"));
+    }
+
+    #[test]
+    fn progress_is_resume_aware_and_eta_uses_this_runs_rate() {
+        let mut p = Progress::new();
+        let t0 = Duration::ZERO;
+        p.record(
+            t0,
+            &Event::RunBegin { m: 100, n: 100, total_diagonals: 100, resumed_from_diagonal: 40 },
+        );
+        p.record(t0, &Event::StageBegin { stage: 1 });
+        // Progress starts at the resumed diagonal, not zero.
+        assert_eq!(p.percent(), Some(40.0));
+        assert_eq!(p.eta_seconds(), None);
+        // 30 fresh diagonals in 10 seconds -> 3/s; 30 remain -> ETA 10s.
+        p.record(Duration::from_secs(10), &Event::Diagonal { stage: 1, done: 70, total: 100 });
+        assert_eq!(p.percent(), Some(70.0));
+        let eta = p.eta_seconds().unwrap();
+        assert!((eta - 10.0).abs() < 1e-9, "eta = {eta}");
+        let line = p.render().unwrap();
+        assert!(line.contains("70.0%"), "{line}");
+        assert!(line.contains("diagonal 70/100"), "{line}");
+        // Later stages render a simple stage marker.
+        p.record(Duration::from_secs(21), &Event::StageEnd { stage: 1, seconds: 21.0, cells: 1 });
+        p.record(Duration::from_secs(21), &Event::StageBegin { stage: 4 });
+        assert_eq!(p.render().unwrap(), "align: stage 4/6");
+        p.record(Duration::from_secs(22), &Event::RunEnd { seconds: 22.0, best_score: 1 });
+        assert_eq!(p.render(), None);
+    }
+
+    #[test]
+    fn metrics_registry_counts_and_dumps_sorted() {
+        let mut m = Metrics::new();
+        m.inc("b.cells", 5);
+        m.inc("b.cells", 7);
+        m.set("a.rows", 3);
+        m.set_gauge("z.seconds", 1.5);
+        m.add_gauge("z.seconds", 0.25);
+        assert_eq!(m.get("b.cells"), 12);
+        assert_eq!(m.get("a.rows"), 3);
+        assert_eq!(m.get("missing"), 0);
+        assert!((m.gauge("z.seconds") - 1.75).abs() < 1e-12);
+        match m.to_event() {
+            Event::Metrics { counters, gauges } => {
+                assert_eq!(counters, vec![("a.rows".to_string(), 3), ("b.cells".to_string(), 12)]);
+                assert_eq!(gauges.len(), 1);
+                assert_eq!(gauges[0].0, "z.seconds");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_rejects_garbage() {
+        let v = parse_json(r#"{"k":"a\"b\\c\nd\u0041","n":-1.5e2,"b":[true,false,null]}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::str_val), Some("a\"b\\c\ndA"));
+        assert_eq!(v.get("n").and_then(Json::num), Some(-150.0));
+        assert_eq!(
+            v.get("b"),
+            Some(&Json::Arr(vec![Json::Bool(true), Json::Bool(false), Json::Null]))
+        );
+        for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "1 2", "\"\\q\""] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        // Escaping round-trips through our own encoder.
+        let tricky = "quote\" slash\\ tab\t nl\n ctrl\u{1}";
+        let encoded = format!("{{\"s\":\"{}\"}}", json_escape(tricky));
+        let parsed = parse_json(&encoded).unwrap();
+        assert_eq!(parsed.get("s").and_then(Json::str_val), Some(tricky));
+    }
+
+    #[test]
+    fn trace_writer_reports_sticky_write_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut tw = TraceWriter::new(Failing);
+        tw.record(Duration::ZERO, &Event::StageBegin { stage: 1 });
+        tw.record(Duration::ZERO, &Event::StageBegin { stage: 2 });
+        assert_eq!(tw.records(), 0);
+        assert!(tw.error().is_some_and(|e| e.contains("disk full")));
+        assert!(tw.finish().is_err());
+    }
+
+    #[test]
+    fn manual_clock_drives_obs_time() {
+        let clk = ManualClock::new();
+        let obs = Obs::with_clock(Box::new(&clk));
+        assert_eq!(obs.now(), Duration::ZERO);
+        clk.advance(Duration::from_millis(250));
+        assert_eq!(obs.now(), Duration::from_millis(250));
+        clk.set(Duration::from_secs(5));
+        assert_eq!(obs.now(), Duration::from_secs(5));
+    }
+}

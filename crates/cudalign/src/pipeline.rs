@@ -3,13 +3,13 @@
 use crate::binary::BinaryAlignment;
 use crate::config::PipelineConfig;
 use crate::crosspoint::CrosspointChain;
+use crate::obs::{Event, Metrics, Obs};
 use crate::sra::{LineStore, StoreStats};
 use crate::stage4::IterationStats;
 use crate::storage::{self, StorageError};
 use crate::{stage1, stage2, stage3, stage4, stage5};
 use gpu_sim::{ExecError, PoolStats, WorkerPool};
 use std::sync::Arc;
-use std::time::Instant;
 use sw_core::scoring::Score;
 use sw_core::transcript::Transcript;
 
@@ -169,6 +169,11 @@ pub struct PipelineStats {
     pub binary_bytes: usize,
     /// External diagonal Stage 1 resumed from (0 = fresh run).
     pub resumed_from_diagonal: usize,
+    /// DP cells a resumed Stage 1 did *not* recompute because the
+    /// restored snapshot already covered them. `stage_cells[0]` counts
+    /// only the recomputed cells, so throughput divides matching work by
+    /// matching time; the full matrix is `stage_cells[0] + this`.
+    pub resumed_cells_skipped: u64,
     /// Special rows lost to storage failures: unwritable after retries
     /// (Stage 1) or corrupt on read-back (Stage 2). The run stays
     /// correct — Stage 2 just does more work between surviving rows.
@@ -213,11 +218,16 @@ impl PipelineStats {
 
     /// Million cell updates per second over the whole run — the paper's
     /// headline MCUPS metric, derived from total cells and wall-clock.
-    pub fn mcups(&self) -> f64 {
-        if self.total_seconds <= 0.0 {
-            return 0.0;
+    ///
+    /// `None` when `total_seconds` is zero, negative or non-finite (a
+    /// degenerate run, e.g. under a coarse or manual clock): dividing
+    /// anyway used to hand `inf`/NaN to `--stats` output.
+    pub fn mcups(&self) -> Option<f64> {
+        if self.total_seconds > 0.0 && self.total_seconds.is_finite() {
+            Some(self.total_cells() as f64 / self.total_seconds / 1e6)
+        } else {
+            None
         }
-        self.total_cells() as f64 / self.total_seconds / 1e6
     }
 }
 
@@ -284,10 +294,31 @@ impl Pipeline {
     /// Align `s0` against `s1`, returning the full optimal local
     /// alignment in linear memory.
     pub fn align(&self, s0: &[u8], s1: &[u8]) -> Result<PipelineResult, PipelineError> {
+        self.align_observed(s0, s1, &mut Obs::new())
+    }
+
+    /// [`Pipeline::align`] with an observability handle.
+    ///
+    /// The run is bracketed by [`Event::RunBegin`]/[`Event::RunEnd`]; each
+    /// stage (1..=6, where 6 is the packing/bookkeeping epilogue) gets a
+    /// [`Event::StageBegin`]/[`Event::StageEnd`] span, and the stages
+    /// stream their own progress events in between. Every wall-clock read
+    /// goes through the handle's injected [`crate::obs::Clock`], so a
+    /// caller driving a [`crate::obs::ManualClock`] gets deterministic
+    /// timings. Scalar counters accumulate in the [`Obs::metrics`]
+    /// registry — the single source of truth that [`PipelineStats`],
+    /// `--stats` and the NDJSON trace all read; a [`Event::Metrics`] dump
+    /// is emitted just before `RunEnd`.
+    pub fn align_observed(
+        &self,
+        s0: &[u8],
+        s1: &[u8],
+        obs: &mut Obs<'_>,
+    ) -> Result<PipelineResult, PipelineError> {
         let cfg = &self.cfg;
         let pool = &*self.pool;
         let pool_before = pool.stats();
-        let t_total = Instant::now();
+        let t_total = obs.now();
         let mut stats = PipelineStats::default();
         let fingerprint = cfg.job_fingerprint(s0.len(), s1.len());
 
@@ -305,6 +336,12 @@ impl Pipeline {
             Some((st, p)) => (Some(st), Some(p)),
             None => (None, None),
         };
+        obs.emit(Event::RunBegin {
+            m: s0.len(),
+            n: s1.len(),
+            total_diagonals: cfg.grid1.layout(s0.len(), s1.len()).diagonals(),
+            resumed_from_diagonal: resume_state.as_ref().map_or(0, |st| st.next_diagonal),
+        });
 
         let mut rows: LineStore<gpu_sim::CellHF> = if resuming {
             LineStore::reopen(&cfg.backend, cfg.sra_bytes, "special-row", fingerprint)
@@ -329,12 +366,13 @@ impl Pipeline {
                 .map_err(|e| PipelineError::Io(e.to_string()))?;
 
         // Stage 1: best score, end point, special rows.
-        let t = Instant::now();
+        obs.emit(Event::StageBegin { stage: 1 });
+        let t = obs.now();
         let s1r = match &cfg.checkpoint {
-            None => stage1::run(s0, s1, cfg, pool, &mut rows)?,
+            None => stage1::run_observed(s0, s1, cfg, pool, &mut rows, None, None, obs)?,
             Some(ck) => {
                 storage::ensure_dir(&ck.dir).map_err(|e| PipelineError::Io(e.to_string()))?;
-                let r = stage1::run_resumable(
+                let r = stage1::run_observed(
                     s0,
                     s1,
                     cfg,
@@ -342,29 +380,44 @@ impl Pipeline {
                     &mut rows,
                     resume_state,
                     Some((ck.dir.as_path(), ck.every_diagonals)),
+                    obs,
                 )?;
                 storage::remove_file_quiet(&ck.dir.join("stage1.ckpt"));
                 r
             }
         };
-        stats.stage_seconds[0] = t.elapsed().as_secs_f64();
-        stats.stage_cells[0] = s1r.cells;
-        stats.resumed_from_diagonal = s1r.resumed_from_diagonal;
+        // The engine's cell counter is cumulative across resumes; the work
+        // this run performed excludes cells the restored snapshot already
+        // covered. Throughput must divide matching work by matching time,
+        // so only recomputed cells enter `stage1.cells` — the skipped
+        // remainder is reported separately.
+        let stage1_cells = s1r.cells.saturating_sub(s1r.resumed_cells);
+        let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        obs.emit(Event::StageEnd { stage: 1, seconds, cells: stage1_cells });
+        obs.metrics.set_gauge("stage1.seconds", seconds);
+        obs.metrics.inc("stage1.cells", stage1_cells);
+        obs.metrics.inc("stage1.resumed_cells_skipped", s1r.resumed_cells);
+        obs.metrics.set("stage1.resumed_from_diagonal", s1r.resumed_from_diagonal as u64);
+        obs.metrics.inc("sra.special_rows", s1r.special_rows.len() as u64);
+        obs.metrics.inc("sra.bytes_used", s1r.flushed_bytes);
+        obs.metrics.inc("storage.checkpoint_failures", s1r.checkpoint_failures);
+        obs.metrics.inc("kernel.striped_tiles", s1r.striped_tiles);
+        obs.metrics.inc("kernel.fallback_tiles", s1r.fallback_tiles);
         stats.crosspoints[0] = 1;
-        stats.special_rows = s1r.special_rows.len();
         stats.flush_interval_blocks = s1r.flush_interval_blocks;
-        stats.sra_bytes_used = s1r.flushed_bytes;
         stats.vram_bytes[0] = s1r.vram_bytes;
         stats.effective_blocks[0] = cfg.grid1.effective_blocks(s1.len());
-        stats.checkpoint_failures = s1r.checkpoint_failures;
-        stats.kernel_striped_tiles += s1r.striped_tiles;
-        stats.kernel_fallback_tiles += s1r.fallback_tiles;
 
         if s1r.best_score <= 0 {
-            record_store_stats(&mut stats, rows.stats(), cols.stats());
+            record_store_stats(&mut obs.metrics, rows.stats(), cols.stats());
             rows.clear();
-            record_pool_delta(&mut stats, &pool_before, &pool.stats());
-            stats.total_seconds = t_total.elapsed().as_secs_f64();
+            record_pool_delta(&mut obs.metrics, &pool_before, &pool.stats());
+            let total = obs.now().saturating_sub(t_total).as_secs_f64();
+            obs.metrics.set_gauge("total.seconds", total);
+            fill_scalar_stats(&mut stats, &obs.metrics);
+            let dump = obs.metrics.to_event();
+            obs.emit(dump);
+            obs.emit(Event::RunEnd { seconds: total, best_score: 0 });
             return Ok(PipelineResult {
                 best_score: 0,
                 start: (0, 0),
@@ -385,55 +438,90 @@ impl Pipeline {
         // Stage 2: partial traceback over special rows. Rows whose disk
         // file turns out corrupt are dropped here (and counted): the
         // matching procedure simply spans a larger area.
-        let t = Instant::now();
-        let s2r = stage2::run(s0, s1, cfg, pool, s1r.best_score, s1r.end, &mut rows, &mut cols)?;
-        stats.stage_seconds[1] = t.elapsed().as_secs_f64();
-        stats.stage_cells[1] = s2r.cells;
+        obs.emit(Event::StageBegin { stage: 2 });
+        let t = obs.now();
+        let s2r = stage2::run_traced(
+            s0,
+            s1,
+            cfg,
+            pool,
+            s1r.best_score,
+            s1r.end,
+            &mut rows,
+            &mut cols,
+            obs,
+        )?;
+        let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        obs.emit(Event::StageEnd { stage: 2, seconds, cells: s2r.cells });
+        obs.metrics.set_gauge("stage2.seconds", seconds);
+        obs.metrics.inc("stage2.cells", s2r.cells);
+        obs.metrics.inc("stage2.strips", s2r.strips as u64);
+        obs.metrics.inc("sca.special_columns", s2r.special_columns.len() as u64);
+        obs.metrics.inc("sca.bytes_used", s2r.col_flushed_bytes);
+        obs.metrics.inc("storage.dropped_rows", s2r.dropped_rows);
+        obs.metrics.inc("kernel.striped_tiles", s2r.striped_tiles);
+        obs.metrics.inc("kernel.fallback_tiles", s2r.fallback_tiles);
         stats.crosspoints[1] = s2r.chain.len();
-        stats.special_columns = s2r.special_columns.len();
-        stats.sca_bytes_used = s2r.col_flushed_bytes;
-        stats.stage2_strips = s2r.strips;
         stats.vram_bytes[1] = s2r.vram_bytes;
         stats.effective_blocks[1] = s2r.min_blocks;
-        stats.dropped_special_rows += s2r.dropped_rows;
-        stats.kernel_striped_tiles += s2r.striped_tiles;
-        stats.kernel_fallback_tiles += s2r.fallback_tiles;
 
         // Stage 3: split partitions on special columns (corrupt columns
         // are skipped and counted; their partitions stay coarse).
-        let t = Instant::now();
-        let s3r = stage3::run(s0, s1, cfg, pool, &s2r.chain, &cols)?;
-        stats.stage_seconds[2] = t.elapsed().as_secs_f64();
-        stats.stage_cells[2] = s3r.cells;
+        obs.emit(Event::StageBegin { stage: 3 });
+        let t = obs.now();
+        let s3r = stage3::run_traced(s0, s1, cfg, pool, &s2r.chain, &cols, obs)?;
+        let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        obs.emit(Event::StageEnd { stage: 3, seconds, cells: s3r.cells });
+        obs.metrics.set_gauge("stage3.seconds", seconds);
+        obs.metrics.inc("stage3.cells", s3r.cells);
+        obs.metrics.inc("storage.dropped_cols", s3r.skipped_columns);
+        obs.metrics.inc("kernel.striped_tiles", s3r.striped_tiles);
+        obs.metrics.inc("kernel.fallback_tiles", s3r.fallback_tiles);
         stats.crosspoints[2] = s3r.chain.len();
         stats.h_max = s3r.chain.h_max();
         stats.w_max = s3r.chain.w_max();
         stats.vram_bytes[2] = s3r.vram_bytes;
         stats.effective_blocks[2] = s3r.min_blocks;
-        stats.dropped_special_cols += s3r.skipped_columns;
-        stats.kernel_striped_tiles += s3r.striped_tiles;
-        stats.kernel_fallback_tiles += s3r.fallback_tiles;
 
         // Stage 4: Myers-Miller until partitions fit.
-        let t = Instant::now();
-        let s4r = stage4::run(s0, s1, cfg, pool, &s3r.chain)?;
-        stats.stage_seconds[3] = t.elapsed().as_secs_f64();
-        stats.stage_cells[3] = s4r.cells;
+        obs.emit(Event::StageBegin { stage: 4 });
+        let t = obs.now();
+        let s4r = stage4::run_traced(s0, s1, cfg, pool, &s3r.chain, obs)?;
+        let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        obs.emit(Event::StageEnd { stage: 4, seconds, cells: s4r.cells });
+        obs.metrics.set_gauge("stage4.seconds", seconds);
+        obs.metrics.inc("stage4.cells", s4r.cells);
         stats.crosspoints[3] = s4r.chain.len();
         stats.stage4_iterations = s4r.iterations.clone();
 
         // Stage 5: solve and concatenate.
-        let t = Instant::now();
-        let s5r = stage5::run(s0, s1, cfg, pool, &s4r.chain)?;
-        stats.stage_seconds[4] = t.elapsed().as_secs_f64();
-        stats.stage5_cells = s5r.cells;
-        stats.binary_bytes = s5r.binary.encode().len();
-        record_store_stats(&mut stats, rows.stats(), cols.stats());
+        obs.emit(Event::StageBegin { stage: 5 });
+        let t = obs.now();
+        let s5r = stage5::run_traced(s0, s1, cfg, pool, &s4r.chain, obs)?;
+        let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        obs.emit(Event::StageEnd { stage: 5, seconds, cells: s5r.cells });
+        obs.metrics.set_gauge("stage5.seconds", seconds);
+        obs.metrics.inc("stage5.cells", s5r.cells);
+
+        // Stage 6: pack the binary representation and close the books
+        // (store health, pool utilization, final metrics dump).
+        obs.emit(Event::StageBegin { stage: 6 });
+        let t = obs.now();
+        obs.metrics.set("binary.bytes", s5r.binary.encode().len() as u64);
+        record_store_stats(&mut obs.metrics, rows.stats(), cols.stats());
         // Success: nothing left to resume, so the persisted row files can
         // go regardless of persist_on_drop.
         rows.clear();
-        record_pool_delta(&mut stats, &pool_before, &pool.stats());
-        stats.total_seconds = t_total.elapsed().as_secs_f64();
+        record_pool_delta(&mut obs.metrics, &pool_before, &pool.stats());
+        let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        obs.metrics.set_gauge("stage6.seconds", seconds);
+        obs.emit(Event::StageEnd { stage: 6, seconds, cells: 0 });
+        let total = obs.now().saturating_sub(t_total).as_secs_f64();
+        obs.metrics.set_gauge("total.seconds", total);
+        fill_scalar_stats(&mut stats, &obs.metrics);
+        let dump = obs.metrics.to_event();
+        obs.emit(dump);
+        obs.emit(Event::RunEnd { seconds: total, best_score: i64::from(s1r.best_score) });
 
         let start = s5r.binary.start;
         let end = s5r.binary.end;
@@ -452,33 +540,87 @@ impl Pipeline {
 }
 
 /// Fold the storage-health counters of the row and column stores into the
-/// run's stats (dropped lines are attributed per store, the rest merged).
-fn record_store_stats(stats: &mut PipelineStats, rows: StoreStats, cols: StoreStats) {
-    stats.dropped_special_rows += rows.dropped_lines;
-    stats.dropped_special_cols += cols.dropped_lines;
+/// metrics registry (dropped lines are attributed per store, the rest
+/// merged).
+fn record_store_stats(m: &mut Metrics, rows: StoreStats, cols: StoreStats) {
+    m.inc("storage.dropped_rows", rows.dropped_lines);
+    m.inc("storage.dropped_cols", cols.dropped_lines);
     let merged = rows.merged(cols);
-    stats.storage_retries += merged.write_retries;
-    stats.storage_rejected_files += merged.rejected_files;
-    stats.storage_swept_files += merged.swept_files;
+    m.inc("storage.retries", merged.write_retries);
+    m.inc("storage.rejected_files", merged.rejected_files);
+    m.inc("storage.swept_files", merged.swept_files);
 }
 
-/// Fold the difference between two pool snapshots into per-run stats.
+/// Fold the difference between two pool snapshots into the metrics
+/// registry.
 ///
-/// The pool is shared across runs (and possibly across cloned pipelines),
-/// so its counters are cumulative; a run's utilization is the delta. The
-/// busy ratio is a per-scope mean, so the delta is recovered from the
-/// weighted sums.
-fn record_pool_delta(stats: &mut PipelineStats, before: &PoolStats, after: &PoolStats) {
-    stats.pool_lanes = after.lanes;
-    stats.pool_handoffs = after.scopes.saturating_sub(before.scopes);
-    stats.pool_tasks = after.tasks.saturating_sub(before.tasks);
-    stats.pool_busy_ratio = if stats.pool_handoffs == 0 {
+/// The pool is shared across runs — and possibly across *concurrent*
+/// pipelines — so its counters are cumulative; a run's utilization is the
+/// delta between snapshots. The busy ratio is recovered from the exact
+/// `busy_permille` accumulator rather than by un-averaging the rounded
+/// `busy_ratio` mean (multiplying a mean back into a sum loses precision
+/// and, when a concurrent pipeline's scopes land between the snapshots,
+/// could produce ratios below zero or above one). A shared pool's window
+/// still contains foreign scopes, so the value is the mean occupancy over
+/// *all* scopes in the window — a blended attribution, but always within
+/// `[0, 1]`, and exact when the pool is not shared.
+fn record_pool_delta(m: &mut Metrics, before: &PoolStats, after: &PoolStats) {
+    let handoffs = after.scopes.saturating_sub(before.scopes);
+    m.set("pool.lanes", after.lanes as u64);
+    m.set("pool.handoffs", handoffs);
+    m.set("pool.tasks", after.tasks.saturating_sub(before.tasks));
+    let ratio = if handoffs == 0 {
         0.0
     } else {
-        let busy_after = after.busy_ratio * after.scopes as f64;
-        let busy_before = before.busy_ratio * before.scopes as f64;
-        (busy_after - busy_before) / stats.pool_handoffs as f64
+        let permille = after.busy_permille.saturating_sub(before.busy_permille);
+        (permille as f64 / (1000.0 * handoffs as f64)).clamp(0.0, 1.0)
     };
+    m.set_gauge("pool.busy_ratio", ratio);
+}
+
+/// Copy every scalar counter and gauge out of the metrics registry into
+/// the [`PipelineStats`] report. The registry is the single source of
+/// truth — `--stats`, the MCUPS bench and the NDJSON trace read the same
+/// accumulators; this projection exists so existing consumers keep their
+/// typed view. Structure-shaped fields (crosspoints, per-iteration lists,
+/// grid geometry) are set directly by the pipeline and not duplicated
+/// here.
+fn fill_scalar_stats(stats: &mut PipelineStats, m: &Metrics) {
+    stats.stage_seconds = [
+        m.gauge("stage1.seconds"),
+        m.gauge("stage2.seconds"),
+        m.gauge("stage3.seconds"),
+        m.gauge("stage4.seconds"),
+        m.gauge("stage5.seconds"),
+    ];
+    stats.stage_cells = [
+        m.get("stage1.cells"),
+        m.get("stage2.cells"),
+        m.get("stage3.cells"),
+        m.get("stage4.cells"),
+    ];
+    stats.stage5_cells = m.get("stage5.cells");
+    stats.resumed_cells_skipped = m.get("stage1.resumed_cells_skipped");
+    stats.resumed_from_diagonal = m.get("stage1.resumed_from_diagonal") as usize;
+    stats.special_rows = m.get("sra.special_rows") as usize;
+    stats.sra_bytes_used = m.get("sra.bytes_used");
+    stats.special_columns = m.get("sca.special_columns") as usize;
+    stats.sca_bytes_used = m.get("sca.bytes_used");
+    stats.stage2_strips = m.get("stage2.strips") as usize;
+    stats.dropped_special_rows = m.get("storage.dropped_rows");
+    stats.dropped_special_cols = m.get("storage.dropped_cols");
+    stats.checkpoint_failures = m.get("storage.checkpoint_failures");
+    stats.storage_retries = m.get("storage.retries");
+    stats.storage_rejected_files = m.get("storage.rejected_files");
+    stats.storage_swept_files = m.get("storage.swept_files");
+    stats.pool_lanes = m.get("pool.lanes") as usize;
+    stats.pool_handoffs = m.get("pool.handoffs");
+    stats.pool_tasks = m.get("pool.tasks");
+    stats.pool_busy_ratio = m.gauge("pool.busy_ratio");
+    stats.kernel_striped_tiles = m.get("kernel.striped_tiles");
+    stats.kernel_fallback_tiles = m.get("kernel.fallback_tiles");
+    stats.binary_bytes = m.get("binary.bytes") as usize;
+    stats.total_seconds = m.gauge("total.seconds");
 }
 
 #[cfg(test)]
@@ -601,6 +743,109 @@ mod tests {
         b.drain(120..280);
         check_full_run(&a, &b, PipelineConfig::for_tests());
     }
+
+    /// Bug regression: a zero/degenerate duration must not divide.
+    /// `mcups()` used to return `inf` (cells > 0, seconds == 0), which
+    /// `--stats` printed verbatim.
+    #[test]
+    fn mcups_guards_zero_and_non_finite_durations() {
+        let mut st = PipelineStats { stage_cells: [10_000_000, 0, 0, 0], ..Default::default() };
+        assert_eq!(st.mcups(), None, "zero seconds must not divide");
+        st.total_seconds = f64::INFINITY;
+        assert_eq!(st.mcups(), None, "non-finite seconds must not divide");
+        st.total_seconds = -1.0;
+        assert_eq!(st.mcups(), None, "negative seconds must not divide");
+        st.total_seconds = 2.0;
+        assert_eq!(st.mcups(), Some(5.0), "10M cells / 2s = 5 MCUPS");
+        let (a, b) = related(9, 200);
+        let res = Pipeline::new(PipelineConfig::for_tests()).align(&a, &b).unwrap();
+        let v = res.stats.mcups().expect("a real run has a positive duration");
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    /// Bug regression: the per-run pool utilization delta is now derived
+    /// from the exact `busy_permille` accumulator. The old derivation
+    /// un-averaged the rounded `busy_ratio` mean and could leave the
+    /// `[0, 1]` range when a concurrent pipeline's scopes landed between
+    /// the two snapshots.
+    #[test]
+    fn pool_delta_uses_exact_permille_and_stays_in_range() {
+        let before = PoolStats {
+            lanes: 4,
+            scopes: 10,
+            tasks: 20,
+            inline_tasks: 0,
+            busy_ratio: 0.5,
+            busy_permille: 5_000,
+        };
+        let after = PoolStats {
+            lanes: 4,
+            scopes: 14,
+            tasks: 31,
+            inline_tasks: 0,
+            busy_ratio: 0.64,
+            busy_permille: 9_000,
+        };
+        let mut m = Metrics::new();
+        record_pool_delta(&mut m, &before, &after);
+        assert_eq!(m.get("pool.lanes"), 4);
+        assert_eq!(m.get("pool.handoffs"), 4);
+        assert_eq!(m.get("pool.tasks"), 11);
+        // 4000 permille over 4 scopes: fully busy, exactly 1.0.
+        assert!((m.gauge("pool.busy_ratio") - 1.0).abs() < 1e-12);
+        // Snapshots taken around a window another pipeline drained can
+        // observe counters that went "backwards" relative to this run's
+        // share; the deltas saturate and the ratio clamps instead of
+        // going negative.
+        let mut m2 = Metrics::new();
+        record_pool_delta(&mut m2, &after, &before);
+        assert_eq!(m2.get("pool.handoffs"), 0);
+        assert_eq!(m2.gauge("pool.busy_ratio"), 0.0);
+    }
+
+    /// Two pipelines racing on one shared pool: each run's reported
+    /// utilization is a blended attribution over the window (documented
+    /// on `record_pool_delta`) but must always stay within `[0, 1]`.
+    #[test]
+    fn shared_pool_concurrent_runs_report_bounded_utilization() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let (a, b) = related(11, 260);
+        let (c, d) = related(12, 260);
+        let p1 = Pipeline::with_pool(PipelineConfig::for_tests(), Arc::clone(&pool));
+        let p2 = Pipeline::with_pool(PipelineConfig::for_tests(), Arc::clone(&pool));
+        let (r1, r2) = std::thread::scope(|s| {
+            let h1 = s.spawn(|| p1.align(&a, &b).unwrap());
+            let h2 = s.spawn(|| p2.align(&c, &d).unwrap());
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        for st in [&r1.stats, &r2.stats] {
+            assert!(st.pool_handoffs > 0, "each run performed handoffs");
+            assert!(
+                (0.0..=1.0).contains(&st.pool_busy_ratio),
+                "busy ratio {} escaped [0, 1]",
+                st.pool_busy_ratio
+            );
+        }
+    }
+
+    /// The stats report and the metrics registry are the same numbers:
+    /// the registry is the source of truth, `PipelineStats` a projection.
+    #[test]
+    fn stats_are_a_projection_of_the_metrics_registry() {
+        let (a, b) = related(13, 300);
+        let mut obs = Obs::new();
+        let res =
+            Pipeline::new(PipelineConfig::for_tests()).align_observed(&a, &b, &mut obs).unwrap();
+        let st = &res.stats;
+        assert_eq!(st.stage_cells[0], obs.metrics.get("stage1.cells"));
+        assert_eq!(st.stage5_cells, obs.metrics.get("stage5.cells"));
+        assert_eq!(st.special_rows as u64, obs.metrics.get("sra.special_rows"));
+        assert_eq!(st.stage2_strips as u64, obs.metrics.get("stage2.strips"));
+        assert_eq!(st.pool_handoffs, obs.metrics.get("pool.handoffs"));
+        assert_eq!(st.binary_bytes as u64, obs.metrics.get("binary.bytes"));
+        assert_eq!(st.total_seconds, obs.metrics.gauge("total.seconds"));
+        assert_eq!(st.pool_busy_ratio, obs.metrics.gauge("pool.busy_ratio"));
+    }
 }
 
 #[cfg(test)]
@@ -665,6 +910,54 @@ mod checkpoint_tests {
         assert!(
             !dir.join("stage1.ckpt").exists(),
             "snapshot must be cleared after a completed stage 1"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Bug regression: on a resumed run the throughput accounting must
+    /// cover only the recomputed work. `stage_cells[0]` used to count the
+    /// full matrix while `stage_seconds[0]` covered only the resumed
+    /// tail, inflating MCUPS; the skipped cells are now reported
+    /// separately in `resumed_cells_skipped`.
+    #[test]
+    fn resumed_run_counts_only_recomputed_cells() {
+        let a = lcg(54, 400);
+        let mut b = a.clone();
+        for i in (5..b.len()).step_by(17) {
+            b[i] = b"ACGT"[(i / 17) % 4];
+        }
+        let dir = std::env::temp_dir().join(format!("cudalign-resume-acct-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut cfg = PipelineConfig::for_tests();
+        cfg.backend = SraBackend::Disk(dir.clone());
+        cfg.checkpoint = Some(CheckpointPolicy { dir: dir.clone(), every_diagonals: 9 });
+
+        {
+            let fp = cfg.job_fingerprint(a.len(), b.len());
+            let mut rows = LineStore::new(&cfg.backend, cfg.sra_bytes, "special-row", fp).unwrap();
+            let pool = WorkerPool::new(cfg.workers);
+            let _ = stage1::run_resumable(
+                &a,
+                &b,
+                &cfg,
+                &pool,
+                &mut rows,
+                None,
+                Some((dir.as_path(), 9)),
+            );
+            std::mem::forget(rows); // simulate the crash
+        }
+
+        let res = Pipeline::new(cfg).align(&a, &b).unwrap();
+        let st = &res.stats;
+        assert!(st.resumed_from_diagonal > 0, "run must actually resume");
+        assert!(st.resumed_cells_skipped > 0, "skipped work must be reported");
+        assert_eq!(
+            st.stage_cells[0] + st.resumed_cells_skipped,
+            (a.len() as u64) * (b.len() as u64),
+            "recomputed + skipped cells must cover the whole matrix exactly"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

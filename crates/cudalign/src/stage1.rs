@@ -8,6 +8,7 @@
 //! block of its row finishes).
 
 use crate::config::PipelineConfig;
+use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use crate::sra::{self, LineStore};
 use crate::storage;
@@ -36,6 +37,11 @@ pub struct Stage1Result {
     /// External diagonal this run actually resumed from (0 = fresh run or
     /// a stale snapshot that was ignored).
     pub resumed_from_diagonal: usize,
+    /// Of [`Stage1Result::cells`] (which is cumulative across resumes),
+    /// the cells already processed before the resumed snapshot — work this
+    /// run *skipped*. Zero for a fresh run. Throughput accounting must use
+    /// `cells - resumed_cells`, the work actually done here.
+    pub resumed_cells: u64,
     /// Checkpoint snapshots that failed to persist during this run (the
     /// run continued; resumability degraded to the last good snapshot).
     pub checkpoint_failures: u64,
@@ -45,8 +51,9 @@ pub struct Stage1Result {
     pub fallback_tiles: u64,
 }
 
-struct Stage1Observer<'s> {
+struct Stage1Observer<'s, 'o> {
     rows: &'s mut LineStore<CellHF>,
+    obs: &'s mut Obs<'o>,
     flush_every: usize,
     block_height: usize,
     m: usize,
@@ -56,9 +63,17 @@ struct Stage1Observer<'s> {
     ckpt_dir: Option<std::path::PathBuf>,
     /// Snapshots that failed to persist (counted, not fatal).
     ckpt_failures: u64,
+    /// Total external diagonals in the grid (for progress ticks).
+    total_diagonals: usize,
+    /// Last diagonal seen by `on_block` — a change means every earlier
+    /// diagonal is complete (the engine walks diagonals in order).
+    last_diagonal: Option<usize>,
+    /// Special rows begun in this run whose final segment has not landed
+    /// yet (segments arrive over `B` external diagonals — Figure 5).
+    inflight: std::collections::BTreeSet<usize>,
 }
 
-impl Stage1Observer<'_> {
+impl Stage1Observer<'_, '_> {
     fn is_special_block_row(&self, block: &BlockCoords) -> bool {
         let row = block.rows.1;
         // Candidates are full multiples of the block height (the paper:
@@ -71,7 +86,7 @@ impl Stage1Observer<'_> {
     }
 }
 
-impl gpu_sim::WavefrontObserver for Stage1Observer<'_> {
+impl gpu_sim::WavefrontObserver for Stage1Observer<'_, '_> {
     fn on_block(
         &mut self,
         block: &BlockCoords,
@@ -88,6 +103,20 @@ impl gpu_sim::WavefrontObserver for Stage1Observer<'_> {
                 return ControlFlow::Break(());
             }
         }
+        // Per-external-diagonal progress tick: `on_block` runs on the
+        // caller thread after each diagonal's barrier, so a diagonal
+        // change means every earlier diagonal is complete. `done` is
+        // absolute (a resumed run starts ticking at the resumed diagonal).
+        if self.last_diagonal != Some(block.diagonal) {
+            if self.last_diagonal.is_some() {
+                self.obs.emit(Event::Diagonal {
+                    stage: 1,
+                    done: block.diagonal,
+                    total: self.total_diagonals,
+                });
+            }
+            self.last_diagonal = Some(block.diagonal);
+        }
         if !self.is_special_block_row(block) {
             return ControlFlow::Continue(());
         }
@@ -98,9 +127,18 @@ impl gpu_sim::WavefrontObserver for Stage1Observer<'_> {
             // border column 0 cell.
             if self.rows.try_begin_line(row, 0, self.n + 1) {
                 self.rows.put_segment(row, 0, std::iter::once(CellHF { h: 0, f: NEG_INF }));
+                self.inflight.insert(row);
             }
         }
         self.rows.put_segment(row, block.cols.0, bottom.iter().copied());
+        if block.cols.1 == self.n && self.inflight.remove(&row) {
+            // Last segment landed: the special row is whole in the SRA.
+            self.obs.emit(Event::StorageFlush {
+                store: "sra",
+                index: row,
+                bytes: (self.n as u64 + 1) * std::mem::size_of::<CellHF>() as u64,
+            });
+        }
         ControlFlow::Continue(())
     }
 
@@ -114,9 +152,11 @@ impl gpu_sim::WavefrontObserver for Stage1Observer<'_> {
         // good snapshot — but it is *counted* so the operator learns that
         // resumability is degraded.
         let path = dir.join("stage1.ckpt");
-        if storage::write_checksummed(&path, self.rows.fingerprint(), &bytes).is_err() {
+        let ok = storage::write_checksummed(&path, self.rows.fingerprint(), &bytes).is_ok();
+        if !ok {
             self.ckpt_failures += 1;
         }
+        self.obs.emit(Event::Checkpoint { diagonal: state.next_diagonal, ok });
     }
 }
 
@@ -193,21 +233,31 @@ pub fn run_resumable(
     resume: Option<gpu_sim::wavefront::EngineState>,
     checkpoint: Option<(&std::path::Path, usize)>,
 ) -> Result<Stage1Result, StageError> {
+    run_observed(s0, s1, cfg, pool, rows, resume, checkpoint, &mut Obs::new())
+}
+
+/// [`run_resumable`] with an observability handle: per-external-diagonal
+/// [`Event::Diagonal`] ticks, [`Event::Checkpoint`] outcomes and
+/// [`Event::StorageFlush`] records for completed special rows are emitted
+/// through `obs` from the caller thread (never from pool workers).
+#[allow(clippy::too_many_arguments)]
+pub fn run_observed(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    rows: &mut LineStore<CellHF>,
+    resume: Option<gpu_sim::wavefront::EngineState>,
+    checkpoint: Option<(&std::path::Path, usize)>,
+    obs: &mut Obs<'_>,
+) -> Result<Stage1Result, StageError> {
     let (m, n) = (s0.len(), s1.len());
     let block_height = cfg.grid1.block_height();
     let flush_every = sra::flush_interval(m, n, block_height, cfg.sra_bytes);
+    let total_diagonals = cfg.grid1.layout(m, n).diagonals();
 
     let checkpoint_every = checkpoint.map(|(_, every)| every.max(1));
-    let mut observer = Stage1Observer {
-        rows,
-        flush_every,
-        block_height,
-        m,
-        n,
-        ckpt_dir: checkpoint.map(|(dir, _)| dir.to_path_buf()),
-        ckpt_failures: 0,
-    };
-    let before = observer.rows.bytes_used();
+    let before = rows.bytes_used();
     // A snapshot from a different job (other sequences, scoring, mode or
     // grid — e.g. the user re-ran with different flags after a crash) is
     // ignored: starting fresh is always correct.
@@ -227,6 +277,22 @@ pub fn run_resumable(
         }
     }
     let resumed_from_diagonal = resume.as_ref().map_or(0, |st| st.next_diagonal);
+    // EngineState.cells is cumulative across resumes; remember the skipped
+    // share so throughput accounting can subtract it (work not redone).
+    let resumed_cells = resume.as_ref().map_or(0, |st| st.cells);
+    let mut observer = Stage1Observer {
+        rows,
+        obs,
+        flush_every,
+        block_height,
+        m,
+        n,
+        ckpt_dir: checkpoint.map(|(dir, _)| dir.to_path_buf()),
+        ckpt_failures: 0,
+        total_diagonals,
+        last_diagonal: None,
+        inflight: std::collections::BTreeSet::new(),
+    };
     let res = wavefront::run_resumable_pooled(pool, &job, &mut observer, resume, checkpoint_every)?;
     let checkpoint_failures = observer.ckpt_failures;
 
@@ -239,6 +305,7 @@ pub fn run_resumable(
             diagonal: resumed_from_diagonal + res.diagonals_run,
         });
     }
+    obs.emit(Event::Diagonal { stage: 1, done: total_diagonals, total: total_diagonals });
 
     let (best_score, end) = match res.best {
         Some((s, i, j)) => (s, (i, j)),
@@ -253,6 +320,7 @@ pub fn run_resumable(
         flush_interval_blocks: flush_every,
         vram_bytes: gpu_sim::DeviceModel::bus_bytes(m, n),
         resumed_from_diagonal,
+        resumed_cells,
         checkpoint_failures,
         striped_tiles: res.striped_tiles,
         fallback_tiles: res.fallback_tiles,

@@ -22,6 +22,7 @@
 
 use crate::config::PipelineConfig;
 use crate::crosspoint::{Crosspoint, CrosspointChain};
+use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use crate::sra::{self, LineStore};
 use gpu_sim::wavefront::{self, RegionJob};
@@ -195,6 +196,25 @@ pub fn run(
     rows: &mut LineStore<CellHF>,
     cols: &mut LineStore<CellHE>,
 ) -> Result<Stage2Result, StageError> {
+    run_traced(s0, s1, cfg, pool, best_score, end, rows, cols, &mut Obs::new())
+}
+
+/// [`run`] with an observability handle: per-strip [`Event::Strip`]
+/// records, [`Event::StorageFlush`] for each special column kept for
+/// Stage 3, and [`Event::StorageDrop`] for corrupt special rows rejected
+/// on read-back — all emitted from the caller thread.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traced(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    best_score: Score,
+    end: (usize, usize),
+    rows: &mut LineStore<CellHF>,
+    cols: &mut LineStore<CellHE>,
+    obs: &mut Obs<'_>,
+) -> Result<Stage2Result, StageError> {
     assert!(best_score > 0, "stage 2 requires a positive best score");
     let sc = cfg.scoring;
     let gopen = sc.gap_open();
@@ -227,6 +247,7 @@ pub fn run(
         let r = rows.previous_line(cur.i).unwrap_or(0);
         let h = cur.i - r;
         debug_assert!(h >= 1, "strip height must be positive");
+        obs.emit(Event::Strip { stage: 2, index: strips, height: h, width: cur.j });
         let origin = GlobalOrigin::reverse(cur.edge.transposed(), &sc);
 
         let fwd = if r > 0 {
@@ -239,6 +260,7 @@ pub fn run(
                     // matching area grows, the result stays exact.
                     rows.remove(r);
                     dropped_rows += 1;
+                    obs.emit(Event::StorageDrop { store: "sra", index: r });
                     continue;
                 }
             }
@@ -281,7 +303,7 @@ pub fn run(
         let expected_sweep = cur.j.min(h.saturating_mul(4).max(view_bh));
         let col_interval = sra::flush_interval(expected_sweep, h, view_bh, share.max(1));
 
-        let mut obs = StripObserver {
+        let mut strip_obs = StripObserver {
             fwd_row: fwd_cells,
             strip_top: r,
             strip_height: h,
@@ -307,15 +329,15 @@ pub fn run(
             workers: cfg.workers,
             watch: Some(cur.score),
         };
-        let res = wavefront::run_pooled(pool, &job, &mut obs)?;
+        let res = wavefront::run_pooled(pool, &job, &mut strip_obs)?;
         total_cells += res.cells;
         striped_tiles += res.striped_tiles;
         fallback_tiles += res.fallback_tiles;
         vram = vram.max(gpu_sim::DeviceModel::bus_bytes(a_view.len(), b_view.len()));
         min_blocks = min_blocks.min(res.layout.block_cols);
 
-        let saved = std::mem::take(&mut obs.saved_cols);
-        let found = obs.found.take();
+        let saved = std::mem::take(&mut strip_obs.saved_cols);
+        let found = strip_obs.found.take();
         cols.abort_partials();
 
         match found {
@@ -348,6 +370,18 @@ pub fn run(
                     "stage 2: goal {} not found in strip rows {}..{} cols 0..{}",
                     cur.score, r, cur.i, cur.j
                 )));
+            }
+        }
+        // Columns that survived the crosspoint-side pruning are complete
+        // in the SCA and will drive Stage 3.
+        if !saved.is_empty() {
+            let kept: std::collections::BTreeSet<usize> = cols.indices().into_iter().collect();
+            for &c in saved.iter().filter(|c| kept.contains(c)) {
+                obs.emit(Event::StorageFlush {
+                    store: "sca",
+                    index: c,
+                    bytes: (h as u64 + 1) * std::mem::size_of::<CellHE>() as u64,
+                });
             }
         }
     }

@@ -15,6 +15,7 @@
 
 use crate::config::PipelineConfig;
 use crate::crosspoint::{Crosspoint, CrosspointChain, Partition};
+use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use crate::sra::LineStore;
 use crate::stage2::gap_run_from;
@@ -209,7 +210,33 @@ pub fn run(
     chain: &CrosspointChain,
     cols: &LineStore<CellHE>,
 ) -> Result<Stage3Result, StageError> {
+    run_traced(s0, s1, cfg, pool, chain, cols, &mut Obs::new())
+}
+
+/// [`run`] with an observability handle: announces the partition count
+/// and each partition's shape ([`Event::Partitions`], [`Event::Partition`])
+/// before solving starts. Events are emitted upfront from the caller
+/// thread, so the parallel-partitions mode traces identically to the
+/// sequential one.
+pub fn run_traced(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    chain: &CrosspointChain,
+    cols: &LineStore<CellHE>,
+    obs: &mut Obs<'_>,
+) -> Result<Stage3Result, StageError> {
     let parts: Vec<Partition> = chain.partitions().collect();
+    obs.emit(Event::Partitions { stage: 3, count: parts.len() });
+    for (k, p) in parts.iter().enumerate() {
+        obs.emit(Event::Partition {
+            stage: 3,
+            index: k,
+            height: p.end.i - p.start.i,
+            width: p.end.j - p.start.j,
+        });
+    }
     let workers = match cfg.workers {
         0 => pool.lanes(),
         w => w.min(pool.lanes()),

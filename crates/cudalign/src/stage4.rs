@@ -19,9 +19,9 @@
 
 use crate::config::PipelineConfig;
 use crate::crosspoint::{Crosspoint, CrosspointChain, Partition};
+use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use gpu_sim::WorkerPool;
-use std::time::Instant;
 use sw_core::linear::{forward_vectors, reverse_vectors, RowDp};
 use sw_core::matching::{match_argmax, GoalMatcher};
 use sw_core::scoring::Scoring;
@@ -180,6 +180,20 @@ pub fn run(
     pool: &WorkerPool,
     chain: &CrosspointChain,
 ) -> Result<Stage4Result, StageError> {
+    run_traced(s0, s1, cfg, pool, chain, &mut Obs::new())
+}
+
+/// [`run`] with an observability handle: each refinement iteration emits
+/// an [`Event::Iteration`] record, and per-iteration seconds come from
+/// the injected clock instead of direct wall-clock reads.
+pub fn run_traced(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    chain: &CrosspointChain,
+    obs: &mut Obs<'_>,
+) -> Result<Stage4Result, StageError> {
     let sc = cfg.scoring;
     let max = cfg.max_partition_size;
     let workers = match cfg.workers {
@@ -211,7 +225,7 @@ pub fn run(
             break;
         }
 
-        let t0 = Instant::now();
+        let t0 = obs.now();
         let mut results: Vec<Option<Result<(Crosspoint, u64), String>>> =
             vec![None; oversized.len()];
         let chunk = oversized.len().div_ceil(workers.min(oversized.len()).max(1));
@@ -264,12 +278,20 @@ pub fn run(
         }
         points = new_points;
         total_cells += iter_cells;
+        let seconds = obs.now().saturating_sub(t0).as_secs_f64();
         iterations.push(IterationStats {
             h_max,
             w_max,
             crosspoints: points.len(),
             cells: iter_cells,
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds,
+        });
+        obs.emit(Event::Iteration {
+            stage: 4,
+            index: iterations.len(),
+            crosspoints: points.len(),
+            cells: iter_cells,
+            seconds,
         });
     }
 

@@ -9,6 +9,7 @@
 use crate::binary::BinaryAlignment;
 use crate::config::PipelineConfig;
 use crate::crosspoint::{CrosspointChain, Partition};
+use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use gpu_sim::WorkerPool;
 use sw_core::full::nw_global_aligned;
@@ -34,9 +35,23 @@ pub fn run(
     pool: &WorkerPool,
     chain: &CrosspointChain,
 ) -> Result<Stage5Result, StageError> {
+    run_traced(s0, s1, cfg, pool, chain, &mut Obs::new())
+}
+
+/// [`run`] with an observability handle: announces the number of
+/// partitions about to be solved ([`Event::Partitions`]).
+pub fn run_traced(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    chain: &CrosspointChain,
+    obs: &mut Obs<'_>,
+) -> Result<Stage5Result, StageError> {
     assert!(chain.len() >= 2, "stage 5 requires a chain with start and end");
     let sc = cfg.scoring;
     let parts: Vec<Partition> = chain.partitions().collect();
+    obs.emit(Event::Partitions { stage: 5, count: parts.len() });
     let workers = match cfg.workers {
         0 => pool.lanes(),
         w => w.min(pool.lanes()),

@@ -80,6 +80,12 @@ pub struct PoolStats {
     pub inline_tasks: u64,
     /// Mean occupied-lane fraction per scope, in `[0, 1]`.
     pub busy_ratio: f64,
+    /// Raw cumulative numerator behind `busy_ratio`: the sum over all
+    /// scopes of `1000 * occupied lanes / total lanes`. Exposed so callers
+    /// computing per-run deltas between two snapshots can subtract exact
+    /// integers instead of un-averaging `busy_ratio` (which loses precision
+    /// and races when several pipelines share one pool).
+    pub busy_permille: u64,
 }
 
 /// A lifetime-erased job plus the scope it belongs to.
@@ -411,6 +417,7 @@ impl WorkerPool {
             } else {
                 busy_millis as f64 / (1000.0 * scopes as f64)
             },
+            busy_permille: busy_millis,
         }
     }
 }

@@ -1,0 +1,117 @@
+//! Trace-schema round-trip tests: a full pipeline run recorded through a
+//! [`cudalign::TraceWriter`] must produce NDJSON that the schema checker
+//! accepts, covering all six stages, with resume-aware progress.
+
+use cudalign::config::{CheckpointPolicy, SraBackend};
+use cudalign::obs::validate_trace;
+use cudalign::{Obs, Pipeline, PipelineConfig, Progress, TraceWriter};
+use integration_tests::edited_pair;
+
+fn traced_run(cfg: PipelineConfig, a: &[u8], b: &[u8]) -> (String, cudalign::PipelineResult) {
+    let mut tracer = TraceWriter::new(Vec::new());
+    let res = {
+        let mut obs = Obs::new();
+        obs.add_recorder(&mut tracer);
+        Pipeline::new(cfg).align_observed(a, b, &mut obs).expect("pipeline run")
+    };
+    let bytes = tracer.finish().expect("trace writes succeed");
+    (String::from_utf8(bytes).expect("trace is UTF-8"), res)
+}
+
+/// Every record the pipeline emits parses as JSON and the whole stream
+/// passes the schema checker: spans nest, stages 1..=6 all appear, the
+/// run ends with `run_end`.
+#[test]
+fn trace_round_trip_covers_all_six_stages() {
+    let (a, b) = edited_pair(71, 400, 19);
+    let (text, res) = traced_run(PipelineConfig::for_tests(), &a, &b);
+    assert!(res.best_score > 0, "pair must align");
+
+    let check = validate_trace(&text).expect("schema-valid trace");
+    assert!(check.ended, "run_end must close the trace");
+    assert!(
+        check.stages_seen.iter().all(|s| *s),
+        "all six stages must be traced: {:?}",
+        check.stages_seen
+    );
+    assert!(check.records > 10, "a real run emits spans plus progress ticks");
+}
+
+/// A run resumed from a stage-1 checkpoint reports the resumed diagonal
+/// in `run_begin`, and the progress tracker starts at the resumed offset
+/// rather than zero.
+#[test]
+fn resumed_trace_reports_resume_offset() {
+    let (a, b) = edited_pair(72, 400, 17);
+    let dir = std::env::temp_dir().join(format!("cudalign-trace-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cfg = PipelineConfig::for_tests();
+    cfg.backend = SraBackend::Disk(dir.clone());
+    cfg.checkpoint = Some(CheckpointPolicy { dir: dir.clone(), every_diagonals: 9 });
+
+    // "Crashed" run leaves a snapshot plus row files behind.
+    {
+        let fp = cfg.job_fingerprint(a.len(), b.len());
+        let mut rows = cudalign::sra::LineStore::<gpu_sim::CellHF>::new(
+            &cfg.backend,
+            cfg.sra_bytes,
+            "special-row",
+            fp,
+        )
+        .unwrap();
+        let pool = gpu_sim::WorkerPool::new(cfg.workers);
+        let _ = cudalign::stage1::run_resumable(
+            &a,
+            &b,
+            &cfg,
+            &pool,
+            &mut rows,
+            None,
+            Some((dir.as_path(), 9)),
+        );
+        std::mem::forget(rows);
+    }
+
+    let mut tracer = TraceWriter::new(Vec::new());
+    let mut progress = Progress::new();
+    {
+        let mut obs = Obs::new();
+        obs.add_recorder(&mut tracer);
+        obs.add_recorder(&mut progress);
+        Pipeline::new(cfg).align_observed(&a, &b, &mut obs).expect("resumed run");
+    }
+    let text = String::from_utf8(tracer.finish().unwrap()).unwrap();
+    let check = validate_trace(&text).expect("schema-valid resumed trace");
+    assert!(check.ended);
+    assert_eq!(progress.percent(), Some(100.0), "stage-1 sweep completed");
+
+    // The first record is run_begin with a non-zero resume diagonal.
+    let first = text.lines().next().expect("non-empty trace");
+    let rec = cudalign::obs::parse_json(first).expect("run_begin parses");
+    assert_eq!(rec.get("ev").and_then(|v| v.str_val()), Some("run_begin"));
+    let resumed = rec.get("resumed_from_diagonal").and_then(|v| v.num()).unwrap_or(0.0);
+    assert!(resumed > 0.0, "resumed diagonal must be recorded, got {resumed}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// CI hook: when `CUDALIGN_TRACE_FILE` points at a trace written by the
+/// CLI (`align --trace`), validate it against the same schema checker.
+/// Skipped (trivially passing) when the variable is unset.
+#[test]
+fn validates_external_trace_file() {
+    let Ok(path) = std::env::var("CUDALIGN_TRACE_FILE") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("CUDALIGN_TRACE_FILE {path}: {e}"));
+    let check = validate_trace(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert!(check.ended, "{path}: trace must end with run_end");
+    assert!(
+        check.stages_seen.iter().all(|s| *s),
+        "{path}: all six stages must appear: {:?}",
+        check.stages_seen
+    );
+}
