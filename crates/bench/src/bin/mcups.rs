@@ -2,10 +2,13 @@
 //! lane-striped path, on the same shapes the criterion microbenches use.
 //!
 //! ```text
-//! cargo run --release -p cudalign-bench --bin mcups [-- --quick] [--out PATH]
+//! cargo run --release -p cudalign-bench --bin mcups [-- --quick] [--out PATH] [--check-scaling]
 //!
-//! --quick     shrink shapes and the per-case time budget (CI smoke)
-//! --out PATH  where to write the JSON report (default BENCH_kernel.json)
+//! --quick          shrink shapes and the per-case time budget (CI smoke)
+//! --out PATH       where to write the JSON report (default BENCH_kernel.json)
+//! --check-scaling  exit non-zero if the workers=4 wavefront sweep point is
+//!                  slower than workers=1 (skipped, with a note, on hosts
+//!                  without at least 2 CPUs — there is nothing to scale on)
 //! ```
 //!
 //! Each case is timed by repeating the whole computation until a minimum
@@ -149,10 +152,16 @@ fn wavefront_case(m: usize, n: usize, workers: usize, budget: f64, entries: &mut
     });
 }
 
+/// CPUs the host exposes; scaling claims are only meaningful when > 1.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn to_json(quick: bool, entries: &[Entry]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"lanes\": {},\n", striped::LANES));
+    s.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -176,10 +185,11 @@ fn to_json(quick: bool, entries: &[Entry]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: mcups [--quick] [--out PATH]");
+        eprintln!("usage: mcups [--quick] [--out PATH] [--check-scaling]");
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
+    let check_scaling = args.iter().any(|a| a == "--check-scaling");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -202,9 +212,10 @@ fn main() {
             tile_case("tile", h, w, local, false, budget, &mut entries);
         }
     }
-    // End-to-end wavefront engine (striped path is the default).
+    // End-to-end wavefront engine (striped path is the default), swept
+    // across worker counts to expose the strip scheduler's scaling.
     let (wm, wn) = if quick { (1024, 1024) } else { (4096, 4096) };
-    for workers in [1usize, 4] {
+    for workers in [1usize, 2, 4, 8] {
         wavefront_case(wm, wn, workers, budget, &mut entries);
     }
 
@@ -232,4 +243,31 @@ fn main() {
         .unwrap_or_else(|e| panic!("mcups: cannot create {out_path}: {e}"));
     f.write_all(json.as_bytes()).expect("write report");
     eprintln!("mcups: wrote {out_path}");
+
+    if check_scaling {
+        let wavefront_mcups = |w: usize| {
+            entries
+                .iter()
+                .find(|e| e.bench == "wavefront" && e.workers == w)
+                .map(|e| e.mcups)
+                .unwrap_or_else(|| panic!("mcups: no wavefront entry for workers={w}"))
+        };
+        let (w1, w4) = (wavefront_mcups(1), wavefront_mcups(4));
+        let cpus = host_parallelism();
+        if cpus < 2 {
+            eprintln!(
+                "mcups: check-scaling: host has {cpus} CPU(s); \
+                 w1={w1:.1} w4={w4:.1} MCUPS recorded, scaling gate skipped \
+                 (nothing to scale on)"
+            );
+        } else if w4 < w1 {
+            eprintln!(
+                "mcups: check-scaling FAILED: wavefront workers=4 ({w4:.1} MCUPS) \
+                 is slower than workers=1 ({w1:.1} MCUPS)"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("mcups: check-scaling OK: w4/w1 = {:.2}x", w4 / w1);
+        }
+    }
 }

@@ -173,6 +173,32 @@ pub enum Event {
         /// Total external diagonals in the grid.
         total: usize,
     },
+    /// Stage-1 strip-scheduler progress: a worker published a batch of
+    /// block rows of its column strip to its right neighbour.
+    StripProgress {
+        /// Stage number (currently always 1).
+        stage: u8,
+        /// Runner index (0 = the calling thread).
+        worker: usize,
+        /// Column-strip index within the strip plan.
+        strip: usize,
+        /// Block rows of this strip completed and published.
+        rows_done: usize,
+        /// Total block rows in the grid.
+        rows_total: usize,
+    },
+    /// Stage-1 strip scheduler: a worker claimed a strip. `stolen` marks
+    /// claims beyond the worker's first (bounded work stealing).
+    StripSteal {
+        /// Stage number (currently always 1).
+        stage: u8,
+        /// Runner index (0 = the calling thread).
+        worker: usize,
+        /// Column-strip index that was claimed.
+        strip: usize,
+        /// False for the worker's first claim (its home strip).
+        stolen: bool,
+    },
     /// Stage 2 starts a reverse strip.
     Strip {
         /// Stage number (currently always 2).
@@ -499,6 +525,18 @@ fn encode_record(t: Duration, ev: &Event) -> String {
             let _ = write!(
                 s,
                 ",\"ev\":\"diagonal\",\"stage\":{stage},\"done\":{done},\"total\":{total}"
+            );
+        }
+        Event::StripProgress { stage, worker, strip, rows_done, rows_total } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"strip_progress\",\"stage\":{stage},\"worker\":{worker},\"strip\":{strip},\"rows_done\":{rows_done},\"rows_total\":{rows_total}"
+            );
+        }
+        Event::StripSteal { stage, worker, strip, stolen } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"strip_steal\",\"stage\":{stage},\"worker\":{worker},\"strip\":{strip},\"stolen\":{stolen}"
             );
         }
         Event::Strip { stage, index, height, width } => {
@@ -909,6 +947,12 @@ pub struct TraceCheck {
     pub stages_seen: [bool; 6],
     /// Whether the trace ends with a `run_end` record.
     pub ended: bool,
+    /// `strip_progress` records seen (stage-1 strip scheduler).
+    pub strip_progress: usize,
+    /// `strip_steal` records with `stolen: true` (work stealing).
+    pub strip_steals: usize,
+    /// `strip_steal` records total (home claims + steals).
+    pub strip_claims: usize,
 }
 
 struct TraceState {
@@ -1028,6 +1072,32 @@ fn validate_record(st: &mut TraceState, line: &str) -> Result<(), String> {
             let total = req_num(&obj, "total")?;
             if done > total {
                 return Err(format!("diagonal done {done} exceeds total {total}"));
+            }
+        }
+        "strip_progress" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            req_num(&obj, "worker")?;
+            req_num(&obj, "strip")?;
+            let done = req_num(&obj, "rows_done")?;
+            let total = req_num(&obj, "rows_total")?;
+            if done > total {
+                return Err(format!("strip_progress rows_done {done} exceeds total {total}"));
+            }
+            st.check.strip_progress += 1;
+        }
+        "strip_steal" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            req_num(&obj, "worker")?;
+            req_num(&obj, "strip")?;
+            let stolen = obj
+                .get("stolen")
+                .and_then(Json::bool_val)
+                .ok_or("missing or non-bool \"stolen\" field")?;
+            st.check.strip_claims += 1;
+            if stolen {
+                st.check.strip_steals += 1;
             }
         }
         "strip" => {

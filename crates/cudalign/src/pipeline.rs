@@ -775,6 +775,7 @@ mod tests {
             scopes: 10,
             tasks: 20,
             inline_tasks: 0,
+            pinned_tasks: 0,
             busy_ratio: 0.5,
             busy_permille: 5_000,
         };
@@ -783,6 +784,7 @@ mod tests {
             scopes: 14,
             tasks: 31,
             inline_tasks: 0,
+            pinned_tasks: 0,
             busy_ratio: 0.64,
             busy_permille: 9_000,
         };

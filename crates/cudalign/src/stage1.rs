@@ -142,6 +142,26 @@ impl gpu_sim::WavefrontObserver for Stage1Observer<'_, '_> {
         ControlFlow::Continue(())
     }
 
+    fn on_strip_event(&mut self, event: &gpu_sim::StripEvent) {
+        // Strip-scheduler protocol events, forwarded to the trace: claims
+        // (including steals) and per-strip publish progress. Delivered on
+        // the caller thread in the order the coordination lock saw them.
+        match *event {
+            gpu_sim::StripEvent::Claimed { runner, strip, stolen } => {
+                self.obs.emit(Event::StripSteal { stage: 1, worker: runner, strip, stolen });
+            }
+            gpu_sim::StripEvent::Published { runner, strip, rows_done, rows_total } => {
+                self.obs.emit(Event::StripProgress {
+                    stage: 1,
+                    worker: runner,
+                    strip,
+                    rows_done,
+                    rows_total,
+                });
+            }
+        }
+    }
+
     fn on_checkpoint(&mut self, state: &gpu_sim::wavefront::EngineState) {
         let Some(dir) = &self.ckpt_dir else { return };
         let bytes = encode_checkpoint(state, self.rows);

@@ -78,6 +78,9 @@ pub struct PoolStats {
     pub tasks: u64,
     /// Jobs the calling thread ran inline while waiting for a scope.
     pub inline_tasks: u64,
+    /// Jobs spawned with [`Scope::spawn_pinned`] — long-lived cooperative
+    /// runners that only worker threads may execute.
+    pub pinned_tasks: u64,
     /// Mean occupied-lane fraction per scope, in `[0, 1]`.
     pub busy_ratio: f64,
     /// Raw cumulative numerator behind `busy_ratio`: the sum over all
@@ -92,6 +95,10 @@ pub struct PoolStats {
 struct QueuedJob {
     scope: Arc<ScopeState>,
     job: Box<dyn FnOnce() + Send + 'static>,
+    /// Pinned jobs are cooperative long-lived runners (strip-lease mode):
+    /// only dedicated worker threads may execute them, never a
+    /// scope-draining caller, which must stay free to coordinate them.
+    pinned: bool,
     /// Scope-FIFO sequence number, stamped at spawn. The queue preserves
     /// it, so the race detector can tag every bus event with the exact
     /// position of its job in the pool's total spawn order.
@@ -180,14 +187,19 @@ struct PoolShared {
     scopes: AtomicU64,
     tasks: AtomicU64,
     inline_tasks: AtomicU64,
+    pinned_tasks: AtomicU64,
     /// Sum over scopes of `1000 * occupied_lanes / lanes`.
     busy_millis: AtomicU64,
 }
 
 impl PoolShared {
-    /// Pop the oldest queued job, without blocking.
-    fn try_pop(&self) -> Option<QueuedJob> {
-        lock_unpoisoned(&self.queue).pop_front()
+    /// Pop the oldest *non-pinned* queued job. Scope-draining callers use
+    /// this: a pinned runner executed inline would occupy the very thread
+    /// that must keep coordinating it (see [`Scope::spawn_pinned`]).
+    fn try_pop_unpinned(&self) -> Option<QueuedJob> {
+        let mut queue = lock_unpoisoned(&self.queue);
+        let idx = queue.iter().position(|item| !item.pinned)?;
+        queue.remove(idx)
     }
 
     /// Execute (or cancel) one job and settle its scope accounting.
@@ -195,9 +207,9 @@ impl PoolShared {
         #[cfg(feature = "race-check")]
         trace::CURRENT_SEQ.with(|s| s.set(item.seq));
         #[cfg(feature = "race-check")]
-        let QueuedJob { scope, job, seq: _ } = item;
+        let QueuedJob { scope, job, pinned: _, seq: _ } = item;
         #[cfg(not(feature = "race-check"))]
-        let QueuedJob { scope, job } = item;
+        let QueuedJob { scope, job, pinned: _ } = item;
         if scope.panicked.load(Ordering::Acquire) {
             // A sibling already failed: cancel by dropping the closure
             // (releasing its borrows) without running it.
@@ -270,12 +282,40 @@ impl<'env> Scope<'_, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        self.spawn_impl(job, false);
+    }
+
+    /// Like [`Scope::spawn`], but the job may only be executed by a
+    /// dedicated pool *worker thread* — the scope-draining caller skips
+    /// it. This is the strip-lease mode of the pool: the wavefront strip
+    /// scheduler spawns one long-lived runner per lease, and the caller
+    /// thread must stay available to deliver results and coordinate
+    /// hand-offs instead of disappearing into a runner loop.
+    ///
+    /// A pinned job that never gets a worker thread stays queued; callers
+    /// using pinned jobs must be able to finish their algorithm without
+    /// them and call [`Scope::cancel_queued`] before returning from the
+    /// scope body, or the scope cannot settle.
+    pub fn spawn_pinned<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.spawn_impl(job, true);
+    }
+
+    fn spawn_impl<F>(&self, job: F, pinned: bool)
+    where
+        F: FnOnce() + Send + 'env,
+    {
         {
             let mut pending = lock_unpoisoned(&self.state.pending);
             *pending += 1;
         }
         self.state.spawned.fetch_add(1, Ordering::Relaxed);
         self.pool.shared.tasks.fetch_add(1, Ordering::Relaxed);
+        if pinned {
+            self.pool.shared.pinned_tasks.fetch_add(1, Ordering::Relaxed);
+        }
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
         // SAFETY: the only consumer of this box is `PoolShared::run_item`,
         // which either calls or drops it, always before decrementing the
@@ -290,11 +330,48 @@ impl<'env> Scope<'_, 'env> {
             queue.push_back(QueuedJob {
                 scope: Arc::clone(&self.state),
                 job,
+                pinned,
                 #[cfg(feature = "race-check")]
                 seq: trace::next_seq(),
             });
         }
         self.pool.shared.available.notify_one();
+    }
+
+    /// Remove this scope's not-yet-started jobs from the pool queue,
+    /// dropping their closures (releasing the borrows) without running
+    /// them. Callers that spawn pinned runner jobs invoke this once their
+    /// algorithm is complete: a pinned job that never reached a worker
+    /// thread would otherwise keep the scope's pending count above zero
+    /// forever, because the caller's inline drain skips pinned work.
+    pub fn cancel_queued(&self) {
+        let removed: Vec<QueuedJob> = {
+            let mut queue = lock_unpoisoned(&self.pool.shared.queue);
+            let mut kept = VecDeque::with_capacity(queue.len());
+            let mut removed = Vec::new();
+            while let Some(item) = queue.pop_front() {
+                if Arc::ptr_eq(&item.scope, &self.state) {
+                    removed.push(item);
+                } else {
+                    kept.push_back(item);
+                }
+            }
+            *queue = kept;
+            removed
+        };
+        // Settle outside the queue lock: dropping a closure runs arbitrary
+        // destructors, and finish_one takes the scope's pending lock.
+        for item in removed {
+            drop(item.job);
+            item.scope.finish_one();
+        }
+    }
+
+    /// True once any job of this scope has panicked (the scope will
+    /// return [`ExecError::WorkerPanic`]). Cooperative long-lived jobs
+    /// poll this so they stop waiting for a peer that died.
+    pub fn panicked(&self) -> bool {
+        self.state.panicked.load(Ordering::Acquire)
     }
 }
 
@@ -331,6 +408,7 @@ impl WorkerPool {
             scopes: AtomicU64::new(0),
             tasks: AtomicU64::new(0),
             inline_tasks: AtomicU64::new(0),
+            pinned_tasks: AtomicU64::new(0),
             busy_millis: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(lanes.saturating_sub(1));
@@ -375,7 +453,7 @@ impl WorkerPool {
         // Participate: run queued jobs (ours or a sibling scope's) while
         // this scope still has pending work.
         loop {
-            if let Some(item) = self.shared.try_pop() {
+            if let Some(item) = self.shared.try_pop_unpinned() {
                 self.shared.run_item(item, true);
                 continue;
             }
@@ -412,6 +490,7 @@ impl WorkerPool {
             scopes,
             tasks: self.shared.tasks.load(Ordering::Relaxed),
             inline_tasks: self.shared.inline_tasks.load(Ordering::Relaxed),
+            pinned_tasks: self.shared.pinned_tasks.load(Ordering::Relaxed),
             busy_ratio: if scopes == 0 {
                 0.0
             } else {
@@ -488,6 +567,32 @@ pub mod fault {
     #[cfg(feature = "race-check")]
     pub fn disarm_reorder() {
         REORDER.store(0, Ordering::SeqCst);
+        EARLY_PUBLISH.store(0, Ordering::SeqCst);
+    }
+
+    /// `(r, c)` of a block whose bottom-right border hand-off the strip
+    /// scheduler must model one publish EARLY; same encoding as the
+    /// reorder fault; `0` = disarmed.
+    #[cfg(feature = "race-check")]
+    static EARLY_PUBLISH: super::AtomicU64 = super::AtomicU64::new(0);
+
+    /// Arm the early-publish fault: when the strip engine is about to
+    /// compute block `(r, c)`, it first replays its *right neighbour's*
+    /// bus reads — as if `(r, c)`'s border flag had been published one
+    /// block early, before the border was written. The phantom touches
+    /// only the race detector's shadow state (engine output is
+    /// unchanged); the detector must flag the neighbour's reads as
+    /// wrong-producer. Requires `c + 1` to be a valid block column.
+    #[cfg(feature = "race-check")]
+    pub fn arm_early_publish(r: usize, c: usize) {
+        EARLY_PUBLISH.store(((r as u64) << 32) | (c as u64 + 1), Ordering::SeqCst);
+    }
+
+    /// The armed early-publish target, if any.
+    #[cfg(feature = "race-check")]
+    pub(crate) fn early_publish_block() -> Option<(usize, usize)> {
+        let v = EARLY_PUBLISH.load(Ordering::Relaxed);
+        (v != 0).then(|| ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize - 1))
     }
 
     /// The armed reorder target, if any.
@@ -654,6 +759,54 @@ mod tests {
         // With one lane the panic lands before the later jobs start, so
         // they are cancelled (dropped), not run.
         assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    /// On a 1-lane pool no worker thread exists, so a pinned job can
+    /// never execute; the caller must be able to finish the scope anyway
+    /// by cancelling the queued runners, and the closures (with their
+    /// captured borrows) must still be dropped.
+    #[test]
+    fn pinned_jobs_wait_for_workers_and_cancel_cleanly() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.lanes(), 1);
+        let dropped = AtomicUsize::new(0);
+        let ran = AtomicUsize::new(0);
+        let ran_ref = &ran;
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let canary = Canary(&dropped);
+                s.spawn_pinned(move || {
+                    drop(canary);
+                    ran_ref.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            s.cancel_queued();
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "caller must never run pinned jobs inline");
+        assert_eq!(dropped.load(Ordering::SeqCst), 4, "cancelled pinned closures must drop");
+        assert_eq!(pool.stats().pinned_tasks, 4);
+    }
+
+    #[test]
+    fn pinned_jobs_run_on_worker_threads() {
+        let pool = WorkerPool::new(4);
+        if pool.lanes() < 2 {
+            return; // thread spawn degraded; nothing to assert
+        }
+        let ran = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn_pinned(|| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+        let stats = pool.stats();
+        assert_eq!(stats.pinned_tasks, 8);
+        assert_eq!(stats.inline_tasks, 0, "pinned jobs must not run inline on the caller");
     }
 
     #[test]

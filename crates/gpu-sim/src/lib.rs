@@ -55,4 +55,7 @@ pub use device::DeviceModel;
 pub use exec::{ExecError, PoolStats, WorkerPool};
 pub use grid::GridSpec;
 pub use kernel::{CellHE, CellHF, GlobalOrigin, KernelPath, Mode, TileOutcome};
-pub use wavefront::{BlockCoords, NoObserver, RegionJob, RegionResult, WavefrontObserver};
+pub use wavefront::{
+    BlockCoords, NoObserver, RegionJob, RegionResult, ScheduleInfo, StripEvent, StripPlan,
+    StripStats, WavefrontObserver,
+};

@@ -179,6 +179,14 @@ struct Inner {
     v: Vec<WriteRec>,
     /// Last writer per corner cell, `(block_rows+1) x (block_cols+1)`.
     corners: Vec<WriteRec>,
+    /// Column-strip plan boundaries when the strip scheduler drives this
+    /// session (empty = diagonal-barrier mode).
+    strip_bounds: Vec<usize>,
+    /// Shadow of each strip's published-row counter. A read that crosses
+    /// a strip boundary must be covered by the left strip's publish; the
+    /// engine updates this shadow *before* the real counter, so a
+    /// consumer the real protocol would admit is always covered here.
+    strip_published: Vec<usize>,
 }
 
 /// Per-engine-run detector state. Create one per
@@ -201,7 +209,30 @@ impl Session {
                 h: vec![border; n],
                 v: vec![border; m],
                 corners: vec![border; (block_rows + 1) * (block_cols + 1)],
+                strip_bounds: Vec::new(),
+                strip_published: Vec::new(),
             }),
+        }
+    }
+
+    /// Switch this session to the column-strip protocol: `bounds` are the
+    /// plan's strip boundaries (length `strips + 1`), `published` the
+    /// initial per-strip published-row counters (non-zero after a resume,
+    /// where checkpointed rows count as already handed off).
+    pub fn set_strip_plan(&self, bounds: &[usize], published: &[usize]) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.strip_bounds = bounds.to_vec();
+        inner.strip_published = published.to_vec();
+    }
+
+    /// Shadow a strip publish: rows `0..rows` of strip `s` are now
+    /// visible to the right neighbour. Monotone, like the real counter.
+    pub fn strip_publish(&self, s: usize, rows: usize) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = inner.strip_published.get_mut(s) {
+            if rows > *p {
+                *p = rows;
+            }
         }
     }
 
@@ -247,6 +278,31 @@ impl Session {
         let ci = r * (inner.block_cols + 1) + c;
         if let Some(rec) = inner.corners.get(ci) {
             check_read(&mut pending, "corner", ci, rec, expect_corner, r, c, d);
+        }
+        // Strip protocol: a block on its strip's first column consumes the
+        // left strip's border, which is only handed off once that strip
+        // publishes rows covering `r + 1`. The shadow counter is updated
+        // before the real one, so an uncovered read means the engine let a
+        // consumer through before its producer's publish.
+        if !inner.strip_bounds.is_empty() && c > 0 && d > base {
+            let s = inner.strip_bounds.iter().skip(1).position(|&b| c < b).unwrap_or(0);
+            if s > 0 && inner.strip_bounds[s] == c {
+                let covered = inner.strip_published.get(s - 1).copied().unwrap_or(0);
+                if covered < r + 1 {
+                    pending.push(Violation {
+                        kind: ViolationKind::UnorderedRead,
+                        r,
+                        c,
+                        diagonal: d,
+                        detail: format!(
+                            "strip hand-off: block ({r},{c}) consumes the border of strip \
+                             {} with only {covered} row(s) published (needs {})",
+                            s - 1,
+                            r + 1
+                        ),
+                    });
+                }
+            }
         }
         drop(inner);
         if !pending.is_empty() {

@@ -3,13 +3,36 @@
 //! Blocks of one external diagonal are mutually independent: each reads
 //! the horizontal-bus segment written by the block above it (previous
 //! diagonal) and the vertical-bus segment written by the block to its left
-//! (also previous diagonal). The scheduler walks diagonals in order,
-//! executes each diagonal's blocks concurrently on the persistent
-//! [`crate::exec::WorkerPool`] (one scope per diagonal is the barrier),
-//! then — still synchronously with respect to the next diagonal — reports
-//! every completed block to the caller's [`WavefrontObserver`], which is
-//! how the pipeline flushes special rows (Stage 1) and runs goal-based
-//! matching with early abort (Stages 2-3).
+//! (also previous diagonal).
+//!
+//! Two schedulers implement that dependence structure:
+//!
+//! * **Diagonal-barrier** (the original engine, still used for serial
+//!   runs): walk diagonals in order, execute each diagonal's blocks
+//!   concurrently on the persistent [`crate::exec::WorkerPool`] (one
+//!   scope per diagonal is the barrier), then commit results in block
+//!   order. Simple, but every diagonal ends in a global barrier and a
+//!   block's tile data bounces between workers' caches from one diagonal
+//!   to the next.
+//!
+//! * **Column-strip** (parallel runs): each worker *owns* a contiguous
+//!   strip of block-columns for the whole run ([`StripPlan`]), walking it
+//!   row-major so tiles stay hot in one worker's cache. The only
+//!   cross-strip dependence is the vertical bus / corner hand-off along
+//!   the strip boundary, signalled point-to-point by a published-row
+//!   counter per strip — several block rows are batched per publish
+//!   ([`StripPlan::batch_rows`]) to amortize signalling, and there is no
+//!   global barrier anywhere. When a plan has more strips than workers
+//!   (ragged grids), runners that finish a strip steal the next
+//!   unclaimed one, in ascending column order. The calling thread runs
+//!   strip 0 and *delivers* finished blocks in canonical diagonal order,
+//!   so observers see exactly the event stream of the serial engine and
+//!   results are bit-identical to it.
+//!
+//! Either way, every completed block is reported — sequentially, on the
+//! calling thread, in diagonal order — to the caller's
+//! [`WavefrontObserver`], which is how the pipeline flushes special rows
+//! (Stage 1) and runs goal-based matching with early abort (Stages 2-3).
 
 use crate::exec::{ExecError, WorkerPool};
 use crate::grid::{GridLayout, GridSpec};
@@ -57,6 +80,42 @@ pub trait WavefrontObserver {
     /// [`run_resumable`]'s `checkpoint_every`, with a snapshot the
     /// observer may persist. Default: ignore.
     fn on_checkpoint(&mut self, _state: &EngineState) {}
+
+    /// Called for strip-scheduler protocol events (claims, steals, border
+    /// publishes), on the calling thread, interleaved with
+    /// [`WavefrontObserver::on_block`] deliveries. Serial runs emit none.
+    /// Default: ignore.
+    fn on_strip_event(&mut self, _event: &StripEvent) {}
+}
+
+/// A protocol event of the column-strip scheduler, surfaced to observers
+/// for tracing (`obs::Event::StripProgress` / `StripSteal`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StripEvent {
+    /// A runner took ownership of a strip. `stolen` is true when this is
+    /// not the runner's first strip — it finished its own and stole the
+    /// next unclaimed one (ragged-edge balancing).
+    Claimed {
+        /// Runner index (0 = the calling thread).
+        runner: usize,
+        /// Strip index in the [`StripPlan`].
+        strip: usize,
+        /// True when the claim is a steal.
+        stolen: bool,
+    },
+    /// A runner published its strip's right-border progress: rows
+    /// `0..rows_done` of the vertical-bus/corner hand-off are now visible
+    /// to the strip on its right.
+    Published {
+        /// Runner index.
+        runner: usize,
+        /// Strip index whose border advanced.
+        strip: usize,
+        /// Block rows published so far.
+        rows_done: usize,
+        /// Total block rows of the grid.
+        rows_total: usize,
+    },
 }
 
 /// A no-op observer.
@@ -72,6 +131,94 @@ impl WavefrontObserver for NoObserver {
     ) -> ControlFlow<()> {
         ControlFlow::Continue(())
     }
+}
+
+/// Default number of block rows batched per strip-border publish.
+///
+/// Larger batches amortize the signalling (one lock + condvar notify per
+/// publish) over more rows; smaller batches let the right neighbour start
+/// sooner. The wavefront pipeline ramps in `batch_rows * strips` diagonals
+/// — negligible against the tall grids stage 1 uses.
+pub const DEFAULT_BATCH_ROWS: usize = 4;
+
+/// How block-columns are grouped into persistent ownership strips for the
+/// column-strip scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripPlan {
+    /// Strip boundaries: strip `s` owns block-columns
+    /// `bounds[s]..bounds[s + 1]`. Monotonically increasing, starting at
+    /// 0 and ending at the grid's `block_cols`.
+    pub bounds: Vec<usize>,
+    /// Block rows batched per border publish (at least 1).
+    pub batch_rows: usize,
+}
+
+impl StripPlan {
+    /// An even split of `block_cols` columns into `min(workers,
+    /// block_cols)` strips; the leftmost strips take the remainder, one
+    /// extra column each.
+    pub fn balanced(block_cols: usize, workers: usize) -> StripPlan {
+        let strips = workers.min(block_cols).max(1);
+        let base = block_cols / strips;
+        let extra = block_cols % strips;
+        let mut bounds = Vec::with_capacity(strips + 1);
+        let mut next = 0usize;
+        bounds.push(0);
+        for s in 0..strips {
+            next += base + usize::from(s < extra);
+            bounds.push(next);
+        }
+        StripPlan { bounds, batch_rows: DEFAULT_BATCH_ROWS }
+    }
+
+    /// Number of strips in the plan.
+    pub fn strips(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Does this plan exactly cover a grid `block_cols` wide, with every
+    /// strip non-empty and `batch_rows >= 1`?
+    pub fn is_valid_for(&self, block_cols: usize) -> bool {
+        self.batch_rows >= 1
+            && self.bounds.first() == Some(&0)
+            && self.bounds.last() == Some(&block_cols)
+            && self.bounds.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+/// Counters of one column-strip launch, reported on
+/// [`RegionResult::strip`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripStats {
+    /// Strips in the executed plan.
+    pub strips: usize,
+    /// Block rows per border publish.
+    pub batch_rows: usize,
+    /// Claims beyond each runner's first — whole-strip work steals.
+    pub steals: u64,
+    /// Border publishes that advanced a strip's published-row counter.
+    pub batches_published: u64,
+    /// Blocks computed per runner (index 0 = the calling thread).
+    pub runner_blocks: Vec<u64>,
+}
+
+/// Which scheduler produced an [`EngineState`] snapshot — provenance
+/// recorded in the checkpoint so a resumed run (possibly under a
+/// different worker count) can report where the snapshot came from.
+/// Resuming is schedule-independent: buses and counters mean the same
+/// thing either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleInfo {
+    /// Diagonal-barrier engine (serial runs, and all checkpoints written
+    /// before strip scheduling existed).
+    Serial,
+    /// Column-strip engine.
+    Strips {
+        /// Strips in the plan that wrote the snapshot.
+        strips: u32,
+        /// Its publish batching factor.
+        batch_rows: u32,
+    },
 }
 
 /// One engine launch over a DP region.
@@ -122,6 +269,9 @@ pub struct RegionResult {
     /// Tiles that attempted the striped kernel but overflowed the `i16`
     /// window and re-ran on the scalar kernel (this run).
     pub fallback_tiles: u64,
+    /// Strip-scheduler counters; `None` when the diagonal-barrier engine
+    /// ran (serial execution).
+    pub strip: Option<StripStats>,
 }
 
 impl RegionResult {
@@ -174,6 +324,8 @@ pub struct EngineState {
     pub cells: u64,
     /// Busy block-slots so far.
     pub busy_slots: u64,
+    /// Scheduler that wrote this snapshot (provenance only).
+    pub schedule: ScheduleInfo,
 }
 
 impl EngineState {
@@ -265,6 +417,15 @@ impl EngineState {
         for &c in &self.corners {
             out.extend_from_slice(&c.to_le_bytes());
         }
+        // Strip-schedule provenance rides as a self-identifying tailer so
+        // pre-strip decoders (which ignore trailing bytes) still accept
+        // the blob; `Serial` writes nothing, keeping old and new encodings
+        // byte-identical for old snapshots.
+        if let ScheduleInfo::Strips { strips, batch_rows } = self.schedule {
+            out.extend_from_slice(b"STRP");
+            out.extend_from_slice(&strips.to_le_bytes());
+            out.extend_from_slice(&batch_rows.to_le_bytes());
+        }
         out
     }
 
@@ -319,6 +480,19 @@ impl EngineState {
         for _ in 0..nc {
             corners.push(Score::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?));
         }
+        // Optional schedule tailer. Old-format blobs end here (or carry
+        // unrelated trailing bytes) and decode as `Serial`; a blob that
+        // *starts* the `STRP` marker must carry the whole tailer, so a
+        // truncated strip checkpoint is rejected rather than silently
+        // downgraded.
+        let schedule = if bytes.get(pos..pos + 4) == Some(b"STRP") {
+            pos += 4;
+            let strips = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            let batch_rows = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            ScheduleInfo::Strips { strips, batch_rows }
+        } else {
+            ScheduleInfo::Serial
+        };
         Some(EngineState {
             fingerprint: fp,
             next_diagonal,
@@ -328,6 +502,7 @@ impl EngineState {
             best,
             cells,
             busy_slots,
+            schedule,
         })
     }
 }
@@ -393,6 +568,33 @@ pub fn run_resumable_pooled(
     resume: Option<EngineState>,
     checkpoint_every: Option<usize>,
 ) -> Result<RegionResult, ExecError> {
+    run_engine(pool, job, observer, resume, checkpoint_every, None)
+}
+
+/// Run a region on the column-strip scheduler with an explicit
+/// [`StripPlan`] — including ragged plans whose strip count exceeds the
+/// worker count, which exercises whole-strip work stealing.
+///
+/// # Panics
+/// Panics when `plan` does not cover the job's grid
+/// ([`StripPlan::is_valid_for`]).
+pub fn run_pooled_with_plan(
+    pool: &WorkerPool,
+    job: &RegionJob<'_>,
+    observer: &mut dyn WavefrontObserver,
+    plan: &StripPlan,
+) -> Result<RegionResult, ExecError> {
+    run_engine(pool, job, observer, None, None, Some(plan.clone()))
+}
+
+fn run_engine(
+    pool: &WorkerPool,
+    job: &RegionJob<'_>,
+    observer: &mut dyn WavefrontObserver,
+    resume: Option<EngineState>,
+    checkpoint_every: Option<usize>,
+    plan: Option<StripPlan>,
+) -> Result<RegionResult, ExecError> {
     let (m, n) = (job.a.len(), job.b.len());
     let layout = job.grid.layout(m, n);
     let local = job.mode.is_local();
@@ -454,6 +656,42 @@ pub fn run_resumable_pooled(
     #[cfg(feature = "race-check")]
     let race_session = crate::race::Session::new(m, n, br, bc, first_diagonal);
 
+    // Column-strip dispatch: an explicit plan forces the strip engine;
+    // otherwise it engages whenever more than one worker meets more than
+    // one block column (the only shape where scheduling matters). The
+    // serial fallback below also covers resume-at-end, which has no work.
+    let strip_plan = match plan {
+        Some(p) => {
+            assert!(
+                p.is_valid_for(bc),
+                "strip plan {:?} does not cover {bc} block column(s)",
+                p.bounds
+            );
+            Some(p)
+        }
+        None if workers > 1 && bc > 1 && first_diagonal < layout.diagonals() => {
+            Some(StripPlan::balanced(bc, workers))
+        }
+        None => None,
+    };
+    if let Some(plan) = strip_plan {
+        let params = strip::Params {
+            pool,
+            job,
+            layout: &layout,
+            plan: &plan,
+            workers,
+            first_diagonal,
+            checkpoint_every,
+            init_best: best,
+            init_cells: cells,
+            init_busy: busy_slots,
+            #[cfg(feature = "race-check")]
+            race: &race_session,
+        };
+        return strip::run(params, observer, hbus, vbus, corners);
+    }
+
     'diagonals: for d in first_diagonal..layout.diagonals() {
         if let Some(every) = checkpoint_every {
             if d > first_diagonal && (d - first_diagonal).is_multiple_of(every.max(1)) {
@@ -466,6 +704,7 @@ pub fn run_resumable_pooled(
                     best,
                     cells,
                     busy_slots,
+                    schedule: ScheduleInfo::Serial,
                 });
             }
         }
@@ -636,12 +875,755 @@ pub fn run_resumable_pooled(
         layout,
         striped_tiles,
         fallback_tiles,
+        strip: None,
     })
 }
 
 /// Convenience: run without an observer.
 pub fn run_plain(job: &RegionJob<'_>) -> RegionResult {
     run(job, &mut NoObserver)
+}
+
+/// The column-strip scheduler: persistent strip ownership, point-to-point
+/// border publishing, bounded whole-strip work stealing.
+///
+/// # Protocol
+///
+/// * Runner `i` owns strip `i` from launch (its *home* claim), so every
+///   runner is guaranteed at least one whole strip of work. Further
+///   strips are claimed — stolen — in ascending index order
+///   (`next_strip` counter), so unclaimed strips always form a suffix of
+///   the plan and a claimed strip's left neighbour is always claimed.
+/// * A runner walks its strip row-major. Before computing the strip's
+///   *first* column of block row `r` it waits until the left strip's
+///   published-row counter covers `r + 1` — that publish is the only
+///   cross-strip synchronisation (there is no global barrier).
+/// * A runner publishes after every `batch_rows`-th completed block row
+///   (and after its last row), under the coordination mutex; consumers
+///   re-check under the same mutex, so the lock's release/acquire pair is
+///   the happens-before edge that orders the producer's bus writes before
+///   the consumer's reads.
+/// * The calling thread is runner 0 *and* the deliverer: it drains
+///   finished blocks in canonical diagonal order, applies them to shadow
+///   ("checkpoint") buses, and invokes the observer — byte-identically to
+///   the serial engine. Runners may race ahead of delivery only within a
+///   bounded lead window once every strip is claimed, which caps the
+///   memory held by finished-but-undelivered borders.
+///
+/// # Why the shadow buses
+///
+/// Runners mutate the live buses out of diagonal order (that is the
+/// point), so on abort the live buses would reflect blocks *past* the
+/// abort point. The deliverer therefore maintains its own copies, updated
+/// strictly in delivery order; results and checkpoints are built from
+/// those, making aborted and checkpointed states bit-identical to the
+/// serial engine's.
+mod strip {
+    use super::*;
+    use std::collections::HashMap;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Condvar, Mutex, MutexGuard};
+    use std::time::Duration;
+
+    /// Inputs of one strip launch (everything but the observer and the
+    /// live buses, which move separately for borrow-checking reasons).
+    pub(super) struct Params<'a, 'j> {
+        pub pool: &'a WorkerPool,
+        pub job: &'a RegionJob<'j>,
+        pub layout: &'a GridLayout,
+        pub plan: &'a StripPlan,
+        pub workers: usize,
+        pub first_diagonal: usize,
+        pub checkpoint_every: Option<usize>,
+        pub init_best: Option<(Score, usize, usize)>,
+        pub init_cells: u64,
+        pub init_busy: u64,
+        #[cfg(feature = "race-check")]
+        pub race: &'a crate::race::Session,
+    }
+
+    /// Raw shared view of one live bus (or the corner table).
+    ///
+    /// Runners access disjoint-or-ordered regions of the buses without
+    /// `&mut` aliasing: see the SAFETY argument on [`compute_block`].
+    struct RawBus<T>(*mut T, usize);
+
+    impl<T> RawBus<T> {
+        fn new(v: &mut Vec<T>) -> RawBus<T> {
+            RawBus(v.as_mut_ptr(), v.len())
+        }
+
+        fn at(&self, i: usize) -> *mut T {
+            debug_assert!(i <= self.1);
+            // SAFETY: within-allocation offset — `i` is bounded by the
+            // bus length captured at construction.
+            unsafe { self.0.add(i) }
+        }
+    }
+
+    // SAFETY: a RawBus is only dereferenced by strip runners following the
+    // publish protocol (see `compute_block`'s SAFETY comment), which makes
+    // every conflicting access ordered by the coordination mutex; the
+    // pointee vectors outlive the pool scope that runs the runners.
+    unsafe impl<T: Send> Send for RawBus<T> {}
+    // SAFETY: as above — shared references to RawBus only hand out raw
+    // pointers; all dereferences follow the strip protocol.
+    unsafe impl<T: Send> Sync for RawBus<T> {}
+
+    /// A finished block, parked until the deliverer consumes it.
+    struct BlockDone {
+        outcome: TileOutcome,
+        /// Copy of the block's bottom border (its horizontal-bus segment
+        /// right after the tile ran).
+        bottom: Vec<CellHF>,
+        /// Copy of its right border (vertical-bus segment).
+        right: Vec<CellHE>,
+    }
+
+    /// Mutable coordination state, under the one strip mutex.
+    struct Coord {
+        /// Per strip: block rows published to the right neighbour.
+        published: Vec<usize>,
+        /// Next unclaimed strip (claims ascend, so unclaimed strips are a
+        /// suffix).
+        next_strip: usize,
+        /// Per runner: strips claimed so far (first claim = ownership,
+        /// later claims = steals).
+        claims: Vec<u64>,
+        /// Per runner: blocks computed.
+        blocks: Vec<u64>,
+        steals: u64,
+        batches: u64,
+        /// Delivery frontier: every block with diagonal < `front` has
+        /// been delivered.
+        front: usize,
+        /// Cooperative cancellation (observer abort, worker panic, body
+        /// panic). Runners exit at the next wait or block boundary.
+        cancel: bool,
+        /// Finished, undelivered blocks.
+        done: HashMap<(usize, usize), BlockDone>,
+        /// Protocol events awaiting delivery to the observer.
+        events: Vec<StripEvent>,
+    }
+
+    /// Everything the runners share.
+    struct Shared<'a, 'j> {
+        job: &'a RegionJob<'j>,
+        layout: &'a GridLayout,
+        plan: &'a StripPlan,
+        local: bool,
+        first_diagonal: usize,
+        /// Max diagonals a runner may lead the delivery frontier once all
+        /// strips are claimed (bounds undelivered-border memory).
+        lead: usize,
+        strips: usize,
+        hbus: RawBus<CellHF>,
+        vbus: RawBus<CellHE>,
+        corners: RawBus<Score>,
+        coord: Mutex<Coord>,
+        /// Runners park here for publishes / frontier advances / cancel.
+        cv_work: Condvar,
+        /// The deliverer parks here for block completions / cancel.
+        cv_done: Condvar,
+        #[cfg(feature = "race-check")]
+        race: &'a crate::race::Session,
+    }
+
+    impl Shared<'_, '_> {
+        fn lock(&self) -> MutexGuard<'_, Coord> {
+            self.coord.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Set `cancel` and wake everyone.
+        fn cancel_all(&self) {
+            self.lock().cancel = true;
+            self.cv_work.notify_all();
+            self.cv_done.notify_all();
+        }
+    }
+
+    /// A runner's position inside its claimed strip.
+    struct Cursor {
+        s: usize,
+        c0: usize,
+        c1: usize,
+        r: usize,
+        c: usize,
+    }
+
+    enum Step {
+        /// Computed one block.
+        Computed,
+        /// The next block is publish- or lead-blocked.
+        Blocked,
+        /// No strip left to claim.
+        Idle,
+        /// Cancellation observed.
+        Cancelled,
+    }
+
+    /// The strip `runner` owns from launch (pre-claimed in the engine's
+    /// `Coord` init): strip index = runner index.
+    fn home_cursor(sh: &Shared<'_, '_>, runner: usize) -> Cursor {
+        Cursor {
+            s: runner,
+            c0: sh.plan.bounds[runner],
+            c1: sh.plan.bounds[runner + 1],
+            r: 0,
+            c: sh.plan.bounds[runner],
+        }
+    }
+
+    /// Claim the next unclaimed strip for `runner`, if any. Home strips
+    /// are pre-claimed, so anything claimed here counts as a steal.
+    fn try_claim(sh: &Shared<'_, '_>, runner: usize) -> Option<Cursor> {
+        let mut co = sh.lock();
+        if co.cancel || co.next_strip >= sh.strips {
+            return None;
+        }
+        let s = co.next_strip;
+        co.next_strip += 1;
+        let stolen = co.claims[runner] > 0;
+        co.claims[runner] += 1;
+        if stolen {
+            co.steals += 1;
+        }
+        co.events.push(StripEvent::Claimed { runner, strip: s, stolen });
+        drop(co);
+        // Claims can unblock lead-window waiters (the window only binds
+        // once every strip is claimed) and carry an event for the
+        // deliverer.
+        sh.cv_work.notify_all();
+        sh.cv_done.notify_all();
+        Some(Cursor {
+            s,
+            c0: sh.plan.bounds[s],
+            c1: sh.plan.bounds[s + 1],
+            r: 0,
+            c: sh.plan.bounds[s],
+        })
+    }
+
+    /// Publish strip `s`'s border progress: rows `0..rows` are complete.
+    fn publish(sh: &Shared<'_, '_>, runner: usize, s: usize, rows: usize) {
+        // Shadow state first: the detector's published counter must cover
+        // a consumer by the time the real counter lets it proceed.
+        #[cfg(feature = "race-check")]
+        sh.race.strip_publish(s, rows);
+        let mut co = sh.lock();
+        if rows > co.published[s] {
+            co.published[s] = rows;
+            co.batches += 1;
+            co.events.push(StripEvent::Published {
+                runner,
+                strip: s,
+                rows_done: rows,
+                rows_total: sh.layout.block_rows,
+            });
+            drop(co);
+            sh.cv_work.notify_all();
+            // The event itself must reach the deliverer even when no
+            // block completion follows promptly.
+            sh.cv_done.notify_all();
+        }
+    }
+
+    /// Advance `cur` by at most one computed block (non-blocking).
+    fn step(sh: &Shared<'_, '_>, runner: usize, cur_slot: &mut Option<Cursor>) -> Step {
+        let br = sh.layout.block_rows;
+        loop {
+            let Some(cur) = cur_slot.as_mut() else {
+                match try_claim(sh, runner) {
+                    Some(c) => {
+                        *cur_slot = Some(c);
+                        continue;
+                    }
+                    None => return Step::Idle,
+                }
+            };
+            if cur.r == br {
+                *cur_slot = None;
+                continue;
+            }
+            if cur.c == cur.c1 {
+                // Row finished: publish at batch boundaries (and at the
+                // last row) so the right neighbour can follow.
+                let done_rows = cur.r + 1;
+                if cur.s + 1 < sh.strips && (done_rows % sh.plan.batch_rows == 0 || done_rows == br)
+                {
+                    publish(sh, runner, cur.s, done_rows);
+                }
+                cur.r += 1;
+                cur.c = cur.c0;
+                continue;
+            }
+            let (r, c) = (cur.r, cur.c);
+            if r + c < sh.first_diagonal {
+                // Restored from a checkpoint: nothing to compute.
+                cur.c += 1;
+                continue;
+            }
+            {
+                let co = sh.lock();
+                if co.cancel {
+                    return Step::Cancelled;
+                }
+                if c == cur.c0 && cur.s > 0 && co.published[cur.s - 1] <= r {
+                    return Step::Blocked;
+                }
+                // The lead window binds only once every strip is claimed:
+                // before that, throttling a runner could leave it unable
+                // to ever finish its strip and claim the one the frontier
+                // is stuck on.
+                if co.next_strip >= sh.strips && r + c >= co.front + sh.lead {
+                    return Step::Blocked;
+                }
+            }
+            let alive = compute_block(sh, runner, r, c);
+            cur.c += 1;
+            return if alive { Step::Computed } else { Step::Cancelled };
+        }
+    }
+
+    /// Park until the blocked condition of `cur` clears; false = cancel.
+    fn wait_progress(sh: &Shared<'_, '_>, cur: &Cursor) -> bool {
+        let mut co = sh.lock();
+        loop {
+            if co.cancel {
+                return false;
+            }
+            let publish_ok = !(cur.c == cur.c0 && cur.s > 0 && co.published[cur.s - 1] <= cur.r);
+            let lead_ok = co.next_strip < sh.strips || cur.r + cur.c < co.front + sh.lead;
+            if publish_ok && lead_ok {
+                return true;
+            }
+            co = sh.cv_work.wait(co).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Body of one pinned runner (runner indices 1..).
+    fn runner_loop(sh: &Shared<'_, '_>, runner: usize) {
+        let mut cur: Option<Cursor> = Some(home_cursor(sh, runner));
+        loop {
+            match step(sh, runner, &mut cur) {
+                Step::Computed => {}
+                Step::Blocked => {
+                    // `cur` is Some whenever step returns Blocked.
+                    let Some(c) = cur.as_ref() else { return };
+                    if !wait_progress(sh, c) {
+                        return;
+                    }
+                }
+                Step::Idle | Step::Cancelled => return,
+            }
+        }
+    }
+
+    /// Compute block `(r, c)` against the live buses and park the result
+    /// for the deliverer. Returns false when cancellation was observed.
+    fn compute_block(sh: &Shared<'_, '_>, runner: usize, r: usize, c: usize) -> bool {
+        let layout = sh.layout;
+        let bc = layout.block_cols;
+        let (rs, re) = layout.row_range(r);
+        let (cs, ce) = layout.col_range(c);
+        let width = (ce + 1).saturating_sub(cs);
+        let height = (re + 1).saturating_sub(rs);
+
+        #[cfg(feature = "race-check")]
+        {
+            let d = r + c;
+            // Seeded early-publish fault: model the right neighbour
+            // consuming this block's border one publish early — its reads
+            // replayed before this block has written. Shadow-only; the
+            // real hand-off below is untouched.
+            if let Some((fr, fc)) = crate::exec::fault::early_publish_block() {
+                if fr == r && fc == c && c + 1 < bc {
+                    let (ncs, nce) = layout.col_range(c + 1);
+                    let nw = (nce + 1).saturating_sub(ncs);
+                    sh.race.block_reads(r, c + 1, d + 1, (ncs - 1, nw), (rs - 1, height));
+                }
+            }
+            sh.race.block_reads(r, c, d, (cs - 1, width), (rs - 1, height));
+        }
+
+        // SAFETY: the strip protocol makes these raw views race-free.
+        // - hbus `[cs-1, cs-1+width)`: horizontal-bus columns are
+        //   partitioned by strip (strips own disjoint block-column
+        //   ranges), and within a strip one runner walks rows
+        //   sequentially, so only this runner ever touches this segment
+        //   while it owns the strip; strip hand-offs (steals) happen only
+        //   after the previous owner finished the whole strip, ordered by
+        //   the coordination mutex in try_claim/publish.
+        // - vbus `[rs-1, rs-1+height)`: within a row the segment passes
+        //   left-to-right between strips. The left strip stops touching
+        //   row `r`'s cells once it publishes `r + 1`; the right strip
+        //   starts only after observing that publish under the same
+        //   mutex (step's publish check), whose release/acquire orders
+        //   the writes before the reads.
+        // - corners: each corner cell is written by exactly one block
+        //   and read by exactly one block; same-strip pairs are ordered
+        //   by the runner's sequential walk, cross-strip pairs by the
+        //   publish that covers the writer's row.
+        let (hseg, vseg) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(sh.hbus.at(cs - 1), width),
+                std::slice::from_raw_parts_mut(sh.vbus.at(rs - 1), height),
+            )
+        };
+        // SAFETY: corner reads/writes follow the corner ordering argument
+        // above; indices are within the `(br+1)*(bc+1)` table.
+        let corner = unsafe { *sh.corners.at(r * (bc + 1) + c) };
+        let out = kernel::compute_tile(
+            &sh.job.a[rs - 1..re],
+            &sh.job.b[cs - 1..ce],
+            rs,
+            cs,
+            &sh.job.scoring,
+            sh.local,
+            sh.job.watch,
+            corner,
+            hseg,
+            vseg,
+        );
+        // SAFETY: as above — this block is the unique writer of corner
+        // `(r+1, c+1)`.
+        unsafe { *sh.corners.at((r + 1) * (bc + 1) + (c + 1)) = out.corner_out };
+
+        #[cfg(feature = "race-check")]
+        sh.race.block_writes(r, c, r + c, (cs - 1, width), (rs - 1, height), false);
+
+        let parked = BlockDone { outcome: out, bottom: hseg.to_vec(), right: vseg.to_vec() };
+        let mut co = sh.lock();
+        co.blocks[runner] += 1;
+        co.done.insert((r, c), parked);
+        let alive = !co.cancel;
+        drop(co);
+        sh.cv_done.notify_all();
+        alive
+    }
+
+    /// The deliverer's walk through the canonical (serial) block order.
+    struct DeliverCursor {
+        d: usize,
+        total_diagonals: usize,
+        blocks: Vec<(usize, usize)>,
+        i: usize,
+        /// Blocks of diagonals `>= first_diagonal` not yet delivered.
+        remaining: usize,
+    }
+
+    pub(super) fn run(
+        p: Params<'_, '_>,
+        observer: &mut dyn WavefrontObserver,
+        mut hbus: Vec<CellHF>,
+        mut vbus: Vec<CellHE>,
+        mut corners: Vec<Score>,
+    ) -> Result<RegionResult, ExecError> {
+        let layout = *p.layout;
+        let (br, bc) = (layout.block_rows, layout.block_cols);
+        let strips = p.plan.strips();
+        let fd = p.first_diagonal;
+        let total_diagonals = layout.diagonals();
+        // One runner per strip at most; the caller is runner 0.
+        let runners = p.workers.min(strips).max(1);
+
+        // Resume frontier: rows of each strip already covered by the
+        // checkpoint count as published (row `r` of strip `s` is restored
+        // iff even its last column's diagonal precedes the resume point).
+        let published: Vec<usize> =
+            (0..strips).map(|s| fd.saturating_sub(p.plan.bounds[s + 1] - 1).min(br)).collect();
+
+        #[cfg(feature = "race-check")]
+        p.race.set_strip_plan(&p.plan.bounds, &published);
+
+        // Seeded reorder fault (race-check): replay the armed block's bus
+        // transactions before any runner has written anything — the strip
+        // analogue of running it one diagonal early. Shadow-only.
+        #[cfg(feature = "race-check")]
+        if let Some((pr, pc)) = crate::exec::fault::reorder_block() {
+            if pr < br && pc < bc && pr + pc > fd {
+                let (rs, re) = layout.row_range(pr);
+                let (cs, ce) = layout.col_range(pc);
+                let width = (ce + 1).saturating_sub(cs);
+                let height = (re + 1).saturating_sub(rs);
+                p.race.block_reads(pr, pc, pr + pc, (cs - 1, width), (rs - 1, height));
+                p.race.block_writes(pr, pc, pr + pc, (cs - 1, width), (rs - 1, height), true);
+            }
+        }
+
+        // Shadow buses: the deliverer's diagonal-ordered view (see the
+        // module docs). Cloned before the raw views are taken.
+        let mut ck_hbus = hbus.clone();
+        let mut ck_vbus = vbus.clone();
+        let mut ck_corners = corners.clone();
+
+        let shared = Shared {
+            job: p.job,
+            layout: &layout,
+            plan: p.plan,
+            local: p.job.mode.is_local(),
+            first_diagonal: fd,
+            lead: bc + 8 * p.plan.batch_rows,
+            strips,
+            hbus: RawBus::new(&mut hbus),
+            vbus: RawBus::new(&mut vbus),
+            corners: RawBus::new(&mut corners),
+            coord: Mutex::new(Coord {
+                published,
+                // Home claims: runner `i` owns strip `i` from launch, so
+                // every runner is guaranteed at least one whole strip of
+                // work (deterministic utilization floor); the remaining
+                // strips are the stealable suffix.
+                next_strip: runners,
+                claims: vec![1; runners],
+                blocks: vec![0; runners],
+                steals: 0,
+                batches: 0,
+                front: fd,
+                cancel: false,
+                done: HashMap::new(),
+                events: (0..runners)
+                    .map(|r| StripEvent::Claimed { runner: r, strip: r, stolen: false })
+                    .collect(),
+            }),
+            cv_work: Condvar::new(),
+            cv_done: Condvar::new(),
+            #[cfg(feature = "race-check")]
+            race: p.race,
+        };
+
+        let mut best = p.init_best;
+        let mut cells = p.init_cells;
+        let mut busy_slots = p.init_busy;
+        let mut diagonals_run = 0usize;
+        let mut striped_tiles = 0u64;
+        let mut fallback_tiles = 0u64;
+        let mut aborted = false;
+
+        let remaining: usize =
+            (fd..total_diagonals).map(|d| layout.diagonal_blocks(d).count()).sum();
+        let mut dc = DeliverCursor {
+            d: fd,
+            total_diagonals,
+            blocks: if fd < total_diagonals {
+                layout.diagonal_blocks(fd).collect()
+            } else {
+                Vec::new()
+            },
+            i: 0,
+            remaining,
+        };
+
+        let sh = &shared;
+        let scope_result = p.pool.scope(|scope| {
+            for runner in 1..runners {
+                scope.spawn_pinned(move || runner_loop(sh, runner));
+            }
+            // The delivery loop may panic (observer code is arbitrary);
+            // runners must still be released before the scope can settle,
+            // so catch, cancel, then re-raise.
+            let body = catch_unwind(AssertUnwindSafe(|| {
+                let mut cur: Option<Cursor> = Some(home_cursor(sh, 0));
+                while dc.remaining > 0 {
+                    // 1) Deliver everything ready, in canonical order.
+                    let flow = deliver_ready(
+                        sh,
+                        &p,
+                        observer,
+                        &mut dc,
+                        &mut ck_hbus,
+                        &mut ck_vbus,
+                        &mut ck_corners,
+                        &mut best,
+                        &mut cells,
+                        &mut busy_slots,
+                        &mut diagonals_run,
+                        &mut striped_tiles,
+                        &mut fallback_tiles,
+                    );
+                    if flow.is_break() {
+                        aborted = true;
+                        break;
+                    }
+                    if dc.remaining == 0 {
+                        break;
+                    }
+                    if scope.panicked() {
+                        // A runner died; the scope will surface the panic
+                        // as WorkerPanic once we release the others.
+                        break;
+                    }
+                    // 2) Advance the caller's own strip by one block.
+                    match step(sh, 0, &mut cur) {
+                        Step::Computed => continue,
+                        Step::Blocked | Step::Idle | Step::Cancelled => {}
+                    }
+                    // 3) Nothing to compute: park briefly for runner
+                    //    completions (timeout bounds the wait so runner
+                    //    panics and publish-only progress are noticed).
+                    let co = sh.lock();
+                    let next_ready = dc.blocks.get(dc.i).is_some_and(|rc| co.done.contains_key(rc));
+                    if !next_ready && co.events.is_empty() && !co.cancel {
+                        drop(
+                            sh.cv_done
+                                .wait_timeout(co, Duration::from_millis(1))
+                                .unwrap_or_else(|e| e.into_inner())
+                                .0,
+                        );
+                    }
+                }
+            }));
+            // Release the runners whatever happened above, and drop any
+            // runner job that never reached a worker thread (the caller's
+            // drain skips pinned jobs, so they would pend forever).
+            sh.cancel_all();
+            scope.cancel_queued();
+            if let Err(payload) = body {
+                resume_unwind(payload);
+            }
+        });
+        scope_result?;
+
+        // Final event drain, so claims/publishes that raced the last
+        // delivery still reach the observer.
+        for ev in std::mem::take(&mut shared.lock().events) {
+            observer.on_strip_event(&ev);
+        }
+
+        let co = shared.lock();
+        let stats = StripStats {
+            strips,
+            batch_rows: p.plan.batch_rows,
+            steals: co.steals,
+            batches_published: co.batches,
+            runner_blocks: co.blocks.clone(),
+        };
+        drop(co);
+
+        Ok(RegionResult {
+            best,
+            cells,
+            diagonals_run,
+            aborted,
+            busy_slots,
+            hbus: ck_hbus,
+            vbus: ck_vbus,
+            layout,
+            striped_tiles,
+            fallback_tiles,
+            strip: Some(stats),
+        })
+    }
+
+    /// Deliver every finished block at the canonical frontier: apply it
+    /// to the shadow buses, update counters, notify the observer.
+    /// Returns `Break` when the observer aborts the launch.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_ready(
+        sh: &Shared<'_, '_>,
+        p: &Params<'_, '_>,
+        observer: &mut dyn WavefrontObserver,
+        dc: &mut DeliverCursor,
+        ck_hbus: &mut [CellHF],
+        ck_vbus: &mut [CellHE],
+        ck_corners: &mut [Score],
+        best: &mut Option<(Score, usize, usize)>,
+        cells: &mut u64,
+        busy_slots: &mut u64,
+        diagonals_run: &mut usize,
+        striped_tiles: &mut u64,
+        fallback_tiles: &mut u64,
+    ) -> ControlFlow<()> {
+        let layout = sh.layout;
+        let (br, bc) = (layout.block_rows, layout.block_cols);
+        loop {
+            // Forward protocol events as they surface.
+            let events = std::mem::take(&mut sh.lock().events);
+            for ev in &events {
+                observer.on_strip_event(ev);
+            }
+            if dc.remaining == 0 {
+                return ControlFlow::Continue(());
+            }
+            if dc.i == dc.blocks.len() {
+                // Diagonal complete: advance the frontier and refill.
+                dc.d += 1;
+                if dc.d >= dc.total_diagonals {
+                    return ControlFlow::Continue(());
+                }
+                dc.blocks = layout.diagonal_blocks(dc.d).collect();
+                dc.i = 0;
+                let mut co = sh.lock();
+                co.front = dc.d;
+                drop(co);
+                sh.cv_work.notify_all();
+                continue;
+            }
+            let (r, c) = dc.blocks[dc.i];
+            let Some(done) = sh.lock().done.remove(&(r, c)) else {
+                return ControlFlow::Continue(());
+            };
+            if dc.i == 0 {
+                // First delivery of this diagonal: checkpoint (state
+                // through the previous diagonal), then count it — the
+                // exact order of the serial engine.
+                if let Some(every) = p.checkpoint_every {
+                    if dc.d > p.first_diagonal
+                        && (dc.d - p.first_diagonal).is_multiple_of(every.max(1))
+                    {
+                        observer.on_checkpoint(&EngineState {
+                            fingerprint: EngineState::fingerprint_of(p.job),
+                            next_diagonal: dc.d,
+                            hbus: ck_hbus.to_vec(),
+                            vbus: ck_vbus.to_vec(),
+                            corners: ck_corners.to_vec(),
+                            best: *best,
+                            cells: *cells,
+                            busy_slots: *busy_slots,
+                            schedule: ScheduleInfo::Strips {
+                                strips: sh.strips as u32,
+                                batch_rows: sh.plan.batch_rows as u32,
+                            },
+                        });
+                    }
+                }
+                *diagonals_run += 1;
+                *busy_slots += dc.blocks.len() as u64;
+            }
+            let (rs, re) = layout.row_range(r);
+            let (cs, ce) = layout.col_range(c);
+            let width = (ce + 1).saturating_sub(cs);
+            let height = (re + 1).saturating_sub(rs);
+            ck_hbus[cs - 1..cs - 1 + width].copy_from_slice(&done.bottom);
+            ck_vbus[rs - 1..rs - 1 + height].copy_from_slice(&done.right);
+            ck_corners[(r + 1) * (bc + 1) + (c + 1)] = done.outcome.corner_out;
+            *cells += done.outcome.cells;
+            match done.outcome.path {
+                kernel::KernelPath::Striped => *striped_tiles += 1,
+                kernel::KernelPath::StripedFallback => *fallback_tiles += 1,
+                kernel::KernelPath::Scalar => {}
+            }
+            if let Some(cand) = done.outcome.best {
+                if best.is_none_or(|b| better_endpoint(cand, b)) {
+                    *best = Some(cand);
+                }
+            }
+            let coords = BlockCoords {
+                r,
+                c,
+                diagonal: dc.d,
+                rows: (rs, re),
+                cols: (cs, ce),
+                last_block_row: r + 1 == br,
+                last_block_col: c + 1 == bc,
+            };
+            dc.i += 1;
+            dc.remaining -= 1;
+            if observer.on_block(&coords, &done.outcome, &done.bottom, &done.right).is_break() {
+                return ControlFlow::Break(());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -966,6 +1948,77 @@ mod resume_tests {
             run_resumable(&j2, &mut NoObserver, Some(snap), None)
         }));
         assert!(result.is_err(), "foreign checkpoint must be rejected");
+    }
+
+    /// Strip-scheduled checkpoints carry their schedule provenance in a
+    /// self-identifying tailer; stripping it yields a pre-strip-era blob
+    /// that must still decode (as `Serial`) and resume correctly.
+    #[test]
+    fn schedule_provenance_roundtrips_and_old_blobs_decode() {
+        let a = lcg(7, 260);
+        let b = lcg(9, 240);
+        let j = job(&a, &b); // workers: 2 -> strip scheduler
+        let full = run_plain(&j);
+
+        let mut obs = Snapshots(Vec::new());
+        let _ = run_resumable(&j, &mut obs, None, Some(4));
+        let snap = obs.0.into_iter().next().expect("have a checkpoint");
+        let ScheduleInfo::Strips { strips, batch_rows } = snap.schedule else {
+            panic!("strip-scheduled run must stamp Strips provenance, got {:?}", snap.schedule);
+        };
+        assert!(strips >= 2);
+        assert_eq!(batch_rows as usize, DEFAULT_BATCH_ROWS);
+
+        // Round-trip keeps the provenance.
+        let bytes = snap.encode();
+        let restored = EngineState::decode(&bytes).expect("decode");
+        assert_eq!(restored, snap);
+
+        // An old-format blob — everything but the 12-byte tailer — still
+        // decodes; the schedule defaults to Serial and the engine payload
+        // is untouched.
+        let old = &bytes[..bytes.len() - 12];
+        let legacy = EngineState::decode(old).expect("old-format blob must decode");
+        assert_eq!(legacy.schedule, ScheduleInfo::Serial);
+        assert_eq!(legacy.next_diagonal, snap.next_diagonal);
+        assert_eq!(legacy.hbus, snap.hbus);
+        assert_eq!(legacy.vbus, snap.vbus);
+        assert_eq!(legacy.corners, snap.corners);
+
+        // ... and resuming from it reproduces the uninterrupted run.
+        let resumed = run_resumable(&j, &mut NoObserver, Some(legacy), None);
+        assert_eq!(resumed.best, full.best);
+        assert_eq!(resumed.hbus, full.hbus);
+        assert_eq!(resumed.cells, full.cells);
+
+        // A tailer truncated mid-way is corruption, not old format.
+        assert!(EngineState::decode(&bytes[..bytes.len() - 5]).is_none());
+    }
+
+    /// A snapshot taken under one worker count must resume under any
+    /// other: the strip plan is derived at launch, not persisted state.
+    #[test]
+    fn resume_with_different_worker_count_is_byte_identical() {
+        let a = lcg(11, 280);
+        let b = lcg(13, 300);
+        let j4 = RegionJob { workers: 4, ..job(&a, &b) };
+        let full = run_plain(&j4);
+
+        let mut obs = Snapshots(Vec::new());
+        let _ = run_resumable(&j4, &mut obs, None, Some(3));
+        let snapshots = obs.0;
+        assert!(snapshots.len() >= 2, "expected several checkpoints");
+        let mid = snapshots[snapshots.len() / 2].clone();
+
+        for workers in [1usize, 2, 3, 8] {
+            let j = RegionJob { workers, ..j4 };
+            let resumed = run_resumable(&j, &mut NoObserver, Some(mid.clone()), None);
+            assert_eq!(resumed.best, full.best, "workers={workers}");
+            assert_eq!(resumed.hbus, full.hbus, "workers={workers}");
+            assert_eq!(resumed.vbus, full.vbus, "workers={workers}");
+            assert_eq!(resumed.cells, full.cells, "workers={workers}");
+            assert_eq!(resumed.busy_slots, full.busy_slots, "workers={workers}");
+        }
     }
 
     #[test]

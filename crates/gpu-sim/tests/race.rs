@@ -112,6 +112,54 @@ fn seeded_reorder_fault_is_caught_and_output_unchanged() {
 }
 
 #[test]
+fn seeded_early_publish_fault_is_caught_and_output_unchanged() {
+    let _g = isolated();
+    let (a, b) = (dna(101, 96), dna(113, 96));
+    // workers = 4 over 4 block columns: the strip scheduler runs with four
+    // single-column strips and point-to-point publishes between them.
+    let j = job(&a, &b, 4);
+
+    let clean = run_plain(&j);
+    assert!(race::take_report().is_empty(), "baseline strip run must be clean");
+
+    // Publish block (2,1)'s border one block early: the fault replays the
+    // right neighbour (2,2)'s bus reads at the moment (2,1) is *about* to
+    // compute — i.e. before the border it consumes exists.
+    fault::arm_early_publish(2, 1);
+    let faulty = run_plain(&j);
+    fault::disarm();
+    let report = race::take_report();
+
+    // The fault lives only in the detector's shadow state.
+    assert_eq!(clean.best, faulty.best);
+    assert_eq!(clean.cells, faulty.cells);
+    assert_eq!(clean.hbus, faulty.hbus);
+    assert_eq!(clean.vbus, faulty.vbus);
+
+    // The neighbour's replayed reads see the wrong producer: its vertical
+    // bus still holds (2,0)'s cells, not (2,1)'s.
+    assert!(!report.is_empty(), "seeded early publish went undetected");
+    assert!(
+        report.iter().any(|v| v.kind == ViolationKind::WrongProducer
+            && v.r == 2
+            && v.c == 2
+            && v.diagonal == 4),
+        "no WrongProducer violation at the consumer (2,2)@d4:\n{}",
+        report.iter().map(|v| format!("  {v}\n")).collect::<String>()
+    );
+    // ... and the strip hand-off shadow counter catches the publish
+    // protocol itself: strip 1 has published zero rows when the replayed
+    // consumer crosses its boundary.
+    assert!(
+        report
+            .iter()
+            .any(|v| v.kind == ViolationKind::UnorderedRead && v.detail.contains("strip hand-off")),
+        "no strip hand-off UnorderedRead:\n{}",
+        report.iter().map(|v| format!("  {v}\n")).collect::<String>()
+    );
+}
+
+#[test]
 fn second_run_after_fault_is_clean_again() {
     let _g = isolated();
     let (a, b) = (dna(41, 96), dna(59, 96));

@@ -109,6 +109,52 @@ fn kill_at_random_diagonals_resumes_byte_identical() {
     }
 }
 
+/// Kill Stage 1 mid-strip under the column-strip scheduler, then resume
+/// with a *different* worker count: the checkpoint is schedule-agnostic
+/// (the strip plan is re-derived at launch), so the resumed run must be
+/// byte-identical whether it restarts serial, narrower, or wider.
+#[test]
+fn kill_mid_strip_resumes_under_any_worker_count() {
+    let _guard = fault::test_guard();
+    let _disarm = Disarm;
+    let (a, b) = edited_pair(47, 420, 17);
+    let reference = Pipeline::new(PipelineConfig::for_tests()).align(&a, &b).unwrap();
+    assert!(reference.best_score > 0, "torture pair must align");
+
+    for resume_workers in [1usize, 3, 8] {
+        let dir = fresh_dir(&format!("strip-kill-w{resume_workers}"));
+        let mut cfg = ckpt_cfg(&dir);
+        // The killed run uses 4 workers over the 4-column test grid: four
+        // strips in flight when the kill lands.
+        cfg.workers = 4;
+
+        fault::arm_stage1_kill(9);
+        let err = Pipeline::new(cfg.clone())
+            .align(&a, &b)
+            .expect_err("armed kill must interrupt the run");
+        match err {
+            PipelineError::Interrupted { .. } => {}
+            other => panic!("expected Interrupted, got {other}"),
+        }
+        fault::disarm_all();
+
+        cfg.workers = resume_workers;
+        let resumed = Pipeline::new(cfg).align(&a, &b).expect("resume after mid-strip kill");
+        assert_eq!(resumed.best_score, reference.best_score, "workers={resume_workers}");
+        assert_eq!(
+            resumed.binary.encode(),
+            reference.binary.encode(),
+            "resume with workers={resume_workers} must be byte-identical"
+        );
+        assert_eq!(resumed.transcript.ops(), reference.transcript.ops());
+        assert!(
+            resumed.stats.resumed_from_diagonal > 0,
+            "kill at diagonal 9 with 3-diagonal cadence must leave a snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Damage what the crash left behind — bit-flip one special-row file,
 /// truncate another — then resume. The damaged rows are rejected (counted,
 /// deleted, never decoded) and the pipeline still reaches the optimal
