@@ -54,6 +54,9 @@ pub const NO_WALLCLOCK: &str = "no-wallclock";
 pub const NON_EXHAUSTIVE_ERRORS: &str = "non-exhaustive-errors";
 /// Identifier of the "wall-clock only via the injected obs::Clock" rule.
 pub const CLOCK_INJECTION: &str = "clock-injection";
+/// Identifier of the "no bare thread::sleep outside sanctioned backoff
+/// helpers" rule.
+pub const SLEEP_INJECTION: &str = "sleep-injection";
 
 /// Static description of one rule in the registry.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +102,11 @@ pub fn rules() -> &'static [RuleInfo] {
             id: CLOCK_INJECTION,
             summary: "no Instant/SystemTime in cudalign outside obs.rs: sample time through \
                       the injected obs::Clock so runs trace deterministically",
+        },
+        RuleInfo {
+            id: SLEEP_INJECTION,
+            summary: "no bare std::thread::sleep outside cudalign::storage and gpu_sim::exec \
+                      (delays route through injectable hooks so tests never wait wall-clock)",
         },
     ]
 }
@@ -788,6 +796,37 @@ fn rule_clock_injection(ctx: &mut Ctx<'_>) {
     }
 }
 
+/// A blocking sleep is a wall-clock dependency in disguise: it stalls a
+/// worker lane for real time and makes fault/chaos tests slow and flaky.
+/// The two sanctioned homes are `cudalign::storage` (whose backoff sleep
+/// routes through the injectable `fault::backoff_sleep` hook) and
+/// `gpu_sim::exec` (the watchdog's condvar waits and pool internals).
+fn rule_sleep_injection(ctx: &mut Ctx<'_>) {
+    let path = ctx.scan.rel_path.as_str();
+    if path == "crates/cudalign/src/storage.rs"
+        || path == "crates/gpu-sim/src/exec.rs"
+        || is_vendored(path)
+    {
+        return;
+    }
+    for l in 0..ctx.scan.code.len() {
+        if ctx.scan.test_region[l] {
+            continue;
+        }
+        let line = ctx.scan.code[l].clone();
+        if !token_positions(&line, "thread::sleep", false).is_empty() {
+            ctx.report(
+                l,
+                SLEEP_INJECTION,
+                "bare thread::sleep outside cudalign::storage / gpu_sim::exec: route the \
+                 delay through storage::fault::backoff_sleep or a watchdog TimeSource so \
+                 tests don't wait real wall-clock"
+                    .into(),
+            );
+        }
+    }
+}
+
 fn rule_non_exhaustive_errors(ctx: &mut Ctx<'_>) {
     if is_vendored(&ctx.scan.rel_path) {
         return;
@@ -852,6 +891,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
     rule_safety_comment(&mut ctx);
     rule_no_wallclock(&mut ctx);
     rule_clock_injection(&mut ctx);
+    rule_sleep_injection(&mut ctx);
     rule_non_exhaustive_errors(&mut ctx);
     ctx.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     (ctx.findings, ctx.suppressed)

@@ -25,9 +25,14 @@ USAGE:
       --checkpoint-dir DIR    write stage-1 snapshots to DIR (resumes
                               automatically from an existing snapshot)
       --checkpoint-every N    snapshot cadence in external diagonals (default 64)
+      --deadline-ms N         abort the run (typed error, resumable) once
+                              N wall-clock milliseconds elapse
+      --cancel-after-diag N   cancel at stage-1 external diagonal N
+                              (deterministic cancellation for testing)
       --stats                 print per-stage statistics
       --trace FILE            write an NDJSON event trace of the run
-                              (spans, per-diagonal ticks, metrics dump)
+                              (spans, per-diagonal ticks, metrics dump,
+                              cancel/deadline/stall interrupt records)
       --progress              live progress line on stderr with
                               percent-complete and ETA (resume-aware)
 
@@ -101,6 +106,10 @@ pub struct AlignArgs {
     pub checkpoint_dir: Option<PathBuf>,
     /// Snapshot cadence in external diagonals.
     pub checkpoint_every: usize,
+    /// Abort the run after this many wall-clock milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Cancel the run at this stage-1 external diagonal.
+    pub cancel_after_diag: Option<usize>,
     /// Print statistics.
     pub stats: bool,
     /// Write an NDJSON event trace of the run to this path.
@@ -236,6 +245,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "gap-ext",
                     "checkpoint-dir",
                     "checkpoint-every",
+                    "deadline-ms",
+                    "cancel-after-diag",
                     "trace",
                 ],
                 &["stats", "middle-row-split", "no-orthogonal", "parallel-partitions", "progress"],
@@ -260,6 +271,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 ),
                 checkpoint_dir: opts.flags.get("checkpoint-dir").map(PathBuf::from),
                 checkpoint_every: get_num(&opts, "checkpoint-every")?.unwrap_or(64),
+                deadline_ms: get_num(&opts, "deadline-ms")?,
+                cancel_after_diag: get_num(&opts, "cancel-after-diag")?,
                 middle_row_split: opts.switches.iter().any(|s| s == "middle-row-split"),
                 no_orthogonal: opts.switches.iter().any(|s| s == "no-orthogonal"),
                 parallel_partitions: opts.switches.iter().any(|s| s == "parallel-partitions"),
@@ -406,6 +419,37 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let cmd = parse(&sv(&[
+            "align",
+            "a.fa",
+            "b.fa",
+            "--deadline-ms",
+            "1500",
+            "--cancel-after-diag",
+            "32",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Align(a) => {
+                assert_eq!(a.deadline_ms, Some(1500));
+                assert_eq!(a.cancel_after_diag, Some(32));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults stay off, bad values fail loudly.
+        match parse(&sv(&["align", "a.fa", "b.fa"])).unwrap() {
+            Command::Align(a) => {
+                assert_eq!(a.deadline_ms, None);
+                assert_eq!(a.cancel_after_diag, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&sv(&["align", "a", "b", "--deadline-ms", "soon"])).is_err());
+        assert!(parse(&sv(&["align", "a", "b", "--cancel-after-diag"])).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::args::{AlignArgs, DatasetArgs, GenerateArgs, ViewArgs};
 use cudalign::config::{CheckpointPolicy, SraBackend};
 use cudalign::obs::{Event, Obs, Progress, Recorder, TraceWriter};
-use cudalign::{stage6, BinaryAlignment, Pipeline, PipelineConfig};
+use cudalign::{stage6, BinaryAlignment, Pipeline, PipelineConfig, RunControl};
 use seqio::generate::{self, HomologyParams};
 use seqio::{fasta, DatasetRegistry};
 use std::fmt::Write as _;
@@ -114,7 +114,14 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
     if let Some(p) = progress.as_mut() {
         obs.add_recorder(p);
     }
-    let result = Pipeline::new(cfg).align_observed(s0.bases(), s1.bases(), &mut obs);
+    let mut ctrl = RunControl::unlimited();
+    if let Some(ms) = args.deadline_ms {
+        ctrl = ctrl.with_deadline_ms(ms);
+    }
+    if let Some(d) = args.cancel_after_diag {
+        ctrl = ctrl.with_cancel_after_diagonal(d);
+    }
+    let result = Pipeline::new(cfg).align_supervised(s0.bases(), s1.bases(), &mut obs, &ctrl);
     drop(obs);
     if let Some(p) = progress.as_mut() {
         p.clear();
@@ -495,6 +502,44 @@ mod tests {
     }
 
     #[test]
+    fn align_cancel_after_diag_yields_typed_error_and_resumes() {
+        let dir = tmpdir();
+        let prefix = dir.join("c");
+        generate(&GenerateArgs { kind: "strain".into(), len: 300, seed: 11, out: Some(prefix) })
+            .unwrap();
+        let args = |cancel: Option<usize>| AlignArgs {
+            a: dir.join("c-0.fasta"),
+            b: dir.join("c-1.fasta"),
+            out: None,
+            sra_bytes: None,
+            sca_bytes: None,
+            disk: None,
+            max_partition: None,
+            workers: Some(2),
+            scoring: (None, None, None, None),
+            checkpoint_dir: Some(dir.join("ckpt")),
+            checkpoint_every: 2,
+            deadline_ms: None,
+            cancel_after_diag: cancel,
+            middle_row_split: false,
+            no_orthogonal: false,
+            parallel_partitions: false,
+            stats: false,
+            trace: None,
+            progress: false,
+        };
+        let err = align(&args(Some(1))).unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+        assert!(err.contains("resume"), "{err}");
+        // Re-running without the trigger picks up the checkpoint and
+        // completes.
+        let out = align(&args(None)).unwrap();
+        assert!(out.contains("score"), "{out}");
+        assert!(out.contains("resumed stage 1 from checkpoint"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn align_with_custom_scoring() {
         let dir = tmpdir();
         let prefix = dir.join("p");
@@ -514,6 +559,8 @@ mod tests {
             scoring: (Some(2), Some(-1), Some(4), Some(1)),
             checkpoint_dir: None,
             checkpoint_every: 64,
+            deadline_ms: None,
+            cancel_after_diag: None,
             middle_row_split: true,
             no_orthogonal: true,
             parallel_partitions: true,

@@ -62,11 +62,13 @@ pub mod stage4;
 pub mod stage5;
 pub mod stage6;
 pub mod storage;
+pub mod supervise;
 
 pub use binary::BinaryAlignment;
 pub use config::PipelineConfig;
 pub use crosspoint::{Crosspoint, CrosspointChain, Partition};
-pub use gpu_sim::{ExecError, PoolStats, WorkerPool};
+pub use gpu_sim::{CancelCause, CancelToken, ExecError, PoolStats, WorkerPool};
 pub use obs::{Event, Metrics, Obs, Progress, Recorder, TraceWriter};
 pub use pipeline::{Pipeline, PipelineError, PipelineResult, PipelineStats, StageError};
 pub use storage::StorageError;
+pub use supervise::RunControl;

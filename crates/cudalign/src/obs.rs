@@ -42,6 +42,8 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 // ---------------------------------------------------------------------------
@@ -121,6 +123,41 @@ impl ManualClock {
 impl Clock for ManualClock {
     fn now(&self) -> Duration {
         self.now.get()
+    }
+}
+
+/// A hand-cranked clock that is `Send + Sync + Clone` — the supervision
+/// tests' counterpart to [`ManualClock`] (whose `Cell` is not `Sync`).
+///
+/// Clones share one atomic nanosecond counter, so a test can hold one
+/// clone, hand a second to [`Obs`], and derive the watchdog's time
+/// source from a third; advancing any of them advances the run's whole
+/// notion of time.
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SharedClock {
+    /// A shared clock starting at zero.
+    pub fn new() -> Self {
+        SharedClock::default()
+    }
+
+    /// Set the absolute time. Callers are responsible for monotonicity.
+    pub fn set(&self, t: Duration) {
+        self.nanos.store(t.as_nanos() as u64, Ordering::Release);
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::AcqRel);
+    }
+}
+
+impl Clock for SharedClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Acquire))
     }
 }
 
@@ -264,6 +301,36 @@ pub enum Event {
         diagonal: usize,
         /// Whether the snapshot was persisted.
         ok: bool,
+    },
+    /// The run was interrupted — cancelled, past its deadline, or
+    /// stalled. Terminal diagnostic: the pipeline returns the matching
+    /// typed error immediately after emitting it, so an interrupted
+    /// trace ends with this record (plus an optional [`Event::StallDiag`])
+    /// instead of `run_end`.
+    Interrupt {
+        /// Stage that observed the interruption, 1..=6.
+        stage: u8,
+        /// `"cancelled"`, `"deadline"`, or `"stalled"`.
+        kind: &'static str,
+        /// External diagonal the run can resume from (stage 1), else 0.
+        diagonal: usize,
+        /// Time from the cancel signal to the run unwinding, in
+        /// milliseconds on the supervisor's clock (0 when unknown).
+        latency_ms: f64,
+    },
+    /// Strip-scheduler coordination snapshot attached to a stall
+    /// diagnosis: where every strip and runner was when the run stopped.
+    StallDiag {
+        /// Stage that owned the strip launch (currently always 1).
+        stage: u8,
+        /// Delivery frontier (external diagonal) at teardown.
+        front: usize,
+        /// Per strip: block rows published to the right neighbour.
+        published: Vec<usize>,
+        /// Per runner: strips claimed (first claim = home, rest steals).
+        claims: Vec<u64>,
+        /// Per runner: blocks computed.
+        blocks: Vec<u64>,
     },
     /// Final dump of the metrics registry (see [`Metrics::to_event`]).
     Metrics {
@@ -578,6 +645,39 @@ fn encode_record(t: Duration, ev: &Event) -> String {
         Event::Checkpoint { diagonal, ok } => {
             let _ = write!(s, ",\"ev\":\"checkpoint\",\"diagonal\":{diagonal},\"ok\":{ok}");
         }
+        Event::Interrupt { stage, kind, diagonal, latency_ms } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"interrupt\",\"stage\":{stage},\"kind\":\"{}\",\"diagonal\":{diagonal},\"latency_ms\":{}",
+                json_escape(kind),
+                json_f64(*latency_ms)
+            );
+        }
+        Event::StallDiag { stage, front, published, claims, blocks } => {
+            let _ = write!(s, ",\"ev\":\"stall_diag\",\"stage\":{stage},\"front\":{front}");
+            s.push_str(",\"published\":[");
+            for (i, v) in published.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{v}");
+            }
+            s.push_str("],\"claims\":[");
+            for (i, v) in claims.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{v}");
+            }
+            s.push_str("],\"blocks\":[");
+            for (i, v) in blocks.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{v}");
+            }
+            s.push(']');
+        }
         Event::Metrics { counters, gauges } => {
             s.push_str(",\"ev\":\"metrics\",\"counters\":{");
             for (i, (k, v)) in counters.iter().enumerate() {
@@ -760,6 +860,14 @@ impl Json {
     pub fn entries(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
             _ => None,
         }
     }
@@ -953,6 +1061,8 @@ pub struct TraceCheck {
     pub strip_steals: usize,
     /// `strip_steal` records total (home claims + steals).
     pub strip_claims: usize,
+    /// `interrupt` records seen (cancel / deadline / stall diagnoses).
+    pub interrupts: usize,
 }
 
 struct TraceState {
@@ -1149,6 +1259,38 @@ fn validate_record(st: &mut TraceState, line: &str) -> Result<(), String> {
             }
             req_num(&obj, "diagonal")?;
             obj.get("ok").and_then(Json::bool_val).ok_or("missing or non-bool \"ok\" field")?;
+        }
+        "interrupt" => {
+            // Interruption is terminal and may surface inside or after a
+            // stage span (the interrupted stage never emits stage_end),
+            // so only the stage *number* is validated, not span nesting.
+            req_stage(&obj)?;
+            let kind = obj
+                .get("kind")
+                .and_then(Json::str_val)
+                .ok_or("missing or non-string \"kind\" field")?;
+            if !matches!(kind, "cancelled" | "deadline" | "stalled") {
+                return Err(format!("unknown interrupt kind {kind:?}"));
+            }
+            req_num(&obj, "diagonal")?;
+            let latency = req_num(&obj, "latency_ms")?;
+            if latency < 0.0 {
+                return Err(format!("negative latency_ms {latency}"));
+            }
+            st.check.interrupts += 1;
+        }
+        "stall_diag" => {
+            req_stage(&obj)?;
+            req_num(&obj, "front")?;
+            for key in ["published", "claims", "blocks"] {
+                let items = obj
+                    .get(key)
+                    .and_then(Json::arr)
+                    .ok_or_else(|| format!("missing or non-array {key:?} field"))?;
+                if let Some(bad) = items.iter().find(|v| v.num().is_none()) {
+                    return Err(format!("non-numeric entry {bad:?} in {key:?}"));
+                }
+            }
         }
         "metrics" => {
             for section in ["counters", "gauges"] {
@@ -1378,6 +1520,78 @@ mod tests {
         assert_eq!(tw.records(), 0);
         assert!(tw.error().is_some_and(|e| e.contains("disk full")));
         assert!(tw.finish().is_err());
+    }
+
+    #[test]
+    fn interrupted_trace_validates_without_run_end() {
+        let clk = ManualClock::new();
+        let mut tw = TraceWriter::new(Vec::new());
+        {
+            let mut obs = Obs::with_clock(Box::new(&clk));
+            obs.add_recorder(&mut tw);
+            obs.emit(Event::RunBegin {
+                m: 64,
+                n: 48,
+                total_diagonals: 10,
+                resumed_from_diagonal: 0,
+            });
+            obs.emit(Event::StageBegin { stage: 1 });
+            clk.advance(Duration::from_millis(40));
+            obs.emit(Event::Diagonal { stage: 1, done: 3, total: 10 });
+            obs.emit(Event::Interrupt { stage: 1, kind: "stalled", diagonal: 3, latency_ms: 12.5 });
+            obs.emit(Event::StallDiag {
+                stage: 1,
+                front: 3,
+                published: vec![4, 3, 0],
+                claims: vec![2, 1],
+                blocks: vec![9, 5],
+            });
+        }
+        let text = String::from_utf8(tw.finish().unwrap()).unwrap();
+        let check = validate_trace(&text).unwrap();
+        assert!(!check.ended, "interrupted trace must not count as ended");
+        assert_eq!(check.interrupts, 1);
+        // The arrays survive the round trip through the encoder.
+        let diag = text.lines().find(|l| l.contains("stall_diag")).unwrap();
+        let v = parse_json(diag).unwrap();
+        assert_eq!(v.get("published").and_then(Json::arr).map(<[Json]>::len), Some(3));
+        assert_eq!(v.get("claims").and_then(Json::arr).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("front").and_then(Json::num), Some(3.0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_interrupt_records() {
+        let head = "{\"t\":0,\"ev\":\"run_begin\",\"m\":1,\"n\":1,\"total_diagonals\":1,\"resumed_from_diagonal\":0}";
+        let bad_kind = format!(
+            "{head}\n{{\"t\":1,\"ev\":\"interrupt\",\"stage\":1,\"kind\":\"bored\",\"diagonal\":0,\"latency_ms\":0}}"
+        );
+        assert!(validate_trace(&bad_kind).unwrap_err().contains("unknown interrupt kind"));
+        let neg_latency = format!(
+            "{head}\n{{\"t\":1,\"ev\":\"interrupt\",\"stage\":1,\"kind\":\"deadline\",\"diagonal\":0,\"latency_ms\":-3}}"
+        );
+        assert!(validate_trace(&neg_latency).unwrap_err().contains("negative latency_ms"));
+        let bad_diag = format!(
+            "{head}\n{{\"t\":1,\"ev\":\"stall_diag\",\"stage\":1,\"front\":0,\"published\":[1,\"x\"],\"claims\":[],\"blocks\":[]}}"
+        );
+        assert!(validate_trace(&bad_diag).unwrap_err().contains("non-numeric"));
+        let missing_arr = format!(
+            "{head}\n{{\"t\":1,\"ev\":\"stall_diag\",\"stage\":1,\"front\":0,\"published\":[],\"claims\":[]}}"
+        );
+        assert!(validate_trace(&missing_arr).unwrap_err().contains("blocks"));
+    }
+
+    #[test]
+    fn shared_clock_clones_share_time_across_threads() {
+        let clk = SharedClock::new();
+        let obs = Obs::with_clock(Box::new(clk.clone()));
+        assert_eq!(obs.now(), Duration::ZERO);
+        let remote = clk.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || remote.advance(Duration::from_millis(300)));
+        });
+        assert_eq!(obs.now(), Duration::from_millis(300));
+        clk.set(Duration::from_secs(2));
+        assert_eq!(clk.now(), Duration::from_secs(2));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::obs::{Event, Metrics, Obs};
 use crate::sra::{LineStore, StoreStats};
 use crate::stage4::IterationStats;
 use crate::storage::{self, StorageError};
+use crate::supervise::RunControl;
 use crate::{stage1, stage2, stage3, stage4, stage5};
 use gpu_sim::{ExecError, PoolStats, WorkerPool};
 use std::sync::Arc;
@@ -39,6 +40,42 @@ pub enum StageError {
         /// External diagonal the wavefront had reached.
         diagonal: usize,
     },
+    /// The run was cancelled on request (API call, CLI flag, signal).
+    /// With checkpointing on, the engine flushed a boundary snapshot
+    /// before unwinding — resume continues from `diagonal`.
+    Cancelled {
+        /// External diagonal the run can resume from (0 outside stage 1).
+        diagonal: usize,
+    },
+    /// The run's wall-clock deadline expired (watchdog-driven).
+    DeadlineExceeded {
+        /// External diagonal the run can resume from (0 outside stage 1).
+        diagonal: usize,
+        /// The deadline budget that expired, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The stall watchdog saw no forward progress within its budget.
+    Stalled {
+        /// External diagonal the run can resume from (0 outside stage 1).
+        diagonal: usize,
+        /// The stall budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl StageError {
+    /// Is this an interruption (cancel / deadline / stall / simulated
+    /// kill) rather than a genuine failure? Interrupted runs are fully
+    /// resumable; nothing is wrong with the pipeline itself.
+    pub fn is_interruption(&self) -> bool {
+        matches!(
+            self,
+            StageError::Interrupted { .. }
+                | StageError::Cancelled { .. }
+                | StageError::DeadlineExceeded { .. }
+                | StageError::Stalled { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for StageError {
@@ -49,6 +86,21 @@ impl std::fmt::Display for StageError {
             StageError::Storage(e) => write!(f, "{e}"),
             StageError::Interrupted { diagonal } => {
                 write!(f, "stage interrupted at external diagonal {diagonal}")
+            }
+            StageError::Cancelled { diagonal } => {
+                write!(f, "stage cancelled at external diagonal {diagonal}")
+            }
+            StageError::DeadlineExceeded { diagonal, budget_ms } => {
+                write!(
+                    f,
+                    "stage exceeded its {budget_ms} ms deadline at external diagonal {diagonal}"
+                )
+            }
+            StageError::Stalled { diagonal, budget_ms } => {
+                write!(
+                    f,
+                    "stage stalled (no progress within {budget_ms} ms) at external diagonal {diagonal}"
+                )
             }
         }
     }
@@ -99,6 +151,68 @@ pub enum PipelineError {
         /// External diagonal the wavefront had reached.
         diagonal: usize,
     },
+    /// The run was cancelled on request via [`crate::supervise::RunControl`].
+    /// The engine flushed a boundary checkpoint before unwinding (when
+    /// checkpointing is on), so rerunning resumes from `diagonal`.
+    Cancelled {
+        /// External diagonal the run can resume from (0 outside stage 1).
+        diagonal: usize,
+    },
+    /// The run's wall-clock deadline expired.
+    DeadlineExceeded {
+        /// External diagonal the run can resume from (0 outside stage 1).
+        diagonal: usize,
+        /// The deadline budget that expired, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The stall watchdog saw no forward progress within its budget.
+    Stalled {
+        /// External diagonal the run can resume from (0 outside stage 1).
+        diagonal: usize,
+        /// The stall budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl PipelineError {
+    /// Is this an interruption (cancel / deadline / stall / simulated
+    /// kill) rather than a genuine failure? Interrupted runs are fully
+    /// resumable: rerunning the same pipeline continues (or restarts)
+    /// correctly and yields a byte-identical result.
+    pub fn is_interruption(&self) -> bool {
+        matches!(
+            self,
+            PipelineError::Interrupted { .. }
+                | PipelineError::Cancelled { .. }
+                | PipelineError::DeadlineExceeded { .. }
+                | PipelineError::Stalled { .. }
+        )
+    }
+
+    /// The trace's interrupt `kind` discriminator for supervised
+    /// interruptions (`None` for ordinary failures and for the legacy
+    /// simulated-kill [`PipelineError::Interrupted`], which predates the
+    /// supervision layer and keeps its quiet trace).
+    pub fn interruption_kind(&self) -> Option<&'static str> {
+        match self {
+            PipelineError::Cancelled { .. } => Some("cancelled"),
+            PipelineError::DeadlineExceeded { .. } => Some("deadline"),
+            PipelineError::Stalled { .. } => Some("stalled"),
+            _ => None,
+        }
+    }
+
+    /// The external diagonal a resumed run continues from, for
+    /// interruption errors.
+    pub fn resume_diagonal(&self) -> Option<usize> {
+        match self {
+            PipelineError::Interrupted { diagonal }
+            | PipelineError::Cancelled { diagonal }
+            | PipelineError::DeadlineExceeded { diagonal, .. }
+            | PipelineError::Stalled { diagonal, .. } => Some(*diagonal),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -111,6 +225,21 @@ impl std::fmt::Display for PipelineError {
                 write!(
                     f,
                     "pipeline interrupted at external diagonal {diagonal} (resume to continue)"
+                )
+            }
+            PipelineError::Cancelled { diagonal } => {
+                write!(f, "pipeline cancelled at external diagonal {diagonal} (resume to continue)")
+            }
+            PipelineError::DeadlineExceeded { diagonal, budget_ms } => {
+                write!(
+                    f,
+                    "pipeline exceeded its {budget_ms} ms deadline at external diagonal {diagonal} (resume to continue)"
+                )
+            }
+            PipelineError::Stalled { diagonal, budget_ms } => {
+                write!(
+                    f,
+                    "pipeline stalled (no progress within {budget_ms} ms) at external diagonal {diagonal} (resume to continue)"
                 )
             }
         }
@@ -126,6 +255,13 @@ impl From<StageError> for PipelineError {
             StageError::Worker(s) => PipelineError::Worker(s),
             StageError::Storage(e) => PipelineError::Io(e.to_string()),
             StageError::Interrupted { diagonal } => PipelineError::Interrupted { diagonal },
+            StageError::Cancelled { diagonal } => PipelineError::Cancelled { diagonal },
+            StageError::DeadlineExceeded { diagonal, budget_ms } => {
+                PipelineError::DeadlineExceeded { diagonal, budget_ms }
+            }
+            StageError::Stalled { diagonal, budget_ms } => {
+                PipelineError::Stalled { diagonal, budget_ms }
+            }
         }
     }
 }
@@ -206,6 +342,14 @@ pub struct PipelineStats {
     /// Tiles that attempted the striped kernel but re-ran on the scalar
     /// `i32` kernel after `i16` overflow.
     pub kernel_fallback_tiles: u64,
+    /// Supervised interruptions (cancel / deadline / stall) recorded on
+    /// this run's metrics registry. Non-zero only when the caller reuses
+    /// one [`Obs`] across an interrupted run and its resume — the
+    /// resumed run's stats then carry the interruption history.
+    pub interruptions: u64,
+    /// Milliseconds from the last cancel signal to the run unwinding
+    /// (time-to-cancel latency on the supervisor's clock).
+    pub cancel_latency_ms: f64,
     /// Total wall-clock seconds.
     pub total_seconds: f64,
 }
@@ -315,6 +459,42 @@ impl Pipeline {
         s1: &[u8],
         obs: &mut Obs<'_>,
     ) -> Result<PipelineResult, PipelineError> {
+        self.align_with_control(s0, s1, obs, &RunControl::unlimited())
+    }
+
+    /// [`Pipeline::align_observed`] under a supervision policy.
+    ///
+    /// The [`RunControl`]'s cancel token is threaded through all six
+    /// stages and the wavefront engine; its deadline/stall budgets are
+    /// enforced by a watchdog thread spawned for the duration of this
+    /// call (and joined before it returns — a supervised run never leaks
+    /// a thread). An interruption surfaces as a typed
+    /// [`PipelineError::Cancelled`] / [`PipelineError::DeadlineExceeded`]
+    /// / [`PipelineError::Stalled`] — never a partial score — after
+    /// emitting an [`Event::Interrupt`] record (plus an
+    /// [`Event::StallDiag`] snapshot when the strip scheduler was torn
+    /// down) and bumping the `supervise.*` metrics. With checkpointing
+    /// configured, the engine flushes a boundary snapshot before
+    /// unwinding, so rerunning the pipeline resumes from the reported
+    /// diagonal and produces a byte-identical result.
+    pub fn align_supervised(
+        &self,
+        s0: &[u8],
+        s1: &[u8],
+        obs: &mut Obs<'_>,
+        ctrl: &RunControl,
+    ) -> Result<PipelineResult, PipelineError> {
+        let _watchdog = ctrl.spawn_watchdog();
+        self.align_with_control(s0, s1, obs, ctrl)
+    }
+
+    fn align_with_control(
+        &self,
+        s0: &[u8],
+        s1: &[u8],
+        obs: &mut Obs<'_>,
+        ctrl: &RunControl,
+    ) -> Result<PipelineResult, PipelineError> {
         let cfg = &self.cfg;
         let pool = &*self.pool;
         let pool_before = pool.stats();
@@ -369,10 +549,13 @@ impl Pipeline {
         obs.emit(Event::StageBegin { stage: 1 });
         let t = obs.now();
         let s1r = match &cfg.checkpoint {
-            None => stage1::run_observed(s0, s1, cfg, pool, &mut rows, None, None, obs)?,
+            None => {
+                let r = stage1::run_supervised(s0, s1, cfg, pool, &mut rows, None, None, obs, ctrl);
+                r.map_err(|e| note_interruption(obs, ctrl, 1, e))?
+            }
             Some(ck) => {
                 storage::ensure_dir(&ck.dir).map_err(|e| PipelineError::Io(e.to_string()))?;
-                let r = stage1::run_observed(
+                let r = stage1::run_supervised(
                     s0,
                     s1,
                     cfg,
@@ -381,7 +564,9 @@ impl Pipeline {
                     resume_state,
                     Some((ck.dir.as_path(), ck.every_diagonals)),
                     obs,
-                )?;
+                    ctrl,
+                );
+                let r = r.map_err(|e| note_interruption(obs, ctrl, 1, e))?;
                 storage::remove_file_quiet(&ck.dir.join("stage1.ckpt"));
                 r
             }
@@ -440,7 +625,7 @@ impl Pipeline {
         // matching procedure simply spans a larger area.
         obs.emit(Event::StageBegin { stage: 2 });
         let t = obs.now();
-        let s2r = stage2::run_traced(
+        let s2r = stage2::run_supervised(
             s0,
             s1,
             cfg,
@@ -450,7 +635,9 @@ impl Pipeline {
             &mut rows,
             &mut cols,
             obs,
-        )?;
+            ctrl,
+        );
+        let s2r = s2r.map_err(|e| note_interruption(obs, ctrl, 2, e))?;
         let seconds = obs.now().saturating_sub(t).as_secs_f64();
         obs.emit(Event::StageEnd { stage: 2, seconds, cells: s2r.cells });
         obs.metrics.set_gauge("stage2.seconds", seconds);
@@ -469,7 +656,8 @@ impl Pipeline {
         // are skipped and counted; their partitions stay coarse).
         obs.emit(Event::StageBegin { stage: 3 });
         let t = obs.now();
-        let s3r = stage3::run_traced(s0, s1, cfg, pool, &s2r.chain, &cols, obs)?;
+        let s3r = stage3::run_supervised(s0, s1, cfg, pool, &s2r.chain, &cols, obs, ctrl);
+        let s3r = s3r.map_err(|e| note_interruption(obs, ctrl, 3, e))?;
         let seconds = obs.now().saturating_sub(t).as_secs_f64();
         obs.emit(Event::StageEnd { stage: 3, seconds, cells: s3r.cells });
         obs.metrics.set_gauge("stage3.seconds", seconds);
@@ -486,7 +674,8 @@ impl Pipeline {
         // Stage 4: Myers-Miller until partitions fit.
         obs.emit(Event::StageBegin { stage: 4 });
         let t = obs.now();
-        let s4r = stage4::run_traced(s0, s1, cfg, pool, &s3r.chain, obs)?;
+        let s4r = stage4::run_supervised(s0, s1, cfg, pool, &s3r.chain, obs, ctrl);
+        let s4r = s4r.map_err(|e| note_interruption(obs, ctrl, 4, e))?;
         let seconds = obs.now().saturating_sub(t).as_secs_f64();
         obs.emit(Event::StageEnd { stage: 4, seconds, cells: s4r.cells });
         obs.metrics.set_gauge("stage4.seconds", seconds);
@@ -497,7 +686,8 @@ impl Pipeline {
         // Stage 5: solve and concatenate.
         obs.emit(Event::StageBegin { stage: 5 });
         let t = obs.now();
-        let s5r = stage5::run_traced(s0, s1, cfg, pool, &s4r.chain, obs)?;
+        let s5r = stage5::run_supervised(s0, s1, cfg, pool, &s4r.chain, obs, ctrl);
+        let s5r = s5r.map_err(|e| note_interruption(obs, ctrl, 5, e))?;
         let seconds = obs.now().saturating_sub(t).as_secs_f64();
         obs.emit(Event::StageEnd { stage: 5, seconds, cells: s5r.cells });
         obs.metrics.set_gauge("stage5.seconds", seconds);
@@ -537,6 +727,49 @@ impl Pipeline {
             stats,
         })
     }
+}
+
+/// Record a stage failure's supervision footprint and convert it.
+///
+/// Ordinary failures (and the legacy simulated-kill `Interrupted`) pass
+/// through untouched. Supervised interruptions — cancel, deadline, stall
+/// — additionally bump the `supervise.*` metrics, emit an
+/// [`Event::Interrupt`] record with the time-to-cancel latency, and
+/// surface the strip scheduler's parked [`gpu_sim::StripDiag`] snapshot
+/// (per-strip published/claimed counters) as an [`Event::StallDiag`]
+/// record, so a stalled run's trace shows *where* it was stuck.
+fn note_interruption(
+    obs: &mut Obs<'_>,
+    ctrl: &RunControl,
+    stage: u8,
+    e: StageError,
+) -> PipelineError {
+    let pe = PipelineError::from(e);
+    if let Some(kind) = pe.interruption_kind() {
+        let diagonal = pe.resume_diagonal().unwrap_or(0);
+        let latency_ms = ctrl.cancel_latency_ms();
+        obs.metrics.inc("supervise.interrupts", 1);
+        obs.metrics.inc(
+            match kind {
+                "deadline" => "supervise.deadline",
+                "stalled" => "supervise.stalled",
+                _ => "supervise.cancelled",
+            },
+            1,
+        );
+        obs.metrics.set_gauge("supervise.cancel_latency_ms", latency_ms);
+        obs.emit(Event::Interrupt { stage, kind, diagonal, latency_ms });
+        if let Some(d) = ctrl.token().take_strip_diag() {
+            obs.emit(Event::StallDiag {
+                stage,
+                front: d.front,
+                published: d.published,
+                claims: d.claims,
+                blocks: d.blocks,
+            });
+        }
+    }
+    pe
 }
 
 /// Fold the storage-health counters of the row and column stores into the
@@ -620,6 +853,8 @@ fn fill_scalar_stats(stats: &mut PipelineStats, m: &Metrics) {
     stats.kernel_striped_tiles = m.get("kernel.striped_tiles");
     stats.kernel_fallback_tiles = m.get("kernel.fallback_tiles");
     stats.binary_bytes = m.get("binary.bytes") as usize;
+    stats.interruptions = m.get("supervise.interrupts");
+    stats.cancel_latency_ms = m.gauge("supervise.cancel_latency_ms");
     stats.total_seconds = m.gauge("total.seconds");
 }
 
@@ -776,6 +1011,7 @@ mod tests {
             tasks: 20,
             inline_tasks: 0,
             pinned_tasks: 0,
+            cancelled_tasks: 0,
             busy_ratio: 0.5,
             busy_permille: 5_000,
         };
@@ -785,6 +1021,7 @@ mod tests {
             tasks: 31,
             inline_tasks: 0,
             pinned_tasks: 0,
+            cancelled_tasks: 0,
             busy_ratio: 0.64,
             busy_permille: 9_000,
         };
@@ -828,6 +1065,44 @@ mod tests {
                 st.pool_busy_ratio
             );
         }
+    }
+
+    /// Satellite regression: two pipelines share one pool, one run is
+    /// cancelled mid-flight. The survivor must still produce the optimal
+    /// score, the cancelled run must return a typed interruption (not a
+    /// partial score), and the shared pool's accounting must not leak —
+    /// utilization stays within `[0, 1]` and later runs see a clean pool.
+    #[test]
+    fn shared_pool_one_run_cancelled_does_not_poison_the_other() {
+        use crate::supervise::RunControl;
+        let pool = Arc::new(WorkerPool::new(2));
+        let (a, b) = related(21, 320);
+        let (c, d) = related(22, 320);
+        let p1 = Pipeline::with_pool(PipelineConfig::for_tests(), Arc::clone(&pool));
+        let p2 = Pipeline::with_pool(PipelineConfig::for_tests(), Arc::clone(&pool));
+        let ctrl = RunControl::unlimited().with_cancel_after_diagonal(2);
+        let (r1, r2) = std::thread::scope(|s| {
+            let ctrl = &ctrl;
+            let h1 = s.spawn(move || {
+                p1.align_supervised(&a, &b, &mut Obs::new(), ctrl)
+                    .expect_err("cancelled run must not return a result")
+            });
+            let h2 = s.spawn(|| p2.align(&c, &d).unwrap());
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        assert!(r1.is_interruption(), "typed interruption, got {r1:?}");
+        assert!(matches!(r1, PipelineError::Cancelled { .. }), "{r1:?}");
+        let (ref_score, _) = sw_local_score(&c, &d, &Scoring::paper());
+        assert_eq!(r2.best_score, ref_score, "survivor must stay optimal");
+        assert!((0.0..=1.0).contains(&r2.stats.pool_busy_ratio));
+        // The pool is reusable after the torn-down run: a fresh run on
+        // the same pool completes and reports bounded utilization.
+        let (e, f) = related(23, 260);
+        let p3 = Pipeline::with_pool(PipelineConfig::for_tests(), Arc::clone(&pool));
+        let r3 = p3.align(&e, &f).unwrap();
+        let (ref3, _) = sw_local_score(&e, &f, &Scoring::paper());
+        assert_eq!(r3.best_score, ref3);
+        assert!((0.0..=1.0).contains(&r3.stats.pool_busy_ratio));
     }
 
     /// The stats report and the metrics registry are the same numbers:

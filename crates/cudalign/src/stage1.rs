@@ -12,6 +12,7 @@ use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use crate::sra::{self, LineStore};
 use crate::storage;
+use crate::supervise::RunControl;
 use gpu_sim::wavefront::{self, RegionJob};
 use gpu_sim::{BlockCoords, CellHE, CellHF, Mode, TileOutcome, WorkerPool};
 use std::ops::ControlFlow;
@@ -54,6 +55,9 @@ pub struct Stage1Result {
 struct Stage1Observer<'s, 'o> {
     rows: &'s mut LineStore<CellHF>,
     obs: &'s mut Obs<'o>,
+    /// The run's supervision policy: the cancel-after-diagonal trigger
+    /// fires through it so the cancel is stamped on the supervisor clock.
+    ctrl: &'s RunControl,
     flush_every: usize,
     block_height: usize,
     m: usize,
@@ -101,6 +105,14 @@ impl gpu_sim::WavefrontObserver for Stage1Observer<'_, '_> {
         if let Some(k) = storage::fault::stage1_kill() {
             if block.diagonal >= k {
                 return ControlFlow::Break(());
+            }
+        }
+        // Deterministic cancel trigger (`--cancel-after-diag`): cancel the
+        // TOKEN instead of breaking, so the engine takes its unified
+        // cancellation path — boundary checkpoint flush included.
+        if let Some(k) = self.ctrl.cancel_after_diagonal() {
+            if block.diagonal >= k && !self.ctrl.is_cancelled() {
+                self.ctrl.cancel();
             }
         }
         // Per-external-diagonal progress tick: `on_block` runs on the
@@ -271,6 +283,28 @@ pub fn run_observed(
     checkpoint: Option<(&std::path::Path, usize)>,
     obs: &mut Obs<'_>,
 ) -> Result<Stage1Result, StageError> {
+    run_supervised(s0, s1, cfg, pool, rows, resume, checkpoint, obs, &RunControl::unlimited())
+}
+
+/// [`run_observed`] under a supervision policy: the control's cancel
+/// token is threaded into the wavefront engine (both schedulers poll it
+/// and beat its heartbeat), the cancel-after-diagonal trigger fires from
+/// the observer, and an interrupted run surfaces as the typed
+/// [`StageError`] for the winning cancel cause — with a boundary
+/// checkpoint flushed first when checkpointing is on, so the
+/// cancellation is always resumable.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    rows: &mut LineStore<CellHF>,
+    resume: Option<gpu_sim::wavefront::EngineState>,
+    checkpoint: Option<(&std::path::Path, usize)>,
+    obs: &mut Obs<'_>,
+    ctrl: &RunControl,
+) -> Result<Stage1Result, StageError> {
     let (m, n) = (s0.len(), s1.len());
     let block_height = cfg.grid1.block_height();
     let flush_every = sra::flush_interval(m, n, block_height, cfg.sra_bytes);
@@ -303,6 +337,7 @@ pub fn run_observed(
     let mut observer = Stage1Observer {
         rows,
         obs,
+        ctrl,
         flush_every,
         block_height,
         m,
@@ -313,17 +348,27 @@ pub fn run_observed(
         last_diagonal: None,
         inflight: std::collections::BTreeSet::new(),
     };
-    let res = wavefront::run_resumable_pooled(pool, &job, &mut observer, resume, checkpoint_every)?;
+    let res = wavefront::run_supervised(
+        pool,
+        &job,
+        &mut observer,
+        resume,
+        checkpoint_every,
+        Some(ctrl.token()),
+    )?;
     let checkpoint_failures = observer.ckpt_failures;
 
     if res.aborted {
-        // The observer broke out of the wavefront (a simulated kill). The
-        // partial best score MUST NOT leak out as a result — that would be
-        // a silently wrong alignment. Surface a typed error; with
-        // checkpointing on, the caller resumes from the last snapshot.
-        return Err(StageError::Interrupted {
-            diagonal: resumed_from_diagonal + res.diagonals_run,
-        });
+        // The wavefront stopped early: either the cancel token fired
+        // (request / deadline / stall — the engine flushed a boundary
+        // checkpoint first) or the observer broke out (a simulated kill).
+        // The partial best score MUST NOT leak out as a result — that
+        // would be a silently wrong alignment. Surface the typed error
+        // for the winning cause; with checkpointing on, the caller
+        // resumes from the last snapshot.
+        let diagonal = resumed_from_diagonal + res.diagonals_run;
+        ctrl.check(diagonal)?;
+        return Err(StageError::Interrupted { diagonal });
     }
     obs.emit(Event::Diagonal { stage: 1, done: total_diagonals, total: total_diagonals });
 

@@ -25,6 +25,7 @@ use crate::crosspoint::{Crosspoint, CrosspointChain};
 use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use crate::sra::{self, LineStore};
+use crate::supervise::RunControl;
 use gpu_sim::wavefront::{self, RegionJob};
 use gpu_sim::{BlockCoords, CellHE, CellHF, GlobalOrigin, Mode, TileOutcome, WorkerPool};
 use std::ops::ControlFlow;
@@ -215,6 +216,25 @@ pub fn run_traced(
     cols: &mut LineStore<CellHE>,
     obs: &mut Obs<'_>,
 ) -> Result<Stage2Result, StageError> {
+    run_supervised(s0, s1, cfg, pool, best_score, end, rows, cols, obs, &RunControl::unlimited())
+}
+
+/// [`run_traced`] under a [`RunControl`]: the token is checked at every
+/// strip boundary, so a cancelled/expired run unwinds with a typed error
+/// before starting the next strip instead of finishing the pass.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    best_score: Score,
+    end: (usize, usize),
+    rows: &mut LineStore<CellHF>,
+    cols: &mut LineStore<CellHE>,
+    obs: &mut Obs<'_>,
+    ctrl: &RunControl,
+) -> Result<Stage2Result, StageError> {
     assert!(best_score > 0, "stage 2 requires a positive best score");
     let sc = cfg.scoring;
     let gopen = sc.gap_open();
@@ -234,6 +254,10 @@ pub fn run_traced(
     let guard = rows.len() + 4;
 
     while cur.score > 0 {
+        // Stage 1's checkpoint is already gone by the time stage 2 runs,
+        // so an interruption here resumes the pipeline from scratch —
+        // report diagonal 0.
+        ctrl.check(0)?;
         // Each dropped row costs one extra (aborted) strip iteration, so
         // the convergence guard grows with the drops.
         if strips > guard + 2 * dropped_rows as usize {

@@ -19,6 +19,7 @@ use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
 use crate::sra::LineStore;
 use crate::stage2::gap_run_from;
+use crate::supervise::RunControl;
 use gpu_sim::wavefront::{self, RegionJob};
 use gpu_sim::{BlockCoords, CellHE, CellHF, GlobalOrigin, Mode, TileOutcome, WorkerPool};
 use std::ops::ControlFlow;
@@ -227,6 +228,24 @@ pub fn run_traced(
     cols: &LineStore<CellHE>,
     obs: &mut Obs<'_>,
 ) -> Result<Stage3Result, StageError> {
+    run_supervised(s0, s1, cfg, pool, chain, cols, obs, &RunControl::unlimited())
+}
+
+/// [`run_traced`] under a [`RunControl`]: the token is checked before
+/// each partition is solved (in both the sequential and parallel modes),
+/// so a cancelled/expired run unwinds with a typed error instead of
+/// refining every remaining partition.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    chain: &CrosspointChain,
+    cols: &LineStore<CellHE>,
+    obs: &mut Obs<'_>,
+    ctrl: &RunControl,
+) -> Result<Stage3Result, StageError> {
     let parts: Vec<Partition> = chain.partitions().collect();
     obs.emit(Event::Partitions { stage: 3, count: parts.len() });
     for (k, p) in parts.iter().enumerate() {
@@ -247,6 +266,9 @@ pub fn run_traced(
     let mut outputs: Vec<Option<PartOut>> = vec![None; parts.len()];
 
     let solve = |p: &Partition, cfg: &PipelineConfig| -> PartOut {
+        // Stage-1 checkpoints are gone by now; resume restarts the
+        // pipeline from scratch, hence diagonal 0.
+        ctrl.check(0)?;
         let mut vram = 0u64;
         let mut min_blocks = cfg.grid23.blocks;
         let mut skipped = 0u64;

@@ -21,6 +21,7 @@ use crate::config::PipelineConfig;
 use crate::crosspoint::{Crosspoint, CrosspointChain, Partition};
 use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
+use crate::supervise::RunControl;
 use gpu_sim::WorkerPool;
 use sw_core::linear::{forward_vectors, reverse_vectors, RowDp};
 use sw_core::matching::{match_argmax, GoalMatcher};
@@ -194,6 +195,21 @@ pub fn run_traced(
     chain: &CrosspointChain,
     obs: &mut Obs<'_>,
 ) -> Result<Stage4Result, StageError> {
+    run_supervised(s0, s1, cfg, pool, chain, obs, &RunControl::unlimited())
+}
+
+/// [`run_traced`] under a [`RunControl`]: the token is checked at every
+/// refinement round, so a cancelled/expired run unwinds with a typed
+/// error instead of splitting every remaining oversized partition.
+pub fn run_supervised(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    chain: &CrosspointChain,
+    obs: &mut Obs<'_>,
+    ctrl: &RunControl,
+) -> Result<Stage4Result, StageError> {
     let sc = cfg.scoring;
     let max = cfg.max_partition_size;
     let workers = match cfg.workers {
@@ -206,6 +222,9 @@ pub fn run_traced(
     let mut total_cells = 0u64;
 
     for _round in 0..128 {
+        // Stage-1 checkpoints are gone by now; resume restarts the
+        // pipeline from scratch, hence diagonal 0.
+        ctrl.check(0)?;
         let parts: Vec<Partition> =
             points.windows(2).map(|w| Partition { start: w[0], end: w[1] }).collect();
         let oversized: Vec<usize> =

@@ -11,6 +11,7 @@ use crate::config::PipelineConfig;
 use crate::crosspoint::{CrosspointChain, Partition};
 use crate::obs::{Event, Obs};
 use crate::pipeline::StageError;
+use crate::supervise::RunControl;
 use gpu_sim::WorkerPool;
 use sw_core::full::nw_global_aligned;
 use sw_core::transcript::Transcript;
@@ -48,7 +49,26 @@ pub fn run_traced(
     chain: &CrosspointChain,
     obs: &mut Obs<'_>,
 ) -> Result<Stage5Result, StageError> {
+    run_supervised(s0, s1, cfg, pool, chain, obs, &RunControl::unlimited())
+}
+
+/// [`run_traced`] under a [`RunControl`]: the token is checked on entry
+/// and again before the per-partition transcripts are merged, so a
+/// cancelled/expired run unwinds with a typed error instead of stitching
+/// a final alignment.
+pub fn run_supervised(
+    s0: &[u8],
+    s1: &[u8],
+    cfg: &PipelineConfig,
+    pool: &WorkerPool,
+    chain: &CrosspointChain,
+    obs: &mut Obs<'_>,
+    ctrl: &RunControl,
+) -> Result<Stage5Result, StageError> {
     assert!(chain.len() >= 2, "stage 5 requires a chain with start and end");
+    // Stage-1 checkpoints are gone by now; resume restarts the pipeline
+    // from scratch, hence diagonal 0.
+    ctrl.check(0)?;
     let sc = cfg.scoring;
     let parts: Vec<Partition> = chain.partitions().collect();
     obs.emit(Event::Partitions { stage: 5, count: parts.len() });
@@ -92,6 +112,7 @@ pub fn run_traced(
 
     let mut transcript = Transcript::new();
     let mut cells = 0u64;
+    ctrl.check(0)?;
     for (idx, r) in results.into_iter().enumerate() {
         let (t, c) = r
             .ok_or_else(|| StageError::Logic(format!("stage 5 partition {idx} task never ran")))?

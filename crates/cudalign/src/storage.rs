@@ -42,8 +42,11 @@ pub const CKPT_HEADER_BYTES: usize = 8 + 8 + 8 + 4;
 
 /// Attempts per write (1 initial + retries) before giving up.
 const WRITE_ATTEMPTS: u32 = 4;
-/// Backoff before retry `k` (doubled each time).
+/// Backoff before the first retry (doubled each time, capped).
 const BACKOFF: Duration = Duration::from_millis(1);
+/// Upper bound on the doubling base: however many attempts a future
+/// retry budget allows, no single sleep exceeds this plus its jitter.
+const BACKOFF_CAP: Duration = Duration::from_millis(16);
 
 /// A storage failure, typed so callers can choose a reaction: `Io` means
 /// the backend refused us (retry exhausted / disk full), `Corrupt` means
@@ -443,12 +446,32 @@ fn attempt_write(path: &Path, tmp: &Path, frame: &[u8]) -> Result<(), AttemptErr
     }
 }
 
+/// Deterministic backoff before retry `attempt` (0-based) of a write to
+/// `path`: a doubling base capped at [`BACKOFF_CAP`], plus a jitter of up
+/// to half the base seeded from the path and attempt so concurrent strips
+/// flushing into one directory don't retry in lockstep. A pure function
+/// of its inputs — fault tests assert the exact schedule.
+fn backoff_delay(path: &Path, attempt: u32) -> Duration {
+    let base_us =
+        ((BACKOFF.as_micros() as u64) << attempt.min(31)).min(BACKOFF_CAP.as_micros() as u64);
+    // FNV-1a over the path bytes, folded with the attempt number.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.to_string_lossy().as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ u64::from(attempt)).wrapping_mul(0x0000_0100_0000_01b3);
+    let jitter_us = if base_us == 0 { 0 } else { h % (base_us / 2 + 1) };
+    Duration::from_micros(base_us + jitter_us)
+}
+
 /// Write `frame` to `path` atomically, retrying transient failures up to
-/// [`WRITE_ATTEMPTS`] times with doubling backoff. On final failure the
-/// tmp sibling is removed so no orphan survives a *reported* error.
+/// [`WRITE_ATTEMPTS`] times with capped, jittered doubling backoff (see
+/// [`backoff_delay`]). Sleeps route through [`fault::backoff_sleep`] so
+/// fault tests observe the schedule without real wall-clock sleeps. On
+/// final failure the tmp sibling is removed so no orphan survives a
+/// *reported* error.
 fn write_with_retry(path: &Path, frame: &[u8]) -> Result<u32, StorageError> {
     let tmp = tmp_sibling(path);
-    let mut backoff = BACKOFF;
     for attempt in 0..WRITE_ATTEMPTS {
         match attempt_write(path, &tmp, frame) {
             Ok(()) => return Ok(attempt),
@@ -457,8 +480,7 @@ fn write_with_retry(path: &Path, frame: &[u8]) -> Result<u32, StorageError> {
                     let _ = std::fs::remove_file(&tmp);
                     return Err(err);
                 }
-                std::thread::sleep(backoff);
-                backoff *= 2;
+                fault::backoff_sleep(backoff_delay(path, attempt));
             }
         }
     }
@@ -480,7 +502,8 @@ fn write_with_retry(path: &Path, frame: &[u8]) -> Result<u32, StorageError> {
 #[doc(hidden)]
 pub mod fault {
     use std::sync::atomic::{AtomicI64, Ordering};
-    use std::sync::Mutex;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
 
     /// What an armed write does when its countdown fires.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -512,6 +535,35 @@ pub mod fault {
     /// not wedge every later storage write behind a poisoned lock.
     fn write_plan() -> std::sync::MutexGuard<'static, Option<WritePlan>> {
         WRITE_PLAN.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Replacement for the real backoff sleep. Tests that arm write
+    /// faults install one to record the retry schedule (and skip the
+    /// wall-clock wait); `None` means sleep for real.
+    type SleepHook = Arc<dyn Fn(Duration) + Send + Sync>;
+    static SLEEP_HOOK: Mutex<Option<SleepHook>> = Mutex::new(None);
+
+    /// The sleep hook, recovering from poisoning like [`write_plan`].
+    fn sleep_hook() -> std::sync::MutexGuard<'static, Option<SleepHook>> {
+        SLEEP_HOOK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Install a replacement for the retry backoff sleep. Cleared by
+    /// [`disarm_all`].
+    pub fn set_sleep_hook(hook: impl Fn(Duration) + Send + Sync + 'static) {
+        *sleep_hook() = Some(Arc::new(hook));
+    }
+
+    /// Sleep `d` before a write retry — through the installed hook when
+    /// one is armed, else for real. The `std::thread::sleep` here is the
+    /// single sanctioned backoff sleep in this crate (see the
+    /// `sleep-injection` lint).
+    pub(crate) fn backoff_sleep(d: Duration) {
+        let hook = sleep_hook().clone();
+        match hook {
+            Some(h) => h(d),
+            None => std::thread::sleep(d),
+        }
     }
 
     /// `< 0`: disarmed. Otherwise the read that decrements it to exactly
@@ -557,6 +609,7 @@ pub mod fault {
     /// Disarm every hook.
     pub fn disarm_all() {
         *write_plan() = None;
+        *sleep_hook() = None;
         READ_CORRUPT.store(-1, Ordering::SeqCst);
         STAGE1_KILL.store(-1, Ordering::SeqCst);
     }
@@ -681,10 +734,50 @@ mod tests {
         let path = dir.join("row-1-0.bin");
         let meta = FrameMeta { fingerprint: 1, index: 1, origin: 0, len: 1 };
         fault::arm_write(0, fault::WriteFault::Transient, 2);
+        fault::set_sleep_hook(|_| {});
         let retries = write_frame(&path, &meta, &[0u8; 8]).unwrap();
         fault::disarm_all();
         assert_eq!(retries, 2, "two transient failures then success");
         assert!(read_frame(&path, 1).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_routed_through_hook() {
+        let _guard = fault::test_guard();
+        let dir = tmpdir("backoff");
+        let path = dir.join("row-9-0.bin");
+        let meta = FrameMeta { fingerprint: 9, index: 9, origin: 0, len: 1 };
+
+        // Three transient failures exhaust every sleep the budget allows;
+        // the hook records them instead of stalling on real wall-clock.
+        let slept = std::sync::Arc::new(std::sync::Mutex::new(Vec::<Duration>::new()));
+        let rec = std::sync::Arc::clone(&slept);
+        fault::set_sleep_hook(move |d| rec.lock().unwrap().push(d));
+        fault::arm_write(0, fault::WriteFault::Transient, 3);
+        let retries = write_frame(&path, &meta, &[0u8; 8]).unwrap();
+        fault::disarm_all();
+        assert_eq!(retries, 3);
+
+        let slept = slept.lock().unwrap().clone();
+        let expect: Vec<Duration> = (0..3).map(|k| backoff_delay(&path, k)).collect();
+        assert_eq!(slept, expect, "recorded sleeps match the pure schedule");
+
+        for (k, d) in expect.iter().enumerate() {
+            let base = Duration::from_millis(1 << k).min(BACKOFF_CAP);
+            assert!(*d >= base, "attempt {k}: jitter only adds");
+            assert!(*d <= base + base / 2, "attempt {k}: jitter bounded by half the base");
+        }
+        // The doubling base saturates at the cap, jitter included.
+        let worst = backoff_delay(&path, 40);
+        assert!(worst <= BACKOFF_CAP + BACKOFF_CAP / 2);
+        assert!(worst >= BACKOFF_CAP);
+        // Different paths decorrelate: at least one attempt differs.
+        let other = dir.join("row-10-0.bin");
+        assert!(
+            (0..4).any(|k| backoff_delay(&path, k) != backoff_delay(&other, k)),
+            "jitter must depend on the path"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -36,12 +36,14 @@
 //! normally, so a pipeline can report a clean `PipelineError` and be
 //! retried on the same pool.
 
+use crate::ctrl::{CancelCause, CancelToken};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Failure surfaced by [`WorkerPool::scope`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +91,11 @@ pub struct PoolStats {
     /// integers instead of un-averaging `busy_ratio` (which loses precision
     /// and races when several pipelines share one pool).
     pub busy_permille: u64,
+    /// Jobs dropped without running: removed by [`Scope::cancel_queued`]
+    /// or skipped after a sibling's panic. Cancelled jobs never count as
+    /// occupied lanes in `busy_ratio`/`busy_permille`, so a run torn down
+    /// mid-strip does not inflate a shared pool's utilization.
+    pub cancelled_tasks: u64,
 }
 
 /// A lifetime-erased job plus the scope it belongs to.
@@ -148,6 +155,10 @@ struct ScopeState {
     panicked: AtomicBool,
     /// Jobs spawned into this scope (for the busy-lane statistic).
     spawned: AtomicU64,
+    /// Jobs of this scope dropped without running (cancelled or skipped
+    /// after a sibling panic) — subtracted from `spawned` when the scope
+    /// settles its busy-lane contribution.
+    cancelled: AtomicU64,
 }
 
 /// Lock `m`, recovering from poisoning. Job panics are caught by
@@ -166,6 +177,7 @@ impl ScopeState {
             panic: Mutex::new(None),
             panicked: AtomicBool::new(false),
             spawned: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         })
     }
 
@@ -190,6 +202,8 @@ struct PoolShared {
     pinned_tasks: AtomicU64,
     /// Sum over scopes of `1000 * occupied_lanes / lanes`.
     busy_millis: AtomicU64,
+    /// Jobs dropped without running, across all scopes.
+    cancelled_tasks: AtomicU64,
 }
 
 impl PoolShared {
@@ -214,6 +228,8 @@ impl PoolShared {
             // A sibling already failed: cancel by dropping the closure
             // (releasing its borrows) without running it.
             drop(job);
+            scope.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.cancelled_tasks.fetch_add(1, Ordering::Relaxed);
             scope.finish_one();
             return;
         }
@@ -363,6 +379,8 @@ impl<'env> Scope<'_, 'env> {
         // destructors, and finish_one takes the scope's pending lock.
         for item in removed {
             drop(item.job);
+            item.scope.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.pool.shared.cancelled_tasks.fetch_add(1, Ordering::Relaxed);
             item.scope.finish_one();
         }
     }
@@ -410,6 +428,7 @@ impl WorkerPool {
             inline_tasks: AtomicU64::new(0),
             pinned_tasks: AtomicU64::new(0),
             busy_millis: AtomicU64::new(0),
+            cancelled_tasks: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(lanes.saturating_sub(1));
         for i in 1..lanes {
@@ -467,7 +486,12 @@ impl WorkerPool {
             drop(state.done.wait(pending).unwrap_or_else(|e| e.into_inner()));
         }
 
-        let busy = (state.spawned.load(Ordering::Relaxed) as usize).min(self.lanes);
+        // Jobs dropped unrun (cancel_queued, panicked-sibling skips) never
+        // occupied a lane; counting them would let a torn-down run inflate
+        // a shared pool's busy ratio.
+        let spawned = state.spawned.load(Ordering::Relaxed);
+        let ran = spawned.saturating_sub(state.cancelled.load(Ordering::Relaxed));
+        let busy = (ran as usize).min(self.lanes);
         self.shared.busy_millis.fetch_add((1000 * busy / self.lanes) as u64, Ordering::Relaxed);
 
         let body_value = match result {
@@ -497,6 +521,7 @@ impl WorkerPool {
                 busy_millis as f64 / (1000.0 * scopes as f64)
             },
             busy_permille: busy_millis,
+            cancelled_tasks: self.shared.cancelled_tasks.load(Ordering::Relaxed),
         }
     }
 }
@@ -511,6 +536,106 @@ impl Drop for WorkerPool {
             let _ = handle.join();
         }
     }
+}
+
+/// Time source for [`spawn_watchdog`]: returns the elapsed time on the
+/// supervisor's injected clock. Kept as a closure (not `std::time`
+/// directly) so tests drive deadlines and stall budgets with a manual
+/// clock and production injects a monotonic one — no wall-clock reads in
+/// the engine's hot paths either way.
+pub type TimeSource = Arc<dyn Fn() -> Duration + Send + Sync>;
+
+/// Handle of a supervision watchdog thread; stops and joins on drop.
+pub struct Watchdog {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        {
+            let (flag, cv) = &*self.stop;
+            *lock_unpoisoned(flag) = true;
+            cv.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn a watchdog that cancels `token` when the run's `deadline`
+/// expires or when the token's heartbeat stops moving for a whole
+/// `stall_budget` (both measured on the injected `now` time source,
+/// relative to `now()` at spawn). The thread wakes every `poll` interval
+/// on a condvar (so dropping the handle stops it promptly, without a
+/// bare sleep) and exits as soon as the token is cancelled — by itself
+/// or by anyone else.
+///
+/// Workers never read a clock: they only bump the token's heartbeat.
+/// The watchdog is the single place where time meets the run, which is
+/// what keeps deadlines testable under a manual clock.
+pub fn spawn_watchdog(
+    token: CancelToken,
+    now: TimeSource,
+    deadline: Option<Duration>,
+    stall_budget: Option<Duration>,
+    poll: Duration,
+) -> Watchdog {
+    let stop: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+    let stop2 = Arc::clone(&stop);
+    let start = now();
+    let handle = std::thread::Builder::new()
+        .name("cudalign-watchdog".into())
+        .spawn(move || {
+            let (flag, cv) = &*stop2;
+            let mut last_beats = token.beats();
+            let mut last_progress = start;
+            loop {
+                {
+                    let stopped = lock_unpoisoned(flag);
+                    if *stopped || token.is_cancelled() {
+                        return;
+                    }
+                    // Park for one poll interval (or an early stop).
+                    let _ = cv.wait_timeout(stopped, poll).unwrap_or_else(|e| e.into_inner());
+                }
+                if token.is_cancelled() {
+                    return;
+                }
+                let t = (now)();
+                if let Some(dl) = deadline {
+                    if t.saturating_sub(start) >= dl {
+                        token.cancel_at(
+                            CancelCause::DeadlineExceeded { budget_ms: dl.as_millis() as u64 },
+                            t.as_nanos() as u64,
+                        );
+                        return;
+                    }
+                }
+                if let Some(budget) = stall_budget {
+                    let beats = token.beats();
+                    if beats != last_beats {
+                        last_beats = beats;
+                        last_progress = t;
+                    } else if t.saturating_sub(last_progress) >= budget {
+                        token.cancel_at(
+                            CancelCause::Stalled { budget_ms: budget.as_millis() as u64 },
+                            t.as_nanos() as u64,
+                        );
+                        return;
+                    }
+                }
+            }
+        })
+        .ok();
+    Watchdog { stop, handle }
 }
 
 /// Test-only fault injection.
@@ -600,6 +725,83 @@ pub mod fault {
     pub(crate) fn reorder_block() -> Option<(usize, usize)> {
         let v = REORDER.load(Ordering::Relaxed);
         (v != 0).then(|| ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize - 1))
+    }
+
+    /// One deterministic chaos schedule: which faults to arm, where to
+    /// cancel, and what shape/worker class to run — expanded from a seed
+    /// by [`chaos_plan`]. The harness (`tests/tests/chaos.rs`) maps each
+    /// field onto the concrete hooks (`cudalign::storage::fault`, this
+    /// module, `RunControl`); keeping the schedule here makes every CI
+    /// failure reproducible from its seed alone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ChaosPlan {
+        /// The seed this plan was expanded from.
+        pub seed: u64,
+        /// Worker-count class: one of {1, 2, 4, 8}.
+        pub workers: usize,
+        /// Shape class index (harness-defined sequence-pair shapes).
+        pub shape: u8,
+        /// Storage write fault: `(nth_write, kind, times)` where kind
+        /// 0 = torn (keep `times` bytes), 1 = ENOSPC, 2 = transient
+        /// (retryable, `times` occurrences).
+        pub write_fault: Option<(u64, u8, u32)>,
+        /// Corrupt the `nth` checksummed read.
+        pub read_corrupt: Option<u64>,
+        /// Kill stage 1 at this external diagonal (storage kill hook).
+        pub kill_diagonal: Option<u64>,
+        /// Cancel the run's token after this many stage-1 diagonals.
+        pub cancel_after_diagonal: Option<u64>,
+        /// Wall-clock deadline for the run, in milliseconds.
+        pub deadline_ms: Option<u64>,
+        /// Panic the `nth` pool job ([`arm`]).
+        pub worker_panic: Option<u64>,
+    }
+
+    /// Expand `seed` into a [`ChaosPlan`] with a splittable LCG. Every
+    /// field is a pure function of the seed; two fault families at most
+    /// are armed per plan so each schedule's failure is attributable.
+    pub fn chaos_plan(seed: u64) -> ChaosPlan {
+        let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let workers = [1usize, 2, 4, 8][(next() % 4) as usize];
+        let shape = (next() % 6) as u8;
+        // Pick up to two fault families (0..=5; 6..=7 = none) so compound
+        // schedules exist but every run stays attributable.
+        let mut write_fault = None;
+        let mut read_corrupt = None;
+        let mut kill_diagonal = None;
+        let mut cancel_after_diagonal = None;
+        let mut deadline_ms = None;
+        let mut worker_panic = None;
+        for _ in 0..2 {
+            match next() % 8 {
+                0 => {
+                    let kind = (next() % 3) as u8;
+                    let times = if kind == 0 { next() % 40 } else { 1 + next() % 3 } as u32;
+                    write_fault = Some((next() % 6, kind, times));
+                }
+                1 => read_corrupt = Some(next() % 4),
+                2 => kill_diagonal = Some(next() % 64),
+                3 => cancel_after_diagonal = Some(next() % 64),
+                4 => deadline_ms = Some(1 + next() % 40),
+                5 => worker_panic = Some(next() % 24),
+                _ => {}
+            }
+        }
+        ChaosPlan {
+            seed,
+            workers,
+            shape,
+            write_fault,
+            read_corrupt,
+            kill_diagonal,
+            cancel_after_diagonal,
+            deadline_ms,
+            worker_panic,
+        }
     }
 
     /// Called by the pool before each job.
@@ -862,5 +1064,140 @@ mod tests {
         let pool = WorkerPool::new(2);
         let v = pool.scope(|_| 42).unwrap();
         assert_eq!(v, 42);
+    }
+
+    /// Cancelled pinned jobs must not leak into the busy-lane statistic:
+    /// a scope whose jobs were all dropped unrun contributes zero
+    /// occupancy, and the drops are visible in `cancelled_tasks`.
+    #[test]
+    fn cancelled_jobs_do_not_count_as_busy() {
+        let pool = WorkerPool::new(1);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn_pinned(|| {});
+            }
+            s.cancel_queued();
+        })
+        .unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.cancelled_tasks, 4);
+        assert_eq!(stats.pinned_tasks, 4, "spawn counter still records the spawns");
+        assert_eq!(stats.busy_permille, 0, "dropped jobs never occupied a lane");
+    }
+
+    /// Jobs skipped after a sibling's panic count as cancelled and are
+    /// excluded from occupancy too.
+    #[test]
+    fn panic_skipped_jobs_count_as_cancelled() {
+        let pool = WorkerPool::new(1);
+        let err = pool
+            .scope(|s| {
+                s.spawn(|| panic!("first"));
+                s.spawn(|| {});
+                s.spawn(|| {});
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::WorkerPanic(_)));
+        let stats = pool.stats();
+        assert_eq!(stats.cancelled_tasks, 2);
+        // Only the panicking job actually ran: 1 occupied lane of 1.
+        assert_eq!(stats.busy_permille, 1000);
+    }
+
+    fn manual_time() -> (Arc<AtomicU64>, TimeSource) {
+        let nanos = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&nanos);
+        (nanos, Arc::new(move || Duration::from_nanos(n2.load(Ordering::SeqCst))))
+    }
+
+    fn wait_until(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..4000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn watchdog_fires_deadline_on_injected_clock() {
+        let token = CancelToken::new();
+        let (nanos, now) = manual_time();
+        let _dog = spawn_watchdog(
+            token.clone(),
+            now,
+            Some(Duration::from_millis(50)),
+            None,
+            Duration::from_millis(1),
+        );
+        // Below the deadline: stays alive even with no heartbeat.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!token.is_cancelled());
+        nanos.store(51_000_000, Ordering::SeqCst);
+        wait_until("deadline cancel", || token.is_cancelled());
+        assert_eq!(token.cause(), Some(CancelCause::DeadlineExceeded { budget_ms: 50 }));
+    }
+
+    #[test]
+    fn watchdog_fires_stall_only_when_heartbeat_stops() {
+        let token = CancelToken::new();
+        let (nanos, now) = manual_time();
+        let _dog = spawn_watchdog(
+            token.clone(),
+            now,
+            None,
+            Some(Duration::from_millis(20)),
+            Duration::from_millis(1),
+        );
+        // Heartbeat advances with the clock: no stall.
+        for step in 1..=5u64 {
+            token.beat();
+            nanos.store(step * 15_000_000, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        assert!(!token.is_cancelled(), "moving heartbeat must not stall");
+        // Clock advances past the budget with no further beats: stall.
+        nanos.store(5 * 15_000_000 + 21_000_000, Ordering::SeqCst);
+        wait_until("stall cancel", || token.is_cancelled());
+        assert_eq!(token.cause(), Some(CancelCause::Stalled { budget_ms: 20 }));
+    }
+
+    #[test]
+    fn watchdog_drop_stops_thread_and_external_cancel_wins() {
+        let token = CancelToken::new();
+        let (_nanos, now) = manual_time();
+        let dog = spawn_watchdog(
+            token.clone(),
+            now,
+            Some(Duration::from_secs(3600)),
+            Some(Duration::from_secs(3600)),
+            Duration::from_millis(1),
+        );
+        token.cancel(CancelCause::Requested);
+        drop(dog); // must join promptly, not hang until a budget expires
+        assert_eq!(token.cause(), Some(CancelCause::Requested));
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_varied() {
+        for seed in 0..256u64 {
+            assert_eq!(fault::chaos_plan(seed), fault::chaos_plan(seed));
+        }
+        let with_fault = (0..256u64)
+            .map(fault::chaos_plan)
+            .filter(|p| {
+                p.write_fault.is_some()
+                    || p.read_corrupt.is_some()
+                    || p.kill_diagonal.is_some()
+                    || p.cancel_after_diagonal.is_some()
+                    || p.deadline_ms.is_some()
+                    || p.worker_panic.is_some()
+            })
+            .count();
+        assert!(with_fault > 64, "fault families should be common ({with_fault}/256)");
+        let workers: std::collections::HashSet<usize> =
+            (0..64u64).map(|s| fault::chaos_plan(s).workers).collect();
+        assert_eq!(workers.len(), 4, "all worker classes appear");
     }
 }

@@ -21,6 +21,9 @@
 //! * [`striped`] — the lane-striped saturating-`i16` kernel (the CPU
 //!   analogue of the paper's internal-diagonal parallelism) with the
 //!   query profile and the overflow/fallback protocol,
+//! * [`ctrl`] — run-supervision primitives: the clonable [`CancelToken`]
+//!   (cancel flag + cause + heartbeat) polled cooperatively by every
+//!   scheduler, with the deadline/stall watchdog living in [`exec`],
 //! * [`exec`] — the persistent worker-pool executor (the CPU analogue of
 //!   a persistent-kernel GPU design): long-lived threads, a queue/condvar
 //!   handoff per external diagonal, panic capture instead of process
@@ -41,6 +44,7 @@
 //! bus hand-offs, block boundaries, diagonal-synchronous progress and the
 //! minimum size requirement — is executed faithfully.
 
+pub mod ctrl;
 pub mod device;
 pub mod exec;
 pub mod grid;
@@ -51,8 +55,9 @@ pub mod race;
 pub mod striped;
 pub mod wavefront;
 
+pub use ctrl::{CancelCause, CancelToken, StripDiag};
 pub use device::DeviceModel;
-pub use exec::{ExecError, PoolStats, WorkerPool};
+pub use exec::{ExecError, PoolStats, Watchdog, WorkerPool};
 pub use grid::GridSpec;
 pub use kernel::{CellHE, CellHF, GlobalOrigin, KernelPath, Mode, TileOutcome};
 pub use wavefront::{

@@ -34,6 +34,7 @@
 //! [`WavefrontObserver`], which is how the pipeline flushes special rows
 //! (Stage 1) and runs goal-based matching with early abort (Stages 2-3).
 
+use crate::ctrl::{CancelToken, StripDiag};
 use crate::exec::{ExecError, WorkerPool};
 use crate::grid::{GridLayout, GridSpec};
 use crate::kernel::{self, CellHE, CellHF, Mode, TileOutcome};
@@ -568,7 +569,32 @@ pub fn run_resumable_pooled(
     resume: Option<EngineState>,
     checkpoint_every: Option<usize>,
 ) -> Result<RegionResult, ExecError> {
-    run_engine(pool, job, observer, resume, checkpoint_every, None)
+    run_engine(pool, job, observer, resume, checkpoint_every, None, None)
+}
+
+/// [`run_resumable_pooled`] under a supervision token.
+///
+/// Both schedulers poll `token` cooperatively: the serial engine between
+/// external diagonals, the strip engine in its delivery loop (which in
+/// turn wakes parked runners through the protocol condvars). A cancelled
+/// launch first emits one final [`WavefrontObserver::on_checkpoint`] with
+/// the state at the last completed diagonal boundary (when checkpointing
+/// is enabled), so cancellation is always resumable, then returns with
+/// [`RegionResult::aborted`] set. Workers bump the token's heartbeat on
+/// every computed block / published border, which is what the stall
+/// watchdog observes — no clock is read anywhere in here.
+///
+/// # Panics
+/// Panics when `resume` carries a fingerprint for a different job.
+pub fn run_supervised(
+    pool: &WorkerPool,
+    job: &RegionJob<'_>,
+    observer: &mut dyn WavefrontObserver,
+    resume: Option<EngineState>,
+    checkpoint_every: Option<usize>,
+    token: Option<&CancelToken>,
+) -> Result<RegionResult, ExecError> {
+    run_engine(pool, job, observer, resume, checkpoint_every, None, token)
 }
 
 /// Run a region on the column-strip scheduler with an explicit
@@ -584,7 +610,7 @@ pub fn run_pooled_with_plan(
     observer: &mut dyn WavefrontObserver,
     plan: &StripPlan,
 ) -> Result<RegionResult, ExecError> {
-    run_engine(pool, job, observer, None, None, Some(plan.clone()))
+    run_engine(pool, job, observer, None, None, Some(plan.clone()), None)
 }
 
 fn run_engine(
@@ -594,6 +620,7 @@ fn run_engine(
     resume: Option<EngineState>,
     checkpoint_every: Option<usize>,
     plan: Option<StripPlan>,
+    token: Option<&CancelToken>,
 ) -> Result<RegionResult, ExecError> {
     let (m, n) = (job.a.len(), job.b.len());
     let layout = job.grid.layout(m, n);
@@ -686,6 +713,7 @@ fn run_engine(
             init_best: best,
             init_cells: cells,
             init_busy: busy_slots,
+            token,
             #[cfg(feature = "race-check")]
             race: &race_session,
         };
@@ -693,6 +721,26 @@ fn run_engine(
     }
 
     'diagonals: for d in first_diagonal..layout.diagonals() {
+        if token.is_some_and(CancelToken::is_cancelled) {
+            // Flush the boundary state (diagonals < d are complete, d has
+            // not started — a valid resume point) before stopping, so a
+            // cancelled run is always resumable.
+            if checkpoint_every.is_some() {
+                observer.on_checkpoint(&EngineState {
+                    fingerprint: EngineState::fingerprint_of(job),
+                    next_diagonal: d,
+                    hbus: hbus.clone(),
+                    vbus: vbus.clone(),
+                    corners: corners.clone(),
+                    best,
+                    cells,
+                    busy_slots,
+                    schedule: ScheduleInfo::Serial,
+                });
+            }
+            aborted = true;
+            break 'diagonals;
+        }
         if let Some(every) = checkpoint_every {
             if d > first_diagonal && (d - first_diagonal).is_multiple_of(every.max(1)) {
                 observer.on_checkpoint(&EngineState {
@@ -854,6 +902,9 @@ fn run_engine(
             }
             let (r, c) = (t.coords.r, t.coords.c);
             corners[(r + 1) * (bc + 1) + (c + 1)] = out.corner_out;
+            if let Some(tok) = token {
+                tok.beat();
+            }
             if observer.on_block(&t.coords, &out, t.hseg, t.vseg).is_break() {
                 aborted = true;
                 break;
@@ -938,6 +989,9 @@ mod strip {
         pub init_best: Option<(Score, usize, usize)>,
         pub init_cells: u64,
         pub init_busy: u64,
+        /// Supervision token polled by the delivery loop; runners bump
+        /// its heartbeat on every computed block / published border.
+        pub token: Option<&'a CancelToken>,
         #[cfg(feature = "race-check")]
         pub race: &'a crate::race::Session,
     }
@@ -1025,6 +1079,8 @@ mod strip {
         cv_work: Condvar,
         /// The deliverer parks here for block completions / cancel.
         cv_done: Condvar,
+        /// Heartbeat sink for the stall watchdog (never polled here).
+        token: Option<&'a CancelToken>,
         #[cfg(feature = "race-check")]
         race: &'a crate::race::Session,
     }
@@ -1121,6 +1177,9 @@ mod strip {
                 rows_total: sh.layout.block_rows,
             });
             drop(co);
+            if let Some(t) = sh.token {
+                t.beat();
+            }
             sh.cv_work.notify_all();
             // The event itself must reach the deliverer even when no
             // block completion follows promptly.
@@ -1298,6 +1357,9 @@ mod strip {
         co.done.insert((r, c), parked);
         let alive = !co.cancel;
         drop(co);
+        if let Some(t) = sh.token {
+            t.beat();
+        }
         sh.cv_done.notify_all();
         alive
     }
@@ -1357,6 +1419,28 @@ mod strip {
         let mut ck_vbus = vbus.clone();
         let mut ck_corners = corners.clone();
 
+        // Cancellation checkpoint: the ck buses are a valid resume point
+        // only *between* diagonals (mid-diagonal they hold a partially
+        // applied frontier), so the deliverer refreshes this snapshot at
+        // every diagonal boundary and flushes it when a cancel lands.
+        let mut cancel_snap: Option<EngineState> = match (p.token, p.checkpoint_every) {
+            (Some(_), Some(_)) => Some(EngineState {
+                fingerprint: EngineState::fingerprint_of(p.job),
+                next_diagonal: fd,
+                hbus: ck_hbus.clone(),
+                vbus: ck_vbus.clone(),
+                corners: ck_corners.clone(),
+                best: p.init_best,
+                cells: p.init_cells,
+                busy_slots: p.init_busy,
+                schedule: ScheduleInfo::Strips {
+                    strips: strips as u32,
+                    batch_rows: p.plan.batch_rows as u32,
+                },
+            }),
+            _ => None,
+        };
+
         let shared = Shared {
             job: p.job,
             layout: &layout,
@@ -1388,6 +1472,7 @@ mod strip {
             }),
             cv_work: Condvar::new(),
             cv_done: Condvar::new(),
+            token: p.token,
             #[cfg(feature = "race-check")]
             race: p.race,
         };
@@ -1425,6 +1510,16 @@ mod strip {
             let body = catch_unwind(AssertUnwindSafe(|| {
                 let mut cur: Option<Cursor> = Some(home_cursor(sh, 0));
                 while dc.remaining > 0 {
+                    // 0) Cancellation: flush the boundary snapshot so the
+                    //    run stays resumable, then tear down (the scope
+                    //    epilogue below wakes every parked runner).
+                    if p.token.is_some_and(CancelToken::is_cancelled) {
+                        if let Some(snap) = cancel_snap.take() {
+                            observer.on_checkpoint(&snap);
+                        }
+                        aborted = true;
+                        break;
+                    }
                     // 1) Deliver everything ready, in canonical order.
                     let flow = deliver_ready(
                         sh,
@@ -1440,6 +1535,7 @@ mod strip {
                         &mut diagonals_run,
                         &mut striped_tiles,
                         &mut fallback_tiles,
+                        &mut cancel_snap,
                     );
                     if flow.is_break() {
                         aborted = true;
@@ -1498,6 +1594,19 @@ mod strip {
             batches_published: co.batches,
             runner_blocks: co.blocks.clone(),
         };
+        // Cancelled teardown: park a diagnostic snapshot of the protocol
+        // counters in the token, so a stalled run can report where each
+        // strip was stuck.
+        if let Some(t) = p.token {
+            if t.is_cancelled() {
+                t.set_strip_diag(StripDiag {
+                    published: co.published.clone(),
+                    claims: co.claims.clone(),
+                    blocks: co.blocks.clone(),
+                    front: co.front,
+                });
+            }
+        }
         drop(co);
 
         Ok(RegionResult {
@@ -1533,6 +1642,7 @@ mod strip {
         diagonals_run: &mut usize,
         striped_tiles: &mut u64,
         fallback_tiles: &mut u64,
+        cancel_snap: &mut Option<EngineState>,
     ) -> ControlFlow<()> {
         let layout = sh.layout;
         let (br, bc) = (layout.block_rows, layout.block_cols);
@@ -1586,6 +1696,18 @@ mod strip {
                             },
                         });
                     }
+                }
+                // The ck buses hold exactly the state through diagonal
+                // `dc.d - 1` right now — the last valid resume boundary.
+                // Refresh the cancellation snapshot from it.
+                if let Some(snap) = cancel_snap.as_mut() {
+                    snap.next_diagonal = dc.d;
+                    snap.hbus.copy_from_slice(ck_hbus);
+                    snap.vbus.copy_from_slice(ck_vbus);
+                    snap.corners.copy_from_slice(ck_corners);
+                    snap.best = *best;
+                    snap.cells = *cells;
+                    snap.busy_slots = *busy_slots;
                 }
                 *diagonals_run += 1;
                 *busy_slots += dc.blocks.len() as u64;
@@ -2018,6 +2140,108 @@ mod resume_tests {
             assert_eq!(resumed.vbus, full.vbus, "workers={workers}");
             assert_eq!(resumed.cells, full.cells, "workers={workers}");
             assert_eq!(resumed.busy_slots, full.busy_slots, "workers={workers}");
+        }
+    }
+
+    /// An observer that cancels the supervision token after a fixed
+    /// number of delivered blocks, recording every checkpoint.
+    struct CancelAfter<'t> {
+        countdown: usize,
+        token: &'t crate::ctrl::CancelToken,
+        snaps: Vec<EngineState>,
+    }
+    impl WavefrontObserver for CancelAfter<'_> {
+        fn on_block(
+            &mut self,
+            _: &BlockCoords,
+            _: &TileOutcome,
+            _: &[CellHF],
+            _: &[CellHE],
+        ) -> ControlFlow<()> {
+            if self.countdown > 0 {
+                self.countdown -= 1;
+                if self.countdown == 0 {
+                    self.token.cancel(crate::ctrl::CancelCause::Requested);
+                }
+            }
+            ControlFlow::Continue(())
+        }
+        fn on_checkpoint(&mut self, state: &EngineState) {
+            self.snaps.push(state.clone());
+        }
+    }
+
+    /// Cancelling a supervised run must (a) abort instead of returning a
+    /// partial score, (b) flush one final boundary checkpoint, and (c)
+    /// leave a snapshot from which resume is byte-identical to the
+    /// uninterrupted run — on both schedulers, at several cancel points.
+    #[test]
+    fn cancelled_runs_flush_a_resumable_boundary_checkpoint() {
+        let a = lcg(21, 260);
+        let b = lcg(22, 300);
+        for workers in [1usize, 4] {
+            let j = RegionJob { workers, ..job(&a, &b) };
+            let full = run_plain(&j);
+            let pool = WorkerPool::new(workers);
+            for cancel_after in [1usize, 7, 25] {
+                let token = crate::ctrl::CancelToken::new();
+                let mut obs = CancelAfter { countdown: cancel_after, token: &token, snaps: vec![] };
+                // Cadence 10_000 never fires on this grid: every recorded
+                // snapshot below is the cancellation flush itself.
+                let res =
+                    run_supervised(&pool, &j, &mut obs, None, Some(10_000), Some(&token)).unwrap();
+                assert!(res.aborted, "workers={workers} cancel_after={cancel_after}");
+                let snap = obs.snaps.pop().expect("cancel must flush a checkpoint");
+                assert!(obs.snaps.is_empty(), "exactly one flush per cancel");
+                let resumed = run_resumable(&j, &mut NoObserver, Some(snap), None);
+                assert_eq!(resumed.best, full.best, "workers={workers}");
+                assert_eq!(resumed.hbus, full.hbus, "workers={workers}");
+                assert_eq!(resumed.vbus, full.vbus, "workers={workers}");
+                assert_eq!(resumed.cells, full.cells, "workers={workers}");
+                assert_eq!(resumed.busy_slots, full.busy_slots, "workers={workers}");
+            }
+        }
+    }
+
+    /// A token cancelled before launch aborts immediately with the
+    /// initial state as its flush — resuming from it runs everything.
+    #[test]
+    fn pre_cancelled_run_aborts_with_initial_snapshot() {
+        let a = lcg(23, 150);
+        let b = lcg(24, 140);
+        let j = job(&a, &b);
+        let full = run_plain(&j);
+        let pool = WorkerPool::new(2);
+        let token = crate::ctrl::CancelToken::new();
+        token.cancel(crate::ctrl::CancelCause::Requested);
+        let mut obs = CancelAfter { countdown: 0, token: &token, snaps: vec![] };
+        let res = run_supervised(&pool, &j, &mut obs, None, Some(10_000), Some(&token)).unwrap();
+        assert!(res.aborted);
+        assert_eq!(res.cells, 0, "no partial work should be committed");
+        let snap = obs.snaps.pop().expect("flush");
+        assert_eq!(snap.next_diagonal, 0);
+        let resumed = run_resumable(&j, &mut NoObserver, Some(snap), None);
+        assert_eq!(resumed.best, full.best);
+        assert_eq!(resumed.hbus, full.hbus);
+    }
+
+    /// A live (never-cancelled) token must not change results, and the
+    /// heartbeat must move.
+    #[test]
+    fn supervised_run_without_cancel_is_identical_and_beats() {
+        let a = lcg(25, 200);
+        let b = lcg(26, 180);
+        for workers in [1usize, 3] {
+            let j = RegionJob { workers, ..job(&a, &b) };
+            let full = run_plain(&j);
+            let pool = WorkerPool::new(workers);
+            let token = crate::ctrl::CancelToken::new();
+            let res = run_supervised(&pool, &j, &mut NoObserver, None, None, Some(&token)).unwrap();
+            assert!(!res.aborted);
+            assert_eq!(res.best, full.best, "workers={workers}");
+            assert_eq!(res.hbus, full.hbus, "workers={workers}");
+            assert_eq!(res.cells, full.cells, "workers={workers}");
+            assert!(token.beats() > 0, "workers must report liveness");
         }
     }
 

@@ -5,8 +5,9 @@
 //! a panic, never a silently wrong alignment.
 
 use cudalign::config::{CheckpointPolicy, SraBackend};
+use cudalign::obs::Obs;
 use cudalign::storage::fault;
-use cudalign::{Pipeline, PipelineConfig, PipelineError};
+use cudalign::{Pipeline, PipelineConfig, PipelineError, RunControl};
 use integration_tests::edited_pair;
 use std::path::{Path, PathBuf};
 use sw_core::full::sw_local_score;
@@ -151,6 +152,62 @@ fn kill_mid_strip_resumes_under_any_worker_count() {
             resumed.stats.resumed_from_diagonal > 0,
             "kill at diagonal 9 with 3-diagonal cadence must leave a snapshot"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Cooperative cancellation (not a simulated kill) at pseudo-random
+/// diagonals under every strip-scheduler worker count, resumed under a
+/// *different* worker count. The cancel path flushes a boundary
+/// checkpoint before unwinding, and that snapshot is schedule-agnostic:
+/// whatever widths cancel and resume run at, the finished alignment must
+/// be byte-identical to the uninterrupted reference.
+#[test]
+fn cancel_at_arbitrary_diagonal_resumes_under_a_different_worker_count() {
+    let _guard = fault::test_guard();
+    let _disarm = Disarm;
+    let (a, b) = edited_pair(53, 420, 15);
+    let reference = Pipeline::new(PipelineConfig::for_tests()).align(&a, &b).unwrap();
+    assert!(reference.best_score > 0, "torture pair must align");
+
+    let mut x = 0xCAFE_F00Du64;
+    for (cancel_workers, resume_workers) in [(1usize, 4usize), (2, 8), (4, 1), (8, 2)] {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let k = 1 + (x >> 33) as usize % 16;
+        let tag = format!("cancel-w{cancel_workers}-to-w{resume_workers}");
+        let dir = fresh_dir(&tag);
+        let mut cfg = ckpt_cfg(&dir);
+        cfg.workers = cancel_workers;
+
+        let ctrl = RunControl::unlimited().with_cancel_after_diagonal(k);
+        let err = Pipeline::new(cfg.clone())
+            .align_supervised(&a, &b, &mut Obs::new(), &ctrl)
+            .expect_err("cancel-after-diagonal must interrupt the run");
+        assert!(err.is_interruption(), "{tag}: {err}");
+        match err {
+            PipelineError::Cancelled { diagonal } => {
+                assert!(diagonal + 1 >= k, "{tag}: cancel at {k} reported diagonal {diagonal}");
+            }
+            other => panic!("{tag}: expected Cancelled, got {other}"),
+        }
+
+        cfg.workers = resume_workers;
+        let resumed = Pipeline::new(cfg).align(&a, &b).expect("resume after cancel");
+        assert_eq!(resumed.best_score, reference.best_score, "{tag} cancel at {k}");
+        assert_eq!(
+            resumed.binary.encode(),
+            reference.binary.encode(),
+            "{tag}: resume after cancel at diagonal {k} must be byte-identical"
+        );
+        assert_eq!(resumed.transcript.ops(), reference.transcript.ops());
+        if k > 6 {
+            // The 3-diagonal cadence (plus the flush-on-cancel) guarantees
+            // a snapshot existed by then.
+            assert!(
+                resumed.stats.resumed_from_diagonal > 0,
+                "{tag}: cancel at {k} should resume mid-matrix, not restart"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
