@@ -1,0 +1,505 @@
+//! Hand-rolled, std-only Rust lexer.
+//!
+//! Produces the token stream the lint rules run on. The goal is not a
+//! full grammar — it is *exact classification* of the regions a lexical
+//! matcher gets wrong: string/char/byte literals (including raw strings
+//! with any number of `#` guards), nested block comments, doc comments,
+//! and the `'a` lifetime vs `'a'` char-literal ambiguity. Everything the
+//! rules search for (idents, paths, method calls, punctuation) survives
+//! as typed tokens with line, brace-depth and paren-depth annotations,
+//! so a banned pattern inside a string or comment can never trip a rule
+//! again.
+
+/// Classification of a literal token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// `"..."` or `b"..."`.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br#"..."#` — any guard depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal (integer or float, any base).
+    Num,
+}
+
+/// Classification of a comment token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    /// `// ...`
+    Line,
+    /// `/* ... */` (nested pairs balanced).
+    Block,
+    /// `/// ...` or `//! ...`
+    DocLine,
+    /// `/** ... */` or `/*! ... */`
+    DocBlock,
+}
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// `'a`, `'static`, `'_`.
+    Lifetime,
+    /// String/char/number literal; contents are opaque to the rules.
+    Lit(LitKind),
+    /// Single punctuation byte (`::` arrives as two `:` tokens).
+    Punct(u8),
+    /// Comment; kept in the stream for SAFETY/allow scanning but
+    /// excluded from the code view the rules match against.
+    Comment(CommentKind),
+}
+
+/// One token with its source position and nesting context.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind (see [`TokKind`]).
+    pub kind: TokKind,
+    /// Raw source text of the token (comments keep their markers).
+    pub text: String,
+    /// 0-based line of the token's first byte.
+    pub line: usize,
+    /// 0-based line of the token's last byte (multi-line comments,
+    /// raw strings).
+    pub end_line: usize,
+    /// Brace (`{}`) nesting depth: the depth *inside* which the token
+    /// sits. A `{` and its matching `}` share the same depth.
+    pub depth: usize,
+    /// Combined `(` / `[` nesting depth at the token, same convention.
+    pub delim: usize,
+}
+
+impl Tok {
+    /// Is this a non-doc comment (`//`, `/* */`)?
+    pub fn is_plain_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment(CommentKind::Line | CommentKind::Block))
+    }
+
+    /// Is this any comment?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment(_))
+    }
+
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this the punctuation byte `c`?
+    pub fn is_punct(&self, c: u8) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Running lexer state: position, line, nesting depths.
+struct Lexer<'s> {
+    src: &'s [u8],
+    i: usize,
+    line: usize,
+    depth: usize,
+    delim: usize,
+    toks: Vec<Tok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn bump_lines(&mut self, from: usize, to: usize) {
+        self.line += self.src[from..to].iter().filter(|&&c| c == b'\n').count();
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, start_line: usize) {
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.toks.push(Tok {
+            kind,
+            text,
+            line: start_line,
+            end_line: self.line,
+            depth: self.depth,
+            delim: self.delim,
+        });
+    }
+
+    /// Lex a line comment starting at `self.i` (`//`, `///`, `//!`).
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let b = self.src;
+        // `////...` dividers count as plain comments, `///x` as doc.
+        let kind = if b[start..].starts_with(b"//!")
+            || (b[start..].starts_with(b"///") && !b[start..].starts_with(b"////"))
+        {
+            CommentKind::DocLine
+        } else {
+            CommentKind::Line
+        };
+        while self.i < b.len() && b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokKind::Comment(kind), start, self.i, start_line);
+    }
+
+    /// Lex a (nested) block comment starting at `self.i` (`/*`).
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let b = self.src;
+        let kind = if b[start..].starts_with(b"/*!")
+            || (b[start..].starts_with(b"/**") && !b[start..].starts_with(b"/**/"))
+        {
+            CommentKind::DocBlock
+        } else {
+            CommentKind::Block
+        };
+        let mut depth = 1usize;
+        self.i += 2;
+        while self.i < b.len() && depth > 0 {
+            if b[self.i..].starts_with(b"/*") {
+                depth += 1;
+                self.i += 2;
+            } else if b[self.i..].starts_with(b"*/") {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.bump_lines(start, self.i);
+        self.push(TokKind::Comment(kind), start, self.i, start_line);
+    }
+
+    /// Try to lex a raw string at `self.i` (`r"`, `r#`, `br"`, `br#`).
+    /// Returns true when one was consumed.
+    fn raw_string(&mut self) -> bool {
+        let b = self.src;
+        let start = self.i;
+        let start_line = self.line;
+        let mut j = self.i;
+        if b[j] == b'b' {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'r' {
+            return false;
+        }
+        j += 1;
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'"' {
+            return false;
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` `#`s.
+        loop {
+            if j >= b.len() {
+                break; // unterminated: consume to EOF
+            }
+            if b[j] == b'"' {
+                let mut h = 0;
+                while h < hashes && j + 1 + h < b.len() && b[j + 1 + h] == b'#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    j += 1 + hashes;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        self.bump_lines(start, j);
+        self.i = j;
+        self.push(TokKind::Lit(LitKind::RawStr), start, j, start_line);
+        true
+    }
+
+    /// Lex a plain (byte) string literal starting at the opening `"`.
+    fn string(&mut self, quote_at: usize) {
+        let start = self.i;
+        let start_line = self.line;
+        let b = self.src;
+        let mut j = quote_at + 1;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let j = j.min(b.len());
+        self.bump_lines(start, j);
+        self.i = j;
+        self.push(TokKind::Lit(LitKind::Str), start, j, start_line);
+    }
+
+    /// At a `'` (offset `q`): either a char literal or a lifetime.
+    /// Returns the byte just past a char literal, or `None` for a
+    /// lifetime.
+    fn char_literal_end(&self, q: usize) -> Option<usize> {
+        let b = self.src;
+        let first = *b.get(q + 1)?;
+        if first == b'\\' {
+            let mut j = q + 2;
+            match b.get(j) {
+                Some(b'u') => {
+                    while j < b.len() && b[j] != b'}' {
+                        j += 1;
+                    }
+                }
+                Some(b'x') => j += 2,
+                _ => {}
+            }
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            return (j < b.len()).then_some(j + 1);
+        }
+        if first == b'\'' {
+            return None; // `''` — malformed, treat as two puncts
+        }
+        let width = match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        };
+        (b.get(q + 1 + width) == Some(&b'\'')).then_some(q + 2 + width)
+    }
+}
+
+/// Tokenize `src`. Never fails: malformed input degrades to punct/ident
+/// tokens rather than a lex error (the linter must not crash on the code
+/// it polices).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut lx = Lexer {
+        src: b,
+        i: 0,
+        line: 0,
+        depth: 0,
+        delim: 0,
+        toks: Vec::with_capacity(src.len() / 6),
+    };
+    while lx.i < b.len() {
+        let c = b[lx.i];
+        let start_line = lx.line;
+        match c {
+            b'\n' => {
+                lx.line += 1;
+                lx.i += 1;
+            }
+            c if c.is_ascii_whitespace() => lx.i += 1,
+            b'/' if b.get(lx.i + 1) == Some(&b'/') => lx.line_comment(),
+            b'/' if b.get(lx.i + 1) == Some(&b'*') => lx.block_comment(),
+            b'r' | b'b'
+                if (lx.i == 0 || !is_ident_cont(b[lx.i - 1])) && {
+                    // Raw string (r" r# br" br#), byte string (b") or
+                    // byte char (b') — all begin at an ident boundary.
+                    let n1 = b.get(lx.i + 1).copied();
+                    (c == b'r' && matches!(n1, Some(b'"') | Some(b'#')))
+                        || (c == b'b' && matches!(n1, Some(b'"') | Some(b'\'') | Some(b'r')))
+                } =>
+            {
+                if lx.raw_string() {
+                    continue;
+                }
+                match b.get(lx.i + 1) {
+                    Some(b'"') => {
+                        let q = lx.i + 1;
+                        lx.string(q);
+                    }
+                    Some(b'\'') => match lx.char_literal_end(lx.i + 1) {
+                        Some(end) => {
+                            lx.push(TokKind::Lit(LitKind::Char), lx.i, end, start_line);
+                            lx.i = end;
+                        }
+                        None => {
+                            // `b'x` without close: lex `b` as ident.
+                            lx.push(TokKind::Ident, lx.i, lx.i + 1, start_line);
+                            lx.i += 1;
+                        }
+                    },
+                    // `br` not followed by a raw string: plain ident.
+                    _ => {
+                        let start = lx.i;
+                        while lx.i < b.len() && is_ident_cont(b[lx.i]) {
+                            lx.i += 1;
+                        }
+                        lx.push(TokKind::Ident, start, lx.i, start_line);
+                    }
+                }
+            }
+            b'"' => lx.string(lx.i),
+            b'\'' => match lx.char_literal_end(lx.i) {
+                Some(end) => {
+                    lx.push(TokKind::Lit(LitKind::Char), lx.i, end, start_line);
+                    lx.i = end;
+                }
+                None => {
+                    // Lifetime: `'` + ident.
+                    let start = lx.i;
+                    let mut j = lx.i + 1;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    if j > lx.i + 1 {
+                        lx.push(TokKind::Lifetime, start, j, start_line);
+                        lx.i = j;
+                    } else {
+                        lx.push(TokKind::Punct(b'\''), start, j, start_line);
+                        lx.i = j;
+                    }
+                }
+            },
+            c if is_ident_start(c) => {
+                let start = lx.i;
+                while lx.i < b.len() && is_ident_cont(b[lx.i]) {
+                    lx.i += 1;
+                }
+                lx.push(TokKind::Ident, start, lx.i, start_line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = lx.i;
+                while lx.i < b.len()
+                    && (is_ident_cont(b[lx.i])
+                        || (b[lx.i] == b'.'
+                            && b.get(lx.i + 1).is_some_and(|d| d.is_ascii_digit())
+                            && b.get(lx.i.wrapping_sub(1)) != Some(&b'.')))
+                {
+                    lx.i += 1;
+                }
+                lx.push(TokKind::Lit(LitKind::Num), start, lx.i, start_line);
+            }
+            _ => {
+                match c {
+                    b'{' => {
+                        lx.push(TokKind::Punct(c), lx.i, lx.i + 1, start_line);
+                        lx.depth += 1;
+                    }
+                    b'}' => {
+                        lx.depth = lx.depth.saturating_sub(1);
+                        lx.push(TokKind::Punct(c), lx.i, lx.i + 1, start_line);
+                    }
+                    b'(' | b'[' => {
+                        lx.push(TokKind::Punct(c), lx.i, lx.i + 1, start_line);
+                        lx.delim += 1;
+                    }
+                    b')' | b']' => {
+                        lx.delim = lx.delim.saturating_sub(1);
+                        lx.push(TokKind::Punct(c), lx.i, lx.i + 1, start_line);
+                    }
+                    _ => lx.push(TokKind::Punct(c), lx.i, lx.i + 1, start_line),
+                }
+                lx.i += 1;
+            }
+        }
+    }
+    lx.toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_comments_chars_are_classified() {
+        let toks = kinds("let a = \"panic!\"; // .unwrap()\nlet b = '\\n';");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lit(LitKind::Str) && t.contains("panic!")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Comment(CommentKind::Line) && t.contains(".unwrap()")));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Lit(LitKind::Char)));
+        // No Ident token carries the banned text.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn raw_strings_with_guards_are_opaque() {
+        let toks = kinds("let s = br##\"thread::spawn \"# panic!\"##; call();");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lit(LitKind::RawStr) && t.contains("panic!")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "call"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "spawn"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks.iter().filter(|(k, _)| matches!(k, TokKind::Comment(_))).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "f"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "inner"));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let toks = lex("/// outer doc\n//! inner doc\n// plain\n/** block doc */\n/* block */");
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Comment(CommentKind::DocLine),
+                TokKind::Comment(CommentKind::DocLine),
+                TokKind::Comment(CommentKind::Line),
+                TokKind::Comment(CommentKind::DocBlock),
+                TokKind::Comment(CommentKind::Block),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_literals_with_quotes_inside() {
+        let toks = kinds("let c = '\\''; let b = b'\"'; let s = b\"x\";");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lit(LitKind::Char)).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lit(LitKind::Str)).count(), 1);
+    }
+
+    #[test]
+    fn depth_and_delim_are_tracked() {
+        let toks = lex("fn f() { if x { g(&[1]); } }");
+        let g = toks.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(g.depth, 2);
+        assert_eq!(g.delim, 0);
+        let one = toks.iter().find(|t| t.kind == TokKind::Lit(LitKind::Num)).unwrap();
+        assert_eq!(one.delim, 2);
+        let opens: Vec<_> = toks.iter().filter(|t| t.is_punct(b'{')).map(|t| t.depth).collect();
+        let closes: Vec<_> = toks.iter().filter(|t| t.is_punct(b'}')).map(|t| t.depth).collect();
+        assert_eq!(opens, vec![0, 1]);
+        assert_eq!(closes, vec![1, 0]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lit(LitKind::Num))
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5"]);
+    }
+}

@@ -6,10 +6,11 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cargo run -p analysis [-- [--list-rules] [ROOT]]\n\
+        "usage: cargo run -p analysis [-- [--list-rules] [--format text|json] [ROOT]]\n\
          \n\
          Lints every crate source tree under ROOT (default: the enclosing\n\
-         cargo workspace) against the repo invariant registry. Exit codes:\n\
+         cargo workspace) against the repo invariant registry. `--format json`\n\
+         prints one machine-readable report object instead of text. Exit codes:\n\
          0 = clean, 1 = violations found, 2 = usage or I/O error."
     );
     std::process::exit(2);
@@ -35,9 +36,16 @@ fn find_root(start: &Path) -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut root_arg: Option<PathBuf> = None;
     let mut list_rules = false;
-    for arg in std::env::args().skip(1) {
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list-rules" => list_rules = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && root_arg.is_none() => {
                 root_arg = Some(PathBuf::from(other));
@@ -64,6 +72,14 @@ fn main() -> ExitCode {
 
     match analysis::lint_workspace(&root) {
         Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+                return if report.findings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
             for finding in &report.findings {
                 println!("{finding}");
             }

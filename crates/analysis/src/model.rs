@@ -1,0 +1,541 @@
+//! Per-file source model built on the token stream: code/comment views,
+//! `#[cfg(test)]` and `struct *Stats` regions, function and loop spans,
+//! and the `// lint: allow(...)` suppression table.
+//!
+//! Every rule runs against one shared [`FileModel`] — each file is read
+//! and tokenized exactly once per lint pass, which is what keeps the
+//! whole-workspace scan inside its wall-clock budget.
+
+use crate::lexer::{lex, LitKind, Tok, TokKind};
+
+/// A function item: `fn name` with its signature and body token ranges.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// `pub` with no visibility restriction (`pub(crate)` etc. excluded).
+    pub is_pub: bool,
+    /// Code-token index of the `fn` keyword.
+    pub kw: usize,
+    /// Code-token range of the signature: `(kw, body_open)` exclusive of
+    /// the body brace, or up to the terminating `;` for bodyless decls.
+    pub sig_end: usize,
+    /// Code-token indices of the body `{`..`}`, if the fn has a body.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Loop construct kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for pat in iter { .. }`
+    For,
+    /// `while cond { .. }` / `while let .. { .. }`
+    While,
+    /// `loop { .. }`
+    Loop,
+}
+
+/// A loop span: keyword plus body token range.
+#[derive(Debug, Clone)]
+pub struct LoopSpan {
+    /// Which construct.
+    pub kind: LoopKind,
+    /// Code-token index of the keyword.
+    pub kw: usize,
+    /// Code-token indices of the body `{`..`}`.
+    pub body: (usize, usize),
+}
+
+/// One `// lint: allow(rule): why` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 0-based line the allow comment starts on.
+    pub line: usize,
+    /// The rule id inside the parens.
+    pub rule: String,
+    /// Whether a justification (>= 3 non-whitespace chars) follows.
+    pub justified: bool,
+    /// Set when the allow suppressed (or annotated) at least one
+    /// finding; unused allows are stale.
+    pub used: bool,
+}
+
+/// Fully analyzed source file.
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// The full token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens — the code view rules
+    /// match against.
+    pub code: Vec<usize>,
+    /// Number of source lines.
+    pub nlines: usize,
+    /// Per line: concatenated text of every comment starting there.
+    pub comment_text: Vec<String>,
+    /// Per line: does any code token start here?
+    pub has_code: Vec<bool>,
+    /// Per line: inside a `#[cfg(test)]` / `#[test]` item.
+    pub test_lines: Vec<bool>,
+    /// Per line: inside the body of a `struct <Name>Stats`.
+    pub stats_lines: Vec<bool>,
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Loop spans, in source order.
+    pub loops: Vec<LoopSpan>,
+    /// Allow comments, in source order.
+    pub allows: Vec<Allow>,
+}
+
+impl FileModel {
+    /// Build the model for one source buffer.
+    pub fn new(rel_path: &str, src: &str) -> FileModel {
+        let toks = lex(src);
+        let nlines = src.lines().count().max(1);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+
+        let mut comment_text = vec![String::new(); nlines + 1];
+        let mut has_code = vec![false; nlines + 1];
+        for t in &toks {
+            if t.is_comment() {
+                comment_text[t.line.min(nlines)].push_str(&t.text);
+            } else {
+                has_code[t.line.min(nlines)] = true;
+            }
+        }
+
+        let mut m = FileModel {
+            rel_path: rel_path.to_owned(),
+            toks,
+            code,
+            nlines,
+            comment_text,
+            has_code,
+            test_lines: vec![false; nlines + 1],
+            stats_lines: vec![false; nlines + 1],
+            fns: Vec::new(),
+            loops: Vec::new(),
+            allows: Vec::new(),
+        };
+        m.mark_test_regions();
+        m.mark_stats_regions();
+        m.collect_fns();
+        m.collect_loops();
+        m.collect_allows(src);
+        m
+    }
+
+    /// The code token at code-view index `ci`.
+    pub fn ct(&self, ci: usize) -> &Tok {
+        &self.toks[self.code[ci]]
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Find the code-view index of the `}` matching the `{` at code-view
+    /// index `open` (same brace depth). Returns the last token on
+    /// imbalance.
+    pub fn matching_close(&self, open: usize) -> usize {
+        let d = self.ct(open).depth;
+        for ci in open + 1..self.code_len() {
+            let t = self.ct(ci);
+            if t.is_punct(b'}') && t.depth == d {
+                return ci;
+            }
+        }
+        self.code_len().saturating_sub(1)
+    }
+
+    /// Does the code-token sequence starting at `ci` spell out the
+    /// `::`-free path `parts` (idents separated by `::`)?
+    pub fn path_at(&self, ci: usize, parts: &[&str]) -> bool {
+        let mut at = ci;
+        for (k, part) in parts.iter().enumerate() {
+            if at >= self.code_len() || !self.ct(at).is_ident(part) {
+                return false;
+            }
+            at += 1;
+            if k + 1 < parts.len() {
+                if at + 1 >= self.code_len()
+                    || !self.ct(at).is_punct(b':')
+                    || !self.ct(at + 1).is_punct(b':')
+                {
+                    return false;
+                }
+                at += 2;
+            }
+        }
+        true
+    }
+
+    /// Is the ident at code index `ci` path-prefixed (preceded by `::`)?
+    pub fn has_path_prefix(&self, ci: usize) -> bool {
+        ci >= 2 && self.ct(ci - 1).is_punct(b':') && self.ct(ci - 2).is_punct(b':')
+    }
+
+    /// Is the code token at `ci` a method call `.name(`?
+    pub fn method_call_at(&self, ci: usize, name: &str) -> bool {
+        ci >= 1
+            && self.ct(ci).is_ident(name)
+            && self.ct(ci - 1).is_punct(b'.')
+            && ci + 1 < self.code_len()
+            && self.ct(ci + 1).is_punct(b'(')
+    }
+
+    /// Innermost enclosing loop span containing code index `ci`, if any.
+    pub fn enclosing_loop(&self, ci: usize) -> Option<&LoopSpan> {
+        self.loops.iter().filter(|l| l.body.0 < ci && ci < l.body.1).max_by_key(|l| l.body.0)
+    }
+
+    /// The fn item whose body contains code index `ci`, if any
+    /// (innermost, for nested fns).
+    pub fn enclosing_fn(&self, ci: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(o, c)| o <= ci && ci <= c))
+            .max_by_key(|f| f.body.map(|(o, _)| o))
+    }
+
+    // -- region marking -----------------------------------------------------
+
+    /// Walk `#[...]` attributes; mark items under test-shaped attributes.
+    fn mark_test_regions(&mut self) {
+        let n = self.code_len();
+        let mut ci = 0;
+        while ci + 1 < n {
+            if !(self.ct(ci).is_punct(b'#') && self.ct(ci + 1).is_punct(b'[')) {
+                ci += 1;
+                continue;
+            }
+            // Collect idents inside the attribute.
+            let open_delim = self.ct(ci + 1).delim;
+            let mut j = ci + 2;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < n {
+                let t = self.ct(j);
+                if t.is_punct(b']') && t.delim == open_delim {
+                    break;
+                }
+                if t.kind == TokKind::Ident {
+                    idents.push(&t.text);
+                }
+                j += 1;
+            }
+            let first = idents.first().copied().unwrap_or("");
+            let is_test_attr = first == "test"
+                || (first == "cfg" && idents.contains(&"test") && !idents.contains(&"not"));
+            if !is_test_attr {
+                ci = j + 1;
+                continue;
+            }
+            // Item extent: first `{` (to matching `}`) or `;` at the
+            // attribute's brace depth, skipping further attributes.
+            let attr_depth = self.ct(ci).depth;
+            let start_line = self.ct(ci).line;
+            let mut k = j + 1;
+            let mut end_line = self.ct(n - 1).line;
+            while k < n {
+                let t = self.ct(k);
+                if t.is_punct(b'{') && t.depth == attr_depth {
+                    let close = self.matching_close(k);
+                    end_line = self.ct(close).end_line;
+                    break;
+                }
+                if t.is_punct(b';') && t.depth == attr_depth {
+                    end_line = t.line;
+                    break;
+                }
+                k += 1;
+            }
+            for l in start_line..=end_line.min(self.nlines) {
+                self.test_lines[l] = true;
+            }
+            ci = j + 1;
+        }
+    }
+
+    /// Mark `struct <Name>Stats { ... }` bodies (stats structs may store
+    /// wall-clock durations; they must not sample them).
+    fn mark_stats_regions(&mut self) {
+        let n = self.code_len();
+        for ci in 0..n.saturating_sub(1) {
+            if !self.ct(ci).is_ident("struct") {
+                continue;
+            }
+            let name_tok = self.ct(ci + 1);
+            if name_tok.kind != TokKind::Ident || !name_tok.text.ends_with("Stats") {
+                continue;
+            }
+            let d = self.ct(ci).depth;
+            let mut k = ci + 2;
+            while k < n {
+                let t = self.ct(k);
+                // `;` or `(` first → unit/tuple struct, no body to mark.
+                if (t.is_punct(b';') || t.is_punct(b'(')) && t.depth == d {
+                    break;
+                }
+                if t.is_punct(b'{') && t.depth == d {
+                    let close = self.matching_close(k);
+                    let (l0, l1) = (t.line, self.ct(close).end_line);
+                    for l in l0..=l1.min(self.nlines) {
+                        self.stats_lines[l] = true;
+                    }
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    // -- item collection ----------------------------------------------------
+
+    fn collect_fns(&mut self) {
+        let n = self.code_len();
+        let mut fns = Vec::new();
+        for ci in 0..n {
+            if !self.ct(ci).is_ident("fn") {
+                continue;
+            }
+            let Some(name_tok) = (ci + 1 < n).then(|| self.ct(ci + 1)) else { continue };
+            if name_tok.kind != TokKind::Ident {
+                continue; // `fn` in `Fn(..)` bounds etc.
+            }
+            let name = name_tok.text.clone();
+            // Visibility: walk back over fn qualifiers to a possible
+            // `pub`, rejecting `pub(...)` restrictions.
+            let mut is_pub = false;
+            let mut b = ci;
+            while b > 0 {
+                b -= 1;
+                let t = self.ct(b);
+                let qualifier = t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern");
+                let abi = t.kind == TokKind::Lit(LitKind::Str); // extern "C"
+                if qualifier || abi {
+                    continue;
+                }
+                if t.is_ident("pub") {
+                    // `pub` directly before the qualifiers can't be
+                    // restricted; `pub(crate) fn` ends in `)` and lands
+                    // in the arm below instead.
+                    is_pub = true;
+                }
+                if t.is_punct(b')') {
+                    // Possibly `pub(crate)`: look back past the group.
+                    let mut g = b;
+                    while g > 0 && !self.ct(g).is_punct(b'(') {
+                        g -= 1;
+                    }
+                    if g > 0 && self.ct(g - 1).is_ident("pub") {
+                        is_pub = false; // restricted visibility
+                    }
+                }
+                break;
+            }
+            // Body: first `{` or `;` at the keyword's depth.
+            let d = self.ct(ci).depth;
+            let mut k = ci + 2;
+            let mut body = None;
+            let mut sig_end = n.saturating_sub(1);
+            while k < n {
+                let t = self.ct(k);
+                if t.is_punct(b'{') && t.depth == d {
+                    body = Some((k, self.matching_close(k)));
+                    sig_end = k;
+                    break;
+                }
+                if t.is_punct(b';') && t.depth == d && t.delim == self.ct(ci).delim {
+                    sig_end = k;
+                    break;
+                }
+                k += 1;
+            }
+            fns.push(FnItem { name, is_pub, kw: ci, sig_end, body });
+        }
+        self.fns = fns;
+    }
+
+    fn collect_loops(&mut self) {
+        let n = self.code_len();
+        let mut loops = Vec::new();
+        for ci in 0..n {
+            let t = self.ct(ci);
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let kind = match t.text.as_str() {
+                "for" => LoopKind::For,
+                "while" => LoopKind::While,
+                "loop" => LoopKind::Loop,
+                _ => continue,
+            };
+            // `for` also appears in `impl Trait for Type` and `for<'a>`
+            // bounds; a real for-loop has an `in` between pattern and
+            // body at the keyword's nesting level.
+            let (d, dl) = (t.depth, t.delim);
+            if kind == LoopKind::For {
+                if ci + 1 < n && self.ct(ci + 1).is_punct(b'<') {
+                    continue; // for<'a> higher-ranked bound
+                }
+                let mut saw_in = false;
+                let mut k = ci + 1;
+                while k < n {
+                    let u = self.ct(k);
+                    if u.is_punct(b'{') && u.depth == d && u.delim == dl {
+                        break;
+                    }
+                    if u.is_ident("in") && u.depth == d && u.delim == dl {
+                        saw_in = true;
+                        break;
+                    }
+                    k += 1;
+                }
+                if !saw_in {
+                    continue;
+                }
+            }
+            // Body: first `{` at the keyword's brace and delim depth.
+            let mut k = ci + 1;
+            while k < n {
+                let u = self.ct(k);
+                if u.is_punct(b'{') && u.depth == d && u.delim == dl {
+                    loops.push(LoopSpan { kind, kw: ci, body: (k, self.matching_close(k)) });
+                    break;
+                }
+                // A `;` before the body means this wasn't a loop header.
+                if u.is_punct(b';') && u.depth == d && u.delim == dl {
+                    break;
+                }
+                k += 1;
+            }
+        }
+        self.loops = loops;
+    }
+
+    /// Collect `lint: allow(rule)[: justification]` from plain (non-doc)
+    /// comments. Doc comments are excluded so documentation *about* the
+    /// allow syntax never registers as a suppression.
+    fn collect_allows(&mut self, _src: &str) {
+        const NEEDLE: &str = "lint: allow(";
+        let mut allows = Vec::new();
+        for t in &self.toks {
+            if !t.is_plain_comment() {
+                continue;
+            }
+            let mut from = 0;
+            while let Some(p) = t.text[from..].find(NEEDLE) {
+                let at = from + p + NEEDLE.len();
+                from = at;
+                let Some(close) = t.text[at..].find(')') else { break };
+                let rule = t.text[at..at + close].trim().to_string();
+                let rest = t.text[at + close + 1..]
+                    .trim_start_matches([':', ' ', '\u{2014}', '-', '\u{2013}']);
+                // The justification may continue on following comment
+                // lines; `justified` here only records same-comment text.
+                let justified = rest.chars().filter(|c| !c.is_whitespace()).count() >= 3;
+                allows.push(Allow { line: t.line, rule, justified, used: false });
+            }
+        }
+        allows.sort_by_key(|a| a.line);
+        self.allows = allows;
+    }
+
+    // -- suppression --------------------------------------------------------
+
+    /// Find the allow governing a finding of `rule` at 0-based `line`:
+    /// same line, the line directly above, or the contiguous block of
+    /// comment-only lines directly above. Returns the allow's index.
+    pub fn allow_for(&self, line: usize, rule: &str) -> Option<usize> {
+        let at_line = |l: usize| self.allows.iter().position(|a| a.line == l && a.rule == rule);
+        let mut best: Option<usize> = at_line(line);
+        if best.is_some_and(|i| self.allows[i].justified) {
+            return best;
+        }
+        let mut l = line;
+        while l > 0 {
+            l -= 1;
+            if let Some(i) = at_line(l) {
+                if self.allows[i].justified || best.is_none() {
+                    best = Some(i);
+                }
+                if self.allows[i].justified {
+                    break;
+                }
+            }
+            // Only comment-only lines extend the search upward.
+            if self.has_code[l.min(self.nlines)] || self.comment_text[l.min(self.nlines)].is_empty()
+            {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_attributed_items() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() {}\n}\nfn h() {}\n";
+        let m = FileModel::new("x.rs", src);
+        assert!(!m.test_lines[0]);
+        assert!(m.test_lines[1] && m.test_lines[2] && m.test_lines[3] && m.test_lines[4]);
+        assert!(!m.test_lines[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let m = FileModel::new("x.rs", src);
+        assert!(!m.test_lines[1]);
+    }
+
+    #[test]
+    fn stats_struct_bodies_are_marked() {
+        let src = "pub struct RunStats {\n    pub t: Instant,\n}\nstruct Other {\n    x: u32,\n}\n";
+        let m = FileModel::new("x.rs", src);
+        assert!(m.stats_lines[1]);
+        assert!(!m.stats_lines[4]);
+    }
+
+    #[test]
+    fn fn_items_and_visibility() {
+        let src = "pub fn a() {}\npub(crate) fn b() {}\nfn c() {}\npub unsafe fn d() {}\n";
+        let m = FileModel::new("x.rs", src);
+        let vis: Vec<(String, bool)> = m.fns.iter().map(|f| (f.name.clone(), f.is_pub)).collect();
+        assert_eq!(
+            vis,
+            vec![("a".into(), true), ("b".into(), false), ("c".into(), false), ("d".into(), true)]
+        );
+    }
+
+    #[test]
+    fn loops_found_impl_for_is_not_a_loop() {
+        let src = "impl Tr for Ty {\n    fn m(&self) {\n        for x in 0..3 { self.go(x); }\n        while x < 2 {}\n        loop { break; }\n    }\n}\n";
+        let m = FileModel::new("x.rs", src);
+        let kinds: Vec<LoopKind> = m.loops.iter().map(|l| l.kind).collect();
+        assert_eq!(kinds, vec![LoopKind::For, LoopKind::While, LoopKind::Loop]);
+    }
+
+    #[test]
+    fn allow_in_doc_comment_is_ignored() {
+        let src = "//! example: `// lint: allow(no-panics): why`\n// lint: allow(fs-isolation): real one\nfn f() {}\n";
+        let m = FileModel::new("x.rs", src);
+        assert_eq!(m.allows.len(), 1);
+        assert_eq!(m.allows[0].rule, "fs-isolation");
+        assert!(m.allows[0].justified);
+    }
+
+    #[test]
+    fn allow_block_search_walks_comment_only_lines() {
+        let src = "// lint: allow(no-panics): long justification\n// continues here\nfn f() { x.unwrap(); }\n";
+        let m = FileModel::new("x.rs", src);
+        assert!(m.allow_for(2, "no-panics").is_some());
+        assert!(m.allow_for(2, "fs-isolation").is_none());
+    }
+}

@@ -1,0 +1,39 @@
+// lint-fixture path=crates/cudalign/src/stage1.rs rule=cancel-coverage expect=1
+// Supervised hot-path loops must reach a cancellation check: the
+// uncovered loop fires; the polled and allowed loops do not.
+pub fn uncovered(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+// Must NOT fire: polls the run control every iteration.
+pub fn polled(xs: &[u64], ctrl: &RunControl) -> Result<u64, StageError> {
+    let mut acc = 0;
+    for &x in xs {
+        ctrl.check(0)?;
+        acc += x;
+    }
+    Ok(acc)
+}
+
+// Must NOT fire: the condition itself is the cancellation check.
+pub fn condition_polled(ctrl: &RunControl) -> u64 {
+    let mut acc = 0;
+    while !ctrl.is_cancelled() {
+        acc += 1;
+    }
+    acc
+}
+
+// Must NOT fire: justified allow on a provably bounded loop.
+pub fn bounded() -> u64 {
+    let mut acc = 0;
+    // lint: allow(cancel-coverage): bounded to four iterations, no blocking work
+    for i in 0..4 {
+        acc += i;
+    }
+    acc
+}

@@ -1,0 +1,21 @@
+// lint-fixture path=crates/gpu-sim/src/sync.rs rule=condvar-wait-while expect=1
+// A Condvar wait guarded only by `if` misses spurious wakeups and stolen
+// signals; the `while` form below is the accepted shape.
+use std::sync::{Condvar, Mutex};
+
+pub fn wait_if(lock: &Mutex<bool>, cvar: &Condvar) {
+    let mut ready = lock.lock().unwrap_or_else(|e| e.into_inner());
+    if !*ready {
+        ready = cvar.wait(ready).unwrap_or_else(|e| e.into_inner());
+    }
+    *ready = false;
+}
+
+// Must NOT fire: the predicate is re-checked in a while loop.
+pub fn wait_in_while(lock: &Mutex<bool>, cvar: &Condvar) {
+    let mut ready = lock.lock().unwrap_or_else(|e| e.into_inner());
+    while !*ready {
+        ready = cvar.wait(ready).unwrap_or_else(|e| e.into_inner());
+    }
+    *ready = false;
+}

@@ -1,0 +1,25 @@
+// lint-fixture path=crates/cudalign/src/partfix.rs rule=dead-error-variant expect=1
+// Every error-enum variant must be constructed somewhere: `Orphan` never
+// is, so it fires; `Live` is produced below.
+
+/// Partition failure used by the fixture.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum PartError {
+    /// Constructed in `fail` below.
+    Live,
+    /// Never constructed anywhere: a failure mode nothing can produce.
+    Orphan,
+}
+
+pub fn fail() -> Result<(), PartError> {
+    Err(PartError::Live)
+}
+
+// Matching on a variant is not construction and keeps `Orphan` dead.
+pub fn describe(e: &PartError) -> &'static str {
+    match e {
+        PartError::Live => "live",
+        PartError::Orphan => "orphan",
+    }
+}

@@ -1,0 +1,12 @@
+// lint-fixture path=crates/cudalign/src/docfix.rs rule=* expect=0
+//! Banned patterns in doc comments must not fire: don't call
+//! `.unwrap()` or `panic!()`, avoid `thread::spawn`, `Instant::now()`,
+//! `std::fs::File` and `OpenOptions`, and never `thread::sleep`.
+//! Even a doc-quoted `lint: allow(no-panics): example` is inert — the
+//! escape hatch only reads plain comments.
+
+/// Returns x. Not `x.unwrap()`; no `SystemTime::now()` involved.
+/// Spawning via `thread::Builder` is likewise only mentioned here.
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,9 @@
+// lint-fixture path=crates/gpu-sim/src/wavefront.rs rule=* expect=0
+/* Outer block comment full of banned content:
+   thread::spawn(|| {}), x.unwrap(), Instant::now()
+   /* nested block: std::fs::File::open, panic!("boom"), OpenOptions::new() */
+   still inside the outer comment after the nested close: SystemTime::now()
+*/
+pub fn quiet() -> u32 {
+    7
+}

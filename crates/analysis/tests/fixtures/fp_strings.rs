@@ -1,0 +1,15 @@
+// lint-fixture path=crates/gpu-sim/src/kernel.rs rule=* expect=0
+// Banned patterns inside string literals must not fire; the old line
+// matcher flagged every one of these.
+
+pub fn describe() -> &'static str {
+    "call .unwrap() or panic!() then std::thread::spawn and Instant::now()"
+}
+
+pub fn more() -> String {
+    String::from("std::fs::File::open via OpenOptions; thread::sleep and SystemTime too")
+}
+
+pub fn raw() -> &'static str {
+    r#"even raw strings: unsafe { Instant::now() } and thread::scope"#
+}

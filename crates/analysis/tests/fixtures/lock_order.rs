@@ -1,0 +1,31 @@
+// lint-fixture path=crates/gpu-sim/src/exec.rs rule=lock-order expect=1
+// Acquiring `coord` (rank 0) while `queue` (rank 1) is held inverts the
+// documented outermost-first order and fires; the ordered fn is clean.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub coord: Mutex<u32>,
+}
+
+pub fn inverted(sh: &Shared) -> u32 {
+    let q = sh.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let c = sh.coord.lock().unwrap_or_else(|e| e.into_inner());
+    *c + q.len() as u32
+}
+
+// Must NOT fire: the documented order, coord before queue.
+pub fn ordered(sh: &Shared) -> u32 {
+    let c = sh.coord.lock().unwrap_or_else(|e| e.into_inner());
+    let q = sh.queue.lock().unwrap_or_else(|e| e.into_inner());
+    *c + q.len() as u32
+}
+
+// Must NOT fire: the first guard is dropped before the second acquire.
+pub fn sequential(sh: &Shared) -> u32 {
+    let q = sh.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let n = q.len() as u32;
+    drop(q);
+    let c = sh.coord.lock().unwrap_or_else(|e| e.into_inner());
+    *c + n
+}

@@ -1,13 +1,8 @@
-// lint-fixture path=crates/cudalign/src/stage1.rs rule=sleep-injection expect=2
-// Two live violations: bare blocking sleeps in library code outside the
+// lint-fixture path=crates/cudalign/src/stage1.rs rule=sleep-injection expect=1
+// One live violation: a bare blocking sleep in library code outside the
 // sanctioned storage/exec homes.
 pub fn wait_a_bit() {
     std::thread::sleep(std::time::Duration::from_millis(5));
-}
-
-pub fn wait_again() {
-    use std::thread;
-    thread::sleep(std::time::Duration::from_millis(1));
 }
 
 // Must NOT fire: a justified allow at a site that genuinely needs it.

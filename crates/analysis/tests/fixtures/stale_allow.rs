@@ -1,0 +1,8 @@
+// lint-fixture path=crates/cudalign/src/stalefix.rs rule=stale-allow expect=1
+// A suppression whose rule no longer fires on that line is itself a lint
+// error, so fixed code can't keep its scar tissue.
+
+pub fn safe_default(x: Option<u32>) -> u32 {
+    // lint: allow(no-panics): the unwrap here was replaced by unwrap_or
+    x.unwrap_or(0)
+}

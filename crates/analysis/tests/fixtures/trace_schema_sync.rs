@@ -1,0 +1,20 @@
+// lint-fixture path=crates/cudalign/src/obs.rs rule=trace-schema-sync expect=1
+// The emit side and the validator schema must agree: encode_record
+// emits "alpha" and "beta" but validate_record only accepts "alpha",
+// so the "beta" emit fires.
+
+fn encode_record(which: bool) -> String {
+    if which {
+        String::from("{\"ev\":\"alpha\",\"t\":0}")
+    } else {
+        String::from("{\"ev\":\"beta\",\"t\":0}")
+    }
+}
+
+fn validate_record(line: &str) -> Result<(), String> {
+    let ev = line;
+    match ev {
+        "alpha" => Ok(()),
+        _ => Err(String::from("unknown event")),
+    }
+}

@@ -1,0 +1,36 @@
+// lint-fixture path=crates/cudalign/src/seqio.rs rule=typed-errors expect=1
+// Public Result fns must return typed error enums: the stringly
+// signature fires; typed and io::Result signatures do not.
+
+/// Typed failure used by the clean signatures below.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum FixtureError {
+    /// Input was empty.
+    Empty,
+}
+
+pub fn stringly(x: u32) -> Result<u32, String> {
+    if x == 0 {
+        return Err("zero".to_string());
+    }
+    Ok(x)
+}
+
+// Must NOT fire: a typed #[non_exhaustive] error enum.
+pub fn typed(x: u32) -> Result<u32, FixtureError> {
+    if x == 0 {
+        return Err(FixtureError::Empty);
+    }
+    Ok(x)
+}
+
+// Must NOT fire: a single-argument Result alias carries its own typed error.
+pub fn io_like(x: u32) -> std::io::Result<u32> {
+    Ok(x)
+}
+
+// Must NOT fire: private fns may keep stringly plumbing internally.
+fn internal(x: u32) -> Result<u32, String> {
+    Ok(x)
+}

@@ -75,9 +75,12 @@ fn load_fixtures() -> Vec<Fixture> {
 #[test]
 fn every_rule_has_a_firing_fixture() {
     let covered: BTreeSet<String> =
-        load_fixtures().iter().filter(|f| f.expect > 0).map(|f| f.rule.clone()).collect();
+        load_fixtures().iter().filter(|f| f.expect == 1).map(|f| f.rule.clone()).collect();
     let all: BTreeSet<String> = analysis::rules().iter().map(|r| r.id.to_string()).collect();
-    assert_eq!(covered, all, "each rule needs a fixture where it fires (and vice versa)");
+    assert_eq!(
+        covered, all,
+        "each rule needs a fixture where it fires exactly once (and vice versa)"
+    );
 }
 
 #[test]

@@ -1,0 +1,36 @@
+//! Analyzer performance budget: the full-workspace lint must stay cheap
+//! enough that the tier-1 `workspace_is_lint_clean` test never dominates
+//! a test run. Each file is lexed exactly once and all rules share the
+//! resulting token model, so the whole sweep should finish in well under
+//! a second; the budget below leaves a wide margin for slow CI runners.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lint_fits_the_budget() {
+    const BUDGET: Duration = Duration::from_secs(10);
+    let start = Instant::now();
+    let report = analysis::lint_workspace(&workspace_root()).expect("workspace readable");
+    let elapsed = start.elapsed();
+    assert!(
+        report.files > 30,
+        "budget test should sweep the real workspace, saw only {} file(s)",
+        report.files
+    );
+    assert!(
+        elapsed < BUDGET,
+        "workspace lint took {elapsed:?} for {} file(s); budget is {BUDGET:?} — \
+         a rule is probably re-reading or re-lexing files instead of sharing \
+         the per-file token model",
+        report.files
+    );
+}

@@ -149,31 +149,77 @@ impl CrosspointChain {
     /// * partition scores telescope (`score` strictly consistent),
     /// * the first point has score 0 and type 0,
     /// * gap-typed crosspoints are interior (not the chain's ends).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ChainError> {
         if self.points.is_empty() {
             return Ok(());
         }
         let first = self.points[0];
         if first.score != 0 || first.edge != EdgeState::Diagonal {
-            return Err(format!("start point must be (score 0, type 0), got {first:?}"));
+            return Err(ChainError::BadStart(first));
         }
-        if let Some(last) = self.points.last() {
+        if let Some(&last) = self.points.last() {
             if last.edge != EdgeState::Diagonal {
-                return Err(format!("end point must have type 0, got {last:?}"));
+                return Err(ChainError::BadEnd(last));
             }
         }
         for (k, w) in self.points.windows(2).enumerate() {
             let (a, b) = (w[0], w[1]);
             if b.i < a.i || b.j < a.j {
-                return Err(format!("crosspoint {k} -> {} goes backwards: {a:?} -> {b:?}", k + 1));
+                return Err(ChainError::Backwards { index: k, from: a, to: b });
             }
             if b.i == a.i && b.j == a.j {
-                return Err(format!("duplicate crosspoint at index {k}: {a:?}"));
+                return Err(ChainError::Duplicate { index: k, point: a });
             }
         }
         Ok(())
     }
 }
+
+/// Structural defects a [`CrosspointChain`] can exhibit, as reported by
+/// [`CrosspointChain::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// The first crosspoint is not `(score 0, type 0)`.
+    BadStart(Crosspoint),
+    /// The last crosspoint carries a gap edge type.
+    BadEnd(Crosspoint),
+    /// Step `index -> index + 1` decreases a coordinate.
+    Backwards {
+        /// Index of the earlier crosspoint of the offending pair.
+        index: usize,
+        /// The earlier crosspoint.
+        from: Crosspoint,
+        /// The later crosspoint.
+        to: Crosspoint,
+    },
+    /// Two successive crosspoints share the same `(i, j)` coordinate.
+    Duplicate {
+        /// Index of the first of the duplicate pair.
+        index: usize,
+        /// The repeated crosspoint.
+        point: Crosspoint,
+    },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::BadStart(p) => {
+                write!(f, "start point must be (score 0, type 0), got {p:?}")
+            }
+            ChainError::BadEnd(p) => write!(f, "end point must have type 0, got {p:?}"),
+            ChainError::Backwards { index, from, to } => {
+                write!(f, "crosspoint {index} -> {} goes backwards: {from:?} -> {to:?}", index + 1)
+            }
+            ChainError::Duplicate { index, point } => {
+                write!(f, "duplicate crosspoint at index {index}: {point:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
 
 #[cfg(test)]
 mod tests {

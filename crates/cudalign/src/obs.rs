@@ -515,16 +515,51 @@ impl<W: Write> TraceWriter<W> {
     }
 
     /// Flush and return the sink, or the first write/flush error.
-    pub fn finish(mut self) -> Result<W, String> {
+    pub fn finish(mut self) -> Result<W, TraceError> {
         if let Some(e) = self.error {
-            return Err(e);
+            return Err(TraceError::Io(e));
         }
         match self.out.flush() {
             Ok(()) => Ok(self.out),
-            Err(e) => Err(e.to_string()),
+            Err(e) => Err(TraceError::Io(e.to_string())),
         }
     }
 }
+
+/// Failures of the trace subsystem: sink errors from
+/// [`TraceWriter::finish`], malformed JSON from [`parse_json`], and
+/// schema violations from [`validate_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The byte sink failed to write or flush; payload is the I/O error
+    /// text (kept as a string so the error stays `Clone + PartialEq`).
+    Io(String),
+    /// A line is not well-formed JSON.
+    Json(String),
+    /// A parsed record violates the DESIGN.md §10 schema.
+    Schema {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What the record got wrong.
+        msg: String,
+    },
+    /// The trace has no records at all (no `run_begin`).
+    Empty,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace sink error: {e}"),
+            TraceError::Json(e) => write!(f, "{e}"),
+            TraceError::Schema { line, msg } => write!(f, "line {line}: {msg}"),
+            TraceError::Empty => write!(f, "empty trace: no run_begin record"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 impl<W: Write> Recorder for TraceWriter<W> {
     fn record(&mut self, t: Duration, ev: &Event) {
@@ -874,13 +909,13 @@ impl Json {
 }
 
 /// Parse one JSON document. Rejects trailing garbage; never panics.
-pub fn parse_json(src: &str) -> Result<Json, String> {
+pub fn parse_json(src: &str) -> Result<Json, TraceError> {
     let b = src.as_bytes();
     let mut pos = 0usize;
-    let v = parse_value(b, &mut pos, 0)?;
+    let v = parse_value(b, &mut pos, 0).map_err(TraceError::Json)?;
     skip_ws(b, &mut pos);
     if pos != b.len() {
-        return Err(format!("trailing bytes at offset {pos}"));
+        return Err(TraceError::Json(format!("trailing bytes at offset {pos}")));
     }
     Ok(v)
 }
@@ -1079,7 +1114,7 @@ struct TraceState {
 /// are non-decreasing, and spans nest (`run_begin` first, stages open
 /// and close in ascending order one at a time, stage-scoped records fall
 /// inside a stage span, nothing follows `run_end`).
-pub fn validate_trace(text: &str) -> Result<TraceCheck, String> {
+pub fn validate_trace(text: &str) -> Result<TraceCheck, TraceError> {
     let mut st = TraceState {
         last_t: 0.0,
         begun: false,
@@ -1092,10 +1127,11 @@ pub fn validate_trace(text: &str) -> Result<TraceCheck, String> {
         if line.trim().is_empty() {
             continue;
         }
-        validate_record(&mut st, line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        validate_record(&mut st, line)
+            .map_err(|msg| TraceError::Schema { line: lineno + 1, msg })?;
     }
     if !st.begun {
-        return Err("empty trace: no run_begin record".to_string());
+        return Err(TraceError::Empty);
     }
     st.check.ended = st.ended;
     Ok(st.check)
@@ -1122,7 +1158,7 @@ fn req_stage(obj: &Json) -> Result<u8, String> {
 }
 
 fn validate_record(st: &mut TraceState, line: &str) -> Result<(), String> {
-    let obj = parse_json(line)?;
+    let obj = parse_json(line).map_err(|e| e.to_string())?;
     if obj.entries().is_none() {
         return Err("record is not a JSON object".to_string());
     }
@@ -1417,21 +1453,21 @@ mod tests {
         let ok = sample_trace(0);
         // A record after run_end.
         let extra = format!("{ok}\n{{\"t\":99,\"ev\":\"stage_begin\",\"stage\":1}}");
-        assert!(validate_trace(&extra).unwrap_err().contains("after run_end"));
+        assert!(validate_trace(&extra).unwrap_err().to_string().contains("after run_end"));
         // Unbalanced span: drop the stage_end records.
         let unbalanced: String =
             ok.lines().filter(|l| !l.contains("stage_end")).collect::<Vec<_>>().join("\n");
         assert!(validate_trace(&unbalanced).is_err());
         // Non-monotone timestamps.
         let back = "{\"t\":1,\"ev\":\"run_begin\",\"m\":1,\"n\":1,\"total_diagonals\":1,\"resumed_from_diagonal\":0}\n{\"t\":0.5,\"ev\":\"stage_begin\",\"stage\":1}";
-        assert!(validate_trace(back).unwrap_err().contains("backwards"));
+        assert!(validate_trace(back).unwrap_err().to_string().contains("backwards"));
         // Missing required field.
         let missing = "{\"t\":0,\"ev\":\"run_begin\",\"m\":1,\"n\":1,\"total_diagonals\":1}";
-        assert!(validate_trace(missing).unwrap_err().contains("resumed_from_diagonal"));
+        assert!(validate_trace(missing).unwrap_err().to_string().contains("resumed_from_diagonal"));
         // Garbage line.
         assert!(validate_trace("not json").is_err());
         // Empty trace.
-        assert!(validate_trace("").unwrap_err().contains("run_begin"));
+        assert!(validate_trace("").unwrap_err().to_string().contains("run_begin"));
     }
 
     #[test]
@@ -1565,19 +1601,25 @@ mod tests {
         let bad_kind = format!(
             "{head}\n{{\"t\":1,\"ev\":\"interrupt\",\"stage\":1,\"kind\":\"bored\",\"diagonal\":0,\"latency_ms\":0}}"
         );
-        assert!(validate_trace(&bad_kind).unwrap_err().contains("unknown interrupt kind"));
+        assert!(validate_trace(&bad_kind)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown interrupt kind"));
         let neg_latency = format!(
             "{head}\n{{\"t\":1,\"ev\":\"interrupt\",\"stage\":1,\"kind\":\"deadline\",\"diagonal\":0,\"latency_ms\":-3}}"
         );
-        assert!(validate_trace(&neg_latency).unwrap_err().contains("negative latency_ms"));
+        assert!(validate_trace(&neg_latency)
+            .unwrap_err()
+            .to_string()
+            .contains("negative latency_ms"));
         let bad_diag = format!(
             "{head}\n{{\"t\":1,\"ev\":\"stall_diag\",\"stage\":1,\"front\":0,\"published\":[1,\"x\"],\"claims\":[],\"blocks\":[]}}"
         );
-        assert!(validate_trace(&bad_diag).unwrap_err().contains("non-numeric"));
+        assert!(validate_trace(&bad_diag).unwrap_err().to_string().contains("non-numeric"));
         let missing_arr = format!(
             "{head}\n{{\"t\":1,\"ev\":\"stall_diag\",\"stage\":1,\"front\":0,\"published\":[],\"claims\":[]}}"
         );
-        assert!(validate_trace(&missing_arr).unwrap_err().contains("blocks"));
+        assert!(validate_trace(&missing_arr).unwrap_err().to_string().contains("blocks"));
     }
 
     #[test]

@@ -114,6 +114,12 @@ impl From<String> for StageError {
     }
 }
 
+impl From<crate::crosspoint::ChainError> for StageError {
+    fn from(e: crate::crosspoint::ChainError) -> Self {
+        StageError::Logic(format!("invalid crosspoint chain: {e}"))
+    }
+}
+
 impl From<ExecError> for StageError {
     fn from(e: ExecError) -> Self {
         match e {

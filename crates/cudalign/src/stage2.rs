@@ -118,6 +118,7 @@ impl gpu_sim::WavefrontObserver for StripObserver<'_> {
         // (H, E_view = F_original) — the paper's rectified vertical bus.
         if block.last_block_col {
             if let Some(fwd) = self.fwd_row {
+                // lint: allow(cancel-coverage): bounded scan of one block's right bus; the engine polls cancellation between blocks
                 for (k, cell) in right.iter().enumerate() {
                     let vi = block.rows.0 + k;
                     let j = self.cur_j - vi;

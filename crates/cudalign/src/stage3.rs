@@ -71,6 +71,7 @@ impl gpu_sim::WavefrontObserver for BandObserver<'_> {
             return ControlFlow::Continue(());
         }
         // The band's right bus holds forward (H, E) on the special column.
+        // lint: allow(cancel-coverage): bounded scan of one block's right bus; the engine polls cancellation between blocks
         for (k, cell) in right.iter().enumerate() {
             let i = self.cur.i + block.rows.0 + k;
             let rev = self.rev_col[i - self.rev_origin];
@@ -121,6 +122,7 @@ fn refine_partition(
     let mut cur = p.start;
     let mut cells = 0u64;
 
+    // lint: allow(cancel-coverage): bounded by the partition's stored special columns; the driver polls cancellation between partitions
     for c in inside {
         debug_assert!(cur.j < c && c < p.end.j);
         // A column whose stored line fails validation (or vanished) is
@@ -249,6 +251,7 @@ pub fn run_supervised(
     let parts: Vec<Partition> = chain.partitions().collect();
     obs.emit(Event::Partitions { stage: 3, count: parts.len() });
     for (k, p) in parts.iter().enumerate() {
+        ctrl.check(0)?;
         obs.emit(Event::Partition {
             stage: 3,
             index: k,
@@ -302,6 +305,7 @@ pub fn run_supervised(
         let solve = &solve;
         let part_cfg = &part_cfg;
         pool.scope(|s| {
+            // lint: allow(cancel-coverage): bounded spawn fan-out (one task per worker chunk); each solve() polls RunControl
             for (ps, out) in parts.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
                 s.spawn(move || {
                     for (k, p) in ps.iter().enumerate() {
@@ -311,6 +315,7 @@ pub fn run_supervised(
             }
         })?;
     } else {
+        // lint: allow(cancel-coverage): solve() polls RunControl at the top of every partition
         for (k, p) in parts.iter().enumerate() {
             outputs[k] = Some(solve(p, cfg));
         }
@@ -327,6 +332,7 @@ pub fn run_supervised(
         points.push(chain.points()[0]);
     }
     for (p, out) in parts.iter().zip(outputs) {
+        ctrl.check(0)?;
         let (new_points, c, v, b, s, kt) =
             out.ok_or_else(|| StageError::Logic("stage 3 partition task never ran".into()))??;
         cells += c;

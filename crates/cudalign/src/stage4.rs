@@ -94,6 +94,7 @@ fn split_rows(
         // row 0 (H equals E there, which is the original F).
         let border = dp.h()[h2];
         let mut hit = matcher.offer(w, border, border);
+        // lint: allow(cancel-coverage): partition is below the stage-4 size cutoff; the round loop in the driver polls cancellation
         for (k, &ch) in a_t.iter().enumerate() {
             if hit.is_some() {
                 break;

@@ -96,6 +96,7 @@ pub fn run_supervised(
         let chunk = parts.len().div_ceil(workers.min(parts.len()));
         let solve = &solve;
         pool.scope(|s| {
+            // lint: allow(cancel-coverage): bounded spawn fan-out (one task per worker chunk); each solve() polls RunControl
             for (ps, out) in parts.chunks(chunk).zip(results.chunks_mut(chunk)) {
                 s.spawn(move || {
                     for (t, p) in ps.iter().enumerate() {
@@ -106,14 +107,15 @@ pub fn run_supervised(
         })?;
     } else {
         for (t, p) in parts.iter().enumerate() {
+            ctrl.check(0)?;
             results[t] = Some(solve(p));
         }
     }
 
     let mut transcript = Transcript::new();
     let mut cells = 0u64;
-    ctrl.check(0)?;
     for (idx, r) in results.into_iter().enumerate() {
+        ctrl.check(0)?;
         let (t, c) = r
             .ok_or_else(|| StageError::Logic(format!("stage 5 partition {idx} task never ran")))?
             .map_err(|e| format!("stage 5 partition {idx}: {e}"))?;

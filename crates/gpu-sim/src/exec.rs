@@ -365,6 +365,7 @@ impl<'env> Scope<'_, 'env> {
             let mut queue = lock_unpoisoned(&self.pool.shared.queue);
             let mut kept = VecDeque::with_capacity(queue.len());
             let mut removed = Vec::new();
+            // lint: allow(cancel-coverage): drains the job queue under its lock; this IS the cancellation path
             while let Some(item) = queue.pop_front() {
                 if Arc::ptr_eq(&item.scope, &self.state) {
                     removed.push(item);
@@ -431,6 +432,7 @@ impl WorkerPool {
             cancelled_tasks: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(lanes.saturating_sub(1));
+        // lint: allow(cancel-coverage): bounded spawn fan-out, one worker thread per lane
         for i in 1..lanes {
             let shared = Arc::clone(&shared);
             match std::thread::Builder::new().name(format!("gpu-sim-worker-{i}")).spawn(move || {
@@ -471,6 +473,7 @@ impl WorkerPool {
 
         // Participate: run queued jobs (ours or a sibling scope's) while
         // this scope still has pending work.
+        // lint: allow(cancel-coverage): terminates when pending hits zero; cancellation drains pending via cancel_queued
         loop {
             if let Some(item) = self.shared.try_pop_unpinned() {
                 self.shared.run_item(item, true);
@@ -530,6 +533,7 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.available.notify_all();
+        // lint: allow(cancel-coverage): joins a fixed set of workers after the shutdown flag is set above
         for handle in self.threads.drain(..) {
             // A worker that panicked outside `catch_unwind` cannot happen
             // (jobs are wrapped), but don't double-panic on join anyway.
@@ -776,6 +780,7 @@ pub mod fault {
         let mut cancel_after_diagonal = None;
         let mut deadline_ms = None;
         let mut worker_panic = None;
+        // lint: allow(cancel-coverage): bounded to two iterations; chaos-schedule fault picker, not a hot path
         for _ in 0..2 {
             match next() % 8 {
                 0 => {

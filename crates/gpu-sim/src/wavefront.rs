@@ -1501,6 +1501,7 @@ mod strip {
 
         let sh = &shared;
         let scope_result = p.pool.scope(|scope| {
+            // lint: allow(cancel-coverage): bounded spawn fan-out, one pinned task per runner
             for runner in 1..runners {
                 scope.spawn_pinned(move || runner_loop(sh, runner));
             }
@@ -1582,6 +1583,7 @@ mod strip {
 
         // Final event drain, so claims/publishes that raced the last
         // delivery still reach the observer.
+        // lint: allow(cancel-coverage): bounded drain of the already-collected event buffer after the scope settled
         for ev in std::mem::take(&mut shared.lock().events) {
             observer.on_strip_event(&ev);
         }
@@ -1646,6 +1648,8 @@ mod strip {
     ) -> ControlFlow<()> {
         let layout = sh.layout;
         let (br, bc) = (layout.block_rows, layout.block_cols);
+        // lint: allow(cancel-coverage): delivers only already-completed blocks and returns Continue when one is not
+        // ready; the caller's delivery loop polls the cancel token every round
         loop {
             // Forward protocol events as they surface.
             let events = std::mem::take(&mut sh.lock().events);
