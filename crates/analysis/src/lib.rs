@@ -89,6 +89,9 @@ pub const DEAD_ERROR_VARIANT: &str = "dead-error-variant";
 /// Identifier of the "obs.rs emitters match the validate_trace schema"
 /// rule.
 pub const TRACE_SCHEMA_SYNC: &str = "trace-schema-sync";
+/// Identifier of the "fns tagged `// hot-loop` stay allocation-free and
+/// wallclock-free" rule.
+pub const HOT_LOOP: &str = "hot-loop";
 /// Identifier of the "no allow comments for rules that no longer fire"
 /// rule.
 pub const STALE_ALLOW: &str = "stale-allow";
@@ -174,6 +177,12 @@ pub fn rules() -> &'static [RuleInfo] {
             id: TRACE_SCHEMA_SYNC,
             summary: "event names emitted by obs::encode_record and accepted by \
                       obs::validate_record stay in sync (the NDJSON trace contract)",
+        },
+        RuleInfo {
+            id: HOT_LOOP,
+            summary: "a fn whose item is directly preceded by a `// hot-loop` comment \
+                      contains no Instant/SystemTime reads and no Vec::new/vec!/Box::new \
+                      allocations — per-column kernel loops take caller-allocated state",
         },
         RuleInfo {
             id: STALE_ALLOW,
@@ -544,6 +553,6 @@ mod tests {
         for r in rules() {
             assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
         }
-        assert_eq!(seen.len(), 15);
+        assert_eq!(seen.len(), 16);
     }
 }

@@ -26,6 +26,7 @@ const VENDORED: &[&str] = &["crates/rand/", "crates/proptest/", "crates/criterio
 const HOT_PATHS: &[&str] = &[
     "crates/gpu-sim/src/kernel.rs",
     "crates/gpu-sim/src/striped.rs",
+    "crates/gpu-sim/src/striped8.rs",
     "crates/gpu-sim/src/wavefront.rs",
     "crates/gpu-sim/src/multi.rs",
     "crates/gpu-sim/src/exec.rs",
@@ -773,6 +774,114 @@ pub(crate) fn dead_error_variants(
 }
 
 // ---------------------------------------------------------------------------
+// hot-loop: tagged kernel inner loops stay allocation- and clock-free.
+// ---------------------------------------------------------------------------
+
+/// Code-token index where the item owning the `fn` keyword at `kw`
+/// starts: walks back over visibility/qualifier tokens and `#[...]`
+/// attribute groups so a marker comment above the attributes is still
+/// "directly above" the item.
+fn item_start(m: &FileModel, kw: usize) -> usize {
+    let mut b = kw;
+    while b > 0 {
+        let t = m.ct(b - 1);
+        let qualifier = t.kind == crate::lexer::TokKind::Ident
+            && matches!(t.text.as_str(), "pub" | "const" | "unsafe" | "async" | "extern");
+        let abi = t.kind == crate::lexer::TokKind::Lit(crate::lexer::LitKind::Str);
+        if qualifier || abi {
+            b -= 1;
+            continue;
+        }
+        if t.is_punct(b')') {
+            // `pub(crate)` restriction: hop back over the group.
+            let mut g = b - 1;
+            while g > 0 && !m.ct(g).is_punct(b'(') {
+                g -= 1;
+            }
+            if g >= 1 && m.ct(g - 1).is_ident("pub") {
+                b = g - 1;
+                continue;
+            }
+        }
+        break;
+    }
+    while b > 0 && m.ct(b - 1).is_punct(b']') {
+        let close_delim = m.ct(b - 1).delim;
+        let mut k = b - 1;
+        while k > 0 && !(m.ct(k).is_punct(b'[') && m.ct(k).delim == close_delim) {
+            k -= 1;
+        }
+        if k == 0 || !m.ct(k - 1).is_punct(b'#') {
+            break;
+        }
+        b = k - 1;
+    }
+    b
+}
+
+/// Is a line's comment exactly the `// hot-loop` marker (possibly with
+/// trailing prose on later lines of the same block)? Mentions of the
+/// phrase inside longer comment text don't count as a tag.
+fn is_hot_loop_marker(text: &str) -> bool {
+    text.trim_start_matches('/').trim() == "hot-loop"
+}
+
+fn hot_loop(m: &FileModel, out: &mut Vec<Raw>) {
+    if is_vendored(&m.rel_path) {
+        return;
+    }
+    for f in &m.fns {
+        let Some((open, close)) = f.body else { continue };
+        if m.test_lines[m.ct(f.kw).line] {
+            continue;
+        }
+        // Tagged: the contiguous comment block directly above the item
+        // (attributes included) contains a line that is exactly
+        // `// hot-loop`.
+        let start_line = m.ct(item_start(m, f.kw)).line;
+        let mut tagged = is_hot_loop_marker(&m.comment_text[start_line.min(m.nlines)]);
+        let mut k = start_line;
+        while !tagged && k > 0 {
+            k -= 1;
+            if m.has_code[k] || m.comment_text[k].is_empty() {
+                break;
+            }
+            tagged = is_hot_loop_marker(&m.comment_text[k]);
+        }
+        if !tagged {
+            continue;
+        }
+        let mut lines: BTreeMap<usize, &'static str> = BTreeMap::new();
+        for ci in open + 1..close {
+            let t = m.ct(ci);
+            let vec_macro =
+                t.is_ident("vec") && ci + 1 < m.code_len() && m.ct(ci + 1).is_punct(b'!');
+            let what = if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                "wall-clock read"
+            } else if m.path_at(ci, &["Vec", "new"]) || m.path_at(ci, &["Box", "new"]) || vec_macro
+            {
+                "heap allocation"
+            } else {
+                continue;
+            };
+            lines.entry(t.line).or_insert(what);
+        }
+        for (line, what) in lines {
+            out.push(Raw {
+                line,
+                rule: HOT_LOOP,
+                msg: format!(
+                    "{what} inside `{}`, which is tagged `// hot-loop`: the per-column \
+                     kernel loop must stay allocation- and clock-free — allocate in the \
+                     caller and pass state in",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // trace-schema-sync: obs.rs emit side matches the validator schema.
 // ---------------------------------------------------------------------------
 
@@ -899,5 +1008,6 @@ pub(crate) fn per_file(m: &FileModel, out: &mut Vec<Raw>) {
     condvar_wait_while(m, out);
     cancel_coverage(m, out);
     typed_errors(m, out);
+    hot_loop(m, out);
     trace_schema_sync(m, out);
 }

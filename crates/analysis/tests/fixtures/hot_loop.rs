@@ -1,0 +1,29 @@
+// lint-fixture path=crates/gpu-sim/src/hot.rs rule=hot-loop expect=1
+
+// hot-loop
+//
+// A tagged per-column loop that cheats: the vec! inside the body is the
+// one violation this fixture expects.
+#[allow(clippy::needless_range_loop)]
+fn tagged_dirty(xs: &mut [i32]) {
+    let tmp = vec![0i32; 4];
+    for i in 0..xs.len() {
+        xs[i] += tmp[i % 4];
+    }
+}
+
+// hot-loop
+fn tagged_clean(xs: &mut [i32], scratch: &mut [i32]) {
+    for i in 0..xs.len() {
+        scratch[i % scratch.len()] = xs[i];
+        xs[i] = xs[i].saturating_add(scratch[i % scratch.len()]);
+    }
+}
+
+/// Prose that merely mentions hot-loop discipline does not tag the fn,
+/// so its allocations are fine.
+fn untagged(n: usize) -> Vec<i32> {
+    let mut v = Vec::new();
+    v.resize(n, 0);
+    v
+}

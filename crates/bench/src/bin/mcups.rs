@@ -1,23 +1,38 @@
-//! MCUPS trajectory of the DP kernel: scalar reference vs the default
-//! lane-striped path, on the same shapes the criterion microbenches use.
+//! MCUPS trajectory of the DP kernel: scalar reference vs the `i16`
+//! striped rung vs the full precision ladder (`i8` first attempt), on the
+//! same shapes the criterion microbenches use.
 //!
 //! ```text
 //! cargo run --release -p cudalign-bench --bin mcups [-- --quick] [--out PATH] [--check-scaling]
 //!
 //! --quick          shrink shapes and the per-case time budget (CI smoke)
 //! --out PATH       where to write the JSON report (default BENCH_kernel.json)
-//! --check-scaling  exit non-zero if the workers=4 wavefront sweep point is
-//!                  slower than workers=1 (skipped, with a note, on hosts
-//!                  without at least 2 CPUs — there is nothing to scale on)
+//! --check-scaling  exit non-zero if (a) the workers=4 wavefront sweep point
+//!                  is slower than workers=1 (skipped, with a note, on hosts
+//!                  without at least 2 CPUs), or (b) the i8 ladder rung is
+//!                  slower than the i16 rung on the local rowdp shape while
+//!                  no i8 fallback occurred
 //! ```
 //!
 //! Each case is timed by repeating the whole computation until a minimum
 //! wall-clock budget is spent, so short cases amortize setup noise. The
 //! report is newline-stable hand-rolled JSON (the workspace excludes
-//! serde_json) with one entry per (bench, shape, path) triple.
+//! serde_json) with one entry per (bench, shape, path, workers) tuple.
+//!
+//! # Report schema (version 2)
+//!
+//! Top level: `schema` (integer, currently 2), `host_parallelism`,
+//! `quick`, `entries`. Each entry carries `lanes` — the SIMD width of the
+//! kernel path the case actually ran on (1 scalar, 16 for `i16`, 32 for
+//! `i8`) — and wavefront entries add `profile_hits`/`profile_misses` from
+//! the engine's query-profile cache. When the `--out` file already exists,
+//! its entries are carried over unless this run re-measured the same
+//! tuple; a pre-schema-2 file is refused (delete it and regenerate) so the
+//! report never mixes entry layouts.
 
 use gpu_sim::kernel::{
-    compute_tile, compute_tile_scalar, global_borders, local_borders, GlobalOrigin, KernelPath,
+    compute_tile, compute_tile_i16, compute_tile_scalar, global_borders, local_borders,
+    GlobalOrigin, KernelPath,
 };
 use gpu_sim::wavefront::{run_pooled, NoObserver, RegionJob};
 use gpu_sim::{striped, GridSpec, Mode, WorkerPool};
@@ -25,6 +40,9 @@ use std::io::Write;
 use std::time::Instant;
 use sw_core::scoring::Scoring;
 use sw_core::transcript::EdgeState;
+
+/// Schema version of the JSON report. Bump when entry fields change.
+const SCHEMA: u64 = 2;
 
 fn dna(seed: u64, len: usize) -> Vec<u8> {
     let mut x = seed | 1;
@@ -39,11 +57,27 @@ fn dna(seed: u64, len: usize) -> Vec<u8> {
 struct Entry {
     bench: &'static str,
     shape: String,
+    /// Observed kernel-path label ("scalar", "striped8", "striped8_fb16",
+    /// "striped16", "fallback").
     path: &'static str,
+    lanes: usize,
     workers: usize,
     cells: u64,
     seconds: f64,
     mcups: f64,
+    /// Query-profile cache traffic (wavefront entries only).
+    profile: Option<(u64, u64)>,
+}
+
+/// Which rung of the ladder a tile case pins.
+#[derive(Clone, Copy, PartialEq)]
+enum TilePath {
+    /// `compute_tile_scalar` — the `i32` reference loop.
+    Scalar,
+    /// `compute_tile_i16` — the ladder with the `i8` rung disabled.
+    I16,
+    /// `compute_tile` — the full ladder (`i8` first attempt).
+    Auto,
 }
 
 /// Repeat `f` until `budget` seconds have elapsed (at least twice after
@@ -68,7 +102,7 @@ fn tile_case(
     h: usize,
     w: usize,
     local: bool,
-    scalar: bool,
+    path: TilePath,
     budget: f64,
     entries: &mut Vec<Entry>,
 ) {
@@ -82,26 +116,44 @@ fn tile_case(
         } else {
             global_borders(h, w, &sc, GlobalOrigin::forward(EdgeState::Diagonal))
         };
-        let out = if scalar {
-            compute_tile_scalar(&a, &b, 1, 1, &sc, local, None, corner, &mut top, &mut left)
-        } else {
-            compute_tile(&a, &b, 1, 1, &sc, local, None, corner, &mut top, &mut left)
+        let out = match path {
+            TilePath::Scalar => {
+                compute_tile_scalar(&a, &b, 1, 1, &sc, local, None, corner, &mut top, &mut left)
+            }
+            TilePath::I16 => {
+                compute_tile_i16(&a, &b, 1, 1, &sc, local, None, corner, &mut top, &mut left)
+            }
+            TilePath::Auto => {
+                compute_tile(&a, &b, 1, 1, &sc, local, None, corner, &mut top, &mut left)
+            }
         };
         seen_path = out.path;
         out.corner_out.wrapping_add(out.best.map_or(0, |(s, _, _)| s))
     });
-    if !scalar && seen_path != KernelPath::Striped {
-        eprintln!("mcups: warning: {bench} {h}x{w} vector case ran on {seen_path:?}");
+    match path {
+        TilePath::I16 if seen_path != KernelPath::Striped16 => {
+            eprintln!("mcups: warning: {bench} {h}x{w} i16 case ran on {seen_path:?}");
+        }
+        TilePath::Auto if seen_path == KernelPath::StripedFallback => {
+            eprintln!("mcups: warning: {bench} {h}x{w} ladder case fell back to scalar");
+        }
+        _ => {}
     }
+    let label = match path {
+        TilePath::Scalar => "scalar",
+        _ => seen_path.label(),
+    };
     let mode = if local { "local" } else { "global" };
     entries.push(Entry {
         bench,
         shape: format!("{mode}_{h}x{w}"),
-        path: if scalar { "scalar" } else { "striped" },
+        path: label,
+        lanes: if path == TilePath::Scalar { 1 } else { seen_path.lanes() },
         workers: 1,
         cells,
         seconds,
         mcups: cells as f64 / seconds / 1e6,
+        profile: None,
     });
 }
 
@@ -127,28 +179,36 @@ fn wavefront_case(m: usize, n: usize, workers: usize, budget: f64, entries: &mut
         workers,
         watch: None,
     };
-    let mut striped_tiles = 0u64;
-    let mut fallback_tiles = 0u64;
+    let mut paths = gpu_sim::kernel::PathCounts::default();
+    let mut profile = (0u64, 0u64);
     let (cells, seconds) = time_case((m * n) as u64, budget, || {
         let res = run_pooled(&pool, &job, &mut NoObserver).expect("no worker panic");
-        striped_tiles = res.striped_tiles;
-        fallback_tiles = res.fallback_tiles;
+        paths = res.paths;
+        profile = (res.profile_hits, res.profile_misses);
         res.best.map_or(0, |(s, _, _)| s)
     });
-    if fallback_tiles > 0 {
-        eprintln!("mcups: warning: wavefront run had {fallback_tiles} scalar fallbacks");
+    if paths.fallback > 0 {
+        eprintln!("mcups: warning: wavefront run had {} scalar fallbacks", paths.fallback);
     }
-    if striped_tiles == 0 {
+    if paths.striped_total() == 0 {
         eprintln!("mcups: warning: wavefront run engaged no striped tiles");
     }
+    // The dominant path label: i8 commits when most tiles ran it.
+    let path = if paths.striped8 >= paths.striped8_fb16 + paths.striped16 {
+        "striped8"
+    } else {
+        "striped16"
+    };
     entries.push(Entry {
         bench: "wavefront",
         shape: format!("local_{m}x{n}"),
-        path: "striped",
+        path,
+        lanes: if path == "striped8" { 32 } else { 16 },
         workers,
         cells,
         seconds,
         mcups: cells as f64 / seconds / 1e6,
+        profile: Some(profile),
     });
 }
 
@@ -157,29 +217,87 @@ fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-fn to_json(quick: bool, entries: &[Entry]) -> String {
+fn entry_json(e: &Entry) -> String {
+    let mut s = format!(
+        "{{\"bench\": \"{}\", \"shape\": \"{}\", \"path\": \"{}\", \"lanes\": {}, \
+         \"workers\": {}, \"cells\": {}, \"seconds\": {:.6}, \"mcups\": {:.1}",
+        e.bench, e.shape, e.path, e.lanes, e.workers, e.cells, e.seconds, e.mcups,
+    );
+    if let Some((hits, misses)) = e.profile {
+        s.push_str(&format!(", \"profile_hits\": {hits}, \"profile_misses\": {misses}"));
+    }
+    s.push('}');
+    s
+}
+
+fn to_json(quick: bool, entries: &[Entry], carried: &[String]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"lanes\": {},\n", striped::LANES));
+    s.push_str(&format!("  \"schema\": {SCHEMA},\n"));
     s.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"bench\": \"{}\", \"shape\": \"{}\", \"path\": \"{}\", \
-             \"workers\": {}, \"cells\": {}, \"seconds\": {:.6}, \"mcups\": {:.1}}}{}\n",
-            e.bench,
-            e.shape,
-            e.path,
-            e.workers,
-            e.cells,
-            e.seconds,
-            e.mcups,
-            if i + 1 < entries.len() { "," } else { "" }
-        ));
+    let total = entries.len() + carried.len();
+    for (i, line) in entries.iter().map(entry_json).chain(carried.iter().cloned()).enumerate() {
+        s.push_str(&format!("    {line}{}\n", if i + 1 < total { "," } else { "" }));
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// Pull a `"key": "value"` string field out of one raw entry line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Pull a `"key": 123` numeric field out of one raw entry line.
+fn field_num<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest.find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')?;
+    Some(&rest[..end])
+}
+
+/// Identity of one measurement within the report.
+fn entry_key(line: &str) -> Option<String> {
+    Some(format!(
+        "{}|{}|{}|{}",
+        field_str(line, "bench")?,
+        field_str(line, "shape")?,
+        field_str(line, "path")?,
+        field_num(line, "workers")?,
+    ))
+}
+
+/// Read the existing report (if any) and return the raw entry lines this
+/// run did not re-measure. A file with a different schema version is
+/// refused outright: carrying its entries over would mix layouts.
+fn carry_over(out_path: &str, fresh: &[Entry]) -> Vec<String> {
+    let Ok(old) = std::fs::read_to_string(out_path) else {
+        return Vec::new();
+    };
+    let schema_marker = format!("\"schema\": {SCHEMA}");
+    if !old.contains(&schema_marker) {
+        eprintln!(
+            "mcups: {out_path} is not a schema-{SCHEMA} report; refusing to merge. \
+             Delete it and rerun to regenerate from scratch."
+        );
+        std::process::exit(1);
+    }
+    let fresh_keys: Vec<String> =
+        fresh.iter().map(|e| format!("{}|{}|{}|{}", e.bench, e.shape, e.path, e.workers)).collect();
+    old.lines()
+        .filter(|l| l.trim_start().starts_with("{\"bench\""))
+        .filter_map(|l| {
+            let line = l.trim().trim_end_matches(',').to_string();
+            let key = entry_key(&line)?;
+            (!fresh_keys.contains(&key)).then_some(line)
+        })
+        .collect()
 }
 
 fn main() {
@@ -199,20 +317,26 @@ fn main() {
     let budget = if quick { 0.05 } else { 0.5 };
 
     let mut entries = Vec::new();
-    // The rowdp shape from benches/kernel.rs: one tall global tile.
+    // The rowdp shapes from benches/kernel.rs: one tall tile. The global
+    // variant's deep borders exceed the i8 window (the ladder escalates
+    // immediately); the local variant is where the i8 rung commits.
     let (rh, rw) = if quick { (256, 1024) } else { (1024, 4096) };
-    tile_case("rowdp", rh, rw, false, true, budget, &mut entries);
-    tile_case("rowdp", rh, rw, false, false, budget, &mut entries);
-    // The tile shapes from benches/kernel.rs, both modes.
+    for local in [false, true] {
+        tile_case("rowdp", rh, rw, local, TilePath::Scalar, budget, &mut entries);
+        tile_case("rowdp", rh, rw, local, TilePath::I16, budget, &mut entries);
+        tile_case("rowdp", rh, rw, local, TilePath::Auto, budget, &mut entries);
+    }
+    // The tile shapes from benches/kernel.rs, both modes, all three paths.
     let shapes: &[(usize, usize)] =
         if quick { &[(128, 128), (128, 512)] } else { &[(256, 256), (256, 4096)] };
     for &(h, w) in shapes {
         for local in [false, true] {
-            tile_case("tile", h, w, local, true, budget, &mut entries);
-            tile_case("tile", h, w, local, false, budget, &mut entries);
+            tile_case("tile", h, w, local, TilePath::Scalar, budget, &mut entries);
+            tile_case("tile", h, w, local, TilePath::I16, budget, &mut entries);
+            tile_case("tile", h, w, local, TilePath::Auto, budget, &mut entries);
         }
     }
-    // End-to-end wavefront engine (striped path is the default), swept
+    // End-to-end wavefront engine (the ladder is the default), swept
     // across worker counts to expose the strip scheduler's scaling.
     let (wm, wn) = if quick { (1024, 1024) } else { (4096, 4096) };
     for workers in [1usize, 2, 4, 8] {
@@ -220,31 +344,36 @@ fn main() {
     }
 
     println!(
-        "{:<10} {:<18} {:<8} {:>3} {:>12} {:>10}",
-        "bench", "shape", "path", "w", "cells", "MCUPS"
+        "{:<10} {:<18} {:<14} {:>5} {:>3} {:>12} {:>10}",
+        "bench", "shape", "path", "lanes", "w", "cells", "MCUPS"
     );
     for e in &entries {
         println!(
-            "{:<10} {:<18} {:<8} {:>3} {:>12} {:>10.1}",
-            e.bench, e.shape, e.path, e.workers, e.cells, e.mcups
+            "{:<10} {:<18} {:<14} {:>5} {:>3} {:>12} {:>10.1}",
+            e.bench, e.shape, e.path, e.lanes, e.workers, e.cells, e.mcups
         );
     }
-    // Scalar-vs-striped speedups for every shape that has both paths.
-    for pair in entries.chunks(2) {
-        if let [s, v] = pair {
-            if s.path == "scalar" && v.path == "striped" && s.shape == v.shape {
-                println!("speedup    {:<18} {:>38.2}x", s.shape, v.mcups / s.mcups);
-            }
+    // Per-shape speedups over the scalar reference.
+    for s in entries.iter().filter(|e| e.path == "scalar") {
+        for v in entries.iter().filter(|e| {
+            e.shape == s.shape && e.bench == s.bench && e.path != "scalar" && e.workers == s.workers
+        }) {
+            println!("speedup    {:<18} {:<14} {:>21.2}x", s.shape, v.path, v.mcups / s.mcups);
         }
     }
 
-    let json = to_json(quick, &entries);
+    let carried = carry_over(&out_path, &entries);
+    if !carried.is_empty() {
+        eprintln!("mcups: carrying over {} prior entr(y/ies) from {out_path}", carried.len());
+    }
+    let json = to_json(quick, &entries, &carried);
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("mcups: cannot create {out_path}: {e}"));
     f.write_all(json.as_bytes()).expect("write report");
     eprintln!("mcups: wrote {out_path}");
 
     if check_scaling {
+        let mut failed = false;
         let wavefront_mcups = |w: usize| {
             entries
                 .iter()
@@ -265,9 +394,41 @@ fn main() {
                 "mcups: check-scaling FAILED: wavefront workers=4 ({w4:.1} MCUPS) \
                  is slower than workers=1 ({w1:.1} MCUPS)"
             );
-            std::process::exit(1);
+            failed = true;
         } else {
             eprintln!("mcups: check-scaling OK: w4/w1 = {:.2}x", w4 / w1);
+        }
+        // The i8 rung exists to beat i16; on the local rowdp shape (where
+        // it commits without fallback) it must not be slower.
+        let rowdp_shape = format!("local_{rh}x{rw}");
+        let rung = |path: &str| {
+            entries
+                .iter()
+                .find(|e| e.bench == "rowdp" && e.shape == rowdp_shape && e.path == path)
+                .map(|e| e.mcups)
+        };
+        match (rung("striped8"), rung("striped16")) {
+            (Some(v8), Some(v16)) if v8 < v16 => {
+                eprintln!(
+                    "mcups: check-scaling FAILED: i8 rung ({v8:.1} MCUPS) is slower \
+                     than i16 ({v16:.1} MCUPS) on {rowdp_shape} with no fallback"
+                );
+                failed = true;
+            }
+            (Some(v8), Some(v16)) => {
+                eprintln!("mcups: check-scaling OK: i8/i16 = {:.2}x on {rowdp_shape}", v8 / v16);
+            }
+            _ => {
+                // The ladder escalated (no committed i8 entry): the gate
+                // does not apply, per the no-fallback precondition.
+                eprintln!(
+                    "mcups: check-scaling: no committed i8 entry on {rowdp_shape}; \
+                     i8-vs-i16 gate skipped"
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

@@ -193,12 +193,20 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
         .unwrap();
         writeln!(
             out,
-            "  kernel: {} cells updated ({} MCUPS), {} striped tiles, {} scalar fallbacks",
+            "  kernel: {} cells updated ({} MCUPS), ladder i8/i8→i16/i16/scalar tiles {}/{}/{}/{}",
             st.total_cells(),
             // `-` for degenerate durations instead of the old inf/NaN.
             st.mcups().map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
-            st.kernel_striped_tiles,
+            st.kernel_striped8_tiles,
+            st.kernel_striped8_fb16_tiles,
+            st.kernel_striped16_tiles,
             st.kernel_fallback_tiles
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  query-profile cache: {} hits, {} misses",
+            st.kernel_profile_hits, st.kernel_profile_misses
         )
         .unwrap();
         writeln!(out, "  total: {:.3}s", st.total_seconds).unwrap();

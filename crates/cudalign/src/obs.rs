@@ -295,6 +295,27 @@ pub enum Event {
         /// Row (SRA) or column (SCA) index.
         index: usize,
     },
+    /// Precision-ladder and query-profile-cache outcome of one
+    /// engine-driven stage (1..=3), emitted once per stage inside its
+    /// span, just before [`Event::StageEnd`].
+    Kernel {
+        /// Stage number, 1..=3.
+        stage: u8,
+        /// Tiles that committed on the 32-lane saturating-`i8` rung.
+        striped8: u64,
+        /// Tiles that attempted `i8`, overflowed its window, and
+        /// committed on the `i16` rung.
+        striped8_fb16: u64,
+        /// Tiles that went straight to the `i16` rung (`i8` ineligible).
+        striped16: u64,
+        /// Tiles that re-ran on the scalar `i32` kernel after `i16`
+        /// overflow.
+        fallback: u64,
+        /// Query-profile cache hits during the stage.
+        profile_hits: u64,
+        /// Query-profile cache misses (profile bands built).
+        profile_misses: u64,
+    },
     /// A stage-1 checkpoint snapshot was attempted.
     Checkpoint {
         /// The diagonal the snapshot restarts from.
@@ -675,6 +696,20 @@ fn encode_record(t: Duration, ev: &Event) -> String {
                 s,
                 ",\"ev\":\"storage_drop\",\"store\":\"{}\",\"index\":{index}",
                 json_escape(store)
+            );
+        }
+        Event::Kernel {
+            stage,
+            striped8,
+            striped8_fb16,
+            striped16,
+            fallback,
+            profile_hits,
+            profile_misses,
+        } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"kernel\",\"stage\":{stage},\"striped8\":{striped8},\"striped8_fb16\":{striped8_fb16},\"striped16\":{striped16},\"fallback\":{fallback},\"profile_hits\":{profile_hits},\"profile_misses\":{profile_misses}"
             );
         }
         Event::Checkpoint { diagonal, ok } => {
@@ -1289,6 +1324,23 @@ fn validate_record(st: &mut TraceState, line: &str) -> Result<(), String> {
                 req_num(&obj, "bytes")?;
             }
         }
+        "kernel" => {
+            let stage = req_stage(&obj)?;
+            in_open_stage(st, stage, ev)?;
+            for key in [
+                "striped8",
+                "striped8_fb16",
+                "striped16",
+                "fallback",
+                "profile_hits",
+                "profile_misses",
+            ] {
+                let v = req_num(&obj, key)?;
+                if v < 0.0 {
+                    return Err(format!("negative {key} {v}"));
+                }
+            }
+        }
         "checkpoint" => {
             if st.open_stage.is_none() {
                 return Err("checkpoint outside any stage span".to_string());
@@ -1390,11 +1442,29 @@ mod tests {
                     obs.emit(Event::StorageFlush { store: "sra", index: 16, bytes: 392 });
                 }
             }
+            obs.emit(Event::Kernel {
+                stage: 1,
+                striped8: 4,
+                striped8_fb16: 2,
+                striped16: 1,
+                fallback: 0,
+                profile_hits: 3,
+                profile_misses: 1,
+            });
             obs.emit(Event::StageEnd { stage: 1, seconds: 1.0, cells: 64 * 48 });
             obs.emit(Event::StageBegin { stage: 2 });
             obs.emit(Event::Strip { stage: 2, index: 1, height: 20, width: 40 });
             obs.emit(Event::StorageFlush { store: "sca", index: 7, bytes: 168 });
             obs.emit(Event::StorageDrop { store: "sra", index: 16 });
+            obs.emit(Event::Kernel {
+                stage: 2,
+                striped8: 0,
+                striped8_fb16: 1,
+                striped16: 0,
+                fallback: 1,
+                profile_hits: 0,
+                profile_misses: 2,
+            });
             obs.emit(Event::StageEnd { stage: 2, seconds: 0.1, cells: 800 });
             obs.emit(Event::StageBegin { stage: 3 });
             obs.emit(Event::Partitions { stage: 3, count: 1 });

@@ -342,12 +342,23 @@ pub struct PipelineStats {
     pub pool_tasks: u64,
     /// Mean occupied-lane fraction per handoff, in `[0, 1]`.
     pub pool_busy_ratio: f64,
-    /// Tiles computed by the lane-striped vector kernel (Stages 1-3, the
-    /// engine-driven stages).
-    pub kernel_striped_tiles: u64,
-    /// Tiles that attempted the striped kernel but re-ran on the scalar
+    /// Tiles that committed on the 32-lane saturating-`i8` rung of the
+    /// precision ladder (Stages 1-3, the engine-driven stages).
+    pub kernel_striped8_tiles: u64,
+    /// Tiles that attempted the `i8` rung, overflowed its window, and
+    /// committed on the 16-lane `i16` rung instead.
+    pub kernel_striped8_fb16_tiles: u64,
+    /// Tiles that went straight to the `i16` rung (the `i8` rung was
+    /// ineligible for the tile's shape or scoring).
+    pub kernel_striped16_tiles: u64,
+    /// Tiles that exhausted the vector rungs and re-ran on the scalar
     /// `i32` kernel after `i16` overflow.
     pub kernel_fallback_tiles: u64,
+    /// Query-profile cache hits across the engine-driven stages.
+    pub kernel_profile_hits: u64,
+    /// Query-profile cache misses (profile bands built) across the
+    /// engine-driven stages.
+    pub kernel_profile_misses: u64,
     /// Supervised interruptions (cancel / deadline / stall) recorded on
     /// this run's metrics registry. Non-zero only when the caller reuses
     /// one [`Obs`] across an interrupted run and its resume — the
@@ -584,6 +595,7 @@ impl Pipeline {
         // remainder is reported separately.
         let stage1_cells = s1r.cells.saturating_sub(s1r.resumed_cells);
         let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        record_kernel(obs, 1, &s1r.paths, s1r.profile_hits, s1r.profile_misses);
         obs.emit(Event::StageEnd { stage: 1, seconds, cells: stage1_cells });
         obs.metrics.set_gauge("stage1.seconds", seconds);
         obs.metrics.inc("stage1.cells", stage1_cells);
@@ -592,8 +604,6 @@ impl Pipeline {
         obs.metrics.inc("sra.special_rows", s1r.special_rows.len() as u64);
         obs.metrics.inc("sra.bytes_used", s1r.flushed_bytes);
         obs.metrics.inc("storage.checkpoint_failures", s1r.checkpoint_failures);
-        obs.metrics.inc("kernel.striped_tiles", s1r.striped_tiles);
-        obs.metrics.inc("kernel.fallback_tiles", s1r.fallback_tiles);
         stats.crosspoints[0] = 1;
         stats.flush_interval_blocks = s1r.flush_interval_blocks;
         stats.vram_bytes[0] = s1r.vram_bytes;
@@ -645,6 +655,7 @@ impl Pipeline {
         );
         let s2r = s2r.map_err(|e| note_interruption(obs, ctrl, 2, e))?;
         let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        record_kernel(obs, 2, &s2r.paths, s2r.profile_hits, s2r.profile_misses);
         obs.emit(Event::StageEnd { stage: 2, seconds, cells: s2r.cells });
         obs.metrics.set_gauge("stage2.seconds", seconds);
         obs.metrics.inc("stage2.cells", s2r.cells);
@@ -652,8 +663,6 @@ impl Pipeline {
         obs.metrics.inc("sca.special_columns", s2r.special_columns.len() as u64);
         obs.metrics.inc("sca.bytes_used", s2r.col_flushed_bytes);
         obs.metrics.inc("storage.dropped_rows", s2r.dropped_rows);
-        obs.metrics.inc("kernel.striped_tiles", s2r.striped_tiles);
-        obs.metrics.inc("kernel.fallback_tiles", s2r.fallback_tiles);
         stats.crosspoints[1] = s2r.chain.len();
         stats.vram_bytes[1] = s2r.vram_bytes;
         stats.effective_blocks[1] = s2r.min_blocks;
@@ -665,12 +674,11 @@ impl Pipeline {
         let s3r = stage3::run_supervised(s0, s1, cfg, pool, &s2r.chain, &cols, obs, ctrl);
         let s3r = s3r.map_err(|e| note_interruption(obs, ctrl, 3, e))?;
         let seconds = obs.now().saturating_sub(t).as_secs_f64();
+        record_kernel(obs, 3, &s3r.paths, s3r.profile_hits, s3r.profile_misses);
         obs.emit(Event::StageEnd { stage: 3, seconds, cells: s3r.cells });
         obs.metrics.set_gauge("stage3.seconds", seconds);
         obs.metrics.inc("stage3.cells", s3r.cells);
         obs.metrics.inc("storage.dropped_cols", s3r.skipped_columns);
-        obs.metrics.inc("kernel.striped_tiles", s3r.striped_tiles);
-        obs.metrics.inc("kernel.fallback_tiles", s3r.fallback_tiles);
         stats.crosspoints[2] = s3r.chain.len();
         stats.h_max = s3r.chain.h_max();
         stats.w_max = s3r.chain.w_max();
@@ -817,6 +825,34 @@ fn record_pool_delta(m: &mut Metrics, before: &PoolStats, after: &PoolStats) {
     m.set_gauge("pool.busy_ratio", ratio);
 }
 
+/// Record one engine-driven stage's kernel counters: the precision-ladder
+/// outcome event on the trace (inside the still-open stage span, so the
+/// validator can tie it to its stage) and the run-cumulative metrics the
+/// stats report and MCUPS bench read.
+fn record_kernel(
+    obs: &mut Obs<'_>,
+    stage: u8,
+    paths: &gpu_sim::kernel::PathCounts,
+    profile_hits: u64,
+    profile_misses: u64,
+) {
+    obs.emit(Event::Kernel {
+        stage,
+        striped8: paths.striped8,
+        striped8_fb16: paths.striped8_fb16,
+        striped16: paths.striped16,
+        fallback: paths.fallback,
+        profile_hits,
+        profile_misses,
+    });
+    obs.metrics.inc("kernel.striped8_tiles", paths.striped8);
+    obs.metrics.inc("kernel.striped8_fb16_tiles", paths.striped8_fb16);
+    obs.metrics.inc("kernel.striped16_tiles", paths.striped16);
+    obs.metrics.inc("kernel.fallback_tiles", paths.fallback);
+    obs.metrics.inc("kernel.profile_hits", profile_hits);
+    obs.metrics.inc("kernel.profile_misses", profile_misses);
+}
+
 /// Copy every scalar counter and gauge out of the metrics registry into
 /// the [`PipelineStats`] report. The registry is the single source of
 /// truth — `--stats`, the MCUPS bench and the NDJSON trace read the same
@@ -856,8 +892,12 @@ fn fill_scalar_stats(stats: &mut PipelineStats, m: &Metrics) {
     stats.pool_handoffs = m.get("pool.handoffs");
     stats.pool_tasks = m.get("pool.tasks");
     stats.pool_busy_ratio = m.gauge("pool.busy_ratio");
-    stats.kernel_striped_tiles = m.get("kernel.striped_tiles");
+    stats.kernel_striped8_tiles = m.get("kernel.striped8_tiles");
+    stats.kernel_striped8_fb16_tiles = m.get("kernel.striped8_fb16_tiles");
+    stats.kernel_striped16_tiles = m.get("kernel.striped16_tiles");
     stats.kernel_fallback_tiles = m.get("kernel.fallback_tiles");
+    stats.kernel_profile_hits = m.get("kernel.profile_hits");
+    stats.kernel_profile_misses = m.get("kernel.profile_misses");
     stats.binary_bytes = m.get("binary.bytes") as usize;
     stats.interruptions = m.get("supervise.interrupts");
     stats.cancel_latency_ms = m.gauge("supervise.cancel_latency_ms");

@@ -46,10 +46,12 @@ pub struct Stage1Result {
     /// Checkpoint snapshots that failed to persist during this run (the
     /// run continued; resumability degraded to the last good snapshot).
     pub checkpoint_failures: u64,
-    /// Tiles computed on the lane-striped vector kernel.
-    pub striped_tiles: u64,
-    /// Tiles re-run on the scalar kernel after `i16` overflow.
-    pub fallback_tiles: u64,
+    /// Precision-ladder outcome counters for this stage's tiles.
+    pub paths: gpu_sim::kernel::PathCounts,
+    /// Query-profile cache hits during this stage.
+    pub profile_hits: u64,
+    /// Query-profile cache misses (profile bands built) during this stage.
+    pub profile_misses: u64,
 }
 
 struct Stage1Observer<'s, 'o> {
@@ -387,8 +389,9 @@ pub fn run_supervised(
         resumed_from_diagonal,
         resumed_cells,
         checkpoint_failures,
-        striped_tiles: res.striped_tiles,
-        fallback_tiles: res.fallback_tiles,
+        paths: res.paths,
+        profile_hits: res.profile_hits,
+        profile_misses: res.profile_misses,
     })
 }
 

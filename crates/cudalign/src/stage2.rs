@@ -55,10 +55,12 @@ pub struct Stage2Result {
     /// re-run against the next surviving row below — degradation, not
     /// failure).
     pub dropped_rows: u64,
-    /// Tiles computed on the lane-striped vector kernel.
-    pub striped_tiles: u64,
-    /// Tiles re-run on the scalar kernel after `i16` overflow.
-    pub fallback_tiles: u64,
+    /// Precision-ladder outcome counters for this stage's tiles.
+    pub paths: gpu_sim::kernel::PathCounts,
+    /// Query-profile cache hits during this stage.
+    pub profile_hits: u64,
+    /// Query-profile cache misses (profile bands built) during this stage.
+    pub profile_misses: u64,
 }
 
 /// A gap run value of length `k >= 1` extended from an origin-seeded gap
@@ -246,8 +248,9 @@ pub fn run_supervised(
     let mut cur = end_cp;
 
     let mut total_cells = 0u64;
-    let mut striped_tiles = 0u64;
-    let mut fallback_tiles = 0u64;
+    let mut paths = gpu_sim::kernel::PathCounts::default();
+    let mut profile_hits = 0u64;
+    let mut profile_misses = 0u64;
     let mut strips = 0usize;
     let mut vram = 0u64;
     let mut min_blocks = cfg.grid23.blocks;
@@ -356,8 +359,9 @@ pub fn run_supervised(
         };
         let res = wavefront::run_pooled(pool, &job, &mut strip_obs)?;
         total_cells += res.cells;
-        striped_tiles += res.striped_tiles;
-        fallback_tiles += res.fallback_tiles;
+        paths.add(&res.paths);
+        profile_hits += res.profile_hits;
+        profile_misses += res.profile_misses;
         vram = vram.max(gpu_sim::DeviceModel::bus_bytes(a_view.len(), b_view.len()));
         min_blocks = min_blocks.min(res.layout.block_cols);
 
@@ -423,8 +427,9 @@ pub fn run_supervised(
         vram_bytes: vram,
         min_blocks,
         dropped_rows,
-        striped_tiles,
-        fallback_tiles,
+        paths,
+        profile_hits,
+        profile_misses,
     })
 }
 

@@ -42,10 +42,12 @@ pub struct Stage3Result {
     /// validation on read-back. The partition simply is not split at a
     /// skipped column — coarser, never wrong.
     pub skipped_columns: u64,
-    /// Tiles computed on the lane-striped vector kernel.
-    pub striped_tiles: u64,
-    /// Tiles re-run on the scalar kernel after `i16` overflow.
-    pub fallback_tiles: u64,
+    /// Precision-ladder outcome counters for this stage's tiles.
+    pub paths: gpu_sim::kernel::PathCounts,
+    /// Query-profile cache hits during this stage.
+    pub profile_hits: u64,
+    /// Query-profile cache misses (profile bands built) during this stage.
+    pub profile_misses: u64,
 }
 
 struct BandObserver<'a> {
@@ -113,7 +115,8 @@ fn refine_partition(
     vram: &mut u64,
     min_blocks: &mut usize,
     skipped: &mut u64,
-    kernel_tiles: &mut (u64, u64),
+    paths: &mut gpu_sim::kernel::PathCounts,
+    profile: &mut (u64, u64),
 ) -> Result<(Vec<Crosspoint>, u64), StageError> {
     let sc = cfg.scoring;
     let gopen = sc.gap_open();
@@ -176,8 +179,9 @@ fn refine_partition(
         };
         let res = wavefront::run_pooled(pool, &job, &mut obs)?;
         cells += res.cells;
-        kernel_tiles.0 += res.striped_tiles;
-        kernel_tiles.1 += res.fallback_tiles;
+        paths.add(&res.paths);
+        profile.0 += res.profile_hits;
+        profile.1 += res.profile_misses;
         *vram = (*vram).max(gpu_sim::DeviceModel::bus_bytes(a_band.len(), b_band.len()));
         *min_blocks = (*min_blocks).min(res.layout.block_cols);
 
@@ -265,7 +269,10 @@ pub fn run_supervised(
     };
 
     // Per-partition outputs, merged in order afterwards.
-    type PartOut = Result<(Vec<Crosspoint>, u64, u64, usize, u64, (u64, u64)), StageError>;
+    type PartOut = Result<
+        (Vec<Crosspoint>, u64, u64, usize, u64, gpu_sim::kernel::PathCounts, (u64, u64)),
+        StageError,
+    >;
     let mut outputs: Vec<Option<PartOut>> = vec![None; parts.len()];
 
     let solve = |p: &Partition, cfg: &PipelineConfig| -> PartOut {
@@ -275,7 +282,8 @@ pub fn run_supervised(
         let mut vram = 0u64;
         let mut min_blocks = cfg.grid23.blocks;
         let mut skipped = 0u64;
-        let mut kernel_tiles = (0u64, 0u64);
+        let mut paths = gpu_sim::kernel::PathCounts::default();
+        let mut profile = (0u64, 0u64);
         let (pts, cells) = refine_partition(
             s0,
             s1,
@@ -286,9 +294,10 @@ pub fn run_supervised(
             &mut vram,
             &mut min_blocks,
             &mut skipped,
-            &mut kernel_tiles,
+            &mut paths,
+            &mut profile,
         )?;
-        Ok((pts, cells, vram, min_blocks, skipped, kernel_tiles))
+        Ok((pts, cells, vram, min_blocks, skipped, paths, profile))
     };
 
     if cfg.parallel_partitions && parts.len() > 1 && workers > 1 {
@@ -326,21 +335,23 @@ pub fn run_supervised(
     let mut vram = 0u64;
     let mut min_blocks = cfg.grid23.blocks;
     let mut skipped_columns = 0u64;
-    let mut striped_tiles = 0u64;
-    let mut fallback_tiles = 0u64;
+    let mut paths = gpu_sim::kernel::PathCounts::default();
+    let mut profile_hits = 0u64;
+    let mut profile_misses = 0u64;
     if !chain.is_empty() {
         points.push(chain.points()[0]);
     }
     for (p, out) in parts.iter().zip(outputs) {
         ctrl.check(0)?;
-        let (new_points, c, v, b, s, kt) =
+        let (new_points, c, v, b, s, p_d, prof) =
             out.ok_or_else(|| StageError::Logic("stage 3 partition task never ran".into()))??;
         cells += c;
         vram = vram.max(v);
         min_blocks = min_blocks.min(b);
         skipped_columns += s;
-        striped_tiles += kt.0;
-        fallback_tiles += kt.1;
+        paths.add(&p_d);
+        profile_hits += prof.0;
+        profile_misses += prof.1;
         points.extend(new_points);
         points.push(p.end);
     }
@@ -353,8 +364,9 @@ pub fn run_supervised(
         vram_bytes: vram,
         min_blocks,
         skipped_columns,
-        striped_tiles,
-        fallback_tiles,
+        paths,
+        profile_hits,
+        profile_misses,
     })
 }
 

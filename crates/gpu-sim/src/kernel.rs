@@ -7,7 +7,8 @@
 //! its own last row / last column — exactly the bus hand-off of the paper
 //! (Section III-C).
 
-use crate::striped::{self, QueryProfile};
+use crate::striped::{self, ProfileCache, QueryProfile, StripedColumns};
+use crate::striped8;
 use sw_core::full::better_endpoint;
 use sw_core::scoring::{Score, Scoring, NEG_INF};
 use sw_core::transcript::EdgeState;
@@ -114,20 +115,104 @@ impl Mode {
     }
 }
 
-/// Which execution path computed a tile. Tracked per tile so the engine
-/// can report how much work ran vectorized and how often the overflow
-/// protocol kicked in (`align --stats`, MCUPS benches).
+/// Which rung of the precision ladder computed a tile. Tracked per tile
+/// so the engine can report how much work ran vectorized at which width
+/// and how often the overflow protocol escalated (`align --stats`,
+/// metrics, the `--trace` schema, MCUPS benches).
+///
+/// Deliberately **not** `#[non_exhaustive]`: every `match` on a ladder
+/// outcome (path counting in the engines, labeling in the benches) must
+/// be forced by the compiler to take an explicit stance when a rung is
+/// added — a downstream wildcard silently lumping a new variant into the
+/// wrong counter is exactly the miscounting this audit exists to
+/// prevent. Matches that genuinely do not care (e.g. "anything
+/// non-scalar") say so with a deliberate `_` arm and a comment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelPath {
+    /// 32-lane saturating-`i8` kernel committed the tile (plus a scalar
+    /// sliver for the `height % LANES8` remainder rows).
+    Striped8,
+    /// The `i8` attempt left its safe window; the tile was escalated to
+    /// and committed by the `i16` kernel (results identical).
+    Striped8Fallback16,
     /// Lane-striped saturating-`i16` kernel (plus a scalar sliver for the
-    /// `height % LANES` remainder rows).
-    Striped,
+    /// `height % LANES` remainder rows). The `i8` rung was not attempted:
+    /// the tile shape or scoring failed [`striped8::eligible`], or the
+    /// caller asked for the i16 path directly ([`compute_tile_i16`]).
+    Striped16,
     /// Scalar `i32` kernel chosen up front — the tile was too small or the
-    /// scoring too wide for the striped path ([`striped::eligible`]).
+    /// scoring too wide for any striped path ([`striped::eligible`]).
     Scalar,
-    /// The striped attempt left the safe `i16` window; the tile was
+    /// Every striped attempt left its safe window; the tile was
     /// transparently re-run on the scalar kernel (results identical).
     StripedFallback,
+}
+
+impl KernelPath {
+    /// Stable snake_case label for benches and trace records.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPath::Striped8 => "striped8",
+            KernelPath::Striped8Fallback16 => "striped8_fb16",
+            KernelPath::Striped16 => "striped16",
+            KernelPath::Scalar => "scalar",
+            KernelPath::StripedFallback => "fallback",
+        }
+    }
+
+    /// Vector lanes of the kernel that committed the tile's striped rows
+    /// (`1` for the scalar paths).
+    pub fn lanes(self) -> usize {
+        match self {
+            KernelPath::Striped8 => striped8::LANES8,
+            KernelPath::Striped8Fallback16 | KernelPath::Striped16 => striped::LANES,
+            KernelPath::Scalar | KernelPath::StripedFallback => 1,
+        }
+    }
+}
+
+/// Per-path tile counters, threaded from every engine (serial/pooled
+/// wavefront, strip scheduler, multi-device split) through the pipeline
+/// stages into the run-level stats (`PipelineStats` in `cudalign`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathCounts {
+    /// Tiles committed by the i8×32 kernel.
+    pub striped8: u64,
+    /// Tiles that overflowed i8 and committed on the i16 kernel.
+    pub striped8_fb16: u64,
+    /// Tiles that ran the i16 kernel first (i8 rung not attempted).
+    pub striped16: u64,
+    /// Tiles that overflowed every striped window and re-ran scalar.
+    pub fallback: u64,
+}
+
+impl PathCounts {
+    /// Count one tile outcome. Exhaustive on purpose (see [`KernelPath`]):
+    /// a new ladder rung must decide its counter here before the engines
+    /// compile again. Up-front scalar tiles are not counted — they never
+    /// attempted a striped path, so they are neither a win nor a fallback.
+    pub fn count(&mut self, path: KernelPath) {
+        match path {
+            KernelPath::Striped8 => self.striped8 += 1,
+            KernelPath::Striped8Fallback16 => self.striped8_fb16 += 1,
+            KernelPath::Striped16 => self.striped16 += 1,
+            KernelPath::StripedFallback => self.fallback += 1,
+            KernelPath::Scalar => {}
+        }
+    }
+
+    /// Fold another engine's counters into this one.
+    pub fn add(&mut self, other: &PathCounts) {
+        self.striped8 += other.striped8;
+        self.striped8_fb16 += other.striped8_fb16;
+        self.striped16 += other.striped16;
+        self.fallback += other.fallback;
+    }
+
+    /// Tiles committed by *some* striped kernel (any width).
+    pub fn striped_total(&self) -> u64 {
+        self.striped8 + self.striped8_fb16 + self.striped16
+    }
 }
 
 /// Result of one tile computation.
@@ -165,10 +250,15 @@ pub struct TileOutcome {
 /// untouched and `corner_out` is the left border's last `H`. Degenerate
 /// tiles count zero cells and never produce `best`/`watch_hit`.
 ///
-/// Eligible tiles (≥ `LANES` in both dimensions, scoring within
-/// [`striped::P_MAX`]) run on the lane-striped `i16` kernel and fall back
-/// to the scalar `i32` loop on overflow; results are bit-identical either
-/// way, and [`TileOutcome::path`] records which path ran.
+/// Eligible tiles climb the precision ladder: the 32-lane `i8` kernel is
+/// attempted first ([`striped8::eligible`]), escalating on window
+/// overflow to the 16-lane `i16` kernel ([`striped::eligible`]) and
+/// finally to the scalar `i32` loop; results are bit-identical on every
+/// rung, and [`TileOutcome::path`] records where the tile committed.
+///
+/// This entry point builds a throwaway [`ProfileCache`] per call; engines
+/// that compute many tiles of the same band row should hold a cache and
+/// call [`compute_tile_cached`] to reuse query profiles across tiles.
 #[allow(clippy::too_many_arguments)] // a tile kernel: sequences, borders and tracking knobs
 pub fn compute_tile(
     a_tile: &[u8],
@@ -182,6 +272,30 @@ pub fn compute_tile(
     top: &mut [CellHF],
     left: &mut [CellHE],
 ) -> TileOutcome {
+    let mut cache = ProfileCache::new();
+    compute_tile_cached(
+        a_tile, b_tile, row_offset, col_offset, scoring, local, watch, corner, top, left,
+        &mut cache,
+    )
+}
+
+/// [`compute_tile`] with an engine-owned [`ProfileCache`]: the full
+/// precision ladder, reusing cached query profiles across tiles of the
+/// same band.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tile_cached(
+    a_tile: &[u8],
+    b_tile: &[u8],
+    row_offset: usize,
+    col_offset: usize,
+    scoring: &Scoring,
+    local: bool,
+    watch: Option<Score>,
+    corner: Score,
+    top: &mut [CellHF],
+    left: &mut [CellHE],
+    cache: &mut ProfileCache,
+) -> TileOutcome {
     // Dispatch to monomorphized inner loops — the CPU analogue of the
     // paper's phase division, where the common case runs "an optimized
     // kernel" without bookkeeping branches. Watching is rare (Stage 2
@@ -189,16 +303,51 @@ pub fn compute_tile(
     // no-watch kernel — the bulk of Stages 2-3 — carries neither check.
     match (local, watch.is_some()) {
         (false, false) => dispatch_tile::<false, false>(
-            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, true,
         ),
         (false, true) => dispatch_tile::<false, true>(
-            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, true,
         ),
         (true, false) => dispatch_tile::<true, false>(
-            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, true,
         ),
         (true, true) => dispatch_tile::<true, true>(
-            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, true,
+        ),
+    }
+}
+
+/// Compute one tile starting the ladder at the `i16` rung (the i8 kernel
+/// is not attempted). Same contract as [`compute_tile`]; commits as
+/// [`KernelPath::Striped16`] or falls back. The MCUPS benches use this to
+/// measure the i16 path in isolation against the i8-first default.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tile_i16(
+    a_tile: &[u8],
+    b_tile: &[u8],
+    row_offset: usize,
+    col_offset: usize,
+    scoring: &Scoring,
+    local: bool,
+    watch: Option<Score>,
+    corner: Score,
+    top: &mut [CellHF],
+    left: &mut [CellHE],
+) -> TileOutcome {
+    let mut cache = ProfileCache::new();
+    let cache = &mut cache;
+    match (local, watch.is_some()) {
+        (false, false) => dispatch_tile::<false, false>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, false,
+        ),
+        (false, true) => dispatch_tile::<false, true>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, false,
+        ),
+        (true, false) => dispatch_tile::<true, false>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, false,
+        ),
+        (true, true) => dispatch_tile::<true, true>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache, false,
         ),
     }
 }
@@ -237,9 +386,13 @@ pub fn compute_tile_scalar(
     }
 }
 
-/// Route a tile to the striped kernel when eligible, stitching the scalar
-/// sliver for the `height % LANES` remainder rows, and fall back to the
-/// full scalar kernel when the striped attempt overflows its `i16` window.
+/// Route a tile down the precision ladder: attempt the i8 kernel first
+/// (unless `allow8` is off or the tile fails [`striped8::eligible`]),
+/// escalate to the i16 kernel on window overflow — always possible, since
+/// i8 eligibility is a strict subset of i16 eligibility — and finally
+/// re-run the whole tile on the scalar `i32` kernel. Whichever striped
+/// rung commits, the `height % lanes` bottom sliver is stitched with the
+/// scalar kernel by [`finish_striped`].
 #[allow(clippy::too_many_arguments)]
 fn dispatch_tile<const LOCAL: bool, const WATCH: bool>(
     a_tile: &[u8],
@@ -251,46 +404,43 @@ fn dispatch_tile<const LOCAL: bool, const WATCH: bool>(
     corner: Score,
     top: &mut [CellHF],
     left: &mut [CellHE],
+    cache: &mut ProfileCache,
+    allow8: bool,
 ) -> TileOutcome {
+    let attempted8 = allow8 && striped8::eligible(a_tile.len(), b_tile.len(), scoring);
+    if attempted8 {
+        if let Some(part) = striped8::compute_striped8_columns::<LOCAL, WATCH>(
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache,
+        ) {
+            return finish_striped::<LOCAL, WATCH>(
+                part,
+                KernelPath::Striped8,
+                a_tile,
+                b_tile,
+                row_offset,
+                col_offset,
+                scoring,
+                watch,
+                top,
+                left,
+            );
+        }
+        // i8 window overflow: buses untouched, escalate to the i16 rung.
+    }
     if striped::eligible(a_tile.len(), b_tile.len(), scoring) {
         match striped::compute_striped_columns::<LOCAL, WATCH>(
-            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
+            a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left, cache,
         ) {
             Some(part) => {
-                let height = a_tile.len();
-                let (corner_out, best, watch_hit) = if part.rows < height {
-                    // Finish the sliver exactly like a stitched lower tile:
-                    // seed with the original left-border H at row `rows - 1`
-                    // and reuse the (already updated) horizontal bus.
-                    let rem = compute_tile_impl::<LOCAL, WATCH>(
-                        &a_tile[part.rows..],
-                        b_tile,
-                        row_offset + part.rows,
-                        col_offset,
-                        scoring,
-                        watch,
-                        part.rem_corner,
-                        top,
-                        &mut left[part.rows..],
-                    );
-                    (
-                        rem.corner_out,
-                        merge_best(part.best, rem.best),
-                        merge_watch(part.watch_hit, rem.watch_hit),
-                    )
-                } else {
-                    (part.corner_out, part.best, part.watch_hit)
-                };
-                return TileOutcome {
-                    corner_out,
-                    best,
-                    watch_hit,
-                    cells: (a_tile.len() * b_tile.len()) as u64,
-                    path: KernelPath::Striped,
-                };
+                let path =
+                    if attempted8 { KernelPath::Striped8Fallback16 } else { KernelPath::Striped16 };
+                return finish_striped::<LOCAL, WATCH>(
+                    part, path, a_tile, b_tile, row_offset, col_offset, scoring, watch, top, left,
+                );
             }
             None => {
-                // Overflow: the buses are untouched, re-run scalar.
+                // Overflow on every striped rung: buses are untouched,
+                // re-run the whole tile scalar.
                 let mut out = compute_tile_impl::<LOCAL, WATCH>(
                     a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
                 );
@@ -302,6 +452,47 @@ fn dispatch_tile<const LOCAL: bool, const WATCH: bool>(
     compute_tile_impl::<LOCAL, WATCH>(
         a_tile, b_tile, row_offset, col_offset, scoring, watch, corner, top, left,
     )
+}
+
+/// Stitch a committed striped result with its scalar bottom sliver (if
+/// the tile height is not a lane multiple): seed with the original
+/// left-border H at row `rows - 1` and reuse the (already updated)
+/// horizontal bus, exactly like a stitched lower tile.
+#[allow(clippy::too_many_arguments)]
+fn finish_striped<const LOCAL: bool, const WATCH: bool>(
+    part: StripedColumns,
+    path: KernelPath,
+    a_tile: &[u8],
+    b_tile: &[u8],
+    row_offset: usize,
+    col_offset: usize,
+    scoring: &Scoring,
+    watch: Option<Score>,
+    top: &mut [CellHF],
+    left: &mut [CellHE],
+) -> TileOutcome {
+    let height = a_tile.len();
+    let (corner_out, best, watch_hit) = if part.rows < height {
+        let rem = compute_tile_impl::<LOCAL, WATCH>(
+            &a_tile[part.rows..],
+            b_tile,
+            row_offset + part.rows,
+            col_offset,
+            scoring,
+            watch,
+            part.rem_corner,
+            top,
+            &mut left[part.rows..],
+        );
+        (
+            rem.corner_out,
+            merge_best(part.best, rem.best),
+            merge_watch(part.watch_hit, rem.watch_hit),
+        )
+    } else {
+        (part.corner_out, part.best, part.watch_hit)
+    };
+    TileOutcome { corner_out, best, watch_hit, cells: (a_tile.len() * b_tile.len()) as u64, path }
 }
 
 /// Fold two partial best endpoints with the same total order the scalar
@@ -581,7 +772,11 @@ mod tests {
             );
             let vect =
                 compute_tile(&a, &b, 1, 1, &SC, local, None, corner, &mut top_v, &mut left_v);
-            assert_eq!(vect.path, KernelPath::Striped, "local={local}");
+            // Local borders (all zero) keep the tile inside the i8 window;
+            // global borders walk past it with the gap run, so the i8
+            // attempt detects overflow up front and escalates to i16.
+            let expect = if local { KernelPath::Striped8 } else { KernelPath::Striped8Fallback16 };
+            assert_eq!(vect.path, expect, "local={local}");
             assert_eq!(scal.path, KernelPath::Scalar);
             assert_eq!(top_v, top_s, "hbus, local={local}");
             assert_eq!(left_v, left_s, "vbus, local={local}");
@@ -633,7 +828,8 @@ mod tests {
             let (mut top_v, mut left_v) = (top_0, left_0);
             let vect =
                 compute_tile(&a, &b, 1, 1, &SC, local, watch, corner, &mut top_v, &mut left_v);
-            assert_eq!(vect.path, KernelPath::Striped, "local={local} watched={watched}");
+            let expect = if local { KernelPath::Striped8 } else { KernelPath::Striped8Fallback16 };
+            assert_eq!(vect.path, expect, "local={local} watched={watched}");
             assert_eq!(top_v, top_s, "hbus, local={local} watched={watched}");
             assert_eq!(left_v, left_s, "vbus, local={local} watched={watched}");
             assert_eq!(vect.corner_out, scal.corner_out);
@@ -682,7 +878,8 @@ mod tests {
                 &mut top_v,
                 &mut left_v,
             );
-            assert_eq!(vect.path, KernelPath::Striped);
+            // Global borders overflow the i8 window; the i16 rung commits.
+            assert_eq!(vect.path, KernelPath::Striped8Fallback16);
             assert_eq!(vect.watch_hit, scal.watch_hit, "watch={watch}");
             assert_eq!(top_v, top_s);
             assert_eq!(left_v, left_s);
@@ -727,6 +924,128 @@ mod tests {
         assert_eq!(vect.path, KernelPath::StripedFallback);
         assert_eq!(top_v, top_s);
         assert_eq!(left_v, left_s);
+    }
+
+    /// The i16-only entry point starts the ladder at the middle rung and
+    /// must agree bit-for-bit with the i8-first default.
+    #[test]
+    fn i16_entry_point_skips_i8_and_matches() {
+        let a = lcg(21, 100);
+        let b = lcg(22, 90);
+        let (mut top_8, mut left_8, corner) = local_borders(a.len(), b.len());
+        let mut top_16 = top_8.clone();
+        let mut left_16 = left_8.clone();
+        let o8 = compute_tile(&a, &b, 1, 1, &SC, true, None, corner, &mut top_8, &mut left_8);
+        let o16 =
+            compute_tile_i16(&a, &b, 1, 1, &SC, true, None, corner, &mut top_16, &mut left_16);
+        assert_eq!(o8.path, KernelPath::Striped8);
+        assert_eq!(o16.path, KernelPath::Striped16);
+        assert_eq!(top_8, top_16);
+        assert_eq!(left_8, left_16);
+        assert_eq!(o8.best, o16.best);
+        assert_eq!(o8.corner_out, o16.corner_out);
+    }
+
+    /// Planted near-overflow border: high enough to leave the i8 window
+    /// (local zero no longer fits alongside the bias) but comfortably
+    /// inside i16 — the tile must take exactly one escalation step and
+    /// stay bit-identical to scalar.
+    #[test]
+    fn forced_i8_to_i16_escalation_matches_scalar() {
+        let a = lcg(25, 64);
+        let b = lcg(26, 96);
+        let (mut top_s, mut left_s, corner) = local_borders(a.len(), b.len());
+        top_s[0].h += 200;
+        let mut top_v = top_s.clone();
+        let mut left_v = left_s.clone();
+        let scal =
+            compute_tile_scalar(&a, &b, 1, 1, &SC, true, None, corner, &mut top_s, &mut left_s);
+        let vect = compute_tile(&a, &b, 1, 1, &SC, true, None, corner, &mut top_v, &mut left_v);
+        assert_eq!(vect.path, KernelPath::Striped8Fallback16);
+        assert_eq!(top_v, top_s);
+        assert_eq!(left_v, left_s);
+        assert_eq!(vect.best, scal.best);
+        assert_eq!(vect.corner_out, scal.corner_out);
+    }
+
+    /// Planted far-overflow border: past the i16 window too, so the tile
+    /// must walk the whole ladder (i8 → i16 → scalar) and re-run scalar.
+    #[test]
+    fn forced_full_escalation_matches_scalar() {
+        let a = lcg(27, 64);
+        let b = lcg(28, 96);
+        let (mut top_s, mut left_s, corner) = local_borders(a.len(), b.len());
+        top_s[0].h += 100_000;
+        let mut top_v = top_s.clone();
+        let mut left_v = left_s.clone();
+        let scal =
+            compute_tile_scalar(&a, &b, 1, 1, &SC, true, None, corner, &mut top_s, &mut left_s);
+        let vect = compute_tile(&a, &b, 1, 1, &SC, true, None, corner, &mut top_v, &mut left_v);
+        assert_eq!(vect.path, KernelPath::StripedFallback);
+        assert_eq!(top_v, top_s);
+        assert_eq!(left_v, left_s);
+        assert_eq!(vect.best, scal.best);
+        assert_eq!(vect.corner_out, scal.corner_out);
+    }
+
+    /// An engine-owned cache must be hit when a second tile shares the
+    /// first tile's band, and the cached run must stay bit-identical.
+    #[test]
+    fn profile_cache_hits_across_tiles_of_one_band() {
+        let a = lcg(29, 64);
+        let b = lcg(30, 128);
+        let nj = 64;
+        let mut cache = super::ProfileCache::new();
+        let (mut top, mut left, corner) = local_borders(a.len(), b.len());
+        let (t0, t1) = top.split_at_mut(nj);
+        let o0 = compute_tile_cached(
+            &a,
+            &b[..nj],
+            1,
+            1,
+            &SC,
+            true,
+            None,
+            corner,
+            t0,
+            &mut left,
+            &mut cache,
+        );
+        // Second tile of the same band row: same query band, new columns.
+        let mut left2 = vec![CellHE { h: 0, e: NEG_INF }; a.len()];
+        let o1 = compute_tile_cached(
+            &a,
+            &b[nj..],
+            1,
+            nj + 1,
+            &SC,
+            true,
+            None,
+            0,
+            t1,
+            &mut left2,
+            &mut cache,
+        );
+        assert_eq!(o0.path, KernelPath::Striped8);
+        assert_eq!(o1.path, KernelPath::Striped8);
+        // Under cfg(test) BAND = 32, so the 64-row query spans two bands:
+        // the first tile builds one cache entry per band, the second hits both.
+        assert_eq!(
+            cache.misses(),
+            a.len().div_ceil(crate::striped::BAND) as u64,
+            "first tile builds one entry per band"
+        );
+        assert!(cache.hits() >= 2, "second tile reuses every band entry");
+
+        // The cached composition must equal the uncached single tiles.
+        let (mut top_r, mut left_r, _) = local_borders(a.len(), b.len());
+        let (r0, r1) = top_r.split_at_mut(nj);
+        compute_tile(&a, &b[..nj], 1, 1, &SC, true, None, corner, r0, &mut left_r);
+        let mut left_r2 = vec![CellHE { h: 0, e: NEG_INF }; a.len()];
+        compute_tile(&a, &b[nj..], 1, nj + 1, &SC, true, None, 0, r1, &mut left_r2);
+        assert_eq!(t0, r0);
+        assert_eq!(t1, r1);
+        assert_eq!(left2, left_r2);
     }
 
     #[test]

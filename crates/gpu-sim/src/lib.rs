@@ -20,7 +20,10 @@
 //!   between a scalar `i32` loop and the vector path below,
 //! * [`striped`] — the lane-striped saturating-`i16` kernel (the CPU
 //!   analogue of the paper's internal-diagonal parallelism) with the
-//!   query profile and the overflow/fallback protocol,
+//!   query-profile cache and the overflow/fallback protocol,
+//! * [`striped8`] — the 32-lane saturating-`i8` first rung of the
+//!   per-tile precision ladder (i8 → i16 → scalar `i32`), sharing the
+//!   striped layout and overflow protocol with [`striped`],
 //! * [`ctrl`] — run-supervision primitives: the clonable [`CancelToken`]
 //!   (cancel flag + cause + heartbeat) polled cooperatively by every
 //!   scheduler, with the deadline/stall watchdog living in [`exec`],
@@ -53,6 +56,7 @@ pub mod multi;
 #[cfg(feature = "race-check")]
 pub mod race;
 pub mod striped;
+pub mod striped8;
 pub mod wavefront;
 
 pub use ctrl::{CancelCause, CancelToken, StripDiag};

@@ -38,10 +38,15 @@ pub struct MultiDeviceResult {
     /// First watch hit per the shared scan order (when `job.watch` was
     /// set): the earliest-anti-diagonal cell whose `H` equals the watch.
     pub watch_hit: Option<(usize, usize)>,
-    /// Chunks computed on the lane-striped vector kernel, all devices.
-    pub striped_tiles: u64,
-    /// Chunks that re-ran on the scalar kernel after `i16` overflow.
-    pub fallback_tiles: u64,
+    /// Precision-ladder outcome counters for the chunks of all devices.
+    pub paths: kernel::PathCounts,
+    /// Query-profile cache hits, summed over the per-device caches. Each
+    /// device owns a private cache for its column slice; chunks walk
+    /// disjoint query bands, so hits only occur when a band's geometry
+    /// recurs within one device's slice.
+    pub profile_hits: u64,
+    /// Query-profile cache misses (bands built), all devices.
+    pub profile_misses: u64,
 }
 
 /// Row-chunk height of the pipeline.
@@ -129,8 +134,9 @@ pub fn run_split_pooled(
             exchanged_cells: 0,
             hbus: hbus_init,
             watch_hit: None,
-            striped_tiles: 0,
-            fallback_tiles: 0,
+            paths: kernel::PathCounts::default(),
+            profile_hits: 0,
+            profile_misses: 0,
         });
     }
 
@@ -162,8 +168,15 @@ pub fn run_split_pooled(
     }
     senders.push(None);
 
-    type DeviceOutcome =
-        (Option<(Score, usize, usize)>, u64, Vec<CellHF>, Option<(usize, usize)>, u64, u64);
+    type DeviceOutcome = (
+        Option<(Score, usize, usize)>,
+        u64,
+        Vec<CellHF>,
+        Option<(usize, usize)>,
+        kernel::PathCounts,
+        u64,
+        u64,
+    );
     let mut results: Vec<Option<DeviceOutcome>> = (0..devices).map(|_| None).collect();
     pool.scope(|s| {
         for (d, slot) in results.iter_mut().enumerate() {
@@ -179,8 +192,11 @@ pub fn run_split_pooled(
                 let mut best: Option<(Score, usize, usize)> = None;
                 let mut watch_hit: Option<(usize, usize)> = None;
                 let mut cells = 0u64;
-                let mut striped = 0u64;
-                let mut fallback = 0u64;
+                let mut paths = kernel::PathCounts::default();
+                // Private per-device cache: devices never share bands
+                // concurrently, so each keeps its own and the totals are
+                // summed after the scope joins.
+                let mut cache = crate::striped::ProfileCache::new();
                 // Corner above this device's slice for chunk 0:
                 // H at (0, c0) — the origin for device 0, the init-row
                 // value at column c0 otherwise.
@@ -203,7 +219,7 @@ pub fn run_split_pooled(
                     // before compute_tile overwrites `left` with its own
                     // right column.
                     let next_corner = left.last().map_or(corner, |c| c.h);
-                    let out = kernel::compute_tile(
+                    let out = kernel::compute_tile_cached(
                         a_chunk,
                         b_slice,
                         r0 + 1,
@@ -214,13 +230,10 @@ pub fn run_split_pooled(
                         corner,
                         &mut top,
                         &mut left,
+                        &mut cache,
                     );
                     cells += out.cells;
-                    match out.path {
-                        kernel::KernelPath::Striped => striped += 1,
-                        kernel::KernelPath::StripedFallback => fallback += 1,
-                        kernel::KernelPath::Scalar => {}
-                    }
+                    paths.count(out.path);
                     if let Some(cand) = out.best {
                         if best.is_none_or(|cur| better_endpoint(cand, cur)) {
                             best = Some(cand);
@@ -241,7 +254,7 @@ pub fn run_split_pooled(
                         tx.send(tag_border(d, k, left)).expect("device pipeline broken");
                     }
                 }
-                *slot = Some((best, cells, top, watch_hit, striped, fallback));
+                *slot = Some((best, cells, top, watch_hit, paths, cache.hits(), cache.misses()));
             });
         }
     })?;
@@ -251,13 +264,15 @@ pub fn run_split_pooled(
     let mut cells = 0u64;
     let mut per_device_cells = Vec::with_capacity(devices);
     let mut hbus = Vec::with_capacity(n);
-    let mut striped_tiles = 0u64;
-    let mut fallback_tiles = 0u64;
-    for (b_d, c_d, top, w_d, s_d, f_d) in results.into_iter().flatten() {
+    let mut paths = kernel::PathCounts::default();
+    let mut profile_hits = 0u64;
+    let mut profile_misses = 0u64;
+    for (b_d, c_d, top, w_d, p_d, h_d, mi_d) in results.into_iter().flatten() {
         per_device_cells.push(c_d);
         cells += c_d;
-        striped_tiles += s_d;
-        fallback_tiles += f_d;
+        paths.add(&p_d);
+        profile_hits += h_d;
+        profile_misses += mi_d;
         if let Some(cand) = b_d {
             if best.is_none_or(|cur| better_endpoint(cand, cur)) {
                 best = Some(cand);
@@ -278,8 +293,9 @@ pub fn run_split_pooled(
         exchanged_cells: (m as u64) * (devices as u64 - 1),
         hbus,
         watch_hit,
-        striped_tiles,
-        fallback_tiles,
+        paths,
+        profile_hits,
+        profile_misses,
     })
 }
 

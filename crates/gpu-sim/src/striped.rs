@@ -42,7 +42,10 @@
 //! distinct database symbol, the band's `subst(a[r], c)` scores are
 //! precomputed in striped order, so the hot loop does one indexed vector
 //! load instead of a per-cell `subst` call. (The scalar kernel uses the
-//! row-major [`QueryProfile`] the same way.)
+//! row-major [`QueryProfile`] the same way.) Profiles live in the
+//! engine-owned [`ProfileCache`], keyed by the band's query bytes, so
+//! tiles sharing a band row reuse one build instead of rebuilding per
+//! tile — see the cache docs for the keying and invalidation rules.
 //!
 //! # Narrow-score overflow protocol
 //!
@@ -74,6 +77,7 @@
 //! the updated horizontal bus exactly like a vertically split tile pair.
 
 use crate::kernel::{CellHE, CellHF};
+use crate::striped8::{LANES8, V8};
 use sw_core::full::better_endpoint;
 use sw_core::scoring::{Score, Scoring, NEG_INF};
 
@@ -104,20 +108,20 @@ const RAIL: i16 = i16::MIN;
 /// several band/chunk boundaries; the production values are exercised by
 /// the deterministic boundary test in `tests/properties.rs`.
 #[cfg(not(test))]
-const BAND: usize = 1024;
+pub(crate) const BAND: usize = 1024;
 #[cfg(test)]
-const BAND: usize = 32;
+pub(crate) const BAND: usize = 32;
 
 /// Column-chunk width for the i16-indexed local-best/watch trackers;
 /// trackers are reduced and reset per chunk so a column index always
 /// fits an `i16`. Test builds shrink it — see [`BAND`].
 #[cfg(not(test))]
-const JCHUNK: usize = 32_000;
+pub(crate) const JCHUNK: usize = 32_000;
 #[cfg(test)]
-const JCHUNK: usize = 64;
+pub(crate) const JCHUNK: usize = 64;
 
 /// One striped vector: lane `l` holds a row of chunk `l`.
-type V = [i16; LANES];
+pub(crate) type V = [i16; LANES];
 
 /// Can `compute_striped_columns` handle this tile shape and scoring?
 ///
@@ -201,6 +205,7 @@ pub(crate) fn compute_striped_columns<const LOCAL: bool, const WATCH: bool>(
     corner: Score,
     top: &mut [CellHF],
     left: &mut [CellHE],
+    cache: &mut ProfileCache,
 ) -> Option<StripedColumns> {
     let height = a_tile.len();
     let width = b_tile.len();
@@ -296,16 +301,6 @@ pub(crate) fn compute_striped_columns<const LOCAL: bool, const WATCH: bool>(
         None => i16::MIN,
     };
 
-    // Distinct database symbols, for the per-band striped profiles.
-    let mut slot = [u16::MAX; 256];
-    let mut syms: Vec<u8> = Vec::new();
-    for &c in b_tile {
-        if slot[c as usize] == u16::MAX {
-            slot[c as usize] = syms.len() as u16;
-            syms.push(c);
-        }
-    }
-
     let mut mn = [i16::MAX; LANES];
     let mut mx = [i16::MIN; LANES];
     let mut best: Option<(Score, usize, usize)> = None;
@@ -318,16 +313,9 @@ pub(crate) fn compute_striped_columns<const LOCAL: bool, const WATCH: bool>(
         let seg = band_h / LANES;
         let a_band = &a_tile[base..base + band_h];
 
-        // Striped query profile: prof[k*seg + s][l] = subst(a[l*seg+s], syms[k]).
-        let mut prof = vec![[0i16; LANES]; syms.len() * seg];
-        for (k, &c) in syms.iter().enumerate() {
-            let rows_k = &mut prof[k * seg..(k + 1) * seg];
-            for (s, v) in rows_k.iter_mut().enumerate() {
-                for (l, x) in v.iter_mut().enumerate() {
-                    *x = scoring.subst(a_band[l * seg + s], c) as i16;
-                }
-            }
-        }
+        // Striped query profile, from the engine-owned cache:
+        // prof[k*seg + s][l] = subst(a_band[l*seg + s], c) for slot[c] == k.
+        let (slot, prof) = cache.profile16(a_band, b_tile, scoring);
 
         // Band state, striped from the vertical-bus scratch. E is
         // pre-advanced one column (E at column 0 is a real cell value, so
@@ -621,6 +609,161 @@ impl QueryProfile {
     pub fn row(&self, sym: u8) -> &[Score] {
         let s = self.slot[sym as usize] as usize;
         &self.rows[s * self.width..(s + 1) * self.width]
+    }
+}
+
+/// Entries the profile cache keeps before evicting least-recently-used
+/// bands. Tile schedules touch at most a handful of distinct query bands
+/// before returning to one (a strip runner sweeps one band row-major; the
+/// barrier engine interleaves the bands of one diagonal), so a small cap
+/// bounds memory while still catching every reuse pattern we schedule.
+const CACHE_CAP: usize = 8;
+
+/// One cached query band: the owned band bytes are the key (compared
+/// bytewise, so the entry is self-validating and needs no invalidation
+/// protocol beyond the scoring check in [`ProfileCache`]), plus the
+/// lazily materialized striped profile rows in both lane widths.
+struct CacheEntry {
+    band: Vec<u8>,
+    /// Symbol → i16 profile block index `k` (`u16::MAX` = not yet
+    /// materialized); block `k` spans `rows16[k*seg..(k+1)*seg]` with
+    /// `seg = band.len() / LANES`.
+    slot16: [u16; 256],
+    rows16: Vec<V>,
+    /// Same for the i8×32 profile, with `seg = band.len() / LANES8`.
+    slot8: [u16; 256],
+    rows8: Vec<V8>,
+}
+
+impl CacheEntry {
+    fn new(band: &[u8]) -> Self {
+        CacheEntry {
+            band: band.to_vec(),
+            slot16: [u16::MAX; 256],
+            rows16: Vec::new(),
+            slot8: [u16::MAX; 256],
+            rows8: Vec::new(),
+        }
+    }
+}
+
+/// Query-profile cache, keyed by the band's query bytes.
+///
+/// Both striped kernels spend `O(distinct_syms * band_rows)` per band
+/// rebuilding the striped substitution profile before streaming columns.
+/// Tiles of the same band row (strip runners walk row-major; stage-2/3
+/// re-runs revisit stage-1 bands) share identical query bands, so the
+/// engine owns one of these caches and threads it through
+/// [`crate::kernel::compute_tile_cached`]: a hit skips the rebuild and
+/// reuses the resident rows. Entries hold *both* the i8 and i16 variants,
+/// each materialized lazily per database symbol on first use, so an
+/// i8→i16 escalation of the same tile pays the band lookup once per
+/// width, not a rebuild of what the other width already derived.
+///
+/// A lookup is a **hit** when the band's entry already exists (even if
+/// this call materializes rows for new database symbols) and a **miss**
+/// when the entry had to be created. Changing [`Scoring`] mid-run clears
+/// the cache — scores are baked into the rows, so entries built under a
+/// different scoring would be wrong, not merely stale.
+#[derive(Default)]
+pub struct ProfileCache {
+    scoring: Option<Scoring>,
+    entries: Vec<CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProfileCache {
+    /// An empty cache. Cheap: nothing is allocated until the first lookup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Band lookups that found a resident entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Band lookups that had to build a fresh entry.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Find-or-create the entry for `band`, leaving it at index 0
+    /// (move-to-front LRU), and count the lookup.
+    fn touch(&mut self, band: &[u8], scoring: &Scoring) {
+        if self.scoring.as_ref() != Some(scoring) {
+            self.entries.clear();
+            self.scoring = Some(*scoring);
+        }
+        if let Some(i) = self.entries.iter().position(|e| e.band == band) {
+            self.hits += 1;
+            if i != 0 {
+                let e = self.entries.remove(i);
+                self.entries.insert(0, e);
+            }
+        } else {
+            self.misses += 1;
+            self.entries.insert(0, CacheEntry::new(band));
+            self.entries.truncate(CACHE_CAP);
+        }
+    }
+
+    /// The i16 striped profile for `band`: returns `(slot, rows)` with
+    /// `rows[slot[c]*seg + s][l] == subst(band[l*seg + s], c)` for every
+    /// symbol `c` occurring in `b_tile`, where `seg = band.len() / LANES`.
+    pub(crate) fn profile16(
+        &mut self,
+        band: &[u8],
+        b_tile: &[u8],
+        scoring: &Scoring,
+    ) -> (&[u16; 256], &[V]) {
+        debug_assert!(!band.is_empty() && band.len().is_multiple_of(LANES));
+        self.touch(band, scoring);
+        let e = &mut self.entries[0];
+        let seg = e.band.len() / LANES;
+        for &c in b_tile {
+            if e.slot16[c as usize] == u16::MAX {
+                e.slot16[c as usize] = (e.rows16.len() / seg) as u16;
+                for s in 0..seg {
+                    let mut v = [0i16; LANES];
+                    for (l, x) in v.iter_mut().enumerate() {
+                        *x = scoring.subst(e.band[l * seg + s], c) as i16;
+                    }
+                    e.rows16.push(v);
+                }
+            }
+        }
+        let e = &self.entries[0];
+        (&e.slot16, &e.rows16)
+    }
+
+    /// The i8×32 striped profile for `band`; same contract as
+    /// [`ProfileCache::profile16`] with `seg = band.len() / LANES8`.
+    pub(crate) fn profile8(
+        &mut self,
+        band: &[u8],
+        b_tile: &[u8],
+        scoring: &Scoring,
+    ) -> (&[u16; 256], &[V8]) {
+        debug_assert!(!band.is_empty() && band.len().is_multiple_of(LANES8));
+        self.touch(band, scoring);
+        let e = &mut self.entries[0];
+        let seg = e.band.len() / LANES8;
+        for &c in b_tile {
+            if e.slot8[c as usize] == u16::MAX {
+                e.slot8[c as usize] = (e.rows8.len() / seg) as u16;
+                for s in 0..seg {
+                    let mut v = [0i8; LANES8];
+                    for (l, x) in v.iter_mut().enumerate() {
+                        *x = scoring.subst(e.band[l * seg + s], c) as i8;
+                    }
+                    e.rows8.push(v);
+                }
+            }
+        }
+        let e = &self.entries[0];
+        (&e.slot8, &e.rows8)
     }
 }
 

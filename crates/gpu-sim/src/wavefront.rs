@@ -37,7 +37,7 @@
 use crate::ctrl::{CancelToken, StripDiag};
 use crate::exec::{ExecError, WorkerPool};
 use crate::grid::{GridLayout, GridSpec};
-use crate::kernel::{self, CellHE, CellHF, Mode, TileOutcome};
+use crate::kernel::{self, CellHE, CellHF, Mode, PathCounts, TileOutcome};
 use std::ops::ControlFlow;
 use sw_core::full::better_endpoint;
 use sw_core::scoring::{Score, Scoring};
@@ -263,13 +263,16 @@ pub struct RegionResult {
     pub vbus: Vec<CellHE>,
     /// The layout that was executed.
     pub layout: GridLayout,
-    /// Tiles computed on the lane-striped vector kernel *in this run* —
+    /// Precision-ladder outcome counters for the tiles of *this run* —
     /// like [`RegionResult::diagonals_run`], kernel-path counters are not
     /// carried across checkpoint resume.
-    pub striped_tiles: u64,
-    /// Tiles that attempted the striped kernel but overflowed the `i16`
-    /// window and re-ran on the scalar kernel (this run).
-    pub fallback_tiles: u64,
+    pub paths: PathCounts,
+    /// Query-profile cache lookups that found a resident band (this run).
+    /// Both cache counters stay 0 when the pooled diagonal-barrier engine
+    /// ran: its parallel block tasks share no cache (see `run_pooled`).
+    pub profile_hits: u64,
+    /// Query-profile cache lookups that built a fresh band (this run).
+    pub profile_misses: u64,
     /// Strip-scheduler counters; `None` when the diagonal-barrier engine
     /// ran (serial execution).
     pub strip: Option<StripStats>,
@@ -659,9 +662,14 @@ fn run_engine(
     let mut aborted = false;
     let mut diagonals_run = 0usize;
     let mut busy_slots = 0u64;
-    let mut striped_tiles = 0u64;
-    let mut fallback_tiles = 0u64;
+    let mut paths = kernel::PathCounts::default();
     let mut first_diagonal = 0usize;
+    // Serial execution walks a handful of band rows per diagonal and
+    // revisits them on the next, so one run-wide profile cache catches
+    // the reuse. The pooled branch below shares no cache across its
+    // concurrent block tasks (a shared cache would serialize them) and
+    // reports zero cache traffic.
+    let mut profile_cache = crate::striped::ProfileCache::new();
 
     if let Some(state) = resume {
         assert_eq!(
@@ -826,8 +834,10 @@ fn run_engine(
             }
         }
 
-        // Execute the diagonal.
-        let run_task = |t: &mut Task<'_, '_>| {
+        // Execute the diagonal. A `Some` cache threads the run-wide
+        // profile cache through (serial execution only — the pooled
+        // branch passes `None` since its tasks run concurrently).
+        let run_task = |t: &mut Task<'_, '_>, cache: Option<&mut crate::striped::ProfileCache>| {
             #[cfg(feature = "race-check")]
             race_session.block_reads(
                 t.coords.r,
@@ -836,18 +846,33 @@ fn run_engine(
                 (t.coords.cols.0 - 1, t.hseg.len()),
                 (t.coords.rows.0 - 1, t.vseg.len()),
             );
-            let out = kernel::compute_tile(
-                t.a_tile,
-                t.b_tile,
-                t.coords.rows.0,
-                t.coords.cols.0,
-                &job.scoring,
-                local,
-                job.watch,
-                t.corner,
-                t.hseg,
-                t.vseg,
-            );
+            let out = match cache {
+                Some(cache) => kernel::compute_tile_cached(
+                    t.a_tile,
+                    t.b_tile,
+                    t.coords.rows.0,
+                    t.coords.cols.0,
+                    &job.scoring,
+                    local,
+                    job.watch,
+                    t.corner,
+                    t.hseg,
+                    t.vseg,
+                    cache,
+                ),
+                None => kernel::compute_tile(
+                    t.a_tile,
+                    t.b_tile,
+                    t.coords.rows.0,
+                    t.coords.cols.0,
+                    &job.scoring,
+                    local,
+                    job.watch,
+                    t.corner,
+                    t.hseg,
+                    t.vseg,
+                ),
+            };
             #[cfg(feature = "race-check")]
             race_session.block_writes(
                 t.coords.r,
@@ -870,14 +895,14 @@ fn run_engine(
                 for group in tasks.chunks_mut(chunk) {
                     s.spawn(move || {
                         for t in group.iter_mut() {
-                            run_task(t);
+                            run_task(t, None);
                         }
                     });
                 }
             })?;
         } else {
             for t in tasks.iter_mut() {
-                run_task(t);
+                run_task(t, Some(&mut profile_cache));
             }
         }
 
@@ -890,11 +915,7 @@ fn run_engine(
             // guarantees every task of this diagonal ran to completion.
             let out = t.outcome.expect("task executed");
             cells += out.cells;
-            match out.path {
-                kernel::KernelPath::Striped => striped_tiles += 1,
-                kernel::KernelPath::StripedFallback => fallback_tiles += 1,
-                kernel::KernelPath::Scalar => {}
-            }
+            paths.count(out.path);
             if let Some(cand) = out.best {
                 if best.is_none_or(|b| better_endpoint(cand, b)) {
                     best = Some(cand);
@@ -924,8 +945,9 @@ fn run_engine(
         hbus,
         vbus,
         layout,
-        striped_tiles,
-        fallback_tiles,
+        paths,
+        profile_hits: profile_cache.hits(),
+        profile_misses: profile_cache.misses(),
         strip: None,
     })
 }
@@ -1048,6 +1070,11 @@ mod strip {
         blocks: Vec<u64>,
         steals: u64,
         batches: u64,
+        /// Query-profile cache hits, folded in from each runner's
+        /// private cache as the runner exits.
+        profile_hits: u64,
+        /// Query-profile cache misses, folded in the same way.
+        profile_misses: u64,
         /// Delivery frontier: every block with diagonal < `front` has
         /// been delivered.
         front: usize,
@@ -1188,7 +1215,15 @@ mod strip {
     }
 
     /// Advance `cur` by at most one computed block (non-blocking).
-    fn step(sh: &Shared<'_, '_>, runner: usize, cur_slot: &mut Option<Cursor>) -> Step {
+    /// `cache` is the calling runner's private profile cache — strips are
+    /// walked row-major (`r` fixed while `c` sweeps the strip), so
+    /// consecutive blocks share a query band and the cache pays off.
+    fn step(
+        sh: &Shared<'_, '_>,
+        runner: usize,
+        cur_slot: &mut Option<Cursor>,
+        cache: &mut crate::striped::ProfileCache,
+    ) -> Step {
         let br = sh.layout.block_rows;
         loop {
             let Some(cur) = cur_slot.as_mut() else {
@@ -1238,7 +1273,7 @@ mod strip {
                     return Step::Blocked;
                 }
             }
-            let alive = compute_block(sh, runner, r, c);
+            let alive = compute_block(sh, runner, r, c, cache);
             cur.c += 1;
             return if alive { Step::Computed } else { Step::Cancelled };
         }
@@ -1262,25 +1297,37 @@ mod strip {
 
     /// Body of one pinned runner (runner indices 1..).
     fn runner_loop(sh: &Shared<'_, '_>, runner: usize) {
+        let mut cache = crate::striped::ProfileCache::new();
         let mut cur: Option<Cursor> = Some(home_cursor(sh, runner));
-        loop {
-            match step(sh, runner, &mut cur) {
+        'work: loop {
+            match step(sh, runner, &mut cur, &mut cache) {
                 Step::Computed => {}
                 Step::Blocked => {
                     // `cur` is Some whenever step returns Blocked.
-                    let Some(c) = cur.as_ref() else { return };
+                    let Some(c) = cur.as_ref() else { break 'work };
                     if !wait_progress(sh, c) {
-                        return;
+                        break 'work;
                     }
                 }
-                Step::Idle | Step::Cancelled => return,
+                Step::Idle | Step::Cancelled => break 'work,
             }
         }
+        // Fold this runner's cache traffic into the shared counters on
+        // the way out, under the coordination mutex.
+        let mut co = sh.lock();
+        co.profile_hits += cache.hits();
+        co.profile_misses += cache.misses();
     }
 
     /// Compute block `(r, c)` against the live buses and park the result
     /// for the deliverer. Returns false when cancellation was observed.
-    fn compute_block(sh: &Shared<'_, '_>, runner: usize, r: usize, c: usize) -> bool {
+    fn compute_block(
+        sh: &Shared<'_, '_>,
+        runner: usize,
+        r: usize,
+        c: usize,
+        cache: &mut crate::striped::ProfileCache,
+    ) -> bool {
         let layout = sh.layout;
         let bc = layout.block_cols;
         let (rs, re) = layout.row_range(r);
@@ -1332,7 +1379,7 @@ mod strip {
         // SAFETY: corner reads/writes follow the corner ordering argument
         // above; indices are within the `(br+1)*(bc+1)` table.
         let corner = unsafe { *sh.corners.at(r * (bc + 1) + c) };
-        let out = kernel::compute_tile(
+        let out = kernel::compute_tile_cached(
             &sh.job.a[rs - 1..re],
             &sh.job.b[cs - 1..ce],
             rs,
@@ -1343,6 +1390,7 @@ mod strip {
             corner,
             hseg,
             vseg,
+            cache,
         );
         // SAFETY: as above — this block is the unique writer of corner
         // `(r+1, c+1)`.
@@ -1463,6 +1511,8 @@ mod strip {
                 blocks: vec![0; runners],
                 steals: 0,
                 batches: 0,
+                profile_hits: 0,
+                profile_misses: 0,
                 front: fd,
                 cancel: false,
                 done: HashMap::new(),
@@ -1481,9 +1531,11 @@ mod strip {
         let mut cells = p.init_cells;
         let mut busy_slots = p.init_busy;
         let mut diagonals_run = 0usize;
-        let mut striped_tiles = 0u64;
-        let mut fallback_tiles = 0u64;
+        let mut paths = kernel::PathCounts::default();
         let mut aborted = false;
+        // The calling thread is runner 0; its profile cache lives out
+        // here so its traffic can be folded in after the scope settles.
+        let mut cache0 = crate::striped::ProfileCache::new();
 
         let remaining: usize =
             (fd..total_diagonals).map(|d| layout.diagonal_blocks(d).count()).sum();
@@ -1534,8 +1586,7 @@ mod strip {
                         &mut cells,
                         &mut busy_slots,
                         &mut diagonals_run,
-                        &mut striped_tiles,
-                        &mut fallback_tiles,
+                        &mut paths,
                         &mut cancel_snap,
                     );
                     if flow.is_break() {
@@ -1551,7 +1602,7 @@ mod strip {
                         break;
                     }
                     // 2) Advance the caller's own strip by one block.
-                    match step(sh, 0, &mut cur) {
+                    match step(sh, 0, &mut cur, &mut cache0) {
                         Step::Computed => continue,
                         Step::Blocked | Step::Idle | Step::Cancelled => {}
                     }
@@ -1596,6 +1647,11 @@ mod strip {
             batches_published: co.batches,
             runner_blocks: co.blocks.clone(),
         };
+        // Fold the pooled runners' cache traffic (deposited by each
+        // `runner_loop` on exit) with runner 0's own cache, which lives in
+        // this frame and was never routed through the coordinator.
+        let profile_hits = co.profile_hits + cache0.hits();
+        let profile_misses = co.profile_misses + cache0.misses();
         // Cancelled teardown: park a diagnostic snapshot of the protocol
         // counters in the token, so a stalled run can report where each
         // strip was stuck.
@@ -1620,8 +1676,9 @@ mod strip {
             hbus: ck_hbus,
             vbus: ck_vbus,
             layout,
-            striped_tiles,
-            fallback_tiles,
+            paths,
+            profile_hits,
+            profile_misses,
             strip: Some(stats),
         })
     }
@@ -1642,8 +1699,7 @@ mod strip {
         cells: &mut u64,
         busy_slots: &mut u64,
         diagonals_run: &mut usize,
-        striped_tiles: &mut u64,
-        fallback_tiles: &mut u64,
+        paths: &mut kernel::PathCounts,
         cancel_snap: &mut Option<EngineState>,
     ) -> ControlFlow<()> {
         let layout = sh.layout;
@@ -1724,11 +1780,7 @@ mod strip {
             ck_vbus[rs - 1..rs - 1 + height].copy_from_slice(&done.right);
             ck_corners[(r + 1) * (bc + 1) + (c + 1)] = done.outcome.corner_out;
             *cells += done.outcome.cells;
-            match done.outcome.path {
-                kernel::KernelPath::Striped => *striped_tiles += 1,
-                kernel::KernelPath::StripedFallback => *fallback_tiles += 1,
-                kernel::KernelPath::Scalar => {}
-            }
+            paths.count(done.outcome.path);
             if let Some(cand) = done.outcome.best {
                 if best.is_none_or(|b| better_endpoint(cand, b)) {
                     *best = Some(cand);

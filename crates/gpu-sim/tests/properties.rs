@@ -229,13 +229,69 @@ fn striped_boundaries_match_scalar_at_production_sizes() {
             let (mut top_v, mut left_v) = (top_0, left_0);
             let vect =
                 compute_tile(&a, &b, 1, 1, &sc, local, watch, corner, &mut top_v, &mut left_v);
-            assert_eq!(vect.path, KernelPath::Striped, "{height}x{width} local={local}");
+            // Local tiles stay inside the i8 window at paper scoring and
+            // commit on the ladder's first rung; global borders exceed it
+            // and escalate to i16 (which still commits — no scalar rerun).
+            let want = if local { KernelPath::Striped8 } else { KernelPath::Striped8Fallback16 };
+            assert_eq!(vect.path, want, "{height}x{width} local={local}");
             assert_eq!(top_v, top_s, "hbus {height}x{width} local={local} watched={watched}");
             assert_eq!(left_v, left_s, "vbus {height}x{width} local={local} watched={watched}");
             assert_eq!(vect.corner_out, scal.corner_out);
             assert_eq!(vect.best, scal.best);
             assert_eq!(vect.watch_hit, scal.watch_hit);
         }
+    }
+}
+
+/// The i8 rung's escalation edges at the *production* batching constants:
+/// tiles that cross the column-chunk boundary (width > JCHUNK = 32,000,
+/// where lane 0's diagonal seed is carried across the boundary) or the
+/// band boundary (height > BAND = 1024) while the planted alignment score
+/// climbs past the i8 window, forcing a mid-tile i8 -> i16 escalation.
+/// The escalated run must leave the buses exactly as the scalar kernel
+/// would — i.e. the rejected i8 attempt leaked nothing.
+#[test]
+fn i8_escalation_matches_scalar_at_production_sizes() {
+    use gpu_sim::kernel::{compute_tile, compute_tile_scalar, local_borders, KernelPath};
+    let dna = |seed: u64, len: usize| -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize & 3]
+            })
+            .collect()
+    };
+    let sc = Scoring::paper();
+    // (height, width): one shape crossing the chunk boundary, one the
+    // band boundary. Height > 95 lets the planted exact copy of `a` push
+    // the local score past the i8 window's +95 ceiling.
+    for (ai, bi, height, width, plant_at) in
+        [(25u64, 26u64, 128, 32_100, 32_000 - 128), (27, 28, 1_056, 1_200, 0)]
+    {
+        let a = dna(ai, height);
+        let mut b = dna(bi, width);
+        // Plant an exact copy of a prefix of `a` so the running local
+        // score exceeds 95 (paper match = +1, height > 95 rows).
+        let plant_len = height.min(width - plant_at);
+        b[plant_at..plant_at + plant_len].copy_from_slice(&a[..plant_len]);
+        let (top_0, left_0, corner) = local_borders(a.len(), b.len());
+        let (mut top_s, mut left_s) = (top_0.clone(), left_0.clone());
+        let scal =
+            compute_tile_scalar(&a, &b, 1, 1, &sc, true, None, corner, &mut top_s, &mut left_s);
+        assert!(
+            scal.best.is_some_and(|(s, _, _)| s > 95),
+            "planted match must exceed the i8 window, got {:?}",
+            scal.best
+        );
+        let (mut top_v, mut left_v) = (top_0, left_0);
+        let vect = compute_tile(&a, &b, 1, 1, &sc, true, None, corner, &mut top_v, &mut left_v);
+        assert_eq!(vect.path, KernelPath::Striped8Fallback16, "{height}x{width}");
+        assert_eq!(top_v, top_s, "hbus {height}x{width}");
+        assert_eq!(left_v, left_s, "vbus {height}x{width}");
+        assert_eq!(vect.corner_out, scal.corner_out);
+        assert_eq!(vect.best, scal.best);
+        assert_eq!(vect.cells, scal.cells);
     }
 }
 

@@ -228,8 +228,7 @@ fn assert_equiv(
     prop_assert_eq!(res.diagonals_run, serial.diagonals_run, "diagonals_run, {}", tag);
     prop_assert_eq!(res.busy_slots, serial.busy_slots, "busy_slots, {}", tag);
     prop_assert_eq!(res.aborted, serial.aborted, "aborted, {}", tag);
-    prop_assert_eq!(res.striped_tiles, serial.striped_tiles, "striped, {}", tag);
-    prop_assert_eq!(res.fallback_tiles, serial.fallback_tiles, "fallback, {}", tag);
+    prop_assert_eq!(res.paths, serial.paths, "kernel paths, {}", tag);
     prop_assert_eq!(&res.hbus, &serial.hbus, "hbus, {}", tag);
     prop_assert_eq!(&res.vbus, &serial.vbus, "vbus, {}", tag);
     prop_assert!(obs.events == serial_obs.events, "observer stream diverged, {tag}");
@@ -347,12 +346,12 @@ proptest! {
         let mut serial_obs = Recorder::default();
         let serial = run(&serial_job, &mut serial_obs);
         prop_assert!(
-            serial.striped_tiles > 0,
+            serial.paths.striped_total() > 0,
             "expected striped tiles with grid {:?} on {}x{}", grid, a.len(), b.len()
         );
         // The paper scoring on zero/Diagonal borders never leaves the
         // i16 window at these lengths, so nothing should fall back.
-        prop_assert_eq!(serial.fallback_tiles, 0, "unexpected scalar fallback");
+        prop_assert_eq!(serial.paths.fallback, 0, "unexpected scalar fallback");
 
         for lanes in [1usize, 8] {
             let pool = WorkerPool::new(lanes);
@@ -361,8 +360,7 @@ proptest! {
             let res = run_pooled(&pool, &job, &mut obs).expect("no worker panic");
             prop_assert_eq!(res.best, serial.best, "best, lanes={}", lanes);
             prop_assert_eq!(res.cells, serial.cells, "cells, lanes={}", lanes);
-            prop_assert_eq!(res.striped_tiles, serial.striped_tiles, "striped, lanes={}", lanes);
-            prop_assert_eq!(res.fallback_tiles, serial.fallback_tiles, "fallback, lanes={}", lanes);
+            prop_assert_eq!(res.paths, serial.paths, "kernel paths, lanes={}", lanes);
             prop_assert_eq!(&res.hbus, &serial.hbus, "hbus, lanes={}", lanes);
             prop_assert_eq!(&res.vbus, &serial.vbus, "vbus, lanes={}", lanes);
             prop_assert!(
