@@ -40,6 +40,7 @@ const SUPERVISED: &[&str] = &[
     "crates/cudalign/src/stage3.rs",
     "crates/cudalign/src/stage4.rs",
     "crates/cudalign/src/stage5.rs",
+    "crates/cudalign/src/serve.rs",
     "crates/gpu-sim/src/exec.rs",
 ];
 

@@ -36,6 +36,21 @@ USAGE:
       --progress              live progress line on stderr with
                               percent-complete and ETA (resume-aware)
 
+  cudalign serve <MANIFEST> [options]
+      Batch service mode: MANIFEST lists one job per line,
+      `A.fasta B.fasta [priority]` (# comments allowed). Jobs run on a
+      bounded queue over one shared worker pool, drained by priority
+      then shortest-first; duplicate pairs are served from the result
+      cache.
+      --runners N             concurrent pipelines (default 2)
+      --queue-cap N           max queued jobs before QueueFull (default 64)
+      --cache-cap N           result-cache entries, 0 disables (default 32)
+      --workers N             shared-pool worker threads (default: all cores)
+      --deadline-ms N         per-job deadline in wall-clock milliseconds
+      --trace-dir DIR         write each job's NDJSON trace to
+                              DIR/job-<id>.ndjson (schema-validated)
+      --stats                 print merged server statistics
+
   cudalign view <OUT.cal2> <A.fasta> <B.fasta> [options]
       --width N               text wrap width (default 80)
       --head N                print only the first N text lines
@@ -60,6 +75,8 @@ USAGE:
 pub enum Command {
     /// `align`
     Align(AlignArgs),
+    /// `serve`
+    Serve(ServeArgs),
     /// `view`
     View(ViewArgs),
     /// `info`
@@ -116,6 +133,27 @@ pub struct AlignArgs {
     pub trace: Option<PathBuf>,
     /// Render a live progress line (percent + ETA) on stderr.
     pub progress: bool,
+}
+
+/// Arguments of `serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Manifest path: one `A.fasta B.fasta [priority]` job per line.
+    pub manifest: PathBuf,
+    /// Concurrent pipelines over the shared pool.
+    pub runners: Option<usize>,
+    /// Queue bound before `QueueFull` backpressure.
+    pub queue_cap: Option<usize>,
+    /// Result-cache entries (0 disables the cache).
+    pub cache_cap: Option<usize>,
+    /// Shared-pool worker threads.
+    pub workers: Option<usize>,
+    /// Per-job deadline in wall-clock milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Directory for per-job NDJSON traces.
+    pub trace_dir: Option<PathBuf>,
+    /// Print merged server statistics.
+    pub stats: bool,
 }
 
 /// Arguments of `view`.
@@ -279,6 +317,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 stats: opts.switches.iter().any(|s| s == "stats"),
                 trace: opts.flags.get("trace").map(PathBuf::from),
                 progress: opts.switches.iter().any(|s| s == "progress"),
+            }))
+        }
+        "serve" => {
+            let opts = split_opts(
+                rest,
+                &["runners", "queue-cap", "cache-cap", "workers", "deadline-ms", "trace-dir"],
+                &["stats"],
+            )?;
+            if opts.positional.len() != 1 {
+                return Err(ParseError("serve needs exactly one manifest path".into()));
+            }
+            Ok(Command::Serve(ServeArgs {
+                manifest: PathBuf::from(&opts.positional[0]),
+                runners: get_num(&opts, "runners")?,
+                queue_cap: get_num(&opts, "queue-cap")?,
+                cache_cap: get_num(&opts, "cache-cap")?,
+                workers: get_num(&opts, "workers")?,
+                deadline_ms: get_num(&opts, "deadline-ms")?,
+                trace_dir: opts.flags.get("trace-dir").map(PathBuf::from),
+                stats: opts.switches.iter().any(|s| s == "stats"),
             }))
         }
         "view" => {
@@ -450,6 +508,39 @@ mod tests {
         }
         assert!(parse(&sv(&["align", "a", "b", "--deadline-ms", "soon"])).is_err());
         assert!(parse(&sv(&["align", "a", "b", "--cancel-after-diag"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_options() {
+        let cmd = parse(&sv(&[
+            "serve",
+            "jobs.txt",
+            "--runners",
+            "3",
+            "--queue-cap",
+            "16",
+            "--deadline-ms",
+            "2000",
+            "--trace-dir",
+            "traces",
+            "--stats",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.manifest, PathBuf::from("jobs.txt"));
+                assert_eq!(s.runners, Some(3));
+                assert_eq!(s.queue_cap, Some(16));
+                assert_eq!(s.cache_cap, None);
+                assert_eq!(s.deadline_ms, Some(2000));
+                assert_eq!(s.trace_dir, Some(PathBuf::from("traces")));
+                assert!(s.stats);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&sv(&["serve"])).is_err(), "manifest is required");
+        assert!(parse(&sv(&["serve", "a.txt", "b.txt"])).is_err(), "one manifest only");
+        assert!(parse(&sv(&["serve", "jobs.txt", "--runners", "few"])).is_err());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Command implementations. Each returns the text to print so the logic
 //! is unit-testable without a process boundary.
 
-use crate::args::{AlignArgs, DatasetArgs, GenerateArgs, ViewArgs};
+use crate::args::{AlignArgs, DatasetArgs, GenerateArgs, ServeArgs, ViewArgs};
 use cudalign::config::{CheckpointPolicy, SraBackend};
-use cudalign::obs::{Event, Obs, Progress, Recorder, TraceWriter};
-use cudalign::{stage6, BinaryAlignment, Pipeline, PipelineConfig, RunControl};
+use cudalign::obs::{validate_trace, Event, Obs, Progress, Recorder, TraceWriter};
+use cudalign::{
+    stage6, BinaryAlignment, JobRequest, Pipeline, PipelineConfig, RunControl, ServeConfig, Server,
+};
 use seqio::generate::{self, HomologyParams};
 use seqio::{fasta, DatasetRegistry};
 use std::fmt::Write as _;
@@ -210,6 +212,141 @@ pub fn align(args: &AlignArgs) -> Result<String, String> {
         )
         .unwrap();
         writeln!(out, "  total: {:.3}s", st.total_seconds).unwrap();
+    }
+    Ok(out)
+}
+
+/// One parsed manifest line: FASTA pair plus an optional priority.
+struct ManifestJob {
+    a: std::path::PathBuf,
+    b: std::path::PathBuf,
+    priority: u8,
+}
+
+/// Parse a serve manifest: one `A.fasta B.fasta [priority]` job per
+/// line; blank lines and `#` comments are skipped.
+fn parse_manifest(path: &Path) -> Result<Vec<ManifestJob>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut jobs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(format!(
+                "{}:{}: expected `A.fasta B.fasta [priority]`, got {line:?}",
+                path.display(),
+                i + 1
+            ));
+        };
+        let priority = match parts.next() {
+            None => 0,
+            Some(p) => p.parse().map_err(|_| {
+                format!("{}:{}: invalid priority {p:?} (0-255)", path.display(), i + 1)
+            })?,
+        };
+        if parts.next().is_some() {
+            return Err(format!("{}:{}: trailing fields in {line:?}", path.display(), i + 1));
+        }
+        jobs.push(ManifestJob { a: a.into(), b: b.into(), priority });
+    }
+    if jobs.is_empty() {
+        return Err(format!("{}: no jobs in manifest", path.display()));
+    }
+    Ok(jobs)
+}
+
+/// `cudalign serve` — batch service mode: submit every manifest job to
+/// an in-process [`Server`] (bounded queue, shared worker pool, result
+/// cache), wait for all of them, and print one line per job plus the
+/// merged totals.
+pub fn serve(args: &ServeArgs) -> Result<String, String> {
+    let manifest = parse_manifest(&args.manifest)?;
+
+    let mut cfg = PipelineConfig::default_cpu();
+    if let Some(v) = args.workers {
+        cfg.workers = v;
+    }
+    let mut scfg = ServeConfig::new(cfg);
+    if let Some(v) = args.runners {
+        scfg.runners = v.max(1);
+    }
+    if let Some(v) = args.queue_cap {
+        scfg.queue_cap = v.max(1);
+    }
+    if let Some(v) = args.cache_cap {
+        scfg.cache_cap = v;
+    }
+    let server = Server::new(scfg).map_err(|e| e.to_string())?;
+
+    let mut labels = Vec::with_capacity(manifest.len());
+    let mut reqs = Vec::with_capacity(manifest.len());
+    for job in &manifest {
+        let s0 = load_first_record(&job.a)?;
+        let s1 = load_first_record(&job.b)?;
+        labels.push(format!("{} x {}", s0.name(), s1.name()));
+        let mut req =
+            JobRequest::new(s0.bases().to_vec(), s1.bases().to_vec()).with_priority(job.priority);
+        if let Some(ms) = args.deadline_ms {
+            req = req.with_control(RunControl::unlimited().with_deadline_ms(ms));
+        }
+        reqs.push(req);
+    }
+    let handles = server.submit_batch(reqs).map_err(|e| e.to_string())?;
+
+    if let Some(dir) = &args.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for (h, label) in handles.iter().zip(&labels) {
+        let report = h.wait();
+        match &report.outcome {
+            Ok(r) => writeln!(
+                out,
+                "job {:>3} {label}: score {}{}",
+                report.id,
+                r.best_score,
+                if report.cached { " (cached)" } else { "" }
+            )
+            .unwrap(),
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "job {:>3} {label}: {e}", report.id).unwrap();
+            }
+        }
+        if let Some(dir) = &args.trace_dir {
+            // Self-check before writing: a trace the schema validator
+            // rejects is a serve bug, not a user error.
+            validate_trace(&report.trace)
+                .map_err(|e| format!("job {} produced an invalid trace: {e}", report.id))?;
+            let path = dir.join(format!("job-{}.ndjson", report.id));
+            std::fs::write(&path, &report.trace).map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+    }
+    let stats = server.shutdown();
+    if args.stats {
+        writeln!(
+            out,
+            "\nserver: {} submitted, {} completed, {} cached, {} cancelled, {} failed",
+            stats.submitted, stats.completed, stats.cache_hits, stats.cancelled, stats.failed
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  queue peak {} (cap {}), {} batch(es) rejected",
+            stats.queue_peak,
+            args.queue_cap.unwrap_or(64),
+            stats.rejected
+        )
+        .unwrap();
+        writeln!(out, "  {} cells in {:.3} run-seconds (merged)", stats.cells, stats.run_seconds)
+            .unwrap();
+    }
+    if failures > 0 {
+        writeln!(out, "{failures} job(s) did not complete").unwrap();
     }
     Ok(out)
 }

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! cudalign align a.fasta b.fasta -o out.cal2 --stats
+//! cudalign serve jobs.txt --runners 3 --trace-dir traces --stats
 //! cudalign view  out.cal2 a.fasta b.fasta --width 80 --pgm plot.pgm
 //! cudalign info  out.cal2
 //! cudalign generate strain --len 20000 --seed 7 --out pair
@@ -24,6 +25,7 @@ pub use args::{parse, Command, ParseError};
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Align(a) => commands::align(&a),
+        Command::Serve(s) => commands::serve(&s),
         Command::View(v) => commands::view(&v),
         Command::Info { path } => commands::info(&path),
         Command::Generate(g) => commands::generate(&g),

@@ -54,6 +54,7 @@ pub mod config;
 pub mod crosspoint;
 pub mod obs;
 pub mod pipeline;
+pub mod serve;
 pub mod sra;
 pub mod stage1;
 pub mod stage2;
@@ -70,5 +71,6 @@ pub use crosspoint::{Crosspoint, CrosspointChain, Partition};
 pub use gpu_sim::{CancelCause, CancelToken, ExecError, PoolStats, WorkerPool};
 pub use obs::{Event, Metrics, Obs, Progress, Recorder, TraceWriter};
 pub use pipeline::{Pipeline, PipelineError, PipelineResult, PipelineStats, StageError};
+pub use serve::{JobHandle, JobReport, JobRequest, ServeConfig, ServeError, ServeStats, Server};
 pub use storage::StorageError;
 pub use supervise::RunControl;

@@ -367,6 +367,49 @@ pub enum Event {
         /// Best local alignment score found.
         best_score: i64,
     },
+    /// A job was admitted to the serve queue. Job-scoped record emitted
+    /// by [`crate::serve`] into the job's own trace stream, *before* any
+    /// `run_begin` — it gives every per-job trace a header even when the
+    /// pipeline never runs (cancelled while queued, or served from the
+    /// result cache).
+    JobSubmit {
+        /// Serve-assigned job id, unique within the server.
+        job: u64,
+        /// Content fingerprint the result cache is keyed by. Encoded as
+        /// 16 hex digits — JSON numbers are f64 and would corrupt the
+        /// high bits.
+        fingerprint: u64,
+        /// Query length.
+        m: usize,
+        /// Database length.
+        n: usize,
+        /// Job priority (higher drains first).
+        priority: u8,
+        /// Queue depth right after admission, this job included.
+        queued: usize,
+    },
+    /// A runner picked the job up (or resolved it from the result
+    /// cache). Precedes `run_begin` when a pipeline actually runs.
+    JobStart {
+        /// Serve-assigned job id.
+        job: u64,
+        /// Whether the result came from the fingerprint cache (no
+        /// pipeline run follows).
+        cached: bool,
+    },
+    /// Terminal job record: nothing may follow it in the job's trace.
+    /// Present even when the run never began, which is what keeps an
+    /// immediately-cancelled job's trace schema-valid instead of
+    /// [`TraceError::Empty`].
+    JobEnd {
+        /// Serve-assigned job id.
+        job: u64,
+        /// `"ok"`, `"cached"`, `"cancelled"`, `"deadline"`, `"stalled"`,
+        /// or `"failed"`.
+        outcome: &'static str,
+        /// Queue wait plus run time, in seconds on the server's clock.
+        seconds: f64,
+    },
 }
 
 /// A sink for timed [`Event`]s.
@@ -772,6 +815,23 @@ fn encode_record(t: Duration, ev: &Event) -> String {
                 json_f64(*seconds)
             );
         }
+        Event::JobSubmit { job, fingerprint, m, n, priority, queued } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"job_submit\",\"job\":{job},\"fingerprint\":\"{fingerprint:016x}\",\"m\":{m},\"n\":{n},\"priority\":{priority},\"queued\":{queued}"
+            );
+        }
+        Event::JobStart { job, cached } => {
+            let _ = write!(s, ",\"ev\":\"job_start\",\"job\":{job},\"cached\":{cached}");
+        }
+        Event::JobEnd { job, outcome, seconds } => {
+            let _ = write!(
+                s,
+                ",\"ev\":\"job_end\",\"job\":{job},\"outcome\":\"{}\",\"seconds\":{}",
+                json_escape(outcome),
+                json_f64(*seconds)
+            );
+        }
     }
     s.push('}');
     s
@@ -1133,12 +1193,16 @@ pub struct TraceCheck {
     pub strip_claims: usize,
     /// `interrupt` records seen (cancel / deadline / stall diagnoses).
     pub interrupts: usize,
+    /// `job_submit` records seen (serve-mode per-job traces).
+    pub jobs: usize,
 }
 
 struct TraceState {
     last_t: f64,
     begun: bool,
     ended: bool,
+    job_submitted: bool,
+    job_done: bool,
     open_stage: Option<u8>,
     last_closed: u8,
     check: TraceCheck,
@@ -1148,12 +1212,20 @@ struct TraceState {
 /// every line parses, required fields are present and typed, timestamps
 /// are non-decreasing, and spans nest (`run_begin` first, stages open
 /// and close in ascending order one at a time, stage-scoped records fall
-/// inside a stage span, nothing follows `run_end`).
+/// inside a stage span, nothing follows `run_end` except a terminal
+/// `job_end`, nothing at all follows `job_end`).
+///
+/// A trace with no `run_begin` is [`TraceError::Empty`] **unless** it is
+/// a completed job stream (`job_submit` … `job_end`): a job cancelled
+/// while queued, or served from the result cache, legitimately never
+/// opens a run, and its explicitly-terminated trace still validates.
 pub fn validate_trace(text: &str) -> Result<TraceCheck, TraceError> {
     let mut st = TraceState {
         last_t: 0.0,
         begun: false,
         ended: false,
+        job_submitted: false,
+        job_done: false,
         open_stage: None,
         last_closed: 0,
         check: TraceCheck::default(),
@@ -1165,7 +1237,7 @@ pub fn validate_trace(text: &str) -> Result<TraceCheck, TraceError> {
         validate_record(&mut st, line)
             .map_err(|msg| TraceError::Schema { line: lineno + 1, msg })?;
     }
-    if !st.begun {
+    if !st.begun && !st.job_done {
         return Err(TraceError::Empty);
     }
     st.check.ended = st.ended;
@@ -1197,7 +1269,11 @@ fn validate_record(st: &mut TraceState, line: &str) -> Result<(), String> {
     if obj.entries().is_none() {
         return Err("record is not a JSON object".to_string());
     }
-    if st.ended {
+    let ev = obj.get("ev").and_then(Json::str_val).ok_or("missing or non-string \"ev\" field")?;
+    if st.job_done {
+        return Err("record after job_end".to_string());
+    }
+    if st.ended && ev != "job_end" {
         return Err("record after run_end".to_string());
     }
     let t = req_num(&obj, "t")?;
@@ -1205,7 +1281,66 @@ fn validate_record(st: &mut TraceState, line: &str) -> Result<(), String> {
         return Err(format!("timestamp went backwards ({} -> {t})", st.last_t));
     }
     st.last_t = t;
-    let ev = obj.get("ev").and_then(Json::str_val).ok_or("missing or non-string \"ev\" field")?;
+    if ev == "job_submit" {
+        if st.job_submitted {
+            return Err("duplicate job_submit".to_string());
+        }
+        if st.begun {
+            return Err("job_submit after run_begin".to_string());
+        }
+        st.job_submitted = true;
+        req_num(&obj, "job")?;
+        let fp = obj
+            .get("fingerprint")
+            .and_then(Json::str_val)
+            .ok_or("missing or non-string \"fingerprint\" field")?;
+        if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("fingerprint {fp:?} is not 16 hex digits"));
+        }
+        req_num(&obj, "m")?;
+        req_num(&obj, "n")?;
+        req_num(&obj, "priority")?;
+        req_num(&obj, "queued")?;
+        st.check.jobs += 1;
+        st.check.records += 1;
+        return Ok(());
+    }
+    if ev == "job_start" {
+        if !st.job_submitted {
+            return Err("job_start before job_submit".to_string());
+        }
+        if st.begun {
+            return Err("job_start after run_begin".to_string());
+        }
+        req_num(&obj, "job")?;
+        obj.get("cached").and_then(Json::bool_val).ok_or("missing or non-bool \"cached\" field")?;
+        st.check.records += 1;
+        return Ok(());
+    }
+    if ev == "job_end" {
+        if !st.job_submitted {
+            return Err("job_end before job_submit".to_string());
+        }
+        req_num(&obj, "job")?;
+        let outcome = obj
+            .get("outcome")
+            .and_then(Json::str_val)
+            .ok_or("missing or non-string \"outcome\" field")?;
+        match outcome {
+            // A run that claims success must actually have run to
+            // completion; a cache hit must not carry run records.
+            "ok" if !st.ended => return Err("outcome \"ok\" without run_end".to_string()),
+            "cached" if st.begun => {
+                return Err("outcome \"cached\" on a trace with run records".to_string());
+            }
+            "ok" | "cached" | "cancelled" | "deadline" | "stalled" | "failed" => {}
+            other => return Err(format!("unknown job outcome {other:?}")),
+        }
+        req_num(&obj, "seconds")?;
+        st.job_done = true;
+        st.check.records += 1;
+        return Ok(());
+    }
     if ev == "run_begin" {
         if st.begun {
             return Err("duplicate run_begin".to_string());
@@ -1538,6 +1673,62 @@ mod tests {
         assert!(validate_trace("not json").is_err());
         // Empty trace.
         assert!(validate_trace("").unwrap_err().to_string().contains("run_begin"));
+    }
+
+    #[test]
+    fn job_records_frame_a_run_and_terminate_the_stream() {
+        // Full serve-job trace: submit/start wrap a complete run, job_end
+        // closes the stream.
+        let run = sample_trace(0);
+        let submit = "{\"t\":0,\"ev\":\"job_submit\",\"job\":3,\"fingerprint\":\"00d3adb33f000001\",\"m\":1,\"n\":1,\"priority\":5,\"queued\":2}";
+        let start = "{\"t\":0,\"ev\":\"job_start\",\"job\":3,\"cached\":false}";
+        let full = format!("{submit}\n{start}\n{run}\n{{\"t\":99,\"ev\":\"job_end\",\"job\":3,\"outcome\":\"ok\",\"seconds\":99}}");
+        let check = validate_trace(&full).unwrap();
+        assert!(check.ended);
+        assert_eq!(check.jobs, 1);
+
+        // A job cancelled while queued never opens a run, yet its
+        // explicitly-terminated two-record stream validates (the
+        // empty-trace fix).
+        let cancelled = format!(
+            "{submit}\n{{\"t\":1,\"ev\":\"job_end\",\"job\":3,\"outcome\":\"cancelled\",\"seconds\":1}}"
+        );
+        let check = validate_trace(&cancelled).unwrap();
+        assert!(!check.ended);
+        assert_eq!(check.jobs, 1);
+        assert_eq!(check.records, 2);
+
+        // Cache hit: start with cached=true, outcome "cached", no run.
+        let hit = format!(
+            "{submit}\n{{\"t\":1,\"ev\":\"job_start\",\"job\":3,\"cached\":true}}\n{{\"t\":1,\"ev\":\"job_end\",\"job\":3,\"outcome\":\"cached\",\"seconds\":1}}"
+        );
+        assert_eq!(validate_trace(&hit).unwrap().jobs, 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_job_records() {
+        let submit = "{\"t\":0,\"ev\":\"job_submit\",\"job\":3,\"fingerprint\":\"00d3adb33f000001\",\"m\":1,\"n\":1,\"priority\":5,\"queued\":2}";
+        let end_ok = "{\"t\":9,\"ev\":\"job_end\",\"job\":3,\"outcome\":\"ok\",\"seconds\":9}";
+        // "ok" without a completed run is a lie.
+        let lie = format!("{submit}\n{end_ok}");
+        assert!(validate_trace(&lie).unwrap_err().to_string().contains("without run_end"));
+        // "cached" with run records is a lie the other way.
+        let run = sample_trace(0);
+        let cached = format!(
+            "{submit}\n{run}\n{{\"t\":99,\"ev\":\"job_end\",\"job\":3,\"outcome\":\"cached\",\"seconds\":99}}"
+        );
+        assert!(validate_trace(&cached).unwrap_err().to_string().contains("cached"));
+        // Nothing may follow job_end.
+        let tail = format!(
+            "{submit}\n{{\"t\":1,\"ev\":\"job_end\",\"job\":3,\"outcome\":\"failed\",\"seconds\":1}}\n{submit}"
+        );
+        assert!(validate_trace(&tail).unwrap_err().to_string().contains("after job_end"));
+        // job_end needs its submit; a fingerprint must be 16 hex digits.
+        assert!(validate_trace(end_ok).unwrap_err().to_string().contains("before job_submit"));
+        let bad_fp = submit.replace("00d3adb33f000001", "xyz");
+        assert!(validate_trace(&bad_fp).unwrap_err().to_string().contains("hex"));
+        // A submit with no terminal record is still an empty run.
+        assert!(matches!(validate_trace(submit), Err(TraceError::Empty)));
     }
 
     #[test]

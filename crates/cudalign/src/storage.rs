@@ -278,7 +278,7 @@ fn encode_frame(meta: &FrameMeta, payload: &[u8]) -> Vec<u8> {
 /// Write a framed line file atomically (tmp sibling + rename), retrying
 /// transient failures with backoff. Returns the number of retries used.
 pub fn write_frame(path: &Path, meta: &FrameMeta, payload: &[u8]) -> Result<u32, StorageError> {
-    write_with_retry(path, &encode_frame(meta, payload))
+    write_with_retry(path, &encode_frame(meta, payload), meta.fingerprint)
 }
 
 /// Read and fully validate a framed line file: magic, fingerprint,
@@ -349,7 +349,7 @@ pub fn write_checksummed(
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32_parts(&[&out, payload]).to_le_bytes());
     out.extend_from_slice(payload);
-    write_with_retry(path, &out)
+    write_with_retry(path, &out, fingerprint)
 }
 
 /// Read and validate a checksummed envelope written by
@@ -448,16 +448,21 @@ fn attempt_write(path: &Path, tmp: &Path, frame: &[u8]) -> Result<(), AttemptErr
 
 /// Deterministic backoff before retry `attempt` (0-based) of a write to
 /// `path`: a doubling base capped at [`BACKOFF_CAP`], plus a jitter of up
-/// to half the base seeded from the path and attempt so concurrent strips
-/// flushing into one directory don't retry in lockstep. A pure function
-/// of its inputs — fault tests assert the exact schedule.
-fn backoff_delay(path: &Path, attempt: u32) -> Duration {
+/// to half the base seeded from the path, the attempt, and the caller's
+/// `salt` (the job fingerprint) so concurrent strips flushing into one
+/// directory — and concurrent *jobs* retrying the same shared path —
+/// don't wake in lockstep and re-collide. A pure function of its inputs —
+/// fault tests assert the exact schedule.
+fn backoff_delay(path: &Path, attempt: u32, salt: u64) -> Duration {
     let base_us =
         ((BACKOFF.as_micros() as u64) << attempt.min(31)).min(BACKOFF_CAP.as_micros() as u64);
-    // FNV-1a over the path bytes, folded with the attempt number.
+    // FNV-1a over the path bytes, folded with the salt and attempt number.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in path.to_string_lossy().as_bytes() {
         h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for b in salt.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
     }
     h = (h ^ u64::from(attempt)).wrapping_mul(0x0000_0100_0000_01b3);
     let jitter_us = if base_us == 0 { 0 } else { h % (base_us / 2 + 1) };
@@ -470,7 +475,7 @@ fn backoff_delay(path: &Path, attempt: u32) -> Duration {
 /// fault tests observe the schedule without real wall-clock sleeps. On
 /// final failure the tmp sibling is removed so no orphan survives a
 /// *reported* error.
-fn write_with_retry(path: &Path, frame: &[u8]) -> Result<u32, StorageError> {
+fn write_with_retry(path: &Path, frame: &[u8], salt: u64) -> Result<u32, StorageError> {
     let tmp = tmp_sibling(path);
     for attempt in 0..WRITE_ATTEMPTS {
         match attempt_write(path, &tmp, frame) {
@@ -480,7 +485,7 @@ fn write_with_retry(path: &Path, frame: &[u8]) -> Result<u32, StorageError> {
                     let _ = std::fs::remove_file(&tmp);
                     return Err(err);
                 }
-                fault::backoff_sleep(backoff_delay(path, attempt));
+                fault::backoff_sleep(backoff_delay(path, attempt, salt));
             }
         }
     }
@@ -760,7 +765,8 @@ mod tests {
         assert_eq!(retries, 3);
 
         let slept = slept.lock().unwrap().clone();
-        let expect: Vec<Duration> = (0..3).map(|k| backoff_delay(&path, k)).collect();
+        let expect: Vec<Duration> =
+            (0..3).map(|k| backoff_delay(&path, k, meta.fingerprint)).collect();
         assert_eq!(slept, expect, "recorded sleeps match the pure schedule");
 
         for (k, d) in expect.iter().enumerate() {
@@ -769,16 +775,34 @@ mod tests {
             assert!(*d <= base + base / 2, "attempt {k}: jitter bounded by half the base");
         }
         // The doubling base saturates at the cap, jitter included.
-        let worst = backoff_delay(&path, 40);
+        let worst = backoff_delay(&path, 40, meta.fingerprint);
         assert!(worst <= BACKOFF_CAP + BACKOFF_CAP / 2);
         assert!(worst >= BACKOFF_CAP);
         // Different paths decorrelate: at least one attempt differs.
         let other = dir.join("row-10-0.bin");
         assert!(
-            (0..4).any(|k| backoff_delay(&path, k) != backoff_delay(&other, k)),
+            (0..4).any(|k| backoff_delay(&path, k, 9) != backoff_delay(&other, k, 9)),
             "jitter must depend on the path"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_schedules_of_two_jobs_on_one_path_diverge() {
+        // Two concurrent jobs (distinct fingerprints) retrying the *same*
+        // shared path must not wake in lockstep: the fingerprint salt has
+        // to decorrelate their jitter. Also pins the full-schedule case:
+        // no attempt-by-attempt equality across every retry the budget
+        // allows.
+        let path = Path::new("shared/row-0-0.bin");
+        let (fp_a, fp_b) = (0x1111_2222_3333_4444u64, 0x5555_6666_7777_8888u64);
+        let a: Vec<Duration> = (0..WRITE_ATTEMPTS).map(|k| backoff_delay(path, k, fp_a)).collect();
+        let b: Vec<Duration> = (0..WRITE_ATTEMPTS).map(|k| backoff_delay(path, k, fp_b)).collect();
+        assert_ne!(a, b, "same path, different jobs: schedules must diverge");
+        // Each job's schedule stays a pure function of its inputs.
+        let again: Vec<Duration> =
+            (0..WRITE_ATTEMPTS).map(|k| backoff_delay(path, k, fp_a)).collect();
+        assert_eq!(a, again, "schedule is deterministic per job");
     }
 
     #[test]

@@ -642,6 +642,51 @@ pub fn spawn_watchdog(
     Watchdog { stop, handle }
 }
 
+/// A long-lived named service thread (a serve-queue runner, a metrics
+/// flusher) spawned through the executor's sanctioned spawn point — the
+/// `thread-isolation` lint bans `thread::spawn` everywhere else, so all
+/// OS threads in the system are accounted for here.
+pub struct ServiceThread {
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServiceThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceThread").finish_non_exhaustive()
+    }
+}
+
+impl ServiceThread {
+    /// Block until the service body returns. The body is responsible for
+    /// observing its own shutdown signal; joining does not request one.
+    pub fn join(mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServiceThread {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn a named long-lived service thread, or `None` when the OS is out
+/// of native threads (callers degrade — e.g. a serve queue runs with the
+/// runners that did start). Unlike pool lanes, the body is an arbitrary
+/// long-running loop, not a borrowed job; it must watch a shutdown flag
+/// of its own.
+pub fn spawn_service(name: &str, body: impl FnOnce() + Send + 'static) -> Option<ServiceThread> {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(body)
+        .ok()
+        .map(|handle| ServiceThread { handle: Some(handle) })
+}
+
 /// Test-only fault injection.
 ///
 /// `cfg(test)` does not cross crates, so integration tests (the

@@ -619,11 +619,12 @@ impl QueryProfile {
 /// bounds memory while still catching every reuse pattern we schedule.
 const CACHE_CAP: usize = 8;
 
-/// One cached query band: the owned band bytes are the key (compared
-/// bytewise, so the entry is self-validating and needs no invalidation
-/// protocol beyond the scoring check in [`ProfileCache`]), plus the
-/// lazily materialized striped profile rows in both lane widths.
+/// One cached query band: the owned `(scoring, band)` pair is the key
+/// (compared fieldwise/bytewise, so the entry is self-validating and
+/// needs no invalidation protocol), plus the lazily materialized striped
+/// profile rows in both lane widths.
 struct CacheEntry {
+    scoring: Scoring,
     band: Vec<u8>,
     /// Symbol → i16 profile block index `k` (`u16::MAX` = not yet
     /// materialized); block `k` spans `rows16[k*seg..(k+1)*seg]` with
@@ -636,8 +637,9 @@ struct CacheEntry {
 }
 
 impl CacheEntry {
-    fn new(band: &[u8]) -> Self {
+    fn new(band: &[u8], scoring: &Scoring) -> Self {
         CacheEntry {
+            scoring: *scoring,
             band: band.to_vec(),
             slot16: [u16::MAX; 256],
             rows16: Vec::new(),
@@ -660,14 +662,14 @@ impl CacheEntry {
 /// i8→i16 escalation of the same tile pays the band lookup once per
 /// width, not a rebuild of what the other width already derived.
 ///
-/// A lookup is a **hit** when the band's entry already exists (even if
-/// this call materializes rows for new database symbols) and a **miss**
-/// when the entry had to be created. Changing [`Scoring`] mid-run clears
-/// the cache — scores are baked into the rows, so entries built under a
-/// different scoring would be wrong, not merely stale.
+/// A lookup is a **hit** when the `(scoring, band)` entry already exists
+/// (even if this call materializes rows for new database symbols) and a
+/// **miss** when the entry had to be created. [`Scoring`] is part of the
+/// key — scores are baked into the rows, so entries built under different
+/// scorings are distinct, and interleaved tenants with different scorings
+/// coexist instead of ping-ponging the cache to 100 % misses.
 #[derive(Default)]
 pub struct ProfileCache {
-    scoring: Option<Scoring>,
     entries: Vec<CacheEntry>,
     hits: u64,
     misses: u64,
@@ -692,11 +694,7 @@ impl ProfileCache {
     /// Find-or-create the entry for `band`, leaving it at index 0
     /// (move-to-front LRU), and count the lookup.
     fn touch(&mut self, band: &[u8], scoring: &Scoring) {
-        if self.scoring.as_ref() != Some(scoring) {
-            self.entries.clear();
-            self.scoring = Some(*scoring);
-        }
-        if let Some(i) = self.entries.iter().position(|e| e.band == band) {
+        if let Some(i) = self.entries.iter().position(|e| e.scoring == *scoring && e.band == band) {
             self.hits += 1;
             if i != 0 {
                 let e = self.entries.remove(i);
@@ -704,7 +702,7 @@ impl ProfileCache {
             }
         } else {
             self.misses += 1;
-            self.entries.insert(0, CacheEntry::new(band));
+            self.entries.insert(0, CacheEntry::new(band, scoring));
             self.entries.truncate(CACHE_CAP);
         }
     }
@@ -784,6 +782,36 @@ mod tests {
                 assert_eq!(row[j], sc.subst(ai, bj));
             }
         }
+    }
+
+    #[test]
+    fn interleaved_scorings_share_the_cache_without_thrash() {
+        // Two tenants with different scorings alternate lookups of the
+        // same band: after each tenant's first (miss) lookup, every
+        // subsequent lookup must hit, and each must get rows built from
+        // its *own* scoring (no cross-tenant contamination).
+        let sc_a = Scoring::paper();
+        let sc_b = Scoring { match_score: sc_a.match_score + 1, ..sc_a };
+        let band: Vec<u8> = (0..LANES).map(|i| b"ACGT"[i % 4]).collect();
+        let b_tile = b"ACGT";
+        let mut cache = ProfileCache::new();
+        for round in 0..4 {
+            for sc in [&sc_a, &sc_b] {
+                let seg = band.len() / LANES;
+                let (slot, rows) = cache.profile16(&band, b_tile, sc);
+                for &c in b_tile.iter() {
+                    let k = slot[c as usize] as usize;
+                    for s in 0..seg {
+                        for (l, &x) in rows[k * seg + s].iter().enumerate() {
+                            assert_eq!(x, sc.subst(band[l * seg + s], c) as i16);
+                        }
+                    }
+                }
+                let _ = round;
+            }
+        }
+        assert_eq!(cache.misses(), 2, "one build per (scoring, band)");
+        assert_eq!(cache.hits(), 6, "every interleaved revisit must hit");
     }
 
     #[test]

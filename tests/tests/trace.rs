@@ -97,6 +97,35 @@ fn resumed_trace_reports_resume_offset() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A run cancelled before its first diagonal still yields a schema-valid
+/// trace: `run_begin` is emitted eagerly, so the stream carries
+/// `run_begin` + `interrupt` instead of being rejected as empty, and the
+/// pipeline surfaces the typed cancellation.
+#[test]
+fn immediately_cancelled_run_traces_run_begin_plus_interrupt() {
+    let (a, b) = edited_pair(73, 200, 11);
+    let ctrl = cudalign::RunControl::unlimited();
+    ctrl.cancel();
+
+    let mut tracer = TraceWriter::new(Vec::new());
+    let err = {
+        let mut obs = Obs::new();
+        obs.add_recorder(&mut tracer);
+        Pipeline::new(PipelineConfig::for_tests())
+            .align_supervised(&a, &b, &mut obs, &ctrl)
+            .expect_err("pre-cancelled run must not succeed")
+    };
+    assert_eq!(err.interruption_kind(), Some("cancelled"), "{err}");
+
+    let text = String::from_utf8(tracer.finish().unwrap()).unwrap();
+    let check = validate_trace(&text).expect("interrupted trace stays schema-valid");
+    assert!(!check.ended, "no run_end on an interrupted run");
+    assert_eq!(check.interrupts, 1, "the cancellation is recorded");
+    let first = text.lines().next().expect("non-empty trace");
+    let rec = cudalign::obs::parse_json(first).expect("run_begin parses");
+    assert_eq!(rec.get("ev").and_then(|v| v.str_val()), Some("run_begin"));
+}
+
 /// CI hook: when `CUDALIGN_TRACE_FILE` points at a trace written by the
 /// CLI (`align --trace`), validate it against the same schema checker.
 /// Skipped (trivially passing) when the variable is unset.
